@@ -1,0 +1,153 @@
+//! Balanced adder-tree reduction.
+//!
+//! Every PE cell — binary CMAC cell and tub cell alike — reduces its `n`
+//! per-multiplier terms through an adder tree into one partial sum
+//! (§II-C, §III). This module provides the functional reduction together
+//! with the tree's structural statistics (depth, adder count and widths),
+//! which `tempus-hwmodel` uses when building netlists.
+
+use crate::ArithError;
+
+/// Structural description of a balanced binary adder tree reducing `n`
+/// terms of `input_bits` bits each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Number of leaf terms (`n`), after padding is *not* applied —
+    /// odd levels simply forward the unpaired term.
+    pub leaves: usize,
+    /// Bit width of each leaf term.
+    pub input_bits: u32,
+    /// Number of two-input adders in the tree.
+    pub adder_count: usize,
+    /// Depth in adder levels (`ceil(log2 n)`).
+    pub depth: u32,
+    /// Bit widths of the adders, level by level (level 0 adds
+    /// `input_bits`-wide terms producing `input_bits + 1` wide sums).
+    pub level_widths: Vec<(u32, usize)>,
+    /// Bit width of the final sum: `input_bits + depth`.
+    pub output_bits: u32,
+}
+
+/// Computes the shape of a balanced tree over `n` terms of `input_bits`.
+///
+/// An `n`-leaf tree always contains exactly `n - 1` two-input adders; the
+/// per-level widths grow by one bit per level so no precision is lost.
+///
+/// ```
+/// use tempus_arith::adder_tree::shape;
+///
+/// let t = shape(16, 16);
+/// assert_eq!(t.adder_count, 15);
+/// assert_eq!(t.depth, 4);
+/// assert_eq!(t.output_bits, 20);
+/// ```
+#[must_use]
+pub fn shape(n: usize, input_bits: u32) -> TreeShape {
+    let mut level_widths = Vec::new();
+    let mut remaining = n;
+    let mut width = input_bits;
+    let mut adders = 0usize;
+    let mut depth = 0u32;
+    while remaining > 1 {
+        let pairs = remaining / 2;
+        level_widths.push((width, pairs));
+        adders += pairs;
+        remaining = pairs + remaining % 2;
+        width += 1;
+        depth += 1;
+    }
+    TreeShape {
+        leaves: n,
+        input_bits,
+        adder_count: adders,
+        depth,
+        level_widths,
+        output_bits: width,
+    }
+}
+
+/// Reduces `terms` through a balanced binary tree, returning the exact
+/// sum (in `i64`, wide enough for any array size this workspace uses).
+///
+/// The reduction order matches the hardware tree exactly, which matters
+/// only for wrap-around experiments; for exact arithmetic the result
+/// equals `terms.iter().sum()`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::AccumulatorOverflow`] if any intermediate sum
+/// overflows `i64` (practically unreachable for supported precisions).
+pub fn reduce(terms: &[i64]) -> Result<i64, ArithError> {
+    if terms.is_empty() {
+        return Ok(0);
+    }
+    let mut level: Vec<i64> = terms.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let sum = if pair.len() == 2 {
+                pair[0]
+                    .checked_add(pair[1])
+                    .ok_or(ArithError::AccumulatorOverflow { acc_bits: 64 })?
+            } else {
+                pair[0]
+            };
+            next.push(sum);
+        }
+        level = next;
+    }
+    Ok(level[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_power_of_two() {
+        let t = shape(8, 4);
+        assert_eq!(t.adder_count, 7);
+        assert_eq!(t.depth, 3);
+        assert_eq!(t.output_bits, 7);
+        assert_eq!(t.level_widths, vec![(4, 4), (5, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn shape_non_power_of_two() {
+        let t = shape(5, 8);
+        // 5 -> 2 adders + carry-over -> 3 -> 1 adder + carry -> 2 -> 1.
+        assert_eq!(t.adder_count, 4);
+        assert_eq!(t.depth, 3);
+        assert_eq!(t.leaves, 5);
+    }
+
+    #[test]
+    fn shape_degenerate_cases() {
+        let t = shape(1, 8);
+        assert_eq!(t.adder_count, 0);
+        assert_eq!(t.depth, 0);
+        assert_eq!(t.output_bits, 8);
+        let t = shape(0, 8);
+        assert_eq!(t.adder_count, 0);
+    }
+
+    #[test]
+    fn adder_count_is_always_n_minus_1() {
+        for n in 1..200 {
+            assert_eq!(shape(n, 8).adder_count, n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_iter_sum() {
+        let terms: Vec<i64> = (-50..50).collect();
+        assert_eq!(reduce(&terms).unwrap(), terms.iter().sum::<i64>());
+        assert_eq!(reduce(&[]).unwrap(), 0);
+        assert_eq!(reduce(&[42]).unwrap(), 42);
+    }
+
+    #[test]
+    fn reduce_detects_overflow() {
+        assert!(reduce(&[i64::MAX, 1]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Golden model of the binary (conventional two's complement) multiply
+//! path used by NVDLA's CMAC unit.
+//!
+//! In silicon this is a DesignWare-elaborated array/Booth multiplier; the
+//! functional contract is simply the exact signed product, so the golden
+//! model is trivial — its value is in the validation and in mirroring the
+//! RTL's wrap/saturate behaviours at reduced output widths.
+
+use crate::{ArithError, IntPrecision};
+
+/// Exact signed product of two operands validated at `precision`.
+///
+/// ```
+/// use tempus_arith::{binary, IntPrecision};
+///
+/// # fn main() -> Result<(), tempus_arith::ArithError> {
+/// assert_eq!(binary::multiply(-128, 127, IntPrecision::Int8)?, -16256);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ArithError::OutOfRange`] when either operand exceeds
+/// `precision`.
+pub fn multiply(a: i32, b: i32, precision: IntPrecision) -> Result<i32, ArithError> {
+    precision.check(a)?;
+    precision.check(b)?;
+    Ok(a * b)
+}
+
+/// Product truncated (two's complement wrap) to `out_bits`, mirroring an
+/// RTL datapath whose product bus is narrower than `2w`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::OutOfRange`] when either operand exceeds
+/// `precision`.
+pub fn multiply_wrapping(
+    a: i32,
+    b: i32,
+    precision: IntPrecision,
+    out_bits: u32,
+) -> Result<i32, ArithError> {
+    let exact = i64::from(multiply(a, b, precision)?);
+    let mask = (1i64 << out_bits) - 1;
+    let v = exact & mask;
+    Ok(if v >= (1i64 << (out_bits - 1)) {
+        (v - (1i64 << out_bits)) as i32
+    } else {
+        v as i32
+    })
+}
+
+/// Saturating accumulation into a `acc_bits`-wide two's complement
+/// accumulator, as NVDLA's CACC performs on overflow.
+///
+/// # Panics
+///
+/// Panics if `acc_bits` is not in `2..=64`.
+#[must_use]
+pub fn saturating_accumulate(acc: i64, addend: i64, acc_bits: u32) -> i64 {
+    assert!((2..=64).contains(&acc_bits), "acc_bits must be 2..=64");
+    let max = (1i128 << (acc_bits - 1)) - 1;
+    let min = -(1i128 << (acc_bits - 1));
+    (i128::from(acc) + i128::from(addend)).clamp(min, max) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_products() {
+        let p = IntPrecision::Int8;
+        assert_eq!(multiply(-128, -128, p).unwrap(), 16384);
+        assert_eq!(multiply(127, -1, p).unwrap(), -127);
+        assert!(multiply(128, 1, p).is_err());
+    }
+
+    #[test]
+    fn wrapping_truncates_like_rtl() {
+        let p = IntPrecision::Int8;
+        // -128 * -128 = 16384 = 0x4000; wrapped to 15 bits -> -16384.
+        assert_eq!(multiply_wrapping(-128, -128, p, 15).unwrap(), -16384);
+        // Full 16-bit bus holds the product exactly.
+        assert_eq!(multiply_wrapping(-128, -128, p, 16).unwrap(), 16384);
+    }
+
+    #[test]
+    fn saturating_accumulate_clamps_at_width() {
+        // 8-bit accumulator: range -128..=127.
+        assert_eq!(saturating_accumulate(120, 10, 8), 127);
+        assert_eq!(saturating_accumulate(-120, -10, 8), -128);
+        assert_eq!(saturating_accumulate(5, 6, 8), 11);
+    }
+
+    #[test]
+    fn saturating_accumulate_handles_i64_extremes() {
+        assert_eq!(saturating_accumulate(i64::MAX, 1, 64), i64::MAX);
+        assert_eq!(saturating_accumulate(i64::MIN, -1, 64), i64::MIN);
+    }
+}

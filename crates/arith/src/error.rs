@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::IntPrecision;
+
+/// Error type for arithmetic operations in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithError {
+    /// A value does not fit in the requested integer precision.
+    OutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The precision whose range was violated.
+        precision: IntPrecision,
+    },
+    /// An accumulation overflowed the accumulator width.
+    AccumulatorOverflow {
+        /// Width of the accumulator in bits.
+        acc_bits: u32,
+    },
+    /// Operand slices passed to a dot product differ in length.
+    LengthMismatch {
+        /// Length of the left operand.
+        lhs: usize,
+        /// Length of the right operand.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::OutOfRange { value, precision } => write!(
+                f,
+                "value {value} does not fit in {precision} (range {}..={})",
+                precision.min_value(),
+                precision.max_value()
+            ),
+            ArithError::AccumulatorOverflow { acc_bits } => {
+                write!(f, "accumulation overflowed a {acc_bits}-bit accumulator")
+            }
+            ArithError::LengthMismatch { lhs, rhs } => {
+                write!(f, "operand lengths differ: {lhs} vs {rhs}")
+            }
+        }
+    }
+}
+
+impl Error for ArithError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_value_and_range() {
+        let err = ArithError::OutOfRange {
+            value: 300,
+            precision: IntPrecision::Int8,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains("-128"));
+        assert!(msg.contains("127"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArithError>();
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let err = ArithError::LengthMismatch { lhs: 3, rhs: 5 };
+        assert_eq!(err.to_string(), "operand lengths differ: 3 vs 5");
+    }
+}

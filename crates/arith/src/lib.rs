@@ -1,0 +1,50 @@
+//! Integer precisions, 2s-unary temporal encoding and golden arithmetic
+//! models for the Tempus Core reproduction.
+//!
+//! This crate is the arithmetic foundation of the workspace. It defines:
+//!
+//! * [`IntPrecision`] — the low integer precisions the paper evaluates
+//!   (INT2 / INT4 / INT8) together with their ranges and worst-case
+//!   temporal latencies;
+//! * [`TwosUnaryStream`] — the *2s-unary* temporal encoding of
+//!   tubGEMM / Tempus Core, where every pulse carries a value of 2
+//!   (except a final odd pulse of 1), halving stream length relative to
+//!   plain unary;
+//! * golden (combinational) models of the [`tub`] multiplier and the
+//!   binary multiplier, plus [`dot`] products and [`adder_tree`]
+//!   reductions used as bit-exact references by the cycle-accurate
+//!   simulators in `tempus-nvdla` and `tempus-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use tempus_arith::{IntPrecision, TwosUnaryStream, tub};
+//!
+//! # fn main() -> Result<(), tempus_arith::ArithError> {
+//! let prec = IntPrecision::Int8;
+//! let stream = TwosUnaryStream::encode(-37, prec)?;
+//! // ceil(37 / 2) pulses: eighteen 2-valued pulses and one 1-valued pulse.
+//! assert_eq!(stream.cycles(), 19);
+//! assert_eq!(stream.decode(), -37);
+//!
+//! // The tub multiplier accumulates the binary operand once per pulse.
+//! assert_eq!(tub::multiply(113, -37, prec)?, 113 * -37);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder_tree;
+pub mod binary;
+pub mod dot;
+mod error;
+pub mod plain_unary;
+mod precision;
+pub mod tub;
+mod twos_unary;
+
+pub use error::ArithError;
+pub use precision::IntPrecision;
+pub use twos_unary::{Pulse, PulseIter, Sign, TwosUnaryStream};

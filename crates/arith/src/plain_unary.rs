@@ -1,0 +1,164 @@
+//! Plain (classic) unary temporal encoding — the tuGEMM baseline the
+//! paper's 2s-unary encoding improves on (§II-B: tubGEMM "employs a
+//! unique 2s-unary encoding scheme ... effectively halving the
+//! latency" relative to tuGEMM's plain unary).
+//!
+//! A value of magnitude `m` is a stream of `m` single-valued pulses,
+//! so every window is (about) twice as long as under
+//! [`crate::TwosUnaryStream`]. The type exists so the encoding
+//! comparison in the benches/ablations runs against a real
+//! implementation rather than an analytic 2× factor.
+
+use crate::{ArithError, IntPrecision, Sign};
+
+/// A plain-unary temporally encoded signed integer: `|v|` pulses each
+/// carrying the value 1.
+///
+/// ```
+/// use tempus_arith::{plain_unary::PlainUnaryStream, IntPrecision, TwosUnaryStream};
+///
+/// # fn main() -> Result<(), tempus_arith::ArithError> {
+/// let tu = PlainUnaryStream::encode(-7, IntPrecision::Int4)?;
+/// let tub = TwosUnaryStream::encode(-7, IntPrecision::Int4)?;
+/// assert_eq!(tu.cycles(), 7);
+/// assert_eq!(tub.cycles(), 4); // 2s-unary halves the stream
+/// assert_eq!(tu.decode(), -7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlainUnaryStream {
+    sign: Sign,
+    pulses: u32,
+    precision: IntPrecision,
+}
+
+impl PlainUnaryStream {
+    /// Encodes `value` at `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::OutOfRange`] when `value` is not
+    /// representable at `precision`.
+    pub fn encode(value: i32, precision: IntPrecision) -> Result<Self, ArithError> {
+        precision.check(value)?;
+        Ok(PlainUnaryStream {
+            sign: if value < 0 {
+                Sign::Negative
+            } else {
+                Sign::Positive
+            },
+            pulses: value.unsigned_abs(),
+            precision,
+        })
+    }
+
+    /// Stream length in cycles: `|v|` (twice the 2s-unary length, up
+    /// to rounding).
+    #[must_use]
+    pub const fn cycles(self) -> u32 {
+        self.pulses
+    }
+
+    /// Worst-case stream length at a precision: the full magnitude
+    /// `2^(w-1)` (128 cycles for INT8 vs 2s-unary's 64).
+    #[must_use]
+    pub const fn worst_case_cycles(precision: IntPrecision) -> u32 {
+        precision.max_magnitude()
+    }
+
+    /// Sign wire.
+    #[must_use]
+    pub const fn sign(self) -> Sign {
+        self.sign
+    }
+
+    /// `true` when the stream encodes zero.
+    #[must_use]
+    pub const fn is_silent(self) -> bool {
+        self.pulses == 0
+    }
+
+    /// Decodes back to the signed integer.
+    #[must_use]
+    pub fn decode(self) -> i32 {
+        self.sign.factor() * self.pulses as i32
+    }
+
+    /// Contribution on cycle `c`: `sign * activation` while the stream
+    /// is live, 0 after it drains.
+    #[must_use]
+    pub fn step(self, activation: i32, cycle: u32) -> i32 {
+        if cycle < self.pulses {
+            self.sign.factor() * activation
+        } else {
+            0
+        }
+    }
+
+    /// Folds the whole stream against `activation` (the exact
+    /// product).
+    #[must_use]
+    pub fn fold(self, activation: i32) -> i32 {
+        (0..self.pulses).map(|c| self.step(activation, c)).sum()
+    }
+}
+
+/// Exact multiply through plain-unary folding.
+///
+/// # Errors
+///
+/// Returns [`ArithError::OutOfRange`] when either operand exceeds
+/// `precision`.
+pub fn multiply(activation: i32, weight: i32, precision: IntPrecision) -> Result<i32, ArithError> {
+    precision.check(activation)?;
+    Ok(PlainUnaryStream::encode(weight, precision)?.fold(activation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwosUnaryStream;
+
+    #[test]
+    fn exhaustive_int4_products() {
+        let p = IntPrecision::Int4;
+        for a in p.min_value()..=p.max_value() {
+            for w in p.min_value()..=p.max_value() {
+                assert_eq!(multiply(a, w, p).unwrap(), a * w, "a={a} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_twice_the_2s_unary_length() {
+        let p = IntPrecision::Int8;
+        for v in p.min_value()..=p.max_value() {
+            let tu = PlainUnaryStream::encode(v, p).unwrap();
+            let tub = TwosUnaryStream::encode(v, p).unwrap();
+            assert_eq!(tub.cycles(), tu.cycles().div_ceil(2), "v={v}");
+        }
+    }
+
+    #[test]
+    fn worst_case_doubles() {
+        assert_eq!(PlainUnaryStream::worst_case_cycles(IntPrecision::Int8), 128);
+        assert_eq!(IntPrecision::Int8.worst_case_tub_cycles(), 64);
+        assert_eq!(PlainUnaryStream::worst_case_cycles(IntPrecision::Int4), 8);
+    }
+
+    #[test]
+    fn zero_is_silent() {
+        let s = PlainUnaryStream::encode(0, IntPrecision::Int8).unwrap();
+        assert!(s.is_silent());
+        assert_eq!(s.fold(99), 0);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        for v in [-128, -1, 0, 1, 127] {
+            let s = PlainUnaryStream::encode(v, IntPrecision::Int8).unwrap();
+            assert_eq!(s.decode(), v);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Golden (combinational) model of the tub multiplier.
+//!
+//! A *tub* (temporal-unary-binary) multiplier takes a binary-encoded
+//! activation and a temporally encoded weight (a [`TwosUnaryStream`]) and
+//! accumulates `pulse_value * activation` on every pulse cycle, applying
+//! the weight sign (Fig. 2 of the paper). The hardware realisation is a
+//! multiplexer (pulse value 0/1/2), a shifter (×2) and an
+//! adder/subtractor — no array multiplier.
+//!
+//! This module is the bit-exact reference the cycle-accurate PE model in
+//! `tempus-core` is tested against.
+
+use crate::{ArithError, IntPrecision, Pulse, TwosUnaryStream};
+
+/// Multiplies `activation` (binary operand) by `weight` (temporal
+/// operand) by folding the weight's 2s-unary pulse stream.
+///
+/// Both operands are validated against `precision`. The result is exact:
+/// tub arithmetic is deterministic, unlike stochastic unary designs.
+///
+/// ```
+/// use tempus_arith::{tub, IntPrecision};
+///
+/// # fn main() -> Result<(), tempus_arith::ArithError> {
+/// assert_eq!(tub::multiply(-128, -128, IntPrecision::Int8)?, 16384);
+/// assert_eq!(tub::multiply(7, 0, IntPrecision::Int4)?, 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ArithError::OutOfRange`] when either operand exceeds
+/// `precision`.
+pub fn multiply(activation: i32, weight: i32, precision: IntPrecision) -> Result<i32, ArithError> {
+    precision.check(activation)?;
+    let stream = TwosUnaryStream::encode(weight, precision)?;
+    Ok(fold_stream(activation, stream))
+}
+
+/// Folds a pulse stream against a binary activation, returning the exact
+/// product. This mirrors what the PE accumulator register sees after the
+/// stream drains.
+#[must_use]
+pub fn fold_stream(activation: i32, stream: TwosUnaryStream) -> i32 {
+    let mut acc = 0i32;
+    for pulse in stream.iter() {
+        acc += step(activation, stream, pulse);
+    }
+    acc
+}
+
+/// Contribution added to the accumulator on a single pulse cycle:
+/// `sign * pulse_value * activation`. The ×2 case is a left shift in
+/// hardware.
+#[must_use]
+pub fn step(activation: i32, stream: TwosUnaryStream, pulse: Pulse) -> i32 {
+    let shifted = match pulse {
+        Pulse::Two => activation << 1,
+        Pulse::One => activation,
+    };
+    stream.sign().factor() * shifted
+}
+
+/// Latency in cycles of a tub multiplication by `weight`:
+/// `ceil(|weight| / 2)`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::OutOfRange`] when `weight` exceeds `precision`.
+pub fn latency(weight: i32, precision: IntPrecision) -> Result<u32, ArithError> {
+    Ok(TwosUnaryStream::encode(weight, precision)?.cycles())
+}
+
+/// Latency in cycles of a whole k×n tub array holding `weights`: the
+/// array is bottlenecked by its largest weight magnitude (§III).
+///
+/// Returns 0 for an empty or all-zero array (every PE silent).
+///
+/// # Errors
+///
+/// Returns [`ArithError::OutOfRange`] when any weight exceeds
+/// `precision`.
+pub fn array_latency(weights: &[i32], precision: IntPrecision) -> Result<u32, ArithError> {
+    let mut max = 0u32;
+    for &w in weights {
+        precision.check(w)?;
+        max = max.max(w.unsigned_abs());
+    }
+    Ok(max.div_ceil(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_binary_multiplication_exhaustively_int4() {
+        let p = IntPrecision::Int4;
+        for a in p.min_value()..=p.max_value() {
+            for w in p.min_value()..=p.max_value() {
+                assert_eq!(multiply(a, w, p).unwrap(), a * w, "a={a} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_binary_multiplication_exhaustively_int2() {
+        let p = IntPrecision::Int2;
+        for a in p.min_value()..=p.max_value() {
+            for w in p.min_value()..=p.max_value() {
+                assert_eq!(multiply(a, w, p).unwrap(), a * w);
+            }
+        }
+    }
+
+    #[test]
+    fn int8_corner_cases() {
+        let p = IntPrecision::Int8;
+        for (a, w) in [
+            (-128, -128),
+            (-128, 127),
+            (127, -128),
+            (127, 127),
+            (0, -128),
+            (-128, 0),
+            (1, -1),
+            (-1, 1),
+        ] {
+            assert_eq!(multiply(a, w, p).unwrap(), a * w);
+        }
+    }
+
+    #[test]
+    fn fig2_example_dataflow() {
+        // Fig. 2 of the paper: an INT4 tub multiplier accumulates the
+        // binary value once per '1' in the temporal stream. With
+        // 2s-unary, 6 = three 2-valued pulses; activation 5 -> 30.
+        let p = IntPrecision::Int4;
+        let stream = TwosUnaryStream::encode(6, p).unwrap();
+        assert_eq!(stream.cycles(), 3);
+        assert_eq!(fold_stream(5, stream), 30);
+    }
+
+    #[test]
+    fn latency_is_half_magnitude_rounded_up() {
+        let p = IntPrecision::Int8;
+        assert_eq!(latency(0, p).unwrap(), 0);
+        assert_eq!(latency(1, p).unwrap(), 1);
+        assert_eq!(latency(-2, p).unwrap(), 1);
+        assert_eq!(latency(3, p).unwrap(), 2);
+        assert_eq!(latency(-128, p).unwrap(), 64);
+        assert_eq!(latency(127, p).unwrap(), 64);
+    }
+
+    #[test]
+    fn array_latency_is_max_of_elementwise() {
+        let p = IntPrecision::Int8;
+        let weights = [0, 3, -10, 7, 2];
+        assert_eq!(array_latency(&weights, p).unwrap(), 5);
+        assert_eq!(array_latency(&[], p).unwrap(), 0);
+        assert_eq!(array_latency(&[0, 0, 0], p).unwrap(), 0);
+        assert!(array_latency(&[200], p).is_err());
+    }
+
+    #[test]
+    fn step_applies_sign_and_shift() {
+        let s = TwosUnaryStream::encode(-3, IntPrecision::Int4).unwrap();
+        assert_eq!(step(5, s, Pulse::Two), -10);
+        assert_eq!(step(5, s, Pulse::One), -5);
+        let s = TwosUnaryStream::encode(3, IntPrecision::Int4).unwrap();
+        assert_eq!(step(-5, s, Pulse::Two), -10);
+    }
+
+    #[test]
+    fn rejects_out_of_range_operands() {
+        assert!(multiply(8, 1, IntPrecision::Int4).is_err());
+        assert!(multiply(1, 8, IntPrecision::Int4).is_err());
+    }
+}

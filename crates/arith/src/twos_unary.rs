@@ -1,0 +1,299 @@
+use std::fmt;
+
+use crate::{ArithError, IntPrecision};
+
+/// Sign of a temporally encoded value.
+///
+/// The tub datapath transmits the sign on a dedicated wire alongside the
+/// pulse stream; a zero value is encoded as an empty stream with a
+/// positive sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sign {
+    /// Non-negative value.
+    #[default]
+    Positive,
+    /// Negative value.
+    Negative,
+}
+
+impl Sign {
+    /// `+1` for positive, `-1` for negative.
+    #[must_use]
+    pub const fn factor(self) -> i32 {
+        match self {
+            Sign::Positive => 1,
+            Sign::Negative => -1,
+        }
+    }
+}
+
+/// A single pulse of a 2s-unary stream.
+///
+/// Under 2s-unary encoding (§II-B of the paper) each cycle's pulse is
+/// interpreted as a data value of 2, halving stream latency relative to
+/// classic unary. Odd magnitudes terminate with a single 1-valued pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pulse {
+    /// Pulse carrying the value 1 (final pulse of an odd magnitude).
+    One,
+    /// Pulse carrying the value 2 (the common case).
+    Two,
+}
+
+impl Pulse {
+    /// Numeric value carried by the pulse.
+    #[must_use]
+    pub const fn value(self) -> u32 {
+        match self {
+            Pulse::One => 1,
+            Pulse::Two => 2,
+        }
+    }
+}
+
+/// A 2s-unary temporally encoded signed integer.
+///
+/// The encoding of a value `v` with magnitude `m = |v|` is a stream of
+/// `ceil(m / 2)` pulses: `m / 2` pulses valued 2 followed by, when `m` is
+/// odd, one pulse valued 1. The representation here is compact (pulse
+/// counts rather than a materialised bit vector) because INT8 streams can
+/// be up to 64 cycles long and arrays hold thousands of them.
+///
+/// ```
+/// use tempus_arith::{IntPrecision, Pulse, TwosUnaryStream};
+///
+/// # fn main() -> Result<(), tempus_arith::ArithError> {
+/// let s = TwosUnaryStream::encode(7, IntPrecision::Int4)?;
+/// assert_eq!(s.cycles(), 4); // 2 + 2 + 2 + 1
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![Pulse::Two, Pulse::Two, Pulse::Two, Pulse::One]);
+/// assert_eq!(s.decode(), 7);
+///
+/// let z = TwosUnaryStream::encode(0, IntPrecision::Int4)?;
+/// assert_eq!(z.cycles(), 0);
+/// assert!(z.is_silent());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwosUnaryStream {
+    sign: Sign,
+    two_pulses: u32,
+    has_one_pulse: bool,
+    precision: IntPrecision,
+}
+
+impl TwosUnaryStream {
+    /// Encodes `value` at `precision` into a 2s-unary stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::OutOfRange`] when `value` is not
+    /// representable at `precision`.
+    pub fn encode(value: i32, precision: IntPrecision) -> Result<Self, ArithError> {
+        precision.check(value)?;
+        let magnitude = value.unsigned_abs();
+        Ok(TwosUnaryStream {
+            sign: if value < 0 {
+                Sign::Negative
+            } else {
+                Sign::Positive
+            },
+            two_pulses: magnitude / 2,
+            has_one_pulse: magnitude % 2 == 1,
+            precision,
+        })
+    }
+
+    /// Number of cycles (pulses) in the stream: `ceil(|v| / 2)`.
+    #[must_use]
+    pub const fn cycles(self) -> u32 {
+        self.two_pulses + self.has_one_pulse as u32
+    }
+
+    /// Magnitude of the encoded value.
+    #[must_use]
+    pub const fn magnitude(self) -> u32 {
+        self.two_pulses * 2 + self.has_one_pulse as u32
+    }
+
+    /// Sign wire of the stream.
+    #[must_use]
+    pub const fn sign(self) -> Sign {
+        self.sign
+    }
+
+    /// Precision the stream was encoded at.
+    #[must_use]
+    pub const fn precision(self) -> IntPrecision {
+        self.precision
+    }
+
+    /// `true` when the stream encodes zero and the multiplier attached to
+    /// it stays idle ("silent PE", §V-C).
+    #[must_use]
+    pub const fn is_silent(self) -> bool {
+        self.two_pulses == 0 && !self.has_one_pulse
+    }
+
+    /// Decodes the stream back to the signed integer it encodes.
+    #[must_use]
+    pub fn decode(self) -> i32 {
+        self.sign.factor() * self.magnitude() as i32
+    }
+
+    /// Pulse emitted at `cycle` (0-based), or `None` once the stream has
+    /// drained. This is what the temporal encoder drives each clock.
+    #[must_use]
+    pub fn pulse_at(self, cycle: u32) -> Option<Pulse> {
+        if cycle < self.two_pulses {
+            Some(Pulse::Two)
+        } else if cycle == self.two_pulses && self.has_one_pulse {
+            Some(Pulse::One)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the pulses of the stream in emission order.
+    pub fn iter(self) -> PulseIter {
+        PulseIter {
+            stream: self,
+            cycle: 0,
+        }
+    }
+}
+
+impl fmt::Display for TwosUnaryStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = match self.sign {
+            Sign::Positive => '+',
+            Sign::Negative => '-',
+        };
+        write!(
+            f,
+            "{sign}[2;{}]{}",
+            self.two_pulses,
+            if self.has_one_pulse { "[1]" } else { "" }
+        )
+    }
+}
+
+impl IntoIterator for TwosUnaryStream {
+    type Item = Pulse;
+    type IntoIter = PulseIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the pulses of a [`TwosUnaryStream`].
+#[derive(Debug, Clone)]
+pub struct PulseIter {
+    stream: TwosUnaryStream,
+    cycle: u32,
+}
+
+impl Iterator for PulseIter {
+    type Item = Pulse;
+
+    fn next(&mut self) -> Option<Pulse> {
+        let pulse = self.stream.pulse_at(self.cycle)?;
+        self.cycle += 1;
+        Some(pulse)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.stream.cycles().saturating_sub(self.cycle) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PulseIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_round_trips_all_int8_values() {
+        for v in IntPrecision::Int8.min_value()..=IntPrecision::Int8.max_value() {
+            let s = TwosUnaryStream::encode(v, IntPrecision::Int8).unwrap();
+            assert_eq!(s.decode(), v, "round trip failed for {v}");
+            assert_eq!(s.cycles(), v.unsigned_abs().div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn zero_is_silent() {
+        let s = TwosUnaryStream::encode(0, IntPrecision::Int8).unwrap();
+        assert!(s.is_silent());
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.sign(), Sign::Positive);
+    }
+
+    #[test]
+    fn odd_magnitude_ends_with_one_pulse() {
+        let s = TwosUnaryStream::encode(-5, IntPrecision::Int4).unwrap();
+        let pulses: Vec<_> = s.iter().collect();
+        assert_eq!(pulses, vec![Pulse::Two, Pulse::Two, Pulse::One]);
+        assert_eq!(s.sign(), Sign::Negative);
+        assert_eq!(s.decode(), -5);
+    }
+
+    #[test]
+    fn even_magnitude_has_only_two_pulses() {
+        let s = TwosUnaryStream::encode(6, IntPrecision::Int4).unwrap();
+        assert!(s.iter().all(|p| p == Pulse::Two));
+        assert_eq!(s.cycles(), 3);
+    }
+
+    #[test]
+    fn most_negative_value_hits_worst_case_latency() {
+        for p in IntPrecision::PAPER_SWEEP {
+            let s = TwosUnaryStream::encode(p.min_value(), p).unwrap();
+            assert_eq!(s.cycles(), p.worst_case_tub_cycles());
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(TwosUnaryStream::encode(8, IntPrecision::Int4).is_err());
+        assert!(TwosUnaryStream::encode(-129, IntPrecision::Int8).is_err());
+    }
+
+    #[test]
+    fn pulse_at_matches_iterator() {
+        let s = TwosUnaryStream::encode(9, IntPrecision::Int8).unwrap();
+        for (i, p) in s.iter().enumerate() {
+            assert_eq!(s.pulse_at(i as u32), Some(p));
+        }
+        assert_eq!(s.pulse_at(s.cycles()), None);
+    }
+
+    #[test]
+    fn exact_size_iterator_is_exact() {
+        let s = TwosUnaryStream::encode(11, IntPrecision::Int8).unwrap();
+        let mut it = s.iter();
+        assert_eq!(it.len(), 6);
+        it.next();
+        assert_eq!(it.len(), 5);
+    }
+
+    #[test]
+    fn display_is_nonempty_even_for_zero() {
+        let s = TwosUnaryStream::encode(0, IntPrecision::Int2).unwrap();
+        assert!(!format!("{s}").is_empty());
+        let s = TwosUnaryStream::encode(-3, IntPrecision::Int4).unwrap();
+        assert_eq!(format!("{s}"), "-[2;1][1]");
+    }
+
+    #[test]
+    fn pulse_values() {
+        assert_eq!(Pulse::One.value(), 1);
+        assert_eq!(Pulse::Two.value(), 2);
+        assert_eq!(Sign::Negative.factor(), -1);
+        assert_eq!(Sign::Positive.factor(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the arithmetic foundation: the 2s-unary
+//! encoding and the tub multiplier must be bit-exact against binary
+//! arithmetic for every representable operand pair.
+
+use proptest::prelude::*;
+use tempus_arith::{adder_tree, binary, dot, tub, IntPrecision, TwosUnaryStream};
+
+fn precisions() -> impl Strategy<Value = IntPrecision> {
+    prop_oneof![
+        Just(IntPrecision::Int2),
+        Just(IntPrecision::Int4),
+        Just(IntPrecision::Int8),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(p in precisions(), seed in any::<i64>()) {
+        let v = p.wrap(seed);
+        let s = TwosUnaryStream::encode(v, p).unwrap();
+        prop_assert_eq!(s.decode(), v);
+    }
+
+    #[test]
+    fn stream_length_is_half_magnitude(p in precisions(), seed in any::<i64>()) {
+        let v = p.wrap(seed);
+        let s = TwosUnaryStream::encode(v, p).unwrap();
+        prop_assert_eq!(s.cycles(), v.unsigned_abs().div_ceil(2));
+        prop_assert!(s.cycles() <= p.worst_case_tub_cycles());
+    }
+
+    #[test]
+    fn pulse_sum_equals_magnitude(p in precisions(), seed in any::<i64>()) {
+        let v = p.wrap(seed);
+        let s = TwosUnaryStream::encode(v, p).unwrap();
+        let sum: u32 = s.iter().map(|pu| pu.value()).sum();
+        prop_assert_eq!(sum, v.unsigned_abs());
+    }
+
+    #[test]
+    fn tub_multiply_is_exact(seed_a in any::<i64>(), seed_w in any::<i64>(), p in precisions()) {
+        let a = p.wrap(seed_a);
+        let w = p.wrap(seed_w);
+        prop_assert_eq!(tub::multiply(a, w, p).unwrap(), a * w);
+    }
+
+    #[test]
+    fn tub_dot_equals_binary_dot(
+        p in precisions(),
+        pairs in prop::collection::vec((any::<i64>(), any::<i64>()), 0..64),
+    ) {
+        let acts: Vec<i32> = pairs.iter().map(|&(a, _)| p.wrap(a)).collect();
+        let wts: Vec<i32> = pairs.iter().map(|&(_, w)| p.wrap(w)).collect();
+        prop_assert_eq!(
+            dot::tub(&acts, &wts, p).unwrap(),
+            dot::binary(&acts, &wts, p).unwrap()
+        );
+    }
+
+    #[test]
+    fn dot_latency_bounded_by_worst_case(
+        p in precisions(),
+        seeds in prop::collection::vec(any::<i64>(), 1..64),
+    ) {
+        let wts: Vec<i32> = seeds.iter().map(|&w| p.wrap(w)).collect();
+        let lat = dot::tub_latency(&wts, p).unwrap();
+        prop_assert!(lat <= p.worst_case_tub_cycles());
+        // Latency is monotone: adding a weight can only increase it.
+        let mut extended = wts.clone();
+        extended.push(0);
+        prop_assert_eq!(dot::tub_latency(&extended, p).unwrap(), lat);
+    }
+
+    #[test]
+    fn adder_tree_reduce_matches_sum(terms in prop::collection::vec(-100_000i64..100_000, 0..200)) {
+        prop_assert_eq!(
+            adder_tree::reduce(&terms).unwrap(),
+            terms.iter().sum::<i64>()
+        );
+    }
+
+    #[test]
+    fn adder_tree_shape_invariants(n in 0usize..300, bits in 1u32..32) {
+        let t = adder_tree::shape(n, bits);
+        if n > 0 {
+            prop_assert_eq!(t.adder_count, n - 1);
+            prop_assert_eq!(t.output_bits, bits + t.depth);
+            let expected_depth = (n as f64).log2().ceil() as u32;
+            prop_assert_eq!(t.depth, expected_depth);
+        } else {
+            prop_assert_eq!(t.adder_count, 0);
+        }
+    }
+
+    #[test]
+    fn wrap_then_check_always_succeeds(p in precisions(), v in any::<i64>()) {
+        let wrapped = p.wrap(v);
+        prop_assert!(p.check(wrapped).is_ok());
+        prop_assert_eq!(p.wrap(i64::from(wrapped)), wrapped);
+    }
+
+    #[test]
+    fn saturate_agrees_with_wrap_in_range(p in precisions(), v in any::<i64>()) {
+        let sat = p.saturate(v);
+        prop_assert!(p.check(sat).is_ok());
+        if v >= i64::from(p.min_value()) && v <= i64::from(p.max_value()) {
+            prop_assert_eq!(sat, v as i32);
+            prop_assert_eq!(p.wrap(v), v as i32);
+        }
+    }
+
+    #[test]
+    fn multiply_wrapping_full_width_is_exact(
+        p in precisions(),
+        seed_a in any::<i64>(),
+        seed_b in any::<i64>(),
+    ) {
+        let a = p.wrap(seed_a);
+        let b = p.wrap(seed_b);
+        let full = binary::multiply_wrapping(a, b, p, p.product_bits() + 1).unwrap();
+        prop_assert_eq!(full, a * b);
+    }
+}
+
+#[test]
+fn exhaustive_int8_tub_vs_binary() {
+    // 65k products: cheap enough to check the whole INT8 plane.
+    let p = IntPrecision::Int8;
+    for a in p.min_value()..=p.max_value() {
+        for w in p.min_value()..=p.max_value() {
+            assert_eq!(tub::multiply(a, w, p).unwrap(), a * w);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Bench: ablation studies (2s-unary vs plain unary, cache overheads,
+//! weight clipping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    let (plain, twos) = ablation::unary_encoding_ablation();
+    println!("\n2s-unary vs plain unary: {twos:.1} vs {plain:.1} cycles");
+    println!("{}", ablation::cache_overhead_ablation().to_markdown());
+    println!("{}", ablation::clipping_ablation().to_markdown());
+
+    c.bench_function("ablation/cache_overhead_sweep", |b| {
+        b.iter(|| black_box(ablation::cache_overhead_ablation()));
+    });
+    c.bench_function("ablation/clipping_sweep", |b| {
+        b.iter(|| black_box(ablation::clipping_ablation()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

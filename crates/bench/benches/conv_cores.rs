@@ -1,0 +1,78 @@
+//! Bench: cycle-accurate convolution-core throughput — simulated
+//! cycles and wall-clock for the binary CC vs Tempus Core on a
+//! CNN-shaped layer, the latency trade-off of §V-D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tempus_arith::IntPrecision;
+use tempus_core::{TempusConfig, TempusCore};
+use tempus_nvdla::config::NvdlaConfig;
+use tempus_nvdla::conv::{direct_conv, ConvParams};
+use tempus_nvdla::cube::{DataCube, KernelSet};
+use tempus_nvdla::pipeline::{ConvCore, NvdlaConvCore};
+
+fn workload() -> (DataCube, KernelSet, ConvParams) {
+    let features = DataCube::from_fn(8, 8, 16, |x, y, c| {
+        ((x as i32 * 37 + y as i32 * 11 + c as i32 * 3) % 255) - 127
+    });
+    let kernels = KernelSet::from_fn(16, 3, 3, 16, |k, r, s, c| {
+        ((k as i32 * 29 + r as i32 * 13 + s as i32 * 7 + c as i32 * 17) % 255) - 127
+    });
+    (features, kernels, ConvParams::unit_stride_same(3))
+}
+
+fn bench(c: &mut Criterion) {
+    let (f, k, p) = workload();
+    // Report the simulated-cycle comparison once.
+    let mut binary = NvdlaConvCore::new(NvdlaConfig::paper_16x16());
+    let mut tempus = TempusCore::new(TempusConfig::paper_16x16());
+    let b = binary.convolve(&f, &k, &p).expect("valid");
+    let t = tempus.convolve(&f, &k, &p).expect("valid");
+    assert_eq!(b.output, t.output, "cores must agree bit-exactly");
+    println!(
+        "\nsimulated cycles: binary {} vs tempus {} ({:.1}x window {:.1} cy avg)",
+        b.stats.cycles,
+        t.stats.cycles,
+        t.stats.cycles as f64 / b.stats.cycles as f64,
+        tempus.last_tempus_stats().avg_window_cycles,
+    );
+
+    let mut group = c.benchmark_group("conv_cores");
+    group.bench_function(BenchmarkId::new("golden", "direct"), |bench| {
+        bench.iter(|| black_box(direct_conv(&f, &k, &p).unwrap()));
+    });
+    group.bench_function(BenchmarkId::new("cycle_accurate", "binary_cc"), |bench| {
+        bench.iter(|| {
+            let mut core = NvdlaConvCore::new(NvdlaConfig::paper_16x16());
+            black_box(core.convolve(&f, &k, &p).unwrap())
+        });
+    });
+    group.bench_function(BenchmarkId::new("cycle_accurate", "tempus_core"), |bench| {
+        bench.iter(|| {
+            let mut core = TempusCore::new(TempusConfig::paper_16x16());
+            black_box(core.convolve(&f, &k, &p).unwrap())
+        });
+    });
+    group.bench_function(BenchmarkId::new("analytic", "latency_model"), |bench| {
+        bench.iter(|| {
+            black_box(
+                tempus_core::latency::predict(&f, &k, &p, &TempusConfig::paper_16x16()).unwrap(),
+            )
+        });
+    });
+    group.finish();
+
+    // INT4 variant: the precision where the paper positions the design.
+    let f4 = DataCube::from_fn(8, 8, 16, |x, y, c| ((x + y + c) % 15) as i32 - 7);
+    let k4 = KernelSet::from_fn(16, 3, 3, 16, |a, b, s, d| ((a + b + s + d) % 15) as i32 - 7);
+    c.bench_function("conv_cores/tempus_int4", |bench| {
+        bench.iter(|| {
+            let mut core =
+                TempusCore::new(TempusConfig::paper_16x16().with_precision(IntPrecision::Int4));
+            black_box(core.convolve(&f4, &k4, &p).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: §V-C energy evaluation regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::{energy, fig7};
+use tempus_bench::SEED;
+use tempus_hwmodel::SynthModel;
+
+fn bench(c: &mut Criterion) {
+    let hw = SynthModel::nangate45();
+    let profiles = fig7::run(SEED, 2_000_000);
+    println!(
+        "\n{}",
+        energy::to_table(&energy::run(&hw, &profiles)).to_markdown()
+    );
+    c.bench_function("energy/evaluation", |b| {
+        b.iter(|| black_box(energy::run(black_box(&hw), black_box(&profiles))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

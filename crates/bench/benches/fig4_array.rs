@@ -1,0 +1,19 @@
+//! Bench: Fig. 4 regeneration (16×16 array synthesis comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::fig4;
+use tempus_hwmodel::SynthModel;
+
+fn bench(c: &mut Criterion) {
+    let hw = SynthModel::nangate45();
+    let rows = fig4::run(&hw);
+    println!("\n{}", fig4::to_table(&rows).to_markdown());
+    println!("{}", fig4::to_charts(&rows));
+    c.bench_function("fig4/array_16x16", |b| {
+        b.iter(|| black_box(fig4::run(black_box(&hw))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench: Fig. 5 regeneration (CMAC vs PCU unit sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::fig5;
+use tempus_hwmodel::SynthModel;
+
+fn bench(c: &mut Criterion) {
+    let hw = SynthModel::nangate45();
+    println!("\n{}", fig5::to_table(&fig5::run(&hw)).to_markdown());
+    c.bench_function("fig5/unit_sweep", |b| {
+        b.iter(|| black_box(fig5::run(black_box(&hw))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench: Fig. 7 / Fig. 8 regeneration (tile profiling). Generation is
+//! bounded per model so the bench measures the profiling pipeline, not
+//! 90M-weight synthesis; the report binary runs the full models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_arith::IntPrecision;
+use tempus_bench::experiments::{fig7, fig8};
+use tempus_bench::SEED;
+use tempus_models::zoo::Model;
+use tempus_models::QuantizedModel;
+use tempus_profile::{magnitude, sparsity};
+
+const BOUND: usize = 2_000_000;
+
+fn bench(c: &mut Criterion) {
+    let f7 = fig7::run(SEED, BOUND);
+    println!("\n{}", fig7::summary_table(&f7).to_markdown());
+    let f8 = fig8::run(SEED, BOUND);
+    println!("{}", fig8::summary_table(&f8).to_markdown());
+
+    let model = QuantizedModel::generate(Model::MobileNetV2, IntPrecision::Int8, SEED);
+    c.bench_function("fig7/magnitude_profile_mobilenetv2", |b| {
+        b.iter(|| black_box(magnitude::profile_model(black_box(&model), 16, 16)));
+    });
+    c.bench_function("fig8/sparsity_profile_mobilenetv2", |b| {
+        b.iter(|| black_box(sparsity::profile_model(black_box(&model), 16, 16, false)));
+    });
+    c.bench_function("fig7/weight_generation_mobilenetv2", |b| {
+        b.iter(|| {
+            black_box(QuantizedModel::generate_limited(
+                Model::MobileNetV2,
+                IntPrecision::Int8,
+                SEED,
+                500_000,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench: Fig. 9 regeneration (iso-area analysis + projection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::fig9;
+use tempus_hwmodel::SynthModel;
+
+fn bench(c: &mut Criterion) {
+    let hw = SynthModel::nangate45();
+    println!("\n{}", fig9::to_table(&fig9::run(&hw)).to_markdown());
+    c.bench_function("fig9/isoarea_analysis", |b| {
+        b.iter(|| black_box(fig9::run(black_box(&hw))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

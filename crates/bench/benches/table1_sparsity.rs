@@ -1,0 +1,20 @@
+//! Bench: Table I regeneration (bounded per model; the report binary
+//! generates the full 180M-weight zoo).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::table1;
+use tempus_bench::SEED;
+
+const BOUND: usize = 300_000;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1::run(SEED, BOUND);
+    println!("\n{}", table1::to_table(&rows).to_markdown());
+    c.bench_function("table1/sparsity_zoo_subset", |b| {
+        b.iter(|| black_box(table1::run(black_box(SEED), BOUND)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: Table II regeneration (single PE cell synthesis sweep).
+//! Prints the reproduced table once, then measures the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::table2;
+use tempus_hwmodel::SynthModel;
+
+fn bench(c: &mut Criterion) {
+    let hw = SynthModel::nangate45();
+    let rows = table2::run(&hw);
+    println!("\n{}", table2::area_table(&rows).to_markdown());
+    println!("{}", table2::power_table(&rows).to_markdown());
+    c.bench_function("table2/pe_cell_sweep", |b| {
+        b.iter(|| black_box(table2::run(black_box(&hw))));
+    });
+    c.bench_function("table2/calibration_fit", |b| {
+        b.iter(|| black_box(SynthModel::nangate45()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench: Table III regeneration (place-and-route model) plus Fig. 6
+//! layout generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::{fig6, table3};
+use tempus_hwmodel::PnrModel;
+
+fn bench(c: &mut Criterion) {
+    let pnr = PnrModel::default();
+    println!("\n{}", table3::to_table(&table3::run(&pnr)).to_markdown());
+    c.bench_function("table3/pnr", |b| {
+        b.iter(|| black_box(table3::run(black_box(&pnr))));
+    });
+    c.bench_function("fig6/layouts", |b| {
+        b.iter(|| black_box(fig6::run(black_box(&pnr))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

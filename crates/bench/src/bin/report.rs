@@ -1,0 +1,235 @@
+//! Regenerates every table and figure of the Tempus Core paper.
+//!
+//! ```text
+//! cargo run --release -p tempus-bench --bin report            # everything
+//! cargo run --release -p tempus-bench --bin report -- table2  # one experiment
+//! cargo run --release -p tempus-bench --bin report -- --quick # bounded model generation
+//! ```
+//!
+//! Output goes to stdout and to `results/` (markdown, CSV and SVG).
+
+use std::path::PathBuf;
+
+use tempus_bench::experiments::{
+    ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, table1, table2, table3,
+    timing,
+};
+use tempus_bench::{write_result, SEED};
+use tempus_hwmodel::{PnrModel, SynthModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = selected.is_empty();
+    let wants = |name: &str| run_all || selected.contains(&name);
+    // Full runs generate ~180M synthetic weights; --quick bounds each
+    // model for smoke-testing the harness.
+    let max_weights = if quick { 2_000_000 } else { usize::MAX };
+
+    let results = PathBuf::from("results");
+    let hw = SynthModel::nangate45();
+    let pnr = PnrModel::new(hw.clone());
+
+    println!("== Tempus Core paper reproduction report ==");
+    println!("(calibration provenance follows; see DESIGN.md for the fitting pipeline)\n");
+    println!("{}", hw.calibration().provenance());
+
+    if wants("fig1") {
+        let t = fig1::to_table();
+        println!("--- Fig. 1 (background, reprinted from ref. [8]) ---");
+        println!("{}", t.to_markdown());
+        write_result(&results, "fig1.md", &t.to_markdown()).expect("write fig1");
+    }
+
+    if wants("table1") {
+        println!("--- Table I: word sparsity of INT8 CNNs ---");
+        let rows = table1::run(SEED, max_weights);
+        let t = table1::to_table(&rows);
+        println!("{}", t.to_markdown());
+        write_result(&results, "table1.md", &t.to_markdown()).expect("write table1");
+        write_result(&results, "table1.csv", &t.to_csv()).expect("write table1 csv");
+    }
+
+    if wants("table2") {
+        println!("--- Table II: single PE cell post-synthesis ---");
+        let rows = table2::run(&hw);
+        let area = table2::area_table(&rows);
+        let power = table2::power_table(&rows);
+        println!("{}", area.to_markdown());
+        println!("{}", power.to_markdown());
+        write_result(
+            &results,
+            "table2.md",
+            &format!("{}\n{}", area.to_markdown(), power.to_markdown()),
+        )
+        .expect("write table2");
+    }
+
+    if wants("fig4") {
+        println!("--- Fig. 4: 16x16 PE array post-synthesis ---");
+        let rows = fig4::run(&hw);
+        println!("{}", fig4::to_table(&rows).to_markdown());
+        println!("{}", fig4::to_charts(&rows));
+        write_result(&results, "fig4.md", &fig4::to_table(&rows).to_markdown())
+            .expect("write fig4");
+    }
+
+    if wants("fig5") {
+        println!("--- Fig. 5: CMAC vs PCU units across widths/precisions ---");
+        let rows = fig5::run(&hw);
+        println!("{}", fig5::to_table(&rows).to_markdown());
+        write_result(&results, "fig5.md", &fig5::to_table(&rows).to_markdown())
+            .expect("write fig5");
+        write_result(&results, "fig5.csv", &fig5::to_table(&rows).to_csv())
+            .expect("write fig5 csv");
+    }
+
+    if wants("table3") {
+        println!("--- Table III: post-place-and-route, INT4 16x4 ---");
+        let rows = table3::run(&pnr);
+        println!("{}", table3::to_table(&rows).to_markdown());
+        write_result(
+            &results,
+            "table3.md",
+            &table3::to_table(&rows).to_markdown(),
+        )
+        .expect("write table3");
+    }
+
+    if wants("fig6") {
+        println!("--- Fig. 6: layout plots (SVGs in results/) ---");
+        let fig = fig6::run(&pnr);
+        println!("{}", fig.to_ascii());
+        write_result(&results, "fig6_cmac.svg", &fig.cmac.to_svg()).expect("write cmac svg");
+        write_result(&results, "fig6_pcu.svg", &fig.pcu.to_svg()).expect("write pcu svg");
+    }
+
+    let fig7_profiles = if wants("fig7") || wants("energy") {
+        Some(fig7::run(SEED, max_weights))
+    } else {
+        None
+    };
+
+    if wants("fig7") {
+        let fig = fig7_profiles.as_ref().expect("computed above");
+        println!("--- Fig. 7: weight-magnitude profiling (16x16 max pool) ---");
+        println!("{}", fig7::summary_table(fig).to_markdown());
+        write_result(&results, "fig7.md", &fig7::summary_table(fig).to_markdown())
+            .expect("write fig7");
+        write_result(
+            &results,
+            "fig7_mobilenetv2.csv",
+            &fig7::histogram_csv(&fig.mobilenet),
+        )
+        .expect("write fig7 mnv2 csv");
+        write_result(
+            &results,
+            "fig7_resnext101.csv",
+            &fig7::histogram_csv(&fig.resnext),
+        )
+        .expect("write fig7 rnxt csv");
+    }
+
+    if wants("fig8") {
+        println!("--- Fig. 8: sparsity profiling (silent PEs per tile) ---");
+        let fig = fig8::run(SEED, max_weights);
+        println!("{}", fig8::summary_table(&fig).to_markdown());
+        write_result(
+            &results,
+            "fig8.md",
+            &fig8::summary_table(&fig).to_markdown(),
+        )
+        .expect("write fig8");
+        write_result(
+            &results,
+            "fig8_mobilenetv2.csv",
+            &fig8::histogram_csv(&fig.mobilenet),
+        )
+        .expect("write fig8 mnv2 csv");
+        write_result(
+            &results,
+            "fig8_resnext101.csv",
+            &fig8::histogram_csv(&fig.resnext),
+        )
+        .expect("write fig8 rnxt csv");
+    }
+
+    if wants("energy") {
+        println!("--- Section V-C: workload-dependent energy ---");
+        let fig = fig7_profiles.as_ref().expect("computed above");
+        let report = energy::run(&hw, fig);
+        println!("{}", energy::to_table(&report).to_markdown());
+        write_result(
+            &results,
+            "energy.md",
+            &energy::to_table(&report).to_markdown(),
+        )
+        .expect("write energy");
+    }
+
+    if wants("fig9") {
+        println!("--- Fig. 9: iso-area throughput improvements ---");
+        let fig = fig9::run(&hw);
+        println!("{}", fig9::to_table(&fig).to_markdown());
+        write_result(&results, "fig9.md", &fig9::to_table(&fig).to_markdown()).expect("write fig9");
+    }
+
+    if wants("headline") {
+        println!("--- Headline claims ---");
+        let h = headline::run(&hw);
+        println!("{}", headline::to_table(&h).to_markdown());
+        println!("--- Latency-adjusted iso-area throughput (beyond the paper) ---");
+        let lat = headline::latency_adjusted_table(&hw);
+        println!("{}", lat.to_markdown());
+        write_result(
+            &results,
+            "headline.md",
+            &format!(
+                "{}\n{}",
+                headline::to_table(&h).to_markdown(),
+                lat.to_markdown()
+            ),
+        )
+        .expect("write headline");
+    }
+
+    if wants("timing") {
+        println!("--- Timing closure at the fixed 4 ns clock (beyond the paper) ---");
+        let t = timing::to_table(&timing::run());
+        println!("{}", t.to_markdown());
+        write_result(&results, "timing.md", &t.to_markdown()).expect("write timing");
+    }
+
+    if wants("ablation") {
+        println!("--- Ablations (beyond the paper) ---");
+        let (plain, twos) = ablation::unary_encoding_ablation();
+        println!(
+            "2s-unary vs plain unary average window: {twos:.1} vs {plain:.1} cycles (2x shorter)\n"
+        );
+        println!(
+            "Cache-overhead sweep:\n{}",
+            ablation::cache_overhead_ablation().to_markdown()
+        );
+        println!(
+            "Weight-clipping sweep:\n{}",
+            ablation::clipping_ablation().to_markdown()
+        );
+        write_result(
+            &results,
+            "ablations.md",
+            &format!(
+                "2s-unary vs plain unary: {twos:.1} vs {plain:.1} cycles\n\n{}\n{}",
+                ablation::cache_overhead_ablation().to_markdown(),
+                ablation::clipping_ablation().to_markdown()
+            ),
+        )
+        .expect("write ablations");
+    }
+
+    println!("report complete; artifacts in results/");
+}

@@ -1,0 +1,122 @@
+//! Fig. 4: post-synthesis power and area of the 16×16 PE array,
+//! binary vs tub, INT4/INT8.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::{Family, SynthModel};
+use tempus_profile::table::{ascii_chart, Table};
+
+/// One Fig. 4 bar group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayRow {
+    /// Precision.
+    pub precision: IntPrecision,
+    /// Family.
+    pub family: Family,
+    /// Array area (mm²).
+    pub area_mm2: f64,
+    /// Array power (mW).
+    pub power_mw: f64,
+}
+
+/// Runs the 16×16 comparison.
+#[must_use]
+pub fn run(hw: &SynthModel) -> Vec<ArrayRow> {
+    let mut rows = Vec::new();
+    for precision in [IntPrecision::Int4, IntPrecision::Int8] {
+        for family in Family::BOTH {
+            let r = hw.pe_array(family, precision, 16, 16);
+            rows.push(ArrayRow {
+                precision,
+                family,
+                area_mm2: r.area_mm2,
+                power_mw: r.power_mw,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the Fig. 4 table.
+#[must_use]
+pub fn to_table(rows: &[ArrayRow]) -> Table {
+    let mut t = Table::new(["Precision", "Design", "Area (mm2)", "Power (mW)"]);
+    for r in rows {
+        t.push_row([
+            r.precision.to_string(),
+            r.family.to_string(),
+            format!("{:.4}", r.area_mm2),
+            format!("{:.3}", r.power_mw),
+        ]);
+    }
+    t
+}
+
+/// ASCII bar charts mirroring the two Fig. 4 panels.
+#[must_use]
+pub fn to_charts(rows: &[ArrayRow]) -> String {
+    let power: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (format!("{} {}", r.precision, r.family), r.power_mw))
+        .collect();
+    let area: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (format!("{} {}", r.precision, r.family), r.area_mm2))
+        .collect();
+    format!(
+        "{}\n{}",
+        ascii_chart("Fig.4 (left): total power, 16x16 array [mW]", &power, 40),
+        ascii_chart("Fig.4 (right): cell area, 16x16 array [mm2]", &area, 40)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_values_match_paper_statements() {
+        // §V-A: binary 0.09 mm² / 3.8 mW; tub 0.018 mm² / 1.42 mW.
+        let hw = SynthModel::nangate45();
+        let rows = run(&hw);
+        let find = |f: Family, p: IntPrecision| {
+            *rows
+                .iter()
+                .find(|r| r.family == f && r.precision == p)
+                .unwrap()
+        };
+        let b8 = find(Family::Binary, IntPrecision::Int8);
+        let t8 = find(Family::Tub, IntPrecision::Int8);
+        assert!((b8.area_mm2 - 0.09).abs() < 0.002);
+        assert!((b8.power_mw - 3.8).abs() < 0.05);
+        assert!((t8.area_mm2 - 0.018).abs() < 0.001);
+        assert!((t8.power_mw - 1.42).abs() < 0.03);
+    }
+
+    #[test]
+    fn int4_reductions_match_paper_statements() {
+        // §V-A: "for INT4, the reductions are 80% in area and 41% in
+        // power".
+        let hw = SynthModel::nangate45();
+        let rows = run(&hw);
+        let find = |f: Family| {
+            *rows
+                .iter()
+                .find(|r| r.family == f && r.precision == IntPrecision::Int4)
+                .unwrap()
+        };
+        let b = find(Family::Binary);
+        let t = find(Family::Tub);
+        let area_red = (1.0 - t.area_mm2 / b.area_mm2) * 100.0;
+        let power_red = (1.0 - t.power_mw / b.power_mw) * 100.0;
+        assert!((area_red - 80.0).abs() < 2.0, "area {area_red}");
+        assert!((power_red - 41.0).abs() < 3.0, "power {power_red}");
+    }
+
+    #[test]
+    fn charts_render() {
+        let hw = SynthModel::nangate45();
+        let charts = to_charts(&run(&hw));
+        assert!(charts.contains("Fig.4"));
+        assert!(charts.contains('#'));
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 5: post-synthesis area and power across entire CMAC and PCU
+//! units for array widths 16×n, n ∈ {4, 16, 32}, at INT8/INT4/INT2.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::{paper, Family, SynthModel};
+use tempus_profile::table::Table;
+
+/// One Fig. 5 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitRow {
+    /// Precision.
+    pub precision: IntPrecision,
+    /// Multipliers per cell (array width).
+    pub n: usize,
+    /// CMAC unit area (mm²).
+    pub cmac_area: f64,
+    /// PCU unit area (mm²).
+    pub pcu_area: f64,
+    /// CMAC unit power (mW).
+    pub cmac_power: f64,
+    /// PCU unit power (mW).
+    pub pcu_power: f64,
+}
+
+impl UnitRow {
+    /// Area reduction of the PCU vs the CMAC, %.
+    #[must_use]
+    pub fn area_reduction_pct(&self) -> f64 {
+        (1.0 - self.pcu_area / self.cmac_area) * 100.0
+    }
+
+    /// Power reduction of the PCU vs the CMAC, %.
+    #[must_use]
+    pub fn power_reduction_pct(&self) -> f64 {
+        (1.0 - self.pcu_power / self.cmac_power) * 100.0
+    }
+}
+
+/// Runs the full Fig. 5 sweep.
+#[must_use]
+pub fn run(hw: &SynthModel) -> Vec<UnitRow> {
+    let mut rows = Vec::new();
+    for precision in [IntPrecision::Int8, IntPrecision::Int4, IntPrecision::Int2] {
+        for n in paper::FIG5_WIDTHS {
+            let cmac = hw.unit(Family::Binary, precision, 16, n);
+            let pcu = hw.unit(Family::Tub, precision, 16, n);
+            rows.push(UnitRow {
+                precision,
+                n,
+                cmac_area: cmac.area_mm2,
+                pcu_area: pcu.area_mm2,
+                cmac_power: cmac.power_mw,
+                pcu_power: pcu.power_mw,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the Fig. 5 table.
+#[must_use]
+pub fn to_table(rows: &[UnitRow]) -> Table {
+    let mut t = Table::new([
+        "Precision",
+        "16xn",
+        "CMAC area (mm2)",
+        "PCU area (mm2)",
+        "Area red. (%)",
+        "CMAC power (mW)",
+        "PCU power (mW)",
+        "Power red. (%)",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.precision.to_string(),
+            format!("16x{}", r.n),
+            format!("{:.4}", r.cmac_area),
+            format!("{:.4}", r.pcu_area),
+            format!("{:.1}", r.area_reduction_pct()),
+            format!("{:.3}", r.cmac_power),
+            format!("{:.3}", r.pcu_power),
+            format!("{:.1}", r.power_reduction_pct()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_16x16_hits_headline_reductions() {
+        // §V-A: "The PCU improves area and power consumption by 59.3%
+        // and 15.3%" (red arrows on the INT8 series).
+        let hw = SynthModel::nangate45();
+        let rows = run(&hw);
+        let row = rows
+            .iter()
+            .find(|r| r.precision == IntPrecision::Int8 && r.n == 16)
+            .unwrap();
+        assert!(
+            (row.area_reduction_pct() - 59.3).abs() < 1.5,
+            "{}",
+            row.area_reduction_pct()
+        );
+        assert!(
+            (row.power_reduction_pct() - 15.3).abs() < 1.5,
+            "{}",
+            row.power_reduction_pct()
+        );
+    }
+
+    #[test]
+    fn pcu_wins_area_across_the_sweep() {
+        let hw = SynthModel::nangate45();
+        for row in run(&hw) {
+            assert!(
+                row.area_reduction_pct() > 0.0,
+                "{} n={}: {}",
+                row.precision,
+                row.n,
+                row.area_reduction_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn areas_grow_with_width() {
+        let hw = SynthModel::nangate45();
+        let rows = run(&hw);
+        for precision in [IntPrecision::Int8, IntPrecision::Int4, IntPrecision::Int2] {
+            let series: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.precision == precision)
+                .map(|r| r.cmac_area)
+                .collect();
+            assert!(
+                series.windows(2).all(|w| w[1] > w[0]),
+                "{precision}: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_nine_rows() {
+        let hw = SynthModel::nangate45();
+        assert_eq!(to_table(&run(&hw)).len(), 9);
+    }
+}

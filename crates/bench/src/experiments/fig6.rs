@@ -1,0 +1,52 @@
+//! Fig. 6: layout plots for the INT4 16×4 CMAC and PCU units.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::layout::Layout;
+use tempus_hwmodel::{Family, PnrModel};
+
+/// Both layouts of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// CMAC layout (left panel).
+    pub cmac: Layout,
+    /// PCU layout (right panel).
+    pub pcu: Layout,
+}
+
+/// Generates both floorplans.
+#[must_use]
+pub fn run(pnr: &PnrModel) -> Fig6 {
+    Fig6 {
+        cmac: Layout::generate(pnr, Family::Binary, IntPrecision::Int4, 16, 4),
+        pcu: Layout::generate(pnr, Family::Tub, IntPrecision::Int4, 16, 4),
+    }
+}
+
+impl Fig6 {
+    /// Side-by-side ASCII rendering for the terminal report.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        format!(
+            "CMAC (left):\n{}\nPCU (right):\n{}",
+            self.cmac.to_ascii(48),
+            self.pcu.to_ascii(48)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_generate_and_render() {
+        let fig = run(&PnrModel::default());
+        let svg_cmac = fig.cmac.to_svg();
+        let svg_pcu = fig.pcu.to_svg();
+        assert!(svg_cmac.contains("<svg"));
+        assert!(svg_pcu.contains("<svg"));
+        // The visual point of Fig. 6: smaller die for the PCU.
+        assert!(fig.pcu.report.die_area_mm2 < fig.cmac.report.die_area_mm2);
+        assert!(fig.to_ascii().contains("CMAC"));
+    }
+}

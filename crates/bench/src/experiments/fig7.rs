@@ -1,0 +1,86 @@
+//! Fig. 7: weight-magnitude profiling of MobileNetV2 and ResNeXt101
+//! with 16×16 max pooling, plus the §V-C average latencies.
+
+use tempus_arith::IntPrecision;
+use tempus_models::zoo::Model;
+use tempus_models::QuantizedModel;
+use tempus_profile::magnitude::{profile_model, MagnitudeProfile};
+use tempus_profile::table::Table;
+
+/// Profiles for the two Fig. 7 panels.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// MobileNetV2 panel.
+    pub mobilenet: MagnitudeProfile,
+    /// ResNeXt101 panel.
+    pub resnext: MagnitudeProfile,
+}
+
+/// Runs the profiling. `max_weights` bounds generation for quick runs.
+#[must_use]
+pub fn run(seed: u64, max_weights: usize) -> Fig7 {
+    let mnv2 =
+        QuantizedModel::generate_limited(Model::MobileNetV2, IntPrecision::Int8, seed, max_weights);
+    let rnxt =
+        QuantizedModel::generate_limited(Model::ResNeXt101, IntPrecision::Int8, seed, max_weights);
+    Fig7 {
+        mobilenet: profile_model(&mnv2, 16, 16),
+        resnext: profile_model(&rnxt, 16, 16),
+    }
+}
+
+/// Summary table: average latency vs the paper's targets.
+#[must_use]
+pub fn summary_table(fig: &Fig7) -> Table {
+    let mut t = Table::new([
+        "Model",
+        "Tiles",
+        "Avg tile max",
+        "Avg latency (cycles)",
+        "Paper (cycles)",
+        "Worst case",
+    ]);
+    for (p, paper) in [(&fig.mobilenet, 33.0), (&fig.resnext, 31.0)] {
+        t.push_row([
+            p.model.clone(),
+            p.total_tiles.to_string(),
+            format!("{:.1}", p.average_max_magnitude()),
+            format!("{:.1}", p.average_latency_cycles()),
+            format!("{paper:.0}"),
+            "64".to_string(),
+        ]);
+    }
+    t
+}
+
+/// Histogram CSV for one panel (`magnitude,frequency`).
+#[must_use]
+pub fn histogram_csv(profile: &MagnitudeProfile) -> String {
+    let mut out = String::from("magnitude,frequency\n");
+    for (m, f) in profile.series() {
+        out.push_str(&format!("{m},{f}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_panels() {
+        let fig = run(3, 400_000);
+        assert!(fig.mobilenet.total_tiles > 0);
+        assert!(fig.resnext.total_tiles > 0);
+        let t = summary_table(&fig);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn histogram_csv_has_header_and_rows() {
+        let fig = run(3, 200_000);
+        let csv = histogram_csv(&fig.mobilenet);
+        assert!(csv.starts_with("magnitude,frequency\n"));
+        assert!(csv.lines().count() > 2);
+    }
+}

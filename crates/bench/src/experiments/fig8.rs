@@ -1,0 +1,84 @@
+//! Fig. 8: sparsity (silent PE) profiling of MobileNetV2 and
+//! ResNeXt101 with 16×16 tiles.
+
+use tempus_arith::IntPrecision;
+use tempus_models::zoo::Model;
+use tempus_models::QuantizedModel;
+use tempus_profile::sparsity::{profile_model, SilentPeProfile};
+use tempus_profile::table::Table;
+
+/// Profiles for the two Fig. 8 panels.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// MobileNetV2 panel.
+    pub mobilenet: SilentPeProfile,
+    /// ResNeXt101 panel.
+    pub resnext: SilentPeProfile,
+}
+
+/// Runs the profiling.
+#[must_use]
+pub fn run(seed: u64, max_weights: usize) -> Fig8 {
+    let mnv2 =
+        QuantizedModel::generate_limited(Model::MobileNetV2, IntPrecision::Int8, seed, max_weights);
+    let rnxt =
+        QuantizedModel::generate_limited(Model::ResNeXt101, IntPrecision::Int8, seed, max_weights);
+    Fig8 {
+        mobilenet: profile_model(&mnv2, 16, 16, false),
+        resnext: profile_model(&rnxt, 16, 16, false),
+    }
+}
+
+/// Summary table vs paper targets. Note: the paper quotes 2 silent PEs
+/// for ResNeXt101, which is internally inconsistent with its own
+/// Table I (2.64% × 256 lanes ≈ 6.8); we pin Table I and report the
+/// implied silent-PE count (see EXPERIMENTS.md).
+#[must_use]
+pub fn summary_table(fig: &Fig8) -> Table {
+    let mut t = Table::new([
+        "Model",
+        "Full tiles",
+        "Avg silent PEs",
+        "Avg active PEs",
+        "Paper silent",
+    ]);
+    for (p, paper) in [(&fig.mobilenet, 6.0), (&fig.resnext, 2.0)] {
+        t.push_row([
+            p.model.clone(),
+            p.total_tiles.to_string(),
+            format!("{:.1}", p.average_silent_pes()),
+            format!("{:.1}", p.average_active_pes()),
+            format!("{paper:.0}"),
+        ]);
+    }
+    t
+}
+
+/// Histogram CSV (`silent_pes,frequency`).
+#[must_use]
+pub fn histogram_csv(profile: &SilentPeProfile) -> String {
+    let mut out = String::from("silent_pes,frequency\n");
+    for (z, f) in profile.series() {
+        out.push_str(&format!("{z},{f}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_silent_pes_near_paper() {
+        let fig = run(4, 600_000);
+        let avg = fig.mobilenet.average_silent_pes();
+        assert!((avg - 6.0).abs() < 1.5, "avg {avg}");
+    }
+
+    #[test]
+    fn summary_renders() {
+        let fig = run(4, 200_000);
+        assert_eq!(summary_table(&fig).len(), 2);
+        assert!(histogram_csv(&fig.resnext).lines().count() > 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 9: iso-area throughput improvements for a single PE cell
+//! across multiplier counts, with the power-law projection to
+//! n = 65536.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::isoarea::IsoAreaAnalysis;
+use tempus_hwmodel::SynthModel;
+use tempus_profile::table::Table;
+
+/// The two Fig. 9 panels plus projections.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// INT8 analysis.
+    pub int8: IsoAreaAnalysis,
+    /// INT4 analysis.
+    pub int4: IsoAreaAnalysis,
+}
+
+/// Runs both panels.
+#[must_use]
+pub fn run(hw: &SynthModel) -> Fig9 {
+    Fig9 {
+        int8: IsoAreaAnalysis::run(hw, IntPrecision::Int8),
+        int4: IsoAreaAnalysis::run(hw, IntPrecision::Int4),
+    }
+}
+
+/// Renders the modeled points and the 65536 projection.
+#[must_use]
+pub fn to_table(fig: &Fig9) -> Table {
+    let mut t = Table::new([
+        "Precision",
+        "n",
+        "Binary (mm2)",
+        "tub (mm2)",
+        "Iso-area improvement",
+        "Kind",
+    ]);
+    for (precision, analysis, paper_proj) in [("INT8", &fig.int8, 26.0), ("INT4", &fig.int4, 18.0)]
+    {
+        for p in &analysis.points {
+            t.push_row([
+                precision.to_string(),
+                p.n.to_string(),
+                format!("{:.4}", p.binary_area_mm2),
+                format!("{:.4}", p.tub_area_mm2),
+                format!("{:.1}x", p.improvement),
+                "modeled".to_string(),
+            ]);
+        }
+        let proj = analysis.project(65536);
+        t.push_row([
+            precision.to_string(),
+            proj.n.to_string(),
+            format!("{:.3}", proj.binary_area_mm2),
+            format!("{:.3}", proj.tub_area_mm2),
+            format!("{:.1}x (paper: {paper_proj:.0}x)", proj.improvement),
+            "projected".to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_have_paper_magnitude() {
+        let hw = SynthModel::nangate45();
+        let fig = run(&hw);
+        let p8 = fig.int8.project(65536);
+        let p4 = fig.int4.project(65536);
+        // Paper: "as much as 26x and 18x"; power-law extrapolation of
+        // the same anchors lands in the same band.
+        assert!((15.0..45.0).contains(&p8.improvement), "{}", p8.improvement);
+        assert!((10.0..30.0).contains(&p4.improvement), "{}", p4.improvement);
+        assert!(p8.improvement > p4.improvement);
+    }
+
+    #[test]
+    fn table_has_eight_rows() {
+        let hw = SynthModel::nangate45();
+        assert_eq!(to_table(&run(&hw)).len(), 8);
+    }
+}

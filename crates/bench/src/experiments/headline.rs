@@ -1,0 +1,133 @@
+//! §I / §V-D headline: 16×16 iso-area throughput improvements (5× for
+//! INT8, 4× for INT4).
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::isoarea::array_iso_area_improvement;
+use tempus_hwmodel::SynthModel;
+use tempus_profile::table::Table;
+use tempus_profile::throughput;
+
+/// Headline numbers for the abstract's claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headline {
+    /// Iso-area throughput improvement at INT8 (16×16 array).
+    pub int8_iso_area: f64,
+    /// Iso-area throughput improvement at INT4.
+    pub int4_iso_area: f64,
+    /// Array-level area reduction % at INT8.
+    pub int8_area_reduction_pct: f64,
+    /// Array-level power reduction % at INT8.
+    pub int8_power_reduction_pct: f64,
+}
+
+/// Computes the headline numbers.
+#[must_use]
+pub fn run(hw: &SynthModel) -> Headline {
+    let (area_red, power_red) =
+        hw.improvement_pct(tempus_hwmodel::Level::Array, IntPrecision::Int8, 16, 16);
+    Headline {
+        int8_iso_area: array_iso_area_improvement(hw, IntPrecision::Int8),
+        int4_iso_area: array_iso_area_improvement(hw, IntPrecision::Int4),
+        int8_area_reduction_pct: area_red,
+        int8_power_reduction_pct: power_red,
+    }
+}
+
+/// Latency-adjusted iso-area throughput table (beyond the paper): net
+/// ops/s/mm² gain once the multi-cycle window is included, showing
+/// where "throughput transcends the latency increase" (§V-D) actually
+/// holds.
+#[must_use]
+pub fn latency_adjusted_table(hw: &SynthModel) -> Table {
+    let mut t = Table::new([
+        "Precision",
+        "Window (cycles)",
+        "Area ratio",
+        "Net iso-area gain",
+        "Break-even window",
+    ]);
+    let cases = [
+        (IntPrecision::Int8, 33.0, "profiled (MobileNetV2)"),
+        (IntPrecision::Int8, 64.0, "worst case"),
+        (IntPrecision::Int4, 4.0, "worst case"),
+        (IntPrecision::Int2, 1.0, "worst case"),
+    ];
+    for (precision, window, note) in cases {
+        let c = throughput::compare_16x16(hw, precision, window);
+        t.push_row([
+            format!("{precision} ({note})"),
+            format!("{window:.0}"),
+            format!("{:.1}x", c.area_ratio),
+            format!("{:.2}x", c.net_gain()),
+            format!("{:.0} cycles", c.break_even_window()),
+        ]);
+    }
+    t
+}
+
+/// Renders the headline claims against the paper's.
+#[must_use]
+pub fn to_table(h: &Headline) -> Table {
+    let mut t = Table::new(["Claim", "Measured", "Paper"]);
+    t.push_row([
+        "INT8 iso-area throughput (16x16)".to_string(),
+        format!("{:.1}x", h.int8_iso_area),
+        "5x".to_string(),
+    ]);
+    t.push_row([
+        "INT4 iso-area throughput (16x16)".to_string(),
+        format!("{:.1}x", h.int4_iso_area),
+        "4x".to_string(),
+    ]);
+    t.push_row([
+        "INT8 array area reduction".to_string(),
+        format!("{:.0}%", h.int8_area_reduction_pct),
+        "75% (text) / 80% (from its numbers)".to_string(),
+    ]);
+    t.push_row([
+        "INT8 array power reduction".to_string(),
+        format!("{:.0}%", h.int8_power_reduction_pct),
+        "62%".to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_claims_hold() {
+        let hw = SynthModel::nangate45();
+        let h = run(&hw);
+        assert!((h.int8_iso_area - 5.0).abs() < 0.5);
+        assert!((3.5..5.5).contains(&h.int4_iso_area));
+        assert!((h.int8_power_reduction_pct - 62.0).abs() < 3.0);
+        assert_eq!(to_table(&h).len(), 4);
+    }
+
+    #[test]
+    fn latency_adjusted_throughput_crossover() {
+        // tub loses net throughput at INT8 windows but wins at INT4
+        // and INT2 — the §V-D crossover, quantified.
+        let hw = SynthModel::nangate45();
+        let t = latency_adjusted_table(&hw);
+        assert_eq!(t.len(), 4);
+        let gains: Vec<f64> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| {
+                l.split(',')
+                    .nth(3)
+                    .unwrap()
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert!(gains[0] < 1.0, "INT8 profiled {:?}", gains);
+        assert!(gains[2] > 1.0, "INT4 worst case {:?}", gains);
+        assert!(gains[3] > gains[2], "INT2 beats INT4 {:?}", gains);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per experiment in DESIGN.md's index.
+
+pub mod ablation;
+pub mod energy;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod timing;

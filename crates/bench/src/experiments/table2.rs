@@ -1,0 +1,142 @@
+//! Table II: post-synthesis area and power of single PE cells (k = 1),
+//! binary vs tub, n ∈ {16, 256, 1024}, INT4/INT8.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::{paper, Family, SynthModel};
+use tempus_profile::table::Table;
+
+/// One Table II row (one precision × n configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// Precision.
+    pub precision: IntPrecision,
+    /// Multipliers per cell.
+    pub n: usize,
+    /// Binary cell area (mm²).
+    pub binary_area: f64,
+    /// tub cell area (mm²).
+    pub tub_area: f64,
+    /// Area improvement %.
+    pub area_improvement_pct: f64,
+    /// Binary cell power (mW).
+    pub binary_power: f64,
+    /// tub cell power (mW).
+    pub tub_power: f64,
+    /// Power improvement %.
+    pub power_improvement_pct: f64,
+    /// Paper's (area %, power %) improvements for comparison.
+    pub paper_improvement_pct: (f64, f64),
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(hw: &SynthModel) -> Vec<CellRow> {
+    let mut rows = Vec::new();
+    for precision in [IntPrecision::Int4, IntPrecision::Int8] {
+        for n in [16usize, 256, 1024] {
+            let b = hw.pe_cell(Family::Binary, precision, n);
+            let t = hw.pe_cell(Family::Tub, precision, n);
+            let paper_imp = paper::TABLE_II_IMPROVEMENT_PCT
+                .iter()
+                .find(|&&(p, pn, _, _)| p == precision && pn == n)
+                .map_or((f64::NAN, f64::NAN), |&(_, _, a, p)| (a, p));
+            rows.push(CellRow {
+                precision,
+                n,
+                binary_area: b.area_mm2,
+                tub_area: t.area_mm2,
+                area_improvement_pct: (1.0 - t.area_mm2 / b.area_mm2) * 100.0,
+                binary_power: b.power_mw,
+                tub_power: t.power_mw,
+                power_improvement_pct: (1.0 - t.power_mw / b.power_mw) * 100.0,
+                paper_improvement_pct: paper_imp,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the area half of Table II.
+#[must_use]
+pub fn area_table(rows: &[CellRow]) -> Table {
+    let mut t = Table::new([
+        "Precision",
+        "n",
+        "Binary PE cell (mm2)",
+        "tub PE cell (mm2)",
+        "Improvement (%)",
+        "Paper (%)",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.precision.to_string(),
+            r.n.to_string(),
+            format!("{:.4}", r.binary_area),
+            format!("{:.4}", r.tub_area),
+            format!("{:.2}", r.area_improvement_pct),
+            format!("{:.2}", r.paper_improvement_pct.0),
+        ]);
+    }
+    t
+}
+
+/// Renders the power half of Table II.
+#[must_use]
+pub fn power_table(rows: &[CellRow]) -> Table {
+    let mut t = Table::new([
+        "Precision",
+        "n",
+        "Binary PE cell (mW)",
+        "tub PE cell (mW)",
+        "Improvement (%)",
+        "Paper (%)",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.precision.to_string(),
+            r.n.to_string(),
+            format!("{:.3}", r.binary_power),
+            format!("{:.3}", r.tub_power),
+            format!("{:.2}", r.power_improvement_pct),
+            format!("{:.2}", r.paper_improvement_pct.1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvements_track_paper_within_tolerance() {
+        let hw = SynthModel::nangate45();
+        for row in run(&hw) {
+            let (pa, pp) = row.paper_improvement_pct;
+            assert!(
+                (row.area_improvement_pct - pa).abs() < 8.0,
+                "{} n={}: area {:.1} vs paper {:.1}",
+                row.precision,
+                row.n,
+                row.area_improvement_pct,
+                pa
+            );
+            assert!(
+                (row.power_improvement_pct - pp).abs() < 10.0,
+                "{} n={}: power {:.1} vs paper {:.1}",
+                row.precision,
+                row.n,
+                row.power_improvement_pct,
+                pp
+            );
+        }
+    }
+
+    #[test]
+    fn tables_have_six_rows() {
+        let hw = SynthModel::nangate45();
+        let rows = run(&hw);
+        assert_eq!(area_table(&rows).len(), 6);
+        assert_eq!(power_table(&rows).len(), 6);
+    }
+}

@@ -1,0 +1,97 @@
+//! Table III + Fig. 6 headline: post-place-and-route results for the
+//! INT4 16×4 CMAC and PCU units.
+
+use tempus_hwmodel::{paper, Family, PnrModel};
+use tempus_profile::table::Table;
+
+/// One Table III row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PnrRow {
+    /// Design name (CMAC Core / Tempus Core, as the paper labels them).
+    pub design: String,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+    /// Total power (mW).
+    pub power_mw: f64,
+    /// Paper's values for comparison.
+    pub paper: (f64, f64),
+}
+
+/// Runs the P&R comparison.
+#[must_use]
+pub fn run(pnr: &PnrModel) -> Vec<PnrRow> {
+    let labels = [(Family::Binary, "CMAC Core"), (Family::Tub, "Tempus Core")];
+    labels
+        .iter()
+        .map(|&(family, label)| {
+            let r = pnr.table_iii(family);
+            let anchor = paper::TABLE_III
+                .iter()
+                .find(|a| a.family == family)
+                .expect("anchor exists");
+            PnrRow {
+                design: label.to_string(),
+                area_mm2: r.die_area_mm2,
+                power_mw: r.total_power_mw,
+                paper: (anchor.area_mm2, anchor.power_mw),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Table III comparison.
+#[must_use]
+pub fn to_table(rows: &[PnrRow]) -> Table {
+    let mut t = Table::new([
+        "Design",
+        "Total area (mm2)",
+        "Total power (mW)",
+        "Paper area",
+        "Paper power",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.design.clone(),
+            format!("{:.4}", r.area_mm2),
+            format!("{:.4}", r.power_mw),
+            format!("{:.4}", r.paper.0),
+            format!("{:.4}", r.paper.1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_iii() {
+        let rows = run(&PnrModel::default());
+        for r in &rows {
+            assert!(
+                (r.area_mm2 - r.paper.0).abs() / r.paper.0 < 0.02,
+                "{}: area {:.4} vs {:.4}",
+                r.design,
+                r.area_mm2,
+                r.paper.0
+            );
+            assert!(
+                (r.power_mw - r.paper.1).abs() / r.paper.1 < 0.02,
+                "{}: power {:.3} vs {:.3}",
+                r.design,
+                r.power_mw,
+                r.paper.1
+            );
+        }
+    }
+
+    #[test]
+    fn headline_improvements_hold() {
+        let rows = run(&PnrModel::default());
+        let area_red = (1.0 - rows[1].area_mm2 / rows[0].area_mm2) * 100.0;
+        let power_red = (1.0 - rows[1].power_mw / rows[0].power_mw) * 100.0;
+        assert!((area_red - 53.0).abs() < 2.0);
+        assert!((power_red - 44.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Timing-closure report (beyond the paper): critical-path estimates
+//! against the fixed 4 ns clock (§IV) for every swept configuration.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::timing::{pe_cell_timing, StageDelays, TimingReport, CLOCK_PERIOD_NS};
+use tempus_hwmodel::Family;
+use tempus_profile::table::Table;
+
+/// Runs the timing sweep over the paper's precisions and widths.
+#[must_use]
+pub fn run() -> Vec<TimingReport> {
+    let delays = StageDelays::nangate45();
+    let mut reports = Vec::new();
+    for precision in IntPrecision::PAPER_SWEEP {
+        for n in [4usize, 16, 32] {
+            for family in Family::BOTH {
+                reports.push(pe_cell_timing(family, precision, n, delays));
+            }
+        }
+    }
+    reports
+}
+
+/// Renders the sweep with slack against the 250 MHz clock.
+#[must_use]
+pub fn to_table(reports: &[TimingReport]) -> Table {
+    let mut t = Table::new([
+        "Precision",
+        "n",
+        "Family",
+        "Critical path (ns)",
+        "Slack @ 4 ns",
+        "Fmax (MHz)",
+    ]);
+    for r in reports {
+        t.push_row([
+            r.precision.to_string(),
+            r.n.to_string(),
+            r.family.to_string(),
+            format!("{:.2}", r.critical_path_ns),
+            format!("{:+.2}", r.slack_ns),
+            format!("{:.0}", r.fmax_mhz),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_configurations_and_meets_timing() {
+        let reports = run();
+        assert_eq!(reports.len(), 3 * 3 * 2);
+        for r in &reports {
+            assert!(
+                r.slack_ns > 0.0,
+                "{} {} n={} misses 4 ns",
+                r.family,
+                r.precision,
+                r.n
+            );
+            assert!(r.critical_path_ns < CLOCK_PERIOD_NS);
+        }
+        assert_eq!(to_table(&reports).len(), 18);
+    }
+
+    #[test]
+    fn tub_path_advantage_grows_with_precision() {
+        // Where the multiplier front-end is substantial (INT8) the tub
+        // path is strictly shorter; at narrow precisions the tub
+        // accumulator CPA can outweigh the trivial multiplier, so the
+        // advantage shrinks or flips — timing is not where tub wins at
+        // INT2, area/power are.
+        let reports = run();
+        let gap = |precision: IntPrecision, n: usize| {
+            let b = reports
+                .iter()
+                .find(|r| r.family == Family::Binary && r.precision == precision && r.n == n)
+                .unwrap();
+            let t = reports
+                .iter()
+                .find(|r| r.family == Family::Tub && r.precision == precision && r.n == n)
+                .unwrap();
+            b.critical_path_ns - t.critical_path_ns
+        };
+        for n in [4usize, 16, 32] {
+            assert!(gap(IntPrecision::Int8, n) > 0.0, "INT8 n={n}");
+            assert!(
+                gap(IntPrecision::Int8, n) > gap(IntPrecision::Int2, n),
+                "gap must grow with precision at n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The modified convolution sequence controller (§III).
+//!
+//! Tempus Core keeps NVDLA's stripe decomposition but adds two things
+//! at the sequencing layer:
+//!
+//! 1. **Transposed feature feed** — the PCU consumes the feature sliver
+//!    as the *binary* operand while weights arrive temporally, using
+//!    `W × Fᵀ = accum(W ⊙ F)`; functionally the values are identical,
+//!    so the adapter re-emits the same slivers and tags them.
+//! 2. **Stripe latency scan** — at every weight load the modified CSC
+//!    scans the k×n weight array for its largest magnitude, which fixes
+//!    the multi-cycle window length (`ceil(max|w|/2)`), and counts the
+//!    silent PEs (zero weights) for gating statistics.
+
+use tempus_arith::IntPrecision;
+use tempus_nvdla::config::NvdlaConfig;
+use tempus_nvdla::conv::ConvParams;
+use tempus_nvdla::csc::{AtomicOp, CscCommand, CscSequencer, WeightLoad};
+use tempus_nvdla::cube::{DataCube, KernelSet};
+use tempus_nvdla::NvdlaError;
+
+/// Commands emitted by the modified CSC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TempusCommand {
+    /// Cache new weights; the scan results ride along.
+    LoadWeights {
+        /// The underlying weight load.
+        load: WeightLoad,
+        /// Window length for this stripe in compute cycles.
+        stripe_latency: u32,
+        /// Zero-weight (silent) PEs in this stripe's k×n array.
+        silent_pes: usize,
+    },
+    /// Stream one atomic operation (transposed feature feed).
+    Atomic(AtomicOp),
+}
+
+/// Iterator adapter over the baseline [`CscSequencer`].
+#[derive(Debug, Clone)]
+pub struct ModifiedCsc {
+    inner: CscSequencer,
+    precision: IntPrecision,
+}
+
+impl ModifiedCsc {
+    /// Creates the modified sequencer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the baseline sequencer.
+    pub fn new(
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &NvdlaConfig,
+    ) -> Result<Self, NvdlaError> {
+        Ok(ModifiedCsc {
+            inner: CscSequencer::new(features, kernels, params, config)?,
+            precision: config.precision,
+        })
+    }
+
+    /// Output dimensions `(out_w, out_h)`.
+    #[must_use]
+    pub fn output_dims(&self) -> (usize, usize) {
+        self.inner.output_dims()
+    }
+
+    /// Stripes the sequencer will emit.
+    #[must_use]
+    pub fn stripe_count(&self) -> u64 {
+        self.inner.stripe_count()
+    }
+
+    /// Atomic ops the sequencer will emit.
+    #[must_use]
+    pub fn atomic_op_count(&self) -> u64 {
+        self.inner.atomic_op_count()
+    }
+
+    /// Scans a weight array for its window length under 2s-unary
+    /// encoding: `ceil(max|w| / 2)`.
+    #[must_use]
+    pub fn scan_latency(cell_weights: &[Vec<i32>]) -> u32 {
+        cell_weights
+            .iter()
+            .flat_map(|sliver| sliver.iter())
+            .map(|w| w.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+            .div_ceil(2)
+    }
+
+    /// Counts zero weights (silent PEs) in a weight array.
+    #[must_use]
+    pub fn scan_silent(cell_weights: &[Vec<i32>]) -> usize {
+        cell_weights
+            .iter()
+            .flat_map(|sliver| sliver.iter())
+            .filter(|&&w| w == 0)
+            .count()
+    }
+
+    /// Worst-case window length at this sequencer's precision.
+    #[must_use]
+    pub fn worst_case_latency(&self) -> u32 {
+        self.precision.worst_case_tub_cycles()
+    }
+}
+
+impl Iterator for ModifiedCsc {
+    type Item = TempusCommand;
+
+    fn next(&mut self) -> Option<TempusCommand> {
+        match self.inner.next()? {
+            CscCommand::LoadWeights(load) => {
+                let stripe_latency = Self::scan_latency(&load.cell_weights);
+                let silent_pes = Self::scan_silent(&load.cell_weights);
+                Some(TempusCommand::LoadWeights {
+                    load,
+                    stripe_latency,
+                    silent_pes,
+                })
+            }
+            CscCommand::Atomic(op) => Some(TempusCommand::Atomic(op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_latency_matches_2s_unary() {
+        assert_eq!(ModifiedCsc::scan_latency(&[vec![0, 0]]), 0);
+        assert_eq!(ModifiedCsc::scan_latency(&[vec![1]]), 1);
+        assert_eq!(ModifiedCsc::scan_latency(&[vec![-128, 3]]), 64);
+        assert_eq!(ModifiedCsc::scan_latency(&[vec![5], vec![-9]]), 5);
+    }
+
+    #[test]
+    fn scan_silent_counts_zeros() {
+        assert_eq!(ModifiedCsc::scan_silent(&[vec![0, 1], vec![0, 0]]), 3);
+    }
+
+    #[test]
+    fn loads_carry_scan_results() {
+        let f = DataCube::from_fn(4, 4, 4, |x, y, c| (x + y + c) as i32 % 3);
+        let mut k = KernelSet::zeros(2, 1, 1, 4);
+        k.set(0, 0, 0, 0, -10);
+        k.set(1, 0, 0, 2, 7);
+        let cfg = NvdlaConfig::nv_small().with_array(2, 4);
+        let mut seq = ModifiedCsc::new(&f, &k, &ConvParams::valid(), &cfg).unwrap();
+        match seq.next().unwrap() {
+            TempusCommand::LoadWeights {
+                stripe_latency,
+                silent_pes,
+                ..
+            } => {
+                assert_eq!(stripe_latency, 5); // ceil(10/2)
+                assert_eq!(silent_pes, 6); // 8 lanes, 2 nonzero
+            }
+            other => panic!("expected weight load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_stream_matches_baseline_counts() {
+        let f = DataCube::from_fn(5, 5, 8, |x, y, c| ((x + y + c) % 5) as i32);
+        let k = KernelSet::from_fn(8, 3, 3, 8, |a, b, c, d| ((a + b + c + d) % 3) as i32);
+        let cfg = NvdlaConfig::nv_small();
+        let seq = ModifiedCsc::new(&f, &k, &ConvParams::valid(), &cfg).unwrap();
+        let expected_loads = seq.stripe_count();
+        let expected_ops = seq.atomic_op_count();
+        let (mut loads, mut ops) = (0u64, 0u64);
+        for cmd in seq {
+            match cmd {
+                TempusCommand::LoadWeights { .. } => loads += 1,
+                TempusCommand::Atomic(_) => ops += 1,
+            }
+        }
+        assert_eq!(loads, expected_loads);
+        assert_eq!(ops, expected_ops);
+    }
+}

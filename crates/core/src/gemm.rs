@@ -1,0 +1,343 @@
+//! tubGEMM: the outer-product GEMM engine Tempus Core descends from
+//! (§II-B).
+//!
+//! The paper positions Tempus Core against its predecessors: "Unlike
+//! previous temporal GEMM designs \[9\]\[10\] that follow an outer-product
+//! GEMM dataflow, Tempus Core serves as a convolution engine supporting
+//! inner-product convolution dataflow." This module implements that
+//! predecessor so the dataflow comparison is runnable: an M×P PE grid
+//! computing `O = A × B` as N rank-1 updates, where the `A` column is
+//! the binary operand and the `B` row streams temporally (2s-unary, as
+//! tubGEMM upgraded over tuGEMM's plain unary).
+//!
+//! Latency per outer step is bounded by the largest `B`-row magnitude
+//! in the active tile; totals accumulate over the N steps and over
+//! grid tiles when the matrices exceed the PE grid.
+
+use std::fmt;
+
+use tempus_arith::{ArithError, IntPrecision, TwosUnaryStream};
+
+/// A dense row-major integer matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i32) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = f(r, c);
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    /// Rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> i32 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, v: i32) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Golden exact product `self × rhs` in `i64`-safe arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::LengthMismatch`] when inner dimensions
+    /// disagree.
+    pub fn multiply(&self, rhs: &Matrix) -> Result<Matrix, ArithError> {
+        if self.cols != rhs.rows {
+            return Err(ArithError::LengthMismatch {
+                lhs: self.cols,
+                rhs: rhs.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc = 0i64;
+                for t in 0..self.cols {
+                    acc += i64::from(self.get(i, t)) * i64::from(rhs.get(t, j));
+                }
+                out.set(i, j, i32::try_from(acc).expect("gemm output exceeds i32"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix {}x{}", self.rows, self.cols)
+    }
+}
+
+/// Execution statistics of a tubGEMM run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GemmStats {
+    /// Total compute cycles.
+    pub cycles: u64,
+    /// Outer-product steps executed (N per tile pass).
+    pub steps: u64,
+    /// Grid tile passes.
+    pub tile_passes: u64,
+    /// Silent PE-steps (zero B values skipping whole windows).
+    pub silent_pe_steps: u64,
+}
+
+/// Result of a tubGEMM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmRun {
+    /// Exact product.
+    pub output: Matrix,
+    /// Cycle statistics.
+    pub stats: GemmStats,
+}
+
+/// The outer-product tubGEMM engine: a `grid_m`×`grid_p` PE grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TubGemm {
+    grid_m: usize,
+    grid_p: usize,
+    precision: IntPrecision,
+}
+
+impl TubGemm {
+    /// Creates an engine with a `grid_m`×`grid_p` PE grid at
+    /// `precision`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero.
+    #[must_use]
+    pub fn new(grid_m: usize, grid_p: usize, precision: IntPrecision) -> Self {
+        assert!(grid_m > 0 && grid_p > 0, "grid dimensions must be nonzero");
+        TubGemm {
+            grid_m,
+            grid_p,
+            precision,
+        }
+    }
+
+    /// PE grid height (rows of `A` served in parallel).
+    #[must_use]
+    pub fn grid_m(&self) -> usize {
+        self.grid_m
+    }
+
+    /// PE grid width (columns of `B` served in parallel).
+    #[must_use]
+    pub fn grid_p(&self) -> usize {
+        self.grid_p
+    }
+
+    /// Computes `A × B` with outer-product temporal dataflow,
+    /// returning the exact product and the cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::LengthMismatch`] on inner-dimension
+    /// mismatch or [`ArithError::OutOfRange`] on out-of-precision
+    /// operands.
+    pub fn multiply(&self, a: &Matrix, b: &Matrix) -> Result<GemmRun, ArithError> {
+        if a.cols != b.rows {
+            return Err(ArithError::LengthMismatch {
+                lhs: a.cols,
+                rhs: b.rows,
+            });
+        }
+        for &v in &a.data {
+            self.precision.check(v)?;
+        }
+        for &v in &b.data {
+            self.precision.check(v)?;
+        }
+        let mut acc = vec![0i64; a.rows * b.cols];
+        let mut stats = GemmStats::default();
+        // Tile the output grid over the PE array.
+        for m0 in (0..a.rows).step_by(self.grid_m) {
+            for p0 in (0..b.cols).step_by(self.grid_p) {
+                stats.tile_passes += 1;
+                let m1 = (m0 + self.grid_m).min(a.rows);
+                let p1 = (p0 + self.grid_p).min(b.cols);
+                // N rank-1 updates; each step's window is bounded by
+                // the largest streamed |B| value in the active columns.
+                for t in 0..a.cols {
+                    stats.steps += 1;
+                    let streams: Vec<TwosUnaryStream> = (p0..p1)
+                        .map(|j| TwosUnaryStream::encode(b.get(t, j), self.precision))
+                        .collect::<Result<_, _>>()?;
+                    let window = streams.iter().map(|s| s.cycles()).max().unwrap_or(0);
+                    stats.cycles += u64::from(window.max(1));
+                    for (j, stream) in streams.iter().enumerate() {
+                        if stream.is_silent() {
+                            stats.silent_pe_steps += (m1 - m0) as u64;
+                            continue;
+                        }
+                        // Fold the stream into every active row.
+                        for i in m0..m1 {
+                            let product =
+                                i64::from(tempus_arith::tub::fold_stream(a.get(i, t), *stream));
+                            acc[i * b.cols + (p0 + j)] += product;
+                        }
+                    }
+                }
+            }
+        }
+        let mut output = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                output.set(
+                    i,
+                    j,
+                    i32::try_from(acc[i * b.cols + j]).expect("gemm output exceeds i32"),
+                );
+            }
+        }
+        Ok(GemmRun { output, stats })
+    }
+
+    /// Worst-case cycles for an inner dimension of `n`: every step at
+    /// the full window, `n × 2^(w-2)` (our 2s-unary realisation of the
+    /// tubGEMM bound; tuGEMM's plain unary doubles it).
+    #[must_use]
+    pub fn worst_case_cycles(&self, n: usize) -> u64 {
+        n as u64 * u64::from(self.precision.worst_case_tub_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(m: usize, n: usize, p: usize, seed: i32) -> (Matrix, Matrix) {
+        let a = Matrix::from_fn(m, n, |i, j| {
+            ((i as i32 * 31 + j as i32 * 17 + seed) % 255) - 127
+        });
+        let b = Matrix::from_fn(n, p, |i, j| {
+            ((i as i32 * 13 + j as i32 * 41 + seed * 3) % 255) - 127
+        });
+        (a, b)
+    }
+
+    #[test]
+    fn matches_golden_product_exactly() {
+        let (a, b) = case(7, 9, 5, 1);
+        let engine = TubGemm::new(4, 4, IntPrecision::Int8);
+        let run = engine.multiply(&a, &b).unwrap();
+        assert_eq!(run.output, a.multiply(&b).unwrap());
+    }
+
+    #[test]
+    fn tiling_is_transparent() {
+        let (a, b) = case(10, 6, 11, 2);
+        let small = TubGemm::new(3, 4, IntPrecision::Int8);
+        let large = TubGemm::new(16, 16, IntPrecision::Int8);
+        let r1 = small.multiply(&a, &b).unwrap();
+        let r2 = large.multiply(&a, &b).unwrap();
+        assert_eq!(r1.output, r2.output);
+        assert!(r1.stats.tile_passes > r2.stats.tile_passes);
+    }
+
+    #[test]
+    fn cycles_bounded_by_worst_case() {
+        let (a, b) = case(8, 16, 8, 3);
+        let engine = TubGemm::new(8, 8, IntPrecision::Int8);
+        let run = engine.multiply(&a, &b).unwrap();
+        assert!(run.stats.cycles <= engine.worst_case_cycles(16));
+        assert!(run.stats.cycles >= 16, "at least one cycle per step");
+    }
+
+    #[test]
+    fn zero_b_rows_take_minimum_window() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as i32);
+        let b = Matrix::zeros(3, 4);
+        let engine = TubGemm::new(4, 4, IntPrecision::Int8);
+        let run = engine.multiply(&a, &b).unwrap();
+        assert_eq!(run.stats.cycles, 3); // 3 steps x min window 1
+        assert_eq!(run.stats.silent_pe_steps, 3 * 4 * 4); // 3 steps x 4 cols x 4 rows, all silent
+        assert!(run.output.data.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let engine = TubGemm::new(4, 4, IntPrecision::Int8);
+        assert!(matches!(
+            engine.multiply(&a, &b),
+            Err(ArithError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn int4_extremes() {
+        let p = IntPrecision::Int4;
+        let a = Matrix::from_fn(3, 3, |_, _| p.min_value());
+        let b = Matrix::from_fn(3, 3, |_, _| p.min_value());
+        let engine = TubGemm::new(2, 2, p);
+        let run = engine.multiply(&a, &b).unwrap();
+        assert_eq!(run.output.get(0, 0), 64 * 3);
+        // Every step at the worst window (4 cycles), 4 tile passes
+        // (ceil(3/2)^2) x 3 steps each.
+        assert_eq!(run.stats.cycles, 4 * 3 * 4);
+    }
+
+    #[test]
+    fn precision_violation_rejected() {
+        let a = Matrix::from_fn(1, 1, |_, _| 8);
+        let b = Matrix::zeros(1, 1);
+        assert!(TubGemm::new(1, 1, IntPrecision::Int4)
+            .multiply(&a, &b)
+            .is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Closed-form latency model for Tempus Core.
+//!
+//! The cycle-accurate simulation is authoritative; this model predicts
+//! its cycle counts analytically so large design-space sweeps (and the
+//! paper's §V-C workload analysis) don't need full simulation. Tests
+//! pin the model to the simulator exactly.
+
+use tempus_nvdla::config::NvdlaConfig;
+use tempus_nvdla::conv::ConvParams;
+use tempus_nvdla::cube::{DataCube, KernelSet};
+use tempus_nvdla::NvdlaError;
+
+use crate::csc_mod::{ModifiedCsc, TempusCommand};
+use crate::TempusConfig;
+
+/// Predicted latency decomposition for one convolution on Tempus Core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Weight-load (stripe swap) cycles.
+    pub weight_load_cycles: u64,
+    /// Compute-window cycles across all atomic ops.
+    pub window_cycles: u64,
+    /// Cache-in/out overhead cycles across all atomic ops.
+    pub overhead_cycles: u64,
+    /// Total predicted cycles.
+    pub total_cycles: u64,
+    /// Average window length per atomic op.
+    pub avg_window: f64,
+    /// Equivalent binary-core cycles for the same convolution
+    /// (1 op/cycle + stripe swaps + pipeline drain).
+    pub binary_cycles: u64,
+    /// Latency ratio tub / binary.
+    pub slowdown: f64,
+}
+
+/// Predicts the Tempus Core cycle count for one convolution by running
+/// the sequencer's latency scan without simulating the datapath.
+///
+/// # Errors
+///
+/// Propagates shape errors from the sequencer.
+pub fn predict(
+    features: &DataCube,
+    kernels: &KernelSet,
+    params: &ConvParams,
+    config: &TempusConfig,
+) -> Result<LatencyBreakdown, NvdlaError> {
+    let seq = ModifiedCsc::new(features, kernels, params, &config.base)?;
+    let ops_per_stripe = {
+        let (w, h) = seq.output_dims();
+        (w * h) as u64
+    };
+    let overhead_per_op = u64::from(config.cache_in_cycles + config.cache_out_cycles);
+    let mut weight_load_cycles = 0u64;
+    let mut window_cycles = 0u64;
+    let mut overhead_cycles = 0u64;
+    let mut ops = 0u64;
+    for cmd in seq {
+        if let TempusCommand::LoadWeights { stripe_latency, .. } = cmd {
+            weight_load_cycles += 1;
+            window_cycles += u64::from(stripe_latency.max(1)) * ops_per_stripe;
+            overhead_cycles += overhead_per_op * ops_per_stripe;
+            ops += ops_per_stripe;
+        }
+    }
+    let total_cycles = weight_load_cycles + window_cycles + overhead_cycles;
+    let binary_cycles = weight_load_cycles + ops + u64::from(binary_pipeline_depth(&config.base));
+    Ok(LatencyBreakdown {
+        weight_load_cycles,
+        window_cycles,
+        overhead_cycles,
+        total_cycles,
+        avg_window: if ops == 0 {
+            0.0
+        } else {
+            window_cycles as f64 / ops as f64
+        },
+        binary_cycles,
+        slowdown: if binary_cycles == 0 {
+            0.0
+        } else {
+            total_cycles as f64 / binary_cycles as f64
+        },
+    })
+}
+
+fn binary_pipeline_depth(base: &NvdlaConfig) -> u32 {
+    base.cmac_pipeline_depth
+}
+
+/// Worst-case cycles per atomic op at a precision, including cache
+/// overheads — the bound the paper quotes (64 compute cycles for INT8,
+/// 4 for INT4, §V-C).
+#[must_use]
+pub fn worst_case_cycles_per_op(config: &TempusConfig) -> u64 {
+    u64::from(
+        config.base.precision.worst_case_tub_cycles()
+            + config.cache_in_cycles
+            + config.cache_out_cycles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::IntPrecision;
+    use tempus_nvdla::pipeline::ConvCore;
+
+    use crate::TempusCore;
+
+    fn case() -> (DataCube, KernelSet, ConvParams) {
+        let f = DataCube::from_fn(6, 6, 8, |x, y, c| {
+            ((x * 3 + y * 7 + c * 5) % 200) as i32 - 100
+        });
+        let k = KernelSet::from_fn(8, 3, 3, 8, |a, b, c, d| {
+            ((a * 29 + b * 3 + c * 13 + d * 7) % 255) as i32 - 127
+        });
+        (f, k, ConvParams::valid())
+    }
+
+    #[test]
+    fn prediction_matches_simulation_exactly() {
+        let (f, k, params) = case();
+        let config = TempusConfig::nv_small();
+        let predicted = predict(&f, &k, &params, &config).unwrap();
+        let mut core = TempusCore::new(config);
+        let run = core.convolve(&f, &k, &params).unwrap();
+        assert_eq!(predicted.total_cycles, run.stats.cycles);
+    }
+
+    #[test]
+    fn prediction_matches_simulation_with_overhead_variants() {
+        let (f, k, params) = case();
+        for (ci, co) in [(0, 0), (1, 1), (2, 3)] {
+            let config = TempusConfig::nv_small().with_cache_overheads(ci, co);
+            let predicted = predict(&f, &k, &params, &config).unwrap();
+            let mut core = TempusCore::new(config);
+            let run = core.convolve(&f, &k, &params).unwrap();
+            assert_eq!(
+                predicted.total_cycles, run.stats.cycles,
+                "cache overheads ({ci},{co})"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_bound_holds() {
+        let (f, k, params) = case();
+        let config = TempusConfig::nv_small();
+        let predicted = predict(&f, &k, &params, &config).unwrap();
+        let bound = worst_case_cycles_per_op(&config) as f64;
+        assert!(predicted.avg_window <= bound);
+        assert!(
+            predicted.total_cycles
+                <= predicted.weight_load_cycles
+                    + predicted.window_cycles
+                    + predicted.overhead_cycles
+        );
+    }
+
+    #[test]
+    fn worst_case_per_precision() {
+        let c8 = TempusConfig::nv_small().with_cache_overheads(0, 0);
+        assert_eq!(worst_case_cycles_per_op(&c8), 64);
+        let c4 = c8.with_precision(IntPrecision::Int4);
+        assert_eq!(worst_case_cycles_per_op(&c4), 4);
+    }
+
+    #[test]
+    fn slowdown_is_reported() {
+        let (f, k, params) = case();
+        let predicted = predict(&f, &k, &params, &TempusConfig::nv_small()).unwrap();
+        assert!(predicted.slowdown > 1.0);
+        assert!(predicted.binary_cycles > 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! **Tempus Core**: the temporal-unary-binary (tub) convolution engine
+//! of the paper, implemented as a drop-in replacement for NVDLA's
+//! convolution core.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`tub_pe`] — the cycle-accurate tub multiplier and PE cell: per
+//!   pulse cycle each multiplier steers `0 / ±a / ±2a` into the cell's
+//!   adder tree and the accumulator integrates it (§II-B, Fig. 2);
+//! * [`pcu`] — the PE cell unit: a k×n tub array with multi-cycle
+//!   valid/ready handshaking, partial-sum skid buffering and silent-PE
+//!   clock gating (§III);
+//! * [`csc_mod`] — the modified convolution sequence controller that
+//!   feeds transposed feature data and scans each stripe's weights for
+//!   the array latency (`ceil(max|w| / 2)` under 2s-unary encoding);
+//! * [`TempusCore`] — the full engine implementing the same
+//!   [`tempus_nvdla::ConvCore`] contract as the binary baseline, so the
+//!   two swap freely behind NVDLA's dataflow (§III: "adheres to the
+//!   original dataflow in NVDLA and can directly replace its
+//!   convolution core");
+//! * [`latency`] — the closed-form latency model, validated against
+//!   the cycle-accurate simulation by tests;
+//! * [`gemm`] — the predecessor tubGEMM outer-product engine (§II-B),
+//!   implemented so the paper's dataflow comparison (outer-product
+//!   GEMM vs inner-product convolution) is runnable.
+//!
+//! Functional equality with binary arithmetic is *exact* — tub
+//! computing is deterministic, unlike stochastic unary designs — and is
+//! enforced across the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use tempus_core::{TempusConfig, TempusCore};
+//! use tempus_nvdla::config::NvdlaConfig;
+//! use tempus_nvdla::conv::{direct_conv, ConvParams};
+//! use tempus_nvdla::cube::{DataCube, KernelSet};
+//! use tempus_nvdla::pipeline::{ConvCore, NvdlaConvCore};
+//!
+//! # fn main() -> Result<(), tempus_nvdla::NvdlaError> {
+//! let features = DataCube::from_fn(6, 6, 8, |x, y, c| ((x * 3 + y * 5 + c) % 17) as i32 - 8);
+//! let kernels = KernelSet::from_fn(4, 3, 3, 8, |k, r, s, c| ((k + r * s + c) % 9) as i32 - 4);
+//! let params = ConvParams::unit_stride_same(3);
+//!
+//! let mut tempus = TempusCore::new(TempusConfig::paper_16x16());
+//! let mut nvdla = NvdlaConvCore::new(NvdlaConfig::paper_16x16());
+//!
+//! let t = tempus.convolve(&features, &kernels, &params)?;
+//! let b = nvdla.convolve(&features, &kernels, &params)?;
+//! assert_eq!(t.output, b.output);                // bit-exact
+//! assert_eq!(t.output, direct_conv(&features, &kernels, &params)?);
+//! assert!(t.stats.cycles > b.stats.cycles);      // latency trade-off
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_impl;
+pub mod csc_mod;
+pub mod gemm;
+pub mod latency;
+pub mod pcu;
+pub mod tub_pe;
+
+pub use core_impl::{TempusConfig, TempusCore};

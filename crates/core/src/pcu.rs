@@ -1,0 +1,405 @@
+//! The PE cell unit (PCU): Tempus Core's replacement for NVDLA's CMAC.
+//!
+//! The PCU holds `k` tub PE cells. Each atomic operation occupies the
+//! array for the stripe's window (`ceil(max|w|/2)` cycles) plus a small
+//! cache-in/out overhead; partial sums are captured in output registers
+//! and "only forwarded to the CACC once all partial sums have been
+//! generated across the cells" (§III). A valid/ready skid buffer lets
+//! the CACC handoff overlap the next window.
+
+use tempus_arith::{ArithError, IntPrecision};
+use tempus_nvdla::cmac::PsumBundle;
+use tempus_nvdla::csc::AtomicOp;
+use tempus_sim::{ActivityCounter, Fifo};
+
+use crate::tub_pe::TubPeCell;
+
+/// PCU execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PcuState {
+    /// No window in flight.
+    Idle,
+    /// Caching operands into the cells (cache-in).
+    CacheIn { remaining: u32 },
+    /// Running a multi-cycle window; `remaining` compute cycles left.
+    Compute { remaining: u32 },
+    /// Forwarding partial sums to the output buffer (cache-out).
+    CacheOut { remaining: u32 },
+}
+
+/// The cycle-accurate PCU.
+#[derive(Debug, Clone)]
+pub struct Pcu {
+    k: usize,
+    n: usize,
+    precision: IntPrecision,
+    cells: Vec<TubPeCell>,
+    stripe_latency: u32,
+    cache_in_cycles: u32,
+    cache_out_cycles: u32,
+    state: PcuState,
+    current: Option<(usize, usize)>,
+    output: Fifo<PsumBundle>,
+    cycles: u64,
+    ops_accepted: u64,
+    windows_completed: u64,
+    array_activity: ActivityCounter,
+}
+
+impl Pcu {
+    /// Creates a PCU of `k` cells × `n` multipliers with the given
+    /// cache-in/out overheads (the paper's "few extra cycles for
+    /// caching in and out the values", §IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `n` is zero.
+    #[must_use]
+    pub fn new(
+        k: usize,
+        n: usize,
+        precision: IntPrecision,
+        cache_in_cycles: u32,
+        cache_out_cycles: u32,
+    ) -> Self {
+        assert!(k > 0 && n > 0, "array dimensions must be nonzero");
+        Pcu {
+            k,
+            n,
+            precision,
+            cells: (0..k).map(|_| TubPeCell::new(n, precision)).collect(),
+            stripe_latency: 0,
+            cache_in_cycles,
+            cache_out_cycles,
+            state: PcuState::Idle,
+            current: None,
+            output: Fifo::new(2),
+            cycles: 0,
+            ops_accepted: 0,
+            windows_completed: 0,
+            array_activity: ActivityCounter::new(),
+        }
+    }
+
+    /// Number of PE cells.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Multipliers per cell.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Operating precision of the array.
+    #[must_use]
+    pub fn precision(&self) -> IntPrecision {
+        self.precision
+    }
+
+    /// Caches one stripe's weight slivers and records the array
+    /// latency scan result (the largest weight magnitude bounds the
+    /// whole array, §III).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape or range errors from the cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is in flight (drivers must drain first).
+    pub fn load_weights(&mut self, cell_weights: &[Vec<i32>]) -> Result<(), ArithError> {
+        assert!(
+            matches!(self.state, PcuState::Idle),
+            "weight load during an active window"
+        );
+        if cell_weights.len() != self.k {
+            return Err(ArithError::LengthMismatch {
+                lhs: cell_weights.len(),
+                rhs: self.k,
+            });
+        }
+        for (cell, sliver) in self.cells.iter_mut().zip(cell_weights) {
+            cell.load_weights(sliver)?;
+        }
+        self.stripe_latency = self.cells.iter().map(TubPeCell::latency).max().unwrap_or(0);
+        Ok(())
+    }
+
+    /// Stripe window length from the last weight scan, in compute
+    /// cycles (0 when every weight is zero).
+    #[must_use]
+    pub fn stripe_latency(&self) -> u32 {
+        self.stripe_latency
+    }
+
+    /// Total cycles one atomic op occupies the array under the current
+    /// stripe: cache-in + window + cache-out.
+    #[must_use]
+    pub fn cycles_per_op(&self) -> u32 {
+        self.cache_in_cycles + self.stripe_latency.max(1) + self.cache_out_cycles
+    }
+
+    /// `true` when a new atomic op can begin this cycle.
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        matches!(self.state, PcuState::Idle) && self.output.ready()
+    }
+
+    /// Begins an atomic op (drivers must check [`ready`](Pcu::ready)).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape or range errors from the cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PCU is not ready.
+    pub fn begin(&mut self, op: &AtomicOp) -> Result<(), ArithError> {
+        assert!(self.ready(), "begin() while busy");
+        for cell in &mut self.cells {
+            cell.begin(&op.feature)?;
+        }
+        self.current = Some((op.out_x, op.out_y));
+        self.ops_accepted += 1;
+        self.state = if self.cache_in_cycles > 0 {
+            PcuState::CacheIn {
+                remaining: self.cache_in_cycles,
+            }
+        } else {
+            PcuState::Compute {
+                remaining: self.stripe_latency.max(1),
+            }
+        };
+        Ok(())
+    }
+
+    /// Advances one clock cycle; returns a partial-sum bundle when one
+    /// leaves the output buffer this cycle.
+    pub fn tick(&mut self) -> Option<PsumBundle> {
+        self.cycles += 1;
+        match self.state {
+            PcuState::Idle => {}
+            PcuState::CacheIn { remaining } => {
+                self.state = if remaining > 1 {
+                    PcuState::CacheIn {
+                        remaining: remaining - 1,
+                    }
+                } else {
+                    PcuState::Compute {
+                        remaining: self.stripe_latency.max(1),
+                    }
+                };
+            }
+            PcuState::Compute { remaining } => {
+                for cell in &mut self.cells {
+                    cell.tick();
+                }
+                self.array_activity.record_active();
+                self.state = if remaining > 1 {
+                    PcuState::Compute {
+                        remaining: remaining - 1,
+                    }
+                } else if self.cache_out_cycles > 0 {
+                    PcuState::CacheOut {
+                        remaining: self.cache_out_cycles,
+                    }
+                } else {
+                    self.finish_window();
+                    PcuState::Idle
+                };
+            }
+            PcuState::CacheOut { remaining } => {
+                if remaining > 1 {
+                    self.state = PcuState::CacheOut {
+                        remaining: remaining - 1,
+                    };
+                } else {
+                    self.finish_window();
+                    self.state = PcuState::Idle;
+                }
+            }
+        }
+        self.output.pop()
+    }
+
+    fn finish_window(&mut self) {
+        let (out_x, out_y) = self.current.take().expect("window without an op");
+        let bundle = PsumBundle {
+            out_x,
+            out_y,
+            sums: self.cells.iter().map(TubPeCell::partial_sum).collect(),
+        };
+        self.output
+            .push(bundle)
+            .unwrap_or_else(|_| panic!("output skid buffer overflow"));
+        self.windows_completed += 1;
+    }
+
+    /// Drains any buffered bundles (end of stream).
+    pub fn drain(&mut self) -> Vec<PsumBundle> {
+        let mut out = Vec::new();
+        while let Some(b) = self.output.pop() {
+            out.push(b);
+        }
+        out
+    }
+
+    /// Silent multipliers (zero weights) under the current stripe.
+    #[must_use]
+    pub fn silent_pes(&self) -> usize {
+        self.cells.iter().map(TubPeCell::silent_count).sum()
+    }
+
+    /// Cycles ticked so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Atomic ops accepted so far.
+    #[must_use]
+    pub fn ops_accepted(&self) -> u64 {
+        self.ops_accepted
+    }
+
+    /// Windows completed so far.
+    #[must_use]
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Merged per-multiplier pulse/gating statistics.
+    #[must_use]
+    pub fn pe_activity(&self) -> ActivityCounter {
+        let mut total = ActivityCounter::new();
+        for cell in &self.cells {
+            total.merge(cell.activity());
+        }
+        total
+    }
+
+    /// Array-level busy counter (cycles the array spent computing).
+    #[must_use]
+    pub fn array_activity(&self) -> ActivityCounter {
+        self.array_activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::dot;
+
+    fn op(feature: Vec<i32>) -> AtomicOp {
+        AtomicOp {
+            out_x: 1,
+            out_y: 2,
+            feature,
+        }
+    }
+
+    fn run_window(pcu: &mut Pcu, input: &AtomicOp) -> PsumBundle {
+        pcu.begin(input).unwrap();
+        let mut out = None;
+        for _ in 0..pcu.cycles_per_op() + 4 {
+            if let Some(b) = pcu.tick() {
+                out = Some(b);
+                break;
+            }
+        }
+        out.expect("window must complete")
+    }
+
+    #[test]
+    fn produces_exact_partial_sums() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(2, 4, p, 1, 1);
+        let w0 = vec![3, -7, 0, 127];
+        let w1 = vec![-128, 1, 64, -2];
+        pcu.load_weights(&[w0.clone(), w1.clone()]).unwrap();
+        let feat = vec![10, -20, 99, -128];
+        let bundle = run_window(&mut pcu, &op(feat.clone()));
+        assert_eq!(bundle.sums[0], dot::binary(&feat, &w0, p).unwrap());
+        assert_eq!(bundle.sums[1], dot::binary(&feat, &w1, p).unwrap());
+        assert_eq!(bundle.out_x, 1);
+        assert_eq!(bundle.out_y, 2);
+    }
+
+    #[test]
+    fn window_length_is_latency_plus_overheads() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(1, 2, p, 1, 1);
+        pcu.load_weights(&[vec![10, -3]]).unwrap();
+        assert_eq!(pcu.stripe_latency(), 5);
+        assert_eq!(pcu.cycles_per_op(), 7);
+        pcu.begin(&op(vec![1, 1])).unwrap();
+        let mut cycles = 0;
+        let mut got = None;
+        while got.is_none() {
+            got = pcu.tick();
+            cycles += 1;
+            assert!(cycles < 20, "window never completed");
+        }
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn all_zero_stripe_still_takes_one_compute_cycle() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(1, 4, p, 1, 1);
+        pcu.load_weights(&[vec![0, 0, 0, 0]]).unwrap();
+        assert_eq!(pcu.stripe_latency(), 0);
+        assert_eq!(pcu.cycles_per_op(), 3);
+        let bundle = run_window(&mut pcu, &op(vec![5, 6, 7, 8]));
+        assert_eq!(bundle.sums[0], 0);
+        assert_eq!(pcu.silent_pes(), 4);
+    }
+
+    #[test]
+    fn ready_goes_false_during_window() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(1, 1, p, 1, 1);
+        pcu.load_weights(&[vec![4]]).unwrap();
+        assert!(pcu.ready());
+        pcu.begin(&op(vec![2])).unwrap();
+        assert!(!pcu.ready());
+        while pcu.tick().is_none() {}
+        assert!(pcu.ready());
+    }
+
+    #[test]
+    fn worst_case_int8_window_is_64_cycles() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(1, 1, p, 0, 0);
+        pcu.load_weights(&[vec![-128]]).unwrap();
+        assert_eq!(pcu.stripe_latency(), p.worst_case_tub_cycles());
+        let bundle = run_window(&mut pcu, &op(vec![-128]));
+        assert_eq!(bundle.sums[0], 16384);
+    }
+
+    #[test]
+    fn activity_tracks_pulses_and_gating() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(1, 2, p, 0, 0);
+        // Weights 6 (3 pulses) and 0 (silent): window = 3 cycles,
+        // active PE pulses 3, silent PE gated 3.
+        pcu.load_weights(&[vec![6, 0]]).unwrap();
+        run_window(&mut pcu, &op(vec![1, 1]));
+        let act = pcu.pe_activity();
+        assert_eq!(act.active_cycles(), 3);
+        assert_eq!(act.gated_cycles(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin() while busy")]
+    fn begin_while_busy_panics() {
+        let p = IntPrecision::Int8;
+        let mut pcu = Pcu::new(1, 1, p, 1, 1);
+        pcu.load_weights(&[vec![3]]).unwrap();
+        pcu.begin(&op(vec![1])).unwrap();
+        pcu.begin(&op(vec![1])).unwrap();
+    }
+}

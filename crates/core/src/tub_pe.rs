@@ -1,0 +1,297 @@
+//! Cycle-accurate tub multiplier and PE cell.
+//!
+//! A tub multiplier holds a temporally encoded weight and a binary
+//! activation; each pulse cycle it contributes
+//! `sign · pulse_value · activation` (the ×2 case is a wiring shift).
+//! A PE cell reduces its `n` multipliers' per-cycle contributions
+//! through one adder tree into an accumulator; after the array window
+//! (`ceil(max|w|/2)` cycles) the accumulator holds the exact dot
+//! product (§II-B, §III).
+
+use tempus_arith::{adder_tree, tub, ArithError, IntPrecision, TwosUnaryStream};
+use tempus_sim::ActivityCounter;
+
+/// One cycle-accurate tub multiplier.
+#[derive(Debug, Clone)]
+pub struct TubMultiplier {
+    stream: TwosUnaryStream,
+    activation: i32,
+    cycle: u32,
+    activity: ActivityCounter,
+}
+
+impl TubMultiplier {
+    /// Creates a multiplier with zero weight (silent).
+    #[must_use]
+    pub fn new(precision: IntPrecision) -> Self {
+        TubMultiplier {
+            stream: TwosUnaryStream::encode(0, precision).expect("zero always encodes"),
+            activation: 0,
+            cycle: 0,
+            activity: ActivityCounter::new(),
+        }
+    }
+
+    /// Caches a new weight (stripe boundary): the temporal encoder
+    /// re-encodes it as a 2s-unary stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::OutOfRange`] if the weight exceeds the
+    /// encoding precision.
+    pub fn load_weight(&mut self, weight: i32, precision: IntPrecision) -> Result<(), ArithError> {
+        self.stream = TwosUnaryStream::encode(weight, precision)?;
+        self.cycle = 0;
+        Ok(())
+    }
+
+    /// Starts a new multiplication window against `activation`.
+    pub fn begin(&mut self, activation: i32) {
+        self.activation = activation;
+        self.cycle = 0;
+    }
+
+    /// `true` when the weight is zero — the PE never pulses and stays
+    /// clock-gated for whole windows (§V-C's "silent PEs").
+    #[must_use]
+    pub fn is_silent(&self) -> bool {
+        self.stream.is_silent()
+    }
+
+    /// Latency this multiplier needs: `ceil(|w| / 2)` cycles.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.stream.cycles()
+    }
+
+    /// Advances one cycle, returning this cycle's contribution to the
+    /// cell adder tree (0 once the stream has drained).
+    pub fn tick(&mut self) -> i32 {
+        let contribution = match self.stream.pulse_at(self.cycle) {
+            Some(pulse) => {
+                self.activity.record_active();
+                tub::step(self.activation, self.stream, pulse)
+            }
+            None => {
+                self.activity.record_gated();
+                0
+            }
+        };
+        self.cycle += 1;
+        contribution
+    }
+
+    /// Pulse/gating statistics.
+    #[must_use]
+    pub fn activity(&self) -> ActivityCounter {
+        self.activity
+    }
+}
+
+/// A cycle-accurate tub PE cell: `n` multipliers, one adder tree, one
+/// accumulator.
+#[derive(Debug, Clone)]
+pub struct TubPeCell {
+    precision: IntPrecision,
+    mults: Vec<TubMultiplier>,
+    acc: i64,
+}
+
+impl TubPeCell {
+    /// Creates a cell of `n` multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, precision: IntPrecision) -> Self {
+        assert!(n > 0, "cell needs at least one multiplier");
+        TubPeCell {
+            precision,
+            mults: (0..n).map(|_| TubMultiplier::new(precision)).collect(),
+            acc: 0,
+        }
+    }
+
+    /// Multipliers in the cell.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.mults.len()
+    }
+
+    /// Caches one weight sliver (stripe boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::LengthMismatch`] for a wrong sliver width
+    /// or [`ArithError::OutOfRange`] for an unencodable weight.
+    pub fn load_weights(&mut self, sliver: &[i32]) -> Result<(), ArithError> {
+        if sliver.len() != self.mults.len() {
+            return Err(ArithError::LengthMismatch {
+                lhs: sliver.len(),
+                rhs: self.mults.len(),
+            });
+        }
+        for (m, &w) in self.mults.iter_mut().zip(sliver) {
+            m.load_weight(w, self.precision)?;
+        }
+        Ok(())
+    }
+
+    /// Starts a new window against a feature sliver, clearing the
+    /// accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::LengthMismatch`] for a wrong sliver width
+    /// or [`ArithError::OutOfRange`] for an out-of-precision
+    /// activation.
+    pub fn begin(&mut self, feature: &[i32]) -> Result<(), ArithError> {
+        if feature.len() != self.mults.len() {
+            return Err(ArithError::LengthMismatch {
+                lhs: feature.len(),
+                rhs: self.mults.len(),
+            });
+        }
+        for (m, &a) in self.mults.iter_mut().zip(feature) {
+            self.precision.check(a)?;
+            m.begin(a);
+        }
+        self.acc = 0;
+        Ok(())
+    }
+
+    /// Advances one cycle: every multiplier contributes, the adder
+    /// tree reduces, the accumulator integrates.
+    pub fn tick(&mut self) {
+        let terms: Vec<i64> = self.mults.iter_mut().map(|m| i64::from(m.tick())).collect();
+        self.acc += adder_tree::reduce(&terms).expect("contribution reduction overflow");
+    }
+
+    /// Current accumulator value (the partial sum once the window
+    /// completes).
+    #[must_use]
+    pub fn partial_sum(&self) -> i64 {
+        self.acc
+    }
+
+    /// Cell latency: the slowest multiplier bounds the cell.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.mults
+            .iter()
+            .map(TubMultiplier::latency)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of silent multipliers (zero weights) in this cell.
+    #[must_use]
+    pub fn silent_count(&self) -> usize {
+        self.mults.iter().filter(|m| m.is_silent()).count()
+    }
+
+    /// Merged pulse/gating statistics across the cell's multipliers.
+    #[must_use]
+    pub fn activity(&self) -> ActivityCounter {
+        let mut total = ActivityCounter::new();
+        for m in &self.mults {
+            total.merge(m.activity());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_folds_to_exact_product() {
+        let p = IntPrecision::Int8;
+        for (a, w) in [(113, -37), (-128, 127), (5, 0), (0, -100), (-1, 1)] {
+            let mut m = TubMultiplier::new(p);
+            m.load_weight(w, p).unwrap();
+            m.begin(a);
+            let window = m.latency().max(1);
+            let mut acc = 0i64;
+            for _ in 0..window {
+                acc += i64::from(m.tick());
+            }
+            assert_eq!(acc, i64::from(a) * i64::from(w), "a={a} w={w}");
+        }
+    }
+
+    #[test]
+    fn multiplier_contributions_stop_after_stream() {
+        let p = IntPrecision::Int4;
+        let mut m = TubMultiplier::new(p);
+        m.load_weight(3, p).unwrap();
+        m.begin(7);
+        assert_eq!(m.tick(), 14); // pulse of 2
+        assert_eq!(m.tick(), 7); // final pulse of 1
+        assert_eq!(m.tick(), 0); // drained
+        assert_eq!(m.activity().active_cycles(), 2);
+        assert_eq!(m.activity().gated_cycles(), 1);
+    }
+
+    #[test]
+    fn silent_multiplier_never_pulses() {
+        let p = IntPrecision::Int8;
+        let mut m = TubMultiplier::new(p);
+        m.load_weight(0, p).unwrap();
+        assert!(m.is_silent());
+        m.begin(99);
+        for _ in 0..4 {
+            assert_eq!(m.tick(), 0);
+        }
+        assert_eq!(m.activity().active_cycles(), 0);
+    }
+
+    #[test]
+    fn cell_computes_exact_dot_product() {
+        let p = IntPrecision::Int8;
+        let weights = [3, -7, 0, 127, -128, 1, 64, -2];
+        let feature = [10, -20, 99, -128, 127, 0, -5, 8];
+        let mut cell = TubPeCell::new(8, p);
+        cell.load_weights(&weights).unwrap();
+        cell.begin(&feature).unwrap();
+        for _ in 0..cell.latency() {
+            cell.tick();
+        }
+        let expected: i64 = weights
+            .iter()
+            .zip(&feature)
+            .map(|(&w, &a)| i64::from(w) * i64::from(a))
+            .sum();
+        assert_eq!(cell.partial_sum(), expected);
+    }
+
+    #[test]
+    fn cell_latency_is_max_weight_magnitude_halved() {
+        let p = IntPrecision::Int8;
+        let mut cell = TubPeCell::new(4, p);
+        cell.load_weights(&[0, 3, -10, 7]).unwrap();
+        assert_eq!(cell.latency(), 5); // ceil(10/2)
+        assert_eq!(cell.silent_count(), 1);
+    }
+
+    #[test]
+    fn wrong_sliver_width_is_an_error() {
+        let mut cell = TubPeCell::new(4, IntPrecision::Int8);
+        assert!(cell.load_weights(&[1, 2]).is_err());
+        assert!(cell.begin(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn extra_ticks_after_window_do_not_corrupt_sum() {
+        let p = IntPrecision::Int4;
+        let mut cell = TubPeCell::new(2, p);
+        cell.load_weights(&[2, -3]).unwrap();
+        cell.begin(&[5, 4]).unwrap();
+        for _ in 0..10 {
+            cell.tick();
+        }
+        assert_eq!(cell.partial_sum(), 10 - 12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the tub datapath: the cycle-accurate PCU
+//! must be bit-exact against golden dot products for any operands, and
+//! its timing must follow the 2s-unary window law.
+
+use proptest::prelude::*;
+use tempus_arith::{dot, IntPrecision};
+use tempus_core::csc_mod::ModifiedCsc;
+use tempus_core::pcu::Pcu;
+use tempus_core::tub_pe::TubPeCell;
+use tempus_nvdla::csc::AtomicOp;
+
+fn precision() -> impl Strategy<Value = IntPrecision> {
+    prop_oneof![
+        Just(IntPrecision::Int2),
+        Just(IntPrecision::Int4),
+        Just(IntPrecision::Int8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cell_window_produces_exact_dot(
+        p in precision(),
+        seeds in prop::collection::vec((any::<i64>(), any::<i64>()), 1..24),
+    ) {
+        let weights: Vec<i32> = seeds.iter().map(|&(w, _)| p.wrap(w)).collect();
+        let feature: Vec<i32> = seeds.iter().map(|&(_, a)| p.wrap(a)).collect();
+        let mut cell = TubPeCell::new(weights.len(), p);
+        cell.load_weights(&weights).unwrap();
+        cell.begin(&feature).unwrap();
+        for _ in 0..cell.latency() {
+            cell.tick();
+        }
+        prop_assert_eq!(
+            cell.partial_sum(),
+            dot::binary(&feature, &weights, p).unwrap()
+        );
+    }
+
+    #[test]
+    fn cell_latency_law(
+        p in precision(),
+        seeds in prop::collection::vec(any::<i64>(), 1..24),
+    ) {
+        let weights: Vec<i32> = seeds.iter().map(|&w| p.wrap(w)).collect();
+        let mut cell = TubPeCell::new(weights.len(), p);
+        cell.load_weights(&weights).unwrap();
+        let expected = weights.iter().map(|w| w.unsigned_abs()).max().unwrap().div_ceil(2);
+        prop_assert_eq!(cell.latency(), expected);
+        prop_assert_eq!(
+            cell.silent_count(),
+            weights.iter().filter(|&&w| w == 0).count()
+        );
+    }
+
+    #[test]
+    fn pcu_window_is_exact_and_timed(
+        p in precision(),
+        k in 1usize..4,
+        n in 1usize..8,
+        seed in any::<u32>(),
+        cache_in in 0u32..3,
+        cache_out in 0u32..3,
+    ) {
+        let lo = i64::from(p.min_value());
+        let span = i64::from(p.max_value()) - lo + 1;
+        let val = |i: usize| p.wrap(lo + ((seed as i64 + i as i64 * 2_654_435_761) % span + span) % span);
+        let weights: Vec<Vec<i32>> = (0..k)
+            .map(|cell| (0..n).map(|i| val(cell * n + i)).collect())
+            .collect();
+        let feature: Vec<i32> = (0..n).map(|i| val(1000 + i)).collect();
+
+        let mut pcu = Pcu::new(k, n, p, cache_in, cache_out);
+        pcu.load_weights(&weights).unwrap();
+        let expected_window = ModifiedCsc::scan_latency(&weights).max(1)
+            + cache_in + cache_out;
+        prop_assert_eq!(pcu.cycles_per_op(), expected_window);
+
+        pcu.begin(&AtomicOp { out_x: 0, out_y: 0, feature: feature.clone() }).unwrap();
+        let mut bundle = None;
+        let mut elapsed = 0u32;
+        while bundle.is_none() {
+            bundle = pcu.tick();
+            elapsed += 1;
+            prop_assert!(elapsed <= expected_window + 2, "window overran");
+        }
+        prop_assert_eq!(elapsed, expected_window);
+        let bundle = bundle.unwrap();
+        for (cell, sums) in bundle.sums.iter().enumerate() {
+            prop_assert_eq!(
+                *sums,
+                dot::binary(&feature, &weights[cell], p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn scan_latency_matches_tub_array_latency(
+        p in precision(),
+        seeds in prop::collection::vec(any::<i64>(), 1..64),
+    ) {
+        let flat: Vec<i32> = seeds.iter().map(|&w| p.wrap(w)).collect();
+        let nested = vec![flat.clone()];
+        prop_assert_eq!(
+            ModifiedCsc::scan_latency(&nested),
+            tempus_arith::tub::array_latency(&flat, p).unwrap()
+        );
+    }
+
+    #[test]
+    fn pcu_back_to_back_windows_are_independent(
+        p in precision(),
+        w1 in any::<i64>(),
+        w2 in any::<i64>(),
+        a1 in any::<i64>(),
+        a2 in any::<i64>(),
+    ) {
+        // Two sequential ops through the same stripe must not leak
+        // accumulator state between windows.
+        let w = vec![vec![p.wrap(w1), p.wrap(w2)]];
+        let mut pcu = Pcu::new(1, 2, p, 1, 1);
+        pcu.load_weights(&w).unwrap();
+        let f1 = vec![p.wrap(a1), p.wrap(a2)];
+        let f2 = vec![p.wrap(a2), p.wrap(a1)];
+        for f in [&f1, &f2] {
+            while !pcu.ready() {
+                pcu.tick();
+            }
+            pcu.begin(&AtomicOp { out_x: 0, out_y: 0, feature: f.clone() }).unwrap();
+            let mut out = None;
+            while out.is_none() {
+                out = pcu.tick();
+            }
+            prop_assert_eq!(
+                out.unwrap().sums[0],
+                dot::binary(f, &w[0], p).unwrap()
+            );
+        }
+    }
+}

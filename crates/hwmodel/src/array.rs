@@ -1,0 +1,56 @@
+//! PE array netlists: `k` cells plus operand broadcast fabric.
+
+use tempus_arith::IntPrecision;
+
+use crate::cells::CellKind;
+use crate::design::Family;
+use crate::netlist::{Module, Role};
+use crate::pe_cell::pe_cell_module;
+
+/// Builds a `k`×`n` PE array: `k` PE cells sharing a broadcast feature
+/// bus (§III: "the single input data cube is shared between the k PE
+/// cells"), with a repeater-buffer fabric sized to the bus width and
+/// fan-out.
+#[must_use]
+pub fn pe_array_module(family: Family, precision: IntPrecision, k: usize, n: usize) -> Module {
+    let w = u64::from(precision.bits());
+    let mut array = Module::new(
+        format!("{}_array_{precision}_{k}x{n}", family.unit_name()),
+        Role::CellFixed,
+    );
+    array.instantiate(k as u64, pe_cell_module(family, precision, n));
+    // Broadcast fabric: one repeater per 4 sinks per bus bit.
+    let bus_bits = w * n as u64;
+    let mut fabric = Module::new("broadcast_fabric", Role::Interconnect).with_activity(0.25);
+    fabric.add(CellKind::Buf, bus_bits * (k as u64).div_ceil(4));
+    array.instantiate(1, fabric);
+    array
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+
+    #[test]
+    fn array_area_scales_with_k() {
+        let lib = CellLibrary::nangate45();
+        let a1 = pe_array_module(Family::Binary, IntPrecision::Int8, 1, 16)
+            .rollup(&lib, 0.3)
+            .total()
+            .area_um2;
+        let a16 = pe_array_module(Family::Binary, IntPrecision::Int8, 16, 16)
+            .rollup(&lib, 0.3)
+            .total()
+            .area_um2;
+        let ratio = a16 / a1;
+        assert!((14.0..18.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn interconnect_bucket_present() {
+        let lib = CellLibrary::nangate45();
+        let r = pe_array_module(Family::Tub, IntPrecision::Int4, 16, 16).rollup(&lib, 0.3);
+        assert!(r.role(Role::Interconnect).area_um2 > 0.0);
+    }
+}

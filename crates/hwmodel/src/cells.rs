@@ -1,0 +1,224 @@
+//! NanGate45 open cell library model.
+//!
+//! The paper synthesizes with the NanGate45 open-source cell library
+//! (§IV). Cell areas below are the library's physical footprints; the
+//! leakage and per-toggle switching energies are representative typical-
+//! corner values for 45nm. Absolute accuracy of the energy constants is
+//! not load-bearing: the synthesis model calibrates family-level factors
+//! against the paper's anchor tables (see `calibration`), and these
+//! constants set the *relative* cost of gate types, which is what shapes
+//! the binary-vs-tub comparison.
+
+use std::fmt;
+
+/// Standard-cell types used by the netlist generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellKind {
+    /// Inverter (X1 drive).
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-invert 2-1.
+    Aoi21,
+    /// OR-AND-invert 2-1.
+    Oai21,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// Half adder.
+    HalfAdder,
+    /// Full adder.
+    FullAdder,
+    /// D flip-flop.
+    Dff,
+    /// Integrated clock-gating cell.
+    ClockGate,
+}
+
+impl CellKind {
+    /// Every kind, for iteration.
+    pub const ALL: [CellKind; 15] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+        CellKind::Mux2,
+        CellKind::HalfAdder,
+        CellKind::FullAdder,
+        CellKind::Dff,
+        CellKind::ClockGate,
+    ];
+
+    /// `true` for sequential (clocked) cells.
+    #[must_use]
+    pub const fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::ClockGate)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellKind::Inv => "INV_X1",
+            CellKind::Buf => "BUF_X1",
+            CellKind::Nand2 => "NAND2_X1",
+            CellKind::Nor2 => "NOR2_X1",
+            CellKind::And2 => "AND2_X1",
+            CellKind::Or2 => "OR2_X1",
+            CellKind::Xor2 => "XOR2_X1",
+            CellKind::Xnor2 => "XNOR2_X1",
+            CellKind::Aoi21 => "AOI21_X1",
+            CellKind::Oai21 => "OAI21_X1",
+            CellKind::Mux2 => "MUX2_X1",
+            CellKind::HalfAdder => "HA_X1",
+            CellKind::FullAdder => "FA_X1",
+            CellKind::Dff => "DFF_X1",
+            CellKind::ClockGate => "CLKGATE_X1",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Physical and electrical characteristics of one cell type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Layout area in µm².
+    pub area_um2: f64,
+    /// Leakage power in nanowatts (typical corner).
+    pub leakage_nw: f64,
+    /// Energy per output toggle in femtojoules, including average local
+    /// wire load. For sequential cells this is the per-clock-edge
+    /// internal energy.
+    pub switch_energy_fj: f64,
+}
+
+/// A standard-cell library: a [`CellSpec`] per [`CellKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: &'static str,
+    /// Standard-cell row height in µm (used by the P&R model).
+    pub row_height_um: f64,
+    specs: [CellSpec; 15],
+}
+
+impl CellLibrary {
+    /// The NanGate 45nm open cell library model.
+    #[must_use]
+    pub fn nangate45() -> Self {
+        let spec = |area, leak, energy| CellSpec {
+            area_um2: area,
+            leakage_nw: leak,
+            switch_energy_fj: energy,
+        };
+        // Order must match CellKind::ALL.
+        CellLibrary {
+            name: "NanGate45",
+            row_height_um: 1.4,
+            specs: [
+                spec(0.532, 15.0, 0.6),  // Inv
+                spec(0.798, 18.0, 0.8),  // Buf
+                spec(0.798, 20.0, 0.8),  // Nand2
+                spec(0.798, 20.0, 0.8),  // Nor2
+                spec(1.064, 25.0, 1.0),  // And2
+                spec(1.064, 25.0, 1.0),  // Or2
+                spec(1.596, 35.0, 1.6),  // Xor2
+                spec(1.596, 35.0, 1.6),  // Xnor2
+                spec(1.064, 25.0, 1.1),  // Aoi21
+                spec(1.064, 25.0, 1.1),  // Oai21
+                spec(1.862, 40.0, 1.8),  // Mux2
+                spec(3.192, 60.0, 2.8),  // HalfAdder
+                spec(4.788, 90.0, 4.2),  // FullAdder
+                spec(4.522, 100.0, 4.0), // Dff
+                spec(3.724, 80.0, 2.0),  // ClockGate
+            ],
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Characteristics of `kind`.
+    #[must_use]
+    pub fn spec(&self, kind: CellKind) -> CellSpec {
+        let idx = CellKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("every kind is in ALL");
+        self.specs[idx]
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::nangate45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nangate45_known_areas() {
+        let lib = CellLibrary::nangate45();
+        assert_eq!(lib.spec(CellKind::Nand2).area_um2, 0.798);
+        assert_eq!(lib.spec(CellKind::Dff).area_um2, 4.522);
+        assert_eq!(lib.spec(CellKind::FullAdder).area_um2, 4.788);
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(CellKind::Dff.is_sequential());
+        assert!(CellKind::ClockGate.is_sequential());
+        assert!(!CellKind::FullAdder.is_sequential());
+    }
+
+    #[test]
+    fn all_kinds_have_positive_specs() {
+        let lib = CellLibrary::nangate45();
+        for kind in CellKind::ALL {
+            let s = lib.spec(kind);
+            assert!(s.area_um2 > 0.0, "{kind} area");
+            assert!(s.leakage_nw > 0.0, "{kind} leakage");
+            assert!(s.switch_energy_fj > 0.0, "{kind} energy");
+        }
+    }
+
+    #[test]
+    fn display_names_are_library_style() {
+        assert_eq!(CellKind::Nand2.to_string(), "NAND2_X1");
+        assert_eq!(CellKind::ClockGate.to_string(), "CLKGATE_X1");
+    }
+
+    #[test]
+    fn relative_costs_are_sane() {
+        // A full adder must cost more than a half adder, which costs
+        // more than an XOR; a DFF is among the largest cells.
+        let lib = CellLibrary::nangate45();
+        let fa = lib.spec(CellKind::FullAdder).area_um2;
+        let ha = lib.spec(CellKind::HalfAdder).area_um2;
+        let xor = lib.spec(CellKind::Xor2).area_um2;
+        assert!(fa > ha && ha > xor);
+        assert!(lib.spec(CellKind::Dff).area_um2 > lib.spec(CellKind::Mux2).area_um2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Design-point vocabulary shared across the hardware model.
+
+use std::fmt;
+
+use tempus_arith::IntPrecision;
+
+/// The two datapath families the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Family {
+    /// Conventional binary arithmetic (NVDLA's CMAC).
+    Binary,
+    /// Temporal-unary-binary arithmetic (Tempus Core's PCU).
+    Tub,
+}
+
+impl Family {
+    /// Both families, binary first (the baseline).
+    pub const BOTH: [Family; 2] = [Family::Binary, Family::Tub];
+
+    /// Unit name at the CMAC/PCU level.
+    #[must_use]
+    pub const fn unit_name(self) -> &'static str {
+        match self {
+            Family::Binary => "CMAC",
+            Family::Tub => "PCU",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Family::Binary => f.write_str("binary"),
+            Family::Tub => f.write_str("tub"),
+        }
+    }
+}
+
+/// A fully specified design point: family, precision and array shape
+/// (`k` PE cells of `n` multipliers each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Datapath family.
+    pub family: Family,
+    /// Operand precision.
+    pub precision: IntPrecision,
+    /// Number of PE cells (array height; kernels served in parallel).
+    pub k: usize,
+    /// Multipliers per PE cell (array width; channels per atomic op).
+    pub n: usize,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `n` is zero.
+    #[must_use]
+    pub fn new(family: Family, precision: IntPrecision, k: usize, n: usize) -> Self {
+        assert!(k > 0 && n > 0, "array dimensions must be nonzero");
+        DesignPoint {
+            family,
+            precision,
+            k,
+            n,
+        }
+    }
+
+    /// Multiply-accumulate lanes in the array (`k * n`).
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        self.k * self.n
+    }
+
+    /// The paper's headline 16×16 configuration at this family and
+    /// precision.
+    #[must_use]
+    pub fn array_16x16(family: Family, precision: IntPrecision) -> Self {
+        DesignPoint::new(family, precision, 16, 16)
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}x{}",
+            self.family, self.precision, self.k, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let d = DesignPoint::new(Family::Tub, IntPrecision::Int8, 16, 4);
+        assert_eq!(d.to_string(), "tub INT8 16x4");
+        assert_eq!(Family::Binary.unit_name(), "CMAC");
+        assert_eq!(Family::Tub.unit_name(), "PCU");
+    }
+
+    #[test]
+    fn lanes_multiply() {
+        assert_eq!(
+            DesignPoint::array_16x16(Family::Binary, IntPrecision::Int4).lanes(),
+            256
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_rejected() {
+        let _ = DesignPoint::new(Family::Binary, IntPrecision::Int8, 0, 16);
+    }
+}

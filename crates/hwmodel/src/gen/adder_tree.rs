@@ -1,0 +1,70 @@
+//! Balanced adder-tree netlists, shared by both PE cell families.
+
+use tempus_arith::adder_tree::shape;
+
+use crate::cells::CellKind;
+use crate::netlist::{Module, Role};
+
+/// Builds the netlist of a balanced binary adder tree reducing `n`
+/// terms of `input_bits` each.
+///
+/// Level `l` adders are `input_bits + l` wide; each is a ripple chain
+/// of full adders which synthesis would refine, so the generator adds a
+/// modest lookahead allowance (one AOI/OAI pair per 4 bits) as the
+/// final CPA in [`crate::gen::binary_multiplier`] does.
+#[must_use]
+pub fn adder_tree_module(n: usize, input_bits: u32, role: Role) -> Module {
+    let t = shape(n, input_bits);
+    let mut m = Module::new(format!("adder_tree_n{n}_w{input_bits}"), role).with_activity(0.25);
+    for &(width, count) in &t.level_widths {
+        let bits = u64::from(width) * count as u64;
+        m.add(CellKind::FullAdder, bits);
+        m.add(CellKind::Aoi21, bits.div_ceil(4));
+        m.add(CellKind::Oai21, bits.div_ceil(4));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+
+    #[test]
+    fn tree_grows_linearly_in_n() {
+        let lib = CellLibrary::nangate45();
+        let a16 = adder_tree_module(16, 16, Role::PerMultiplier)
+            .rollup(&lib, 0.25)
+            .total()
+            .area_um2;
+        let a256 = adder_tree_module(256, 16, Role::PerMultiplier)
+            .rollup(&lib, 0.25)
+            .total()
+            .area_um2;
+        let ratio = a256 / a16;
+        // (n-1) adders with slowly growing widths: ~16x-22x.
+        assert!((14.0..24.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn narrow_inputs_make_cheaper_trees() {
+        let lib = CellLibrary::nangate45();
+        // The tub tree adds (w+2)-bit terms vs the binary tree's 2w-bit
+        // terms — a significant part of the cell-level savings.
+        let tub = adder_tree_module(16, 10, Role::PerMultiplier)
+            .rollup(&lib, 0.25)
+            .total()
+            .area_um2;
+        let bin = adder_tree_module(16, 16, Role::PerMultiplier)
+            .rollup(&lib, 0.25)
+            .total()
+            .area_um2;
+        assert!(tub < bin);
+    }
+
+    #[test]
+    fn single_term_tree_is_empty() {
+        let m = adder_tree_module(1, 16, Role::PerMultiplier);
+        assert_eq!(m.cell_count(), 0);
+    }
+}

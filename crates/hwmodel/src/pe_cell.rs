@@ -1,0 +1,112 @@
+//! PE cell netlists for both families.
+//!
+//! A *PE cell* (NVDLA "MAC cell") holds `n` multipliers, operand
+//! registers and an adder tree producing one partial sum (§II-C). The
+//! tub cell swaps the array multipliers for tub slices and adds the
+//! shared temporal control (§III).
+
+use tempus_arith::IntPrecision;
+
+use crate::design::Family;
+use crate::gen::{
+    adder_tree_module, binary_multiplier, fsm, register_bank, tub_cell_control,
+    tub_multiplier_slice,
+};
+use crate::netlist::{Module, Role};
+
+/// Builds the netlist of one PE cell with `n` multipliers.
+#[must_use]
+pub fn pe_cell_module(family: Family, precision: IntPrecision, n: usize) -> Module {
+    match family {
+        Family::Binary => binary_pe_cell(precision, n),
+        Family::Tub => tub_pe_cell(precision, n),
+    }
+}
+
+fn binary_pe_cell(precision: IntPrecision, n: usize) -> Module {
+    let w = u64::from(precision.bits());
+    let acc_bits = u64::from(precision.accumulator_bits(n));
+    let mut cell = Module::new(format!("binary_pe_cell_{precision}_n{n}"), Role::CellFixed);
+    // Per-multiplier datapath slice: operand capture + array multiplier.
+    let mut slice = Module::new("mac_slice", Role::PerMultiplier);
+    slice.instantiate(1, register_bank("operand_regs", 2 * w, Role::PerMultiplier));
+    slice.instantiate(1, binary_multiplier(precision));
+    cell.instantiate(n as u64, slice);
+    // Product reduction tree (2w-bit terms).
+    cell.instantiate(
+        1,
+        adder_tree_module(n, precision.product_bits(), Role::PerMultiplier),
+    );
+    // Partial-sum output register + small sequencing FSM.
+    cell.instantiate(1, register_bank("psum_reg", acc_bits, Role::CellFixed));
+    cell.instantiate(1, fsm("cell_ctrl", 2, 16, Role::CellFixed));
+    cell
+}
+
+fn tub_pe_cell(precision: IntPrecision, n: usize) -> Module {
+    let w = precision.bits();
+    let mut cell = Module::new(format!("tub_pe_cell_{precision}_n{n}"), Role::CellFixed);
+    cell.instantiate(n as u64, tub_multiplier_slice(precision));
+    // Contribution reduction tree over (w+2)-bit terms — much narrower
+    // than the binary tree's 2w-bit products.
+    cell.instantiate(1, adder_tree_module(n, w + 2, Role::PerMultiplier));
+    cell.instantiate(1, tub_cell_control(precision, n));
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+    use crate::netlist::Role;
+
+    fn area(family: Family, p: IntPrecision, n: usize) -> f64 {
+        pe_cell_module(family, p, n)
+            .rollup(&CellLibrary::nangate45(), 0.3)
+            .total()
+            .area_um2
+    }
+
+    #[test]
+    fn tub_cell_smaller_than_binary_at_scale() {
+        for p in [IntPrecision::Int4, IntPrecision::Int8] {
+            for n in [16, 256, 1024] {
+                let b = area(Family::Binary, p, n);
+                let t = area(Family::Tub, p, n);
+                assert!(t < b, "{p} n={n}: tub {t} !< binary {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_binary_cell_tracks_paper_order_of_magnitude() {
+        // Paper Table II: binary INT8 n=16 cell is 0.0056 mm^2 = 5600 um^2.
+        // The raw structural model should land within ~2x before
+        // calibration.
+        let a = area(Family::Binary, IntPrecision::Int8, 16);
+        assert!(
+            (2800.0..11200.0).contains(&a),
+            "raw INT8 n=16 binary cell {a} um2"
+        );
+    }
+
+    #[test]
+    fn cells_have_per_multiplier_and_fixed_buckets() {
+        let lib = CellLibrary::nangate45();
+        for family in Family::BOTH {
+            let r = pe_cell_module(family, IntPrecision::Int8, 16).rollup(&lib, 0.3);
+            assert!(r.role(Role::PerMultiplier).area_um2 > 0.0, "{family}");
+            assert!(r.role(Role::CellFixed).area_um2 > 0.0, "{family}");
+        }
+    }
+
+    #[test]
+    fn per_multiplier_bucket_scales_with_n() {
+        let lib = CellLibrary::nangate45();
+        let r16 = pe_cell_module(Family::Tub, IntPrecision::Int8, 16).rollup(&lib, 0.3);
+        let r256 = pe_cell_module(Family::Tub, IntPrecision::Int8, 256).rollup(&lib, 0.3);
+        let ratio =
+            r256.role(Role::PerMultiplier).area_um2 / r16.role(Role::PerMultiplier).area_um2;
+        assert!((14.0..22.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Place-and-route estimation model: the Rust stand-in for the paper's
+//! Cadence Innovus flow (§V-B).
+//!
+//! Die area follows the paper's fixed 70% floorplan utilization; power
+//! applies a per-family uplift (routed wire load + clock tree) fitted
+//! to Table III. Wirelength is estimated with a Rent's-rule power law
+//! for reporting and layout rendering.
+
+use tempus_arith::IntPrecision;
+
+use crate::design::{DesignPoint, Family};
+use crate::synth::{SynthModel, SynthReport};
+
+/// Post-P&R estimate for a CMAC/PCU unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PnrReport {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Die (floorplan) area in mm² at the target utilization.
+    pub die_area_mm2: f64,
+    /// Synthesized cell area placed on the die, mm².
+    pub cell_area_mm2: f64,
+    /// Floorplan utilization.
+    pub utilization: f64,
+    /// Total post-route power in mW.
+    pub total_power_mw: f64,
+    /// Estimated total wirelength in metres (Rent's-rule estimate).
+    pub wirelength_m: f64,
+    /// Number of standard-cell rows in the floorplan.
+    pub rows: u32,
+    /// Die edge length in µm (square floorplan).
+    pub die_edge_um: f64,
+}
+
+/// The P&R model, layered over a [`SynthModel`].
+#[derive(Debug, Clone)]
+pub struct PnrModel {
+    synth: SynthModel,
+}
+
+impl PnrModel {
+    /// Creates the model over `synth`.
+    #[must_use]
+    pub fn new(synth: SynthModel) -> Self {
+        PnrModel { synth }
+    }
+
+    /// The underlying synthesis model.
+    #[must_use]
+    pub fn synth(&self) -> &SynthModel {
+        &self.synth
+    }
+
+    /// Places and routes a CMAC/PCU unit.
+    #[must_use]
+    pub fn place_and_route(
+        &self,
+        family: Family,
+        precision: IntPrecision,
+        k: usize,
+        n: usize,
+    ) -> PnrReport {
+        let unit: SynthReport = self.synth.unit(family, precision, k, n);
+        let utilization = self.synth.calibration().pnr_utilization();
+        let die_area_mm2 = unit.area_mm2 / utilization;
+        let die_edge_um = (die_area_mm2 * 1e6).sqrt();
+        let row_height = self.synth.library().row_height_um;
+        let rows = (die_edge_um / row_height).ceil() as u32;
+        let uplift = self.synth.calibration().pnr_power_uplift(family);
+        // Rent's-rule wirelength: L_total ≈ c · N^p · avg_len, with the
+        // average length growing with die edge. Constants tuned for
+        // reporting plausibility only — power does not depend on this.
+        let cells = unit.cell_count as f64;
+        let avg_len_um = 0.35 * die_edge_um.sqrt() * 4.0;
+        let wirelength_m = cells * 3.0 * avg_len_um * 1e-6;
+        PnrReport {
+            point: DesignPoint::new(family, precision, k, n),
+            die_area_mm2,
+            cell_area_mm2: unit.area_mm2,
+            utilization,
+            total_power_mw: unit.power_mw * uplift,
+            wirelength_m,
+            rows,
+            die_edge_um,
+        }
+    }
+
+    /// The paper's Table III configuration: INT4 16×4.
+    #[must_use]
+    pub fn table_iii(&self, family: Family) -> PnrReport {
+        self.place_and_route(family, IntPrecision::Int4, 16, 4)
+    }
+}
+
+impl Default for PnrModel {
+    fn default() -> Self {
+        PnrModel::new(SynthModel::nangate45())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_reproduced() {
+        let pnr = PnrModel::default();
+        let cmac = pnr.table_iii(Family::Binary);
+        let pcu = pnr.table_iii(Family::Tub);
+        assert!(
+            (cmac.die_area_mm2 - 0.0361).abs() / 0.0361 < 0.02,
+            "CMAC die {:.4}",
+            cmac.die_area_mm2
+        );
+        assert!(
+            (pcu.die_area_mm2 - 0.0168).abs() / 0.0168 < 0.02,
+            "PCU die {:.4}",
+            pcu.die_area_mm2
+        );
+        assert!(
+            (cmac.total_power_mw - 10.7013).abs() / 10.7013 < 0.02,
+            "CMAC power {:.3}",
+            cmac.total_power_mw
+        );
+        assert!(
+            (pcu.total_power_mw - 6.1146).abs() / 6.1146 < 0.02,
+            "PCU power {:.3}",
+            pcu.total_power_mw
+        );
+    }
+
+    #[test]
+    fn pnr_headline_improvements() {
+        // §I contribution 4: 53% area and 44% power improvement.
+        let pnr = PnrModel::default();
+        let cmac = pnr.table_iii(Family::Binary);
+        let pcu = pnr.table_iii(Family::Tub);
+        let area_red = (1.0 - pcu.die_area_mm2 / cmac.die_area_mm2) * 100.0;
+        let power_red = (1.0 - pcu.total_power_mw / cmac.total_power_mw) * 100.0;
+        assert!((area_red - 53.0).abs() < 3.0, "area {area_red}");
+        assert!((power_red - 44.0).abs() < 3.0, "power {power_red}");
+    }
+
+    #[test]
+    fn utilization_relates_cell_and_die_area() {
+        let pnr = PnrModel::default();
+        let r = pnr.place_and_route(Family::Tub, IntPrecision::Int8, 16, 16);
+        assert!((r.cell_area_mm2 / r.die_area_mm2 - 0.70).abs() < 1e-9);
+        assert!(r.rows > 0);
+        assert!(r.wirelength_m > 0.0);
+    }
+}

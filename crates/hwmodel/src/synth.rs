@@ -1,0 +1,245 @@
+//! Synthesis estimation model: the Rust stand-in for the paper's
+//! Synopsys Design Compiler runs (§IV).
+
+use tempus_arith::IntPrecision;
+
+use crate::calibration::{Calibration, DEFAULT_ACTIVITY, FREQ_MHZ};
+use crate::cells::CellLibrary;
+use crate::design::{DesignPoint, Family};
+use crate::netlist::Module;
+use crate::pe_cell::pe_cell_module;
+use crate::unit::unit_module;
+
+/// Hierarchy level of a synthesis estimate, mirroring the paper's three
+/// granularities (§IV): single PE cell, k×n PE array, full CMAC/PCU
+/// unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// A single PE cell (k = 1).
+    PeCell,
+    /// The k×n PE array.
+    Array,
+    /// The full CMAC (binary) or PCU (tub) unit.
+    Unit,
+}
+
+/// Post-synthesis estimate for one design point at one level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthReport {
+    /// The design point evaluated.
+    pub point: DesignPoint,
+    /// Hierarchy level.
+    pub level: Level,
+    /// Calibrated cell area in mm².
+    pub area_mm2: f64,
+    /// Calibrated total power (dynamic + leakage) in mW at 250 MHz.
+    pub power_mw: f64,
+    /// Uncalibrated structural area in mm² (for provenance).
+    pub raw_area_mm2: f64,
+    /// Standard-cell instance count of the underlying netlist.
+    pub cell_count: u64,
+    /// Flip-flop count of the underlying netlist.
+    pub ff_count: u64,
+}
+
+/// The synthesis model: NanGate45 library plus fitted calibration.
+///
+/// ```
+/// use tempus_hwmodel::{Family, SynthModel};
+/// use tempus_arith::IntPrecision;
+///
+/// let hw = SynthModel::nangate45();
+/// let cell = hw.pe_cell(Family::Tub, IntPrecision::Int8, 16);
+/// // Paper Table II: 0.0011 mm².
+/// assert!((cell.area_mm2 - 0.0011).abs() / 0.0011 < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthModel {
+    lib: CellLibrary,
+    calibration: Calibration,
+}
+
+impl SynthModel {
+    /// Builds the model for NanGate45 and runs the calibration fit.
+    #[must_use]
+    pub fn nangate45() -> Self {
+        let lib = CellLibrary::nangate45();
+        let calibration = Calibration::fit(&lib);
+        SynthModel { lib, calibration }
+    }
+
+    /// The cell library in use.
+    #[must_use]
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// The fitted calibration constants.
+    #[must_use]
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Evaluation clock frequency in MHz.
+    #[must_use]
+    pub fn freq_mhz(&self) -> f64 {
+        FREQ_MHZ
+    }
+
+    /// Estimates a single PE cell (paper Table II granularity).
+    #[must_use]
+    pub fn pe_cell(&self, family: Family, precision: IntPrecision, n: usize) -> SynthReport {
+        let module = pe_cell_module(family, precision, n);
+        self.report(
+            DesignPoint::new(family, precision, 1, n),
+            Level::PeCell,
+            &module,
+            self.calibration
+                .cell_area_mm2(&self.lib, family, precision, n),
+            self.calibration
+                .cell_power_mw(&self.lib, family, precision, n),
+        )
+    }
+
+    /// Estimates a k×n PE array (paper Fig. 4 granularity).
+    #[must_use]
+    pub fn pe_array(
+        &self,
+        family: Family,
+        precision: IntPrecision,
+        k: usize,
+        n: usize,
+    ) -> SynthReport {
+        let module = crate::array::pe_array_module(family, precision, k, n);
+        self.report(
+            DesignPoint::new(family, precision, k, n),
+            Level::Array,
+            &module,
+            self.calibration
+                .array_area_mm2(&self.lib, family, precision, k, n),
+            self.calibration
+                .array_power_mw(&self.lib, family, precision, k, n),
+        )
+    }
+
+    /// Estimates a full CMAC/PCU unit (paper Fig. 5 granularity).
+    #[must_use]
+    pub fn unit(&self, family: Family, precision: IntPrecision, k: usize, n: usize) -> SynthReport {
+        let module = unit_module(family, precision, k, n);
+        self.report(
+            DesignPoint::new(family, precision, k, n),
+            Level::Unit,
+            &module,
+            self.calibration
+                .unit_area_mm2(&self.lib, family, precision, k, n),
+            self.calibration
+                .unit_power_mw(&self.lib, family, precision, k, n),
+        )
+    }
+
+    fn report(
+        &self,
+        point: DesignPoint,
+        level: Level,
+        module: &Module,
+        area_mm2: f64,
+        power_mw: f64,
+    ) -> SynthReport {
+        let rollup = module.rollup(&self.lib, DEFAULT_ACTIVITY);
+        let total = rollup.total();
+        SynthReport {
+            point,
+            level,
+            area_mm2,
+            power_mw,
+            raw_area_mm2: total.area_um2 / 1e6,
+            cell_count: total.cell_count,
+            ff_count: total.ff_count,
+        }
+    }
+
+    /// Improvement of tub over binary at the same configuration:
+    /// `(area_reduction_pct, power_reduction_pct)`.
+    #[must_use]
+    pub fn improvement_pct(
+        &self,
+        level: Level,
+        precision: IntPrecision,
+        k: usize,
+        n: usize,
+    ) -> (f64, f64) {
+        let (b, t) = match level {
+            Level::PeCell => (
+                self.pe_cell(Family::Binary, precision, n),
+                self.pe_cell(Family::Tub, precision, n),
+            ),
+            Level::Array => (
+                self.pe_array(Family::Binary, precision, k, n),
+                self.pe_array(Family::Tub, precision, k, n),
+            ),
+            Level::Unit => (
+                self.unit(Family::Binary, precision, k, n),
+                self.unit(Family::Tub, precision, k, n),
+            ),
+        };
+        (
+            (1.0 - t.area_mm2 / b.area_mm2) * 100.0,
+            (1.0 - t.power_mw / b.power_mw) * 100.0,
+        )
+    }
+}
+
+impl Default for SynthModel {
+    fn default() -> Self {
+        SynthModel::nangate45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_carry_netlist_statistics() {
+        let hw = SynthModel::nangate45();
+        let r = hw.pe_cell(Family::Binary, IntPrecision::Int8, 16);
+        assert!(r.cell_count > 1000);
+        assert!(r.ff_count >= 256, "operand registers expected");
+        assert!(r.raw_area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn improvement_positive_at_table_ii_points() {
+        let hw = SynthModel::nangate45();
+        for p in [IntPrecision::Int4, IntPrecision::Int8] {
+            for n in [16, 256, 1024] {
+                let (a, pw) = hw.improvement_pct(Level::PeCell, p, 1, n);
+                assert!(a > 0.0, "{p} n={n} area");
+                assert!(pw > 0.0, "{p} n={n} power");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_larger_than_array_larger_than_cell() {
+        let hw = SynthModel::nangate45();
+        let cell = hw.pe_cell(Family::Binary, IntPrecision::Int8, 16);
+        let array = hw.pe_array(Family::Binary, IntPrecision::Int8, 16, 16);
+        let unit = hw.unit(Family::Binary, IntPrecision::Int8, 16, 16);
+        assert!(array.area_mm2 > cell.area_mm2 * 15.0);
+        assert!(unit.area_mm2 > array.area_mm2);
+        assert!(unit.power_mw > array.power_mw);
+    }
+
+    #[test]
+    fn int2_unit_sweep_is_finite_and_positive() {
+        let hw = SynthModel::nangate45();
+        for n in [4, 16, 32] {
+            for family in Family::BOTH {
+                let r = hw.unit(family, IntPrecision::Int2, 16, n);
+                assert!(r.area_mm2 > 0.0 && r.area_mm2.is_finite(), "{family} n={n}");
+                assert!(r.power_mw > 0.0 && r.power_mw.is_finite(), "{family} n={n}");
+            }
+        }
+    }
+}

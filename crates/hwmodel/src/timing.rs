@@ -1,0 +1,174 @@
+//! Static timing estimation: does each datapath close timing at the
+//! paper's fixed 250 MHz (4 ns) clock in 45nm (§IV: "operating at a
+//! fixed 250 MHz clock frequency to maintain consistent timing across
+//! evaluations")?
+//!
+//! The model walks the worst logic path of each PE cell family —
+//! partial products → Dadda stages → final CPA → adder tree for the
+//! binary cell; steering mux → sign XOR → adder tree → accumulator CPA
+//! for the tub cell — using representative NanGate45 stage delays.
+//! Like the area/power models this is an estimator, not an STA run;
+//! its purpose is to show both designs have healthy slack at 4 ns and
+//! that the tub datapath's logic path shortens relative to binary as
+//! precision grows (the array multiplier front-end is replaced by a
+//! mux + XOR; the shared reduction tree and the tub accumulator CPA
+//! bound the gap, and at INT2 the trivial multiplier flips it).
+
+use tempus_arith::adder_tree::shape;
+use tempus_arith::IntPrecision;
+
+use crate::design::Family;
+use crate::gen::{dadda_reduce, ReductionPlan};
+
+/// Representative 45nm typical-corner stage delays in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageDelays {
+    /// Simple gate (NAND/AND) including local wire.
+    pub gate_ns: f64,
+    /// Full-adder carry stage.
+    pub fa_ns: f64,
+    /// 2:1 mux.
+    pub mux_ns: f64,
+    /// XOR stage.
+    pub xor_ns: f64,
+    /// Flip-flop clock-to-Q plus setup.
+    pub reg_overhead_ns: f64,
+    /// Lookahead group bypass per 4 bits.
+    pub cla_group_ns: f64,
+}
+
+impl StageDelays {
+    /// NanGate45-flavoured typical delays.
+    #[must_use]
+    pub fn nangate45() -> Self {
+        StageDelays {
+            gate_ns: 0.035,
+            fa_ns: 0.090,
+            mux_ns: 0.055,
+            xor_ns: 0.060,
+            reg_overhead_ns: 0.150,
+            cla_group_ns: 0.065,
+        }
+    }
+}
+
+/// A timing estimate for one PE cell configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Family analysed.
+    pub family: Family,
+    /// Precision analysed.
+    pub precision: IntPrecision,
+    /// Multipliers per cell.
+    pub n: usize,
+    /// Estimated critical path in ns (including register overhead).
+    pub critical_path_ns: f64,
+    /// Slack against the 4 ns clock (positive = meets timing).
+    pub slack_ns: f64,
+    /// Maximum frequency implied by the path, in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// The paper's clock period in ns.
+pub const CLOCK_PERIOD_NS: f64 = 4.0;
+
+/// Estimates the critical path of one PE cell.
+#[must_use]
+pub fn pe_cell_timing(
+    family: Family,
+    precision: IntPrecision,
+    n: usize,
+    delays: StageDelays,
+) -> TimingReport {
+    let w = precision.bits();
+    let tree = shape(n, precision.product_bits());
+    // The cell's reduction tree: one carry-save stage per level plus a
+    // final assimilation; model each level as an FA stage.
+    let tree_ns = f64::from(tree.depth) * delays.fa_ns;
+    let path_ns = match family {
+        Family::Binary => {
+            // pp gen (one gate) + Dadda stages (FA each) + CPA with
+            // 4-bit lookahead groups + cell tree.
+            let plan: ReductionPlan = dadda_reduce(&crate::gen::multiplier_column_heights(w));
+            let cpa_ns = f64::from(plan.cpa_width.div_ceil(4)) * delays.cla_group_ns;
+            delays.gate_ns + f64::from(plan.stages) * delays.fa_ns + cpa_ns + tree_ns
+        }
+        Family::Tub => {
+            // steering mux + sign xor + narrower tree + accumulator CPA
+            // with lookahead groups.
+            let acc_bits = precision.accumulator_bits(n);
+            let acc_ns = f64::from(acc_bits.div_ceil(4)) * delays.cla_group_ns;
+            let tub_tree = shape(n, w + 2);
+            delays.mux_ns + delays.xor_ns + f64::from(tub_tree.depth) * delays.fa_ns + acc_ns
+        }
+    } + delays.reg_overhead_ns;
+    TimingReport {
+        family,
+        precision,
+        n,
+        critical_path_ns: path_ns,
+        slack_ns: CLOCK_PERIOD_NS - path_ns,
+        fmax_mhz: 1e3 / path_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(family: Family, p: IntPrecision, n: usize) -> TimingReport {
+        pe_cell_timing(family, p, n, StageDelays::nangate45())
+    }
+
+    #[test]
+    fn both_families_close_timing_at_250mhz() {
+        // §IV fixes 250 MHz for all evaluations; every swept
+        // configuration must meet it.
+        for p in IntPrecision::PAPER_SWEEP {
+            for n in [4usize, 16, 32, 256, 1024] {
+                for family in Family::BOTH {
+                    let r = report(family, p, n);
+                    assert!(
+                        r.slack_ns > 0.0,
+                        "{family} {p} n={n}: path {:.2} ns exceeds 4 ns",
+                        r.critical_path_ns
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tub_path_is_shorter_than_binary() {
+        // The multiplier front-end (pp-gen + Dadda + product CPA) is
+        // replaced by mux + XOR; the shared reduction tree keeps the
+        // gap moderate rather than dramatic.
+        for p in [IntPrecision::Int4, IntPrecision::Int8] {
+            let b = report(Family::Binary, p, 16);
+            let t = report(Family::Tub, p, 16);
+            assert!(
+                t.critical_path_ns < b.critical_path_ns,
+                "{p}: tub {:.2} vs binary {:.2}",
+                t.critical_path_ns,
+                b.critical_path_ns
+            );
+        }
+    }
+
+    #[test]
+    fn path_grows_with_width_and_precision() {
+        let narrow = report(Family::Binary, IntPrecision::Int4, 16);
+        let wide = report(Family::Binary, IntPrecision::Int8, 16);
+        assert!(wide.critical_path_ns > narrow.critical_path_ns);
+        let small = report(Family::Tub, IntPrecision::Int8, 16);
+        let big = report(Family::Tub, IntPrecision::Int8, 1024);
+        assert!(big.critical_path_ns > small.critical_path_ns);
+    }
+
+    #[test]
+    fn fmax_is_consistent_with_path() {
+        let r = report(Family::Tub, IntPrecision::Int8, 16);
+        assert!((r.fmax_mhz - 1e3 / r.critical_path_ns).abs() < 1e-9);
+        assert!(r.fmax_mhz > 250.0);
+    }
+}

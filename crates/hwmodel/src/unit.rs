@@ -1,0 +1,130 @@
+//! CMAC / PCU unit netlists: PE array plus the unit-boundary hardware
+//! the paper's Fig. 5 comparison includes.
+//!
+//! NVDLA's CMAC wraps the MAC array with ping-pong weight banks, input
+//! capture, product retiming pipelines and handshake logic (§II-C).
+//! Tempus Core's PCU replaces the retiming pipeline with the weight
+//! store + temporal encoder bank, partial-sum skid buffers and the
+//! multi-cycle handshake FSM (§III).
+
+use tempus_arith::IntPrecision;
+
+use crate::array::pe_array_module;
+use crate::cells::CellKind;
+use crate::design::Family;
+use crate::gen::{clock_gate_bank, fsm, register_bank};
+use crate::netlist::{Module, Role};
+
+/// Builds the full unit (CMAC for [`Family::Binary`], PCU for
+/// [`Family::Tub`]) at `k`×`n`.
+#[must_use]
+pub fn unit_module(family: Family, precision: IntPrecision, k: usize, n: usize) -> Module {
+    let w = u64::from(precision.bits());
+    let acc_bits = u64::from(precision.accumulator_bits(n));
+    let ku = k as u64;
+    let nu = n as u64;
+    let mut unit = Module::new(
+        format!("{}_{precision}_{k}x{n}", family.unit_name()),
+        Role::CellFixed,
+    );
+    unit.instantiate(1, pe_array_module(family, precision, k, n));
+    match family {
+        Family::Binary => {
+            // Second (ping-pong) weight bank: full-array weight shadow.
+            unit.instantiate(
+                1,
+                register_bank("weight_shadow_bank", ku * nu * w, Role::UnitOverhead),
+            );
+            // Input feature capture at the unit boundary.
+            unit.instantiate(
+                1,
+                register_bank("input_capture", nu * w, Role::UnitOverhead),
+            );
+            // Product retiming pipeline: one 2w-bit stage per lane
+            // ("intermediate registers that facilitate retiming and
+            // pipelining", §II-C).
+            unit.instantiate(
+                1,
+                register_bank("product_retiming", ku * nu * 2 * w, Role::UnitOverhead),
+            );
+            // Output partial-sum staging towards CACC.
+            unit.instantiate(
+                1,
+                register_bank("psum_stage", ku * acc_bits, Role::UnitOverhead),
+            );
+            unit.instantiate(1, clock_gate_bank("cell_gates", ku, Role::UnitOverhead));
+            unit.instantiate(1, fsm("cmac_handshake", 4, 96, Role::UnitOverhead));
+        }
+        Family::Tub => {
+            // Input feature capture (transposed feed from the modified
+            // CSC, §III).
+            unit.instantiate(
+                1,
+                register_bank("input_capture", nu * w, Role::UnitOverhead),
+            );
+            // Temporal encoder bank: per-lane weight store + 2s-unary
+            // encode state at the unit boundary.
+            let mut enc =
+                Module::new("temporal_encoder_bank", Role::UnitOverhead).with_activity(0.45);
+            enc.add(CellKind::Dff, ku * nu * w);
+            enc.add(CellKind::Xnor2, ku * nu * 2);
+            enc.add(CellKind::And2, ku * nu);
+            unit.instantiate(1, enc);
+            // Partial-sum skid buffers: two entries per cell so CACC
+            // handoff overlaps the next multi-cycle window (§III's
+            // "additional handshaking protocols with buffer blocks").
+            unit.instantiate(
+                1,
+                register_bank("psum_skid", ku * acc_bits * 2, Role::UnitOverhead),
+            );
+            unit.instantiate(1, clock_gate_bank("cell_gates", ku, Role::UnitOverhead));
+            unit.instantiate(
+                1,
+                fsm("pcu_multicycle_handshake", 6, 160, Role::UnitOverhead),
+            );
+        }
+    }
+    unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+
+    #[test]
+    fn units_add_overhead_over_arrays() {
+        let lib = CellLibrary::nangate45();
+        for family in Family::BOTH {
+            let unit = unit_module(family, IntPrecision::Int4, 16, 4).rollup(&lib, 0.3);
+            assert!(
+                unit.role(Role::UnitOverhead).area_um2 > 0.0,
+                "{family} unit overhead missing"
+            );
+        }
+    }
+
+    #[test]
+    fn cmac_overhead_is_register_dominated() {
+        let lib = CellLibrary::nangate45();
+        let unit = unit_module(Family::Binary, IntPrecision::Int4, 16, 4).rollup(&lib, 0.3);
+        let ov = unit.role(Role::UnitOverhead);
+        // Retiming + shadow banks: flops should dominate the overhead.
+        let ff_area = ov.ff_count as f64 * lib.spec(CellKind::Dff).area_um2;
+        assert!(ff_area / ov.area_um2 > 0.7);
+    }
+
+    #[test]
+    fn pcu_overhead_scales_with_lanes() {
+        let lib = CellLibrary::nangate45();
+        let small = unit_module(Family::Tub, IntPrecision::Int8, 16, 4)
+            .rollup(&lib, 0.3)
+            .role(Role::UnitOverhead)
+            .area_um2;
+        let big = unit_module(Family::Tub, IntPrecision::Int8, 16, 16)
+            .rollup(&lib, 0.3)
+            .role(Role::UnitOverhead)
+            .area_um2;
+        assert!(big > small * 2.0, "encoder bank should scale with k*n");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the hardware cost model: physical
+//! quantities must be positive, finite and monotone in the obvious
+//! directions, independent of calibration details.
+
+use proptest::prelude::*;
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::cells::CellLibrary;
+use tempus_hwmodel::gen::{dadda_reduce, ReductionPlan};
+use tempus_hwmodel::pe_cell::pe_cell_module;
+use tempus_hwmodel::{Family, Level, PnrModel, SynthModel};
+
+fn precisions() -> impl Strategy<Value = IntPrecision> {
+    prop_oneof![
+        Just(IntPrecision::Int2),
+        Just(IntPrecision::Int4),
+        Just(IntPrecision::Int8),
+    ]
+}
+
+fn families() -> impl Strategy<Value = Family> {
+    prop_oneof![Just(Family::Binary), Just(Family::Tub)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimates_are_positive_and_finite(
+        family in families(),
+        precision in precisions(),
+        k in 1usize..32,
+        n in 1usize..64,
+    ) {
+        let hw = SynthModel::nangate45();
+        for report in [
+            hw.pe_cell(family, precision, n),
+            hw.pe_array(family, precision, k, n),
+            hw.unit(family, precision, k, n),
+        ] {
+            prop_assert!(report.area_mm2 > 0.0 && report.area_mm2.is_finite());
+            prop_assert!(report.power_mw > 0.0 && report.power_mw.is_finite());
+            prop_assert!(report.cell_count > 0);
+        }
+    }
+
+    #[test]
+    fn area_monotone_in_n(
+        family in families(),
+        precision in precisions(),
+        n in 2usize..128,
+    ) {
+        let hw = SynthModel::nangate45();
+        let small = hw.pe_cell(family, precision, n);
+        let big = hw.pe_cell(family, precision, n * 2);
+        prop_assert!(
+            big.area_mm2 > small.area_mm2,
+            "{family} {precision}: area({}) = {} !> area({}) = {}",
+            n * 2, big.area_mm2, n, small.area_mm2
+        );
+    }
+
+    #[test]
+    fn array_area_scales_linearly_in_k(
+        family in families(),
+        precision in precisions(),
+        k in 1usize..16,
+    ) {
+        let hw = SynthModel::nangate45();
+        let one = hw.pe_array(family, precision, k, 16);
+        let two = hw.pe_array(family, precision, 2 * k, 16);
+        let ratio = two.area_mm2 / one.area_mm2;
+        prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tub_wins_area_at_scale(precision in precisions(), n in 16usize..256) {
+        let hw = SynthModel::nangate45();
+        let b = hw.pe_cell(Family::Binary, precision, n);
+        let t = hw.pe_cell(Family::Tub, precision, n);
+        prop_assert!(t.area_mm2 < b.area_mm2, "{precision} n={n}");
+    }
+
+    #[test]
+    fn pnr_die_exceeds_cell_area(
+        family in families(),
+        precision in precisions(),
+        n in 1usize..32,
+    ) {
+        let pnr = PnrModel::default();
+        let r = pnr.place_and_route(family, precision, 16, n);
+        prop_assert!(r.die_area_mm2 > r.cell_area_mm2);
+        prop_assert!((r.cell_area_mm2 / r.die_area_mm2 - r.utilization).abs() < 1e-9);
+        prop_assert!(r.total_power_mw > 0.0);
+    }
+
+    #[test]
+    fn dadda_reduction_invariants(heights in prop::collection::vec(1u32..20, 1..24)) {
+        let plan: ReductionPlan = dadda_reduce(&heights);
+        let total_bits: u64 = heights.iter().map(|&h| u64::from(h)).sum();
+        // Each FA removes exactly one bit; you can never remove more
+        // bits than exist beyond the final two rows.
+        prop_assert!(plan.full_adders < total_bits.max(1));
+        // CPA width is bounded by the (grown) column count.
+        prop_assert!(plan.cpa_width as usize <= heights.len() + plan.stages as usize + 1);
+    }
+
+    #[test]
+    fn netlist_rollup_is_additive(
+        family in families(),
+        precision in precisions(),
+        n in 1usize..32,
+    ) {
+        // Rolling up a module twice must be deterministic, and raw
+        // area must scale with instance multiplicity.
+        let lib = CellLibrary::nangate45();
+        let module = pe_cell_module(family, precision, n);
+        let r1 = module.rollup(&lib, 0.25).total();
+        let r2 = module.rollup(&lib, 0.25).total();
+        prop_assert_eq!(r1.cell_count, r2.cell_count);
+        prop_assert!((r1.area_um2 - r2.area_um2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_is_bounded(
+        precision in precisions(),
+        n in 4usize..64,
+    ) {
+        let hw = SynthModel::nangate45();
+        let (area, power) = hw.improvement_pct(Level::PeCell, precision, 1, n);
+        prop_assert!(area < 100.0 && area > -100.0);
+        prop_assert!(power < 100.0 && power > -200.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-model calibration constants.
+//!
+//! Two knobs per model:
+//!
+//! * `sparsity_pct` — pinned exactly to the paper's Table I word
+//!   sparsity (the published statistic *is* the target);
+//! * `beta` — the generalized-Gaussian shape parameter, tuned so that
+//!   16×16 tile-max profiling of the two models the paper analyses
+//!   lands on the §V-C average latencies (≈33 cycles MobileNetV2,
+//!   ≈31 cycles ResNeXt101). Models without published latency numbers
+//!   use the MobileNetV2-fitted shape, which is also consistent with
+//!   published weight-distribution studies (β between Laplacian and
+//!   Gaussian).
+
+use crate::zoo::Model;
+
+/// Calibration constants for one model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelCalib {
+    /// Generalized-Gaussian shape parameter β.
+    pub beta: f64,
+    /// Zero-weight percentage target (Table I).
+    pub sparsity_pct: f64,
+}
+
+/// Table I sparsity targets and fitted shape parameters.
+#[must_use]
+pub fn for_model(model: Model) -> ModelCalib {
+    let (beta, sparsity_pct) = match model {
+        Model::MobileNetV2 => (1.03, 2.25),
+        Model::MobileNetV3 => (1.22, 9.52),
+        Model::GoogleNet => (1.22, 1.91),
+        Model::InceptionV3 => (1.22, 1.99),
+        Model::ShuffleNetV2 => (1.22, 1.43),
+        Model::ResNet18 => (1.22, 2.043),
+        Model::ResNet50 => (1.22, 2.45),
+        Model::ResNeXt101 => (1.25, 2.64),
+    };
+    ModelCalib { beta, sparsity_pct }
+}
+
+/// §V-C latency targets (average 16×16 tile window in cycles) for the
+/// two profiled models.
+#[must_use]
+pub fn latency_target_cycles(model: Model) -> Option<f64> {
+    match model {
+        Model::MobileNetV2 => Some(33.0),
+        Model::ResNeXt101 => Some(31.0),
+        _ => None,
+    }
+}
+
+/// §V-C silent-PE targets (average zero weights per 16×16 tile).
+#[must_use]
+pub fn silent_pe_target(model: Model) -> Option<f64> {
+    match model {
+        Model::MobileNetV2 => Some(6.0),
+        Model::ResNeXt101 => Some(2.0),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_targets_match_table_i() {
+        assert_eq!(for_model(Model::MobileNetV2).sparsity_pct, 2.25);
+        assert_eq!(for_model(Model::MobileNetV3).sparsity_pct, 9.52);
+        assert_eq!(for_model(Model::ResNeXt101).sparsity_pct, 2.64);
+    }
+
+    #[test]
+    fn betas_are_between_laplace_and_gaussian() {
+        for model in Model::ALL {
+            let beta = for_model(model).beta;
+            assert!((1.0..=2.0).contains(&beta), "{model}: beta {beta}");
+        }
+    }
+
+    #[test]
+    fn latency_targets_only_for_profiled_models() {
+        assert!(latency_target_cycles(Model::MobileNetV2).is_some());
+        assert!(latency_target_cycles(Model::ResNet18).is_none());
+        assert_eq!(silent_pe_target(Model::ResNeXt101), Some(2.0));
+    }
+}

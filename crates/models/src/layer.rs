@@ -1,0 +1,164 @@
+//! Convolution layer descriptors.
+
+use std::fmt;
+
+/// What role a convolution plays in its network — useful when
+/// analysing how depthwise vs pointwise layers shape the weight
+/// statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Regular dense convolution.
+    Standard,
+    /// Depthwise convolution (`groups == channels`).
+    Depthwise,
+    /// 1×1 (pointwise) convolution.
+    Pointwise,
+    /// Grouped convolution (ResNeXt cardinality, shuffle units).
+    Grouped,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerKind::Standard => "standard",
+            LayerKind::Depthwise => "depthwise",
+            LayerKind::Pointwise => "pointwise",
+            LayerKind::Grouped => "grouped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape of one convolution layer's weight tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayerSpec {
+    /// Layer name (derived from the architecture position).
+    pub name: String,
+    /// Output channels (number of kernels, K).
+    pub out_c: usize,
+    /// Input channels (C).
+    pub in_c: usize,
+    /// Kernel height (R).
+    pub kh: usize,
+    /// Kernel width (S).
+    pub kw: usize,
+    /// Channel groups (1 = dense; `in_c` = depthwise).
+    pub groups: usize,
+}
+
+impl ConvLayerSpec {
+    /// Creates a dense convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or if `groups` does not divide both
+    /// channel counts.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        out_c: usize,
+        in_c: usize,
+        kh: usize,
+        kw: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(
+            out_c > 0 && in_c > 0 && kh > 0 && kw > 0 && groups > 0,
+            "layer dimensions must be nonzero"
+        );
+        assert!(
+            in_c.is_multiple_of(groups) && out_c.is_multiple_of(groups),
+            "groups must divide channel counts"
+        );
+        ConvLayerSpec {
+            name: name.into(),
+            out_c,
+            in_c,
+            kh,
+            kw,
+            groups,
+        }
+    }
+
+    /// Classifies the layer.
+    #[must_use]
+    pub fn kind(&self) -> LayerKind {
+        if self.groups == self.in_c && self.groups > 1 {
+            LayerKind::Depthwise
+        } else if self.kh == 1 && self.kw == 1 && self.groups == 1 {
+            LayerKind::Pointwise
+        } else if self.groups > 1 {
+            LayerKind::Grouped
+        } else {
+            LayerKind::Standard
+        }
+    }
+
+    /// Number of weights in the layer:
+    /// `out_c × (in_c / groups) × kh × kw`.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.out_c * (self.in_c / self.groups) * self.kh * self.kw
+    }
+
+    /// Dimensions of the lowered weight matrix the DLA tiles: one row
+    /// per kernel, one column per (channel, tap) pair.
+    #[must_use]
+    pub fn lowered_dims(&self) -> (usize, usize) {
+        (self.out_c, (self.in_c / self.groups) * self.kh * self.kw)
+    }
+}
+
+impl fmt::Display for ConvLayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}x{}x{} g={} ({})",
+            self.name,
+            self.out_c,
+            self.in_c / self.groups,
+            self.kh,
+            self.kw,
+            self.groups,
+            self.kind()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_count_and_lowering() {
+        let l = ConvLayerSpec::new("c", 32, 16, 3, 3, 1);
+        assert_eq!(l.weight_count(), 32 * 16 * 9);
+        assert_eq!(l.lowered_dims(), (32, 144));
+        assert_eq!(l.kind(), LayerKind::Standard);
+    }
+
+    #[test]
+    fn depthwise_classification() {
+        let l = ConvLayerSpec::new("dw", 64, 64, 3, 3, 64);
+        assert_eq!(l.kind(), LayerKind::Depthwise);
+        assert_eq!(l.weight_count(), 64 * 9);
+    }
+
+    #[test]
+    fn pointwise_and_grouped() {
+        assert_eq!(
+            ConvLayerSpec::new("pw", 128, 64, 1, 1, 1).kind(),
+            LayerKind::Pointwise
+        );
+        assert_eq!(
+            ConvLayerSpec::new("g", 256, 256, 3, 3, 32).kind(),
+            LayerKind::Grouped
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_groups_rejected() {
+        let _ = ConvLayerSpec::new("x", 10, 16, 3, 3, 3);
+    }
+}

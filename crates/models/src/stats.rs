@@ -1,0 +1,119 @@
+//! Weight statistics over quantized models.
+
+use crate::{LayerKind, QuantizedModel};
+
+/// Distribution statistics over a model's quantized weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightStats {
+    /// Total weights inspected.
+    pub count: usize,
+    /// Zero-weight percentage (Table I's metric).
+    pub sparsity_pct: f64,
+    /// Mean absolute quantized value.
+    pub mean_abs: f64,
+    /// Largest magnitude (equals full scale with symmetric
+    /// quantization).
+    pub max_abs: u32,
+    /// Histogram of magnitudes (index = |q|).
+    pub magnitude_histogram: Vec<u64>,
+}
+
+/// Computes statistics over every generated layer.
+#[must_use]
+pub fn weight_stats(model: &QuantizedModel) -> WeightStats {
+    let mut count = 0usize;
+    let mut zeros = 0usize;
+    let mut sum_abs = 0u64;
+    let mut max_abs = 0u32;
+    let mut hist = vec![0u64; 129];
+    for layer in &model.layers {
+        for &w in &layer.weights {
+            let mag = u32::from(w.unsigned_abs());
+            count += 1;
+            if mag == 0 {
+                zeros += 1;
+            }
+            sum_abs += u64::from(mag);
+            max_abs = max_abs.max(mag);
+            hist[mag as usize] += 1;
+        }
+    }
+    WeightStats {
+        count,
+        sparsity_pct: if count == 0 {
+            0.0
+        } else {
+            zeros as f64 / count as f64 * 100.0
+        },
+        mean_abs: if count == 0 {
+            0.0
+        } else {
+            sum_abs as f64 / count as f64
+        },
+        max_abs,
+        magnitude_histogram: hist,
+    }
+}
+
+/// Per-layer-kind weight share: how many weights live in layers of
+/// each kind (depthwise vs pointwise vs dense matters for tile
+/// statistics).
+#[must_use]
+pub fn weights_by_kind(model: &QuantizedModel) -> Vec<(LayerKind, usize)> {
+    let kinds = [
+        LayerKind::Standard,
+        LayerKind::Depthwise,
+        LayerKind::Pointwise,
+        LayerKind::Grouped,
+    ];
+    kinds
+        .iter()
+        .map(|&kind| {
+            let total = model
+                .layers
+                .iter()
+                .filter(|l| l.spec.kind() == kind)
+                .map(|l| l.weights.len())
+                .sum();
+            (kind, total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Model;
+    use tempus_arith::IntPrecision;
+
+    #[test]
+    fn stats_are_consistent() {
+        let m =
+            QuantizedModel::generate_limited(Model::ShuffleNetV2, IntPrecision::Int8, 7, 100_000);
+        let s = weight_stats(&m);
+        assert_eq!(s.count, m.total_weights());
+        assert!((s.sparsity_pct - m.sparsity_pct()).abs() < 1e-9);
+        assert_eq!(s.max_abs, 127);
+        let hist_total: u64 = s.magnitude_histogram.iter().sum();
+        assert_eq!(hist_total as usize, s.count);
+    }
+
+    #[test]
+    fn histogram_monotone_decreasing_in_bulk() {
+        // A unimodal zero-centred distribution: low magnitudes should
+        // vastly outnumber high ones (except the pinned full-scale).
+        let m = QuantizedModel::generate_limited(Model::GoogleNet, IntPrecision::Int8, 8, 300_000);
+        let s = weight_stats(&m);
+        assert!(s.magnitude_histogram[1] > s.magnitude_histogram[60]);
+        assert!(s.magnitude_histogram[10] > s.magnitude_histogram[100]);
+    }
+
+    #[test]
+    fn kind_breakdown_sums_to_total() {
+        let m =
+            QuantizedModel::generate_limited(Model::MobileNetV2, IntPrecision::Int8, 9, 200_000);
+        let by_kind = weights_by_kind(&m);
+        let sum: usize = by_kind.iter().map(|&(_, n)| n).sum();
+        assert_eq!(sum, m.total_weights());
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic weight generation: seeded generalized-Gaussian sampling
+//! plus symmetric per-layer quantization and sparsity pinning.
+//!
+//! Trained CNN weights are well modelled by zero-mean generalized
+//! Gaussian distributions `f(x) ∝ exp(−(|x|/α)^β)` with shape β
+//! between 1 (Laplacian) and 2 (Gaussian). The shape parameter is the
+//! one calibration knob that controls the *tile-max* statistics
+//! (Fig. 7's workload latency); the zero fraction is pinned exactly to
+//! the paper's Table I sparsity afterwards (replacing surplus zeros
+//! with ±1 or pruning ±1 values to zero — the smallest possible
+//! perturbation in quantized space).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A zero-mean generalized Gaussian distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneralizedGaussian {
+    alpha: f64,
+    beta: f64,
+}
+
+impl GeneralizedGaussian {
+    /// Creates the distribution with scale `alpha` and shape `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        GeneralizedGaussian { alpha, beta }
+    }
+
+    /// Shape parameter β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Draws one sample: `|x| = α · G^{1/β}` with `G ~ Gamma(1/β, 1)`
+    /// and a uniform random sign.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let g = sample_gamma(rng, 1.0 / self.beta);
+        let magnitude = self.alpha * g.powf(1.0 / self.beta);
+        if rng.random::<bool>() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+/// Standard normal via Box-Muller.
+fn sample_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(shape, 1) via Marsaglia-Tsang, with the boosting trick for
+/// shape < 1.
+fn sample_gamma(rng: &mut impl Rng, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d: f64 = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Symmetric per-layer quantization: the largest magnitude maps to
+/// `qmax` (e.g. 127 for INT8), everything else rounds to nearest.
+///
+/// Returns an all-zero vector for degenerate all-zero input.
+#[must_use]
+pub fn quantize_symmetric(weights: &[f64], qmax: i32) -> Vec<i8> {
+    let max = weights.iter().fold(0.0f64, |m, &w| m.max(w.abs()));
+    if max == 0.0 {
+        return vec![0; weights.len()];
+    }
+    let scale = max / f64::from(qmax);
+    weights
+        .iter()
+        .map(|&w| {
+            let q = (w / scale).round() as i32;
+            q.clamp(-qmax, qmax) as i8
+        })
+        .collect()
+}
+
+/// Pins the zero fraction of `q` to `target_frac` with minimal
+/// perturbations: surplus zeros become ±1, missing zeros are created
+/// by pruning ±1 (then ±2, …) values.
+pub fn pin_sparsity(q: &mut [i8], target_frac: f64, rng: &mut impl Rng) {
+    assert!((0.0..=1.0).contains(&target_frac), "fraction out of range");
+    if q.is_empty() {
+        return;
+    }
+    let target = (target_frac * q.len() as f64).round() as usize;
+    let zero_positions: Vec<usize> = (0..q.len()).filter(|&i| q[i] == 0).collect();
+    if zero_positions.len() > target {
+        // Too sparse: revive random zeros as ±1.
+        let mut to_fix = zero_positions.len() - target;
+        let mut candidates = zero_positions;
+        while to_fix > 0 && !candidates.is_empty() {
+            let pick = rng.random_range(0..candidates.len());
+            let idx = candidates.swap_remove(pick);
+            q[idx] = if rng.random::<bool>() { 1 } else { -1 };
+            to_fix -= 1;
+        }
+    } else if zero_positions.len() < target {
+        // Not sparse enough: prune smallest magnitudes first.
+        let mut to_fix = target - zero_positions.len();
+        let mut magnitude = 1i8;
+        while to_fix > 0 && magnitude < i8::MAX {
+            let mut candidates: Vec<usize> = (0..q.len())
+                .filter(|&i| q[i] == magnitude || q[i] == -magnitude)
+                .collect();
+            while to_fix > 0 && !candidates.is_empty() {
+                let pick = rng.random_range(0..candidates.len());
+                let idx = candidates.swap_remove(pick);
+                q[idx] = 0;
+                to_fix -= 1;
+            }
+            magnitude += 1;
+        }
+    }
+}
+
+/// Generates one layer's quantized weights: sample, quantize, pin.
+#[must_use]
+pub fn generate_layer(
+    count: usize,
+    beta: f64,
+    sparsity_frac: f64,
+    qmax: i32,
+    seed: u64,
+) -> Vec<i8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = GeneralizedGaussian::new(1.0, beta);
+    let raw: Vec<f64> = (0..count).map(|_| dist.sample(&mut rng)).collect();
+    let mut q = quantize_symmetric(&raw, qmax);
+    pin_sparsity(&mut q, sparsity_frac, &mut rng);
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gg_samples_have_requested_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = GeneralizedGaussian::new(2.0, 1.0);
+        let n = 20_000;
+        let mean_abs: f64 = (0..n).map(|_| dist.sample(&mut rng).abs()).sum::<f64>() / f64::from(n);
+        // Laplace(α): E|x| = α.
+        assert!((mean_abs - 2.0).abs() < 0.1, "mean |x| = {mean_abs}");
+    }
+
+    #[test]
+    fn gg_beta2_matches_gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dist = GeneralizedGaussian::new(1.0, 2.0);
+        let n = 20_000;
+        let var: f64 = (0..n)
+            .map(|_| {
+                let x = dist.sample(&mut rng);
+                x * x
+            })
+            .sum::<f64>()
+            / f64::from(n);
+        // β=2 with α=1 is N(0, 1/2): variance 0.5.
+        assert!((var - 0.5).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = generate_layer(100, 1.3, 0.02, 127, 42);
+        let b = generate_layer(100, 1.3, 0.02, 127, 42);
+        let c = generate_layer(100, 1.3, 0.02, 127, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quantization_hits_full_scale() {
+        let w = [0.1, -0.5, 0.25, -1.0];
+        let q = quantize_symmetric(&w, 127);
+        assert_eq!(q[3], -127);
+        assert_eq!(q[1], -64); // -0.5 / (1/127) = -63.5, rounds away from zero
+        let q4 = quantize_symmetric(&w, 7);
+        assert_eq!(q4[3], -7);
+    }
+
+    #[test]
+    fn quantize_all_zero_input() {
+        assert_eq!(quantize_symmetric(&[0.0; 4], 127), vec![0; 4]);
+    }
+
+    #[test]
+    fn pin_sparsity_exact_in_both_directions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Start with 50% zeros, pin to 10%.
+        let mut q: Vec<i8> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 50 }).collect();
+        pin_sparsity(&mut q, 0.10, &mut rng);
+        assert_eq!(q.iter().filter(|&&v| v == 0).count(), 100);
+        // Now pin upward to 30%: needs pruning of the ±1s we created
+        // plus larger magnitudes.
+        pin_sparsity(&mut q, 0.30, &mut rng);
+        assert_eq!(q.iter().filter(|&&v| v == 0).count(), 300);
+    }
+
+    #[test]
+    fn pin_sparsity_preserves_large_magnitudes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q: Vec<i8> = vec![127, -127, 1, -1, 1, -1, 1, -1, 0, 0];
+        pin_sparsity(&mut q, 0.5, &mut rng);
+        // The full-scale values must survive (they set the tile max).
+        assert!(q.contains(&127));
+        assert!(q.contains(&-127));
+        assert_eq!(q.iter().filter(|&&v| v == 0).count(), 5);
+    }
+
+    #[test]
+    fn generated_layer_hits_sparsity_target() {
+        let q = generate_layer(50_000, 1.3, 0.0225, 127, 9);
+        let zeros = q.iter().filter(|&&v| v == 0).count() as f64 / q.len() as f64;
+        assert!((zeros - 0.0225).abs() < 0.001, "sparsity {zeros}");
+    }
+
+    #[test]
+    fn generated_layer_reaches_full_scale() {
+        let q = generate_layer(10_000, 1.3, 0.02, 127, 5);
+        assert_eq!(q.iter().map(|v| v.unsigned_abs()).max(), Some(127));
+    }
+}

@@ -1,0 +1,162 @@
+//! MobileNet family layer tables.
+
+use crate::ConvLayerSpec;
+
+/// MobileNetV2 1.0x for 224×224 inputs: initial 3×3, seventeen
+/// inverted-residual blocks per the published (t, c, n, s) table, and
+/// the final 1×1 expansion to 1280.
+pub fn mobilenet_v2() -> Vec<ConvLayerSpec> {
+    let mut layers = Vec::new();
+    layers.push(ConvLayerSpec::new("conv0", 32, 3, 3, 3, 1));
+    // (expansion t, output channels c, repeats n).
+    let table: [(usize, usize, usize); 7] = [
+        (1, 16, 1),
+        (6, 24, 2),
+        (6, 32, 3),
+        (6, 64, 4),
+        (6, 96, 3),
+        (6, 160, 3),
+        (6, 320, 1),
+    ];
+    let mut in_c = 32;
+    let mut block = 0;
+    for (t, c, n) in table {
+        for _ in 0..n {
+            let hidden = in_c * t;
+            if t != 1 {
+                layers.push(ConvLayerSpec::new(
+                    format!("block{block}.expand"),
+                    hidden,
+                    in_c,
+                    1,
+                    1,
+                    1,
+                ));
+            }
+            layers.push(ConvLayerSpec::new(
+                format!("block{block}.dw"),
+                hidden,
+                hidden,
+                3,
+                3,
+                hidden,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("block{block}.project"),
+                c,
+                hidden,
+                1,
+                1,
+                1,
+            ));
+            in_c = c;
+            block += 1;
+        }
+    }
+    layers.push(ConvLayerSpec::new("conv_last", 1280, 320, 1, 1, 1));
+    layers
+}
+
+/// MobileNetV3-Large: published bneck table with squeeze-excite 1×1
+/// reductions included (they run on the DLA as 1×1 convolutions).
+pub fn mobilenet_v3_large() -> Vec<ConvLayerSpec> {
+    let mut layers = Vec::new();
+    layers.push(ConvLayerSpec::new("conv0", 16, 3, 3, 3, 1));
+    // (kernel, expanded, out, use_se).
+    let table: [(usize, usize, usize, bool); 15] = [
+        (3, 16, 16, false),
+        (3, 64, 24, false),
+        (3, 72, 24, false),
+        (5, 72, 40, true),
+        (5, 120, 40, true),
+        (5, 120, 40, true),
+        (3, 240, 80, false),
+        (3, 200, 80, false),
+        (3, 184, 80, false),
+        (3, 184, 80, false),
+        (3, 480, 112, true),
+        (3, 672, 112, true),
+        (5, 672, 160, true),
+        (5, 960, 160, true),
+        (5, 960, 160, true),
+    ];
+    let mut in_c = 16;
+    for (i, (k, exp, out, se)) in table.into_iter().enumerate() {
+        if exp != in_c {
+            layers.push(ConvLayerSpec::new(
+                format!("bneck{i}.expand"),
+                exp,
+                in_c,
+                1,
+                1,
+                1,
+            ));
+        }
+        layers.push(ConvLayerSpec::new(
+            format!("bneck{i}.dw"),
+            exp,
+            exp,
+            k,
+            k,
+            exp,
+        ));
+        if se {
+            let squeeze = (exp / 4).max(8);
+            layers.push(ConvLayerSpec::new(
+                format!("bneck{i}.se_reduce"),
+                squeeze,
+                exp,
+                1,
+                1,
+                1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("bneck{i}.se_expand"),
+                exp,
+                squeeze,
+                1,
+                1,
+                1,
+            ));
+        }
+        layers.push(ConvLayerSpec::new(
+            format!("bneck{i}.project"),
+            out,
+            exp,
+            1,
+            1,
+            1,
+        ));
+        in_c = out;
+    }
+    layers.push(ConvLayerSpec::new("conv_last", 960, 160, 1, 1, 1));
+    layers.push(ConvLayerSpec::new("conv_head", 1280, 960, 1, 1, 1));
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_v2_block_structure() {
+        let layers = mobilenet_v2();
+        // 1 stem + block0 (2 layers, t=1) + 16 blocks x 3 layers + last.
+        assert_eq!(layers.len(), 1 + 2 + 16 * 3 + 1);
+        // Published conv parameter count ~1.95M.
+        let params: usize = layers.iter().map(ConvLayerSpec::weight_count).sum();
+        assert!((1_800_000..2_200_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn mobilenet_v2_first_block_has_no_expand() {
+        let layers = mobilenet_v2();
+        assert_eq!(layers[1].name, "block0.dw");
+    }
+
+    #[test]
+    fn mobilenet_v3_has_se_blocks() {
+        let layers = mobilenet_v3_large();
+        assert!(layers.iter().any(|l| l.name.contains("se_reduce")));
+    }
+}

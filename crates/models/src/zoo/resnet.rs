@@ -1,0 +1,151 @@
+//! ResNet / ResNeXt layer tables.
+
+use crate::ConvLayerSpec;
+
+/// ResNet-18: 7×7 stem plus four stages of two basic blocks each.
+pub fn resnet18() -> Vec<ConvLayerSpec> {
+    let mut layers = vec![ConvLayerSpec::new("conv1", 64, 3, 7, 7, 1)];
+    let widths = [64usize, 128, 256, 512];
+    let mut in_c = 64;
+    for (stage, &w) in widths.iter().enumerate() {
+        for block in 0..2 {
+            let name = format!("layer{}.{}", stage + 1, block);
+            layers.push(ConvLayerSpec::new(
+                format!("{name}.conv1"),
+                w,
+                in_c,
+                3,
+                3,
+                1,
+            ));
+            layers.push(ConvLayerSpec::new(format!("{name}.conv2"), w, w, 3, 3, 1));
+            if block == 0 && in_c != w {
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.downsample"),
+                    w,
+                    in_c,
+                    1,
+                    1,
+                    1,
+                ));
+            }
+            in_c = w;
+        }
+    }
+    layers
+}
+
+fn bottleneck_stages(
+    layers: &mut Vec<ConvLayerSpec>,
+    blocks: [usize; 4],
+    inner_base: usize,
+    groups: usize,
+) {
+    let mut in_c = 64;
+    for (stage, &count) in blocks.iter().enumerate() {
+        let inner = inner_base << stage;
+        let out = 256 << stage;
+        for block in 0..count {
+            let name = format!("layer{}.{}", stage + 1, block);
+            layers.push(ConvLayerSpec::new(
+                format!("{name}.conv1"),
+                inner,
+                in_c,
+                1,
+                1,
+                1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("{name}.conv2"),
+                inner,
+                inner,
+                3,
+                3,
+                groups,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("{name}.conv3"),
+                out,
+                inner,
+                1,
+                1,
+                1,
+            ));
+            if block == 0 {
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.downsample"),
+                    out,
+                    in_c,
+                    1,
+                    1,
+                    1,
+                ));
+            }
+            in_c = out;
+        }
+    }
+}
+
+/// ResNet-50: bottleneck blocks [3, 4, 6, 3], inner widths 64..512.
+pub fn resnet50() -> Vec<ConvLayerSpec> {
+    let mut layers = vec![ConvLayerSpec::new("conv1", 64, 3, 7, 7, 1)];
+    bottleneck_stages(&mut layers, [3, 4, 6, 3], 64, 1);
+    layers
+}
+
+/// ResNeXt-101 32x8d: bottlenecks [3, 4, 23, 3] with cardinality 32
+/// and width-per-group 8 (inner widths 256..2048).
+pub fn resnext101_32x8d() -> Vec<ConvLayerSpec> {
+    let mut layers = vec![ConvLayerSpec::new("conv1", 64, 3, 7, 7, 1)];
+    bottleneck_stages(&mut layers, [3, 4, 23, 3], 256, 32);
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_conv_params() {
+        let params: usize = resnet18().iter().map(ConvLayerSpec::weight_count).sum();
+        // Published: ~11.2M conv parameters.
+        assert!((10_800_000..11_600_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn resnet50_conv_params() {
+        let params: usize = resnet50().iter().map(ConvLayerSpec::weight_count).sum();
+        // Published: ~23.5M conv parameters.
+        assert!((22_000_000..25_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn resnext101_conv_params() {
+        let params: usize = resnext101_32x8d()
+            .iter()
+            .map(ConvLayerSpec::weight_count)
+            .sum();
+        // Published: ~86.7M conv parameters.
+        assert!((83_000_000..91_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn resnext_grouped_convs_have_cardinality_32() {
+        assert!(resnext101_32x8d()
+            .iter()
+            .filter(|l| l.name.ends_with("conv2"))
+            .all(|l| l.groups == 32));
+    }
+
+    #[test]
+    fn stage_block_counts() {
+        let count = |prefix: &str| {
+            resnext101_32x8d()
+                .iter()
+                .filter(|l| l.name.starts_with(prefix) && l.name.ends_with("conv1"))
+                .count()
+        };
+        assert_eq!(count("layer3"), 23);
+        assert_eq!(count("layer4"), 3);
+    }
+}

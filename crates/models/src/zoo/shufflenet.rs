@@ -1,0 +1,116 @@
+//! ShuffleNetV2 layer table.
+
+use crate::ConvLayerSpec;
+
+/// ShuffleNetV2 1.0x: stem, three stages of shuffle units (stage
+/// widths 116/232/464 with 4/8/4 units) and the final 1×1 conv5.
+///
+/// In each basic unit only half the channels pass through the
+/// 1×1 → dw3×3 → 1×1 branch; downsampling units process both halves.
+pub fn shufflenet_v2_x1() -> Vec<ConvLayerSpec> {
+    let mut layers = vec![ConvLayerSpec::new("conv1", 24, 3, 3, 3, 1)];
+    let stages: [(usize, usize); 3] = [(116, 4), (232, 8), (464, 4)];
+    let mut in_c = 24;
+    for (stage_idx, (width, units)) in stages.into_iter().enumerate() {
+        for unit in 0..units {
+            let name = format!("stage{}.{}", stage_idx + 2, unit);
+            if unit == 0 {
+                // Downsample unit: both branches are convolved.
+                let half = width / 2;
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.b1_dw"),
+                    in_c,
+                    in_c,
+                    3,
+                    3,
+                    in_c,
+                ));
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.b1_pw"),
+                    half,
+                    in_c,
+                    1,
+                    1,
+                    1,
+                ));
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.b2_pw1"),
+                    half,
+                    in_c,
+                    1,
+                    1,
+                    1,
+                ));
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.b2_dw"),
+                    half,
+                    half,
+                    3,
+                    3,
+                    half,
+                ));
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.b2_pw2"),
+                    half,
+                    half,
+                    1,
+                    1,
+                    1,
+                ));
+                in_c = width;
+            } else {
+                let half = width / 2;
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.pw1"),
+                    half,
+                    half,
+                    1,
+                    1,
+                    1,
+                ));
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.dw"),
+                    half,
+                    half,
+                    3,
+                    3,
+                    half,
+                ));
+                layers.push(ConvLayerSpec::new(
+                    format!("{name}.pw2"),
+                    half,
+                    half,
+                    1,
+                    1,
+                    1,
+                ));
+            }
+        }
+    }
+    layers.push(ConvLayerSpec::new("conv5", 1024, 464, 1, 1, 1));
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shufflenet_conv_params() {
+        let params: usize = shufflenet_v2_x1()
+            .iter()
+            .map(ConvLayerSpec::weight_count)
+            .sum();
+        // ShuffleNetV2 1.0x: ~2.3M total params, ~1.2M in conv
+        // (the 464->1024 conv5 dominates).
+        assert!((900_000..1_700_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn stages_have_expected_unit_counts() {
+        let layers = shufflenet_v2_x1();
+        let count = |p: &str| layers.iter().filter(|l| l.name.starts_with(p)).count();
+        assert_eq!(count("stage2"), 5 + 3 * 3);
+        assert_eq!(count("stage3"), 5 + 7 * 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the synthetic weight generator: the
+//! statistical knobs must hold exactly for any target, and generation
+//! must be deterministic and precision-safe.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tempus_arith::IntPrecision;
+use tempus_models::weightgen::{
+    generate_layer, pin_sparsity, quantize_symmetric, GeneralizedGaussian,
+};
+use tempus_models::zoo::Model;
+use tempus_models::QuantizedModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quantization_is_bounded_and_full_scale(
+        weights in prop::collection::vec(-10.0f64..10.0, 1..500),
+        qmax in prop_oneof![Just(1i32), Just(7), Just(127)],
+    ) {
+        let q = quantize_symmetric(&weights, qmax);
+        prop_assert_eq!(q.len(), weights.len());
+        let max_abs = q.iter().map(|v| i32::from(v.unsigned_abs())).max().unwrap();
+        prop_assert!(max_abs <= qmax);
+        // Unless the input is all-zero, the largest magnitude maps to
+        // full scale by construction of symmetric quantization.
+        if weights.iter().any(|&w| w != 0.0) {
+            prop_assert_eq!(max_abs, qmax);
+        }
+    }
+
+    #[test]
+    fn pin_sparsity_is_exact(
+        seed in any::<u64>(),
+        len in 100usize..2000,
+        target_pct in 0.0f64..0.3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q: Vec<i8> = (0..len).map(|i| ((i * 37) % 255) as i8).collect();
+        pin_sparsity(&mut q, target_pct, &mut rng);
+        let zeros = q.iter().filter(|&&v| v == 0).count();
+        let target = (target_pct * len as f64).round() as usize;
+        prop_assert_eq!(zeros, target);
+    }
+
+    #[test]
+    fn generated_layers_are_deterministic_and_in_range(
+        seed in any::<u64>(),
+        count in 1usize..5000,
+        beta in 0.8f64..2.0,
+    ) {
+        let a = generate_layer(count, beta, 0.02, 127, seed);
+        let b = generate_layer(count, beta, 0.02, 127, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&w| (-127..=127).contains(&(w as i32))));
+    }
+
+    #[test]
+    fn gg_samples_are_finite(alpha in 0.1f64..10.0, beta in 0.5f64..3.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = GeneralizedGaussian::new(alpha, beta);
+        for _ in 0..100 {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x.is_finite());
+        }
+    }
+}
+
+#[test]
+fn every_model_generates_subset_within_targets() {
+    for model in Model::ALL {
+        let q = QuantizedModel::generate_limited(model, IntPrecision::Int8, 11, 250_000);
+        let target = tempus_models::calib::for_model(model).sparsity_pct;
+        assert!(
+            (q.sparsity_pct() - target).abs() < 0.5,
+            "{model}: {:.2}% vs {target}%",
+            q.sparsity_pct()
+        );
+        for layer in &q.layers {
+            assert!(!layer.weights.is_empty());
+            assert!(layer.sparsity() < 0.5, "{model}/{}", layer.spec.name);
+        }
+    }
+}
+
+#[test]
+fn int4_generation_respects_range_and_scale() {
+    let q = QuantizedModel::generate_limited(Model::GoogleNet, IntPrecision::Int4, 5, 150_000);
+    for layer in &q.layers {
+        let max = layer.weights.iter().map(|w| w.unsigned_abs()).max().unwrap();
+        assert_eq!(max, 7, "{}: INT4 full scale", layer.spec.name);
+        assert!(layer.weights.iter().all(|&w| (-7..=7).contains(&(w as i32))));
+    }
+}

@@ -1,0 +1,168 @@
+//! Convolution accumulator (CACC).
+//!
+//! CACC owns the partial-sum assembly: each incoming bundle of k
+//! partial sums is added into per-(position, kernel) accumulators of
+//! configurable width, saturating on overflow as the RTL does. Once
+//! every stripe has been folded in, the assembly is read out as the
+//! layer's output cube.
+
+use tempus_arith::binary::saturating_accumulate;
+
+use crate::cmac::PsumBundle;
+use crate::cube::DataCube;
+use crate::NvdlaError;
+
+/// The accumulation buffer for one convolution's output.
+#[derive(Debug, Clone)]
+pub struct Cacc {
+    out_w: usize,
+    out_h: usize,
+    kernels: usize,
+    acc_bits: u32,
+    acc: Vec<i64>,
+    saturations: u64,
+    bundles: u64,
+}
+
+impl Cacc {
+    /// Creates an accumulator for an `out_w`×`out_h`×`kernels` output
+    /// with `acc_bits`-wide two's complement accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `acc_bits` outside `8..=64`.
+    #[must_use]
+    pub fn new(out_w: usize, out_h: usize, kernels: usize, acc_bits: u32) -> Self {
+        assert!(
+            out_w > 0 && out_h > 0 && kernels > 0,
+            "output dimensions must be nonzero"
+        );
+        assert!((8..=64).contains(&acc_bits), "acc_bits must be 8..=64");
+        Cacc {
+            out_w,
+            out_h,
+            kernels,
+            acc_bits,
+            acc: vec![0; out_w * out_h * kernels],
+            saturations: 0,
+            bundles: 0,
+        }
+    }
+
+    /// Folds one partial-sum bundle in. `kernel_base` is the first
+    /// kernel index the bundle's cells map to (kernel group × k);
+    /// sums mapping past the kernel count are discarded (gated cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output position is out of range (driver bug).
+    pub fn accumulate(&mut self, bundle: &PsumBundle, kernel_base: usize) {
+        assert!(
+            bundle.out_x < self.out_w && bundle.out_y < self.out_h,
+            "output position out of range"
+        );
+        self.bundles += 1;
+        for (cell, &sum) in bundle.sums.iter().enumerate() {
+            let kernel = kernel_base + cell;
+            if kernel >= self.kernels {
+                continue;
+            }
+            let idx = (bundle.out_y * self.out_w + bundle.out_x) * self.kernels + kernel;
+            let before = self.acc[idx];
+            let after = saturating_accumulate(before, sum, self.acc_bits);
+            if after != before.wrapping_add(sum) {
+                self.saturations += 1;
+            }
+            self.acc[idx] = after;
+        }
+    }
+
+    /// Reads the assembled output as a cube of `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvdlaError::InvalidShape`] if any accumulator exceeds
+    /// `i32` (callers picking adequate `acc_bits` never see this).
+    pub fn read_out(&self) -> Result<DataCube, NvdlaError> {
+        let mut data = Vec::with_capacity(self.acc.len());
+        for &v in &self.acc {
+            data.push(i32::try_from(v).map_err(|_| {
+                NvdlaError::InvalidShape("accumulator value exceeds i32 output".into())
+            })?);
+        }
+        DataCube::from_vec(self.out_w, self.out_h, self.kernels, data)
+    }
+
+    /// Saturation events observed (0 in correctly sized runs).
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+
+    /// Bundles folded in.
+    #[must_use]
+    pub fn bundles(&self) -> u64 {
+        self.bundles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle(x: usize, y: usize, sums: Vec<i64>) -> PsumBundle {
+        PsumBundle {
+            out_x: x,
+            out_y: y,
+            sums,
+        }
+    }
+
+    #[test]
+    fn accumulates_across_bundles() {
+        let mut cacc = Cacc::new(2, 2, 3, 34);
+        cacc.accumulate(&bundle(0, 0, vec![10, 20, 30]), 0);
+        cacc.accumulate(&bundle(0, 0, vec![1, 2, 3]), 0);
+        let out = cacc.read_out().unwrap();
+        assert_eq!(out.get(0, 0, 0), 11);
+        assert_eq!(out.get(0, 0, 1), 22);
+        assert_eq!(out.get(0, 0, 2), 33);
+        assert_eq!(cacc.bundles(), 2);
+    }
+
+    #[test]
+    fn kernel_base_offsets_cells() {
+        let mut cacc = Cacc::new(1, 1, 5, 34);
+        // Kernel group 1 with k=2 cells maps to kernels 2 and 3.
+        cacc.accumulate(&bundle(0, 0, vec![7, 9]), 2);
+        let out = cacc.read_out().unwrap();
+        assert_eq!(out.get(0, 0, 2), 7);
+        assert_eq!(out.get(0, 0, 3), 9);
+        assert_eq!(out.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn sums_past_kernel_count_discarded() {
+        let mut cacc = Cacc::new(1, 1, 3, 34);
+        cacc.accumulate(&bundle(0, 0, vec![1, 2, 3, 999]), 0);
+        let out = cacc.read_out().unwrap();
+        assert_eq!(out.get(0, 0, 2), 3);
+    }
+
+    #[test]
+    fn saturation_counted_and_clamped() {
+        let mut cacc = Cacc::new(1, 1, 1, 8);
+        cacc.accumulate(&bundle(0, 0, vec![100]), 0);
+        cacc.accumulate(&bundle(0, 0, vec![100]), 0);
+        assert_eq!(cacc.saturations(), 1);
+        let out = cacc.read_out().unwrap();
+        assert_eq!(out.get(0, 0, 0), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn position_bounds_checked() {
+        let mut cacc = Cacc::new(2, 2, 1, 34);
+        cacc.accumulate(&bundle(2, 0, vec![1]), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Convolution buffer (CB) model.
+//!
+//! The CB "stores input activations and filter weights" (§II-C). The
+//! model tracks bank allocation between the weight and feature regions,
+//! enforces capacity, and counts accesses so utilization statistics can
+//! be reported alongside the datapath results.
+
+use tempus_arith::IntPrecision;
+
+use crate::config::NvdlaConfig;
+use crate::cube::{DataCube, KernelSet};
+use crate::NvdlaError;
+
+/// The banked convolution buffer, loaded with one layer's working set.
+#[derive(Debug, Clone)]
+pub struct ConvBuffer {
+    config: NvdlaConfig,
+    weight_bytes: usize,
+    feature_bytes: usize,
+    reads: u64,
+}
+
+impl ConvBuffer {
+    /// Creates an empty buffer for `config`.
+    #[must_use]
+    pub fn new(config: NvdlaConfig) -> Self {
+        ConvBuffer {
+            config,
+            weight_bytes: 0,
+            feature_bytes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Loads a layer's features and weights, checking capacity at the
+    /// configured precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvdlaError::BufferOverflow`] when the combined working
+    /// set exceeds the buffer.
+    pub fn load(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        precision: IntPrecision,
+    ) -> Result<(), NvdlaError> {
+        let wb = kernels.bytes(precision);
+        let fb = features.bytes(precision);
+        let capacity = self.config.cbuf_bytes();
+        if wb + fb > capacity {
+            return Err(NvdlaError::BufferOverflow {
+                requested: wb + fb,
+                capacity,
+            });
+        }
+        self.weight_bytes = wb;
+        self.feature_bytes = fb;
+        Ok(())
+    }
+
+    /// Records one read transaction (a 1×1×n sliver fetch).
+    pub fn record_read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Bytes currently allocated to weights.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_bytes
+    }
+
+    /// Bytes currently allocated to features.
+    #[must_use]
+    pub fn feature_bytes(&self) -> usize {
+        self.feature_bytes
+    }
+
+    /// Total reads recorded.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Occupancy as a fraction of capacity.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        (self.weight_bytes + self.feature_bytes) as f64 / self.config.cbuf_bytes() as f64
+    }
+
+    /// Banks needed for the current weight region (rounded up).
+    #[must_use]
+    pub fn weight_banks(&self) -> usize {
+        self.weight_bytes.div_ceil(self.config.cbuf_bank_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_within_capacity() {
+        let mut cb = ConvBuffer::new(NvdlaConfig::nv_small());
+        let f = DataCube::zeros(32, 32, 16);
+        let k = KernelSet::zeros(8, 3, 3, 16);
+        cb.load(&f, &k, IntPrecision::Int8).unwrap();
+        assert_eq!(cb.feature_bytes(), 32 * 32 * 16);
+        assert_eq!(cb.weight_bytes(), 8 * 9 * 16);
+        assert!(cb.occupancy() > 0.0 && cb.occupancy() < 1.0);
+        assert_eq!(cb.weight_banks(), 1);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut cb = ConvBuffer::new(NvdlaConfig::nv_small());
+        let f = DataCube::zeros(256, 256, 8); // 512 KiB > 128 KiB
+        let k = KernelSet::zeros(1, 1, 1, 8);
+        assert!(matches!(
+            cb.load(&f, &k, IntPrecision::Int8),
+            Err(NvdlaError::BufferOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn int4_halves_footprint() {
+        let mut cb = ConvBuffer::new(NvdlaConfig::nv_small());
+        let f = DataCube::zeros(64, 64, 16);
+        let k = KernelSet::zeros(8, 3, 3, 16);
+        cb.load(&f, &k, IntPrecision::Int4).unwrap();
+        assert_eq!(cb.feature_bytes(), 64 * 64 * 16 / 2);
+    }
+
+    #[test]
+    fn reads_accumulate() {
+        let mut cb = ConvBuffer::new(NvdlaConfig::nv_small());
+        cb.record_read();
+        cb.record_read();
+        assert_eq!(cb.reads(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Cycle-accurate binary CMAC: the k×n MAC array Tempus Core replaces.
+//!
+//! Per cycle the CMAC accepts one atomic op (a broadcast 1×1×n feature
+//! sliver), multiplies it against every cell's cached weight sliver,
+//! reduces per cell through the adder tree and emits k partial sums
+//! after its pipeline latency (§II-C). Cells whose weight sliver is
+//! all-zero (unused kernels) are clock-gated.
+
+use std::collections::VecDeque;
+
+use tempus_arith::{adder_tree, IntPrecision};
+use tempus_sim::ActivityCounter;
+
+use crate::csc::AtomicOp;
+
+/// A bundle of k partial sums leaving the array, tagged with its
+/// output position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsumBundle {
+    /// Output x.
+    pub out_x: usize,
+    /// Output y.
+    pub out_y: usize,
+    /// One partial sum per PE cell.
+    pub sums: Vec<i64>,
+}
+
+/// The cycle-accurate binary MAC array.
+#[derive(Debug, Clone)]
+pub struct BinaryCmac {
+    k: usize,
+    n: usize,
+    precision: IntPrecision,
+    pipeline_depth: u32,
+    weights: Vec<Vec<i32>>,
+    cell_gated: Vec<bool>,
+    pipeline: VecDeque<Option<PsumBundle>>,
+    cycles: u64,
+    ops_accepted: u64,
+    cell_activity: Vec<ActivityCounter>,
+}
+
+impl BinaryCmac {
+    /// Creates an array of `k` cells × `n` multipliers at `precision`
+    /// with the given pipeline depth (≥1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the pipeline depth is zero.
+    #[must_use]
+    pub fn new(k: usize, n: usize, precision: IntPrecision, pipeline_depth: u32) -> Self {
+        assert!(k > 0 && n > 0, "array dimensions must be nonzero");
+        assert!(pipeline_depth >= 1, "pipeline depth must be >= 1");
+        BinaryCmac {
+            k,
+            n,
+            precision,
+            pipeline_depth,
+            weights: vec![vec![0; n]; k],
+            cell_gated: vec![true; k],
+            pipeline: VecDeque::from(vec![None; pipeline_depth as usize - 1]),
+            cycles: 0,
+            ops_accepted: 0,
+            cell_activity: vec![ActivityCounter::new(); k],
+        }
+    }
+
+    /// Number of PE cells.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Multipliers per cell.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Caches new weight slivers (one stripe). Cells with an all-zero
+    /// sliver are gated until the next load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not exactly k slivers of n weights, or a
+    /// weight violates the precision — the CSC validates upstream, so
+    /// this indicates a driver bug.
+    pub fn load_weights(&mut self, cell_weights: &[Vec<i32>]) {
+        assert_eq!(cell_weights.len(), self.k, "expected one sliver per cell");
+        for (cell, sliver) in cell_weights.iter().enumerate() {
+            assert_eq!(sliver.len(), self.n, "sliver width mismatch");
+            for &w in sliver {
+                self.precision.check(w).expect("weight out of range");
+            }
+            self.cell_gated[cell] = sliver.iter().all(|&w| w == 0);
+            self.weights[cell].copy_from_slice(sliver);
+        }
+    }
+
+    /// Advances one clock cycle, optionally accepting an atomic op.
+    /// Returns the bundle leaving the pipeline this cycle, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature sliver width mismatches or violates the
+    /// precision (driver bug; CSC validates upstream).
+    pub fn step(&mut self, input: Option<&AtomicOp>) -> Option<PsumBundle> {
+        self.cycles += 1;
+        let entering = input.map(|op| {
+            assert_eq!(op.feature.len(), self.n, "feature sliver width mismatch");
+            for &a in &op.feature {
+                self.precision.check(a).expect("activation out of range");
+            }
+            self.ops_accepted += 1;
+            let sums = (0..self.k)
+                .map(|cell| {
+                    if self.cell_gated[cell] {
+                        self.cell_activity[cell].record_gated();
+                        0
+                    } else {
+                        self.cell_activity[cell].record_active();
+                        let terms: Vec<i64> = op
+                            .feature
+                            .iter()
+                            .zip(&self.weights[cell])
+                            .map(|(&a, &w)| i64::from(a) * i64::from(w))
+                            .collect();
+                        adder_tree::reduce(&terms).expect("cell reduction overflow")
+                    }
+                })
+                .collect();
+            PsumBundle {
+                out_x: op.out_x,
+                out_y: op.out_y,
+                sums,
+            }
+        });
+        self.pipeline.push_back(entering);
+        self.pipeline.pop_front().flatten()
+    }
+
+    /// Drains the pipeline, returning any remaining bundles in order.
+    pub fn drain(&mut self) -> Vec<PsumBundle> {
+        let mut out = Vec::new();
+        for _ in 0..self.pipeline_depth {
+            if let Some(b) = self.step(None) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Cycles ticked so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Atomic ops accepted so far.
+    #[must_use]
+    pub fn ops_accepted(&self) -> u64 {
+        self.ops_accepted
+    }
+
+    /// Per-cell activity counters (clock gating statistics).
+    #[must_use]
+    pub fn cell_activity(&self) -> &[ActivityCounter] {
+        &self.cell_activity
+    }
+
+    /// Resets pipeline and statistics (weights are kept).
+    pub fn reset(&mut self) {
+        self.pipeline = VecDeque::from(vec![None; self.pipeline_depth as usize - 1]);
+        self.cycles = 0;
+        self.ops_accepted = 0;
+        self.cell_activity = vec![ActivityCounter::new(); self.k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::dot;
+
+    fn op(feature: Vec<i32>) -> AtomicOp {
+        AtomicOp {
+            out_x: 3,
+            out_y: 5,
+            feature,
+        }
+    }
+
+    #[test]
+    fn produces_exact_dot_products_after_latency() {
+        let mut cmac = BinaryCmac::new(2, 4, IntPrecision::Int8, 3);
+        let w0 = vec![1, -2, 3, -4];
+        let w1 = vec![-5, 6, -7, 8];
+        cmac.load_weights(&[w0.clone(), w1.clone()]);
+        let feat = vec![9, 10, -11, 12];
+        // Cycle 1: accept; cycles 2,3: bubble; output on cycle 3.
+        assert!(cmac.step(Some(&op(feat.clone()))).is_none());
+        assert!(cmac.step(None).is_none());
+        let out = cmac.step(None).expect("pipeline latency is 3");
+        assert_eq!(out.out_x, 3);
+        assert_eq!(out.out_y, 5);
+        assert_eq!(
+            out.sums[0],
+            dot::binary(&feat, &w0, IntPrecision::Int8).unwrap()
+        );
+        assert_eq!(
+            out.sums[1],
+            dot::binary(&feat, &w1, IntPrecision::Int8).unwrap()
+        );
+    }
+
+    #[test]
+    fn sustained_throughput_is_one_bundle_per_cycle() {
+        let mut cmac = BinaryCmac::new(1, 2, IntPrecision::Int8, 2);
+        cmac.load_weights(&[vec![1, 1]]);
+        let mut outputs = 0;
+        for i in 0..10 {
+            let o = op(vec![i, i]);
+            if cmac.step(Some(&o)).is_some() {
+                outputs += 1;
+            }
+        }
+        outputs += cmac.drain().len();
+        assert_eq!(outputs, 10);
+        assert_eq!(cmac.ops_accepted(), 10);
+    }
+
+    #[test]
+    fn zero_weight_cells_are_gated() {
+        let mut cmac = BinaryCmac::new(2, 2, IntPrecision::Int8, 1);
+        cmac.load_weights(&[vec![1, 2], vec![0, 0]]);
+        let out = cmac.step(Some(&op(vec![3, 4]))).unwrap();
+        assert_eq!(out.sums[1], 0);
+        assert_eq!(cmac.cell_activity()[0].active_cycles(), 1);
+        assert_eq!(cmac.cell_activity()[1].gated_cycles(), 1);
+    }
+
+    #[test]
+    fn drain_flushes_in_flight_bundles() {
+        let mut cmac = BinaryCmac::new(1, 1, IntPrecision::Int8, 4);
+        cmac.load_weights(&[vec![2]]);
+        cmac.step(Some(&op(vec![5])));
+        cmac.step(Some(&op(vec![7])));
+        let drained = cmac.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].sums[0], 10);
+        assert_eq!(drained[1].sums[0], 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "sliver width mismatch")]
+    fn wrong_sliver_width_panics() {
+        let mut cmac = BinaryCmac::new(1, 4, IntPrecision::Int8, 1);
+        cmac.load_weights(&[vec![1, 2]]);
+    }
+
+    #[test]
+    fn reset_preserves_weights() {
+        let mut cmac = BinaryCmac::new(1, 1, IntPrecision::Int8, 1);
+        cmac.load_weights(&[vec![3]]);
+        cmac.step(Some(&op(vec![2])));
+        cmac.reset();
+        assert_eq!(cmac.cycles(), 0);
+        let out = cmac.step(Some(&op(vec![2]))).unwrap();
+        assert_eq!(out.sums[0], 6, "weights must survive reset");
+    }
+}

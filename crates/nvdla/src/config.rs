@@ -1,0 +1,143 @@
+//! NVDLA hardware configurations.
+//!
+//! NVDLA ships as a configurable IP; the paper uses the `nv_small`
+//! profile (§II-C) for its embedded focus and evaluates PE arrays up to
+//! 16×16. A configuration fixes the atomic sizes (`atomic_c` =
+//! multipliers per PE cell = n, `atomic_k` = PE cells = k), the
+//! convolution buffer geometry and the operating precision.
+
+use tempus_arith::IntPrecision;
+
+/// A convolution-pipeline hardware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvdlaConfig {
+    /// Multipliers per PE cell (atomic-C): channels consumed per atomic op.
+    pub atomic_c: usize,
+    /// PE cells (atomic-K): kernels served per atomic op.
+    pub atomic_k: usize,
+    /// Convolution buffer banks.
+    pub cbuf_banks: usize,
+    /// Bytes per convolution buffer bank.
+    pub cbuf_bank_bytes: usize,
+    /// Operating precision of the MAC datapath.
+    pub precision: IntPrecision,
+    /// CMAC pipeline depth in cycles (multiply, reduce, retime).
+    pub cmac_pipeline_depth: u32,
+    /// Accumulator width in bits inside CACC.
+    pub cacc_bits: u32,
+}
+
+impl NvdlaConfig {
+    /// The `nv_small` profile: 8×8 MACs, 32 banks × 4 KiB CBUF, INT8.
+    #[must_use]
+    pub fn nv_small() -> Self {
+        NvdlaConfig {
+            atomic_c: 8,
+            atomic_k: 8,
+            cbuf_banks: 32,
+            cbuf_bank_bytes: 4 * 1024,
+            precision: IntPrecision::Int8,
+            cmac_pipeline_depth: 3,
+            cacc_bits: 34,
+        }
+    }
+
+    /// The paper's evaluation configuration: a 16×16 PE array.
+    #[must_use]
+    pub fn paper_16x16() -> Self {
+        NvdlaConfig {
+            atomic_c: 16,
+            atomic_k: 16,
+            ..NvdlaConfig::nv_small()
+        }
+    }
+
+    /// The `nv_large`-style profile: 64 channels × 16 kernels.
+    #[must_use]
+    pub fn nv_large() -> Self {
+        NvdlaConfig {
+            atomic_c: 64,
+            atomic_k: 16,
+            cbuf_banks: 32,
+            cbuf_bank_bytes: 16 * 1024,
+            precision: IntPrecision::Int8,
+            cmac_pipeline_depth: 3,
+            cacc_bits: 48,
+        }
+    }
+
+    /// Overrides the operating precision (builder style).
+    #[must_use]
+    pub fn with_precision(mut self, precision: IntPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Overrides the array shape (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_array(mut self, k: usize, n: usize) -> Self {
+        assert!(k > 0 && n > 0, "array dimensions must be nonzero");
+        self.atomic_k = k;
+        self.atomic_c = n;
+        self
+    }
+
+    /// Total convolution buffer capacity in bytes.
+    #[must_use]
+    pub fn cbuf_bytes(&self) -> usize {
+        self.cbuf_banks * self.cbuf_bank_bytes
+    }
+
+    /// MAC lanes in the array.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.atomic_c * self.atomic_k
+    }
+}
+
+impl Default for NvdlaConfig {
+    fn default() -> Self {
+        NvdlaConfig::nv_small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nv_small_profile() {
+        let c = NvdlaConfig::nv_small();
+        assert_eq!(c.atomic_c, 8);
+        assert_eq!(c.atomic_k, 8);
+        assert_eq!(c.cbuf_bytes(), 128 * 1024);
+        assert_eq!(c.lanes(), 64);
+    }
+
+    #[test]
+    fn paper_configuration_is_16x16() {
+        let c = NvdlaConfig::paper_16x16();
+        assert_eq!(c.lanes(), 256);
+        assert_eq!(c.precision, IntPrecision::Int8);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = NvdlaConfig::nv_small()
+            .with_precision(IntPrecision::Int4)
+            .with_array(16, 4);
+        assert_eq!(c.precision, IntPrecision::Int4);
+        assert_eq!(c.atomic_k, 16);
+        assert_eq!(c.atomic_c, 4);
+    }
+
+    #[test]
+    fn nv_large_is_bigger() {
+        assert!(NvdlaConfig::nv_large().lanes() > NvdlaConfig::nv_small().lanes());
+        assert!(NvdlaConfig::nv_large().cbuf_bytes() > NvdlaConfig::nv_small().cbuf_bytes());
+    }
+}

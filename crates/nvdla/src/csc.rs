@@ -1,0 +1,319 @@
+//! Convolution sequence controller (CSC).
+//!
+//! The CSC decomposes a convolution into *weight-stationary stripes*:
+//! for each kernel group (k kernels), channel group (n channels) and
+//! kernel spatial tap (r, s), it first loads one 1×1×n weight sliver
+//! into each PE cell, then streams one atomic operation per output
+//! position, broadcasting the matching 1×1×n feature sliver to all k
+//! cells (§II-C, §III). CACC accumulates the resulting partial sums
+//! across stripes.
+
+use crate::config::NvdlaConfig;
+use crate::conv::ConvParams;
+use crate::cube::{DataCube, KernelSet};
+use crate::NvdlaError;
+
+/// Identifies a stripe: which kernels, channels and kernel tap it
+/// covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeInfo {
+    /// Kernel group index (`kernels k*g .. k*(g+1)` map onto the cells).
+    pub kernel_group: usize,
+    /// Channel group index (`channels n*g .. n*(g+1)` map onto the lanes).
+    pub channel_group: usize,
+    /// Kernel row tap.
+    pub r: usize,
+    /// Kernel column tap.
+    pub s: usize,
+}
+
+/// Weight-load command: one 1×1×n sliver per PE cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightLoad {
+    /// Stripe this weight set serves.
+    pub stripe: StripeInfo,
+    /// Per-cell weight slivers (`k` cells × `n` weights); cells mapped
+    /// past the last kernel receive all-zero slivers and stay gated.
+    pub cell_weights: Vec<Vec<i32>>,
+}
+
+/// One atomic operation: a feature sliver broadcast to all cells,
+/// producing `k` partial sums for output position `(out_x, out_y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicOp {
+    /// Output x.
+    pub out_x: usize,
+    /// Output y.
+    pub out_y: usize,
+    /// The 1×1×n feature sliver.
+    pub feature: Vec<i32>,
+}
+
+/// Commands emitted by the sequencer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CscCommand {
+    /// Cache new weights in the PE cells (stripe boundary).
+    LoadWeights(WeightLoad),
+    /// Stream one atomic operation through the array.
+    Atomic(AtomicOp),
+}
+
+/// The sequencer: an iterator over [`CscCommand`]s realising the whole
+/// convolution.
+#[derive(Debug, Clone)]
+pub struct CscSequencer {
+    features: DataCube,
+    kernels: KernelSet,
+    params: ConvParams,
+    k: usize,
+    n: usize,
+    out_w: usize,
+    out_h: usize,
+    kernel_groups: usize,
+    channel_groups: usize,
+    // Iteration state.
+    kg: usize,
+    cg: usize,
+    r: usize,
+    s: usize,
+    ox: usize,
+    oy: usize,
+    need_weights: bool,
+    done: bool,
+}
+
+impl CscSequencer {
+    /// Creates a sequencer for one convolution under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from parameter validation or channel
+    /// mismatch.
+    pub fn new(
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &NvdlaConfig,
+    ) -> Result<Self, NvdlaError> {
+        if features.c() != kernels.c() {
+            return Err(NvdlaError::ChannelMismatch {
+                feature_c: features.c(),
+                kernel_c: kernels.c(),
+            });
+        }
+        let (out_w, out_h) =
+            params.output_dims(features.w(), features.h(), kernels.r(), kernels.s())?;
+        Ok(CscSequencer {
+            k: config.atomic_k,
+            n: config.atomic_c,
+            out_w,
+            out_h,
+            kernel_groups: kernels.k().div_ceil(config.atomic_k),
+            channel_groups: kernels.c().div_ceil(config.atomic_c),
+            features: features.clone(),
+            kernels: kernels.clone(),
+            params: *params,
+            kg: 0,
+            cg: 0,
+            r: 0,
+            s: 0,
+            ox: 0,
+            oy: 0,
+            need_weights: true,
+            done: false,
+        })
+    }
+
+    /// Output dimensions `(out_w, out_h)`.
+    #[must_use]
+    pub fn output_dims(&self) -> (usize, usize) {
+        (self.out_w, self.out_h)
+    }
+
+    /// Total number of stripes the sequencer will emit.
+    #[must_use]
+    pub fn stripe_count(&self) -> u64 {
+        (self.kernel_groups * self.channel_groups * self.kernels.r() * self.kernels.s()) as u64
+    }
+
+    /// Total number of atomic operations the sequencer will emit.
+    #[must_use]
+    pub fn atomic_op_count(&self) -> u64 {
+        self.stripe_count() * (self.out_w * self.out_h) as u64
+    }
+
+    fn current_stripe(&self) -> StripeInfo {
+        StripeInfo {
+            kernel_group: self.kg,
+            channel_group: self.cg,
+            r: self.r,
+            s: self.s,
+        }
+    }
+
+    fn weight_load(&self) -> WeightLoad {
+        let cell_weights = (0..self.k)
+            .map(|cell| {
+                let kernel = self.kg * self.k + cell;
+                if kernel < self.kernels.k() {
+                    self.kernels
+                        .weight_sliver(kernel, self.r, self.s, self.cg * self.n, self.n)
+                } else {
+                    vec![0; self.n]
+                }
+            })
+            .collect();
+        WeightLoad {
+            stripe: self.current_stripe(),
+            cell_weights,
+        }
+    }
+
+    fn atomic_op(&self) -> AtomicOp {
+        let ix = (self.ox * self.params.stride_x + self.s * self.params.dilation_x) as isize
+            - self.params.pad_x as isize;
+        let iy = (self.oy * self.params.stride_y + self.r * self.params.dilation_y) as isize
+            - self.params.pad_y as isize;
+        AtomicOp {
+            out_x: self.ox,
+            out_y: self.oy,
+            feature: self
+                .features
+                .channel_sliver(ix, iy, self.cg * self.n, self.n),
+        }
+    }
+
+    fn advance_position(&mut self) {
+        self.ox += 1;
+        if self.ox == self.out_w {
+            self.ox = 0;
+            self.oy += 1;
+            if self.oy == self.out_h {
+                self.oy = 0;
+                self.advance_stripe();
+            }
+        }
+    }
+
+    fn advance_stripe(&mut self) {
+        self.need_weights = true;
+        self.s += 1;
+        if self.s == self.kernels.s() {
+            self.s = 0;
+            self.r += 1;
+            if self.r == self.kernels.r() {
+                self.r = 0;
+                self.cg += 1;
+                if self.cg == self.channel_groups {
+                    self.cg = 0;
+                    self.kg += 1;
+                    if self.kg == self.kernel_groups {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for CscSequencer {
+    type Item = CscCommand;
+
+    fn next(&mut self) -> Option<CscCommand> {
+        if self.done {
+            return None;
+        }
+        if self.need_weights {
+            self.need_weights = false;
+            return Some(CscCommand::LoadWeights(self.weight_load()));
+        }
+        let op = self.atomic_op();
+        self.advance_position();
+        Some(CscCommand::Atomic(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(k: usize, c: usize) -> (DataCube, KernelSet, ConvParams, NvdlaConfig) {
+        let f = DataCube::from_fn(4, 4, c, |x, y, ch| (x + y + ch) as i32 % 5);
+        let kn = KernelSet::from_fn(k, 3, 3, c, |k, r, s, ch| ((k + r + s + ch) % 3) as i32);
+        (
+            f,
+            kn,
+            ConvParams::valid(),
+            NvdlaConfig::nv_small().with_array(8, 8),
+        )
+    }
+
+    #[test]
+    fn command_counts_match_predictions() {
+        let (f, k, p, cfg) = setup(8, 8);
+        let seq = CscSequencer::new(&f, &k, &p, &cfg).unwrap();
+        let stripes = seq.stripe_count();
+        let atomics = seq.atomic_op_count();
+        let mut loads = 0u64;
+        let mut ops = 0u64;
+        for cmd in seq {
+            match cmd {
+                CscCommand::LoadWeights(_) => loads += 1,
+                CscCommand::Atomic(_) => ops += 1,
+            }
+        }
+        assert_eq!(loads, stripes);
+        assert_eq!(ops, atomics);
+        // 1 kernel group x 1 channel group x 3x3 taps = 9 stripes,
+        // each streaming 2x2 outputs.
+        assert_eq!(loads, 9);
+        assert_eq!(ops, 36);
+    }
+
+    #[test]
+    fn grouping_rounds_up() {
+        let (f, k, p, _) = setup(10, 12);
+        let cfg = NvdlaConfig::nv_small().with_array(8, 8);
+        let seq = CscSequencer::new(&f, &k, &p, &cfg).unwrap();
+        // ceil(10/8) = 2 kernel groups, ceil(12/8) = 2 channel groups.
+        assert_eq!(seq.stripe_count(), 2 * 2 * 9);
+    }
+
+    #[test]
+    fn weight_slivers_pad_missing_kernels() {
+        let (f, k, p, _) = setup(5, 8);
+        let cfg = NvdlaConfig::nv_small().with_array(8, 8);
+        let mut seq = CscSequencer::new(&f, &k, &p, &cfg).unwrap();
+        if let Some(CscCommand::LoadWeights(load)) = seq.next() {
+            assert_eq!(load.cell_weights.len(), 8);
+            // Cells 5..8 have no kernel: all-zero slivers.
+            for cell in 5..8 {
+                assert!(load.cell_weights[cell].iter().all(|&w| w == 0));
+            }
+        } else {
+            panic!("first command must load weights");
+        }
+    }
+
+    #[test]
+    fn first_atomic_covers_origin() {
+        let (f, k, p, cfg) = setup(8, 8);
+        let mut seq = CscSequencer::new(&f, &k, &p, &cfg).unwrap();
+        seq.next(); // weights
+        if let Some(CscCommand::Atomic(op)) = seq.next() {
+            assert_eq!((op.out_x, op.out_y), (0, 0));
+            assert_eq!(op.feature.len(), 8);
+            assert_eq!(op.feature, f.channel_sliver(0, 0, 0, 8));
+        } else {
+            panic!("second command must be an atomic op");
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let f = DataCube::zeros(4, 4, 3);
+        let k = KernelSet::zeros(2, 3, 3, 5);
+        let cfg = NvdlaConfig::nv_small();
+        assert!(CscSequencer::new(&f, &k, &ConvParams::valid(), &cfg).is_err());
+    }
+}

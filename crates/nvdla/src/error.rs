@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+use tempus_arith::ArithError;
+
+/// Errors surfaced by the NVDLA substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvdlaError {
+    /// Feature/kernel channel counts disagree.
+    ChannelMismatch {
+        /// Channels in the feature cube.
+        feature_c: usize,
+        /// Channels in the kernels.
+        kernel_c: usize,
+    },
+    /// Convolution parameters produce an empty output.
+    EmptyOutput,
+    /// A value violates the configured precision.
+    Arith(ArithError),
+    /// The convolution buffer cannot hold the working set.
+    BufferOverflow {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+    /// The simulation watchdog expired (handshake deadlock).
+    Deadlock {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+    /// A shape parameter is zero or otherwise invalid.
+    InvalidShape(String),
+}
+
+impl fmt::Display for NvdlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvdlaError::ChannelMismatch {
+                feature_c,
+                kernel_c,
+            } => write!(
+                f,
+                "feature cube has {feature_c} channels but kernels have {kernel_c}"
+            ),
+            NvdlaError::EmptyOutput => write!(f, "convolution parameters produce an empty output"),
+            NvdlaError::Arith(e) => write!(f, "arithmetic error: {e}"),
+            NvdlaError::BufferOverflow {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "convolution buffer overflow: need {requested} bytes, have {capacity}"
+            ),
+            NvdlaError::Deadlock { cycles } => {
+                write!(f, "pipeline deadlock detected after {cycles} cycles")
+            }
+            NvdlaError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+        }
+    }
+}
+
+impl Error for NvdlaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NvdlaError::Arith(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArithError> for NvdlaError {
+    fn from(e: ArithError) -> Self {
+        NvdlaError::Arith(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::IntPrecision;
+
+    #[test]
+    fn display_messages() {
+        let e = NvdlaError::ChannelMismatch {
+            feature_c: 8,
+            kernel_c: 16,
+        };
+        assert!(e.to_string().contains('8'));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn arith_errors_convert_and_chain() {
+        let inner = ArithError::OutOfRange {
+            value: 300,
+            precision: IntPrecision::Int8,
+        };
+        let e: NvdlaError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NvdlaError>();
+    }
+}

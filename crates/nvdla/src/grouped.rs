@@ -1,0 +1,251 @@
+//! Grouped and depthwise convolution support.
+//!
+//! The zoo's workloads lean heavily on grouped convolutions (ResNeXt's
+//! cardinality-32 blocks, MobileNet's depthwise layers), and NVDLA's
+//! software stack lowers them onto the dense convolution core one
+//! channel group at a time. This module implements that lowering for
+//! any [`ConvCore`]: split the feature channels and kernels per group,
+//! run the dense sub-convolutions, and concatenate the outputs along
+//! the kernel axis.
+
+use crate::conv::ConvParams;
+use crate::cube::{DataCube, KernelSet};
+use crate::pipeline::{ConvCore, ConvRun, RunStats};
+use crate::NvdlaError;
+
+/// Validates group structure: `groups` must divide both the feature
+/// channels and the kernel count, and the kernels' channel extent must
+/// equal the per-group slice.
+fn check_groups(
+    features: &DataCube,
+    kernels: &KernelSet,
+    groups: usize,
+) -> Result<(), NvdlaError> {
+    if groups == 0 {
+        return Err(NvdlaError::InvalidShape("groups must be >= 1".into()));
+    }
+    if !features.c().is_multiple_of(groups) {
+        return Err(NvdlaError::InvalidShape(format!(
+            "{} feature channels not divisible by {} groups",
+            features.c(),
+            groups
+        )));
+    }
+    if !kernels.k().is_multiple_of(groups) {
+        return Err(NvdlaError::InvalidShape(format!(
+            "{} kernels not divisible by {} groups",
+            kernels.k(),
+            groups
+        )));
+    }
+    let per_group_c = features.c() / groups;
+    if kernels.c() != per_group_c {
+        return Err(NvdlaError::ChannelMismatch {
+            feature_c: per_group_c,
+            kernel_c: kernels.c(),
+        });
+    }
+    Ok(())
+}
+
+/// Extracts the feature channel slice for one group.
+fn feature_group(features: &DataCube, group: usize, per_group: usize) -> DataCube {
+    DataCube::from_fn(features.w(), features.h(), per_group, |x, y, c| {
+        features.get(x, y, group * per_group + c)
+    })
+}
+
+/// Extracts the kernel slice for one group.
+fn kernel_group(kernels: &KernelSet, group: usize, per_group_k: usize) -> KernelSet {
+    KernelSet::from_fn(
+        per_group_k,
+        kernels.r(),
+        kernels.s(),
+        kernels.c(),
+        |k, r, s, c| kernels.get(group * per_group_k + k, r, s, c),
+    )
+}
+
+/// Runs a grouped convolution on `core`: `kernels.c()` must equal
+/// `features.c() / groups`, as in every framework's grouped-conv
+/// weight layout. `groups == features.c()` with 1-channel kernels is
+/// depthwise convolution.
+///
+/// Cycle counts accumulate across the per-group passes (the groups
+/// run back-to-back on the same engine, as NVDLA schedules them).
+///
+/// # Errors
+///
+/// Returns shape errors for inconsistent group structure and
+/// propagates substrate errors from the sub-convolutions.
+pub fn convolve_grouped(
+    core: &mut dyn ConvCore,
+    features: &DataCube,
+    kernels: &KernelSet,
+    params: &ConvParams,
+    groups: usize,
+) -> Result<ConvRun, NvdlaError> {
+    check_groups(features, kernels, groups)?;
+    if groups == 1 {
+        return core.convolve(features, kernels, params);
+    }
+    let per_group_c = features.c() / groups;
+    let per_group_k = kernels.k() / groups;
+    let mut output: Option<DataCube> = None;
+    let mut stats = RunStats::default();
+    let mut utilization_weighted = 0.0;
+    for g in 0..groups {
+        let fg = feature_group(features, g, per_group_c);
+        let kg = kernel_group(kernels, g, per_group_k);
+        let run = core.convolve(&fg, &kg, params)?;
+        stats.cycles += run.stats.cycles;
+        stats.atomic_ops += run.stats.atomic_ops;
+        stats.stripes += run.stats.stripes;
+        stats.macs += run.stats.macs;
+        stats.gated_cell_cycles += run.stats.gated_cell_cycles;
+        stats.cbuf_reads += run.stats.cbuf_reads;
+        utilization_weighted += run.stats.utilization * run.stats.cycles as f64;
+        output = Some(match output {
+            None => {
+                // First group: allocate the full output and copy in.
+                let mut out =
+                    DataCube::zeros(run.output.w(), run.output.h(), kernels.k());
+                copy_group(&mut out, &run.output, 0, per_group_k);
+                out
+            }
+            Some(mut out) => {
+                copy_group(&mut out, &run.output, g, per_group_k);
+                out
+            }
+        });
+    }
+    stats.utilization = if stats.cycles == 0 {
+        0.0
+    } else {
+        utilization_weighted / stats.cycles as f64
+    };
+    Ok(ConvRun {
+        output: output.expect("groups >= 1 produced output"),
+        stats,
+    })
+}
+
+fn copy_group(out: &mut DataCube, group_out: &DataCube, group: usize, per_group_k: usize) {
+    for (x, y, c, v) in group_out.iter() {
+        out.set(x, y, group * per_group_k + c, v);
+    }
+}
+
+/// Golden grouped convolution, built from the dense golden reference
+/// per group — the independent witness for [`convolve_grouped`].
+///
+/// # Errors
+///
+/// Same conditions as [`convolve_grouped`].
+pub fn direct_conv_grouped(
+    features: &DataCube,
+    kernels: &KernelSet,
+    params: &ConvParams,
+    groups: usize,
+) -> Result<DataCube, NvdlaError> {
+    check_groups(features, kernels, groups)?;
+    let per_group_c = features.c() / groups;
+    let per_group_k = kernels.k() / groups;
+    let mut output: Option<DataCube> = None;
+    for g in 0..groups {
+        let fg = feature_group(features, g, per_group_c);
+        let kg = kernel_group(kernels, g, per_group_k);
+        let sub = crate::conv::direct_conv(&fg, &kg, params)?;
+        let mut out = output
+            .unwrap_or_else(|| DataCube::zeros(sub.w(), sub.h(), kernels.k()));
+        copy_group(&mut out, &sub, g, per_group_k);
+        output = Some(out);
+    }
+    Ok(output.expect("groups >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NvdlaConfig;
+    use crate::pipeline::NvdlaConvCore;
+
+    fn case(c: usize, k: usize, kc: usize) -> (DataCube, KernelSet) {
+        let f = DataCube::from_fn(6, 6, c, |x, y, ch| ((x * 7 + y * 3 + ch * 5) % 200) as i32 - 100);
+        let kn = KernelSet::from_fn(k, 3, 3, kc, |ki, r, s, ch| {
+            ((ki * 11 + r * 2 + s * 9 + ch * 4) % 200) as i32 - 100
+        });
+        (f, kn)
+    }
+
+    #[test]
+    fn groups_of_one_match_dense_conv() {
+        let (f, k) = case(8, 8, 8);
+        let params = ConvParams::valid();
+        let dense = crate::conv::direct_conv(&f, &k, &params).unwrap();
+        let grouped = direct_conv_grouped(&f, &k, &params, 1).unwrap();
+        assert_eq!(dense, grouped);
+    }
+
+    #[test]
+    fn core_matches_golden_for_cardinality_4() {
+        let (f, k) = case(16, 8, 4); // 4 groups of 4 channels, 2 kernels each
+        let params = ConvParams::unit_stride_same(3);
+        let golden = direct_conv_grouped(&f, &k, &params, 4).unwrap();
+        let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let run = convolve_grouped(&mut core, &f, &k, &params, 4).unwrap();
+        assert_eq!(run.output, golden);
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn depthwise_convolution() {
+        // groups == channels, 1-channel kernels: MobileNet's dw layer.
+        let (f, k) = case(8, 8, 1);
+        let params = ConvParams::unit_stride_same(3);
+        let golden = direct_conv_grouped(&f, &k, &params, 8).unwrap();
+        let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let run = convolve_grouped(&mut core, &f, &k, &params, 8).unwrap();
+        assert_eq!(run.output, golden);
+        // Depthwise output channel g depends only on input channel g.
+        let mut probe = f.clone();
+        probe.set(0, 0, 3, 99); // perturb channel 3 only
+        let perturbed = direct_conv_grouped(&probe, &k, &params, 8).unwrap();
+        for ch in 0..8 {
+            let changed = (0..golden.w()).any(|x| {
+                (0..golden.h()).any(|y| perturbed.get(x, y, ch) != golden.get(x, y, ch))
+            });
+            assert_eq!(changed, ch == 3, "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn bad_group_structure_rejected() {
+        let (f, k) = case(8, 8, 8);
+        let params = ConvParams::valid();
+        let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        // 3 does not divide 8 channels.
+        assert!(convolve_grouped(&mut core, &f, &k, &params, 3).is_err());
+        // kernels.c() != features.c()/groups.
+        assert!(convolve_grouped(&mut core, &f, &k, &params, 2).is_err());
+        assert!(convolve_grouped(&mut core, &f, &k, &params, 0).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_across_groups() {
+        let (f, k) = case(16, 8, 8);
+        let params = ConvParams::valid();
+        let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let dense_like = convolve_grouped(&mut core, &f, &k, &params, 2).unwrap();
+        let (f1, k1) = case(16, 8, 8);
+        let mut core1 = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let one_group = core1
+            .convolve(
+                &feature_group(&f1, 0, 8),
+                &kernel_group(&k1, 0, 4),
+                &params,
+            )
+            .unwrap();
+        assert_eq!(dense_like.stats.cycles, 2 * one_group.stats.cycles);
+    }
+}

@@ -1,0 +1,69 @@
+//! Cycle-accurate NVDLA convolution-pipeline substrate.
+//!
+//! NVDLA's convolution pipeline (§II-C of the paper, Fig. 3) comprises
+//! the convolution buffer (CB), the convolution core (CC = CSC + CMAC +
+//! CACC) and post-processing engines. The paper drops Tempus Core in as
+//! a CC replacement; this crate provides everything around that socket,
+//! plus the binary baseline itself:
+//!
+//! * [`cube`] — W×H×C data cubes and K×R×S×C kernel sets;
+//! * [`conv`] — convolution parameters and *golden* direct /
+//!   im2col+GEMM references;
+//! * [`config`] — NVDLA hardware configurations (`nv_small`, the
+//!   paper's 16×16, `nv_large`);
+//! * [`cbuf`] — the banked convolution buffer model;
+//! * [`csc`] — the convolution sequence controller, which decomposes a
+//!   convolution into weight-stationary stripes of atomic operations;
+//! * [`cmac`] — the cycle-accurate binary k×n MAC array (the baseline
+//!   Tempus Core replaces);
+//! * [`cacc`] — the convolution accumulator with saturation;
+//! * [`sdp`] / [`pdp`] — bias/scale/ReLU requantization and pooling;
+//! * [`wcomp`] — NVDLA's sparse weight compression for the CBUF;
+//! * [`network`] — multi-layer execution on any core, with per-layer
+//!   traces (the unchanged-software-stack argument of §I);
+//! * [`grouped`] — grouped/depthwise convolution lowering onto the
+//!   dense core, as NVDLA's software stack schedules it;
+//! * [`pipeline`] — the [`ConvCore`] trait both cores implement, and
+//!   the [`pipeline::NvdlaConvCore`] baseline driver.
+//!
+//! # Example
+//!
+//! ```
+//! use tempus_nvdla::cube::{DataCube, KernelSet};
+//! use tempus_nvdla::conv::{direct_conv, ConvParams};
+//! use tempus_nvdla::pipeline::{ConvCore, NvdlaConvCore};
+//! use tempus_nvdla::config::NvdlaConfig;
+//!
+//! # fn main() -> Result<(), tempus_nvdla::NvdlaError> {
+//! let features = DataCube::from_fn(6, 6, 4, |x, y, c| ((x + 2 * y + c) % 5) as i32 - 2);
+//! let kernels = KernelSet::from_fn(2, 3, 3, 4, |k, r, s, c| ((k + r + s + c) % 7) as i32 - 3);
+//! let params = ConvParams::unit_stride_same(3);
+//!
+//! let golden = direct_conv(&features, &kernels, &params)?;
+//! let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+//! let run = core.convolve(&features, &kernels, &params)?;
+//! assert_eq!(run.output, golden);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cacc;
+pub mod cbuf;
+pub mod cmac;
+pub mod config;
+pub mod conv;
+pub mod csc;
+pub mod cube;
+mod error;
+pub mod grouped;
+pub mod network;
+pub mod pdp;
+pub mod pipeline;
+pub mod sdp;
+pub mod wcomp;
+
+pub use error::NvdlaError;
+pub use pipeline::{ConvCore, ConvRun, RunStats};

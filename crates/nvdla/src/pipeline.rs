@@ -1,0 +1,280 @@
+//! The convolution-core socket: the [`ConvCore`] trait both NVDLA's CC
+//! and Tempus Core implement, plus the baseline binary driver.
+//!
+//! The trait is the "drop-in replacement" contract of §III: same
+//! operands in, same output cube out, same CSC decomposition — only
+//! cycle counts and energy differ.
+
+use tempus_arith::IntPrecision;
+
+use crate::cacc::Cacc;
+use crate::cbuf::ConvBuffer;
+use crate::cmac::BinaryCmac;
+use crate::config::NvdlaConfig;
+use crate::conv::{check_operands, ConvParams};
+use crate::csc::{CscCommand, CscSequencer};
+use crate::cube::{DataCube, KernelSet};
+use crate::NvdlaError;
+
+/// Execution statistics from one convolution run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Total datapath cycles (weight loads + compute + drain).
+    pub cycles: u64,
+    /// Atomic operations executed.
+    pub atomic_ops: u64,
+    /// Weight-stationary stripes sequenced.
+    pub stripes: u64,
+    /// Multiply-accumulate operations actually performed (excludes
+    /// gated cells).
+    pub macs: u64,
+    /// Cell-cycles spent clock-gated (idle cells / silent PEs).
+    pub gated_cell_cycles: u64,
+    /// Fraction of lane-cycles doing useful MACs.
+    pub utilization: f64,
+    /// Convolution-buffer reads issued.
+    pub cbuf_reads: u64,
+}
+
+/// Result of one convolution run: output plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvRun {
+    /// Raw accumulator output cube (out_w × out_h × K, `i32`).
+    pub output: DataCube,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// The convolution-core contract: NVDLA's CC and Tempus Core are
+/// interchangeable behind it (§III: "designed as a drop-in replacement
+/// for the convolution core in NVDLA").
+pub trait ConvCore {
+    /// Human-readable core name.
+    fn name(&self) -> &'static str;
+
+    /// Hardware configuration the core was built with.
+    fn config(&self) -> &NvdlaConfig;
+
+    /// Runs one convolution, returning the exact output cube and cycle
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/precision/capacity errors from the substrate.
+    fn convolve(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+    ) -> Result<ConvRun, NvdlaError>;
+}
+
+/// The baseline binary convolution core: CSC + CMAC + CACC.
+#[derive(Debug, Clone)]
+pub struct NvdlaConvCore {
+    config: NvdlaConfig,
+}
+
+impl NvdlaConvCore {
+    /// Creates the baseline core for `config`.
+    #[must_use]
+    pub fn new(config: NvdlaConfig) -> Self {
+        NvdlaConvCore { config }
+    }
+
+    /// Operating precision.
+    #[must_use]
+    pub fn precision(&self) -> IntPrecision {
+        self.config.precision
+    }
+}
+
+impl ConvCore for NvdlaConvCore {
+    fn name(&self) -> &'static str {
+        "nvdla-cc"
+    }
+
+    fn config(&self) -> &NvdlaConfig {
+        &self.config
+    }
+
+    fn convolve(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+    ) -> Result<ConvRun, NvdlaError> {
+        check_operands(features, kernels, self.config.precision)?;
+        let mut cbuf = ConvBuffer::new(self.config);
+        cbuf.load(features, kernels, self.config.precision)?;
+
+        let seq = CscSequencer::new(features, kernels, params, &self.config)?;
+        let (out_w, out_h) = seq.output_dims();
+        let mut cmac = BinaryCmac::new(
+            self.config.atomic_k,
+            self.config.atomic_c,
+            self.config.precision,
+            self.config.cmac_pipeline_depth,
+        );
+        let mut cacc = Cacc::new(out_w, out_h, kernels.k(), self.config.cacc_bits);
+
+        let mut stats = RunStats::default();
+        let mut kernel_base = 0usize;
+        let mut pending_kernel_base = 0usize;
+        // Kernel base changes only at stripe boundaries; bundles in
+        // flight belong to the previous stripe. Track per-bundle bases
+        // through the pipe by draining at kernel-group changes.
+        let mut current_kg = 0usize;
+        for cmd in seq {
+            match cmd {
+                CscCommand::LoadWeights(load) => {
+                    // Flush in-flight bundles before weights change.
+                    for bundle in cmac.drain() {
+                        cacc.accumulate(&bundle, kernel_base);
+                    }
+                    if load.stripe.kernel_group != current_kg {
+                        current_kg = load.stripe.kernel_group;
+                    }
+                    pending_kernel_base = load.stripe.kernel_group * self.config.atomic_k;
+                    kernel_base = pending_kernel_base;
+                    cmac.load_weights(&load.cell_weights);
+                    stats.stripes += 1;
+                    stats.cycles += 1; // shadow-bank swap cycle
+                }
+                CscCommand::Atomic(op) => {
+                    cbuf.record_read();
+                    let active: u64 = op.feature.len().min(self.config.atomic_c) as u64;
+                    let _ = active;
+                    if let Some(bundle) = cmac.step(Some(&op)) {
+                        cacc.accumulate(&bundle, kernel_base);
+                    }
+                    stats.atomic_ops += 1;
+                    stats.cycles += 1;
+                }
+            }
+        }
+        for bundle in cmac.drain() {
+            cacc.accumulate(&bundle, pending_kernel_base);
+        }
+        stats.cycles += u64::from(self.config.cmac_pipeline_depth);
+
+        let active_cells: u64 = cmac.cell_activity().iter().map(|a| a.active_cycles()).sum();
+        let gated_cells: u64 = cmac.cell_activity().iter().map(|a| a.gated_cycles()).sum();
+        stats.gated_cell_cycles = gated_cells;
+        stats.macs = active_cells * self.config.atomic_c as u64;
+        let lane_cycles = stats.cycles * self.config.lanes() as u64;
+        stats.utilization = if lane_cycles == 0 {
+            0.0
+        } else {
+            stats.macs as f64 / lane_cycles as f64
+        };
+        stats.cbuf_reads = cbuf.reads();
+
+        Ok(ConvRun {
+            output: cacc.read_out()?,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::direct_conv;
+
+    fn run_case(
+        fw: usize,
+        fh: usize,
+        c: usize,
+        k: usize,
+        ksize: usize,
+        params: ConvParams,
+        config: NvdlaConfig,
+    ) {
+        let features = DataCube::from_fn(fw, fh, c, |x, y, ch| {
+            ((x * 31 + y * 17 + ch * 7) % 255) as i32 - 127
+        });
+        let kernels = KernelSet::from_fn(k, ksize, ksize, c, |k, r, s, ch| {
+            ((k * 13 + r * 5 + s * 3 + ch * 11) % 255) as i32 - 127
+        });
+        let golden = direct_conv(&features, &kernels, &params).unwrap();
+        let mut core = NvdlaConvCore::new(config);
+        let run = core.convolve(&features, &kernels, &params).unwrap();
+        assert_eq!(run.output, golden);
+    }
+
+    #[test]
+    fn matches_golden_nv_small() {
+        run_case(8, 8, 8, 8, 3, ConvParams::valid(), NvdlaConfig::nv_small());
+    }
+
+    #[test]
+    fn matches_golden_with_grouping() {
+        // Channels and kernels not divisible by the atomic sizes.
+        run_case(
+            6,
+            6,
+            11,
+            13,
+            3,
+            ConvParams::unit_stride_same(3),
+            NvdlaConfig::nv_small(),
+        );
+    }
+
+    #[test]
+    fn matches_golden_strided_16x16() {
+        run_case(
+            9,
+            9,
+            16,
+            16,
+            3,
+            ConvParams::strided(2, 1),
+            NvdlaConfig::paper_16x16(),
+        );
+    }
+
+    #[test]
+    fn matches_golden_1x1_kernels() {
+        run_case(5, 5, 24, 7, 1, ConvParams::valid(), NvdlaConfig::nv_small());
+    }
+
+    #[test]
+    fn cycle_count_matches_dataflow_model() {
+        let features = DataCube::zeros(4, 4, 8);
+        let kernels = KernelSet::from_fn(8, 3, 3, 8, |_, _, _, _| 1);
+        let params = ConvParams::valid();
+        let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let run = core.convolve(&features, &kernels, &params).unwrap();
+        // 9 stripes (3x3 taps) x (1 load cycle + 4 atomic ops) + drain.
+        assert_eq!(run.stats.stripes, 9);
+        assert_eq!(run.stats.atomic_ops, 36);
+        assert_eq!(run.stats.cycles, 9 + 36 + 3);
+    }
+
+    #[test]
+    fn utilization_reflects_gated_cells() {
+        // Only 2 kernels on an 8-cell array: 6 cells gated.
+        let features = DataCube::from_fn(4, 4, 8, |x, _, _| x as i32);
+        let kernels = KernelSet::from_fn(2, 1, 1, 8, |_, _, _, _| 1);
+        let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let run = core
+            .convolve(&features, &kernels, &ConvParams::valid())
+            .unwrap();
+        assert!(run.stats.utilization < 0.3);
+        assert!(run.stats.gated_cell_cycles > 0);
+    }
+
+    #[test]
+    fn precision_violation_rejected() {
+        let features = DataCube::from_fn(2, 2, 8, |_, _, _| 10);
+        let kernels = KernelSet::zeros(1, 1, 1, 8);
+        let mut core =
+            NvdlaConvCore::new(NvdlaConfig::nv_small().with_precision(IntPrecision::Int4));
+        assert!(matches!(
+            core.convolve(&features, &kernels, &ConvParams::valid()),
+            Err(NvdlaError::Arith(_))
+        ));
+    }
+}

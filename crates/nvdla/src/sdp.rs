@@ -1,0 +1,159 @@
+//! SDP: the post-processing engine performing bias addition,
+//! per-channel scaling (requantization) and ReLU, saturating back to
+//! the working precision (part of NVDLA's "post-processing unit",
+//! §II-C).
+
+use tempus_arith::IntPrecision;
+
+use crate::cube::DataCube;
+use crate::NvdlaError;
+
+/// Per-channel requantization: `out = clamp(((x + bias) * mult) >> shift)`
+/// with optional ReLU, mirroring integer-only inference pipelines.
+#[derive(Debug, Clone)]
+pub struct SdpConfig {
+    /// Per-output-channel bias added to the raw accumulator.
+    pub bias: Vec<i32>,
+    /// Per-output-channel multiplier.
+    pub multiplier: Vec<i32>,
+    /// Right-shift applied after multiplication (rounding toward
+    /// negative infinity, as a hardware arithmetic shift does).
+    pub shift: u32,
+    /// Apply ReLU before saturation.
+    pub relu: bool,
+    /// Output precision to saturate into.
+    pub out_precision: IntPrecision,
+}
+
+impl SdpConfig {
+    /// Pass-through configuration (no bias, unit scale) that only
+    /// saturates to `out_precision`.
+    #[must_use]
+    pub fn passthrough(channels: usize, out_precision: IntPrecision) -> Self {
+        SdpConfig {
+            bias: vec![0; channels],
+            multiplier: vec![1; channels],
+            shift: 0,
+            relu: false,
+            out_precision,
+        }
+    }
+
+    /// Pass-through plus ReLU.
+    #[must_use]
+    pub fn relu(channels: usize, out_precision: IntPrecision) -> Self {
+        SdpConfig {
+            relu: true,
+            ..SdpConfig::passthrough(channels, out_precision)
+        }
+    }
+}
+
+/// Statistics from one SDP pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SdpStats {
+    /// Elements processed.
+    pub elements: u64,
+    /// Elements clipped by saturation.
+    pub saturated: u64,
+    /// Elements zeroed by ReLU.
+    pub rectified: u64,
+    /// Cycles consumed (one element per lane per cycle; the model
+    /// assumes a single lane, so elements == cycles).
+    pub cycles: u64,
+}
+
+/// Applies `config` to a raw accumulator cube (channel dimension =
+/// output channels).
+///
+/// # Errors
+///
+/// Returns [`NvdlaError::InvalidShape`] when the per-channel vectors
+/// do not match the cube's channel count.
+pub fn apply(cube: &DataCube, config: &SdpConfig) -> Result<(DataCube, SdpStats), NvdlaError> {
+    if config.bias.len() != cube.c() || config.multiplier.len() != cube.c() {
+        return Err(NvdlaError::InvalidShape(format!(
+            "sdp channel parameters ({} bias, {} mult) do not match cube channels ({})",
+            config.bias.len(),
+            config.multiplier.len(),
+            cube.c()
+        )));
+    }
+    let mut out = DataCube::zeros(cube.w(), cube.h(), cube.c());
+    let mut stats = SdpStats::default();
+    for (x, y, c, v) in cube.iter() {
+        stats.elements += 1;
+        let mut val = (i64::from(v) + i64::from(config.bias[c])) * i64::from(config.multiplier[c]);
+        val >>= config.shift;
+        if config.relu && val < 0 {
+            val = 0;
+            stats.rectified += 1;
+        }
+        let sat = config.out_precision.saturate(val);
+        if i64::from(sat) != val {
+            stats.saturated += 1;
+        }
+        out.set(x, y, c, sat);
+    }
+    stats.cycles = stats.elements;
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_saturates_only() {
+        let cube = DataCube::from_fn(2, 1, 2, |x, _, c| (x as i32 * 1000 - 500) * (c as i32 + 1));
+        let (out, stats) = apply(&cube, &SdpConfig::passthrough(2, IntPrecision::Int8)).unwrap();
+        assert_eq!(out.get(0, 0, 0), -128);
+        assert_eq!(out.get(1, 0, 0), 127);
+        assert_eq!(stats.saturated, 4);
+        assert_eq!(stats.elements, 4);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let cube = DataCube::from_fn(2, 1, 1, |x, _, _| if x == 0 { -5 } else { 5 });
+        let (out, stats) = apply(&cube, &SdpConfig::relu(1, IntPrecision::Int8)).unwrap();
+        assert_eq!(out.get(0, 0, 0), 0);
+        assert_eq!(out.get(1, 0, 0), 5);
+        assert_eq!(stats.rectified, 1);
+    }
+
+    #[test]
+    fn bias_scale_shift_requantize() {
+        let cube = DataCube::from_fn(1, 1, 1, |_, _, _| 100);
+        let cfg = SdpConfig {
+            bias: vec![28],
+            multiplier: vec![3],
+            shift: 2,
+            relu: false,
+            out_precision: IntPrecision::Int8,
+        };
+        // (100 + 28) * 3 >> 2 = 96.
+        let (out, _) = apply(&cube, &cfg).unwrap();
+        assert_eq!(out.get(0, 0, 0), 96);
+    }
+
+    #[test]
+    fn arithmetic_shift_rounds_toward_neg_infinity() {
+        let cube = DataCube::from_fn(1, 1, 1, |_, _, _| -3);
+        let cfg = SdpConfig {
+            bias: vec![0],
+            multiplier: vec![1],
+            shift: 1,
+            relu: false,
+            out_precision: IntPrecision::Int8,
+        };
+        let (out, _) = apply(&cube, &cfg).unwrap();
+        assert_eq!(out.get(0, 0, 0), -2, "-3 >> 1 = -2 in hardware");
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let cube = DataCube::zeros(1, 1, 3);
+        assert!(apply(&cube, &SdpConfig::passthrough(2, IntPrecision::Int8)).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the post-processing engines (SDP, PDP):
+//! shape laws, range guarantees and idempotence-style invariants.
+
+use proptest::prelude::*;
+use tempus_arith::IntPrecision;
+use tempus_nvdla::cube::DataCube;
+use tempus_nvdla::pdp::{self, PoolKind, PoolParams};
+use tempus_nvdla::sdp::{self, SdpConfig};
+
+prop_compose! {
+    fn small_cube()(
+        w in 1usize..10,
+        h in 1usize..10,
+        c in 1usize..6,
+        seed in any::<u32>(),
+    ) -> DataCube {
+        DataCube::from_fn(w, h, c, move |x, y, ch| {
+            let v = (x as u32).wrapping_mul(2_654_435_761)
+                ^ (y as u32).wrapping_mul(40_503)
+                ^ (ch as u32).wrapping_mul(97)
+                ^ seed;
+            (v % 2001) as i32 - 1000
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sdp_output_is_always_in_precision(cube in small_cube(), relu in any::<bool>(), shift in 0u32..8) {
+        let cfg = SdpConfig {
+            bias: vec![0; cube.c()],
+            multiplier: vec![1; cube.c()],
+            shift,
+            relu,
+            out_precision: IntPrecision::Int8,
+        };
+        let (out, stats) = sdp::apply(&cube, &cfg).unwrap();
+        prop_assert!(out.check_precision(IntPrecision::Int8).is_ok());
+        prop_assert_eq!(stats.elements as usize, cube.len());
+        if relu {
+            prop_assert!(out.as_slice().iter().all(|&v| v >= 0));
+        }
+    }
+
+    #[test]
+    fn sdp_passthrough_preserves_in_range_values(cube in small_cube()) {
+        // Saturate the cube into INT8 first; a second passthrough must
+        // then be the identity.
+        let cfg = SdpConfig::passthrough(cube.c(), IntPrecision::Int8);
+        let (once, _) = sdp::apply(&cube, &cfg).unwrap();
+        let (twice, stats) = sdp::apply(&once, &cfg).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(stats.saturated, 0);
+    }
+
+    #[test]
+    fn max_pool_output_bounded_by_input_max(cube in small_cube(), window in 1usize..4) {
+        prop_assume!(window <= cube.w() && window <= cube.h());
+        let params = PoolParams {
+            kind: PoolKind::Max,
+            window,
+            stride: window,
+            pad: 0,
+        };
+        let out = pdp::apply(&cube, &params).unwrap();
+        let in_max = cube.as_slice().iter().copied().max().unwrap();
+        let out_max = out.as_slice().iter().copied().max().unwrap();
+        prop_assert_eq!(out_max <= in_max, true);
+        // Every pooled value must exist somewhere in the input.
+        for &v in out.as_slice() {
+            prop_assert!(cube.as_slice().contains(&v));
+        }
+    }
+
+    #[test]
+    fn window_one_pooling_is_identity(cube in small_cube()) {
+        let params = PoolParams {
+            kind: PoolKind::Max,
+            window: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let out = pdp::apply(&cube, &params).unwrap();
+        prop_assert_eq!(out, cube);
+    }
+
+    #[test]
+    fn average_pool_bounded_by_extremes(cube in small_cube(), window in 1usize..4) {
+        prop_assume!(window <= cube.w() && window <= cube.h());
+        let params = PoolParams {
+            kind: PoolKind::Average,
+            window,
+            stride: window,
+            pad: 0,
+        };
+        let out = pdp::apply(&cube, &params).unwrap();
+        let lo = *cube.as_slice().iter().min().unwrap();
+        let hi = *cube.as_slice().iter().max().unwrap();
+        for &v in out.as_slice() {
+            prop_assert!(v >= lo - 1 && v <= hi + 1, "avg {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn pool_output_dims_follow_formula(cube in small_cube(), window in 1usize..4, stride in 1usize..4) {
+        prop_assume!(window <= cube.w() && window <= cube.h());
+        let params = PoolParams {
+            kind: PoolKind::Max,
+            window,
+            stride,
+            pad: 0,
+        };
+        let out = pdp::apply(&cube, &params).unwrap();
+        prop_assert_eq!(out.w(), (cube.w() - window) / stride + 1);
+        prop_assert_eq!(out.h(), (cube.h() - window) / stride + 1);
+        prop_assert_eq!(out.c(), cube.c());
+    }
+}

@@ -1,0 +1,198 @@
+//! §V-C: workload-dependent energy evaluation.
+//!
+//! Energy per 16×16 array window: the binary array produces its k
+//! partial sums in one 4 ns cycle; the tub array runs for the profiled
+//! average window. `E = P · cycles · 4 ns` (1 mW · 1 ns = 1 pJ).
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::{Family, SynthModel};
+
+/// Energy comparison for one workload at one precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEnergy {
+    /// Workload (model) name.
+    pub workload: String,
+    /// Precision evaluated.
+    pub precision: IntPrecision,
+    /// Average tub window in cycles (1 for the binary array).
+    pub tub_cycles: f64,
+    /// Binary 16×16 array power in mW.
+    pub binary_power_mw: f64,
+    /// tub 16×16 array power in mW.
+    pub tub_power_mw: f64,
+    /// Binary energy per window in pJ.
+    pub binary_energy_pj: f64,
+    /// tub energy per window in pJ.
+    pub tub_energy_pj: f64,
+}
+
+impl WorkloadEnergy {
+    /// Energy gap `tub / binary` — the paper reports 11.7× at INT8
+    /// shrinking to 2.3× at INT4.
+    #[must_use]
+    pub fn energy_gap(&self) -> f64 {
+        self.tub_energy_pj / self.binary_energy_pj
+    }
+}
+
+/// Clock period at the paper's 250 MHz evaluation clock.
+const PERIOD_NS: f64 = 4.0;
+
+/// Evaluates the energy comparison for a workload whose profiled
+/// average window is `tub_cycles` (from
+/// [`crate::magnitude::MagnitudeProfile::average_latency_cycles`]).
+#[must_use]
+pub fn evaluate(
+    hw: &SynthModel,
+    workload: &str,
+    precision: IntPrecision,
+    tub_cycles: f64,
+) -> WorkloadEnergy {
+    let binary_power_mw = hw.pe_array(Family::Binary, precision, 16, 16).power_mw;
+    let tub_power_mw = hw.pe_array(Family::Tub, precision, 16, 16).power_mw;
+    WorkloadEnergy {
+        workload: workload.to_string(),
+        precision,
+        tub_cycles,
+        binary_power_mw,
+        tub_power_mw,
+        binary_energy_pj: binary_power_mw * PERIOD_NS,
+        tub_energy_pj: tub_power_mw * tub_cycles * PERIOD_NS,
+    }
+}
+
+/// The INT4 worst-case evaluation of §V-C: 4-cycle windows.
+#[must_use]
+pub fn evaluate_int4_worst_case(hw: &SynthModel) -> WorkloadEnergy {
+    evaluate(
+        hw,
+        "worst-case",
+        IntPrecision::Int4,
+        f64::from(IntPrecision::Int4.worst_case_tub_cycles()),
+    )
+}
+
+/// §V-C's proposed refinement: the baseline energy "assumes that all
+/// 256 PEs in the tile is active ... which is an overestimate"; silent
+/// PEs can be clock-gated for the whole window. This variant subtracts
+/// the silent PEs' per-multiplier power slice from the tub array power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatedEnergy {
+    /// The all-PEs-active evaluation.
+    pub baseline: WorkloadEnergy,
+    /// Average silent PEs per 16×16 tile (from Fig. 8 profiling).
+    pub silent_pes: f64,
+    /// Per-multiplier power slice in mW (slope of the calibrated tub
+    /// cell power in n, scaled by the array factor).
+    pub per_pe_power_mw: f64,
+    /// tub energy per window with silent PEs gated, in pJ.
+    pub tub_energy_gated_pj: f64,
+}
+
+impl GatedEnergy {
+    /// Energy gap after gating.
+    #[must_use]
+    pub fn gated_energy_gap(&self) -> f64 {
+        self.tub_energy_gated_pj / self.baseline.binary_energy_pj
+    }
+}
+
+/// Evaluates the silent-PE-gated energy for a 16×16 tub array.
+///
+/// # Panics
+///
+/// Panics if `silent_pes` is outside `0..=256`.
+#[must_use]
+pub fn evaluate_gated(
+    hw: &SynthModel,
+    workload: &str,
+    precision: IntPrecision,
+    tub_cycles: f64,
+    silent_pes: f64,
+) -> GatedEnergy {
+    assert!(
+        (0.0..=256.0).contains(&silent_pes),
+        "silent PEs out of range"
+    );
+    let baseline = evaluate(hw, workload, precision, tub_cycles);
+    // Per-multiplier slope of the calibrated tub cell power, then the
+    // array calibration factor on top (array = 16 cells x factor).
+    let p16 = hw.pe_array(Family::Tub, precision, 16, 16).power_mw;
+    let p8 = hw.pe_array(Family::Tub, precision, 16, 8).power_mw;
+    let per_pe = ((p16 - p8) / (16.0 * 8.0)).max(0.0);
+    let gated_power = baseline.tub_power_mw - silent_pes * per_pe;
+    GatedEnergy {
+        tub_energy_gated_pj: gated_power * tub_cycles * PERIOD_NS,
+        baseline,
+        silent_pes,
+        per_pe_power_mw: per_pe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_mobilenet_energy_matches_paper() {
+        // Paper: binary 15 pJ, tub 187 pJ at 33 cycles.
+        let hw = SynthModel::nangate45();
+        let e = evaluate(&hw, "MobileNetV2", IntPrecision::Int8, 33.0);
+        assert!(
+            (e.binary_energy_pj - 15.2).abs() < 1.0,
+            "{}",
+            e.binary_energy_pj
+        );
+        assert!((e.tub_energy_pj - 187.0).abs() < 6.0, "{}", e.tub_energy_pj);
+    }
+
+    #[test]
+    fn int8_resnext_energy_matches_paper() {
+        // Paper: 176 pJ at 31 cycles.
+        let hw = SynthModel::nangate45();
+        let e = evaluate(&hw, "ResNeXt101", IntPrecision::Int8, 31.0);
+        assert!((e.tub_energy_pj - 176.0).abs() < 6.0, "{}", e.tub_energy_pj);
+    }
+
+    #[test]
+    fn int4_worst_case_matches_paper() {
+        // Paper: binary 7.48 pJ, tub 17.76 pJ, gap 2.3x.
+        let hw = SynthModel::nangate45();
+        let e = evaluate_int4_worst_case(&hw);
+        assert!(
+            (e.binary_energy_pj - 7.48).abs() < 0.4,
+            "{}",
+            e.binary_energy_pj
+        );
+        assert!((e.tub_energy_pj - 17.76).abs() < 0.9, "{}", e.tub_energy_pj);
+        assert!((e.energy_gap() - 2.3).abs() < 0.3, "{}", e.energy_gap());
+    }
+
+    #[test]
+    fn gating_reduces_energy_proportionally_to_silence() {
+        let hw = SynthModel::nangate45();
+        // MobileNetV2: ~5.8 silent PEs of 256 -> a small but real saving.
+        let g = evaluate_gated(&hw, "MobileNetV2", IntPrecision::Int8, 33.0, 5.8);
+        assert!(g.tub_energy_gated_pj < g.baseline.tub_energy_pj);
+        let saving = 1.0 - g.tub_energy_gated_pj / g.baseline.tub_energy_pj;
+        assert!(saving > 0.001 && saving < 0.10, "saving {saving}");
+        // All-silent array saves the whole per-PE share.
+        let all = evaluate_gated(&hw, "x", IntPrecision::Int8, 33.0, 256.0);
+        assert!(all.tub_energy_gated_pj < g.tub_energy_gated_pj);
+        assert!(all.gated_energy_gap() < g.gated_energy_gap());
+    }
+
+    #[test]
+    fn energy_gap_shrinks_from_int8_to_int4() {
+        // Paper: 11.7x (INT8, MobileNetV2 window) -> 2.3x (INT4).
+        let hw = SynthModel::nangate45();
+        let int8 = evaluate(&hw, "MobileNetV2", IntPrecision::Int8, 33.0);
+        let int4 = evaluate_int4_worst_case(&hw);
+        assert!(
+            (int8.energy_gap() - 11.7).abs() < 1.5,
+            "{}",
+            int8.energy_gap()
+        );
+        assert!(int4.energy_gap() < int8.energy_gap() / 3.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Weight-tile profiling and workload-dependent energy analysis
+//! (paper §IV "weight-value profiling" and §V-C).
+//!
+//! The paper max-pools convolution weights in 16×16 tiles — one tile
+//! per PE-array residency — because the largest weight magnitude in a
+//! tile bottlenecks the tub array's compute window. This crate
+//! reproduces that methodology over the synthetic quantized models:
+//!
+//! * [`tiles`] — tiling of lowered weight matrices into k×n arrays;
+//! * [`magnitude`] — Fig. 7: tile-max histograms and the average
+//!   workload latency;
+//! * [`sparsity`] — Fig. 8: silent-PE (zero weight) histograms;
+//! * [`energy`] — §V-C: workload energy for binary vs tub arrays and
+//!   the INT8 → INT4 energy-gap shrink (plus the silent-PE-gated
+//!   refinement);
+//! * [`throughput`] — latency-adjusted iso-area throughput, making
+//!   §V-D's "throughput improvements can transcend the latency
+//!   increase" quantitative;
+//! * [`table`] — markdown/CSV emitters shared by the report harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tempus_models::zoo::Model;
+//! use tempus_models::QuantizedModel;
+//! use tempus_profile::magnitude;
+//! use tempus_arith::IntPrecision;
+//!
+//! let model = QuantizedModel::generate(Model::MobileNetV2, IntPrecision::Int8, 42);
+//! let profile = magnitude::profile_model(&model, 16, 16);
+//! // §V-C: "MobileNetV2 incurs 33 cycles ... on average".
+//! assert!((profile.average_latency_cycles() - 33.0).abs() < 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod magnitude;
+pub mod sparsity;
+pub mod table;
+pub mod throughput;
+pub mod tiles;

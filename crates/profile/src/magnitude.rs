@@ -1,0 +1,164 @@
+//! Fig. 7: weight-magnitude profiling with k×n max pooling.
+//!
+//! "Using a 16×16 max pool across weights present in the model's
+//! convolution layers, the largest weight value within each 16×16 tile
+//! is determined and its frequency of occurrence ... derived. This
+//! directly correlates to the compute cycles" (§IV). The area under
+//! the histogram normalised by total frequency gives the average
+//! workload-dependent latency (§V-C).
+
+use tempus_models::QuantizedModel;
+
+use crate::tiles::layer_tiles;
+
+/// Tile-max histogram for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MagnitudeProfile {
+    /// Model name.
+    pub model: String,
+    /// Tile height (PE cells).
+    pub k: usize,
+    /// Tile width (multipliers per cell).
+    pub n: usize,
+    /// `histogram[m]` = number of tiles whose max magnitude is `m`
+    /// (0..=128 for INT8).
+    pub histogram: Vec<u64>,
+    /// Total tiles profiled.
+    pub total_tiles: u64,
+}
+
+impl MagnitudeProfile {
+    /// Average tile-max magnitude.
+    #[must_use]
+    pub fn average_max_magnitude(&self) -> f64 {
+        if self.total_tiles == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(m, &f)| m as f64 * f as f64)
+            .sum();
+        weighted / self.total_tiles as f64
+    }
+
+    /// Average workload latency in cycles: mean of `ceil(max / 2)`
+    /// over tiles (2s-unary encoding).
+    #[must_use]
+    pub fn average_latency_cycles(&self) -> f64 {
+        if self.total_tiles == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(m, &f)| f64::from((m as u32).div_ceil(2)) * f as f64)
+            .sum();
+        weighted / self.total_tiles as f64
+    }
+
+    /// Latency distribution quantile (e.g. 0.5 for the median tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let target = (q * self.total_tiles as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (m, &f) in self.histogram.iter().enumerate() {
+            cumulative += f;
+            if cumulative >= target {
+                return (m as u32).div_ceil(2);
+            }
+        }
+        (self.histogram.len() as u32 - 1).div_ceil(2)
+    }
+
+    /// Renders the histogram as fixed-width rows `(magnitude, count)`,
+    /// skipping empty buckets — the Fig. 7 series.
+    #[must_use]
+    pub fn series(&self) -> Vec<(u32, u64)> {
+        self.histogram
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(m, &f)| (m as u32, f))
+            .collect()
+    }
+}
+
+/// Profiles every generated layer of `model` with k×n tiles.
+#[must_use]
+pub fn profile_model(model: &QuantizedModel, k: usize, n: usize) -> MagnitudeProfile {
+    let max_mag = model.precision.max_magnitude() as usize;
+    let mut histogram = vec![0u64; max_mag + 1];
+    let mut total = 0u64;
+    for layer in &model.layers {
+        for tile in layer_tiles(layer, k, n) {
+            histogram[tile.max_magnitude() as usize] += 1;
+            total += 1;
+        }
+    }
+    MagnitudeProfile {
+        model: model.model.name().to_string(),
+        k,
+        n,
+        histogram,
+        total_tiles: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::IntPrecision;
+    use tempus_models::zoo::Model;
+
+    #[test]
+    fn histogram_counts_every_tile() {
+        let m =
+            QuantizedModel::generate_limited(Model::ShuffleNetV2, IntPrecision::Int8, 3, 200_000);
+        let p = profile_model(&m, 16, 16);
+        let from_hist: u64 = p.histogram.iter().sum();
+        assert_eq!(from_hist, p.total_tiles);
+        assert!(p.total_tiles > 0);
+    }
+
+    #[test]
+    fn per_layer_symmetric_quant_puts_mass_at_full_scale() {
+        // Each layer's largest tile must reach 127.
+        let m = QuantizedModel::generate_limited(Model::GoogleNet, IntPrecision::Int8, 4, 300_000);
+        let p = profile_model(&m, 16, 16);
+        assert!(p.histogram[127] > 0);
+    }
+
+    #[test]
+    fn average_latency_below_worst_case() {
+        let m =
+            QuantizedModel::generate_limited(Model::MobileNetV2, IntPrecision::Int8, 5, 500_000);
+        let p = profile_model(&m, 16, 16);
+        let avg = p.average_latency_cycles();
+        assert!(avg > 0.0);
+        assert!(avg < 64.0, "avg {avg}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let m = QuantizedModel::generate_limited(Model::ResNet18, IntPrecision::Int8, 6, 400_000);
+        let p = profile_model(&m, 16, 16);
+        assert!(p.latency_quantile(0.25) <= p.latency_quantile(0.75));
+    }
+
+    #[test]
+    fn int4_latencies_bounded_by_4() {
+        let m =
+            QuantizedModel::generate_limited(Model::ShuffleNetV2, IntPrecision::Int4, 7, 100_000);
+        let p = profile_model(&m, 16, 16);
+        assert!(p.average_latency_cycles() <= 4.0);
+        assert_eq!(p.histogram.len(), 9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 8: sparsity profiling — silent PEs per k×n tile.
+//!
+//! "sparsity is analyzed in a similar fashion to estimate the average
+//! number of 'silent' PEs per array, where tub multipliers remain
+//! inactive for zero-valued weights" (§IV).
+
+use tempus_models::QuantizedModel;
+
+use crate::tiles::layer_tiles;
+
+/// Silent-PE histogram for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SilentPeProfile {
+    /// Model name.
+    pub model: String,
+    /// Tile height.
+    pub k: usize,
+    /// Tile width.
+    pub n: usize,
+    /// `histogram[z]` = tiles with exactly `z` silent PEs (0..=k·n).
+    pub histogram: Vec<u64>,
+    /// Total tiles profiled.
+    pub total_tiles: u64,
+    /// Whether unmapped lanes of partial tiles were counted as silent.
+    pub count_partial_lanes: bool,
+}
+
+impl SilentPeProfile {
+    /// Average silent PEs per tile — the §V-C statistic (≈6 for
+    /// MobileNetV2, ≈2 for ResNeXt101).
+    #[must_use]
+    pub fn average_silent_pes(&self) -> f64 {
+        if self.total_tiles == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(z, &f)| z as f64 * f as f64)
+            .sum();
+        weighted / self.total_tiles as f64
+    }
+
+    /// Average *active* PEs per tile (the complement).
+    #[must_use]
+    pub fn average_active_pes(&self) -> f64 {
+        (self.k * self.n) as f64 - self.average_silent_pes()
+    }
+
+    /// Non-empty histogram series `(silent_count, tiles)`.
+    #[must_use]
+    pub fn series(&self) -> Vec<(usize, u64)> {
+        self.histogram
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(z, &f)| (z, f))
+            .collect()
+    }
+}
+
+/// Profiles silent PEs over every generated layer.
+///
+/// `count_partial_lanes` controls whether unmapped lanes of edge tiles
+/// count as silent; the paper's zero-weight statistic excludes them,
+/// so the Fig. 8 reproduction passes `false` and full tiles only are
+/// considered for the zero-count histogram.
+#[must_use]
+pub fn profile_model(
+    model: &QuantizedModel,
+    k: usize,
+    n: usize,
+    count_partial_lanes: bool,
+) -> SilentPeProfile {
+    let mut histogram = vec![0u64; k * n + 1];
+    let mut total = 0u64;
+    for layer in &model.layers {
+        for tile in layer_tiles(layer, k, n) {
+            let silent = if count_partial_lanes {
+                tile.silent_pes()
+            } else {
+                if tile.is_partial() {
+                    continue;
+                }
+                tile.silent_pes()
+            };
+            histogram[silent] += 1;
+            total += 1;
+        }
+    }
+    SilentPeProfile {
+        model: model.model.name().to_string(),
+        k,
+        n,
+        histogram,
+        total_tiles: total,
+        count_partial_lanes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::IntPrecision;
+    use tempus_models::zoo::Model;
+
+    #[test]
+    fn averages_relate_to_model_sparsity() {
+        let m = QuantizedModel::generate_limited(Model::GoogleNet, IntPrecision::Int8, 8, 400_000);
+        let p = profile_model(&m, 16, 16, false);
+        // Expected silent PEs per full 256-lane tile ≈ sparsity × 256.
+        let expected = m.sparsity_pct() / 100.0 * 256.0;
+        let got = p.average_silent_pes();
+        assert!(
+            (got - expected).abs() < 1.5,
+            "avg silent {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_total() {
+        let m =
+            QuantizedModel::generate_limited(Model::ShuffleNetV2, IntPrecision::Int8, 9, 150_000);
+        let p = profile_model(&m, 16, 16, false);
+        let sum: u64 = p.histogram.iter().sum();
+        assert_eq!(sum, p.total_tiles);
+    }
+
+    #[test]
+    fn partial_lane_counting_increases_silence() {
+        let m =
+            QuantizedModel::generate_limited(Model::ShuffleNetV2, IntPrecision::Int8, 10, 150_000);
+        let with = profile_model(&m, 16, 16, true);
+        let without = profile_model(&m, 16, 16, false);
+        assert!(with.average_silent_pes() >= without.average_silent_pes());
+        assert!(with.total_tiles >= without.total_tiles);
+    }
+
+    #[test]
+    fn active_pes_complement_silent() {
+        let m = QuantizedModel::generate_limited(Model::ResNet18, IntPrecision::Int8, 11, 200_000);
+        let p = profile_model(&m, 16, 16, false);
+        assert!((p.average_active_pes() + p.average_silent_pes() - 256.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Latency-adjusted iso-area throughput.
+//!
+//! The paper's iso-area throughput (§V-D, Fig. 9) counts how many tub
+//! arrays fit in the binary array's silicon, "assuming the same m
+//! cycles" on both sides. This module computes the stronger,
+//! workload-aware statement: fold in the *measured* multi-cycle window
+//! from Fig. 7 profiling, so the comparison is
+//! `ops/s/mm² = arrays-per-area × (1 / window)`. It quantifies §V-D's
+//! "throughput improvements can transcend the latency increase" — true
+//! at INT4 (short windows) and at large arrays, not yet at INT8 with
+//! a 16×16 array.
+
+use tempus_arith::IntPrecision;
+use tempus_hwmodel::{Family, SynthModel};
+
+/// Latency-adjusted iso-area throughput comparison at one precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputComparison {
+    /// Precision evaluated.
+    pub precision: IntPrecision,
+    /// Average tub window in cycles (1 for the binary array).
+    pub tub_window_cycles: f64,
+    /// Area ratio binary/tub (how many tub arrays fit per binary
+    /// array) — the paper's iso-area factor.
+    pub area_ratio: f64,
+    /// Binary atomic ops per second per mm² (millions).
+    pub binary_mops_per_mm2: f64,
+    /// tub atomic ops per second per mm² (millions), with the window
+    /// folded in.
+    pub tub_mops_per_mm2: f64,
+}
+
+impl ThroughputComparison {
+    /// Net iso-area throughput gain with latency included:
+    /// `area_ratio / window`. Above 1.0 the tub side wins outright.
+    #[must_use]
+    pub fn net_gain(&self) -> f64 {
+        self.tub_mops_per_mm2 / self.binary_mops_per_mm2
+    }
+
+    /// Window length (cycles) at which the two sides break even for
+    /// this area ratio.
+    #[must_use]
+    pub fn break_even_window(&self) -> f64 {
+        self.area_ratio
+    }
+}
+
+/// Clock frequency of the evaluation, MHz.
+const FREQ_MHZ: f64 = 250.0;
+
+/// Compares 16×16 arrays at `precision` with a profiled average window
+/// of `tub_window_cycles` (from Fig. 7 profiling; use the worst case
+/// `precision.worst_case_tub_cycles()` for a bound).
+///
+/// # Panics
+///
+/// Panics if `tub_window_cycles < 1`.
+#[must_use]
+pub fn compare_16x16(
+    hw: &SynthModel,
+    precision: IntPrecision,
+    tub_window_cycles: f64,
+) -> ThroughputComparison {
+    assert!(tub_window_cycles >= 1.0, "window must be at least 1 cycle");
+    let binary = hw.pe_array(Family::Binary, precision, 16, 16);
+    let tub = hw.pe_array(Family::Tub, precision, 16, 16);
+    let area_ratio = binary.area_mm2 / tub.area_mm2;
+    // One atomic op per cycle for the binary array; one per window for
+    // the tub array. Normalise per mm².
+    let binary_mops_per_mm2 = FREQ_MHZ / binary.area_mm2 / 1e3;
+    let tub_mops_per_mm2 = FREQ_MHZ / tub_window_cycles / tub.area_mm2 / 1e3;
+    ThroughputComparison {
+        precision,
+        tub_window_cycles,
+        area_ratio,
+        binary_mops_per_mm2,
+        tub_mops_per_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_with_profiled_window_does_not_yet_win() {
+        // 16x16 INT8 with the MobileNetV2 window (~33 cycles): the 5x
+        // area advantage cannot cover a 33x window — net gain ~0.15.
+        let hw = SynthModel::nangate45();
+        let c = compare_16x16(&hw, IntPrecision::Int8, 33.0);
+        assert!(c.net_gain() < 0.2, "net {}", c.net_gain());
+        assert!((c.area_ratio - 5.0).abs() < 0.3);
+        assert!((c.break_even_window() - c.area_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int4_worst_case_wins_outright() {
+        // INT4: the window is at most 4 cycles against a ~5x area
+        // advantage — tub delivers more ops/s/mm² even at worst case.
+        let hw = SynthModel::nangate45();
+        let c = compare_16x16(
+            &hw,
+            IntPrecision::Int4,
+            f64::from(IntPrecision::Int4.worst_case_tub_cycles()),
+        );
+        assert!(c.net_gain() > 1.0, "net {}", c.net_gain());
+    }
+
+    #[test]
+    fn int2_wins_by_a_wide_margin() {
+        let hw = SynthModel::nangate45();
+        let c = compare_16x16(
+            &hw,
+            IntPrecision::Int2,
+            f64::from(IntPrecision::Int2.worst_case_tub_cycles()),
+        );
+        assert!(c.net_gain() > 2.0, "net {}", c.net_gain());
+    }
+
+    #[test]
+    fn net_gain_is_area_ratio_over_window() {
+        let hw = SynthModel::nangate45();
+        let c = compare_16x16(&hw, IntPrecision::Int8, 10.0);
+        assert!((c.net_gain() - c.area_ratio / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 cycle")]
+    fn sub_cycle_window_rejected() {
+        let hw = SynthModel::nangate45();
+        let _ = compare_16x16(&hw, IntPrecision::Int8, 0.5);
+    }
+}

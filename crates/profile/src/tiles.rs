@@ -1,0 +1,142 @@
+//! Tiling of lowered weight matrices into k×n PE-array residencies.
+
+use tempus_models::QuantizedLayer;
+
+/// One k×n tile of quantized weights (edge tiles may be smaller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tile {
+    /// Rows actually present (≤ k).
+    pub rows: usize,
+    /// Columns actually present (≤ n).
+    pub cols: usize,
+    /// Capacity of the full tile (k × n lanes).
+    pub capacity: usize,
+    /// The weights, row-major, `rows × cols` entries.
+    pub weights: Vec<i8>,
+}
+
+impl Tile {
+    /// Largest weight magnitude in the tile — what bottlenecks the tub
+    /// array window.
+    #[must_use]
+    pub fn max_magnitude(&self) -> u32 {
+        self.weights
+            .iter()
+            .map(|w| u32::from(w.unsigned_abs()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Window length in cycles under 2s-unary encoding.
+    #[must_use]
+    pub fn latency_cycles(&self) -> u32 {
+        self.max_magnitude().div_ceil(2)
+    }
+
+    /// Silent PEs: zero weights plus lanes left unmapped by an edge
+    /// tile (both stay clock-gated for the whole window).
+    #[must_use]
+    pub fn silent_pes(&self) -> usize {
+        let zeros = self.weights.iter().filter(|&&w| w == 0).count();
+        zeros + (self.capacity - self.weights.len())
+    }
+
+    /// `true` when the tile maps fewer weights than lanes.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        self.weights.len() < self.capacity
+    }
+}
+
+/// Iterates the k×n tiles of a layer's lowered weight matrix,
+/// row-major over the tile grid.
+pub fn layer_tiles<'a>(
+    layer: &'a QuantizedLayer,
+    k: usize,
+    n: usize,
+) -> impl Iterator<Item = Tile> + 'a {
+    assert!(k > 0 && n > 0, "tile dimensions must be nonzero");
+    let (rows, cols) = layer.lowered_dims();
+    let tile_rows = rows.div_ceil(k);
+    let tile_cols = cols.div_ceil(n);
+    (0..tile_rows * tile_cols).map(move |t| {
+        let tr = t / tile_cols;
+        let tc = t % tile_cols;
+        let r0 = tr * k;
+        let c0 = tc * n;
+        let r1 = (r0 + k).min(rows);
+        let c1 = (c0 + n).min(cols);
+        let mut weights = Vec::with_capacity((r1 - r0) * (c1 - c0));
+        for r in r0..r1 {
+            for c in c0..c1 {
+                weights.push(layer.get(r, c));
+            }
+        }
+        Tile {
+            rows: r1 - r0,
+            cols: c1 - c0,
+            capacity: k * n,
+            weights,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_models::ConvLayerSpec;
+
+    fn layer(rows: usize, cols_channels: usize, f: impl Fn(usize) -> i8) -> QuantizedLayer {
+        let spec = ConvLayerSpec::new("t", rows, cols_channels, 1, 1, 1);
+        let count = spec.weight_count();
+        QuantizedLayer {
+            spec,
+            weights: (0..count).map(f).collect(),
+        }
+    }
+
+    #[test]
+    fn exact_tiling_covers_all_weights() {
+        let l = layer(32, 32, |i| (i % 100) as i8);
+        let tiles: Vec<Tile> = layer_tiles(&l, 16, 16).collect();
+        assert_eq!(tiles.len(), 4);
+        assert!(tiles.iter().all(|t| !t.is_partial()));
+        let total: usize = tiles.iter().map(|t| t.weights.len()).sum();
+        assert_eq!(total, 32 * 32);
+    }
+
+    #[test]
+    fn partial_edge_tiles() {
+        let l = layer(20, 18, |_| 1);
+        let tiles: Vec<Tile> = layer_tiles(&l, 16, 16).collect();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0].weights.len(), 256);
+        assert_eq!(tiles[1].weights.len(), 16 * 2);
+        assert_eq!(tiles[3].weights.len(), 4 * 2);
+        assert!(tiles[3].is_partial());
+        // Unmapped lanes count as silent.
+        assert_eq!(tiles[3].silent_pes(), 256 - 8);
+    }
+
+    #[test]
+    fn tile_max_and_latency() {
+        let l = layer(16, 16, |i| if i == 37 { -128i8 } else { 3 });
+        let t: Vec<Tile> = layer_tiles(&l, 16, 16).collect();
+        assert_eq!(t[0].max_magnitude(), 128);
+        assert_eq!(t[0].latency_cycles(), 64);
+    }
+
+    #[test]
+    fn silent_pes_count_zeros() {
+        let l = layer(16, 16, |i| if i % 4 == 0 { 0 } else { 5 });
+        let t: Vec<Tile> = layer_tiles(&l, 16, 16).collect();
+        assert_eq!(t[0].silent_pes(), 64);
+    }
+
+    #[test]
+    fn all_zero_tile_has_zero_latency() {
+        let l = layer(16, 16, |_| 0);
+        let t: Vec<Tile> = layer_tiles(&l, 16, 16).collect();
+        assert_eq!(t[0].latency_cycles(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Calibration-target checks against the paper's published §V-C
+//! statistics. The fast tests run on MobileNetV2 (2M weights); the
+//! full ResNeXt101 check (87M weights) is `#[ignore]`d for regular
+//! runs and exercised by the release-mode report harness.
+
+use tempus_arith::IntPrecision;
+use tempus_models::zoo::Model;
+use tempus_models::QuantizedModel;
+use tempus_profile::{magnitude, sparsity};
+
+#[test]
+fn mobilenet_v2_latency_close_to_33_cycles() {
+    let model = QuantizedModel::generate(Model::MobileNetV2, IntPrecision::Int8, 42);
+    let profile = magnitude::profile_model(&model, 16, 16);
+    let avg = profile.average_latency_cycles();
+    assert!(
+        (avg - 33.0).abs() < 3.0,
+        "MobileNetV2 avg latency {avg:.1} cycles vs paper 33"
+    );
+}
+
+#[test]
+fn mobilenet_v2_silent_pes_close_to_6() {
+    let model = QuantizedModel::generate(Model::MobileNetV2, IntPrecision::Int8, 42);
+    let profile = sparsity::profile_model(&model, 16, 16, false);
+    let avg = profile.average_silent_pes();
+    assert!(
+        (avg - 6.0).abs() < 1.5,
+        "MobileNetV2 avg silent PEs {avg:.1} vs paper 6"
+    );
+}
+
+#[test]
+fn mobilenet_v2_sparsity_matches_table_i() {
+    let model = QuantizedModel::generate(Model::MobileNetV2, IntPrecision::Int8, 42);
+    let s = model.sparsity_pct();
+    assert!((s - 2.25).abs() < 0.2, "sparsity {s:.2}% vs Table I 2.25%");
+}
+
+#[test]
+#[ignore = "generates 87M weights; run with --ignored (release) or via the report harness"]
+fn resnext101_latency_close_to_31_cycles() {
+    let model = QuantizedModel::generate(Model::ResNeXt101, IntPrecision::Int8, 42);
+    let profile = magnitude::profile_model(&model, 16, 16);
+    let avg = profile.average_latency_cycles();
+    assert!(
+        (avg - 31.0).abs() < 3.0,
+        "ResNeXt101 avg latency {avg:.1} cycles vs paper 31"
+    );
+    let silent = sparsity::profile_model(&model, 16, 16, false).average_silent_pes();
+    assert!(
+        (silent - 2.0).abs() < 5.0,
+        "ResNeXt101 avg silent PEs {silent:.1} vs paper 2"
+    );
+}
+
+/// Probe printing the calibration landscape — run manually when
+/// retuning `tempus_models::calib` betas:
+/// `cargo test -p tempus-profile --release probe -- --ignored --nocapture`
+#[test]
+#[ignore = "diagnostic probe, not an assertion"]
+fn probe_latency_landscape() {
+    for model in [Model::MobileNetV2, Model::ResNeXt101] {
+        let m = QuantizedModel::generate(model, IntPrecision::Int8, 42);
+        let mag = magnitude::profile_model(&m, 16, 16);
+        let sil = sparsity::profile_model(&m, 16, 16, false);
+        println!(
+            "{}: weights {:.1}M sparsity {:.2}% avg latency {:.1} cy avg max {:.1} silent {:.1}",
+            model.name(),
+            m.total_weights() as f64 / 1e6,
+            m.sparsity_pct(),
+            mag.average_latency_cycles(),
+            mag.average_max_magnitude(),
+            sil.average_silent_pes()
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the tile profiling pipeline: tiling must
+//! cover every weight exactly once, and the derived statistics must
+//! respect their analytic bounds.
+
+use proptest::prelude::*;
+use tempus_arith::IntPrecision;
+use tempus_models::{ConvLayerSpec, QuantizedLayer};
+use tempus_profile::tiles::{layer_tiles, Tile};
+
+fn synthetic_layer(out_c: usize, in_c: usize, kh: usize, seed: u32) -> QuantizedLayer {
+    let spec = ConvLayerSpec::new("prop", out_c, in_c, kh, kh, 1);
+    let count = spec.weight_count();
+    QuantizedLayer {
+        spec,
+        weights: (0..count)
+            .map(|i| (((i as u32).wrapping_mul(2_654_435_761).wrapping_add(seed) >> 8) % 255) as i8)
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiling_covers_every_weight_exactly_once(
+        out_c in 1usize..40,
+        in_c in 1usize..20,
+        kh in prop_oneof![Just(1usize), Just(3usize)],
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in any::<u32>(),
+    ) {
+        let layer = synthetic_layer(out_c, in_c, kh, seed);
+        let tiles: Vec<Tile> = layer_tiles(&layer, k, n).collect();
+        let covered: usize = tiles.iter().map(|t| t.weights.len()).sum();
+        prop_assert_eq!(covered, layer.weights.len());
+        // Weight multiset preserved: compare sums as a cheap witness.
+        let direct: i64 = layer.weights.iter().map(|&w| i64::from(w)).sum();
+        let tiled: i64 = tiles
+            .iter()
+            .flat_map(|t| t.weights.iter())
+            .map(|&w| i64::from(w))
+            .sum();
+        prop_assert_eq!(direct, tiled);
+    }
+
+    #[test]
+    fn tile_stats_respect_bounds(
+        out_c in 1usize..40,
+        in_c in 1usize..20,
+        seed in any::<u32>(),
+    ) {
+        let layer = synthetic_layer(out_c, in_c, 3, seed);
+        for tile in layer_tiles(&layer, 16, 16) {
+            prop_assert!(tile.weights.len() <= tile.capacity);
+            prop_assert!(tile.silent_pes() <= tile.capacity);
+            prop_assert!(tile.max_magnitude() <= 128);
+            prop_assert_eq!(
+                tile.latency_cycles(),
+                tile.max_magnitude().div_ceil(2)
+            );
+            let zeros = tile.weights.iter().filter(|&&w| w == 0).count();
+            prop_assert_eq!(
+                tile.silent_pes(),
+                zeros + (tile.capacity - tile.weights.len())
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_profile_totals_are_consistent(
+        out_c in 1usize..32,
+        in_c in 1usize..16,
+        seed in any::<u32>(),
+    ) {
+        use tempus_models::zoo::Model;
+        use tempus_models::QuantizedModel;
+        use tempus_profile::magnitude::profile_model;
+        // A tiny generated model keeps the property cheap; we only
+        // exercise the aggregation invariants here.
+        let _ = (out_c, in_c);
+        let model = QuantizedModel::generate_limited(
+            Model::ShuffleNetV2,
+            IntPrecision::Int8,
+            u64::from(seed),
+            20_000,
+        );
+        let p = profile_model(&model, 16, 16);
+        let hist_total: u64 = p.histogram.iter().sum();
+        prop_assert_eq!(hist_total, p.total_tiles);
+        prop_assert!(p.average_latency_cycles() <= 64.0);
+        prop_assert!(p.average_max_magnitude() <= 128.0);
+        prop_assert!(p.latency_quantile(0.0) <= p.latency_quantile(1.0));
+    }
+}

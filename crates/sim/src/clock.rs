@@ -1,0 +1,96 @@
+/// A clock domain: frequency and cycle/time conversions.
+///
+/// The paper fixes 250 MHz (4 ns period) for all synthesis and energy
+/// numbers (§IV); [`ClockDomain::paper`] returns exactly that domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    freq_mhz: f64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain at `freq_mhz` megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is not finite and positive.
+    #[must_use]
+    pub fn new(freq_mhz: f64) -> Self {
+        assert!(
+            freq_mhz.is_finite() && freq_mhz > 0.0,
+            "clock frequency must be positive"
+        );
+        ClockDomain { freq_mhz }
+    }
+
+    /// The paper's evaluation clock: 250 MHz, 4 ns period (§IV).
+    #[must_use]
+    pub fn paper() -> Self {
+        ClockDomain::new(250.0)
+    }
+
+    /// Frequency in MHz.
+    #[must_use]
+    pub fn freq_mhz(self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Clock period in nanoseconds.
+    #[must_use]
+    pub fn period_ns(self) -> f64 {
+        1e3 / self.freq_mhz
+    }
+
+    /// Wall-clock duration of `cycles` cycles, in nanoseconds.
+    #[must_use]
+    pub fn cycles_to_ns(self, cycles: u64) -> f64 {
+        cycles as f64 * self.period_ns()
+    }
+
+    /// Energy in picojoules consumed by a block drawing `power_mw`
+    /// milliwatts for `cycles` cycles (`E = P·t`; 1 mW · 1 ns = 1 pJ).
+    #[must_use]
+    pub fn energy_pj(self, power_mw: f64, cycles: u64) -> f64 {
+        power_mw * self.cycles_to_ns(cycles)
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_is_250_mhz_4_ns() {
+        let c = ClockDomain::paper();
+        assert_eq!(c.freq_mhz(), 250.0);
+        assert!((c.period_ns() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_matches_paper_binary_array_example() {
+        // §V-C: binary 16x16 INT8 array at 3.8 mW for 1 cycle of 4 ns
+        // gives ~15 pJ.
+        let c = ClockDomain::paper();
+        let e = c.energy_pj(3.8, 1);
+        assert!((e - 15.2).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn energy_matches_paper_tub_array_example() {
+        // §V-C: tub array 1.42 mW for 33 cycles -> ~187 pJ.
+        let c = ClockDomain::paper();
+        let e = c.energy_pj(1.42, 33);
+        assert!((e - 187.44).abs() < 0.01, "got {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::new(0.0);
+    }
+}

@@ -1,0 +1,46 @@
+/// A synchronous (clock-edge driven) component.
+///
+/// Implementations perform all combinational evaluation *and* state
+/// commit inside [`tick`](Clocked::tick); composite components tick
+/// their children in dataflow order so that within one cycle every
+/// child observes its inputs as driven this cycle, mirroring a
+/// single-clock RTL design evaluated before the edge.
+pub trait Clocked {
+    /// Advances the component by one clock cycle.
+    fn tick(&mut self);
+
+    /// Returns the component to its power-on state.
+    fn reset(&mut self);
+}
+
+impl<T: Clocked + ?Sized> Clocked for Box<T> {
+    fn tick(&mut self) {
+        (**self).tick();
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toggle(bool);
+    impl Clocked for Toggle {
+        fn tick(&mut self) {
+            self.0 = !self.0;
+        }
+        fn reset(&mut self) {
+            self.0 = false;
+        }
+    }
+
+    #[test]
+    fn boxed_component_ticks() {
+        let mut b: Box<dyn Clocked> = Box::new(Toggle(false));
+        b.tick();
+        b.reset();
+    }
+}

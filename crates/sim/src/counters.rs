@@ -1,0 +1,198 @@
+use crate::ClockDomain;
+
+/// Tracks how many cycles a block spent active versus clock-gated.
+///
+/// NVDLA's MAC cells support clock gating "during idle or underutilized
+/// conditions" (§II-C) and Tempus Core keeps zero-weight PEs silent
+/// (§V-C); this counter is how both models account for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounter {
+    active: u64,
+    gated: u64,
+}
+
+impl ActivityCounter {
+    /// Creates a counter with no recorded cycles.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cycle in the active state.
+    pub fn record_active(&mut self) {
+        self.active += 1;
+    }
+
+    /// Records one cycle in the gated (idle) state.
+    pub fn record_gated(&mut self) {
+        self.gated += 1;
+    }
+
+    /// Records `n` cycles at once.
+    pub fn record_active_n(&mut self, n: u64) {
+        self.active += n;
+    }
+
+    /// Records `n` gated cycles at once.
+    pub fn record_gated_n(&mut self, n: u64) {
+        self.gated += n;
+    }
+
+    /// Cycles spent active.
+    #[must_use]
+    pub fn active_cycles(self) -> u64 {
+        self.active
+    }
+
+    /// Cycles spent gated.
+    #[must_use]
+    pub fn gated_cycles(self) -> u64 {
+        self.gated
+    }
+
+    /// Total recorded cycles.
+    #[must_use]
+    pub fn total_cycles(self) -> u64 {
+        self.active + self.gated
+    }
+
+    /// Fraction of cycles active (0 when nothing recorded).
+    #[must_use]
+    pub fn utilization(self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.active as f64 / total as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: ActivityCounter) {
+        self.active += other.active;
+        self.gated += other.gated;
+    }
+
+    /// Clears all counts.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Integrates energy over recorded activity: active cycles burn dynamic
+/// plus leakage power, gated cycles burn leakage only.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyAccumulator {
+    clock: ClockDomain,
+    dynamic_mw: f64,
+    leakage_mw: f64,
+    energy_pj: f64,
+}
+
+impl EnergyAccumulator {
+    /// Creates an accumulator for a block drawing `dynamic_mw` when
+    /// active and `leakage_mw` always, in clock domain `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either power is negative or non-finite.
+    #[must_use]
+    pub fn new(clock: ClockDomain, dynamic_mw: f64, leakage_mw: f64) -> Self {
+        assert!(
+            dynamic_mw >= 0.0 && dynamic_mw.is_finite(),
+            "dynamic power must be non-negative"
+        );
+        assert!(
+            leakage_mw >= 0.0 && leakage_mw.is_finite(),
+            "leakage power must be non-negative"
+        );
+        EnergyAccumulator {
+            clock,
+            dynamic_mw,
+            leakage_mw,
+            energy_pj: 0.0,
+        }
+    }
+
+    /// Accounts `cycles` of active operation.
+    pub fn add_active(&mut self, cycles: u64) {
+        self.energy_pj += self
+            .clock
+            .energy_pj(self.dynamic_mw + self.leakage_mw, cycles);
+    }
+
+    /// Accounts `cycles` of gated operation (leakage only).
+    pub fn add_gated(&mut self, cycles: u64) {
+        self.energy_pj += self.clock.energy_pj(self.leakage_mw, cycles);
+    }
+
+    /// Accounts a whole [`ActivityCounter`].
+    pub fn add_activity(&mut self, activity: ActivityCounter) {
+        self.add_active(activity.active_cycles());
+        self.add_gated(activity.gated_cycles());
+    }
+
+    /// Total accumulated energy in picojoules.
+    #[must_use]
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_counts_both_states() {
+        let mut a = ActivityCounter::new();
+        a.record_active();
+        a.record_active();
+        a.record_gated_n(2);
+        assert_eq!(a.total_cycles(), 4);
+        assert!((a.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_utilization() {
+        assert_eq!(ActivityCounter::new().utilization(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ActivityCounter::new();
+        a.record_active_n(3);
+        let mut b = ActivityCounter::new();
+        b.record_gated_n(5);
+        a.merge(b);
+        assert_eq!(a.active_cycles(), 3);
+        assert_eq!(a.gated_cycles(), 5);
+    }
+
+    #[test]
+    fn energy_active_includes_leakage() {
+        // 1 mW dynamic + 0.5 mW leakage at 4 ns/cycle:
+        // active cycle = 6 pJ, gated cycle = 2 pJ.
+        let mut e = EnergyAccumulator::new(ClockDomain::paper(), 1.0, 0.5);
+        e.add_active(1);
+        assert!((e.energy_pj() - 6.0).abs() < 1e-12);
+        e.add_gated(1);
+        assert!((e.energy_pj() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_from_activity_counter() {
+        let mut a = ActivityCounter::new();
+        a.record_active_n(10);
+        a.record_gated_n(10);
+        let mut e = EnergyAccumulator::new(ClockDomain::paper(), 2.0, 0.0);
+        e.add_activity(a);
+        assert!((e.energy_pj() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = EnergyAccumulator::new(ClockDomain::paper(), -1.0, 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Two-phase clocked simulation kernel for the Tempus Core reproduction.
+//!
+//! The paper evaluates RTL with commercial simulators and EDA tools; this
+//! crate is the Rust substitute: a small, deterministic synchronous
+//! simulation framework with
+//!
+//! * [`Reg`] — a two-phase register (`set_next` during evaluation,
+//!   committed at the clock edge) with toggle counting;
+//! * [`Clocked`] — the trait every cycle-accurate component implements;
+//! * [`Fifo`] / [`Pipe`] — valid/ready handshake building blocks, used by
+//!   the PCU's multi-cycle handshaking logic (§III);
+//! * [`ActivityCounter`] / [`EnergyAccumulator`] — per-component activity
+//!   tracking feeding the workload-dependent energy evaluation (§V-C);
+//! * [`ClockDomain`] — cycle/time conversions at the paper's fixed
+//!   250 MHz clock;
+//! * [`VcdWriter`] — a minimal value-change-dump writer for waveform
+//!   inspection of the cycle-accurate models;
+//! * [`Simulator`] — a watchdog-guarded run loop.
+//!
+//! # Example
+//!
+//! ```
+//! use tempus_sim::{Clocked, Reg, Simulator};
+//!
+//! struct Counter { value: Reg<u32> }
+//! impl Clocked for Counter {
+//!     fn tick(&mut self) {
+//!         self.value.set_next(self.value.get() + 1);
+//!         self.value.commit();
+//!     }
+//!     fn reset(&mut self) { self.value.force(0); }
+//! }
+//!
+//! let mut c = Counter { value: Reg::new(0) };
+//! let mut sim = Simulator::at_250_mhz();
+//! let cycles = sim.run_until(&mut c, |c| c.value.get() == 10, 100).unwrap();
+//! assert_eq!(cycles, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod clocked;
+mod counters;
+mod handshake;
+mod reg;
+mod runner;
+mod scoreboard;
+mod vcd;
+
+pub use clock::ClockDomain;
+pub use clocked::Clocked;
+pub use counters::{ActivityCounter, EnergyAccumulator};
+pub use handshake::{Fifo, Pipe};
+pub use reg::Reg;
+pub use runner::{SimError, Simulator};
+pub use scoreboard::{Scoreboard, ScoreboardError};
+pub use vcd::{VcdValue, VcdWriter};

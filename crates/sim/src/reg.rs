@@ -1,0 +1,159 @@
+use std::fmt;
+
+/// A two-phase simulation register.
+///
+/// During a cycle's evaluation phase the component drives the register's
+/// next value with [`set_next`](Reg::set_next); at the clock edge
+/// [`commit`](Reg::commit) makes it visible. Reading via
+/// [`get`](Reg::get) always returns the *current* (pre-edge) value, so
+/// evaluation order between sibling registers does not matter — exactly
+/// like non-blocking assignment in RTL.
+///
+/// The register counts commits that changed its value ("toggles"), which
+/// feeds the activity-based power model.
+#[derive(Debug, Clone)]
+pub struct Reg<T> {
+    current: T,
+    next: Option<T>,
+    toggles: u64,
+    commits: u64,
+}
+
+impl<T: Clone + PartialEq> Reg<T> {
+    /// Creates a register holding `initial`.
+    pub fn new(initial: T) -> Self {
+        Reg {
+            current: initial,
+            next: None,
+            toggles: 0,
+            commits: 0,
+        }
+    }
+
+    /// Current (committed) value.
+    pub fn get(&self) -> T {
+        self.current.clone()
+    }
+
+    /// Borrows the current value without cloning.
+    pub fn peek(&self) -> &T {
+        &self.current
+    }
+
+    /// Schedules `value` to become current at the next [`commit`](Reg::commit).
+    /// Driving twice in one cycle keeps the latest value (last write wins,
+    /// as in procedural RTL).
+    pub fn set_next(&mut self, value: T) {
+        self.next = Some(value);
+    }
+
+    /// Clock edge: commits the scheduled value, if any. A cycle without a
+    /// `set_next` holds the register (implicit enable off).
+    pub fn commit(&mut self) {
+        self.commits += 1;
+        if let Some(next) = self.next.take() {
+            if next != self.current {
+                self.toggles += 1;
+            }
+            self.current = next;
+        }
+    }
+
+    /// Immediately overwrites the current value, bypassing the two-phase
+    /// protocol. Intended for reset paths only.
+    pub fn force(&mut self, value: T) {
+        self.current = value;
+        self.next = None;
+    }
+
+    /// Number of commits that changed the stored value.
+    pub fn toggles(&self) -> u64 {
+        self.toggles
+    }
+
+    /// Number of clock edges seen.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Fraction of edges on which the register toggled (0 when never
+    /// clocked). This is the activity factor α of the power model.
+    pub fn activity(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.toggles as f64 / self.commits as f64
+        }
+    }
+}
+
+impl<T: Clone + PartialEq + Default> Default for Reg<T> {
+    fn default() -> Self {
+        Reg::new(T::default())
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Reg<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_visible_only_after_commit() {
+        let mut r = Reg::new(0u32);
+        r.set_next(5);
+        assert_eq!(r.get(), 0, "next value must not leak before the edge");
+        r.commit();
+        assert_eq!(r.get(), 5);
+    }
+
+    #[test]
+    fn hold_when_not_driven() {
+        let mut r = Reg::new(7u32);
+        r.commit();
+        assert_eq!(r.get(), 7);
+        assert_eq!(r.toggles(), 0);
+    }
+
+    #[test]
+    fn last_write_wins_within_a_cycle() {
+        let mut r = Reg::new(0u32);
+        r.set_next(1);
+        r.set_next(2);
+        r.commit();
+        assert_eq!(r.get(), 2);
+    }
+
+    #[test]
+    fn toggle_counting_ignores_same_value_commits() {
+        let mut r = Reg::new(1u32);
+        r.set_next(1);
+        r.commit();
+        assert_eq!(r.toggles(), 0);
+        r.set_next(2);
+        r.commit();
+        assert_eq!(r.toggles(), 1);
+        assert_eq!(r.commits(), 2);
+        assert!((r.activity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_clears_pending_next() {
+        let mut r = Reg::new(0u32);
+        r.set_next(9);
+        r.force(3);
+        r.commit();
+        assert_eq!(r.get(), 3, "reset must cancel in-flight writes");
+    }
+
+    #[test]
+    fn activity_zero_before_any_clock() {
+        let r = Reg::new(0u8);
+        assert_eq!(r.activity(), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{ClockDomain, Clocked};
+
+/// Error returned by [`Simulator`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded its watchdog budget without satisfying the stop
+    /// condition — usually a deadlocked handshake.
+    WatchdogExpired {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WatchdogExpired { cycles } => {
+                write!(f, "simulation watchdog expired after {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Drives a [`Clocked`] component cycle by cycle with a watchdog.
+///
+/// The simulator tracks total cycles across runs so several convolution
+/// tiles can be simulated back-to-back with a cumulative cycle count.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    clock: ClockDomain,
+    total_cycles: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator in clock domain `clock`.
+    #[must_use]
+    pub fn new(clock: ClockDomain) -> Self {
+        Simulator {
+            clock,
+            total_cycles: 0,
+        }
+    }
+
+    /// Creates a simulator at the paper's 250 MHz evaluation clock.
+    #[must_use]
+    pub fn at_250_mhz() -> Self {
+        Simulator::new(ClockDomain::paper())
+    }
+
+    /// The simulator's clock domain.
+    #[must_use]
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Cycles executed so far across all runs.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Wall-clock nanoseconds simulated so far.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> f64 {
+        self.clock.cycles_to_ns(self.total_cycles)
+    }
+
+    /// Ticks `dut` until `done` returns `true`, or errs after
+    /// `max_cycles` additional cycles. Returns the number of cycles this
+    /// run consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogExpired`] when the condition never
+    /// became true within the budget.
+    pub fn run_until<C: Clocked>(
+        &mut self,
+        dut: &mut C,
+        mut done: impl FnMut(&C) -> bool,
+        max_cycles: u64,
+    ) -> Result<u64, SimError> {
+        let mut cycles = 0u64;
+        while !done(dut) {
+            if cycles >= max_cycles {
+                return Err(SimError::WatchdogExpired { cycles });
+            }
+            dut.tick();
+            cycles += 1;
+            self.total_cycles += 1;
+        }
+        Ok(cycles)
+    }
+
+    /// Ticks `dut` exactly `cycles` times.
+    pub fn run_for<C: Clocked>(&mut self, dut: &mut C, cycles: u64) {
+        for _ in 0..cycles {
+            dut.tick();
+        }
+        self.total_cycles += cycles;
+    }
+
+    /// Resets both the device and the simulator's cycle counter.
+    pub fn reset<C: Clocked>(&mut self, dut: &mut C) {
+        dut.reset();
+        self.total_cycles = 0;
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::at_250_mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    struct Counter {
+        value: Reg<u64>,
+    }
+
+    impl Clocked for Counter {
+        fn tick(&mut self) {
+            self.value.set_next(self.value.get() + 1);
+            self.value.commit();
+        }
+        fn reset(&mut self) {
+            self.value.force(0);
+        }
+    }
+
+    #[test]
+    fn run_until_counts_cycles() {
+        let mut c = Counter { value: Reg::new(0) };
+        let mut sim = Simulator::at_250_mhz();
+        let n = sim.run_until(&mut c, |c| c.value.get() == 7, 100).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(sim.total_cycles(), 7);
+        assert!((sim.elapsed_ns() - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_until_immediate_condition_is_zero_cycles() {
+        let mut c = Counter { value: Reg::new(0) };
+        let mut sim = Simulator::at_250_mhz();
+        let n = sim.run_until(&mut c, |_| true, 10).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn watchdog_trips_on_deadlock() {
+        let mut c = Counter { value: Reg::new(0) };
+        let mut sim = Simulator::at_250_mhz();
+        let err = sim.run_until(&mut c, |_| false, 16).unwrap_err();
+        assert_eq!(err, SimError::WatchdogExpired { cycles: 16 });
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut c = Counter { value: Reg::new(0) };
+        let mut sim = Simulator::at_250_mhz();
+        sim.run_for(&mut c, 5);
+        sim.reset(&mut c);
+        assert_eq!(sim.total_cycles(), 0);
+        assert_eq!(c.value.get(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Mismatch report from a [`Scoreboard`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreboardError {
+    /// An observed transaction differed from the expected one.
+    Mismatch {
+        /// Index of the transaction (0-based, in observation order).
+        index: u64,
+        /// Debug rendering of the expected transaction.
+        expected: String,
+        /// Debug rendering of the observed transaction.
+        observed: String,
+    },
+    /// A transaction arrived with nothing queued to compare against.
+    Unexpected {
+        /// Index of the transaction.
+        index: u64,
+        /// Debug rendering of the observation.
+        observed: String,
+    },
+    /// The run ended with expectations still queued.
+    Outstanding {
+        /// How many expected transactions never arrived.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for ScoreboardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreboardError::Mismatch {
+                index,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "transaction {index}: expected {expected}, observed {observed}"
+            ),
+            ScoreboardError::Unexpected { index, observed } => {
+                write!(f, "transaction {index}: unexpected {observed}")
+            }
+            ScoreboardError::Outstanding { remaining } => {
+                write!(f, "{remaining} expected transactions never arrived")
+            }
+        }
+    }
+}
+
+impl Error for ScoreboardError {}
+
+/// An in-order transaction scoreboard: queue expectations from a
+/// reference model, feed observations from the device under test, and
+/// get a precise first-divergence report — the standard verification
+/// pattern for comparing the cycle-accurate cores against golden
+/// models.
+///
+/// ```
+/// use tempus_sim::Scoreboard;
+///
+/// let mut sb = Scoreboard::new();
+/// sb.expect(10);
+/// sb.expect(20);
+/// sb.observe(10).unwrap();
+/// assert!(sb.observe(99).is_err()); // diverged at transaction 1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard<T> {
+    expected: VecDeque<T>,
+    observed_count: u64,
+    matched: u64,
+}
+
+impl<T: PartialEq + fmt::Debug> Scoreboard<T> {
+    /// Creates an empty scoreboard.
+    #[must_use]
+    pub fn new() -> Self {
+        Scoreboard {
+            expected: VecDeque::new(),
+            observed_count: 0,
+            matched: 0,
+        }
+    }
+
+    /// Queues one expected transaction.
+    pub fn expect(&mut self, transaction: T) {
+        self.expected.push_back(transaction);
+    }
+
+    /// Queues many expected transactions.
+    pub fn expect_all(&mut self, transactions: impl IntoIterator<Item = T>) {
+        self.expected.extend(transactions);
+    }
+
+    /// Checks an observed transaction against the next expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreboardError::Mismatch`] on divergence or
+    /// [`ScoreboardError::Unexpected`] when nothing was queued.
+    pub fn observe(&mut self, transaction: T) -> Result<(), ScoreboardError> {
+        let index = self.observed_count;
+        self.observed_count += 1;
+        match self.expected.pop_front() {
+            Some(expected) if expected == transaction => {
+                self.matched += 1;
+                Ok(())
+            }
+            Some(expected) => Err(ScoreboardError::Mismatch {
+                index,
+                expected: format!("{expected:?}"),
+                observed: format!("{transaction:?}"),
+            }),
+            None => Err(ScoreboardError::Unexpected {
+                index,
+                observed: format!("{transaction:?}"),
+            }),
+        }
+    }
+
+    /// Transactions matched so far.
+    #[must_use]
+    pub fn matched(&self) -> u64 {
+        self.matched
+    }
+
+    /// Expectations still outstanding.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Ends the run: succeeds only if every expectation was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreboardError::Outstanding`] when expectations
+    /// remain.
+    pub fn finish(self) -> Result<u64, ScoreboardError> {
+        if self.expected.is_empty() {
+            Ok(self.matched)
+        } else {
+            Err(ScoreboardError::Outstanding {
+                remaining: self.expected.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_matching() {
+        let mut sb = Scoreboard::new();
+        sb.expect_all([1, 2, 3]);
+        sb.observe(1).unwrap();
+        sb.observe(2).unwrap();
+        sb.observe(3).unwrap();
+        assert_eq!(sb.finish().unwrap(), 3);
+    }
+
+    #[test]
+    fn mismatch_reports_first_divergence() {
+        let mut sb = Scoreboard::new();
+        sb.expect_all([10, 20]);
+        sb.observe(10).unwrap();
+        let err = sb.observe(21).unwrap_err();
+        assert_eq!(
+            err,
+            ScoreboardError::Mismatch {
+                index: 1,
+                expected: "20".into(),
+                observed: "21".into(),
+            }
+        );
+        assert!(err.to_string().contains("transaction 1"));
+    }
+
+    #[test]
+    fn unexpected_transaction_detected() {
+        let mut sb: Scoreboard<u8> = Scoreboard::new();
+        assert!(matches!(
+            sb.observe(5),
+            Err(ScoreboardError::Unexpected { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn finish_requires_drained_expectations() {
+        let mut sb = Scoreboard::new();
+        sb.expect(1);
+        assert_eq!(sb.outstanding(), 1);
+        assert_eq!(
+            sb.finish().unwrap_err(),
+            ScoreboardError::Outstanding { remaining: 1 }
+        );
+    }
+}

@@ -1,0 +1,182 @@
+use std::fmt::Write as _;
+
+/// A value recordable in a VCD trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcdValue {
+    /// Single-bit value.
+    Bit(bool),
+    /// Multi-bit bus value (stored as the raw two's complement bits).
+    Vector(u64),
+}
+
+/// A minimal value-change-dump (VCD) writer for waveform inspection of
+/// the cycle-accurate models.
+///
+/// Signals are declared up front, then values are recorded per cycle;
+/// only changes are emitted, as the format requires. The output is
+/// returned as a `String` so callers decide where it goes.
+///
+/// ```
+/// use tempus_sim::{VcdWriter, VcdValue};
+///
+/// let mut vcd = VcdWriter::new("pcu_tb", 4);
+/// let valid = vcd.add_signal("out_valid", 1);
+/// let psum = vcd.add_signal("partial_sum", 20);
+/// vcd.record(0, valid, VcdValue::Bit(false));
+/// vcd.record(0, psum, VcdValue::Vector(0));
+/// vcd.record(3, valid, VcdValue::Bit(true));
+/// vcd.record(3, psum, VcdValue::Vector(1234));
+/// let text = vcd.finish();
+/// assert!(text.contains("$var wire 1"));
+/// assert!(text.contains("#12")); // cycle 3 at 4 ns/cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdWriter {
+    module: String,
+    period_ns: u64,
+    signals: Vec<SignalDecl>,
+    changes: Vec<(u64, usize, VcdValue)>,
+    last: Vec<Option<VcdValue>>,
+}
+
+#[derive(Debug, Clone)]
+struct SignalDecl {
+    name: String,
+    width: u32,
+}
+
+/// Handle to a declared VCD signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+impl VcdWriter {
+    /// Creates a writer for a module scope named `module` with a clock
+    /// period of `period_ns` nanoseconds.
+    #[must_use]
+    pub fn new(module: &str, period_ns: u64) -> Self {
+        VcdWriter {
+            module: module.to_string(),
+            period_ns,
+            signals: Vec::new(),
+            changes: Vec::new(),
+            last: Vec::new(),
+        }
+    }
+
+    /// Declares a signal of `width` bits and returns its handle.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
+        self.signals.push(SignalDecl {
+            name: name.to_string(),
+            width,
+        });
+        self.last.push(None);
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Records `value` on `signal` at `cycle`. Unchanged values are
+    /// dropped, matching VCD semantics.
+    pub fn record(&mut self, cycle: u64, signal: SignalId, value: VcdValue) {
+        if self.last[signal.0] != Some(value) {
+            self.last[signal.0] = Some(value);
+            self.changes.push((cycle, signal.0, value));
+        }
+    }
+
+    /// Serialises the trace to VCD text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.changes.sort_by_key(|&(cycle, _, _)| cycle);
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (i, sig) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                sig.width,
+                ident(i),
+                sig.name
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut current_time: Option<u64> = None;
+        for (cycle, idx, value) in &self.changes {
+            let t = cycle * self.period_ns;
+            if current_time != Some(t) {
+                let _ = writeln!(out, "#{t}");
+                current_time = Some(t);
+            }
+            match value {
+                VcdValue::Bit(b) => {
+                    let _ = writeln!(out, "{}{}", u8::from(*b), ident(*idx));
+                }
+                VcdValue::Vector(v) => {
+                    let _ = writeln!(out, "b{v:b} {}", ident(*idx));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// VCD identifier for signal index `i`: printable ASCII starting at `!`.
+fn ident(i: usize) -> String {
+    let mut s = String::new();
+    let mut i = i;
+    loop {
+        s.push(char::from(b'!' + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_declares_signals() {
+        let mut vcd = VcdWriter::new("top", 4);
+        vcd.add_signal("a", 1);
+        vcd.add_signal("bus", 8);
+        let text = vcd.finish();
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$var wire 8 \" bus $end"));
+    }
+
+    #[test]
+    fn unchanged_values_are_deduplicated() {
+        let mut vcd = VcdWriter::new("top", 1);
+        let s = vcd.add_signal("a", 1);
+        vcd.record(0, s, VcdValue::Bit(true));
+        vcd.record(1, s, VcdValue::Bit(true));
+        vcd.record(2, s, VcdValue::Bit(false));
+        let text = vcd.finish();
+        assert_eq!(text.matches("1!").count(), 1);
+        assert_eq!(text.matches("0!").count(), 1);
+    }
+
+    #[test]
+    fn timestamps_scale_with_period() {
+        let mut vcd = VcdWriter::new("top", 4);
+        let s = vcd.add_signal("a", 4);
+        vcd.record(5, s, VcdValue::Vector(9));
+        let text = vcd.finish();
+        assert!(text.contains("#20"));
+        assert!(text.contains("b1001 !"));
+    }
+
+    #[test]
+    fn ident_is_unique_for_many_signals() {
+        let ids: Vec<String> = (0..500).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}

@@ -1,0 +1,49 @@
+//! Design-space exploration: sweep array shapes and precisions across
+//! both datapath families and print an area/power/throughput Pareto
+//! table — the kind of scaling study §V-D motivates.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use tempus::arith::IntPrecision;
+use tempus::hwmodel::{Family, SynthModel};
+use tempus::profile::table::Table;
+
+fn main() {
+    let hw = SynthModel::nangate45();
+    let mut t = Table::new([
+        "Config",
+        "Precision",
+        "CMAC area (mm2)",
+        "PCU area (mm2)",
+        "CMAC power (mW)",
+        "PCU power (mW)",
+        "Iso-area gain",
+        "Worst window (cy)",
+    ]);
+    for precision in [IntPrecision::Int2, IntPrecision::Int4, IntPrecision::Int8] {
+        for (k, n) in [(8usize, 8usize), (16, 4), (16, 16), (16, 32), (32, 32)] {
+            let cmac = hw.unit(Family::Binary, precision, k, n);
+            let pcu = hw.unit(Family::Tub, precision, k, n);
+            let barr = hw.pe_array(Family::Binary, precision, k, n);
+            let tarr = hw.pe_array(Family::Tub, precision, k, n);
+            t.push_row([
+                format!("{k}x{n}"),
+                precision.to_string(),
+                format!("{:.4}", cmac.area_mm2),
+                format!("{:.4}", pcu.area_mm2),
+                format!("{:.2}", cmac.power_mw),
+                format!("{:.2}", pcu.power_mw),
+                format!("{:.1}x", barr.area_mm2 / tarr.area_mm2),
+                precision.worst_case_tub_cycles().to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "Reading guide: 'iso-area gain' is how many tub arrays fit in the binary array's\n\
+         silicon (throughput at equal area, §V-D); 'worst window' is the multi-cycle\n\
+         latency ceiling per atomic op (2^(w-1)/2 cycles under 2s-unary encoding)."
+    );
+}

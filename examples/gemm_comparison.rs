@@ -1,0 +1,59 @@
+//! GEMM dataflow comparison: the predecessor tubGEMM (outer-product,
+//! §II-B) against Tempus Core (inner-product convolution dataflow) on
+//! the same matrix product — the architectural contrast behind the
+//! paper's contribution 1.
+//!
+//! ```text
+//! cargo run --release --example gemm_comparison
+//! ```
+
+use tempus::arith::IntPrecision;
+use tempus::core::gemm::{Matrix, TubGemm};
+use tempus::core::{TempusConfig, TempusCore};
+use tempus::nvdla::conv::ConvParams;
+use tempus::nvdla::cube::{DataCube, KernelSet};
+use tempus::nvdla::pipeline::ConvCore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // O = A x B with M x N x P = 24 x 32 x 16, INT8.
+    let (m, n, p) = (24usize, 32usize, 16usize);
+    let a = Matrix::from_fn(m, n, |i, j| ((i as i32 * 31 + j as i32 * 17) % 255) - 127);
+    let b = Matrix::from_fn(n, p, |i, j| ((i as i32 * 13 + j as i32 * 41) % 255) - 127);
+    let golden = a.multiply(&b)?;
+
+    // Outer-product engine: N rank-1 updates, B streamed temporally.
+    let engine = TubGemm::new(16, 16, IntPrecision::Int8);
+    let outer = engine.multiply(&a, &b)?;
+    println!(
+        "outer-product tubGEMM : {:>6} cycles over {} rank-1 steps ({} tile passes, {} silent PE-steps)",
+        outer.stats.cycles, outer.stats.steps, outer.stats.tile_passes, outer.stats.silent_pe_steps
+    );
+
+    // Inner-product lowering: GEMM as a 1x1 convolution (M positions,
+    // P kernels, N channels) on the drop-in convolution core.
+    let features = DataCube::from_fn(m, 1, n, |x, _, c| a.get(x, c));
+    let kernels = KernelSet::from_fn(p, 1, 1, n, |k, _, _, c| b.get(c, k));
+    let mut core = TempusCore::new(TempusConfig::paper_16x16());
+    let inner = core.convolve(&features, &kernels, &ConvParams::valid())?;
+    println!(
+        "inner-product Tempus  : {:>6} cycles over {} atomic ops ({:.1} cy avg window)",
+        inner.stats.cycles,
+        inner.stats.atomic_ops,
+        core.last_tempus_stats().avg_window_cycles
+    );
+
+    // Both are bit-exact against the golden matmul.
+    for i in 0..m {
+        for j in 0..p {
+            assert_eq!(outer.output.get(i, j), golden.get(i, j));
+            assert_eq!(inner.output.get(i, 0, j), golden.get(i, j));
+        }
+    }
+    println!("\nboth dataflows bit-exact against the golden matmul ({m}x{p} outputs)");
+    println!(
+        "ratio inner/outer: {:.2}x — dataflow compatibility with NVDLA costs little GEMM\n\
+         throughput, while gaining the convolution support GEMM-only designs lack (paper §I)",
+        inner.stats.cycles as f64 / outer.stats.cycles as f64
+    );
+    Ok(())
+}

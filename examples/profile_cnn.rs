@@ -1,0 +1,76 @@
+//! CNN weight profiling: regenerate the paper's Fig. 7 / Fig. 8
+//! analysis for any zoo model, with ASCII histograms.
+//!
+//! ```text
+//! cargo run --release --example profile_cnn               # MobileNetV2
+//! cargo run --release --example profile_cnn -- ResNet50   # any Table I model
+//! ```
+
+use tempus::arith::IntPrecision;
+use tempus::models::zoo::Model;
+use tempus::models::QuantizedModel;
+use tempus::profile::{magnitude, sparsity};
+
+fn pick_model(name: &str) -> Option<Model> {
+    Model::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MobileNetV2".into());
+    let Some(model) = pick_model(&arg) else {
+        eprintln!(
+            "unknown model '{arg}'; available: {}",
+            Model::ALL.map(|m| m.name()).join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!("generating synthetic INT8 weights for {model} ...");
+    let quantized = QuantizedModel::generate(model, IntPrecision::Int8, 42);
+    println!(
+        "{} conv layers, {:.1}M weights, sparsity {:.2}% (Table I target pinned)",
+        quantized.layers.len(),
+        quantized.total_weights() as f64 / 1e6,
+        quantized.sparsity_pct()
+    );
+
+    let mag = magnitude::profile_model(&quantized, 16, 16);
+    println!(
+        "\nFig. 7-style magnitude profile ({} tiles of 16x16):",
+        mag.total_tiles
+    );
+    println!(
+        "  average tile max {:.1}, average latency {:.1} cycles (worst case 64)",
+        mag.average_max_magnitude(),
+        mag.average_latency_cycles()
+    );
+    println!(
+        "  latency quartiles: p25 {} / p50 {} / p75 {} cycles",
+        mag.latency_quantile(0.25),
+        mag.latency_quantile(0.5),
+        mag.latency_quantile(0.75)
+    );
+    // Coarse ASCII histogram over 8-magnitude buckets.
+    let mut buckets = [0u64; 16];
+    for (m, f) in mag.series() {
+        buckets[(m as usize) / 8] += f;
+    }
+    let max = *buckets.iter().max().unwrap_or(&1);
+    println!("  tile-max magnitude distribution (buckets of 8):");
+    for (i, &b) in buckets.iter().enumerate() {
+        let bar = "#".repeat((b * 50 / max.max(1)) as usize);
+        println!("  {:>3}-{:>3} | {bar} {b}", i * 8, i * 8 + 7);
+    }
+
+    let sil = sparsity::profile_model(&quantized, 16, 16, false);
+    println!(
+        "\nFig. 8-style sparsity profile: average {:.1} silent PEs per 256-lane tile\n\
+         ({:.1} active PEs doing useful pulses)",
+        sil.average_silent_pes(),
+        sil.average_active_pes()
+    );
+}

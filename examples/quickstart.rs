@@ -1,0 +1,67 @@
+//! Quickstart: run the same convolution on NVDLA's binary convolution
+//! core and on Tempus Core, check bit-exactness, and compare cycle
+//! counts and hardware cost.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tempus::arith::IntPrecision;
+use tempus::core::{TempusConfig, TempusCore};
+use tempus::hwmodel::{Family, SynthModel};
+use tempus::nvdla::config::NvdlaConfig;
+use tempus::nvdla::conv::{direct_conv, ConvParams};
+use tempus::nvdla::cube::{DataCube, KernelSet};
+use tempus::nvdla::pipeline::{ConvCore, NvdlaConvCore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small CNN-shaped layer: 8x8x16 feature map, 16 kernels of
+    // 3x3x16, stride 1, "same" padding, INT8 operands.
+    let features = DataCube::from_fn(8, 8, 16, |x, y, c| {
+        ((x as i32 * 37 + y as i32 * 11 + c as i32 * 3) % 255) - 127
+    });
+    let kernels = KernelSet::from_fn(16, 3, 3, 16, |k, r, s, c| {
+        ((k as i32 * 29 + r as i32 * 13 + s as i32 * 7 + c as i32 * 17) % 255) - 127
+    });
+    let params = ConvParams::unit_stride_same(3);
+
+    // The two cores share the ConvCore trait: Tempus Core is a drop-in
+    // replacement for the binary convolution core (paper §III).
+    let mut binary = NvdlaConvCore::new(NvdlaConfig::paper_16x16());
+    let mut tempus = TempusCore::new(TempusConfig::paper_16x16());
+
+    let golden = direct_conv(&features, &kernels, &params)?;
+    let b = binary.convolve(&features, &kernels, &params)?;
+    let t = tempus.convolve(&features, &kernels, &params)?;
+
+    assert_eq!(b.output, golden, "binary core must match the golden model");
+    assert_eq!(t.output, golden, "tempus core must match the golden model");
+    println!(
+        "bit-exact: all three outputs agree on {} values",
+        golden.len()
+    );
+
+    println!("\ncycle counts (simulated @ 250 MHz):");
+    println!("  binary CC   : {:>8} cycles", b.stats.cycles);
+    println!(
+        "  Tempus Core : {:>8} cycles ({:.1} cy avg window, {:.1} avg silent PEs)",
+        t.stats.cycles,
+        tempus.last_tempus_stats().avg_window_cycles,
+        tempus.last_tempus_stats().avg_silent_pes,
+    );
+
+    // Hardware cost from the calibrated NanGate45 model.
+    let hw = SynthModel::nangate45();
+    let ba = hw.pe_array(Family::Binary, IntPrecision::Int8, 16, 16);
+    let ta = hw.pe_array(Family::Tub, IntPrecision::Int8, 16, 16);
+    println!("\n16x16 array post-synthesis (45nm, paper Fig. 4):");
+    println!("  binary: {:.4} mm2, {:.2} mW", ba.area_mm2, ba.power_mw);
+    println!("  tub   : {:.4} mm2, {:.2} mW", ta.area_mm2, ta.power_mw);
+    println!(
+        "  => {:.0}% area and {:.0}% power reduction; {:.1}x iso-area throughput",
+        (1.0 - ta.area_mm2 / ba.area_mm2) * 100.0,
+        (1.0 - ta.power_mw / ba.power_mw) * 100.0,
+        ba.area_mm2 / ta.area_mm2,
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # Tempus Core reproduction — facade crate
+//!
+//! One-stop re-export of the whole workspace, reproducing
+//! *"Tempus Core: Area-Power Efficient Temporal-Unary Convolution Core
+//! for Low-Precision Edge DLAs"* (DATE 2025).
+//!
+//! See the repository `README.md` for the architecture overview,
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+//!
+//! ```
+//! use tempus::arith::{tub, IntPrecision};
+//!
+//! # fn main() -> Result<(), tempus::arith::ArithError> {
+//! assert_eq!(tub::multiply(9, -7, IntPrecision::Int8)?, -63);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tempus_arith as arith;
+pub use tempus_core as core;
+pub use tempus_hwmodel as hwmodel;
+pub use tempus_models as models;
+pub use tempus_nvdla as nvdla;
+pub use tempus_profile as profile;
+pub use tempus_sim as sim;

@@ -1,0 +1,156 @@
+//! End-to-end pipeline integration: multi-layer networks through
+//! convolution core + SDP + PDP on both cores, plus buffer capacity
+//! behaviour.
+
+use tempus::arith::IntPrecision;
+use tempus::core::{TempusConfig, TempusCore};
+use tempus::nvdla::config::NvdlaConfig;
+use tempus::nvdla::conv::ConvParams;
+use tempus::nvdla::cube::{DataCube, KernelSet};
+use tempus::nvdla::pdp::{self, PoolParams};
+use tempus::nvdla::pipeline::{ConvCore, NvdlaConvCore};
+use tempus::nvdla::sdp::{self, SdpConfig};
+use tempus::nvdla::NvdlaError;
+
+fn layer(
+    core: &mut dyn ConvCore,
+    x: &DataCube,
+    kernels: &KernelSet,
+    params: &ConvParams,
+    relu: bool,
+) -> DataCube {
+    let run = core.convolve(x, kernels, params).expect("layer runs");
+    let cfg = SdpConfig {
+        bias: vec![0; run.output.c()],
+        multiplier: vec![1; run.output.c()],
+        shift: 5,
+        relu,
+        out_precision: IntPrecision::Int8,
+    };
+    sdp::apply(&run.output, &cfg).expect("sdp").0
+}
+
+fn three_layer_net(core: &mut dyn ConvCore, input: &DataCube) -> DataCube {
+    let k1 = KernelSet::from_fn(16, 3, 3, 8, |k, r, s, c| {
+        ((k * 7 + r * 3 + s * 5 + c * 11) % 120) as i32 - 60
+    });
+    let k2 = KernelSet::from_fn(16, 3, 3, 16, |k, r, s, c| {
+        ((k * 13 + r * 9 + s * 2 + c * 4) % 120) as i32 - 60
+    });
+    let k3 = KernelSet::from_fn(8, 1, 1, 16, |k, _, _, c| {
+        ((k * 17 + c * 6) % 120) as i32 - 60
+    });
+    let x = layer(core, input, &k1, &ConvParams::unit_stride_same(3), true);
+    let x = layer(core, &x, &k2, &ConvParams::strided(2, 1), true);
+    let x = layer(core, &x, &k3, &ConvParams::valid(), false);
+    pdp::apply(&x, &PoolParams::max(2)).expect("pool")
+}
+
+#[test]
+fn multilayer_network_bit_exact_across_cores() {
+    let input = DataCube::from_fn(12, 12, 8, |x, y, c| {
+        ((x * 3 + y * 7 + c) % 200) as i32 - 100
+    });
+    let mut binary = NvdlaConvCore::new(NvdlaConfig::nv_small());
+    let mut tempus = TempusCore::new(TempusConfig::nv_small());
+    let out_b = three_layer_net(&mut binary, &input);
+    let out_t = three_layer_net(&mut tempus, &input);
+    assert_eq!(out_b, out_t);
+    assert_eq!(out_b.c(), 8);
+}
+
+#[test]
+fn relu_then_pool_matches_manual_computation() {
+    // 1-layer sanity: identity 1x1 kernel + ReLU + 2x2 max pool.
+    let input = DataCube::from_fn(4, 4, 2, |x, y, c| (x as i32 - 2) * 10 + y as i32 + c as i32);
+    let mut k = KernelSet::zeros(2, 1, 1, 2);
+    k.set(0, 0, 0, 0, 1);
+    k.set(1, 0, 0, 1, 1);
+    let mut core = NvdlaConvCore::new(NvdlaConfig::nv_small());
+    let x = layer(&mut core, &input, &k, &ConvParams::valid(), true);
+    let pooled = pdp::apply(&x, &PoolParams::max(2)).expect("pool");
+    // With shift 5, positive values < 32 quantize to 0; check shape and
+    // non-negativity (ReLU applied before shift..? order: (x+0)*1>>5).
+    assert_eq!((pooled.w(), pooled.h(), pooled.c()), (2, 2, 2));
+    assert!(pooled.as_slice().iter().all(|&v| v >= 0));
+}
+
+#[test]
+fn oversized_working_set_is_rejected_not_mangled() {
+    // nv_small has a 128 KiB convolution buffer; a 512x512x8 feature
+    // map cannot fit and must error cleanly on both cores.
+    let features = DataCube::zeros(512, 512, 8);
+    let kernels = KernelSet::zeros(8, 3, 3, 8);
+    let params = ConvParams::valid();
+    let mut binary = NvdlaConvCore::new(NvdlaConfig::nv_small());
+    let mut tempus = TempusCore::new(TempusConfig::nv_small());
+    assert!(matches!(
+        binary.convolve(&features, &kernels, &params),
+        Err(NvdlaError::BufferOverflow { .. })
+    ));
+    assert!(matches!(
+        tempus.convolve(&features, &kernels, &params),
+        Err(NvdlaError::BufferOverflow { .. })
+    ));
+}
+
+#[test]
+fn int4_network_runs_on_16x4_table_iii_shape() {
+    // The Table III configuration (INT4, 16 cells x 4 multipliers)
+    // as an actual compute engine.
+    let input = DataCube::from_fn(8, 8, 4, |x, y, c| ((x + y * 2 + c) % 15) as i32 - 7);
+    let kernels = KernelSet::from_fn(16, 3, 3, 4, |k, r, s, c| ((k + r + s + c) % 15) as i32 - 7);
+    let base = NvdlaConfig::nv_small()
+        .with_array(16, 4)
+        .with_precision(IntPrecision::Int4);
+    let mut binary = NvdlaConvCore::new(base);
+    let mut tempus = TempusCore::new(TempusConfig::new(base));
+    let params = ConvParams::unit_stride_same(3);
+    let b = binary.convolve(&input, &kernels, &params).expect("binary");
+    let t = tempus.convolve(&input, &kernels, &params).expect("tempus");
+    assert_eq!(b.output, t.output);
+    // INT4 windows are at most 4 cycles + overheads: the slowdown is
+    // bounded accordingly (paper §V-C's INT4 argument).
+    let ratio = t.stats.cycles as f64 / b.stats.cycles as f64;
+    assert!(ratio < 8.0, "INT4 slowdown {ratio}");
+}
+
+#[test]
+fn network_module_runs_identically_on_both_cores() {
+    use tempus::nvdla::network::{run_network, NetworkLayer};
+
+    let input = DataCube::from_fn(10, 10, 8, |x, y, c| {
+        ((x * 7 + y * 3 + c * 5) % 160) as i32 - 80
+    });
+    let k1 = KernelSet::from_fn(16, 3, 3, 8, |k, r, s, c| {
+        ((k * 5 + r + s * 2 + c * 3) % 100) as i32 - 50
+    });
+    let k2 = KernelSet::from_fn(8, 1, 1, 16, |k, _, _, c| {
+        ((k * 9 + c * 4) % 100) as i32 - 50
+    });
+    let layers = vec![
+        NetworkLayer::conv_relu(
+            "stem",
+            k1,
+            ConvParams::unit_stride_same(3),
+            5,
+            IntPrecision::Int8,
+        )
+        .with_pool(PoolParams::max(2)),
+        NetworkLayer::conv_relu("head", k2, ConvParams::valid(), 5, IntPrecision::Int8),
+    ];
+
+    let mut binary = NvdlaConvCore::new(NvdlaConfig::paper_16x16());
+    let mut tempus = TempusCore::new(TempusConfig::paper_16x16());
+    let rb = run_network(&mut binary, &input, &layers).expect("binary runs");
+    let rt = run_network(&mut tempus, &input, &layers).expect("tempus runs");
+
+    assert_eq!(rb.output, rt.output, "network outputs must be bit-exact");
+    assert_eq!(rb.layers.len(), rt.layers.len());
+    for (b, t) in rb.layers.iter().zip(&rt.layers) {
+        assert_eq!(b.output_shape, t.output_shape);
+        assert_eq!(b.rectified, t.rectified, "{}", b.name);
+        assert!(t.cycles > b.cycles, "{}: tub multi-cycle windows", b.name);
+    }
+    assert!(rt.total_time_us() > rb.total_time_us());
+}

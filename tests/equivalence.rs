@@ -1,0 +1,190 @@
+//! Cross-crate functional equivalence: Tempus Core ≡ NVDLA CC ≡ golden
+//! direct convolution ≡ im2col+GEMM, bit-exact, across shapes,
+//! parameters and precisions — the paper's "maintaining the
+//! computational accuracy of binary-based arithmetic designs".
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tempus::arith::IntPrecision;
+use tempus::core::{TempusConfig, TempusCore};
+use tempus::nvdla::config::NvdlaConfig;
+use tempus::nvdla::conv::{direct_conv, im2col_conv, ConvParams};
+use tempus::nvdla::cube::{DataCube, KernelSet};
+use tempus::nvdla::pipeline::{ConvCore, NvdlaConvCore};
+
+fn random_case(
+    seed: u64,
+    w: usize,
+    h: usize,
+    c: usize,
+    k: usize,
+    ksize: usize,
+    precision: IntPrecision,
+) -> (DataCube, KernelSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = precision.min_value();
+    let hi = precision.max_value();
+    let features = DataCube::from_fn(w, h, c, |_, _, _| rng.random_range(lo..=hi));
+    let kernels = KernelSet::from_fn(k, ksize, ksize, c, |_, _, _, _| rng.random_range(lo..=hi));
+    (features, kernels)
+}
+
+fn assert_all_equal(
+    features: &DataCube,
+    kernels: &KernelSet,
+    params: &ConvParams,
+    precision: IntPrecision,
+    label: &str,
+) {
+    let golden = direct_conv(features, kernels, params).expect("golden");
+    let lowered = im2col_conv(features, kernels, params).expect("im2col");
+    assert_eq!(golden, lowered, "{label}: im2col disagrees");
+
+    let base = NvdlaConfig::nv_small().with_precision(precision);
+    let mut binary = NvdlaConvCore::new(base);
+    let b = binary.convolve(features, kernels, params).expect("binary");
+    assert_eq!(b.output, golden, "{label}: binary CC disagrees");
+
+    let mut tempus = TempusCore::new(TempusConfig::new(base));
+    let t = tempus.convolve(features, kernels, params).expect("tempus");
+    assert_eq!(t.output, golden, "{label}: tempus core disagrees");
+}
+
+#[test]
+fn equivalence_matrix_int8() {
+    let cases = [
+        (5, 5, 3, 2, 1, ConvParams::valid()),
+        (6, 6, 8, 8, 3, ConvParams::valid()),
+        (7, 5, 11, 13, 3, ConvParams::unit_stride_same(3)),
+        (9, 9, 16, 4, 5, ConvParams::strided(2, 2)),
+        (
+            8,
+            8,
+            4,
+            7,
+            3,
+            ConvParams {
+                dilation_x: 2,
+                dilation_y: 2,
+                pad_x: 2,
+                pad_y: 2,
+                ..ConvParams::valid()
+            },
+        ),
+    ];
+    for (i, (w, h, c, k, ks, params)) in cases.into_iter().enumerate() {
+        let (f, kn) = random_case(100 + i as u64, w, h, c, k, ks, IntPrecision::Int8);
+        assert_all_equal(&f, &kn, &params, IntPrecision::Int8, &format!("case {i}"));
+    }
+}
+
+#[test]
+fn equivalence_matrix_int4_and_int2() {
+    for precision in [IntPrecision::Int4, IntPrecision::Int2] {
+        let (f, k) = random_case(7, 6, 6, 8, 6, 3, precision);
+        assert_all_equal(
+            &f,
+            &k,
+            &ConvParams::unit_stride_same(3),
+            precision,
+            &format!("{precision}"),
+        );
+    }
+}
+
+#[test]
+fn extreme_value_operands() {
+    // All operands at the most negative value: worst-case magnitudes,
+    // worst-case tub windows, largest accumulations.
+    let p = IntPrecision::Int8;
+    let features = DataCube::from_fn(4, 4, 8, |_, _, _| p.min_value());
+    let kernels = KernelSet::from_fn(4, 3, 3, 8, |_, _, _, _| p.min_value());
+    assert_all_equal(
+        &features,
+        &kernels,
+        &ConvParams::unit_stride_same(3),
+        p,
+        "extremes",
+    );
+}
+
+#[test]
+fn zero_weights_produce_zero_output_and_minimal_cycles() {
+    let features = DataCube::from_fn(6, 6, 8, |x, y, c| ((x + y + c) % 250) as i32 - 125);
+    let kernels = KernelSet::zeros(8, 3, 3, 8);
+    let params = ConvParams::valid();
+    let mut tempus = TempusCore::new(TempusConfig::nv_small());
+    let run = tempus.convolve(&features, &kernels, &params).expect("runs");
+    assert!(run.output.as_slice().iter().all(|&v| v == 0));
+    // All-silent stripes take the minimum window (1 compute cycle).
+    let mut nonzero = KernelSet::zeros(8, 3, 3, 8);
+    nonzero.set(0, 0, 0, 0, 127);
+    let mut tempus2 = TempusCore::new(TempusConfig::nv_small());
+    let run2 = tempus2
+        .convolve(&features, &nonzero, &params)
+        .expect("runs");
+    assert!(run2.stats.cycles > run.stats.cycles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tempus_equals_binary_on_random_convolutions(
+        seed in any::<u64>(),
+        w in 3usize..8,
+        h in 3usize..8,
+        c in 1usize..12,
+        k in 1usize..10,
+        ksize in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let (f, kn) = random_case(seed, w, h, c, k, ksize, IntPrecision::Int8);
+        let params = ConvParams::strided(stride, pad);
+        if params.output_dims(w, h, ksize, ksize).is_err() {
+            return Ok(()); // empty output; nothing to compare
+        }
+        let golden = direct_conv(&f, &kn, &params).expect("golden");
+        let mut tempus = TempusCore::new(TempusConfig::nv_small());
+        let t = tempus.convolve(&f, &kn, &params).expect("tempus");
+        prop_assert_eq!(t.output, golden);
+    }
+}
+
+#[test]
+fn grouped_and_depthwise_equivalence_across_cores() {
+    use tempus::nvdla::grouped::{convolve_grouped, direct_conv_grouped};
+
+    let params = ConvParams::unit_stride_same(3);
+    for (c, k, kc, groups, label) in [
+        (16, 8, 4, 4, "cardinality-4"),
+        (8, 8, 1, 8, "depthwise"),
+        (12, 6, 6, 2, "two-group"),
+    ] {
+        let (features, _) = random_case(50, 6, 6, c, 1, 3, IntPrecision::Int8);
+        let mut rng_kernels = KernelSet::zeros(k, 3, 3, kc);
+        for ki in 0..k {
+            for r in 0..3 {
+                for s in 0..3 {
+                    for ch in 0..kc {
+                        let v = ((ki * 31 + r * 7 + s * 13 + ch * 3) % 200) as i32 - 100;
+                        rng_kernels.set(ki, r, s, ch, v);
+                    }
+                }
+            }
+        }
+        let golden = direct_conv_grouped(&features, &rng_kernels, &params, groups)
+            .expect("golden grouped");
+        let mut binary = NvdlaConvCore::new(NvdlaConfig::nv_small());
+        let mut tempus = TempusCore::new(TempusConfig::nv_small());
+        let b = convolve_grouped(&mut binary, &features, &rng_kernels, &params, groups)
+            .expect("binary grouped");
+        let t = convolve_grouped(&mut tempus, &features, &rng_kernels, &params, groups)
+            .expect("tempus grouped");
+        assert_eq!(b.output, golden, "{label}: binary");
+        assert_eq!(t.output, golden, "{label}: tempus");
+        assert!(t.stats.cycles > b.stats.cycles, "{label}: latency trade");
+    }
+}

@@ -1,0 +1,138 @@
+//! The paper's headline claims, checked end-to-end through the public
+//! API (quick variants; the full-scale versions run in the report
+//! harness).
+
+use tempus::arith::IntPrecision;
+use tempus::core::{latency, TempusConfig};
+use tempus::hwmodel::isoarea::{array_iso_area_improvement, IsoAreaAnalysis};
+use tempus::hwmodel::{Family, Level, PnrModel, SynthModel};
+use tempus::models::zoo::Model;
+use tempus::models::QuantizedModel;
+use tempus::nvdla::conv::ConvParams;
+use tempus::nvdla::cube::{DataCube, KernelSet};
+use tempus::profile::{energy, magnitude};
+
+#[test]
+fn abstract_claim_pcu_vs_cmac_59_3_and_15_3() {
+    // "Tempus Core's PE cell unit (PCU) yields 59.3% and 15.3%
+    // reductions in area and power consumption, respectively, over
+    // NVDLA's CMAC unit."
+    let hw = SynthModel::nangate45();
+    let (area, power) = hw.improvement_pct(Level::Unit, IntPrecision::Int8, 16, 16);
+    assert!((area - 59.3).abs() < 1.5, "area reduction {area:.1}%");
+    assert!((power - 15.3).abs() < 1.5, "power reduction {power:.1}%");
+}
+
+#[test]
+fn abstract_claim_16x16_array_75_and_62() {
+    // "Considering a 16x16 PE array in Tempus Core, area and power
+    // improves by 75% and 62%" — the paper's own Fig. 4 numbers give
+    // 80% area; we track the numbers (see EXPERIMENTS.md).
+    let hw = SynthModel::nangate45();
+    let (area, power) = hw.improvement_pct(Level::Array, IntPrecision::Int8, 16, 16);
+    assert!((72.0..82.0).contains(&area), "area reduction {area:.1}%");
+    assert!((power - 62.0).abs() < 3.0, "power reduction {power:.1}%");
+}
+
+#[test]
+fn abstract_claim_iso_area_5x_and_4x() {
+    // "delivering 5x and 4x iso-area throughput improvements for INT8
+    // and INT4 precisions."
+    let hw = SynthModel::nangate45();
+    let int8 = array_iso_area_improvement(&hw, IntPrecision::Int8);
+    let int4 = array_iso_area_improvement(&hw, IntPrecision::Int4);
+    assert!((int8 - 5.0).abs() < 0.5, "INT8 {int8:.1}x");
+    assert!((3.5..5.5).contains(&int4), "INT4 {int4:.1}x");
+}
+
+#[test]
+fn abstract_claim_pnr_area_and_power() {
+    // "the 16x4 PE array for INT4 precision in 45nm CMOS requires only
+    // 0.017mm2 die area and consumes only 6.2mW of total power."
+    let pnr = PnrModel::default();
+    let r = pnr.table_iii(Family::Tub);
+    assert!(
+        (r.die_area_mm2 - 0.0168).abs() < 0.001,
+        "{}",
+        r.die_area_mm2
+    );
+    assert!(
+        (r.total_power_mw - 6.1146).abs() < 0.2,
+        "{}",
+        r.total_power_mw
+    );
+}
+
+#[test]
+fn fig9_projection_reaches_tens_of_x() {
+    // "The throughput increases by as much as 26x and 18x for INT8 and
+    // INT4" at n = 65536 (projection; same method, same ballpark).
+    let hw = SynthModel::nangate45();
+    let p8 = IsoAreaAnalysis::run(&hw, IntPrecision::Int8).project(65536);
+    let p4 = IsoAreaAnalysis::run(&hw, IntPrecision::Int4).project(65536);
+    assert!(
+        p8.improvement > 20.0 && p8.improvement < 45.0,
+        "{}",
+        p8.improvement
+    );
+    assert!(
+        p4.improvement > 14.0 && p4.improvement < 30.0,
+        "{}",
+        p4.improvement
+    );
+}
+
+#[test]
+fn section_vc_workload_latency_and_energy() {
+    // Quick variant over a bounded MobileNetV2; the full model lands
+    // on 33 cycles (checked in tempus-profile's calibration tests).
+    let model =
+        QuantizedModel::generate_limited(Model::MobileNetV2, IntPrecision::Int8, 42, 1_000_000);
+    let profile = magnitude::profile_model(&model, 16, 16);
+    let cycles = profile.average_latency_cycles();
+    assert!((25.0..45.0).contains(&cycles), "avg latency {cycles:.1}");
+
+    let hw = SynthModel::nangate45();
+    let e = energy::evaluate(&hw, "MobileNetV2", IntPrecision::Int8, cycles);
+    // Binary ~15 pJ; tub energy tracks cycles x 1.42 mW x 4 ns.
+    assert!((e.binary_energy_pj - 15.2).abs() < 1.0);
+    assert!((e.tub_energy_pj - 1.42 * cycles * 4.0).abs() < 1.0);
+    // INT4 gap shrink.
+    let int4 = energy::evaluate_int4_worst_case(&hw);
+    assert!(int4.energy_gap() < e.energy_gap() / 3.0);
+}
+
+#[test]
+fn worst_case_latency_formula_matches_simulated_cores() {
+    // N * (2^w - 2) worst-case GEMM latency reduces, per multiply, to
+    // 2^(w-1)/2 windows; the analytic model and precision constants
+    // must agree.
+    for (precision, expect) in [(IntPrecision::Int8, 64u64), (IntPrecision::Int4, 4u64)] {
+        let config = TempusConfig::nv_small()
+            .with_precision(precision)
+            .with_cache_overheads(0, 0);
+        assert_eq!(latency::worst_case_cycles_per_op(&config), expect);
+        // Simulate one all-extreme stripe to confirm.
+        let lo = precision.min_value();
+        let features = DataCube::from_fn(3, 3, 8, |_, _, _| lo);
+        let kernels = KernelSet::from_fn(8, 1, 1, 8, |_, _, _, _| lo);
+        let b = latency::predict(&features, &kernels, &ConvParams::valid(), &config).unwrap();
+        assert!((b.avg_window - expect as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn table_i_sparsity_reproduced_on_subsets() {
+    for (model, target) in [
+        (Model::MobileNetV2, 2.25),
+        (Model::GoogleNet, 1.91),
+        (Model::ResNet50, 2.45),
+    ] {
+        let q = QuantizedModel::generate_limited(model, IntPrecision::Int8, 42, 400_000);
+        assert!(
+            (q.sparsity_pct() - target).abs() < 0.4,
+            "{model}: {:.2}% vs {target}%",
+            q.sparsity_pct()
+        );
+    }
+}
