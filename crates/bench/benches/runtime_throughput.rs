@@ -1,0 +1,55 @@
+//! Bench: batched inference-engine throughput — jobs/sec per backend
+//! and worker-count scaling, with the machine-readable
+//! `BENCH_runtime_throughput.json` summary written to `results/`.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tempus_bench::experiments::runtime_throughput;
+use tempus_bench::{write_result, SEED};
+use tempus_runtime::{BackendKind, EngineConfig, InferenceEngine};
+
+fn bench(c: &mut Criterion) {
+    // One full comparison run: all three backends on the same 100-job
+    // mixed batch, plus the functional worker-scaling curve. Printed
+    // and persisted as JSON for the benchmark trajectory.
+    let report = runtime_throughput::run(SEED, 100, &[1, 2, 4, 8]);
+    println!("\n{}", report.to_markdown());
+    let json = report.to_json();
+    // Anchor on the workspace root: cargo runs benches with the
+    // package dir as CWD, and the tracked artifact lives in the
+    // top-level results/.
+    let results = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    write_result(&results, "BENCH_runtime_throughput.json", &json)
+        .expect("write BENCH_runtime_throughput.json");
+    assert!(
+        report.functional_speedup >= 10.0,
+        "acceptance: functional must be >= 10x faster, got {:.1}x",
+        report.functional_speedup
+    );
+
+    // Wall-clock microbenchmarks of batch execution per backend.
+    let batch = runtime_throughput::mixed_batch(SEED, 24);
+    let mut group = c.benchmark_group("runtime_throughput");
+    for kind in [BackendKind::FastFunctional, BackendKind::NvdlaCycleAccurate] {
+        let engine = InferenceEngine::new(EngineConfig::new(kind).with_workers(4)).unwrap();
+        group.bench_function(BenchmarkId::new("batch24_w4", kind.name()), |b| {
+            b.iter(|| black_box(engine.run_batch(&batch).unwrap()))
+        });
+    }
+    // Functional scaling: 1 vs 4 workers.
+    for workers in [1usize, 4] {
+        let engine = InferenceEngine::new(
+            EngineConfig::new(BackendKind::FastFunctional).with_workers(workers),
+        )
+        .unwrap();
+        group.bench_function(BenchmarkId::new("functional_scaling", workers), |b| {
+            b.iter(|| black_box(engine.run_batch(&batch).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

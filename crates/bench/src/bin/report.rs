@@ -11,8 +11,8 @@
 use std::path::PathBuf;
 
 use tempus_bench::experiments::{
-    ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, table1, table2, table3,
-    timing,
+    ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, runtime_throughput,
+    table1, table2, table3, timing,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -229,6 +229,17 @@ fn main() {
             ),
         )
         .expect("write ablations");
+    }
+
+    if wants("runtime") {
+        println!("--- Runtime throughput: batched engine, 3 backends (beyond the paper) ---");
+        let jobs = if quick { 40 } else { 100 };
+        let report = runtime_throughput::run(SEED, jobs, &[1, 2, 4, 8]);
+        println!("{}", report.to_markdown());
+        write_result(&results, "runtime_throughput.md", &report.to_markdown())
+            .expect("write runtime markdown");
+        write_result(&results, "BENCH_runtime_throughput.json", &report.to_json())
+            .expect("write runtime json");
     }
 
     println!("report complete; artifacts in results/");

@@ -2,7 +2,7 @@
 //! against the fixed 4 ns clock (§IV) for every swept configuration.
 
 use tempus_arith::IntPrecision;
-use tempus_hwmodel::timing::{pe_cell_timing, StageDelays, TimingReport, CLOCK_PERIOD_NS};
+use tempus_hwmodel::timing::{pe_cell_timing, StageDelays, TimingReport};
 use tempus_hwmodel::Family;
 use tempus_profile::table::Table;
 
@@ -48,6 +48,7 @@ pub fn to_table(reports: &[TimingReport]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tempus_hwmodel::timing::CLOCK_PERIOD_NS;
 
     #[test]
     fn sweep_covers_all_configurations_and_meets_timing() {

@@ -20,6 +20,9 @@
 //!   convolution core");
 //! * [`latency`] — the closed-form latency model, validated against
 //!   the cycle-accurate simulation by tests;
+//! * [`schedule`] — per-worker stripe-schedule caching and
+//!   weight-digest latency memoization for the batched runtime
+//!   (`tempus-runtime`), bit-identical to [`latency::predict`];
 //! * [`gemm`] — the predecessor tubGEMM outer-product engine (§II-B),
 //!   implemented so the paper's dataflow comparison (outer-product
 //!   GEMM vs inner-product convolution) is runnable.
@@ -62,6 +65,7 @@ pub mod csc_mod;
 pub mod gemm;
 pub mod latency;
 pub mod pcu;
+pub mod schedule;
 pub mod tub_pe;
 
 pub use core_impl::{TempusConfig, TempusCore};

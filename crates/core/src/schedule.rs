@@ -1,0 +1,450 @@
+//! CSC stripe-schedule caching for batched serving.
+//!
+//! The closed-form latency model in [`crate::latency`] walks the full
+//! [`ModifiedCsc`](crate::csc_mod::ModifiedCsc) command stream — every
+//! weight load *and* every atomic op — which is wasteful when the same
+//! layer shapes (and, in batched inference, the same weights) recur
+//! across requests. This module provides the fast path the runtime's
+//! workers use:
+//!
+//! * [`StripeSchedule`] — the shape-derived stripe decomposition
+//!   (groups, taps, ops per stripe), cached per layer shape;
+//! * a weight-digest-keyed memo of full [`LatencyBreakdown`]s, so a
+//!   repeated layer costs one hash lookup instead of a weight scan;
+//! * [`ScheduleCache::predict`] — produces *bit-identical* totals to
+//!   [`crate::latency::predict`] (tests pin this), which is itself
+//!   pinned to the cycle-accurate simulation.
+//!
+//! The cache is intended to be owned per worker thread (no interior
+//! locking): each worker of the runtime engine keeps its own instance,
+//! so the hot path is contention-free.
+
+use std::collections::HashMap;
+
+use tempus_nvdla::config::NvdlaConfig;
+use tempus_nvdla::conv::ConvParams;
+use tempus_nvdla::cube::{DataCube, KernelSet};
+use tempus_nvdla::NvdlaError;
+
+use crate::latency::LatencyBreakdown;
+use crate::TempusConfig;
+
+/// Cache key: everything the stripe decomposition depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// Feature width.
+    pub fw: usize,
+    /// Feature height.
+    pub fh: usize,
+    /// Channels.
+    pub c: usize,
+    /// Kernel count.
+    pub k: usize,
+    /// Kernel height (taps).
+    pub r: usize,
+    /// Kernel width (taps).
+    pub s: usize,
+    /// Stride x/y.
+    pub stride: (usize, usize),
+    /// Padding x/y.
+    pub pad: (usize, usize),
+    /// Dilation x/y.
+    pub dilation: (usize, usize),
+    /// Array shape `(atomic_k, atomic_c)`.
+    pub array: (usize, usize),
+}
+
+impl ShapeKey {
+    /// Builds the key for one convolution under `config`.
+    #[must_use]
+    pub fn new(
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &NvdlaConfig,
+    ) -> Self {
+        ShapeKey {
+            fw: features.w(),
+            fh: features.h(),
+            c: kernels.c(),
+            k: kernels.k(),
+            r: kernels.r(),
+            s: kernels.s(),
+            stride: (params.stride_x, params.stride_y),
+            pad: (params.pad_x, params.pad_y),
+            dilation: (params.dilation_x, params.dilation_y),
+            array: (config.atomic_k, config.atomic_c),
+        }
+    }
+}
+
+/// The shape-derived part of a stripe schedule: identical for every
+/// convolution with the same [`ShapeKey`], independent of weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeSchedule {
+    /// Output width.
+    pub out_w: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Kernel groups (`ceil(k / atomic_k)`).
+    pub kernel_groups: usize,
+    /// Channel groups (`ceil(c / atomic_c)`).
+    pub channel_groups: usize,
+    /// Total stripes (`kernel_groups × channel_groups × r × s`).
+    pub stripe_count: u64,
+    /// Atomic ops streamed per stripe (`out_w × out_h`).
+    pub ops_per_stripe: u64,
+}
+
+impl StripeSchedule {
+    /// Derives the schedule from shapes, mirroring
+    /// [`tempus_nvdla::csc::CscSequencer`]'s decomposition exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape errors the sequencer would.
+    pub fn derive(
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &NvdlaConfig,
+    ) -> Result<Self, NvdlaError> {
+        if features.c() != kernels.c() {
+            return Err(NvdlaError::ChannelMismatch {
+                feature_c: features.c(),
+                kernel_c: kernels.c(),
+            });
+        }
+        let (out_w, out_h) =
+            params.output_dims(features.w(), features.h(), kernels.r(), kernels.s())?;
+        let kernel_groups = kernels.k().div_ceil(config.atomic_k);
+        let channel_groups = kernels.c().div_ceil(config.atomic_c);
+        Ok(StripeSchedule {
+            out_w,
+            out_h,
+            kernel_groups,
+            channel_groups,
+            stripe_count: (kernel_groups * channel_groups * kernels.r() * kernels.s()) as u64,
+            ops_per_stripe: (out_w * out_h) as u64,
+        })
+    }
+
+    /// Total atomic ops across the whole convolution.
+    #[must_use]
+    pub fn atomic_op_count(&self) -> u64 {
+        self.stripe_count * self.ops_per_stripe
+    }
+}
+
+/// Hit/miss counters for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Shape-schedule lookups served from the cache.
+    pub schedule_hits: u64,
+    /// Shape-schedule lookups that had to derive.
+    pub schedule_misses: u64,
+    /// Latency predictions served from the memo.
+    pub latency_hits: u64,
+    /// Latency predictions that had to scan weights.
+    pub latency_misses: u64,
+}
+
+impl CacheStats {
+    /// Merges another worker's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.schedule_hits += other.schedule_hits;
+        self.schedule_misses += other.schedule_misses;
+        self.latency_hits += other.latency_hits;
+        self.latency_misses += other.latency_misses;
+    }
+}
+
+/// Memo key for a full latency prediction: the stripe shape, the
+/// weight digest, and every [`TempusConfig`] field the breakdown
+/// depends on (cache overheads and the baseline's pipeline depth,
+/// which feeds `binary_cycles`/`slowdown`).
+type LatencyKey = (ShapeKey, u64, u32, u32, u32);
+
+/// Per-worker stripe-schedule and latency cache.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCache {
+    schedules: HashMap<ShapeKey, StripeSchedule>,
+    latencies: HashMap<LatencyKey, LatencyBreakdown>,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cached entries `(schedules, latencies)`.
+    #[must_use]
+    pub fn len(&self) -> (usize, usize) {
+        (self.schedules.len(), self.latencies.len())
+    }
+
+    /// `true` when nothing is cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty() && self.latencies.is_empty()
+    }
+
+    /// The stripe schedule for one convolution, cached per shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sequencer's shape errors on the first (miss) path.
+    pub fn schedule(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &NvdlaConfig,
+    ) -> Result<StripeSchedule, NvdlaError> {
+        let key = ShapeKey::new(features, kernels, params, config);
+        if let Some(&hit) = self.schedules.get(&key) {
+            self.stats.schedule_hits += 1;
+            return Ok(hit);
+        }
+        self.stats.schedule_misses += 1;
+        let schedule = StripeSchedule::derive(features, kernels, params, config)?;
+        self.schedules.insert(key, schedule);
+        Ok(schedule)
+    }
+
+    /// Closed-form latency prediction with schedule caching and
+    /// weight-digest memoization. Totals are bit-identical to
+    /// [`crate::latency::predict`] (and therefore to the
+    /// cycle-accurate simulator).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sequencer's shape errors.
+    pub fn predict(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &TempusConfig,
+    ) -> Result<LatencyBreakdown, NvdlaError> {
+        let key = ShapeKey::new(features, kernels, params, &config.base);
+        let memo_key = (
+            key,
+            kernels.content_hash(),
+            config.cache_in_cycles,
+            config.cache_out_cycles,
+            config.base.cmac_pipeline_depth,
+        );
+        if let Some(&hit) = self.latencies.get(&memo_key) {
+            self.stats.latency_hits += 1;
+            return Ok(hit);
+        }
+        self.stats.latency_misses += 1;
+        let schedule = self.schedule(features, kernels, params, &config.base)?;
+        let breakdown = predict_from_schedule(&schedule, kernels, config);
+        self.latencies.insert(memo_key, breakdown);
+        Ok(breakdown)
+    }
+}
+
+/// The closed-form latency computation given a derived schedule: scans
+/// each stripe's weight slice directly on the [`KernelSet`] instead of
+/// materialising sequencer commands.
+#[must_use]
+pub fn predict_from_schedule(
+    schedule: &StripeSchedule,
+    kernels: &KernelSet,
+    config: &TempusConfig,
+) -> LatencyBreakdown {
+    let (atomic_k, atomic_c) = (config.base.atomic_k, config.base.atomic_c);
+    let ops_per_stripe = schedule.ops_per_stripe;
+    let overhead_per_op = u64::from(config.cache_in_cycles + config.cache_out_cycles);
+
+    let mut window_cycles = 0u64;
+    // Stripe order is irrelevant for totals; iterate the same (kg, cg,
+    // r, s) decomposition the sequencer uses. Cells past the kernel
+    // count and channels past the extent are zero (silent) and cannot
+    // raise a stripe's max magnitude.
+    for kg in 0..schedule.kernel_groups {
+        let k_lo = kg * atomic_k;
+        let k_hi = (k_lo + atomic_k).min(kernels.k());
+        for cg in 0..schedule.channel_groups {
+            let c_lo = cg * atomic_c;
+            let c_hi = (c_lo + atomic_c).min(kernels.c());
+            for r in 0..kernels.r() {
+                for s in 0..kernels.s() {
+                    let mut max_mag = 0u32;
+                    for k in k_lo..k_hi {
+                        for c in c_lo..c_hi {
+                            max_mag = max_mag.max(kernels.get(k, r, s, c).unsigned_abs());
+                        }
+                    }
+                    let stripe_latency = max_mag.div_ceil(2);
+                    window_cycles += u64::from(stripe_latency.max(1)) * ops_per_stripe;
+                }
+            }
+        }
+    }
+
+    let weight_load_cycles = schedule.stripe_count;
+    let ops = schedule.atomic_op_count();
+    let overhead_cycles = overhead_per_op * ops;
+    let total_cycles = weight_load_cycles + window_cycles + overhead_cycles;
+    let binary_cycles = weight_load_cycles + ops + u64::from(config.base.cmac_pipeline_depth);
+    LatencyBreakdown {
+        weight_load_cycles,
+        window_cycles,
+        overhead_cycles,
+        total_cycles,
+        avg_window: if ops == 0 {
+            0.0
+        } else {
+            window_cycles as f64 / ops as f64
+        },
+        binary_cycles,
+        slowdown: if binary_cycles == 0 {
+            0.0
+        } else {
+            total_cycles as f64 / binary_cycles as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_nvdla::csc::CscSequencer;
+    use tempus_nvdla::pipeline::ConvCore;
+
+    use crate::latency;
+    use crate::TempusCore;
+
+    fn case(c: usize, k: usize, ksize: usize, seed: i32) -> (DataCube, KernelSet) {
+        let f = DataCube::from_fn(7, 6, c, move |x, y, ch| {
+            ((x as i32 * 31 + y as i32 * 17 + ch as i32 * 7 + seed) % 255) - 127
+        });
+        let kn = KernelSet::from_fn(k, ksize, ksize, c, move |k, r, s, ch| {
+            ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + ch as i32 * 11 + seed) % 255) - 127
+        });
+        (f, kn)
+    }
+
+    #[test]
+    fn schedule_matches_sequencer_counts() {
+        for (c, k, ksize, params) in [
+            (8, 8, 3, ConvParams::valid()),
+            (11, 13, 3, ConvParams::unit_stride_same(3)),
+            (16, 4, 5, ConvParams::strided(2, 2)),
+            (3, 9, 1, ConvParams::valid()),
+        ] {
+            let (f, kn) = case(c, k, ksize, 3);
+            let cfg = NvdlaConfig::nv_small();
+            let seq = CscSequencer::new(&f, &kn, &params, &cfg).unwrap();
+            let schedule = StripeSchedule::derive(&f, &kn, &params, &cfg).unwrap();
+            assert_eq!(schedule.stripe_count, seq.stripe_count());
+            assert_eq!(schedule.atomic_op_count(), seq.atomic_op_count());
+            assert_eq!((schedule.out_w, schedule.out_h), seq.output_dims());
+        }
+    }
+
+    #[test]
+    fn cached_prediction_is_bit_identical_to_walking_predictor() {
+        let mut cache = ScheduleCache::new();
+        for (c, k, ksize, params) in [
+            (8, 8, 3, ConvParams::valid()),
+            (11, 13, 3, ConvParams::unit_stride_same(3)),
+            (16, 4, 5, ConvParams::strided(2, 2)),
+        ] {
+            let (f, kn) = case(c, k, ksize, 9);
+            for overheads in [(1, 1), (0, 0), (2, 3)] {
+                let config =
+                    TempusConfig::nv_small().with_cache_overheads(overheads.0, overheads.1);
+                let walked = latency::predict(&f, &kn, &params, &config).unwrap();
+                let cached = cache.predict(&f, &kn, &params, &config).unwrap();
+                assert_eq!(walked, cached, "c={c} k={k} ksize={ksize}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_prediction_matches_cycle_accurate_simulation() {
+        let (f, kn) = case(8, 8, 3, 11);
+        let params = ConvParams::unit_stride_same(3);
+        let config = TempusConfig::nv_small();
+        let mut cache = ScheduleCache::new();
+        let predicted = cache.predict(&f, &kn, &params, &config).unwrap();
+        let mut core = TempusCore::new(config);
+        let run = core.convolve(&f, &kn, &params).unwrap();
+        assert_eq!(predicted.total_cycles, run.stats.cycles);
+    }
+
+    #[test]
+    fn repeated_layers_hit_the_memo() {
+        let (f, kn) = case(8, 8, 3, 5);
+        let params = ConvParams::valid();
+        let config = TempusConfig::nv_small();
+        let mut cache = ScheduleCache::new();
+        let first = cache.predict(&f, &kn, &params, &config).unwrap();
+        for _ in 0..9 {
+            let again = cache.predict(&f, &kn, &params, &config).unwrap();
+            assert_eq!(first, again);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.latency_misses, 1);
+        assert_eq!(stats.latency_hits, 9);
+        // Same shape with different weights: schedule hits, memo misses.
+        let (_, other) = case(8, 8, 3, 6);
+        cache.predict(&f, &other, &params, &config).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.latency_misses, 2);
+        assert_eq!(stats.schedule_hits, 1);
+        assert_eq!(stats.schedule_misses, 1);
+    }
+
+    #[test]
+    fn memo_distinguishes_pipeline_depths() {
+        // Same shape, weights and overheads, different baseline
+        // pipeline depth: binary_cycles differ, so one shared cache
+        // must not conflate them.
+        let (f, kn) = case(8, 8, 3, 4);
+        let params = ConvParams::valid();
+        let mut cache = ScheduleCache::new();
+        let shallow = TempusConfig::nv_small();
+        let mut deep = shallow;
+        deep.base.cmac_pipeline_depth = shallow.base.cmac_pipeline_depth + 5;
+        let a = cache.predict(&f, &kn, &params, &shallow).unwrap();
+        let b = cache.predict(&f, &kn, &params, &deep).unwrap();
+        assert_eq!(b.binary_cycles, a.binary_cycles + 5);
+        assert_eq!(a, latency::predict(&f, &kn, &params, &shallow).unwrap());
+        assert_eq!(b, latency::predict(&f, &kn, &params, &deep).unwrap());
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let f = DataCube::zeros(4, 4, 3);
+        let kn = KernelSet::zeros(2, 3, 3, 5);
+        let mut cache = ScheduleCache::new();
+        assert!(matches!(
+            cache.predict(&f, &kn, &ConvParams::valid(), &TempusConfig::nv_small()),
+            Err(NvdlaError::ChannelMismatch { .. })
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cores_are_send_and_sync_for_worker_pools() {
+        fn check<T: Send + Sync>() {}
+        check::<TempusCore>();
+        check::<ScheduleCache>();
+        check::<tempus_nvdla::pipeline::NvdlaConvCore>();
+    }
+}

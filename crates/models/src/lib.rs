@@ -15,7 +15,10 @@
 //!   full-scale value, smaller tiles follow extreme-value statistics);
 //! * [`calib`] holds the per-model shape parameter and the Table I
 //!   sparsity targets the generator pins exactly;
-//! * [`stats`] computes sparsity and distribution statistics.
+//! * [`stats`] computes sparsity and distribution statistics;
+//! * [`netbuild`] lowers the zoo's quantized layers into runnable
+//!   NVDLA network-layer chains for the batched runtime
+//!   (`tempus-runtime`).
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 pub mod calib;
 mod layer;
 mod model;
+pub mod netbuild;
 pub mod stats;
 pub mod weightgen;
 pub mod zoo;

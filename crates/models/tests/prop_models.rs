@@ -89,8 +89,16 @@ fn every_model_generates_subset_within_targets() {
 fn int4_generation_respects_range_and_scale() {
     let q = QuantizedModel::generate_limited(Model::GoogleNet, IntPrecision::Int4, 5, 150_000);
     for layer in &q.layers {
-        let max = layer.weights.iter().map(|w| w.unsigned_abs()).max().unwrap();
+        let max = layer
+            .weights
+            .iter()
+            .map(|w| w.unsigned_abs())
+            .max()
+            .unwrap();
         assert_eq!(max, 7, "{}: INT4 full scale", layer.spec.name);
-        assert!(layer.weights.iter().all(|&w| (-7..=7).contains(&(w as i32))));
+        assert!(layer
+            .weights
+            .iter()
+            .all(|&w| (-7..=7).contains(&(w as i32))));
     }
 }

@@ -99,6 +99,20 @@ impl DataCube {
         self.data.is_empty()
     }
 
+    /// Order-stable FNV-1a digest over dimensions and contents.
+    ///
+    /// Two cubes share a digest iff they are equal (modulo the usual
+    /// 64-bit collision caveat) — the runtime uses this to compare
+    /// outputs across backends and key caches without cloning cubes.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(
+            [self.w as u64, self.h as u64, self.c as u64]
+                .into_iter()
+                .chain(self.data.iter().map(|&v| v as u32 as u64)),
+        )
+    }
+
     #[inline]
     fn index(&self, x: usize, y: usize, c: usize) -> usize {
         debug_assert!(x < self.w && y < self.h && c < self.c);
@@ -356,6 +370,31 @@ impl KernelSet {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Order-stable FNV-1a digest over dimensions and weights — the
+    /// runtime keys its per-worker latency memos on this.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(
+            [self.k as u64, self.r as u64, self.s as u64, self.c as u64]
+                .into_iter()
+                .chain(self.data.iter().map(|&v| v as u32 as u64)),
+        )
+    }
+}
+
+/// FNV-1a over a word stream, byte by byte — the one digest
+/// implementation the workspace shares, so cross-backend output
+/// digests stay comparable.
+pub fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 impl fmt::Display for KernelSet {
@@ -445,5 +484,24 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_dims_rejected() {
         let _ = DataCube::zeros(0, 1, 1);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_values_and_shapes() {
+        let a = DataCube::from_fn(3, 2, 4, |x, y, c| (x + y + c) as i32);
+        let b = DataCube::from_fn(3, 2, 4, |x, y, c| (x + y + c) as i32);
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = b.clone();
+        c.set(0, 0, 0, 99);
+        assert_ne!(a.content_hash(), c.content_hash());
+        // Same flat data, different shape, must not collide.
+        let flat = DataCube::from_vec(6, 1, 4, a.as_slice().to_vec()).unwrap();
+        assert_ne!(a.content_hash(), flat.content_hash());
+
+        let k1 = KernelSet::from_fn(2, 1, 1, 3, |k, _, _, c| (k + c) as i32);
+        let mut k2 = k1.clone();
+        assert_eq!(k1.content_hash(), k2.content_hash());
+        k2.set(1, 0, 0, 2, -5);
+        assert_ne!(k1.content_hash(), k2.content_hash());
     }
 }

@@ -16,11 +16,7 @@ use crate::NvdlaError;
 /// Validates group structure: `groups` must divide both the feature
 /// channels and the kernel count, and the kernels' channel extent must
 /// equal the per-group slice.
-fn check_groups(
-    features: &DataCube,
-    kernels: &KernelSet,
-    groups: usize,
-) -> Result<(), NvdlaError> {
+fn check_groups(features: &DataCube, kernels: &KernelSet, groups: usize) -> Result<(), NvdlaError> {
     if groups == 0 {
         return Err(NvdlaError::InvalidShape("groups must be >= 1".into()));
     }
@@ -108,8 +104,7 @@ pub fn convolve_grouped(
         output = Some(match output {
             None => {
                 // First group: allocate the full output and copy in.
-                let mut out =
-                    DataCube::zeros(run.output.w(), run.output.h(), kernels.k());
+                let mut out = DataCube::zeros(run.output.w(), run.output.h(), kernels.k());
                 copy_group(&mut out, &run.output, 0, per_group_k);
                 out
             }
@@ -156,8 +151,7 @@ pub fn direct_conv_grouped(
         let fg = feature_group(features, g, per_group_c);
         let kg = kernel_group(kernels, g, per_group_k);
         let sub = crate::conv::direct_conv(&fg, &kg, params)?;
-        let mut out = output
-            .unwrap_or_else(|| DataCube::zeros(sub.w(), sub.h(), kernels.k()));
+        let mut out = output.unwrap_or_else(|| DataCube::zeros(sub.w(), sub.h(), kernels.k()));
         copy_group(&mut out, &sub, g, per_group_k);
         output = Some(out);
     }
@@ -171,7 +165,9 @@ mod tests {
     use crate::pipeline::NvdlaConvCore;
 
     fn case(c: usize, k: usize, kc: usize) -> (DataCube, KernelSet) {
-        let f = DataCube::from_fn(6, 6, c, |x, y, ch| ((x * 7 + y * 3 + ch * 5) % 200) as i32 - 100);
+        let f = DataCube::from_fn(6, 6, c, |x, y, ch| {
+            ((x * 7 + y * 3 + ch * 5) % 200) as i32 - 100
+        });
         let kn = KernelSet::from_fn(k, 3, 3, kc, |ki, r, s, ch| {
             ((ki * 11 + r * 2 + s * 9 + ch * 4) % 200) as i32 - 100
         });
@@ -212,9 +208,8 @@ mod tests {
         probe.set(0, 0, 3, 99); // perturb channel 3 only
         let perturbed = direct_conv_grouped(&probe, &k, &params, 8).unwrap();
         for ch in 0..8 {
-            let changed = (0..golden.w()).any(|x| {
-                (0..golden.h()).any(|y| perturbed.get(x, y, ch) != golden.get(x, y, ch))
-            });
+            let changed = (0..golden.w())
+                .any(|x| (0..golden.h()).any(|y| perturbed.get(x, y, ch) != golden.get(x, y, ch)));
             assert_eq!(changed, ch == 3, "channel {ch}");
         }
     }
@@ -240,11 +235,7 @@ mod tests {
         let (f1, k1) = case(16, 8, 8);
         let mut core1 = NvdlaConvCore::new(NvdlaConfig::nv_small());
         let one_group = core1
-            .convolve(
-                &feature_group(&f1, 0, 8),
-                &kernel_group(&k1, 0, 4),
-                &params,
-            )
+            .convolve(&feature_group(&f1, 0, 8), &kernel_group(&k1, 0, 4), &params)
             .unwrap();
         assert_eq!(dense_like.stats.cycles, 2 * one_group.stats.cycles);
     }

@@ -1,0 +1,434 @@
+//! Pluggable inference backends behind one trait.
+//!
+//! Three implementations of [`InferenceBackend`]:
+//!
+//! * [`TempusBackend`] — the cycle-accurate Tempus Core simulation
+//!   (authoritative cycles, slowest);
+//! * [`NvdlaBackend`] — the cycle-accurate binary NVDLA baseline;
+//! * [`FunctionalBackend`] — computes **bit-identical outputs**
+//!   through the golden functional models while reporting Tempus Core
+//!   latency via the closed-form model (with per-worker stripe
+//!   schedule caching) — orders of magnitude faster, for large
+//!   sweeps.
+//!
+//! The equivalence contract — same outputs everywhere, and
+//! `FunctionalBackend` cycles exactly equal to `TempusBackend` cycles
+//! — is enforced by the workspace's property tests.
+
+use tempus_core::gemm::{Matrix, TubGemm};
+use tempus_core::schedule::{CacheStats, ScheduleCache};
+use tempus_core::{TempusConfig, TempusCore};
+use tempus_nvdla::config::NvdlaConfig;
+use tempus_nvdla::conv::direct_conv;
+use tempus_nvdla::cube::DataCube;
+use tempus_nvdla::network::{run_network, NetworkLayer};
+use tempus_nvdla::pdp;
+use tempus_nvdla::pipeline::{ConvCore, NvdlaConvCore};
+use tempus_nvdla::sdp;
+
+use crate::error::RuntimeError;
+use crate::job::{Job, JobOutput, JobPayload};
+
+/// Output plus the backend's modelled cycle count.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// The computed output.
+    pub output: JobOutput,
+    /// Modelled datapath cycles.
+    pub sim_cycles: u64,
+}
+
+/// The pluggable backend contract: every worker owns one instance
+/// (`Send`, no shared state) and executes whole jobs.
+pub trait InferenceBackend: Send {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes one job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors (shape, precision, capacity).
+    fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError>;
+
+    /// Schedule-cache counters, for backends that cache.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// Which backend an engine instantiates per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Cycle-accurate Tempus Core.
+    TempusCycleAccurate,
+    /// Cycle-accurate binary NVDLA baseline.
+    NvdlaCycleAccurate,
+    /// Fast functional model with closed-form Tempus latency.
+    FastFunctional,
+}
+
+impl BackendKind {
+    /// All backends, in comparison order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::TempusCycleAccurate,
+        BackendKind::NvdlaCycleAccurate,
+        BackendKind::FastFunctional,
+    ];
+
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::TempusCycleAccurate => "tempus-cycle-accurate",
+            BackendKind::NvdlaCycleAccurate => "nvdla-cycle-accurate",
+            BackendKind::FastFunctional => "fast-functional",
+        }
+    }
+
+    /// Builds one worker-owned backend instance.
+    #[must_use]
+    pub fn instantiate(
+        self,
+        tempus: TempusConfig,
+        nvdla: NvdlaConfig,
+        gemm_grid: (usize, usize),
+    ) -> Box<dyn InferenceBackend> {
+        match self {
+            BackendKind::TempusCycleAccurate => Box::new(TempusBackend::new(tempus, gemm_grid)),
+            BackendKind::NvdlaCycleAccurate => Box::new(NvdlaBackend::new(nvdla, gemm_grid)),
+            BackendKind::FastFunctional => Box::new(FunctionalBackend::new(tempus, gemm_grid)),
+        }
+    }
+}
+
+/// Cycle-accurate Tempus Core backend.
+#[derive(Debug, Clone)]
+pub struct TempusBackend {
+    core: TempusCore,
+    gemm: TubGemm,
+}
+
+impl TempusBackend {
+    /// Creates the backend; the GEMM path uses a `grid` PE array at
+    /// the core's precision.
+    #[must_use]
+    pub fn new(config: TempusConfig, grid: (usize, usize)) -> Self {
+        TempusBackend {
+            gemm: TubGemm::new(grid.0, grid.1, config.base.precision),
+            core: TempusCore::new(config),
+        }
+    }
+}
+
+impl InferenceBackend for TempusBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::TempusCycleAccurate.name()
+    }
+
+    fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError> {
+        match &job.payload {
+            JobPayload::Conv {
+                features,
+                kernels,
+                params,
+            } => {
+                let run = self.core.convolve(features, kernels, params)?;
+                Ok(Execution {
+                    output: JobOutput::Cube(run.output),
+                    sim_cycles: run.stats.cycles,
+                })
+            }
+            JobPayload::Gemm { a, b } => {
+                let run = self.gemm.multiply(a, b)?;
+                Ok(Execution {
+                    output: JobOutput::Matrix(run.output),
+                    sim_cycles: run.stats.cycles,
+                })
+            }
+            JobPayload::Network { input, layers } => {
+                let run = run_network(&mut self.core, input, layers)?;
+                Ok(Execution {
+                    sim_cycles: run.total_cycles(),
+                    output: JobOutput::Cube(run.output),
+                })
+            }
+        }
+    }
+}
+
+/// Cycle-accurate binary NVDLA baseline backend.
+#[derive(Debug, Clone)]
+pub struct NvdlaBackend {
+    core: NvdlaConvCore,
+    grid: (usize, usize),
+}
+
+impl NvdlaBackend {
+    /// Creates the backend.
+    #[must_use]
+    pub fn new(config: NvdlaConfig, grid: (usize, usize)) -> Self {
+        NvdlaBackend {
+            core: NvdlaConvCore::new(config),
+            grid,
+        }
+    }
+
+    /// Binary outer-product GEMM cycle model: one rank-1 update per
+    /// cycle per grid tile (no temporal streaming).
+    fn binary_gemm_cycles(&self, a: &Matrix, b: &Matrix) -> u64 {
+        let m_tiles = a.rows().div_ceil(self.grid.0) as u64;
+        let p_tiles = b.cols().div_ceil(self.grid.1) as u64;
+        m_tiles * p_tiles * a.cols() as u64
+    }
+}
+
+impl InferenceBackend for NvdlaBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::NvdlaCycleAccurate.name()
+    }
+
+    fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError> {
+        match &job.payload {
+            JobPayload::Conv {
+                features,
+                kernels,
+                params,
+            } => {
+                let run = self.core.convolve(features, kernels, params)?;
+                Ok(Execution {
+                    output: JobOutput::Cube(run.output),
+                    sim_cycles: run.stats.cycles,
+                })
+            }
+            JobPayload::Gemm { a, b } => {
+                let precision = self.core.config().precision;
+                check_matrix(a, precision)?;
+                check_matrix(b, precision)?;
+                let output = a.multiply(b)?;
+                Ok(Execution {
+                    sim_cycles: self.binary_gemm_cycles(a, b),
+                    output: JobOutput::Matrix(output),
+                })
+            }
+            JobPayload::Network { input, layers } => {
+                let run = run_network(&mut self.core, input, layers)?;
+                Ok(Execution {
+                    sim_cycles: run.total_cycles(),
+                    output: JobOutput::Cube(run.output),
+                })
+            }
+        }
+    }
+}
+
+fn check_matrix(
+    m: &Matrix,
+    precision: tempus_arith::IntPrecision,
+) -> Result<(), tempus_arith::ArithError> {
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            precision.check(m.get(i, j))?;
+        }
+    }
+    Ok(())
+}
+
+/// Fast functional backend: golden-model outputs, closed-form Tempus
+/// latency, per-worker schedule caching.
+#[derive(Debug, Clone)]
+pub struct FunctionalBackend {
+    config: TempusConfig,
+    gemm: TubGemm,
+    cache: ScheduleCache,
+}
+
+impl FunctionalBackend {
+    /// Creates the backend with an empty schedule cache.
+    #[must_use]
+    pub fn new(config: TempusConfig, grid: (usize, usize)) -> Self {
+        FunctionalBackend {
+            gemm: TubGemm::new(grid.0, grid.1, config.base.precision),
+            config,
+            cache: ScheduleCache::new(),
+        }
+    }
+
+    /// Closed-form tubGEMM cycle model, exactly mirroring
+    /// [`TubGemm::multiply`]'s accounting: per grid tile and outer
+    /// step, the window is the largest streamed `|B|` magnitude under
+    /// 2s-unary encoding, floored at one cycle.
+    fn gemm_cycles(&self, a: &Matrix, b: &Matrix) -> u64 {
+        let mut cycles = 0u64;
+        let m_tiles = a.rows().div_ceil(self.gemm.grid_m()) as u64;
+        for p0 in (0..b.cols()).step_by(self.gemm.grid_p()) {
+            let p1 = (p0 + self.gemm.grid_p()).min(b.cols());
+            for t in 0..a.cols() {
+                let window = (p0..p1)
+                    .map(|j| b.get(t, j).unsigned_abs().div_ceil(2))
+                    .max()
+                    .unwrap_or(0);
+                cycles += u64::from(window.max(1));
+            }
+        }
+        cycles * m_tiles
+    }
+}
+
+impl InferenceBackend for FunctionalBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::FastFunctional.name()
+    }
+
+    fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError> {
+        match &job.payload {
+            JobPayload::Conv {
+                features,
+                kernels,
+                params,
+            } => {
+                tempus_nvdla::conv::check_operands(features, kernels, self.config.base.precision)?;
+                let latency = self
+                    .cache
+                    .predict(features, kernels, params, &self.config)?;
+                let output = direct_conv(features, kernels, params)?;
+                Ok(Execution {
+                    output: JobOutput::Cube(output),
+                    sim_cycles: latency.total_cycles,
+                })
+            }
+            JobPayload::Gemm { a, b } => {
+                check_matrix(a, self.config.base.precision)?;
+                check_matrix(b, self.config.base.precision)?;
+                let output = a.multiply(b)?;
+                Ok(Execution {
+                    sim_cycles: self.gemm_cycles(a, b),
+                    output: JobOutput::Matrix(output),
+                })
+            }
+            JobPayload::Network { input, layers } => {
+                let (output, cycles) = self.run_network_functional(input, layers)?;
+                Ok(Execution {
+                    output: JobOutput::Cube(output),
+                    sim_cycles: cycles,
+                })
+            }
+        }
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
+}
+
+impl FunctionalBackend {
+    /// Network execution mirroring
+    /// [`tempus_nvdla::network::run_network`] with the convolution
+    /// replaced by golden model + closed-form latency.
+    fn run_network_functional(
+        &mut self,
+        input: &DataCube,
+        layers: &[NetworkLayer],
+    ) -> Result<(DataCube, u64), RuntimeError> {
+        let mut x = input.clone();
+        let mut cycles = 0u64;
+        for layer in layers {
+            tempus_nvdla::conv::check_operands(&x, &layer.kernels, self.config.base.precision)?;
+            let latency = self
+                .cache
+                .predict(&x, &layer.kernels, &layer.conv, &self.config)?;
+            cycles += latency.total_cycles;
+            let conv_out = direct_conv(&x, &layer.kernels, &layer.conv)?;
+            let (requant, _) = sdp::apply(&conv_out, &layer.sdp)?;
+            x = match &layer.pool {
+                Some(pool) => pdp::apply(&requant, pool)?,
+                None => requant,
+            };
+        }
+        Ok((x, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_nvdla::conv::ConvParams;
+    use tempus_nvdla::cube::KernelSet;
+
+    fn conv_job(id: u64) -> Job {
+        let features = DataCube::from_fn(6, 6, 8, |x, y, c| {
+            ((x as i32 * 31 + y as i32 * 17 + c as i32 * 7) % 255) - 127
+        });
+        let kernels = KernelSet::from_fn(8, 3, 3, 8, |k, r, s, c| {
+            ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + c as i32 * 11) % 255) - 127
+        });
+        Job::conv(
+            id,
+            "conv",
+            features,
+            kernels,
+            ConvParams::unit_stride_same(3),
+        )
+    }
+
+    fn gemm_job(id: u64) -> Job {
+        let a = Matrix::from_fn(7, 9, |i, j| ((i as i32 * 31 + j as i32 * 17) % 255) - 127);
+        let b = Matrix::from_fn(9, 5, |i, j| ((i as i32 * 13 + j as i32 * 41) % 255) - 127);
+        Job::gemm(id, "gemm", a, b)
+    }
+
+    #[test]
+    fn functional_conv_matches_tempus_exactly() {
+        let mut tempus = TempusBackend::new(TempusConfig::nv_small(), (4, 4));
+        let mut fast = FunctionalBackend::new(TempusConfig::nv_small(), (4, 4));
+        let job = conv_job(1);
+        let t = tempus.execute(&job).unwrap();
+        let f = fast.execute(&job).unwrap();
+        assert_eq!(t.output, f.output);
+        assert_eq!(t.sim_cycles, f.sim_cycles);
+    }
+
+    #[test]
+    fn functional_gemm_matches_tempus_exactly() {
+        let mut tempus = TempusBackend::new(TempusConfig::nv_small(), (4, 4));
+        let mut fast = FunctionalBackend::new(TempusConfig::nv_small(), (4, 4));
+        let job = gemm_job(2);
+        let t = tempus.execute(&job).unwrap();
+        let f = fast.execute(&job).unwrap();
+        assert_eq!(t.output, f.output);
+        assert_eq!(t.sim_cycles, f.sim_cycles);
+        assert_eq!(t.output.digest(), f.output.digest());
+    }
+
+    #[test]
+    fn nvdla_agrees_on_outputs_with_different_cycles() {
+        let mut tempus = TempusBackend::new(TempusConfig::nv_small(), (4, 4));
+        let mut nvdla = NvdlaBackend::new(NvdlaConfig::nv_small(), (4, 4));
+        for job in [conv_job(3), gemm_job(4)] {
+            let t = tempus.execute(&job).unwrap();
+            let n = nvdla.execute(&job).unwrap();
+            assert_eq!(t.output, n.output, "{}", job.name);
+            assert!(t.sim_cycles > n.sim_cycles, "tub pays a latency premium");
+        }
+    }
+
+    #[test]
+    fn out_of_precision_jobs_are_rejected() {
+        let a = Matrix::from_fn(2, 2, |_, _| 1000);
+        let b = Matrix::from_fn(2, 2, |_, _| 1);
+        let job = Job::gemm(9, "hot", a, b);
+        let mut fast = FunctionalBackend::new(TempusConfig::nv_small(), (4, 4));
+        assert!(matches!(fast.execute(&job), Err(RuntimeError::Arith(_))));
+    }
+
+    #[test]
+    fn backend_kinds_instantiate() {
+        for kind in BackendKind::ALL {
+            let mut backend =
+                kind.instantiate(TempusConfig::nv_small(), NvdlaConfig::nv_small(), (4, 4));
+            let run = backend.execute(&conv_job(7)).unwrap();
+            assert!(run.sim_cycles > 0);
+            assert_eq!(backend.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use tempus_arith::ArithError;
+use tempus_nvdla::NvdlaError;
+
+/// Errors surfaced by the inference engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A convolution substrate error (shapes, precision, capacity).
+    Nvdla(NvdlaError),
+    /// An arithmetic error from the GEMM path.
+    Arith(ArithError),
+    /// The engine was configured with zero workers.
+    NoWorkers,
+    /// A worker thread panicked while executing a job.
+    WorkerPanicked {
+        /// Index of the panicked worker.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Nvdla(e) => write!(f, "convolution substrate error: {e}"),
+            RuntimeError::Arith(e) => write!(f, "arithmetic error: {e}"),
+            RuntimeError::NoWorkers => f.write_str("engine needs at least one worker"),
+            RuntimeError::WorkerPanicked { worker } => {
+                write!(f, "worker {worker} panicked while executing a job")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Nvdla(e) => Some(e),
+            RuntimeError::Arith(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvdlaError> for RuntimeError {
+    fn from(e: NvdlaError) -> Self {
+        RuntimeError::Nvdla(e)
+    }
+}
+
+impl From<ArithError> for RuntimeError {
+    fn from(e: ArithError) -> Self {
+        RuntimeError::Arith(e)
+    }
+}

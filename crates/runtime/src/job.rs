@@ -1,0 +1,165 @@
+//! Inference jobs and their results.
+
+use std::fmt;
+
+use tempus_core::gemm::Matrix;
+use tempus_nvdla::conv::ConvParams;
+use tempus_nvdla::cube::{DataCube, KernelSet};
+use tempus_nvdla::network::NetworkLayer;
+
+/// What a job computes.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    /// One convolution layer.
+    Conv {
+        /// Input feature cube.
+        features: DataCube,
+        /// Kernel weights.
+        kernels: KernelSet,
+        /// Convolution parameters.
+        params: ConvParams,
+    },
+    /// One dense matrix product (the tuGEMM/tubGEMM workload shape).
+    Gemm {
+        /// Left operand (binary-held).
+        a: Matrix,
+        /// Right operand (temporally streamed).
+        b: Matrix,
+    },
+    /// A whole network: convolution + SDP requantization (+ optional
+    /// pooling) per layer.
+    Network {
+        /// Network input cube.
+        input: DataCube,
+        /// Layers in execution order.
+        layers: Vec<NetworkLayer>,
+    },
+}
+
+impl JobPayload {
+    /// Short payload-kind tag for reporting.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobPayload::Conv { .. } => "conv",
+            JobPayload::Gemm { .. } => "gemm",
+            JobPayload::Network { .. } => "network",
+        }
+    }
+}
+
+/// One unit of work submitted to the engine.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Caller-assigned id; results are returned sorted by it.
+    pub id: u64,
+    /// Human-readable label for reports.
+    pub name: String,
+    /// The computation.
+    pub payload: JobPayload,
+}
+
+impl Job {
+    /// Builds a convolution job.
+    #[must_use]
+    pub fn conv(
+        id: u64,
+        name: impl Into<String>,
+        features: DataCube,
+        kernels: KernelSet,
+        params: ConvParams,
+    ) -> Self {
+        Job {
+            id,
+            name: name.into(),
+            payload: JobPayload::Conv {
+                features,
+                kernels,
+                params,
+            },
+        }
+    }
+
+    /// Builds a GEMM job.
+    #[must_use]
+    pub fn gemm(id: u64, name: impl Into<String>, a: Matrix, b: Matrix) -> Self {
+        Job {
+            id,
+            name: name.into(),
+            payload: JobPayload::Gemm { a, b },
+        }
+    }
+
+    /// Builds a whole-network job.
+    #[must_use]
+    pub fn network(
+        id: u64,
+        name: impl Into<String>,
+        input: DataCube,
+        layers: Vec<NetworkLayer>,
+    ) -> Self {
+        Job {
+            id,
+            name: name.into(),
+            payload: JobPayload::Network { input, layers },
+        }
+    }
+}
+
+/// A job's computed output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Output cube (conv and network jobs).
+    Cube(DataCube),
+    /// Output matrix (GEMM jobs).
+    Matrix(Matrix),
+}
+
+impl JobOutput {
+    /// Order-stable content digest, comparable across backends.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        match self {
+            JobOutput::Cube(cube) => cube.content_hash(),
+            JobOutput::Matrix(m) => tempus_nvdla::cube::fnv1a(
+                [m.rows() as u64, m.cols() as u64].into_iter().chain(
+                    (0..m.rows())
+                        .flat_map(|i| (0..m.cols()).map(move |j| (i, j)))
+                        .map(|(i, j)| m.get(i, j) as u32 as u64),
+                ),
+            ),
+        }
+    }
+}
+
+/// One executed job's result.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Id of the job this answers.
+    pub job_id: u64,
+    /// Job label.
+    pub job_name: String,
+    /// Payload-kind tag (`conv`/`gemm`/`network`).
+    pub kind: &'static str,
+    /// The computed output.
+    pub output: JobOutput,
+    /// Modelled datapath cycles (simulated or closed-form, per
+    /// backend).
+    pub sim_cycles: u64,
+    /// Modelled energy at the paper's 250 MHz clock, in pJ.
+    pub energy_pj: f64,
+    /// Host wall-clock spent executing the job, in nanoseconds.
+    pub wall_ns: u64,
+    /// Which worker ran it.
+    pub worker: usize,
+}
+
+impl fmt::Display for JobResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} [{}] {}: {} cycles, {:.1} pJ, worker {}",
+            self.job_id, self.kind, self.job_name, self.sim_cycles, self.energy_pj, self.worker
+        )
+    }
+}

@@ -1,0 +1,126 @@
+//! Aggregate throughput/latency/energy statistics for a batch run.
+
+use std::fmt;
+
+use tempus_core::schedule::CacheStats;
+
+use crate::job::JobResult;
+
+/// Clock period at the paper's 250 MHz evaluation clock, in ns —
+/// re-exported from the hardware model so the runtime's energy and
+/// sim-time figures stay coupled to the timing reports.
+pub use tempus_hwmodel::timing::CLOCK_PERIOD_NS as PERIOD_NS;
+
+/// Per-worker execution record.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Modelled cycles summed over the worker's jobs.
+    pub sim_cycles: u64,
+    /// Host wall-clock the worker spent executing, in ns.
+    pub wall_ns: u64,
+    /// Schedule-cache counters, when the backend caches.
+    pub schedule_cache: Option<CacheStats>,
+}
+
+/// Batch-level aggregates.
+#[derive(Debug, Clone)]
+pub struct AggregateStats {
+    /// Backend that ran the batch.
+    pub backend: &'static str,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Modelled cycles summed over all jobs.
+    pub total_sim_cycles: u64,
+    /// Modelled execution time on hardware at 250 MHz, in µs.
+    pub sim_time_us: f64,
+    /// Modelled energy over all jobs, in pJ.
+    pub total_energy_pj: f64,
+    /// Host wall-clock for the whole batch, in ns.
+    pub wall_ns: u64,
+    /// Host throughput: jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Mean modelled cycles per job.
+    pub avg_job_sim_cycles: f64,
+    /// Largest single-job modelled cycle count (tail latency).
+    pub max_job_sim_cycles: u64,
+    /// Schedule-cache counters merged across workers.
+    pub schedule_cache: Option<CacheStats>,
+}
+
+impl AggregateStats {
+    /// Computes aggregates from per-job results and worker records.
+    #[must_use]
+    pub fn from_results(
+        backend: &'static str,
+        workers: usize,
+        results: &[JobResult],
+        worker_stats: &[WorkerStats],
+        wall_ns: u64,
+    ) -> Self {
+        let jobs = results.len() as u64;
+        let total_sim_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
+        let total_energy_pj: f64 = results.iter().map(|r| r.energy_pj).sum();
+        let max_job_sim_cycles = results.iter().map(|r| r.sim_cycles).max().unwrap_or(0);
+        let mut schedule_cache: Option<CacheStats> = None;
+        for ws in worker_stats {
+            if let Some(cs) = &ws.schedule_cache {
+                schedule_cache
+                    .get_or_insert_with(CacheStats::default)
+                    .merge(cs);
+            }
+        }
+        AggregateStats {
+            backend,
+            workers,
+            jobs,
+            total_sim_cycles,
+            sim_time_us: total_sim_cycles as f64 * PERIOD_NS * 1e-3,
+            total_energy_pj,
+            wall_ns,
+            jobs_per_sec: if wall_ns == 0 {
+                0.0
+            } else {
+                jobs as f64 / (wall_ns as f64 * 1e-9)
+            },
+            avg_job_sim_cycles: if jobs == 0 {
+                0.0
+            } else {
+                total_sim_cycles as f64 / jobs as f64
+            },
+            max_job_sim_cycles,
+            schedule_cache,
+        }
+    }
+}
+
+impl fmt::Display for AggregateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} jobs on {} workers in {:.2} ms ({:.0} jobs/s); \
+             {} modelled cycles ({:.1} us @250MHz), {:.1} nJ",
+            self.backend,
+            self.jobs,
+            self.workers,
+            self.wall_ns as f64 * 1e-6,
+            self.jobs_per_sec,
+            self.total_sim_cycles,
+            self.sim_time_us,
+            self.total_energy_pj * 1e-3,
+        )?;
+        if let Some(cs) = &self.schedule_cache {
+            write!(
+                f,
+                "; schedule cache {}h/{}m, latency memo {}h/{}m",
+                cs.schedule_hits, cs.schedule_misses, cs.latency_hits, cs.latency_misses
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -22,7 +22,14 @@ fn main() {
     let hw = SynthModel::nangate45();
     println!("{}", hw.calibration().provenance());
 
-    println!("model calibration targets vs measured ({}):", if full { "full zoo" } else { "bounded to 1M weights/model" });
+    println!(
+        "model calibration targets vs measured ({}):",
+        if full {
+            "full zoo"
+        } else {
+            "bounded to 1M weights/model"
+        }
+    );
     for model in Model::ALL {
         let targets = calib::for_model(model);
         let quantized =
@@ -34,7 +41,10 @@ fn main() {
                 "latency {:.1} cy (target {target:.0})",
                 mag.average_latency_cycles()
             ),
-            None => format!("latency {:.1} cy (no published target)", mag.average_latency_cycles()),
+            None => format!(
+                "latency {:.1} cy (no published target)",
+                mag.average_latency_cycles()
+            ),
         };
         println!(
             "  {:<12} beta {:.2}: sparsity {:.2}% (target {:.2}%), {}, silent {:.1}/tile",

@@ -175,8 +175,8 @@ fn grouped_and_depthwise_equivalence_across_cores() {
                 }
             }
         }
-        let golden = direct_conv_grouped(&features, &rng_kernels, &params, groups)
-            .expect("golden grouped");
+        let golden =
+            direct_conv_grouped(&features, &rng_kernels, &params, groups).expect("golden grouped");
         let mut binary = NvdlaConvCore::new(NvdlaConfig::nv_small());
         let mut tempus = TempusCore::new(TempusConfig::nv_small());
         let b = convolve_grouped(&mut binary, &features, &rng_kernels, &params, groups)
