@@ -12,7 +12,7 @@ use std::path::PathBuf;
 
 use tempus_bench::experiments::{
     ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, runtime_throughput,
-    table1, table2, table3, timing,
+    serve_latency, table1, table2, table3, timing,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -240,6 +240,17 @@ fn main() {
             .expect("write runtime markdown");
         write_result(&results, "BENCH_runtime_throughput.json", &report.to_json())
             .expect("write runtime json");
+    }
+
+    if wants("serve") {
+        println!("--- Serving layer: streaming ingestion + result cache (beyond the paper) ---");
+        let requests = if quick { 60 } else { 200 };
+        let report = serve_latency::run(SEED, requests);
+        println!("{}", report.to_markdown());
+        write_result(&results, "serve_latency.md", &report.to_markdown())
+            .expect("write serve markdown");
+        write_result(&results, "BENCH_serve_latency.json", &report.to_json())
+            .expect("write serve json");
     }
 
     println!("report complete; artifacts in results/");

@@ -88,6 +88,19 @@ impl Matrix {
         self.data[row * self.cols + col] = v;
     }
 
+    /// Order-stable FNV-1a digest over dimensions and contents —
+    /// shares [`tempus_nvdla::cube::fnv1a`] with the cube digests so
+    /// every job-input digest in the workspace is comparable and the
+    /// serving layer can key its result cache uniformly.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        tempus_nvdla::cube::fnv1a(
+            [self.rows as u64, self.cols as u64]
+                .into_iter()
+                .chain(self.data.iter().map(|&v| v as u32 as u64)),
+        )
+    }
+
     /// Golden exact product `self × rhs` in `i64`-safe arithmetic.
     ///
     /// # Errors

@@ -18,7 +18,10 @@
 //! * [`stats`] computes sparsity and distribution statistics;
 //! * [`netbuild`] lowers the zoo's quantized layers into runnable
 //!   NVDLA network-layer chains for the batched runtime
-//!   (`tempus-runtime`).
+//!   (`tempus-runtime`);
+//! * [`traffic`] generates deterministic seeded request traces
+//!   (Poisson-ish bursty arrivals, mixed job classes, template
+//!   repeats) for the streaming service (`tempus-serve`).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ mod layer;
 mod model;
 pub mod netbuild;
 pub mod stats;
+pub mod traffic;
 pub mod weightgen;
 pub mod zoo;
 

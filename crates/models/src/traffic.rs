@@ -1,0 +1,408 @@
+//! Deterministic seeded traffic-trace generation.
+//!
+//! The serving layer (`tempus-serve`) ingests continuous, bursty
+//! request streams — nothing like the fixed batches the experiment
+//! harness sweeps. This module generates such streams
+//! deterministically: Poisson-ish arrivals (exponential interarrival
+//! gaps from a seeded RNG, with occasional same-instant bursts), a
+//! configurable mix of job classes (conv / GEMM / whole-network ×
+//! fast-functional / cycle-accurate fidelity), and a tunable
+//! *template repeat fraction* — the knob that models production
+//! traffic where the same weights (and often the same inputs) recur
+//! request after request, which is exactly what a content-addressed
+//! result cache monetises.
+//!
+//! The generator is shared by the `serve_stream` example, the
+//! `serve_latency` bench experiment and the workspace tests, so all
+//! three exercise the same traffic shapes. For a fixed
+//! [`TraceConfig`] the trace is bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tempus_arith::IntPrecision;
+use tempus_core::gemm::Matrix;
+use tempus_nvdla::conv::ConvParams;
+use tempus_nvdla::cube::{DataCube, KernelSet};
+use tempus_nvdla::network::NetworkLayer;
+
+use crate::netbuild;
+use crate::zoo::Model;
+use crate::QuantizedModel;
+
+/// Requested execution fidelity for one trace request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFidelity {
+    /// Fast functional execution (golden outputs, closed-form
+    /// latency) — the serving fast path.
+    Fast,
+    /// Cycle-accurate simulation — authoritative but orders of
+    /// magnitude slower; the serving layer admission-controls these.
+    Accurate,
+}
+
+/// What one trace request computes (mirrors the runtime's job
+/// payloads without depending on `tempus-runtime`, which sits above
+/// this crate).
+#[derive(Debug, Clone)]
+pub enum TracePayload {
+    /// One convolution layer.
+    Conv {
+        /// Input feature cube.
+        features: DataCube,
+        /// Kernel weights.
+        kernels: KernelSet,
+        /// Convolution parameters.
+        params: ConvParams,
+    },
+    /// One dense matrix product.
+    Gemm {
+        /// Left operand.
+        a: Matrix,
+        /// Right operand.
+        b: Matrix,
+    },
+    /// A whole-network prefix from the model zoo.
+    Network {
+        /// Network input cube.
+        input: DataCube,
+        /// Layers in execution order.
+        layers: Vec<NetworkLayer>,
+    },
+}
+
+impl TracePayload {
+    /// Short payload-kind tag (`conv`/`gemm`/`network`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TracePayload::Conv { .. } => "conv",
+            TracePayload::Gemm { .. } => "gemm",
+            TracePayload::Network { .. } => "network",
+        }
+    }
+}
+
+/// One request in a generated trace.
+#[derive(Debug, Clone)]
+pub struct TraceRequest {
+    /// Sequential request id (also the runtime job id downstream).
+    pub id: u64,
+    /// Arrival time relative to trace start, in nanoseconds.
+    pub arrival_ns: u64,
+    /// Human-readable label.
+    pub name: String,
+    /// Requested execution fidelity.
+    pub fidelity: TraceFidelity,
+    /// The computation.
+    pub payload: TracePayload,
+    /// Index of the template this request instantiated — requests
+    /// sharing a template carry identical payloads, so downstream
+    /// result caches will hit on the repeats.
+    pub template: usize,
+}
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// RNG seed: fixes the whole trace.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean exponential interarrival gap, in nanoseconds.
+    pub mean_interarrival_ns: u64,
+    /// Probability that an arrival opens a burst of back-to-back
+    /// (same-instant) requests.
+    pub burst_prob: f64,
+    /// Maximum burst length (uniform in `2..=burst_len`).
+    pub burst_len: usize,
+    /// Probability that a request replays an earlier template instead
+    /// of minting a fresh one — the cache-hit driver.
+    pub repeat_fraction: f64,
+    /// Probability that a request asks for cycle-accurate fidelity.
+    pub accurate_fraction: f64,
+    /// Relative weight of convolution payloads in the fresh-template
+    /// mix.
+    pub conv_weight: f64,
+    /// Relative weight of GEMM payloads.
+    pub gemm_weight: f64,
+    /// Relative weight of whole-network payloads.
+    pub network_weight: f64,
+    /// Working precision for all generated operands.
+    pub precision: IntPrecision,
+}
+
+impl TraceConfig {
+    /// A bursty mixed default trace: 256 requests, 50 µs mean gap,
+    /// 70% template repeats, 5% cycle-accurate, conv/GEMM-heavy with
+    /// some whole networks.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            requests: 256,
+            mean_interarrival_ns: 50_000,
+            burst_prob: 0.1,
+            burst_len: 8,
+            repeat_fraction: 0.7,
+            accurate_fraction: 0.05,
+            conv_weight: 0.4,
+            gemm_weight: 0.4,
+            network_weight: 0.2,
+            precision: IntPrecision::Int8,
+        }
+    }
+
+    /// Overrides the request count (builder style).
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Overrides the template repeat fraction (builder style).
+    #[must_use]
+    pub fn with_repeat_fraction(mut self, fraction: f64) -> Self {
+        self.repeat_fraction = fraction;
+        self
+    }
+
+    /// Overrides the cycle-accurate fraction (builder style).
+    #[must_use]
+    pub fn with_accurate_fraction(mut self, fraction: f64) -> Self {
+        self.accurate_fraction = fraction;
+        self
+    }
+
+    /// Overrides the mean interarrival gap (builder style).
+    #[must_use]
+    pub fn with_mean_interarrival_ns(mut self, ns: u64) -> Self {
+        self.mean_interarrival_ns = ns;
+        self
+    }
+}
+
+fn fresh_payload(rng: &mut StdRng, config: &TraceConfig) -> TracePayload {
+    let lo = config.precision.min_value();
+    let hi = config.precision.max_value();
+    let total = config.conv_weight + config.gemm_weight + config.network_weight;
+    let pick = rng.random::<f64>() * total;
+    if pick < config.conv_weight {
+        let w = rng.random_range(4usize..=6);
+        let c = 4 * rng.random_range(1usize..=2);
+        let k = 4 * rng.random_range(1usize..=2);
+        let values = move |rng: &mut StdRng| rng.random_range(lo..=hi);
+        let features = {
+            let mut vals: Vec<i32> = Vec::new();
+            for _ in 0..w * w * c {
+                vals.push(values(rng));
+            }
+            let mut it = vals.into_iter();
+            DataCube::from_fn(w, w, c, |_, _, _| it.next().unwrap())
+        };
+        let kernels = {
+            let mut vals: Vec<i32> = Vec::new();
+            for _ in 0..k * 3 * 3 * c {
+                vals.push(values(rng));
+            }
+            let mut it = vals.into_iter();
+            KernelSet::from_fn(k, 3, 3, c, |_, _, _, _| it.next().unwrap())
+        };
+        let params = if rng.random_bool(0.5) {
+            ConvParams::unit_stride_same(3)
+        } else {
+            ConvParams::valid()
+        };
+        TracePayload::Conv {
+            features,
+            kernels,
+            params,
+        }
+    } else if pick < config.conv_weight + config.gemm_weight {
+        let m = rng.random_range(4usize..=8);
+        let n = rng.random_range(4usize..=8);
+        let p = rng.random_range(4usize..=8);
+        let mut vals: Vec<i32> = Vec::new();
+        for _ in 0..m * n + n * p {
+            vals.push(rng.random_range(lo..=hi));
+        }
+        let mut it = vals.into_iter();
+        let a = Matrix::from_fn(m, n, |_, _| it.next().unwrap());
+        let b = Matrix::from_fn(n, p, |_, _| it.next().unwrap());
+        TracePayload::Gemm { a, b }
+    } else {
+        let model = if rng.random_bool(0.5) {
+            Model::ResNet18
+        } else {
+            Model::GoogleNet
+        };
+        let model_seed = rng.random::<u64>();
+        let quantized =
+            QuantizedModel::generate_limited(model, config.precision, model_seed, 200_000);
+        let layers = netbuild::network_prefix(&quantized, 1, 64);
+        match netbuild::input_channels(&layers) {
+            Some(channels) => {
+                let input = netbuild::input_cube(5, 5, channels, config.precision, model_seed);
+                TracePayload::Network { input, layers }
+            }
+            // No dense prefix under the channel budget: degrade to a
+            // small GEMM so the trace keeps its length.
+            None => TracePayload::Gemm {
+                a: Matrix::from_fn(4, 4, |r, c| (r as i32 - c as i32) * 3),
+                b: Matrix::from_fn(4, 4, |r, c| (r as i32 + c as i32) - 3),
+            },
+        }
+    }
+}
+
+/// Generates a trace. Deterministic: the same [`TraceConfig`] always
+/// yields the identical request sequence (payloads, fidelities,
+/// arrival times).
+#[must_use]
+pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x007E_1105_5E2E_D0CE);
+    let mut templates: Vec<(TracePayload, usize)> = Vec::new();
+    let mut requests = Vec::with_capacity(config.requests);
+    let mut clock_ns = 0u64;
+    let mut burst_remaining = 0usize;
+    for id in 0..config.requests as u64 {
+        // Arrival process: exponential gaps, with occasional bursts
+        // of simultaneous arrivals.
+        if burst_remaining > 0 {
+            burst_remaining -= 1;
+        } else {
+            let u: f64 = rng.random();
+            let gap = -(1.0 - u).ln() * config.mean_interarrival_ns as f64;
+            clock_ns = clock_ns.saturating_add(gap as u64);
+            if config.burst_len >= 2 && rng.random_bool(config.burst_prob) {
+                burst_remaining = rng.random_range(2usize..=config.burst_len) - 1;
+            }
+        }
+        // Payload: replay an earlier template or mint a fresh one.
+        let (payload, template) =
+            if !templates.is_empty() && rng.random_bool(config.repeat_fraction) {
+                let idx = rng.random_range(0..templates.len());
+                let (payload, template) = &templates[idx];
+                (payload.clone(), *template)
+            } else {
+                let template = templates.len();
+                let payload = fresh_payload(&mut rng, config);
+                templates.push((payload.clone(), template));
+                (payload, template)
+            };
+        let fidelity = if rng.random_bool(config.accurate_fraction) {
+            TraceFidelity::Accurate
+        } else {
+            TraceFidelity::Fast
+        };
+        requests.push(TraceRequest {
+            id,
+            arrival_ns: clock_ns,
+            name: format!("{}-{id}", payload.kind()),
+            fidelity,
+            payload,
+            template,
+        });
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(payload: &TracePayload) -> u64 {
+        match payload {
+            TracePayload::Conv {
+                features, kernels, ..
+            } => features.content_hash() ^ kernels.content_hash(),
+            TracePayload::Gemm { a, b } => a.content_hash() ^ b.content_hash(),
+            TracePayload::Network { input, layers } => layers
+                .iter()
+                .fold(input.content_hash(), |acc, l| acc ^ l.content_hash()),
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = TraceConfig::new(9).with_requests(60);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        let c = generate(&TraceConfig::new(10).with_requests(60));
+        assert_eq!(a.len(), 60);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_ns, y.arrival_ns);
+            assert_eq!(x.fidelity, y.fidelity);
+            assert_eq!(digest_of(&x.payload), digest_of(&y.payload));
+        }
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.arrival_ns != y.arrival_ns
+                || digest_of(&x.payload) != digest_of(&y.payload)),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_bursty() {
+        let cfg = TraceConfig {
+            burst_prob: 0.5,
+            ..TraceConfig::new(3).with_requests(120)
+        };
+        let trace = generate(&cfg);
+        let mut last = 0u64;
+        let mut simultaneous = 0usize;
+        for r in &trace {
+            assert!(r.arrival_ns >= last, "arrivals must be non-decreasing");
+            if r.arrival_ns == last && r.id > 0 {
+                simultaneous += 1;
+            }
+            last = r.arrival_ns;
+        }
+        assert!(
+            simultaneous > 0,
+            "bursts must produce same-instant arrivals"
+        );
+    }
+
+    #[test]
+    fn repeats_share_templates_and_payload_bits() {
+        let cfg = TraceConfig::new(5)
+            .with_requests(80)
+            .with_repeat_fraction(0.8);
+        let trace = generate(&cfg);
+        let mut by_template: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
+        let mut repeats = 0usize;
+        for r in &trace {
+            let d = digest_of(&r.payload);
+            if let Some(&prev) = by_template.get(&r.template) {
+                assert_eq!(
+                    prev, d,
+                    "template {} must repeat bit-identically",
+                    r.template
+                );
+                repeats += 1;
+            } else {
+                by_template.insert(r.template, d);
+            }
+        }
+        assert!(
+            repeats >= 30,
+            "high repeat fraction must yield repeats, got {repeats}"
+        );
+    }
+
+    #[test]
+    fn class_mix_covers_all_kinds_and_fidelities() {
+        let cfg = TraceConfig::new(11)
+            .with_requests(150)
+            .with_repeat_fraction(0.2)
+            .with_accurate_fraction(0.3);
+        let trace = generate(&cfg);
+        let kinds: Vec<&str> = trace.iter().map(|r| r.payload.kind()).collect();
+        assert!(kinds.contains(&"conv"));
+        assert!(kinds.contains(&"gemm"));
+        assert!(kinds.contains(&"network"));
+        assert!(trace.iter().any(|r| r.fidelity == TraceFidelity::Fast));
+        assert!(trace.iter().any(|r| r.fidelity == TraceFidelity::Accurate));
+    }
+}

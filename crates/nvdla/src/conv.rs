@@ -84,6 +84,26 @@ impl ConvParams {
         Ok(())
     }
 
+    /// Order-stable FNV-1a digest over every hyper-parameter — the
+    /// serving layer folds this into content-addressed cache keys, so
+    /// two jobs share a key only when their convolutions are
+    /// configured identically.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        crate::cube::fnv1a(
+            [
+                self.stride_x,
+                self.stride_y,
+                self.pad_x,
+                self.pad_y,
+                self.dilation_x,
+                self.dilation_y,
+            ]
+            .into_iter()
+            .map(|v| v as u64),
+        )
+    }
+
     /// Output dimensions `(out_w, out_h)` for an input of `w`×`h`
     /// convolved with an `r`×`s` kernel.
     ///

@@ -49,6 +49,24 @@ impl PoolParams {
             pad: 0,
         }
     }
+
+    /// Order-stable FNV-1a digest over the pooling configuration —
+    /// cache-key material for the serving layer.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        crate::cube::fnv1a(
+            [
+                match self.kind {
+                    PoolKind::Max => 1u64,
+                    PoolKind::Average => 2,
+                },
+                self.window as u64,
+                self.stride as u64,
+                self.pad as u64,
+            ]
+            .into_iter(),
+        )
+    }
 }
 
 /// Applies pooling to each channel plane independently.

@@ -47,6 +47,24 @@ impl SdpConfig {
             ..SdpConfig::passthrough(channels, out_precision)
         }
     }
+
+    /// Order-stable FNV-1a digest over the full requantization
+    /// configuration (per-channel vectors included) — cache-key
+    /// material for the serving layer.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        crate::cube::fnv1a(
+            [
+                self.bias.len() as u64,
+                u64::from(self.shift),
+                u64::from(self.relu),
+                u64::from(self.out_precision.bits()),
+            ]
+            .into_iter()
+            .chain(self.bias.iter().map(|&v| v as u32 as u64))
+            .chain(self.multiplier.iter().map(|&v| v as u32 as u64)),
+        )
+    }
 }
 
 /// Statistics from one SDP pass.

@@ -85,6 +85,29 @@ impl EngineConfig {
     }
 }
 
+/// Per-cycle PE-array power for `kind` under `config`, in mW —
+/// calibrated synthesis model for the family the backend models, at
+/// the configured precision and array shape. Shared by the batch
+/// engine and the incremental [`crate::pool::WorkerPool`] so their
+/// energy figures agree.
+#[must_use]
+pub fn array_power_mw(config: &EngineConfig, kind: BackendKind) -> f64 {
+    let hw = SynthModel::nangate45();
+    let (family, precision, (k, n)) = match kind {
+        BackendKind::NvdlaCycleAccurate => (
+            Family::Binary,
+            config.nvdla.precision,
+            (config.nvdla.atomic_k, config.nvdla.atomic_c),
+        ),
+        BackendKind::TempusCycleAccurate | BackendKind::FastFunctional => (
+            Family::Tub,
+            config.tempus.base.precision,
+            (config.tempus.base.atomic_k, config.tempus.base.atomic_c),
+        ),
+    };
+    hw.pe_array(family, precision, k, n).power_mw
+}
+
 /// A completed batch: per-job results (sorted by id), per-worker
 /// records and batch aggregates.
 #[derive(Debug, Clone)]
@@ -129,22 +152,7 @@ impl InferenceEngine {
         if config.workers == 0 {
             return Err(RuntimeError::NoWorkers);
         }
-        // Energy model: calibrated array power for the family the
-        // backend models, at the configured precision and array shape.
-        let hw = SynthModel::nangate45();
-        let (family, precision, (k, n)) = match config.backend {
-            BackendKind::NvdlaCycleAccurate => (
-                Family::Binary,
-                config.nvdla.precision,
-                (config.nvdla.atomic_k, config.nvdla.atomic_c),
-            ),
-            BackendKind::TempusCycleAccurate | BackendKind::FastFunctional => (
-                Family::Tub,
-                config.tempus.base.precision,
-                (config.tempus.base.atomic_k, config.tempus.base.atomic_c),
-            ),
-        };
-        let array_power_mw = hw.pe_array(family, precision, k, n).power_mw;
+        let array_power_mw = array_power_mw(&config, config.backend);
         Ok(InferenceEngine {
             config,
             array_power_mw,

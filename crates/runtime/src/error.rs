@@ -19,6 +19,9 @@ pub enum RuntimeError {
         /// Index of the panicked worker.
         worker: usize,
     },
+    /// The worker pool's task channel is closed (every worker exited
+    /// or the pool is shutting down); the submission was not accepted.
+    PoolClosed,
 }
 
 impl fmt::Display for RuntimeError {
@@ -30,6 +33,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::WorkerPanicked { worker } => {
                 write!(f, "worker {worker} panicked while executing a job")
             }
+            RuntimeError::PoolClosed => f.write_str("worker pool is closed"),
         }
     }
 }

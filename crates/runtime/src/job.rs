@@ -104,6 +104,38 @@ impl Job {
             payload: JobPayload::Network { input, layers },
         }
     }
+
+    /// Content-addressed key over everything that determines the
+    /// job's output: inputs, weights and parameters — id and name are
+    /// excluded, so two requests for the same computation share a key.
+    /// The serving layer (`tempus-serve`) uses this to memoize results
+    /// above the backend layer.
+    #[must_use]
+    pub fn content_key(&self) -> u64 {
+        match &self.payload {
+            JobPayload::Conv {
+                features,
+                kernels,
+                params,
+            } => tempus_nvdla::cube::fnv1a(
+                [
+                    1u64,
+                    features.content_hash(),
+                    kernels.content_hash(),
+                    params.content_hash(),
+                ]
+                .into_iter(),
+            ),
+            JobPayload::Gemm { a, b } => {
+                tempus_nvdla::cube::fnv1a([2u64, a.content_hash(), b.content_hash()].into_iter())
+            }
+            JobPayload::Network { input, layers } => tempus_nvdla::cube::fnv1a(
+                [3u64, input.content_hash(), layers.len() as u64]
+                    .into_iter()
+                    .chain(layers.iter().map(NetworkLayer::content_hash)),
+            ),
+        }
+    }
 }
 
 /// A job's computed output.
@@ -121,13 +153,7 @@ impl JobOutput {
     pub fn digest(&self) -> u64 {
         match self {
             JobOutput::Cube(cube) => cube.content_hash(),
-            JobOutput::Matrix(m) => tempus_nvdla::cube::fnv1a(
-                [m.rows() as u64, m.cols() as u64].into_iter().chain(
-                    (0..m.rows())
-                        .flat_map(|i| (0..m.cols()).map(move |j| (i, j)))
-                        .map(|(i, j)| m.get(i, j) as u32 as u64),
-                ),
-            ),
+            JobOutput::Matrix(m) => m.content_hash(),
         }
     }
 }

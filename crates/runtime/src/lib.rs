@@ -20,6 +20,10 @@
 //!   permutes the batch and deals it round-robin to worker threads,
 //!   each owning its core instance and per-worker CSC stripe-schedule
 //!   cache ([`tempus_core::schedule`]);
+//! * [`pool`] — the resident [`WorkerPool`]: incremental one-job-at-a-
+//!   time submission with streaming outcomes and per-worker backends
+//!   that persist (caches included) across submissions — the substrate
+//!   the `tempus-serve` streaming service builds on;
 //! * [`stats`] — aggregate throughput/latency/energy statistics.
 //!
 //! Equivalence contract (enforced by tests): for any job, all three
@@ -62,6 +66,7 @@ pub mod backend;
 pub mod engine;
 mod error;
 pub mod job;
+pub mod pool;
 pub mod stats;
 
 pub use backend::{
@@ -70,4 +75,5 @@ pub use backend::{
 pub use engine::{BatchReport, EngineConfig, InferenceEngine};
 pub use error::RuntimeError;
 pub use job::{Job, JobOutput, JobPayload, JobResult};
+pub use pool::{PoolOutcome, PoolTask, WorkerPool};
 pub use stats::{AggregateStats, WorkerStats};

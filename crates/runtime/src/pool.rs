@@ -1,0 +1,332 @@
+//! Incremental job submission: a persistent worker pool.
+//!
+//! [`InferenceEngine::run_batch`](crate::engine::InferenceEngine)
+//! accepts whole batches and blocks until every job drains — the
+//! right shape for offline sweeps, the wrong one for continuous
+//! traffic. [`WorkerPool`] keeps the same worker-owns-its-core
+//! execution model but stays resident: jobs are submitted one at a
+//! time (each tagged with the backend that should run it), workers
+//! pull from a shared channel, and outcomes stream back as they
+//! complete. Per-worker backends — and their CSC stripe-schedule
+//! caches — persist across submissions, so repeated layer shapes keep
+//! paying off across the whole service lifetime instead of per batch.
+//!
+//! The serving layer (`tempus-serve`) builds its bounded ingestion
+//! queue, admission control and result cache on top of this pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tempus_core::schedule::CacheStats;
+
+use crate::backend::{BackendKind, InferenceBackend};
+use crate::engine::{array_power_mw, EngineConfig};
+use crate::error::RuntimeError;
+use crate::job::{Job, JobResult};
+use crate::stats::{WorkerStats, PERIOD_NS};
+
+/// One unit of work for the pool: a job plus the backend that should
+/// execute it (the pool serves mixed-fidelity traffic — fast
+/// functional and cycle-accurate jobs share the same workers).
+#[derive(Debug, Clone)]
+pub struct PoolTask {
+    /// The job to execute.
+    pub job: Job,
+    /// Which backend executes it.
+    pub backend: BackendKind,
+}
+
+/// One completed (or failed) pool task.
+#[derive(Debug)]
+pub struct PoolOutcome {
+    /// Id of the submitted job.
+    pub job_id: u64,
+    /// Backend that executed it.
+    pub backend: BackendKind,
+    /// The result, or the substrate error that rejected the job.
+    /// Errors are per-job: a failed job does not take its worker down.
+    pub result: Result<JobResult, RuntimeError>,
+}
+
+fn kind_index(kind: BackendKind) -> usize {
+    match kind {
+        BackendKind::TempusCycleAccurate => 0,
+        BackendKind::NvdlaCycleAccurate => 1,
+        BackendKind::FastFunctional => 2,
+    }
+}
+
+/// A resident pool of inference workers accepting incremental job
+/// submission.
+///
+/// Dropping the pool without calling [`WorkerPool::shutdown`] detaches
+/// the worker threads; they exit once the task channel closes.
+#[derive(Debug)]
+pub struct WorkerPool {
+    task_tx: Sender<PoolTask>,
+    outcome_rx: Receiver<PoolOutcome>,
+    handles: Vec<JoinHandle<WorkerStats>>,
+}
+
+impl WorkerPool {
+    /// Spawns `config.workers` resident worker threads. Each worker
+    /// lazily instantiates one backend per [`BackendKind`] it is asked
+    /// to run, and keeps it (cores, schedule caches) for the pool's
+    /// lifetime. The `config.backend` field is ignored — the backend
+    /// is chosen per task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoWorkers`] when `config.workers == 0`.
+    pub fn spawn(config: EngineConfig) -> Result<Self, RuntimeError> {
+        if config.workers == 0 {
+            return Err(RuntimeError::NoWorkers);
+        }
+        // Calibrated per-cycle array power per backend kind, so the
+        // pool's energy figures match the batch engine's.
+        let powers: [f64; 3] = {
+            let mut p = [0.0; 3];
+            for kind in BackendKind::ALL {
+                p[kind_index(kind)] = array_power_mw(&config, kind);
+            }
+            p
+        };
+        let (task_tx, task_rx) = channel::<PoolTask>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let (outcome_tx, outcome_rx) = channel::<PoolOutcome>();
+        let handles = (0..config.workers)
+            .map(|worker| {
+                let task_rx = Arc::clone(&task_rx);
+                let outcome_tx = outcome_tx.clone();
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    worker_loop(worker, &config, powers, &task_rx, &outcome_tx)
+                })
+            })
+            .collect();
+        Ok(WorkerPool {
+            task_tx,
+            outcome_rx,
+            handles,
+        })
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits one job for execution on `backend`. Returns
+    /// immediately; the outcome arrives via [`WorkerPool::try_collect`]
+    /// / [`WorkerPool::collect_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::PoolClosed`] when every worker has
+    /// exited (all threads panicked or the pool is shutting down).
+    pub fn submit(&self, job: Job, backend: BackendKind) -> Result<(), RuntimeError> {
+        self.task_tx
+            .send(PoolTask { job, backend })
+            .map_err(|_| RuntimeError::PoolClosed)
+    }
+
+    /// Collects one completed outcome without blocking.
+    #[must_use]
+    pub fn try_collect(&self) -> Option<PoolOutcome> {
+        self.outcome_rx.try_recv().ok()
+    }
+
+    /// Collects one completed outcome, waiting up to `timeout`.
+    #[must_use]
+    pub fn collect_timeout(&self, timeout: Duration) -> Option<PoolOutcome> {
+        self.outcome_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Closes the task channel, drains the workers and returns their
+    /// final records (including schedule-cache counters accumulated
+    /// over the pool's whole lifetime). Outcomes still in flight when
+    /// shutdown is called are discarded — collect before shutting
+    /// down.
+    #[must_use]
+    pub fn shutdown(self) -> Vec<WorkerStats> {
+        drop(self.task_tx);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    config: &EngineConfig,
+    powers: [f64; 3],
+    task_rx: &Mutex<Receiver<PoolTask>>,
+    outcome_tx: &Sender<PoolOutcome>,
+) -> WorkerStats {
+    let mut backends: [Option<Box<dyn InferenceBackend>>; 3] = [None, None, None];
+    let mut stats = WorkerStats {
+        worker,
+        ..WorkerStats::default()
+    };
+    loop {
+        // Holding the lock while blocked on recv serialises task
+        // pickup, which is exactly the semantics we want: one waiter
+        // takes the next task, the rest queue on the mutex.
+        let task = match task_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break,
+        };
+        let Ok(PoolTask { job, backend: kind }) = task else {
+            break; // channel closed: pool is shutting down
+        };
+        let start = Instant::now();
+        // A panicking backend must not silently lose the outcome:
+        // the serving layer above counts in-flight jobs, and a
+        // missing completion would wedge its dispatch gate forever.
+        let executed = {
+            let backend = backends[kind_index(kind)].get_or_insert_with(|| {
+                kind.instantiate(config.tempus, config.nvdla, config.gemm_grid)
+            });
+            catch_unwind(AssertUnwindSafe(|| backend.execute(&job)))
+        };
+        let result = match executed {
+            Ok(executed) => executed.map(|run| {
+                let wall_ns = start.elapsed().as_nanos() as u64;
+                stats.jobs += 1;
+                stats.sim_cycles += run.sim_cycles;
+                stats.wall_ns += wall_ns;
+                JobResult {
+                    job_id: job.id,
+                    job_name: job.name.clone(),
+                    kind: job.payload.kind(),
+                    output: run.output,
+                    sim_cycles: run.sim_cycles,
+                    energy_pj: powers[kind_index(kind)] * run.sim_cycles as f64 * PERIOD_NS,
+                    wall_ns,
+                    worker,
+                }
+            }),
+            Err(_) => {
+                // The backend's internal state is suspect after an
+                // unwind; drop it and re-instantiate on next use.
+                backends[kind_index(kind)] = None;
+                Err(RuntimeError::WorkerPanicked { worker })
+            }
+        };
+        let outcome = PoolOutcome {
+            job_id: job.id,
+            backend: kind,
+            result,
+        };
+        if outcome_tx.send(outcome).is_err() {
+            break; // collector gone: nothing left to work for
+        }
+    }
+    let mut cache: Option<CacheStats> = None;
+    for backend in backends.iter().flatten() {
+        if let Some(cs) = backend.cache_stats() {
+            cache.get_or_insert_with(CacheStats::default).merge(&cs);
+        }
+    }
+    stats.schedule_cache = cache;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_core::gemm::Matrix;
+
+    fn gemm_job(id: u64, salt: i32) -> Job {
+        let a = Matrix::from_fn(5, 6, move |r, c| {
+            ((r as i32 * 31 + c as i32 * 17 + salt) % 255) - 127
+        });
+        let b = Matrix::from_fn(6, 4, move |r, c| {
+            ((r as i32 * 13 + c as i32 * 41 + salt) % 255) - 127
+        });
+        Job::gemm(id, format!("gemm-{id}"), a, b)
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let cfg = EngineConfig::new(BackendKind::FastFunctional).with_workers(0);
+        assert!(matches!(
+            WorkerPool::spawn(cfg),
+            Err(RuntimeError::NoWorkers)
+        ));
+    }
+
+    #[test]
+    fn incremental_submission_round_trips() {
+        let pool =
+            WorkerPool::spawn(EngineConfig::new(BackendKind::FastFunctional).with_workers(2))
+                .unwrap();
+        for id in 0..10u64 {
+            pool.submit(gemm_job(id, id as i32), BackendKind::FastFunctional)
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        while seen.len() < 10 {
+            let outcome = pool
+                .collect_timeout(Duration::from_secs(10))
+                .expect("outcome arrives");
+            seen.push(outcome.job_id);
+            assert!(outcome.result.is_ok());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        let stats = pool.shutdown();
+        assert_eq!(stats.iter().map(|w| w.jobs).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn mixed_fidelity_agrees_on_outputs() {
+        let pool =
+            WorkerPool::spawn(EngineConfig::new(BackendKind::FastFunctional).with_workers(2))
+                .unwrap();
+        let job = gemm_job(0, 3);
+        pool.submit(job.clone(), BackendKind::FastFunctional)
+            .unwrap();
+        let mut fast = None;
+        let mut accurate = None;
+        pool.submit(Job { id: 1, ..job }, BackendKind::TempusCycleAccurate)
+            .unwrap();
+        for _ in 0..2 {
+            let outcome = pool
+                .collect_timeout(Duration::from_secs(10))
+                .expect("outcome arrives");
+            let result = outcome.result.unwrap();
+            match outcome.backend {
+                BackendKind::FastFunctional => fast = Some(result),
+                BackendKind::TempusCycleAccurate => accurate = Some(result),
+                BackendKind::NvdlaCycleAccurate => unreachable!(),
+            }
+        }
+        let (f, a) = (fast.unwrap(), accurate.unwrap());
+        assert_eq!(f.output.digest(), a.output.digest());
+        assert_eq!(f.sim_cycles, a.sim_cycles);
+    }
+
+    #[test]
+    fn job_errors_do_not_kill_workers() {
+        let pool =
+            WorkerPool::spawn(EngineConfig::new(BackendKind::FastFunctional).with_workers(1))
+                .unwrap();
+        let bad = Job::gemm(0, "mismatched", Matrix::zeros(2, 3), Matrix::zeros(4, 2));
+        pool.submit(bad, BackendKind::FastFunctional).unwrap();
+        let outcome = pool.collect_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(outcome.result, Err(RuntimeError::Arith(_))));
+        // The worker survives and serves the next job.
+        pool.submit(gemm_job(1, 0), BackendKind::FastFunctional)
+            .unwrap();
+        let outcome = pool.collect_timeout(Duration::from_secs(10)).unwrap();
+        assert!(outcome.result.is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.iter().map(|w| w.jobs).sum::<u64>(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Job classification: fidelity × payload kind.
+//!
+//! The service treats its traffic as six classes — each payload kind
+//! (conv / GEMM / network) at each fidelity (fast-functional /
+//! cycle-accurate). Admission control reasons about fidelity (the
+//! cycle-accurate path is orders of magnitude slower and must not
+//! starve the fast path); the latency SLOs and percentile tracking
+//! are per full class.
+
+use tempus_models::traffic::TraceFidelity;
+use tempus_runtime::JobPayload;
+
+/// Requested execution fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Fast functional execution — golden outputs, closed-form Tempus
+    /// latency. The serving fast path.
+    Fast,
+    /// Cycle-accurate simulation — authoritative cycles, admission
+    /// controlled so it cannot monopolise the workers.
+    Accurate,
+}
+
+impl Fidelity {
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Fast => "fast",
+            Fidelity::Accurate => "accurate",
+        }
+    }
+}
+
+impl From<TraceFidelity> for Fidelity {
+    fn from(f: TraceFidelity) -> Self {
+        match f {
+            TraceFidelity::Fast => Fidelity::Fast,
+            TraceFidelity::Accurate => Fidelity::Accurate,
+        }
+    }
+}
+
+/// Payload kind, mirrored from [`JobPayload`] as a dense enum so the
+/// service can index per-class tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// Single convolution layer.
+    Conv,
+    /// Dense matrix product.
+    Gemm,
+    /// Whole-network job.
+    Network,
+}
+
+impl PayloadKind {
+    /// Classifies a runtime payload.
+    #[must_use]
+    pub fn of(payload: &JobPayload) -> Self {
+        match payload {
+            JobPayload::Conv { .. } => PayloadKind::Conv,
+            JobPayload::Gemm { .. } => PayloadKind::Gemm,
+            JobPayload::Network { .. } => PayloadKind::Network,
+        }
+    }
+
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PayloadKind::Conv => "conv",
+            PayloadKind::Gemm => "gemm",
+            PayloadKind::Network => "network",
+        }
+    }
+}
+
+/// One of the six job classes the service tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobClass {
+    /// Execution fidelity.
+    pub fidelity: Fidelity,
+    /// Payload kind.
+    pub payload: PayloadKind,
+}
+
+impl JobClass {
+    /// Every class, in stable reporting order.
+    pub const ALL: [JobClass; 6] = [
+        JobClass {
+            fidelity: Fidelity::Fast,
+            payload: PayloadKind::Conv,
+        },
+        JobClass {
+            fidelity: Fidelity::Fast,
+            payload: PayloadKind::Gemm,
+        },
+        JobClass {
+            fidelity: Fidelity::Fast,
+            payload: PayloadKind::Network,
+        },
+        JobClass {
+            fidelity: Fidelity::Accurate,
+            payload: PayloadKind::Conv,
+        },
+        JobClass {
+            fidelity: Fidelity::Accurate,
+            payload: PayloadKind::Gemm,
+        },
+        JobClass {
+            fidelity: Fidelity::Accurate,
+            payload: PayloadKind::Network,
+        },
+    ];
+
+    /// Dense index into per-class tables (`0..6`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        let f = match self.fidelity {
+            Fidelity::Fast => 0,
+            Fidelity::Accurate => 3,
+        };
+        let p = match self.payload {
+            PayloadKind::Conv => 0,
+            PayloadKind::Gemm => 1,
+            PayloadKind::Network => 2,
+        };
+        f + p
+    }
+
+    /// Stable `fidelity/kind` name for reports (e.g. `fast/gemm`).
+    #[must_use]
+    pub fn name(self) -> String {
+        format!("{}/{}", self.fidelity.name(), self.payload.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        let mut seen = [false; 6];
+        for class in JobClass::ALL {
+            assert!(!seen[class.index()], "index collision at {}", class.name());
+            seen[class.index()] = true;
+            assert_eq!(JobClass::ALL[class.index()], class);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            JobClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,277 @@
+//! The bounded ingestion queue.
+//!
+//! A `Mutex<VecDeque>` + condvar channel with a hard capacity: when
+//! the service is saturated, producers either block ([`BoundedQueue::push`])
+//! or get the item back ([`BoundedQueue::try_push`]) — the queue never
+//! grows without bound. This is the backpressure boundary of the whole
+//! service: the dispatcher stops draining when the worker pool's
+//! in-flight cap is reached, this queue then fills, and the pressure
+//! reaches the client.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (the item is handed back).
+    Full(T),
+    /// The queue is closed (the item is handed back).
+    Closed(T),
+}
+
+/// Outcome of a pop attempt.
+#[derive(Debug)]
+pub enum PopResult<T> {
+    /// An item.
+    Item(T),
+    /// No item arrived within the timeout.
+    TimedOut,
+    /// The queue is closed and drained; no item will ever arrive.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue with blocking and non-blocking
+/// producers and a timeout-based consumer.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be >= 1");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The hard capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push; hands the item back when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking push: waits while the queue is at capacity
+    /// (backpressure), returning the depth after insertion.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] when the queue closes before the item is
+    /// accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                let depth = state.items.len();
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Non-blocking pop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn try_pop(&self) -> PopResult<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        match state.items.pop_front() {
+            Some(item) => {
+                self.not_full.notify_one();
+                PopResult::Item(item)
+            }
+            None if state.closed => PopResult::Closed,
+            None => PopResult::TimedOut,
+        }
+    }
+
+    /// Pops one item, waiting up to `timeout` for one to arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return PopResult::Item(item);
+            }
+            if state.closed {
+                return PopResult::Closed;
+            }
+            let (next, result) = self
+                .not_empty
+                .wait_timeout(state, timeout)
+                .expect("queue lock");
+            state = next;
+            if result.timed_out() {
+                return match state.items.pop_front() {
+                    Some(item) => {
+                        self.not_full.notify_one();
+                        PopResult::Item(item)
+                    }
+                    None if state.closed => PopResult::Closed,
+                    None => PopResult::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes are
+    /// refused, and every blocked producer/consumer wakes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn try_push_refuses_beyond_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.try_pop(), PopResult::Item(1)));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_room_instead_of_growing() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u64).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                q.push(1u64).unwrap();
+                start.elapsed()
+            })
+        };
+        // Give the producer time to block on the full queue.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(q.len(), 1, "queue must not grow past capacity");
+        assert!(matches!(q.try_pop(), PopResult::Item(0)));
+        let blocked_for = producer.join().unwrap();
+        assert!(
+            blocked_for >= Duration::from_millis(30),
+            "push must have blocked, blocked {blocked_for:?}"
+        );
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer_and_drains() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(7).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(8))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed(8)));
+        assert!(matches!(q.try_pop(), PopResult::Item(7)));
+        assert!(matches!(q.try_pop(), PopResult::Closed));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            PopResult::Closed
+        ));
+    }
+
+    #[test]
+    fn pop_timeout_times_out_when_idle() {
+        let q: BoundedQueue<i32> = BoundedQueue::new(4);
+        let start = Instant::now();
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(20)),
+            PopResult::TimedOut
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,163 @@
+//! Requests into and responses out of the streaming service.
+
+use tempus_models::traffic::{TracePayload, TraceRequest};
+use tempus_runtime::{Job, JobOutput, RuntimeError};
+
+use crate::class::{Fidelity, JobClass, PayloadKind};
+
+/// One request: a job plus the fidelity it should run at.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The job to execute.
+    pub job: Job,
+    /// Requested execution fidelity.
+    pub fidelity: Fidelity,
+}
+
+impl Request {
+    /// A fast-path (functional) request.
+    #[must_use]
+    pub fn fast(job: Job) -> Self {
+        Request {
+            job,
+            fidelity: Fidelity::Fast,
+        }
+    }
+
+    /// A cycle-accurate request (admission controlled).
+    #[must_use]
+    pub fn accurate(job: Job) -> Self {
+        Request {
+            job,
+            fidelity: Fidelity::Accurate,
+        }
+    }
+
+    /// The request's job class.
+    #[must_use]
+    pub fn class(&self) -> JobClass {
+        JobClass {
+            fidelity: self.fidelity,
+            payload: PayloadKind::of(&self.job.payload),
+        }
+    }
+
+    /// Lowers a generated trace request into a service request.
+    #[must_use]
+    pub fn from_trace(t: &TraceRequest) -> Self {
+        let job = match &t.payload {
+            TracePayload::Conv {
+                features,
+                kernels,
+                params,
+            } => Job::conv(
+                t.id,
+                t.name.clone(),
+                features.clone(),
+                kernels.clone(),
+                *params,
+            ),
+            TracePayload::Gemm { a, b } => Job::gemm(t.id, t.name.clone(), a.clone(), b.clone()),
+            TracePayload::Network { input, layers } => {
+                Job::network(t.id, t.name.clone(), input.clone(), layers.clone())
+            }
+        };
+        Request {
+            job,
+            fidelity: t.fidelity.into(),
+        }
+    }
+}
+
+/// Whether a completed request was answered from the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from the content-addressed cache; no core touched.
+    Hit,
+    /// Executed on the worker pool (and memoized).
+    Miss,
+}
+
+/// The serving-facing result of a completed request.
+#[derive(Debug, Clone)]
+pub struct ServedResult {
+    /// The computed output — bit-identical whether it came from the
+    /// cache or a cold execution.
+    pub output: JobOutput,
+    /// Modelled datapath cycles of the (original) execution.
+    pub sim_cycles: u64,
+    /// Modelled energy of the (original) execution, in pJ. A cache
+    /// hit reports the memoized execution's energy; the hit itself
+    /// costs the accelerator nothing.
+    pub energy_pj: f64,
+    /// Cache hit or cold execution.
+    pub cache: CacheOutcome,
+}
+
+/// Why the service refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The cycle-accurate admission queue is full; retry later or
+    /// drop fidelity.
+    AccurateAdmissionFull,
+}
+
+/// How one request ended.
+#[derive(Debug)]
+pub enum ResponseOutcome {
+    /// Completed (from cache or cold execution).
+    Done(ServedResult),
+    /// Refused by admission control (not executed).
+    Rejected(RejectReason),
+    /// The substrate rejected the job (shape/precision error).
+    Failed(RuntimeError),
+}
+
+/// One response, correlated to its request by `job_id`.
+#[derive(Debug)]
+pub struct Response {
+    /// Id of the originating job.
+    pub job_id: u64,
+    /// Job label.
+    pub job_name: String,
+    /// The request's class.
+    pub class: JobClass,
+    /// How it ended.
+    pub outcome: ResponseOutcome,
+    /// Time spent queued before dispatch (admission to dispatch), ns.
+    pub queue_ns: u64,
+    /// End-to-end latency (admission to response), ns.
+    pub total_ns: u64,
+}
+
+impl Response {
+    /// The served result, if the request completed.
+    #[must_use]
+    pub fn result(&self) -> Option<&ServedResult> {
+        match &self.outcome {
+            ResponseOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded ingestion queue is at capacity (backpressure); the
+    /// request is handed back for retry.
+    QueueFull(Box<Request>),
+    /// The service is shut down; the request is handed back.
+    ShutDown(Box<Request>),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => f.write_str("ingestion queue is full (backpressure)"),
+            SubmitError::ShutDown(_) => f.write_str("service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

@@ -1,0 +1,659 @@
+//! The streaming service: bounded ingestion, admission control,
+//! micro-batched dispatch, result caching, per-class SLO stats.
+//!
+//! ```text
+//!  clients ──submit──▶ BoundedQueue (backpressure)
+//!                         │ micro-batch drain, gated on in-flight cap
+//!                         ▼
+//!                    dispatcher thread
+//!                    │  cache hit ──────────────▶ Response (no core)
+//!                    │  miss, fast ─────────────▶ WorkerPool
+//!                    │  miss, accurate ─┬─slot──▶ WorkerPool
+//!                    │                  └─full──▶ deferred (bounded)
+//!                    ▼                                │ overflow
+//!                 outcomes ──▶ cache insert ──▶ Response│
+//!                                                      ▼
+//!                                                  Rejected
+//! ```
+//!
+//! One dispatcher thread owns the cache and all scheduling decisions;
+//! workers stay lock-free on their cores. Backpressure is a chain:
+//! the worker pool never holds more than `max_in_flight` jobs, the
+//! dispatcher stops draining when that cap is reached, the bounded
+//! ingestion queue then fills, and `submit` blocks (or `try_submit`
+//! refuses) at the client. Admission control keeps the cycle-accurate
+//! fidelity from starving the fast path: at most
+//! `max_accurate_in_flight` accurate jobs occupy workers at once, the
+//! overflow parks in a bounded deferred queue, and past that bound
+//! accurate requests are rejected outright rather than queued without
+//! bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tempus_runtime::pool::{PoolOutcome, WorkerPool};
+use tempus_runtime::{BackendKind, EngineConfig, Job, RuntimeError, WorkerStats};
+
+use crate::cache::{cache_key, CacheEntry, ResultCache, ResultCacheStats};
+use crate::class::{Fidelity, JobClass};
+use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::request::{
+    CacheOutcome, RejectReason, Request, Response, ResponseOutcome, ServedResult, SubmitError,
+};
+use crate::stats::{ServeStats, SloPolicy, StatsRecorder};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded ingestion-queue capacity — the backpressure boundary.
+    pub queue_capacity: usize,
+    /// Most requests drained from the queue per dispatch iteration
+    /// (the micro-batch the dispatcher deals onto the pool).
+    pub micro_batch: usize,
+    /// Most jobs outstanding on the worker pool at once (all classes).
+    pub max_in_flight: usize,
+    /// Most cycle-accurate jobs outstanding at once (admission
+    /// control; must be ≤ `max_in_flight`). Zero disallows accurate
+    /// traffic: such requests are rejected, never deferred.
+    pub max_accurate_in_flight: usize,
+    /// Bound on the deferred queue holding admission-held accurate
+    /// jobs; overflow is rejected.
+    pub deferred_capacity: usize,
+    /// Result-cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Backend serving [`Fidelity::Accurate`] requests
+    /// (cycle-accurate Tempus by default; the NVDLA baseline is also
+    /// valid).
+    pub accurate_backend: BackendKind,
+    /// Worker pool configuration (worker count, core configs, GEMM
+    /// grid; the `backend` field is ignored — fidelity picks the
+    /// backend per job).
+    pub engine: EngineConfig,
+    /// Per-class latency SLO targets.
+    pub slo: SloPolicy,
+}
+
+impl ServeConfig {
+    /// Defaults sized for the paper's 4-worker runtime: a 64-deep
+    /// ingestion queue, 16-job micro-batches, 2× workers in flight,
+    /// one accurate job at a time, a 4096-entry cache.
+    #[must_use]
+    pub fn new() -> Self {
+        let engine = EngineConfig::new(BackendKind::FastFunctional);
+        ServeConfig {
+            queue_capacity: 64,
+            micro_batch: 16,
+            max_in_flight: engine.workers * 2,
+            max_accurate_in_flight: 1,
+            deferred_capacity: 32,
+            cache_capacity: 4096,
+            accurate_backend: BackendKind::TempusCycleAccurate,
+            engine,
+            slo: SloPolicy::edge_defaults(),
+        }
+    }
+
+    /// Overrides the worker count (builder style).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.engine.workers = workers;
+        self.max_in_flight = workers.max(1) * 2;
+        self
+    }
+
+    /// Overrides the ingestion-queue capacity (builder style).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the result-cache capacity (builder style).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the engine configuration (builder style), keeping
+    /// `max_in_flight` in step with the worker count.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.max_in_flight = engine.workers.max(1) * 2;
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides admission control (builder style).
+    #[must_use]
+    pub fn with_admission(
+        mut self,
+        max_accurate_in_flight: usize,
+        deferred_capacity: usize,
+    ) -> Self {
+        self.max_accurate_in_flight = max_accurate_in_flight;
+        self.deferred_capacity = deferred_capacity;
+        self
+    }
+
+    /// Overrides the SLO policy (builder style).
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+/// A request inside the service, stamped at admission.
+struct Ingest {
+    request: Request,
+    accepted: Instant,
+}
+
+/// A job dispatched to the pool, awaiting its outcome.
+struct Pending {
+    class: JobClass,
+    key: u64,
+    accepted: Instant,
+    dispatched: Instant,
+}
+
+/// An admission-held accurate job awaiting a slot.
+struct Held {
+    job: Job,
+    class: JobClass,
+    key: u64,
+    accepted: Instant,
+}
+
+/// The running service: submit requests, receive responses, snapshot
+/// stats, shut down.
+pub struct StreamingService {
+    ingress: Arc<BoundedQueue<Ingest>>,
+    response_rx: Receiver<Response>,
+    stats: Arc<Mutex<StatsRecorder>>,
+    cache_stats: Arc<Mutex<ResultCacheStats>>,
+    in_flight_gauge: Arc<AtomicUsize>,
+    dispatcher: Option<JoinHandle<Vec<WorkerStats>>>,
+    started: Instant,
+}
+
+impl StreamingService {
+    /// Starts the service: spawns the worker pool and the dispatcher
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoWorkers`] when the engine config has
+    /// zero workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queue_capacity`, `micro_batch`, `max_in_flight`
+    /// or `cache_capacity` is zero, or when the accurate backend is
+    /// the functional one (that would defeat admission control's
+    /// purpose but silently work; misconfiguration should be loud).
+    pub fn start(config: ServeConfig) -> Result<Self, RuntimeError> {
+        assert!(config.micro_batch > 0, "micro_batch must be >= 1");
+        assert!(config.max_in_flight > 0, "max_in_flight must be >= 1");
+        // Asserted here, on the caller's thread — ResultCache::new
+        // repeats the check, but inside the dispatcher thread, where
+        // a panic would surface as a hang instead.
+        assert!(config.cache_capacity > 0, "cache_capacity must be >= 1");
+        assert!(
+            config.accurate_backend != BackendKind::FastFunctional,
+            "the accurate fidelity must map to a cycle-accurate backend"
+        );
+        let pool = WorkerPool::spawn(config.engine.clone())?;
+        let ingress = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let (response_tx, response_rx) = channel();
+        let stats = Arc::new(Mutex::new(StatsRecorder::new(config.slo.clone())));
+        let cache_stats = Arc::new(Mutex::new(ResultCacheStats::default()));
+        let in_flight_gauge = Arc::new(AtomicUsize::new(0));
+        let dispatcher = {
+            let ingress = Arc::clone(&ingress);
+            let stats = Arc::clone(&stats);
+            let cache_stats = Arc::clone(&cache_stats);
+            let in_flight_gauge = Arc::clone(&in_flight_gauge);
+            std::thread::spawn(move || {
+                Dispatcher {
+                    cache: ResultCache::new(config.cache_capacity),
+                    config,
+                    pool,
+                    ingress,
+                    response_tx,
+                    stats,
+                    cache_stats,
+                    in_flight_gauge,
+                    deferred: VecDeque::new(),
+                    pending: HashMap::new(),
+                    in_flight: 0,
+                    accurate_in_flight: 0,
+                    ingress_closed: false,
+                }
+                .run()
+            })
+        };
+        Ok(StreamingService {
+            ingress,
+            response_rx,
+            stats,
+            cache_stats,
+            in_flight_gauge,
+            dispatcher: Some(dispatcher),
+            started: Instant::now(),
+        })
+    }
+
+    /// Submits a request, **blocking** while the ingestion queue is
+    /// at capacity — the backpressure path.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] when the service has been shut down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats lock is poisoned.
+    pub fn submit(&self, request: Request) -> Result<(), SubmitError> {
+        let ingest = Ingest {
+            request,
+            accepted: Instant::now(),
+        };
+        match self.ingress.push(ingest) {
+            Ok(depth) => {
+                let mut stats = self.stats.lock().expect("stats lock");
+                stats.submitted += 1;
+                stats.observe_queue_depth(depth);
+                Ok(())
+            }
+            Err(PushError::Closed(i) | PushError::Full(i)) => {
+                Err(SubmitError::ShutDown(Box::new(i.request)))
+            }
+        }
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at
+    /// capacity (the request is handed back for retry),
+    /// [`SubmitError::ShutDown`] after shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats lock is poisoned.
+    pub fn try_submit(&self, request: Request) -> Result<(), SubmitError> {
+        let ingest = Ingest {
+            request,
+            accepted: Instant::now(),
+        };
+        match self.ingress.try_push(ingest) {
+            Ok(depth) => {
+                let mut stats = self.stats.lock().expect("stats lock");
+                stats.submitted += 1;
+                stats.observe_queue_depth(depth);
+                Ok(())
+            }
+            Err(PushError::Full(i)) => Err(SubmitError::QueueFull(Box::new(i.request))),
+            Err(PushError::Closed(i)) => Err(SubmitError::ShutDown(Box::new(i.request))),
+        }
+    }
+
+    /// Receives one response, waiting up to `timeout`.
+    #[must_use]
+    pub fn recv_response(&self, timeout: Duration) -> Option<Response> {
+        self.response_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Point-in-time service snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stats lock is poisoned.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        let cache = *self.cache_stats.lock().expect("cache stats lock");
+        let stats = self.stats.lock().expect("stats lock");
+        stats.snapshot(
+            cache,
+            self.ingress.len(),
+            self.in_flight_gauge.load(Ordering::Relaxed),
+            self.started.elapsed().as_nanos() as u64,
+        )
+    }
+
+    /// Shuts down: closes the ingestion queue, drains everything
+    /// already admitted (deferred and in-flight jobs included),
+    /// stops the pool and returns the final stats plus any responses
+    /// not yet received.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dispatcher thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> (ServeStats, Vec<Response>) {
+        self.ingress.close();
+        let handle = self.dispatcher.take().expect("dispatcher running");
+        let _worker_stats = handle.join().expect("dispatcher thread healthy");
+        let mut leftovers = Vec::new();
+        while let Ok(r) = self.response_rx.try_recv() {
+            leftovers.push(r);
+        }
+        (self.stats(), leftovers)
+    }
+}
+
+impl Drop for StreamingService {
+    fn drop(&mut self) {
+        self.ingress.close();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The dispatcher: single owner of cache and scheduling state.
+struct Dispatcher {
+    config: ServeConfig,
+    pool: WorkerPool,
+    cache: ResultCache,
+    ingress: Arc<BoundedQueue<Ingest>>,
+    response_tx: Sender<Response>,
+    stats: Arc<Mutex<StatsRecorder>>,
+    cache_stats: Arc<Mutex<ResultCacheStats>>,
+    in_flight_gauge: Arc<AtomicUsize>,
+    deferred: VecDeque<Held>,
+    /// Outcomes are matched back by job id; duplicate ids queue up.
+    pending: HashMap<u64, VecDeque<Pending>>,
+    in_flight: usize,
+    accurate_in_flight: usize,
+    ingress_closed: bool,
+}
+
+impl Dispatcher {
+    fn backend_for(&self, fidelity: Fidelity) -> BackendKind {
+        match fidelity {
+            Fidelity::Fast => BackendKind::FastFunctional,
+            Fidelity::Accurate => self.config.accurate_backend,
+        }
+    }
+
+    fn respond(&self, response: Response) {
+        // A receiver that hung up just means nobody wants responses;
+        // stats still record everything.
+        let _ = self.response_tx.send(response);
+    }
+
+    fn publish_gauges(&self) {
+        *self.cache_stats.lock().expect("cache stats lock") = self.cache.stats();
+        self.in_flight_gauge
+            .store(self.in_flight, Ordering::Relaxed);
+    }
+
+    /// Admits one popped request: cache lookup, then dispatch, defer
+    /// or reject.
+    fn admit(&mut self, ingest: Ingest) {
+        let Ingest { request, accepted } = ingest;
+        let class = request.class();
+        let key = cache_key(
+            request.job.content_key(),
+            self.backend_for(request.fidelity),
+        );
+        if let Some(entry) = self.cache.get(key) {
+            let total_ns = accepted.elapsed().as_nanos() as u64;
+            self.stats
+                .lock()
+                .expect("stats lock")
+                .record_completion(class, total_ns, true);
+            self.respond(Response {
+                job_id: request.job.id,
+                job_name: request.job.name,
+                class,
+                outcome: ResponseOutcome::Done(ServedResult {
+                    output: entry.output,
+                    sim_cycles: entry.sim_cycles,
+                    energy_pj: entry.energy_pj,
+                    cache: CacheOutcome::Hit,
+                }),
+                queue_ns: total_ns,
+                total_ns,
+            });
+            return;
+        }
+        let held = Held {
+            job: request.job,
+            class,
+            key,
+            accepted,
+        };
+        if class.fidelity == Fidelity::Accurate
+            && self.accurate_in_flight >= self.config.max_accurate_in_flight
+        {
+            // A cap of zero disallows accurate traffic entirely:
+            // deferring would park the job forever (promotion needs a
+            // slot that can never open), so reject instead.
+            if self.config.max_accurate_in_flight == 0
+                || self.deferred.len() >= self.config.deferred_capacity
+            {
+                let total_ns = held.accepted.elapsed().as_nanos() as u64;
+                self.stats
+                    .lock()
+                    .expect("stats lock")
+                    .record_rejection(class);
+                self.respond(Response {
+                    job_id: held.job.id,
+                    job_name: held.job.name,
+                    class,
+                    outcome: ResponseOutcome::Rejected(RejectReason::AccurateAdmissionFull),
+                    queue_ns: total_ns,
+                    total_ns,
+                });
+            } else {
+                self.deferred.push_back(held);
+                self.stats
+                    .lock()
+                    .expect("stats lock")
+                    .observe_deferred_depth(self.deferred.len());
+            }
+            return;
+        }
+        self.dispatch(held);
+    }
+
+    /// Hands a cache-missed job to the pool.
+    fn dispatch(&mut self, held: Held) {
+        let Held {
+            job,
+            class,
+            key,
+            accepted,
+        } = held;
+        let job_id = job.id;
+        let backend = self.backend_for(class.fidelity);
+        if self.pool.submit(job, backend).is_err() {
+            // Pool gone (only during teardown): report a failure.
+            self.stats.lock().expect("stats lock").record_failure(class);
+            let total_ns = accepted.elapsed().as_nanos() as u64;
+            self.respond(Response {
+                job_id,
+                job_name: String::new(),
+                class,
+                outcome: ResponseOutcome::Failed(RuntimeError::PoolClosed),
+                queue_ns: total_ns,
+                total_ns,
+            });
+            return;
+        }
+        self.pending.entry(job_id).or_default().push_back(Pending {
+            class,
+            key,
+            accepted,
+            dispatched: Instant::now(),
+        });
+        self.in_flight += 1;
+        if class.fidelity == Fidelity::Accurate {
+            self.accurate_in_flight += 1;
+        }
+    }
+
+    /// Matches a pool outcome back to its pending record: memoizes,
+    /// responds, frees slots. Job ids are caller-assigned and may
+    /// collide across fidelities, so the match also requires the
+    /// executing backend to agree — otherwise a fast outcome could
+    /// pop an accurate record (wrong cache key, wrong class stats,
+    /// admission cap corrupted).
+    fn complete(&mut self, outcome: PoolOutcome) {
+        let accurate_backend = self.config.accurate_backend;
+        let Some(entry) = self.pending.get_mut(&outcome.job_id) else {
+            return; // unreachable: every submission is recorded
+        };
+        let Some(pos) = entry.iter().position(|p| {
+            let backend = match p.class.fidelity {
+                Fidelity::Fast => BackendKind::FastFunctional,
+                Fidelity::Accurate => accurate_backend,
+            };
+            backend == outcome.backend
+        }) else {
+            return; // unreachable: backends are fixed per fidelity
+        };
+        let Some(pending) = entry.remove(pos) else {
+            return;
+        };
+        if entry.is_empty() {
+            self.pending.remove(&outcome.job_id);
+        }
+        self.in_flight -= 1;
+        if pending.class.fidelity == Fidelity::Accurate {
+            self.accurate_in_flight -= 1;
+        }
+        let queue_ns = (pending.dispatched - pending.accepted).as_nanos() as u64;
+        let total_ns = pending.accepted.elapsed().as_nanos() as u64;
+        match outcome.result {
+            Ok(result) => {
+                self.cache.insert(
+                    pending.key,
+                    CacheEntry {
+                        output: result.output.clone(),
+                        sim_cycles: result.sim_cycles,
+                        energy_pj: result.energy_pj,
+                    },
+                );
+                self.stats.lock().expect("stats lock").record_completion(
+                    pending.class,
+                    total_ns,
+                    false,
+                );
+                self.respond(Response {
+                    job_id: result.job_id,
+                    job_name: result.job_name,
+                    class: pending.class,
+                    outcome: ResponseOutcome::Done(ServedResult {
+                        output: result.output,
+                        sim_cycles: result.sim_cycles,
+                        energy_pj: result.energy_pj,
+                        cache: CacheOutcome::Miss,
+                    }),
+                    queue_ns,
+                    total_ns,
+                });
+            }
+            Err(error) => {
+                self.stats
+                    .lock()
+                    .expect("stats lock")
+                    .record_failure(pending.class);
+                self.respond(Response {
+                    job_id: outcome.job_id,
+                    job_name: String::new(),
+                    class: pending.class,
+                    outcome: ResponseOutcome::Failed(error),
+                    queue_ns,
+                    total_ns,
+                });
+            }
+        }
+    }
+
+    /// The dispatch loop. Returns the pool's final worker records.
+    fn run(mut self) -> Vec<WorkerStats> {
+        loop {
+            let mut progressed = false;
+
+            // 1. Collect every finished outcome.
+            while let Some(outcome) = self.pool.try_collect() {
+                self.complete(outcome);
+                progressed = true;
+            }
+
+            // 2. Promote admission-held accurate jobs into free slots.
+            while !self.deferred.is_empty()
+                && self.in_flight < self.config.max_in_flight
+                && self.accurate_in_flight < self.config.max_accurate_in_flight
+            {
+                let held = self.deferred.pop_front().expect("non-empty");
+                self.dispatch(held);
+                progressed = true;
+            }
+
+            // 3. Drain a micro-batch from the bounded ingestion
+            //    queue, gated on the in-flight cap — this gate is
+            //    what propagates backpressure to the client.
+            let mut drained = 0;
+            while drained < self.config.micro_batch && self.in_flight < self.config.max_in_flight {
+                match self.ingress.try_pop() {
+                    PopResult::Item(ingest) => {
+                        self.admit(ingest);
+                        drained += 1;
+                        progressed = true;
+                    }
+                    PopResult::TimedOut => break,
+                    PopResult::Closed => {
+                        self.ingress_closed = true;
+                        break;
+                    }
+                }
+            }
+
+            self.publish_gauges();
+
+            // 4. Drained everything and nothing will ever arrive:
+            //    done.
+            if self.ingress_closed
+                && self.deferred.is_empty()
+                && self.in_flight == 0
+                && self.ingress.is_empty()
+            {
+                break;
+            }
+
+            // 5. Idle: block briefly on the likeliest wake-up source.
+            if !progressed {
+                if self.in_flight > 0 {
+                    if let Some(outcome) = self.pool.collect_timeout(Duration::from_millis(1)) {
+                        self.complete(outcome);
+                    }
+                } else {
+                    match self.ingress.pop_timeout(Duration::from_millis(1)) {
+                        PopResult::Item(ingest) => self.admit(ingest),
+                        PopResult::Closed => self.ingress_closed = true,
+                        PopResult::TimedOut => {}
+                    }
+                }
+            }
+        }
+        self.publish_gauges();
+        self.pool.shutdown()
+    }
+}

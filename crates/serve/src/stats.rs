@@ -1,0 +1,407 @@
+//! Per-class latency percentiles, SLO accounting and service
+//! counters.
+
+use std::fmt;
+
+use crate::cache::ResultCacheStats;
+use crate::class::{Fidelity, JobClass, PayloadKind};
+
+/// Per-class latency SLO targets, on end-to-end request latency
+/// (admission to response), in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    targets_ns: [u64; 6],
+}
+
+impl SloPolicy {
+    /// Default targets: single-digit milliseconds on the fast path,
+    /// generous sub-second/second budgets for cycle-accurate
+    /// simulation (it is a debugging fidelity, not a latency one).
+    #[must_use]
+    pub fn edge_defaults() -> Self {
+        let mut targets_ns = [0u64; 6];
+        for class in JobClass::ALL {
+            targets_ns[class.index()] = match (class.fidelity, class.payload) {
+                (Fidelity::Fast, PayloadKind::Conv | PayloadKind::Gemm) => 5_000_000,
+                (Fidelity::Fast, PayloadKind::Network) => 25_000_000,
+                (Fidelity::Accurate, PayloadKind::Conv | PayloadKind::Gemm) => 500_000_000,
+                (Fidelity::Accurate, PayloadKind::Network) => 4_000_000_000,
+            };
+        }
+        SloPolicy { targets_ns }
+    }
+
+    /// Overrides one class's target (builder style).
+    #[must_use]
+    pub fn with_target(mut self, class: JobClass, target_ns: u64) -> Self {
+        self.targets_ns[class.index()] = target_ns;
+        self
+    }
+
+    /// The target for `class`, in ns.
+    #[must_use]
+    pub fn target_ns(&self, class: JobClass) -> u64 {
+        self.targets_ns[class.index()]
+    }
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy::edge_defaults()
+    }
+}
+
+/// `q`-th percentile (0..=100) of a sorted sample by nearest-rank —
+/// the one percentile definition the service and the bench harness
+/// share, so their reported p50/p95/p99 agree on the same data.
+#[must_use]
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One class's latency snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The class.
+    pub class: JobClass,
+    /// Requests completed (cache hits included).
+    pub completed: u64,
+    /// Of the completed, answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests that failed with a substrate error.
+    pub failed: u64,
+    /// Median end-to-end latency, ns.
+    pub p50_ns: u64,
+    /// 95th percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th percentile latency, ns.
+    pub p99_ns: u64,
+    /// Worst observed latency, ns.
+    pub max_ns: u64,
+    /// Mean latency, ns.
+    pub mean_ns: f64,
+    /// The class's SLO target, ns.
+    pub slo_target_ns: u64,
+    /// Completed requests that exceeded the target.
+    pub slo_violations: u64,
+}
+
+impl ClassStats {
+    /// Fraction of completed requests inside the SLO (1.0 when none
+    /// completed).
+    #[must_use]
+    pub fn slo_compliance(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            1.0 - self.slo_violations as f64 / self.completed as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Per-class records, in [`JobClass::ALL`] order (empty classes
+    /// included with zero counts).
+    pub classes: Vec<ClassStats>,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed (cache hits included).
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests failed with substrate errors.
+    pub failed: u64,
+    /// Result-cache counters.
+    pub cache: ResultCacheStats,
+    /// Current ingestion-queue depth.
+    pub queue_depth: usize,
+    /// Deepest the ingestion queue has been.
+    pub max_queue_depth: usize,
+    /// Jobs currently dispatched to the pool and not yet completed.
+    pub in_flight: usize,
+    /// Deepest the deferred (admission-held) queue has been.
+    pub max_deferred: usize,
+    /// Service uptime at snapshot, ns.
+    pub uptime_ns: u64,
+    /// Completed requests per wall-clock second since start.
+    pub throughput_per_sec: f64,
+}
+
+impl ServeStats {
+    /// The record for `class`.
+    #[must_use]
+    pub fn class(&self, class: JobClass) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve: {} submitted, {} completed ({:.0}/s), {} rejected, {} failed; \
+             queue {}/{} peak, cache {}h/{}m ({:.0}% hit, {} evictions)",
+            self.submitted,
+            self.completed,
+            self.throughput_per_sec,
+            self.rejected,
+            self.failed,
+            self.queue_depth,
+            self.max_queue_depth,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+        )?;
+        for c in &self.classes {
+            if c.completed + c.rejected + c.failed == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:>16}: {:>6} done ({} cached), p50 {:.2} ms, p95 {:.2} ms, \
+                 p99 {:.2} ms, slo {:.2} ms ({:.1}% met)",
+                c.class.name(),
+                c.completed,
+                c.cache_hits,
+                c.p50_ns as f64 * 1e-6,
+                c.p95_ns as f64 * 1e-6,
+                c.p99_ns as f64 * 1e-6,
+                c.slo_target_ns as f64 * 1e-6,
+                c.slo_compliance() * 100.0,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Latency samples kept per class: a bounded reservoir (Vitter's
+/// Algorithm R with a deterministic SplitMix64 stream), so a
+/// long-lived service's memory and snapshot cost stay constant while
+/// percentiles remain exact below the bound and uniformly sampled
+/// above it. Counts, mean, max and SLO violations are always exact.
+const RESERVOIR_CAP: usize = 4096;
+
+#[derive(Debug)]
+struct ClassAccum {
+    reservoir: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    rng_state: u64,
+}
+
+impl ClassAccum {
+    fn new(seed: u64) -> Self {
+        ClassAccum {
+            reservoir: Vec::new(),
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn record(&mut self, total_ns: u64) {
+        self.count += 1;
+        self.sum_ns += u128::from(total_ns);
+        self.max_ns = self.max_ns.max(total_ns);
+        if self.reservoir.len() < RESERVOIR_CAP {
+            self.reservoir.push(total_ns);
+        } else {
+            let j = (self.next_rand() % self.count) as usize;
+            if j < RESERVOIR_CAP {
+                self.reservoir[j] = total_ns;
+            }
+        }
+    }
+}
+
+/// Mutable accumulator behind the service's stats mutex.
+#[derive(Debug)]
+pub(crate) struct StatsRecorder {
+    latencies: [ClassAccum; 6],
+    cache_hits: [u64; 6],
+    rejected: [u64; 6],
+    failed: [u64; 6],
+    slo_violations: [u64; 6],
+    pub(crate) submitted: u64,
+    pub(crate) max_queue_depth: usize,
+    pub(crate) max_deferred: usize,
+    slo: SloPolicy,
+}
+
+impl StatsRecorder {
+    pub(crate) fn new(slo: SloPolicy) -> Self {
+        StatsRecorder {
+            latencies: std::array::from_fn(|i| ClassAccum::new(i as u64)),
+            cache_hits: [0; 6],
+            rejected: [0; 6],
+            failed: [0; 6],
+            slo_violations: [0; 6],
+            submitted: 0,
+            max_queue_depth: 0,
+            max_deferred: 0,
+            slo,
+        }
+    }
+
+    pub(crate) fn record_completion(&mut self, class: JobClass, total_ns: u64, cached: bool) {
+        let i = class.index();
+        self.latencies[i].record(total_ns);
+        if cached {
+            self.cache_hits[i] += 1;
+        }
+        if total_ns > self.slo.target_ns(class) {
+            self.slo_violations[i] += 1;
+        }
+    }
+
+    pub(crate) fn record_rejection(&mut self, class: JobClass) {
+        self.rejected[class.index()] += 1;
+    }
+
+    pub(crate) fn record_failure(&mut self, class: JobClass) {
+        self.failed[class.index()] += 1;
+    }
+
+    pub(crate) fn observe_queue_depth(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    pub(crate) fn observe_deferred_depth(&mut self, depth: usize) {
+        self.max_deferred = self.max_deferred.max(depth);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        cache: ResultCacheStats,
+        queue_depth: usize,
+        in_flight: usize,
+        uptime_ns: u64,
+    ) -> ServeStats {
+        let classes: Vec<ClassStats> = JobClass::ALL
+            .into_iter()
+            .map(|class| {
+                let i = class.index();
+                let accum = &self.latencies[i];
+                let mut sorted = accum.reservoir.clone();
+                sorted.sort_unstable();
+                ClassStats {
+                    class,
+                    completed: accum.count,
+                    cache_hits: self.cache_hits[i],
+                    rejected: self.rejected[i],
+                    failed: self.failed[i],
+                    p50_ns: percentile(&sorted, 50.0),
+                    p95_ns: percentile(&sorted, 95.0),
+                    p99_ns: percentile(&sorted, 99.0),
+                    max_ns: accum.max_ns,
+                    mean_ns: if accum.count == 0 {
+                        0.0
+                    } else {
+                        accum.sum_ns as f64 / accum.count as f64
+                    },
+                    slo_target_ns: self.slo.target_ns(class),
+                    slo_violations: self.slo_violations[i],
+                }
+            })
+            .collect();
+        let completed: u64 = classes.iter().map(|c| c.completed).sum();
+        ServeStats {
+            submitted: self.submitted,
+            completed,
+            rejected: classes.iter().map(|c| c.rejected).sum(),
+            failed: classes.iter().map(|c| c.failed).sum(),
+            cache,
+            queue_depth,
+            max_queue_depth: self.max_queue_depth,
+            in_flight,
+            max_deferred: self.max_deferred,
+            uptime_ns,
+            throughput_per_sec: if uptime_ns == 0 {
+                0.0
+            } else {
+                completed as f64 / (uptime_ns as f64 * 1e-9)
+            },
+            classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn reservoir_bounds_memory_with_exact_counters() {
+        let class = JobClass::ALL[1];
+        let mut rec = StatsRecorder::new(SloPolicy::edge_defaults().with_target(class, 10));
+        let n = 3 * RESERVOIR_CAP as u64;
+        for v in 1..=n {
+            rec.record_completion(class, v, false);
+        }
+        let accum = &rec.latencies[class.index()];
+        assert_eq!(accum.reservoir.len(), RESERVOIR_CAP, "reservoir is bounded");
+        let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1);
+        let c = snap.class(class);
+        assert_eq!(c.completed, n, "count stays exact past the bound");
+        assert_eq!(c.max_ns, n, "max stays exact past the bound");
+        assert!((c.mean_ns - (n + 1) as f64 / 2.0).abs() < 1e-6);
+        assert_eq!(c.slo_violations, n - 10);
+        // The sampled median of a uniform 1..=n stream lands near n/2.
+        let mid = n as f64 / 2.0;
+        assert!(
+            (c.p50_ns as f64) > mid * 0.8 && (c.p50_ns as f64) < mid * 1.2,
+            "sampled p50 {} should approximate {}",
+            c.p50_ns,
+            mid
+        );
+    }
+
+    #[test]
+    fn recorder_tracks_slo_violations_per_class() {
+        let class = JobClass::ALL[0];
+        let slo = SloPolicy::edge_defaults().with_target(class, 1_000);
+        let mut rec = StatsRecorder::new(slo);
+        rec.record_completion(class, 500, false);
+        rec.record_completion(class, 1_500, true);
+        rec.record_completion(class, 2_000, false);
+        let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1_000_000_000);
+        let c = snap.class(class);
+        assert_eq!(c.completed, 3);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.slo_violations, 2);
+        assert!((c.slo_compliance() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.p50_ns, 1_500);
+        assert_eq!(c.max_ns, 2_000);
+        assert!((snap.throughput_per_sec - 3.0).abs() < 1e-9);
+    }
+}

@@ -13,9 +13,11 @@
 //! convolution-pipeline substrate and binary baseline), [`core`] (the
 //! Tempus Core engine and tubGEMM), [`hwmodel`] (calibrated area/power
 //! models), [`models`] (the CNN zoo with synthetic quantized weights),
-//! [`profile`] (workload statistics and energy) and [`runtime`] (the
+//! [`profile`] (workload statistics and energy), [`runtime`] (the
 //! batched multi-threaded inference engine with pluggable
-//! fast/cycle-accurate backends).
+//! fast/cycle-accurate backends) and [`serve`] (the async streaming
+//! ingestion service with content-addressed result caching and
+//! per-class latency SLOs).
 //!
 //! ```
 //! use tempus::arith::{tub, IntPrecision};
@@ -53,4 +55,5 @@ pub use tempus_models as models;
 pub use tempus_nvdla as nvdla;
 pub use tempus_profile as profile;
 pub use tempus_runtime as runtime;
+pub use tempus_serve as serve;
 pub use tempus_sim as sim;
