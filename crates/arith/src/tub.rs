@@ -62,6 +62,21 @@ pub fn step(activation: i32, stream: TwosUnaryStream, pulse: Pulse) -> i32 {
     stream.sign().factor() * shifted
 }
 
+/// Contribution a tub multiplier accumulates over the cycle window
+/// `[from_cycle, from_cycle + cycles)` of `stream`, as a closed form:
+/// `sign · (prefix(c1) − prefix(c0)) · activation`.
+///
+/// Bit-identical to summing [`step`] over those cycles — the per-cycle
+/// terms are `sign · pulse_value · activation` and integer addition is
+/// exact — but O(1) instead of O(cycles). This is the kernel of the
+/// window-batched simulation engine in `tempus-core`.
+#[must_use]
+pub fn fold_window(activation: i32, stream: TwosUnaryStream, from_cycle: u32, cycles: u32) -> i64 {
+    let to = from_cycle.saturating_add(cycles);
+    let mag = stream.magnitude_before(to) - stream.magnitude_before(from_cycle);
+    i64::from(stream.sign().factor()) * i64::from(mag) * i64::from(activation)
+}
+
 /// Latency in cycles of a tub multiplication by `weight`:
 /// `ceil(|weight| / 2)`.
 ///
@@ -170,6 +185,42 @@ mod tests {
         assert_eq!(step(5, s, Pulse::One), -5);
         let s = TwosUnaryStream::encode(3, IntPrecision::Int4).unwrap();
         assert_eq!(step(-5, s, Pulse::Two), -10);
+    }
+
+    #[test]
+    fn fold_window_matches_per_cycle_steps_exhaustively() {
+        let p = IntPrecision::Int8;
+        for w in [-128, -9, -2, -1, 0, 1, 2, 7, 127] {
+            let stream = TwosUnaryStream::encode(w, p).unwrap();
+            for a in [-128, -1, 0, 1, 113, 127] {
+                let total = stream.cycles() + 3;
+                for c0 in 0..=total {
+                    for q in 0..=(total - c0) {
+                        let stepped: i64 = (c0..c0 + q)
+                            .filter_map(|c| stream.pulse_at(c))
+                            .map(|pulse| i64::from(step(a, stream, pulse)))
+                            .sum();
+                        assert_eq!(
+                            fold_window(a, stream, c0, q),
+                            stepped,
+                            "a={a} w={w} c0={c0} q={q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_window_over_the_whole_stream_is_the_product() {
+        let p = IntPrecision::Int8;
+        for (a, w) in [(113, -37), (-128, 127), (5, 0), (-1, 1), (127, 127)] {
+            let stream = TwosUnaryStream::encode(w, p).unwrap();
+            assert_eq!(
+                fold_window(a, stream, 0, stream.cycles().max(1)),
+                i64::from(a) * i64::from(w)
+            );
+        }
     }
 
     #[test]

@@ -141,6 +141,23 @@ impl TwosUnaryStream {
         self.sign.factor() * self.magnitude() as i32
     }
 
+    /// Magnitude emitted by the pulses strictly before `cycle` — the
+    /// prefix sum of pulse values. `magnitude_before(0)` is 0 and
+    /// `magnitude_before(cycles())` is the full magnitude, so the
+    /// contribution of any cycle window `[c0, c1)` is the difference of
+    /// two prefix sums. This closed form is what lets the simulator
+    /// fast-forward a whole compute window without ticking per cycle.
+    #[must_use]
+    pub const fn magnitude_before(self, cycle: u32) -> u32 {
+        let twos = if cycle < self.two_pulses {
+            cycle
+        } else {
+            self.two_pulses
+        };
+        let one = (self.has_one_pulse && cycle > self.two_pulses) as u32;
+        twos * 2 + one
+    }
+
     /// Pulse emitted at `cycle` (0-based), or `None` once the stream has
     /// drained. This is what the temporal encoder drives each clock.
     #[must_use]
@@ -261,6 +278,21 @@ mod tests {
     fn out_of_range_rejected() {
         assert!(TwosUnaryStream::encode(8, IntPrecision::Int4).is_err());
         assert!(TwosUnaryStream::encode(-129, IntPrecision::Int8).is_err());
+    }
+
+    #[test]
+    fn magnitude_before_is_the_pulse_prefix_sum() {
+        for v in [-128, -7, -2, 0, 1, 3, 6, 127] {
+            let s = TwosUnaryStream::encode(v, IntPrecision::Int8).unwrap();
+            let mut prefix = 0u32;
+            for c in 0..=s.cycles() + 2 {
+                assert_eq!(s.magnitude_before(c), prefix, "v={v} c={c}");
+                if let Some(p) = s.pulse_at(c) {
+                    prefix += p.value();
+                }
+            }
+            assert_eq!(s.magnitude_before(s.cycles()), s.magnitude());
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 
 use tempus_bench::experiments::{
     ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, runtime_throughput,
-    serve_latency, table1, table2, table3, timing,
+    serve_latency, sim_speed, table1, table2, table3, timing,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -240,6 +240,20 @@ fn main() {
             .expect("write runtime markdown");
         write_result(&results, "BENCH_runtime_throughput.json", &report.to_json())
             .expect("write runtime json");
+    }
+
+    if wants("sim_speed") {
+        println!("--- Simulation core: window-batched vs per-cycle engine (beyond the paper) ---");
+        let report = sim_speed::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        assert!(
+            report.digests_equal(),
+            "window-batched engine diverged from the per-cycle reference"
+        );
+        write_result(&results, "sim_speed.md", &report.to_markdown())
+            .expect("write sim_speed markdown");
+        write_result(&results, "BENCH_sim_speed.json", &report.to_json())
+            .expect("write sim_speed json");
     }
 
     if wants("serve") {

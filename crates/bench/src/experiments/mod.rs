@@ -12,6 +12,7 @@ pub mod fig9;
 pub mod headline;
 pub mod runtime_throughput;
 pub mod serve_latency;
+pub mod sim_speed;
 pub mod table1;
 pub mod table2;
 pub mod table3;

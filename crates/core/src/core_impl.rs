@@ -1,5 +1,19 @@
 //! The full Tempus Core engine: modified CSC + PCU + CACC behind the
 //! [`ConvCore`] socket.
+//!
+//! Two execution strategies share the same components and produce
+//! bit-identical results:
+//!
+//! * **window-batched** (the default, [`ConvCore::convolve`]) — the
+//!   driver consumes whole compute windows via [`Pcu::run_window`] and
+//!   the allocation-free scratch command stream
+//!   ([`ModifiedCsc::next_step`]); per-atomic-op cost is O(k·n) with
+//!   zero heap allocation in the loop;
+//! * **per-cycle reference**
+//!   ([`TempusCore::convolve_reference`]) — ticks the PCU cycle by
+//!   cycle over the allocating command iterator, exactly the
+//!   pre-window-batching engine, retained for equivalence tests and
+//!   the `sim_speed` benchmark.
 
 use tempus_arith::IntPrecision;
 use tempus_nvdla::cacc::Cacc;
@@ -10,7 +24,7 @@ use tempus_nvdla::cube::{DataCube, KernelSet};
 use tempus_nvdla::pipeline::{ConvCore, ConvRun, RunStats};
 use tempus_nvdla::NvdlaError;
 
-use crate::csc_mod::{ModifiedCsc, TempusCommand};
+use crate::csc_mod::{ModifiedCsc, TempusCommand, TempusStep};
 use crate::pcu::Pcu;
 
 /// Tempus Core configuration: the NVDLA socket parameters plus the
@@ -140,6 +154,116 @@ impl ConvCore for TempusCore {
         let mut cbuf = ConvBuffer::new(*base);
         cbuf.load(features, kernels, base.precision)?;
 
+        let mut seq = ModifiedCsc::new(features, kernels, params, base)?;
+        let (out_w, out_h) = seq.output_dims();
+        let mut scratch = seq.scratch();
+        let mut pcu = Pcu::new(
+            base.atomic_k,
+            base.atomic_c,
+            base.precision,
+            self.config.cache_in_cycles,
+            self.config.cache_out_cycles,
+        );
+        let mut cacc = Cacc::new(out_w, out_h, kernels.k(), base.cacc_bits);
+
+        let mut stats = RunStats::default();
+        let mut tstats = TempusStats::default();
+        let mut kernel_base = 0usize;
+        let mut total_silent: u64 = 0;
+        let watchdog_limit = watchdog_limit(&seq, base);
+        while let Some(step) = seq.next_step(&mut scratch) {
+            match step {
+                TempusStep::LoadWeights {
+                    kernel_group,
+                    stripe_latency,
+                    silent_pes,
+                } => {
+                    // Wait for any in-flight window to complete before
+                    // swapping weights (§III: partial sums forwarded
+                    // once all cells finish) — one run_window call
+                    // instead of a per-cycle stall loop.
+                    let consumed =
+                        pcu.run_window(&mut |bundle| cacc.accumulate(&bundle, kernel_base));
+                    advance_watchdog(&mut stats.cycles, consumed, watchdog_limit)?;
+                    for bundle in pcu.drain() {
+                        cacc.accumulate(&bundle, kernel_base);
+                    }
+                    kernel_base = kernel_group * base.atomic_k;
+                    pcu.load_weights(&scratch.cell_weights)?;
+                    stats.stripes += 1;
+                    stats.cycles += 1; // weight cache swap
+                    tstats.max_window_cycles = tstats.max_window_cycles.max(stripe_latency);
+                    total_silent += silent_pes as u64;
+                }
+                TempusStep::Atomic { out_x, out_y } => {
+                    cbuf.record_read();
+                    // Multi-cycle handshake: the whole stall-until-
+                    // accept window is consumed in one call.
+                    let consumed =
+                        pcu.run_window(&mut |bundle| cacc.accumulate(&bundle, kernel_base));
+                    advance_watchdog(&mut stats.cycles, consumed, watchdog_limit)?;
+                    pcu.begin_op(out_x, out_y, &scratch.feature)?;
+                    tstats.total_window_cycles += u64::from(pcu.stripe_latency().max(1));
+                    stats.atomic_ops += 1;
+                }
+            }
+        }
+        // Flush the final window.
+        let consumed = pcu.run_window(&mut |bundle| cacc.accumulate(&bundle, kernel_base));
+        advance_watchdog(&mut stats.cycles, consumed, watchdog_limit)?;
+        for bundle in pcu.drain() {
+            cacc.accumulate(&bundle, kernel_base);
+        }
+
+        self.finish(&pcu, &cbuf, cacc, stats, tstats, total_silent)
+    }
+}
+
+/// The deadlock ceiling both engines share: worst-case window plus
+/// handshake slack per atomic op, one cycle per stripe, plus margin.
+fn watchdog_limit(seq: &ModifiedCsc, base: &NvdlaConfig) -> u64 {
+    seq.atomic_op_count()
+        .saturating_mul(u64::from(base.precision.worst_case_tub_cycles()) + 8)
+        .saturating_add(seq.stripe_count())
+        .saturating_add(1024)
+}
+
+/// Advances the cycle counter by a fast-forwarded window, reproducing
+/// the per-cycle watchdog exactly: the tick loop increments then
+/// checks, so the first violation fires at `max(cycles, limit) + 1`.
+fn advance_watchdog(cycles: &mut u64, consumed: u64, limit: u64) -> Result<(), NvdlaError> {
+    if *cycles + consumed > limit {
+        return Err(NvdlaError::Deadlock {
+            cycles: (*cycles).max(limit) + 1,
+        });
+    }
+    *cycles += consumed;
+    Ok(())
+}
+
+impl TempusCore {
+    /// The pre-window-batching engine: drives the PCU **cycle by
+    /// cycle** over the allocating command iterator. Bit-identical to
+    /// [`ConvCore::convolve`] in outputs and every statistic — the
+    /// equivalence is enforced by tests and by the `sim_speed`
+    /// benchmark, which also measures the wall-clock gap between the
+    /// two.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ConvCore::convolve`], including the
+    /// same watchdog cycle counts.
+    pub fn convolve_reference(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+    ) -> Result<ConvRun, NvdlaError> {
+        let base = &self.config.base;
+        check_operands(features, kernels, base.precision)?;
+        let mut cbuf = ConvBuffer::new(*base);
+        cbuf.load(features, kernels, base.precision)?;
+
         let seq = ModifiedCsc::new(features, kernels, params, base)?;
         let (out_w, out_h) = seq.output_dims();
         let mut pcu = Pcu::new(
@@ -155,11 +279,7 @@ impl ConvCore for TempusCore {
         let mut tstats = TempusStats::default();
         let mut kernel_base = 0usize;
         let mut total_silent: u64 = 0;
-        let watchdog_limit: u64 = seq
-            .atomic_op_count()
-            .saturating_mul(u64::from(base.precision.worst_case_tub_cycles()) + 8)
-            .saturating_add(seq.stripe_count())
-            .saturating_add(1024);
+        let watchdog_limit = watchdog_limit(&seq, base);
         for cmd in seq {
             match cmd {
                 TempusCommand::LoadWeights {
@@ -167,9 +287,6 @@ impl ConvCore for TempusCore {
                     stripe_latency,
                     silent_pes,
                 } => {
-                    // Wait for any in-flight window to complete before
-                    // swapping weights (§III: partial sums forwarded
-                    // once all cells finish).
                     while !pcu.ready() {
                         if let Some(bundle) = pcu.tick() {
                             cacc.accumulate(&bundle, kernel_base);
@@ -193,8 +310,6 @@ impl ConvCore for TempusCore {
                 }
                 TempusCommand::Atomic(op) => {
                     cbuf.record_read();
-                    // Multi-cycle handshake: stall until the PCU can
-                    // accept, then run the window to completion.
                     while !pcu.ready() {
                         if let Some(bundle) = pcu.tick() {
                             cacc.accumulate(&bundle, kernel_base);
@@ -212,7 +327,6 @@ impl ConvCore for TempusCore {
                 }
             }
         }
-        // Flush the final window.
         while !pcu.ready() {
             if let Some(bundle) = pcu.tick() {
                 cacc.accumulate(&bundle, kernel_base);
@@ -228,6 +342,20 @@ impl ConvCore for TempusCore {
             cacc.accumulate(&bundle, kernel_base);
         }
 
+        self.finish(&pcu, &cbuf, cacc, stats, tstats, total_silent)
+    }
+
+    /// Shared statistics finalisation of both engines.
+    fn finish(
+        &mut self,
+        pcu: &Pcu,
+        cbuf: &ConvBuffer,
+        cacc: Cacc,
+        mut stats: RunStats,
+        mut tstats: TempusStats,
+        total_silent: u64,
+    ) -> Result<ConvRun, NvdlaError> {
+        let base = &self.config.base;
         let pe_activity = pcu.pe_activity();
         tstats.pe_pulse_cycles = pe_activity.active_cycles();
         tstats.pe_gated_cycles = pe_activity.gated_cycles();
@@ -344,6 +472,41 @@ mod tests {
         assert!((ts.avg_window_cycles - 5.0).abs() < 1e-9);
         assert_eq!(ts.avg_silent_pes, 63.0);
         assert_eq!(run.output.get(0, 0, 0), 10);
+    }
+
+    #[test]
+    fn windowed_engine_matches_reference_engine_exactly() {
+        // Outputs AND statistics must be bit-identical between the
+        // window-batched engine and the per-cycle reference.
+        let cases = [
+            (8usize, 8usize, 3i32, ConvParams::unit_stride_same(3)),
+            (11, 13, 7, ConvParams::strided(2, 1)),
+            (4, 5, 9, ConvParams::valid()),
+        ];
+        for (c, k, seed, params) in cases {
+            let (f, kn) = case(c, k, seed);
+            let mut windowed = TempusCore::new(TempusConfig::nv_small());
+            let mut reference = TempusCore::new(TempusConfig::nv_small());
+            let w = windowed.convolve(&f, &kn, &params).unwrap();
+            let r = reference.convolve_reference(&f, &kn, &params).unwrap();
+            assert_eq!(w.output, r.output);
+            assert_eq!(w.stats, r.stats);
+            assert_eq!(windowed.last_tempus_stats(), reference.last_tempus_stats());
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_identically_in_both_engines() {
+        // Absurd cache overheads push every op past the watchdog
+        // ceiling; the two engines must fail with the same cycle count.
+        let (f, k) = case(8, 8, 3);
+        let params = ConvParams::valid();
+        let cfg = TempusConfig::nv_small().with_cache_overheads(10_000, 10_000);
+        let mut windowed = TempusCore::new(cfg);
+        let mut reference = TempusCore::new(cfg);
+        let w = windowed.convolve(&f, &k, &params).unwrap_err();
+        let r = reference.convolve_reference(&f, &k, &params).unwrap_err();
+        assert_eq!(format!("{w:?}"), format!("{r:?}"));
     }
 
     #[test]

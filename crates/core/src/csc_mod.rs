@@ -15,7 +15,7 @@
 use tempus_arith::IntPrecision;
 use tempus_nvdla::config::NvdlaConfig;
 use tempus_nvdla::conv::ConvParams;
-use tempus_nvdla::csc::{AtomicOp, CscCommand, CscSequencer, WeightLoad};
+use tempus_nvdla::csc::{AtomicOp, CscCommand, CscScratch, CscSequencer, CscStep, WeightLoad};
 use tempus_nvdla::cube::{DataCube, KernelSet};
 use tempus_nvdla::NvdlaError;
 
@@ -33,6 +33,28 @@ pub enum TempusCommand {
     },
     /// Stream one atomic operation (transposed feature feed).
     Atomic(AtomicOp),
+}
+
+/// A command header from the allocation-free stream; payloads live in
+/// the caller's [`CscScratch`] (see [`ModifiedCsc::next_step`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TempusStep {
+    /// New weights in `scratch.cell_weights`; scan results ride along.
+    LoadWeights {
+        /// Kernel group this stripe serves (fixes the CACC base row).
+        kernel_group: usize,
+        /// Window length for this stripe in compute cycles.
+        stripe_latency: u32,
+        /// Zero-weight (silent) PEs in this stripe's k×n array.
+        silent_pes: usize,
+    },
+    /// One atomic op; the feature sliver is in `scratch.feature`.
+    Atomic {
+        /// Output x.
+        out_x: usize,
+        /// Output y.
+        out_y: usize,
+    },
 }
 
 /// Iterator adapter over the baseline [`CscSequencer`].
@@ -106,6 +128,32 @@ impl ModifiedCsc {
     pub fn worst_case_latency(&self) -> u32 {
         self.precision.worst_case_tub_cycles()
     }
+
+    /// Scratch buffers sized for this sequencer's array shape.
+    #[must_use]
+    pub fn scratch(&self) -> CscScratch {
+        self.inner.scratch()
+    }
+
+    /// Advances one command, writing payloads into `scratch` instead
+    /// of allocating — emits the same command stream as the
+    /// [`Iterator`] impl, with the same latency/silence scans, but
+    /// with zero per-command heap allocation. This is the hot path of
+    /// the window-batched engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scratch` was sized for a different array shape.
+    pub fn next_step(&mut self, scratch: &mut CscScratch) -> Option<TempusStep> {
+        match self.inner.next_into(scratch)? {
+            CscStep::LoadWeights(stripe) => Some(TempusStep::LoadWeights {
+                kernel_group: stripe.kernel_group,
+                stripe_latency: Self::scan_latency(&scratch.cell_weights),
+                silent_pes: Self::scan_silent(&scratch.cell_weights),
+            }),
+            CscStep::Atomic { out_x, out_y } => Some(TempusStep::Atomic { out_x, out_y }),
+        }
+    }
 }
 
 impl Iterator for ModifiedCsc {
@@ -163,6 +211,46 @@ mod tests {
             }
             other => panic!("expected weight load, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn next_step_mirrors_the_iterator_exactly() {
+        let f = DataCube::from_fn(5, 5, 8, |x, y, c| ((x * 7 + y * 3 + c) % 11) as i32 - 5);
+        let k = KernelSet::from_fn(8, 3, 3, 8, |a, b, c, d| {
+            ((a + 2 * b + c + d) % 9) as i32 - 4
+        });
+        let cfg = NvdlaConfig::nv_small();
+        let iter_seq = ModifiedCsc::new(&f, &k, &ConvParams::valid(), &cfg).unwrap();
+        let mut step_seq = iter_seq.clone();
+        let mut scratch = step_seq.scratch();
+        for cmd in iter_seq {
+            let step = step_seq.next_step(&mut scratch).expect("same length");
+            match (cmd, step) {
+                (
+                    TempusCommand::LoadWeights {
+                        load,
+                        stripe_latency,
+                        silent_pes,
+                    },
+                    TempusStep::LoadWeights {
+                        kernel_group,
+                        stripe_latency: sl,
+                        silent_pes: sp,
+                    },
+                ) => {
+                    assert_eq!(load.stripe.kernel_group, kernel_group);
+                    assert_eq!(load.cell_weights, scratch.cell_weights);
+                    assert_eq!(stripe_latency, sl);
+                    assert_eq!(silent_pes, sp);
+                }
+                (TempusCommand::Atomic(op), TempusStep::Atomic { out_x, out_y }) => {
+                    assert_eq!((op.out_x, op.out_y), (out_x, out_y));
+                    assert_eq!(op.feature, scratch.feature);
+                }
+                (cmd, step) => panic!("stream divergence: {cmd:?} vs {step:?}"),
+            }
+        }
+        assert!(step_seq.next_step(&mut scratch).is_none());
     }
 
     #[test]

@@ -216,6 +216,11 @@ impl TubGemm {
         }
         let mut acc = vec![0i64; a.rows * b.cols];
         let mut stats = GemmStats::default();
+        // Stream and decoded-weight scratch, sized once per tile pass
+        // and reused across the N outer steps — no per-step
+        // allocation.
+        let mut streams: Vec<TwosUnaryStream> = Vec::with_capacity(self.grid_p);
+        let mut weights: Vec<i32> = Vec::with_capacity(self.grid_p);
         // Tile the output grid over the PE array.
         for m0 in (0..a.rows).step_by(self.grid_m) {
             for p0 in (0..b.cols).step_by(self.grid_p) {
@@ -224,6 +229,77 @@ impl TubGemm {
                 let p1 = (p0 + self.grid_p).min(b.cols);
                 // N rank-1 updates; each step's window is bounded by
                 // the largest streamed |B| value in the active columns.
+                for t in 0..a.cols {
+                    stats.steps += 1;
+                    streams.clear();
+                    for j in p0..p1 {
+                        streams.push(TwosUnaryStream::encode(b.get(t, j), self.precision)?);
+                    }
+                    let window = streams.iter().map(|s| s.cycles()).max().unwrap_or(0);
+                    stats.cycles += u64::from(window.max(1));
+                    let silent = streams.iter().filter(|s| s.is_silent()).count();
+                    stats.silent_pe_steps += silent as u64 * (m1 - m0) as u64;
+                    // Window-batched fold: the whole stream's
+                    // contribution is its decoded value times the
+                    // activation — bit-identical to accumulating
+                    // pulse by pulse (silent streams decode to 0 and
+                    // contribute nothing). Products stay in i32
+                    // (|a·w| ≤ 2^(2w-2)) and widen at the accumulate.
+                    weights.clear();
+                    weights.extend(streams.iter().map(|s| s.decode()));
+                    for i in m0..m1 {
+                        let activation = a.data[i * a.cols + t];
+                        let row = &mut acc[i * b.cols + p0..i * b.cols + p1];
+                        for (slot, &w) in row.iter_mut().zip(&weights) {
+                            *slot += i64::from(activation * w);
+                        }
+                    }
+                }
+            }
+        }
+        let mut output = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                output.set(
+                    i,
+                    j,
+                    i32::try_from(acc[i * b.cols + j]).expect("gemm output exceeds i32"),
+                );
+            }
+        }
+        Ok(GemmRun { output, stats })
+    }
+
+    /// The pre-window-batching engine: encodes each step's `B` row
+    /// into a freshly allocated stream vector and folds every stream
+    /// **pulse by pulse** ([`tempus_arith::tub::fold_stream`]).
+    /// Bit-identical to [`multiply`](TubGemm::multiply) in output and
+    /// statistics; retained for equivalence tests and the `sim_speed`
+    /// benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`multiply`](TubGemm::multiply).
+    pub fn multiply_reference(&self, a: &Matrix, b: &Matrix) -> Result<GemmRun, ArithError> {
+        if a.cols != b.rows {
+            return Err(ArithError::LengthMismatch {
+                lhs: a.cols,
+                rhs: b.rows,
+            });
+        }
+        for &v in &a.data {
+            self.precision.check(v)?;
+        }
+        for &v in &b.data {
+            self.precision.check(v)?;
+        }
+        let mut acc = vec![0i64; a.rows * b.cols];
+        let mut stats = GemmStats::default();
+        for m0 in (0..a.rows).step_by(self.grid_m) {
+            for p0 in (0..b.cols).step_by(self.grid_p) {
+                stats.tile_passes += 1;
+                let m1 = (m0 + self.grid_m).min(a.rows);
+                let p1 = (p0 + self.grid_p).min(b.cols);
                 for t in 0..a.cols {
                     stats.steps += 1;
                     let streams: Vec<TwosUnaryStream> = (p0..p1)
@@ -236,7 +312,6 @@ impl TubGemm {
                             stats.silent_pe_steps += (m1 - m0) as u64;
                             continue;
                         }
-                        // Fold the stream into every active row.
                         for i in m0..m1 {
                             let product =
                                 i64::from(tempus_arith::tub::fold_stream(a.get(i, t), *stream));
@@ -319,6 +394,31 @@ mod tests {
         assert_eq!(run.stats.cycles, 3); // 3 steps x min window 1
         assert_eq!(run.stats.silent_pe_steps, 3 * 4 * 4); // 3 steps x 4 cols x 4 rows, all silent
         assert!(run.output.data.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn window_batched_multiply_matches_reference_exactly() {
+        for (m, n, p, seed, gm, gp) in [
+            (7usize, 9usize, 5usize, 1i32, 4usize, 4usize),
+            (10, 6, 11, 2, 3, 4),
+            (16, 16, 16, 5, 8, 8),
+            (1, 1, 1, 9, 2, 2),
+        ] {
+            let (a, b) = {
+                let a = Matrix::from_fn(m, n, |i, j| {
+                    ((i as i32 * 31 + j as i32 * 17 + seed) % 255) - 127
+                });
+                let b = Matrix::from_fn(n, p, |i, j| {
+                    ((i as i32 * 13 + j as i32 * 41 + seed * 3) % 255) - 127
+                });
+                (a, b)
+            };
+            let engine = TubGemm::new(gm, gp, IntPrecision::Int8);
+            let fast = engine.multiply(&a, &b).unwrap();
+            let reference = engine.multiply_reference(&a, &b).unwrap();
+            assert_eq!(fast.output, reference.output);
+            assert_eq!(fast.stats, reference.stats);
+        }
     }
 
     #[test]

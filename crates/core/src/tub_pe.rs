@@ -8,7 +8,7 @@
 //! (`ceil(max|w|/2)` cycles) the accumulator holds the exact dot
 //! product (§II-B, §III).
 
-use tempus_arith::{adder_tree, tub, ArithError, IntPrecision, TwosUnaryStream};
+use tempus_arith::{tub, ArithError, IntPrecision, TwosUnaryStream};
 use tempus_sim::ActivityCounter;
 
 /// One cycle-accurate tub multiplier.
@@ -139,13 +139,14 @@ impl TubPeCell {
     }
 
     /// Starts a new window against a feature sliver, clearing the
-    /// accumulator.
+    /// accumulator. Activation range is validated once at the engine
+    /// boundary (`check_operands`), not per atomic op; debug builds
+    /// keep an assertion.
     ///
     /// # Errors
     ///
-    /// Returns [`ArithError::LengthMismatch`] for a wrong sliver width
-    /// or [`ArithError::OutOfRange`] for an out-of-precision
-    /// activation.
+    /// Returns [`ArithError::LengthMismatch`] for a wrong sliver
+    /// width.
     pub fn begin(&mut self, feature: &[i32]) -> Result<(), ArithError> {
         if feature.len() != self.mults.len() {
             return Err(ArithError::LengthMismatch {
@@ -153,8 +154,12 @@ impl TubPeCell {
                 rhs: self.mults.len(),
             });
         }
+        debug_assert!(
+            feature.iter().all(|&a| self.precision.check(a).is_ok()),
+            "activation outside {:?} reached the PE cell; validate at the engine boundary",
+            self.precision
+        );
         for (m, &a) in self.mults.iter_mut().zip(feature) {
-            self.precision.check(a)?;
             m.begin(a);
         }
         self.acc = 0;
@@ -162,10 +167,15 @@ impl TubPeCell {
     }
 
     /// Advances one cycle: every multiplier contributes, the adder
-    /// tree reduces, the accumulator integrates.
+    /// tree reduces, the accumulator integrates. (The balanced-tree
+    /// reduction order is value-identical to a running sum — exact
+    /// `i64` addition — so no per-cycle term buffer is materialised.)
     pub fn tick(&mut self) {
-        let terms: Vec<i64> = self.mults.iter_mut().map(|m| i64::from(m.tick())).collect();
-        self.acc += adder_tree::reduce(&terms).expect("contribution reduction overflow");
+        let mut sum = 0i64;
+        for m in &mut self.mults {
+            sum += i64::from(m.tick());
+        }
+        self.acc += sum;
     }
 
     /// Current accumulator value (the partial sum once the window

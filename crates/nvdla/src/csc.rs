@@ -58,6 +58,44 @@ pub enum CscCommand {
     Atomic(AtomicOp),
 }
 
+/// Reusable output buffers for allocation-free sequencing: the
+/// k per-cell weight slivers and the broadcast feature sliver are
+/// written in place instead of freshly allocated per command.
+#[derive(Debug, Clone)]
+pub struct CscScratch {
+    /// Per-cell weight slivers (`k` cells × `n` weights), valid after
+    /// a [`CscStep::LoadWeights`].
+    pub cell_weights: Vec<Vec<i32>>,
+    /// The 1×1×n feature sliver, valid after a [`CscStep::Atomic`].
+    pub feature: Vec<i32>,
+}
+
+impl CscScratch {
+    /// Creates scratch sized for a `k`×`n` array.
+    #[must_use]
+    pub fn new(k: usize, n: usize) -> Self {
+        CscScratch {
+            cell_weights: vec![vec![0; n]; k],
+            feature: vec![0; n],
+        }
+    }
+}
+
+/// A command header from the allocation-free stream; the payload lives
+/// in the caller's [`CscScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CscStep {
+    /// New weights written into `scratch.cell_weights`.
+    LoadWeights(StripeInfo),
+    /// One atomic op; the feature sliver is in `scratch.feature`.
+    Atomic {
+        /// Output x.
+        out_x: usize,
+        /// Output y.
+        out_y: usize,
+    },
+}
+
 /// The sequencer: an iterator over [`CscCommand`]s realising the whole
 /// convolution.
 #[derive(Debug, Clone)]
@@ -181,6 +219,56 @@ impl CscSequencer {
                 .features
                 .channel_sliver(ix, iy, self.cg * self.n, self.n),
         }
+    }
+
+    /// Scratch buffers sized for this sequencer's array shape.
+    #[must_use]
+    pub fn scratch(&self) -> CscScratch {
+        CscScratch::new(self.k, self.n)
+    }
+
+    /// Advances one command, writing its payload into `scratch`
+    /// instead of allocating — the hot-path twin of the [`Iterator`]
+    /// impl, emitting the same commands in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scratch` was sized for a different array shape.
+    pub fn next_into(&mut self, scratch: &mut CscScratch) -> Option<CscStep> {
+        if self.done {
+            return None;
+        }
+        assert!(
+            scratch.cell_weights.len() == self.k && scratch.feature.len() == self.n,
+            "scratch sized for a different array shape"
+        );
+        if self.need_weights {
+            self.need_weights = false;
+            for (cell, sliver) in scratch.cell_weights.iter_mut().enumerate() {
+                let kernel = self.kg * self.k + cell;
+                if kernel < self.kernels.k() {
+                    self.kernels.weight_sliver_into(
+                        kernel,
+                        self.r,
+                        self.s,
+                        self.cg * self.n,
+                        sliver,
+                    );
+                } else {
+                    sliver.fill(0);
+                }
+            }
+            return Some(CscStep::LoadWeights(self.current_stripe()));
+        }
+        let ix = (self.ox * self.params.stride_x + self.s * self.params.dilation_x) as isize
+            - self.params.pad_x as isize;
+        let iy = (self.oy * self.params.stride_y + self.r * self.params.dilation_y) as isize
+            - self.params.pad_y as isize;
+        self.features
+            .channel_sliver_into(ix, iy, self.cg * self.n, &mut scratch.feature);
+        let (out_x, out_y) = (self.ox, self.oy);
+        self.advance_position();
+        Some(CscStep::Atomic { out_x, out_y })
     }
 
     fn advance_position(&mut self) {
@@ -307,6 +395,32 @@ mod tests {
         } else {
             panic!("second command must be an atomic op");
         }
+    }
+
+    #[test]
+    fn next_into_mirrors_the_iterator_exactly() {
+        let (f, k, p, cfg) = setup(10, 12);
+        let iter_seq = CscSequencer::new(&f, &k, &p, &cfg).unwrap();
+        let mut step_seq = iter_seq.clone();
+        let mut scratch = step_seq.scratch();
+        let mut steps = 0u64;
+        for cmd in iter_seq {
+            let step = step_seq.next_into(&mut scratch).expect("same length");
+            steps += 1;
+            match (cmd, step) {
+                (CscCommand::LoadWeights(load), CscStep::LoadWeights(stripe)) => {
+                    assert_eq!(load.stripe, stripe);
+                    assert_eq!(load.cell_weights, scratch.cell_weights);
+                }
+                (CscCommand::Atomic(op), CscStep::Atomic { out_x, out_y }) => {
+                    assert_eq!((op.out_x, op.out_y), (out_x, out_y));
+                    assert_eq!(op.feature, scratch.feature);
+                }
+                (cmd, step) => panic!("stream divergence: {cmd:?} vs {step:?}"),
+            }
+        }
+        assert!(step_seq.next_into(&mut scratch).is_none());
+        assert!(steps > 0);
     }
 
     #[test]

@@ -155,15 +155,23 @@ impl DataCube {
     /// exactly what the CSC broadcasts per atomic op (§III).
     #[must_use]
     pub fn channel_sliver(&self, x: isize, y: isize, c0: usize, n: usize) -> Vec<i32> {
-        (0..n)
-            .map(|i| {
-                if c0 + i < self.c {
-                    self.get_padded(x, y, c0 + i)
-                } else {
-                    0
-                }
-            })
-            .collect()
+        let mut out = vec![0; n];
+        self.channel_sliver_into(x, y, c0, &mut out);
+        out
+    }
+
+    /// Fills `out` with the 1×1×`out.len()` channel sliver at
+    /// `(x, y)` starting at channel `c0` — the allocation-free variant
+    /// of [`channel_sliver`](DataCube::channel_sliver) the sequencing
+    /// hot path reuses one scratch buffer for.
+    pub fn channel_sliver_into(&self, x: isize, y: isize, c0: usize, out: &mut [i32]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = if c0 + i < self.c {
+                self.get_padded(x, y, c0 + i)
+            } else {
+                0
+            };
+        }
     }
 
     /// Raw storage, channel-minor.
@@ -323,15 +331,22 @@ impl KernelSet {
     /// cube each PE cell caches (§III).
     #[must_use]
     pub fn weight_sliver(&self, k: usize, r: usize, s: usize, c0: usize, n: usize) -> Vec<i32> {
-        (0..n)
-            .map(|i| {
-                if c0 + i < self.c {
-                    self.get(k, r, s, c0 + i)
-                } else {
-                    0
-                }
-            })
-            .collect()
+        let mut out = vec![0; n];
+        self.weight_sliver_into(k, r, s, c0, &mut out);
+        out
+    }
+
+    /// Fills `out` with the 1×1×`out.len()` weight sliver for kernel
+    /// `k` at `(r, s)` starting at channel `c0` — the allocation-free
+    /// variant of [`weight_sliver`](KernelSet::weight_sliver).
+    pub fn weight_sliver_into(&self, k: usize, r: usize, s: usize, c0: usize, out: &mut [i32]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = if c0 + i < self.c {
+                self.get(k, r, s, c0 + i)
+            } else {
+                0
+            };
+        }
     }
 
     /// Raw storage.

@@ -76,6 +76,11 @@ pub enum CacheOutcome {
     Hit,
     /// Executed on the worker pool (and memoized).
     Miss,
+    /// Coalesced onto an identical in-flight execution: the request
+    /// arrived after the same content key was dispatched but before
+    /// it completed, so it shared that execution's result instead of
+    /// executing again.
+    Coalesced,
 }
 
 /// The serving-facing result of a completed request.

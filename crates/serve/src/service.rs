@@ -7,12 +7,13 @@
 //!                         ▼
 //!                    dispatcher thread
 //!                    │  cache hit ──────────────▶ Response (no core)
+//!                    │  key in flight ──────────▶ coalesce (waiter)
 //!                    │  miss, fast ─────────────▶ WorkerPool
 //!                    │  miss, accurate ─┬─slot──▶ WorkerPool
 //!                    │                  └─full──▶ deferred (bounded)
 //!                    ▼                                │ overflow
 //!                 outcomes ──▶ cache insert ──▶ Response│
-//!                                                      ▼
+//!                          └──▶ waiter fan-out         ▼
 //!                                                  Rejected
 //! ```
 //!
@@ -176,6 +177,23 @@ struct Held {
     accepted: Instant,
 }
 
+/// A request coalesced onto an identical in-flight execution: it
+/// holds no job (the work is already running) and is answered by
+/// fan-out when that execution completes.
+struct Waiter {
+    job_id: u64,
+    job_name: String,
+    class: JobClass,
+    accepted: Instant,
+}
+
+/// Most requests that may coalesce onto one in-flight execution.
+/// Past this bound a duplicate falls through to the normal admission
+/// path (cap, deferral, rejection), so a retry-storm on one hot key
+/// cannot grow the waiter list — or the completion fan-out burst —
+/// without limit.
+const MAX_WAITERS_PER_KEY: usize = 64;
+
 /// The running service: submit requests, receive responses, snapshot
 /// stats, shut down.
 pub struct StreamingService {
@@ -237,6 +255,7 @@ impl StreamingService {
                     in_flight_gauge,
                     deferred: VecDeque::new(),
                     pending: HashMap::new(),
+                    inflight_waiters: HashMap::new(),
                     in_flight: 0,
                     accurate_in_flight: 0,
                     ingress_closed: false,
@@ -377,6 +396,11 @@ struct Dispatcher {
     deferred: VecDeque<Held>,
     /// Outcomes are matched back by job id; duplicate ids queue up.
     pending: HashMap<u64, VecDeque<Pending>>,
+    /// One entry per in-flight execution, keyed by cache key; the
+    /// value holds every request coalesced onto it. Presence of the
+    /// key is what later identical requests test to avoid executing
+    /// the same work twice.
+    inflight_waiters: HashMap<u64, Vec<Waiter>>,
     in_flight: usize,
     accurate_in_flight: usize,
     ingress_closed: bool,
@@ -431,6 +455,22 @@ impl Dispatcher {
                 total_ns,
             });
             return;
+        }
+        // In-flight coalescing: an identical execution (same content
+        // key, same backend) is already running — attach instead of
+        // executing again. Checked before admission control so a
+        // coalesced accurate request never burns an admission slot.
+        // A full waiter list falls through to normal admission.
+        if let Some(waiters) = self.inflight_waiters.get_mut(&key) {
+            if waiters.len() < MAX_WAITERS_PER_KEY {
+                waiters.push(Waiter {
+                    job_id: request.job.id,
+                    job_name: request.job.name,
+                    class,
+                    accepted,
+                });
+                return;
+            }
         }
         let held = Held {
             job: request.job,
@@ -502,6 +542,7 @@ impl Dispatcher {
             accepted,
             dispatched: Instant::now(),
         });
+        self.inflight_waiters.entry(key).or_default();
         self.in_flight += 1;
         if class.fidelity == Fidelity::Accurate {
             self.accurate_in_flight += 1;
@@ -540,6 +581,12 @@ impl Dispatcher {
         }
         let queue_ns = (pending.dispatched - pending.accepted).as_nanos() as u64;
         let total_ns = pending.accepted.elapsed().as_nanos() as u64;
+        // Requests coalesced onto this execution share its result:
+        // waiters fan out in arrival order, then the primary.
+        let waiters = self
+            .inflight_waiters
+            .remove(&pending.key)
+            .unwrap_or_default();
         match outcome.result {
             Ok(result) => {
                 self.cache.insert(
@@ -550,11 +597,33 @@ impl Dispatcher {
                         energy_pj: result.energy_pj,
                     },
                 );
-                self.stats.lock().expect("stats lock").record_completion(
-                    pending.class,
-                    total_ns,
-                    false,
-                );
+                // One guard for the completion and its whole fan-out:
+                // a snapshot never observes a torn state with only
+                // some waiters counted, and the dispatcher does not
+                // churn the lock per waiter.
+                let mut stats = self.stats.lock().expect("stats lock");
+                stats.record_completion(pending.class, total_ns, false);
+                for waiter in waiters {
+                    let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
+                    stats.record_coalesced(waiter.class, waiter_total_ns);
+                    self.respond(Response {
+                        job_id: waiter.job_id,
+                        job_name: waiter.job_name,
+                        class: waiter.class,
+                        outcome: ResponseOutcome::Done(ServedResult {
+                            output: result.output.clone(),
+                            sim_cycles: result.sim_cycles,
+                            energy_pj: result.energy_pj,
+                            cache: CacheOutcome::Coalesced,
+                        }),
+                        queue_ns: waiter_total_ns,
+                        total_ns: waiter_total_ns,
+                    });
+                }
+                drop(stats);
+                // The primary responds last so it can take the output
+                // by move — the common zero-waiter case pays only the
+                // cache-insert clone.
                 self.respond(Response {
                     job_id: result.job_id,
                     job_name: result.job_name,
@@ -570,18 +639,28 @@ impl Dispatcher {
                 });
             }
             Err(error) => {
-                self.stats
-                    .lock()
-                    .expect("stats lock")
-                    .record_failure(pending.class);
+                let mut stats = self.stats.lock().expect("stats lock");
+                stats.record_failure(pending.class);
                 self.respond(Response {
                     job_id: outcome.job_id,
                     job_name: String::new(),
                     class: pending.class,
-                    outcome: ResponseOutcome::Failed(error),
+                    outcome: ResponseOutcome::Failed(error.clone()),
                     queue_ns,
                     total_ns,
                 });
+                for waiter in waiters {
+                    let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
+                    stats.record_failure(waiter.class);
+                    self.respond(Response {
+                        job_id: waiter.job_id,
+                        job_name: waiter.job_name,
+                        class: waiter.class,
+                        outcome: ResponseOutcome::Failed(error.clone()),
+                        queue_ns: waiter_total_ns,
+                        total_ns: waiter_total_ns,
+                    });
+                }
             }
         }
     }
@@ -598,12 +677,50 @@ impl Dispatcher {
             }
 
             // 2. Promote admission-held accurate jobs into free slots.
+            //    While a job was deferred its twin may have finished
+            //    (answer from the cache) or gone in flight (coalesce,
+            //    without burning a slot — dispatching would duplicate
+            //    the execution and clobber the waiter list).
             while !self.deferred.is_empty()
                 && self.in_flight < self.config.max_in_flight
                 && self.accurate_in_flight < self.config.max_accurate_in_flight
             {
                 let held = self.deferred.pop_front().expect("non-empty");
-                self.dispatch(held);
+                if let Some(entry) = self.cache.get(held.key) {
+                    let total_ns = held.accepted.elapsed().as_nanos() as u64;
+                    self.stats
+                        .lock()
+                        .expect("stats lock")
+                        .record_completion(held.class, total_ns, true);
+                    self.respond(Response {
+                        job_id: held.job.id,
+                        job_name: held.job.name,
+                        class: held.class,
+                        outcome: ResponseOutcome::Done(ServedResult {
+                            output: entry.output,
+                            sim_cycles: entry.sim_cycles,
+                            energy_pj: entry.energy_pj,
+                            cache: CacheOutcome::Hit,
+                        }),
+                        queue_ns: total_ns,
+                        total_ns,
+                    });
+                } else {
+                    match self.inflight_waiters.get_mut(&held.key) {
+                        Some(waiters) if waiters.len() < MAX_WAITERS_PER_KEY => {
+                            waiters.push(Waiter {
+                                job_id: held.job.id,
+                                job_name: held.job.name,
+                                class: held.class,
+                                accepted: held.accepted,
+                            });
+                        }
+                        // A full waiter list executes independently —
+                        // the loop condition already reserved this
+                        // job an admission slot.
+                        _ => self.dispatch(held),
+                    }
+                }
                 progressed = true;
             }
 

@@ -72,6 +72,9 @@ pub struct ClassStats {
     pub completed: u64,
     /// Of the completed, answered from the result cache.
     pub cache_hits: u64,
+    /// Of the completed, coalesced onto an identical in-flight
+    /// execution (no core touched, no cache entry yet).
+    pub coalesced: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
     /// Requests that failed with a substrate error.
@@ -115,6 +118,9 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests completed (cache hits included).
     pub completed: u64,
+    /// Requests that coalesced onto an identical in-flight execution
+    /// instead of executing independently.
+    pub coalesced: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
     /// Requests failed with substrate errors.
@@ -147,11 +153,12 @@ impl fmt::Display for ServeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "serve: {} submitted, {} completed ({:.0}/s), {} rejected, {} failed; \
+            "serve: {} submitted, {} completed ({:.0}/s), {} coalesced, {} rejected, {} failed; \
              queue {}/{} peak, cache {}h/{}m ({:.0}% hit, {} evictions)",
             self.submitted,
             self.completed,
             self.throughput_per_sec,
+            self.coalesced,
             self.rejected,
             self.failed,
             self.queue_depth,
@@ -238,6 +245,7 @@ impl ClassAccum {
 pub(crate) struct StatsRecorder {
     latencies: [ClassAccum; 6],
     cache_hits: [u64; 6],
+    coalesced: [u64; 6],
     rejected: [u64; 6],
     failed: [u64; 6],
     slo_violations: [u64; 6],
@@ -252,6 +260,7 @@ impl StatsRecorder {
         StatsRecorder {
             latencies: std::array::from_fn(|i| ClassAccum::new(i as u64)),
             cache_hits: [0; 6],
+            coalesced: [0; 6],
             rejected: [0; 6],
             failed: [0; 6],
             slo_violations: [0; 6],
@@ -268,6 +277,19 @@ impl StatsRecorder {
         if cached {
             self.cache_hits[i] += 1;
         }
+        if total_ns > self.slo.target_ns(class) {
+            self.slo_violations[i] += 1;
+        }
+    }
+
+    /// Records a completion that coalesced onto an in-flight
+    /// execution: counted as completed (latency, SLO) and as
+    /// coalesced, but never as a cache hit — the cache had no entry
+    /// yet when it arrived.
+    pub(crate) fn record_coalesced(&mut self, class: JobClass, total_ns: u64) {
+        let i = class.index();
+        self.latencies[i].record(total_ns);
+        self.coalesced[i] += 1;
         if total_ns > self.slo.target_ns(class) {
             self.slo_violations[i] += 1;
         }
@@ -307,6 +329,7 @@ impl StatsRecorder {
                     class,
                     completed: accum.count,
                     cache_hits: self.cache_hits[i],
+                    coalesced: self.coalesced[i],
                     rejected: self.rejected[i],
                     failed: self.failed[i],
                     p50_ns: percentile(&sorted, 50.0),
@@ -327,6 +350,7 @@ impl StatsRecorder {
         ServeStats {
             submitted: self.submitted,
             completed,
+            coalesced: classes.iter().map(|c| c.coalesced).sum(),
             rejected: classes.iter().map(|c| c.rejected).sum(),
             failed: classes.iter().map(|c| c.failed).sum(),
             cache,
@@ -384,6 +408,24 @@ mod tests {
             c.p50_ns,
             mid
         );
+    }
+
+    #[test]
+    fn coalesced_completions_count_toward_latency_but_not_cache() {
+        let class = JobClass::ALL[2];
+        let slo = SloPolicy::edge_defaults().with_target(class, 1_000);
+        let mut rec = StatsRecorder::new(slo);
+        rec.record_completion(class, 500, false);
+        rec.record_coalesced(class, 400);
+        rec.record_coalesced(class, 2_000);
+        let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1);
+        let c = snap.class(class);
+        assert_eq!(c.completed, 3);
+        assert_eq!(c.coalesced, 2);
+        assert_eq!(c.cache_hits, 0);
+        assert_eq!(c.slo_violations, 1);
+        assert_eq!(snap.coalesced, 2);
+        assert_eq!(snap.completed, 3);
     }
 
     #[test]

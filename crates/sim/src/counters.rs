@@ -38,6 +38,21 @@ impl ActivityCounter {
         self.gated += n;
     }
 
+    /// Records one whole compute window in bulk: `active` active
+    /// cycles and `window - active` gated ones. This is the counter
+    /// update the window-batched simulation engine computes
+    /// arithmetically (`active = min(window, stream_cycles)`) instead
+    /// of ticking per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `active > window` (debug builds only).
+    pub fn record_window(&mut self, active: u64, window: u64) {
+        debug_assert!(active <= window, "active {active} exceeds window {window}");
+        self.active += active;
+        self.gated += window - active;
+    }
+
     /// Cycles spent active.
     #[must_use]
     pub fn active_cycles(self) -> u64 {
@@ -156,6 +171,23 @@ mod tests {
     #[test]
     fn empty_counter_has_zero_utilization() {
         assert_eq!(ActivityCounter::new().utilization(), 0.0);
+    }
+
+    #[test]
+    fn record_window_splits_active_and_gated() {
+        let mut bulk = ActivityCounter::new();
+        bulk.record_window(3, 10);
+        let mut ticked = ActivityCounter::new();
+        for c in 0..10u64 {
+            if c < 3 {
+                ticked.record_active();
+            } else {
+                ticked.record_gated();
+            }
+        }
+        assert_eq!(bulk, ticked);
+        bulk.record_window(0, 0);
+        assert_eq!(bulk.total_cycles(), 10);
     }
 
     #[test]

@@ -262,6 +262,60 @@ fn bounded_queue_refuses_instead_of_growing() {
     );
 }
 
+/// In-flight coalescing: identical content keys submitted while the
+/// first execution is running collapse onto that one execution —
+/// exactly one cold run, everyone sharing its bit-identical result,
+/// and the `coalesced` counter accounting for the riders.
+#[test]
+fn identical_inflight_requests_coalesce_onto_one_execution() {
+    const DUPLICATES: u64 = 6;
+    let features = DataCube::from_fn(8, 8, 8, |x, y, c| {
+        ((x as i32 * 31 + y as i32 * 17 + c as i32 * 7) % 255) - 127
+    });
+    let kernels = KernelSet::from_fn(8, 3, 3, 8, |k, r, s, c| {
+        ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + c as i32 * 11) % 255) - 127
+    });
+    let job = Job::conv(0, "dup", features, kernels, ConvParams::valid());
+
+    // Plenty of admission headroom: coalescing, not admission control,
+    // must be what prevents duplicate executions.
+    let service = StreamingService::start(ServeConfig::new().with_workers(2).with_admission(4, 8))
+        .expect("service starts");
+    for id in 0..DUPLICATES {
+        let mut j = job.clone();
+        j.id = id;
+        service.submit(Request::accurate(j)).expect("submit");
+    }
+
+    let mut digests = Vec::new();
+    let (mut misses, mut hits, mut coalesced) = (0u64, 0u64, 0u64);
+    for _ in 0..DUPLICATES {
+        let response = service
+            .recv_response(Duration::from_secs(120))
+            .expect("responses drain");
+        match response.outcome {
+            ResponseOutcome::Done(result) => {
+                digests.push(result.output.digest());
+                match result.cache {
+                    CacheOutcome::Miss => misses += 1,
+                    CacheOutcome::Hit => hits += 1,
+                    CacheOutcome::Coalesced => coalesced += 1,
+                }
+            }
+            other => panic!("request did not complete: {other:?}"),
+        }
+    }
+    let (stats, _) = service.shutdown();
+    assert_eq!(misses, 1, "exactly one cold execution");
+    assert_eq!(misses + hits + coalesced, DUPLICATES);
+    assert!(
+        coalesced >= 1,
+        "duplicates submitted during a multi-ms accurate run must coalesce"
+    );
+    assert_eq!(stats.coalesced, coalesced);
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "shared result");
+}
+
 /// Admission control: cycle-accurate jobs beyond the in-flight cap
 /// park in the bounded deferred queue; past that bound they are
 /// rejected with `AccurateAdmissionFull` — while fast-path jobs keep

@@ -1,0 +1,290 @@
+//! Golden snapshot tests for the cycle-accurate backend's statistics.
+//!
+//! The pinned numbers below were captured from the per-cycle engine
+//! before the window-batched execution core landed; they freeze
+//! `stats.cycles`, the pulse/gated activity split, window statistics,
+//! silent-PE averages, utilization and output digests for fixed-seed
+//! conv and GEMM cases. Any drift in the window-batched engine — a
+//! cycle of skew, one miscounted gated lane — fails here even if the
+//! outputs stay correct, so the batching can never silently diverge
+//! from the per-cycle semantics it replaced.
+
+use tempus::arith::IntPrecision;
+use tempus::core::gemm::{Matrix, TubGemm};
+use tempus::core::{TempusConfig, TempusCore};
+use tempus::nvdla::config::NvdlaConfig;
+use tempus::nvdla::conv::ConvParams;
+use tempus::nvdla::cube::{fnv1a, DataCube, KernelSet};
+use tempus::nvdla::pipeline::ConvCore;
+
+fn conv_case(c: usize, k: usize, seed: i32) -> (DataCube, KernelSet) {
+    let f = DataCube::from_fn(6, 6, c, move |x, y, ch| {
+        ((x as i32 * 31 + y as i32 * 17 + ch as i32 * 7 + seed) % 255) - 127
+    });
+    let kn = KernelSet::from_fn(k, 3, 3, c, move |k, r, s, ch| {
+        ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + ch as i32 * 11 + seed) % 255) - 127
+    });
+    (f, kn)
+}
+
+fn cube_digest(cube: &DataCube) -> u64 {
+    fnv1a(cube.as_slice().iter().map(|&v| v as u32 as u64))
+}
+
+/// One pinned conv case: run, then assert every statistic bit-exactly.
+struct ConvGolden {
+    cycles: u64,
+    atomic_ops: u64,
+    stripes: u64,
+    total_window_cycles: u64,
+    max_window_cycles: u32,
+    pe_pulse_cycles: u64,
+    pe_gated_cycles: u64,
+    /// `avg_silent_pes` pinned as the exact fraction it was computed
+    /// from (`total_silent / stripes`), so the comparison is bit-exact.
+    total_silent: u64,
+    lanes: u64,
+    out_digest: u64,
+}
+
+fn assert_conv_golden(
+    core: &mut TempusCore,
+    f: &DataCube,
+    k: &KernelSet,
+    params: &ConvParams,
+    g: &ConvGolden,
+    label: &str,
+) {
+    let run = core.convolve(f, k, params).unwrap();
+    let ts = core.last_tempus_stats();
+    assert_eq!(run.stats.cycles, g.cycles, "{label}: cycles");
+    assert_eq!(run.stats.atomic_ops, g.atomic_ops, "{label}: atomic ops");
+    assert_eq!(run.stats.stripes, g.stripes, "{label}: stripes");
+    assert_eq!(
+        ts.total_window_cycles, g.total_window_cycles,
+        "{label}: total window"
+    );
+    assert_eq!(
+        ts.max_window_cycles, g.max_window_cycles,
+        "{label}: max window"
+    );
+    assert_eq!(ts.pe_pulse_cycles, g.pe_pulse_cycles, "{label}: pulses");
+    assert_eq!(ts.pe_gated_cycles, g.pe_gated_cycles, "{label}: gated");
+    assert_eq!(
+        run.stats.gated_cell_cycles, g.pe_gated_cycles,
+        "{label}: gated cell cycles"
+    );
+    assert_eq!(
+        ts.avg_window_cycles,
+        g.total_window_cycles as f64 / g.atomic_ops as f64,
+        "{label}: avg window"
+    );
+    assert_eq!(
+        ts.avg_silent_pes,
+        g.total_silent as f64 / g.stripes as f64,
+        "{label}: avg silent PEs"
+    );
+    assert_eq!(
+        run.stats.utilization,
+        g.pe_pulse_cycles as f64 / (g.cycles * g.lanes) as f64,
+        "{label}: utilization"
+    );
+    assert_eq!(cube_digest(&run.output), g.out_digest, "{label}: output");
+
+    // The per-cycle reference engine must agree on everything too.
+    let mut reference = TempusCore::new(*core.tempus_config());
+    let r = reference.convolve_reference(f, k, params).unwrap();
+    assert_eq!(r.output, run.output, "{label}: reference output");
+    assert_eq!(r.stats, run.stats, "{label}: reference stats");
+    assert_eq!(
+        reference.last_tempus_stats(),
+        ts,
+        "{label}: reference tempus stats"
+    );
+}
+
+#[test]
+fn golden_conv_nv_small_int8_same_padding() {
+    let (f, k) = conv_case(8, 8, 3);
+    let mut core = TempusCore::new(TempusConfig::nv_small());
+    assert_conv_golden(
+        &mut core,
+        &f,
+        &k,
+        &ConvParams::unit_stride_same(3),
+        &ConvGolden {
+            cycles: 19521,
+            atomic_ops: 324,
+            stripes: 9,
+            total_window_cycles: 18864,
+            max_window_cycles: 62,
+            pe_pulse_cycles: 435_816,
+            pe_gated_cycles: 771_480,
+            total_silent: 5,
+            lanes: 64,
+            out_digest: 0x9857_31af_3a6f_b074,
+        },
+        "nv_small same",
+    );
+}
+
+#[test]
+fn golden_conv_nv_small_int8_strided_grouped() {
+    let (f, k) = conv_case(11, 13, 7);
+    let mut core = TempusCore::new(TempusConfig::nv_small());
+    assert_conv_golden(
+        &mut core,
+        &f,
+        &k,
+        &ConvParams::strided(2, 1),
+        &ConvGolden {
+            cycles: 18891,
+            atomic_ops: 324,
+            stripes: 36,
+            total_window_cycles: 18207,
+            max_window_cycles: 64,
+            pe_pulse_cycles: 299_088,
+            pe_gated_cycles: 866_160,
+            total_silent: 1026,
+            lanes: 64,
+            out_digest: 0x3022_6153_d618_e109,
+        },
+        "nv_small strided",
+    );
+}
+
+#[test]
+fn golden_conv_paper16_int8_valid() {
+    let (f, k) = conv_case(19, 21, 11);
+    let mut core = TempusCore::new(TempusConfig::paper_16x16());
+    assert_conv_golden(
+        &mut core,
+        &f,
+        &k,
+        &ConvParams::valid(),
+        &ConvGolden {
+            cycles: 35524,
+            atomic_ops: 576,
+            stripes: 36,
+            total_window_cycles: 34336,
+            max_window_cycles: 64,
+            pe_pulse_cycles: 1_824_608,
+            pe_gated_cycles: 6_965_408,
+            total_silent: 5638,
+            lanes: 256,
+            out_digest: 0x33dd_ca21_44a4_1df0,
+        },
+        "paper 16x16 valid",
+    );
+}
+
+#[test]
+fn golden_conv_int4_small_array() {
+    let f = DataCube::from_fn(5, 5, 4, |x, y, c| ((x + y + c) % 15) as i32 - 7);
+    let k = KernelSet::from_fn(3, 3, 3, 4, |a, b, c, d| ((a + b + c + d) % 15) as i32 - 7);
+    let mut core = TempusCore::new(
+        TempusConfig::new(NvdlaConfig::nv_small().with_array(4, 4))
+            .with_precision(IntPrecision::Int4),
+    );
+    assert_conv_golden(
+        &mut core,
+        &f,
+        &k,
+        &ConvParams::valid(),
+        &ConvGolden {
+            cycles: 396,
+            atomic_ops: 81,
+            stripes: 9,
+            total_window_cycles: 225,
+            max_window_cycles: 4,
+            pe_pulse_cycles: 1512,
+            pe_gated_cycles: 2088,
+            total_silent: 46,
+            lanes: 16,
+            out_digest: 0x9699_b67b_3b73_493c,
+        },
+        "int4 4x4",
+    );
+}
+
+fn gemm_case(m: usize, n: usize, p: usize, seed: i32) -> (Matrix, Matrix) {
+    let a = Matrix::from_fn(m, n, move |i, j| {
+        ((i as i32 * 31 + j as i32 * 17 + seed) % 255) - 127
+    });
+    let b = Matrix::from_fn(n, p, move |i, j| {
+        ((i as i32 * 13 + j as i32 * 41 + seed * 3) % 255) - 127
+    });
+    (a, b)
+}
+
+struct GemmGolden {
+    shape: (usize, usize, usize),
+    seed: i32,
+    grid: (usize, usize),
+    cycles: u64,
+    steps: u64,
+    tiles: u64,
+    silent: u64,
+    digest: u64,
+}
+
+#[test]
+fn golden_gemm_cycle_accurate_stats() {
+    let cases = [
+        GemmGolden {
+            shape: (7, 9, 5),
+            seed: 1,
+            grid: (4, 4),
+            cycles: 1620,
+            steps: 36,
+            tiles: 4,
+            silent: 0,
+            digest: 0x6512_1a89_c600_695d,
+        },
+        GemmGolden {
+            shape: (10, 6, 11),
+            seed: 2,
+            grid: (3, 4),
+            cycles: 3336,
+            steps: 72,
+            tiles: 12,
+            silent: 10,
+            digest: 0x91be_4821_e905_1ff9,
+        },
+        GemmGolden {
+            shape: (16, 16, 16),
+            seed: 5,
+            grid: (8, 8),
+            cycles: 3786,
+            steps: 64,
+            tiles: 4,
+            silent: 32,
+            digest: 0x81c4_20d0_de97_f898,
+        },
+    ];
+    for GemmGolden {
+        shape: (m, n, p),
+        seed,
+        grid: (gm, gp),
+        cycles,
+        steps,
+        tiles,
+        silent,
+        digest,
+    } in cases
+    {
+        let (a, b) = gemm_case(m, n, p, seed);
+        let engine = TubGemm::new(gm, gp, IntPrecision::Int8);
+        let run = engine.multiply(&a, &b).unwrap();
+        let label = format!("gemm {m}x{n}x{p} seed {seed}");
+        assert_eq!(run.stats.cycles, cycles, "{label}: cycles");
+        assert_eq!(run.stats.steps, steps, "{label}: steps");
+        assert_eq!(run.stats.tile_passes, tiles, "{label}: tile passes");
+        assert_eq!(run.stats.silent_pe_steps, silent, "{label}: silent");
+        assert_eq!(run.output.content_hash(), digest, "{label}: output");
+
+        let reference = engine.multiply_reference(&a, &b).unwrap();
+        assert_eq!(reference.output, run.output, "{label}: reference output");
+        assert_eq!(reference.stats, run.stats, "{label}: reference stats");
+    }
+}
