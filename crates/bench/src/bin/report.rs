@@ -11,8 +11,8 @@
 use std::path::PathBuf;
 
 use tempus_bench::experiments::{
-    ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, runtime_throughput,
-    serve_latency, sim_speed, table1, table2, table3, timing,
+    ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, multi_array_scaling,
+    runtime_throughput, serve_latency, sim_speed, table1, table2, table3, timing,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -254,6 +254,24 @@ fn main() {
             .expect("write sim_speed markdown");
         write_result(&results, "BENCH_sim_speed.json", &report.to_json())
             .expect("write sim_speed json");
+    }
+
+    if wants("multi_array") {
+        println!("--- Multi-array scaling: sharded cores vs array count (beyond the paper) ---");
+        let report = multi_array_scaling::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        assert!(
+            report.digests_equal(),
+            "sharded engine diverged from the single-array reference"
+        );
+        write_result(&results, "multi_array_scaling.md", &report.to_markdown())
+            .expect("write multi_array markdown");
+        write_result(
+            &results,
+            "BENCH_multi_array_scaling.json",
+            &report.to_json(),
+        )
+        .expect("write multi_array json");
     }
 
     if wants("serve") {

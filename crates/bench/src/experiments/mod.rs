@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod multi_array_scaling;
 pub mod runtime_throughput;
 pub mod serve_latency;
 pub mod sim_speed;

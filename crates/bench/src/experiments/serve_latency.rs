@@ -33,6 +33,10 @@ pub struct ClassRow {
     pub slo_target_ns: u64,
     /// Fraction of this pass's requests inside the SLO.
     pub slo_compliance: f64,
+    /// Mean PE arrays occupied per completed request (1 on the
+    /// single-array socket this bench replays; the field keeps the
+    /// JSON schema aligned with `ServeStats`).
+    pub shards: f64,
 }
 
 /// One replay pass (cold or warm).
@@ -79,6 +83,7 @@ fn replay(service: &StreamingService, trace: &[TraceRequest], label: &'static st
     let mut digests: BTreeMap<u64, u64> = BTreeMap::new();
     let mut latencies: [Vec<u64>; 6] = Default::default();
     let mut cached: [u64; 6] = [0; 6];
+    let mut shards_sum: [u64; 6] = [0; 6];
     let mut hits = 0u64;
     let mut outstanding = 0usize;
     let mut consume =
@@ -88,6 +93,7 @@ fn replay(service: &StreamingService, trace: &[TraceRequest], label: &'static st
                 digests.insert(response.job_id, result.output.digest());
                 let i = response.class.index();
                 latencies[i].push(response.total_ns);
+                shards_sum[i] += result.shards.max(1) as u64;
                 if result.cache == tempus_serve::CacheOutcome::Hit {
                     cached[i] += 1;
                     hits += 1;
@@ -134,6 +140,7 @@ fn replay(service: &StreamingService, trace: &[TraceRequest], label: &'static st
                 p99_ns: percentile(&sorted, 99.0),
                 slo_target_ns: target,
                 slo_compliance: 1.0 - violations as f64 / sorted.len() as f64,
+                shards: shards_sum[class.index()] as f64 / sorted.len() as f64,
             })
         })
         .collect();
@@ -204,7 +211,7 @@ impl ServeLatencyReport {
                 s.push_str(&format!(
                     "        {{\"class\": \"{}\", \"completed\": {}, \"cache_hits\": {}, \
                      \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
-                     \"slo_target_ns\": {}, \"slo_compliance\": {:.4}}}{}\n",
+                     \"slo_target_ns\": {}, \"slo_compliance\": {:.4}, \"shards\": {:.2}}}{}\n",
                     c.class,
                     c.completed,
                     c.cache_hits,
@@ -213,6 +220,7 @@ impl ServeLatencyReport {
                     c.p99_ns,
                     c.slo_target_ns,
                     c.slo_compliance,
+                    c.shards,
                     if i + 1 == p.classes.len() { "" } else { "," }
                 ));
             }

@@ -101,6 +101,10 @@ pub struct TempusStats {
     pub pe_gated_cycles: u64,
     /// Average silent PEs per stripe.
     pub avg_silent_pes: f64,
+    /// Total silent-PE observations summed over stripes (the exact
+    /// integer `avg_silent_pes` is derived from — kept so sharded
+    /// runs can merge statistics without floating-point round trips).
+    pub total_silent_pes: u64,
 }
 
 /// The Tempus Core engine.
@@ -345,6 +349,75 @@ impl TempusCore {
         self.finish(&pcu, &cbuf, cacc, stats, tstats, total_silent)
     }
 
+    /// Runs one convolution partitioned across `num_arrays` PE arrays
+    /// (see [`crate::shard`]): each shard runs on its own
+    /// window-batched engine, psum streams merge deterministically
+    /// into CACC output order, and the merged statistics — including
+    /// the tub window/pulse statistics left in
+    /// [`last_tempus_stats`](TempusCore::last_tempus_stats) — are
+    /// bit-identical to the single-array engine. The run's
+    /// `critical_path_cycles` (slowest shard + reduction stage) is the
+    /// multi-array latency; `stats.cycles` stays the summed
+    /// array-cycles so work accounting is conserved.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ConvCore::convolve`] applied per shard.
+    pub fn convolve_sharded(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        num_arrays: usize,
+    ) -> Result<crate::shard::ShardedConvRun, NvdlaError> {
+        let mut per_shard: Vec<TempusStats> = Vec::new();
+        let mut run = crate::shard::convolve_sharded_with(
+            self,
+            features,
+            kernels,
+            params,
+            num_arrays,
+            |core: &TempusCore| per_shard.push(core.last_stats),
+        )?;
+
+        let mut merged = TempusStats::default();
+        for ts in &per_shard {
+            merged.total_window_cycles += ts.total_window_cycles;
+            merged.max_window_cycles = merged.max_window_cycles.max(ts.max_window_cycles);
+            merged.pe_pulse_cycles += ts.pe_pulse_cycles;
+            merged.pe_gated_cycles += ts.pe_gated_cycles;
+            merged.total_silent_pes += ts.total_silent_pes;
+        }
+        merged.avg_window_cycles = if run.stats.atomic_ops == 0 {
+            0.0
+        } else {
+            merged.total_window_cycles as f64 / run.stats.atomic_ops as f64
+        };
+        merged.avg_silent_pes = if run.stats.stripes == 0 {
+            0.0
+        } else {
+            merged.total_silent_pes as f64 / run.stats.stripes as f64
+        };
+        // Tempus utilization is pulse-based; recompute it from the
+        // merged integers (the generic driver's figure is MAC-based).
+        let lane_cycles = run.stats.cycles * self.config.base.lanes() as u64;
+        run.stats.utilization = if lane_cycles == 0 {
+            0.0
+        } else {
+            merged.pe_pulse_cycles as f64 / lane_cycles as f64
+        };
+        // Refine per-shard activity to pulse/gated PE-cycles.
+        for (shard, ts) in run.shards.iter_mut().zip(&per_shard) {
+            let mut activity = tempus_sim::ActivityCounter::new();
+            activity.record_active_n(ts.pe_pulse_cycles);
+            activity.record_gated_n(ts.pe_gated_cycles);
+            shard.activity =
+                tempus_sim::ShardActivity::new(shard.index, shard.stats.cycles, activity);
+        }
+        self.last_stats = merged;
+        Ok(run)
+    }
+
     /// Shared statistics finalisation of both engines.
     fn finish(
         &mut self,
@@ -369,6 +442,7 @@ impl TempusCore {
         } else {
             total_silent as f64 / stats.stripes as f64
         };
+        tstats.total_silent_pes = total_silent;
         self.last_stats = tstats;
 
         // One MAC-equivalent per pulse-active PE-cycle would overcount;
@@ -493,6 +567,56 @@ mod tests {
             assert_eq!(w.stats, r.stats);
             assert_eq!(windowed.last_tempus_stats(), reference.last_tempus_stats());
         }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_single_array() {
+        // Outputs AND every statistic (work sums, tub windows, pulse
+        // counts, utilization) must be bit-identical to the
+        // single-array engine, on both split axes.
+        let params = ConvParams::unit_stride_same(3);
+        for (c, k, arrays) in [
+            (8usize, 32usize, 2usize),
+            (8, 32, 4),
+            (32, 8, 4),
+            (11, 19, 3),
+        ] {
+            let (f, kn) = case(c, k, 7);
+            let mut single = TempusCore::new(TempusConfig::nv_small());
+            let base = single.convolve(&f, &kn, &params).unwrap();
+            let mut sharded = TempusCore::new(TempusConfig::nv_small());
+            let run = sharded.convolve_sharded(&f, &kn, &params, arrays).unwrap();
+            assert_eq!(run.output, base.output, "c={c} k={k} arrays={arrays}");
+            assert_eq!(run.stats, base.stats, "c={c} k={k} arrays={arrays}");
+            assert_eq!(
+                sharded.last_tempus_stats(),
+                single.last_tempus_stats(),
+                "c={c} k={k} arrays={arrays}"
+            );
+            assert!(run.critical_path_cycles < base.stats.cycles);
+            let per_shard = run.per_shard_cycles();
+            assert_eq!(per_shard.iter().sum::<u64>(), base.stats.cycles);
+            assert_eq!(
+                run.critical_path_cycles,
+                per_shard.iter().copied().max().unwrap() + run.reduction_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn single_array_plan_is_a_passthrough() {
+        let (f, kn) = case(8, 8, 3);
+        let params = ConvParams::valid();
+        let mut a = TempusCore::new(TempusConfig::nv_small());
+        let base = a.convolve(&f, &kn, &params).unwrap();
+        let mut b = TempusCore::new(TempusConfig::nv_small());
+        let run = b.convolve_sharded(&f, &kn, &params, 1).unwrap();
+        assert_eq!(run.output, base.output);
+        assert_eq!(run.stats, base.stats);
+        assert_eq!(run.critical_path_cycles, base.stats.cycles);
+        assert_eq!(run.reduction_cycles, 0);
+        assert_eq!(run.plan.used_arrays(), 1);
+        assert_eq!(a.last_tempus_stats(), b.last_tempus_stats());
     }
 
     #[test]

@@ -18,6 +18,8 @@ use std::fmt;
 
 use tempus_arith::{ArithError, IntPrecision, TwosUnaryStream};
 
+use crate::shard::{balance, plan_gemm, GemmAxis, GemmShardPlan};
+
 /// A dense row-major integer matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matrix {
@@ -341,6 +343,170 @@ impl TubGemm {
     pub fn worst_case_cycles(&self, n: usize) -> u64 {
         n as u64 * u64::from(self.precision.worst_case_tub_cycles())
     }
+
+    /// Plans a multi-array split of `A(m×n) × B(n×p)` over this
+    /// engine's grid-tile decomposition (see
+    /// [`crate::shard::plan_gemm`]).
+    #[must_use]
+    pub fn shard_plan(&self, m: usize, p: usize, num_arrays: usize) -> GemmShardPlan {
+        plan_gemm(m.div_ceil(self.grid_m), p.div_ceil(self.grid_p), num_arrays)
+    }
+
+    /// Computes `A × B` partitioned across `num_arrays` PE grids:
+    /// each array owns a contiguous range of output grid tiles (column
+    /// tiles preferred, row tiles as fallback — the inner dimension is
+    /// never split, so no reduction stage is needed). The merged
+    /// output and summed statistics are bit-identical to
+    /// [`multiply`](TubGemm::multiply); `critical_path_cycles` (the
+    /// slowest shard) is the multi-array latency.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`multiply`](TubGemm::multiply).
+    pub fn multiply_sharded(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        num_arrays: usize,
+    ) -> Result<ShardedGemmRun, ArithError> {
+        if a.cols != b.rows {
+            return Err(ArithError::LengthMismatch {
+                lhs: a.cols,
+                rhs: b.rows,
+            });
+        }
+        let plan = self.shard_plan(a.rows, b.cols, num_arrays);
+        if plan.axis == GemmAxis::Single {
+            let run = self.multiply(a, b)?;
+            return Ok(ShardedGemmRun {
+                critical_path_cycles: run.stats.cycles,
+                per_shard_cycles: vec![run.stats.cycles],
+                output: run.output,
+                stats: run.stats,
+                plan,
+            });
+        }
+        let mut output = Matrix::zeros(a.rows, b.cols);
+        let mut stats = GemmStats::default();
+        let mut per_shard_cycles = Vec::with_capacity(plan.tiles.len());
+        for &(t_lo, t_hi) in &plan.tiles {
+            let run = match plan.axis {
+                GemmAxis::Cols => {
+                    let lo = t_lo * self.grid_p;
+                    let hi = (t_hi * self.grid_p).min(b.cols);
+                    let sub = Matrix::from_fn(b.rows, hi - lo, |i, j| b.get(i, lo + j));
+                    let run = self.multiply(a, &sub)?;
+                    for i in 0..a.rows {
+                        for j in 0..(hi - lo) {
+                            output.set(i, lo + j, run.output.get(i, j));
+                        }
+                    }
+                    run
+                }
+                GemmAxis::Rows => {
+                    let lo = t_lo * self.grid_m;
+                    let hi = (t_hi * self.grid_m).min(a.rows);
+                    let sub = Matrix::from_fn(hi - lo, a.cols, |i, j| a.get(lo + i, j));
+                    let run = self.multiply(&sub, b)?;
+                    for i in 0..(hi - lo) {
+                        for j in 0..b.cols {
+                            output.set(lo + i, j, run.output.get(i, j));
+                        }
+                    }
+                    run
+                }
+                GemmAxis::Single => unreachable!("handled above"),
+            };
+            stats.cycles += run.stats.cycles;
+            stats.steps += run.stats.steps;
+            stats.tile_passes += run.stats.tile_passes;
+            stats.silent_pe_steps += run.stats.silent_pe_steps;
+            per_shard_cycles.push(run.stats.cycles);
+        }
+        let critical_path_cycles = per_shard_cycles.iter().copied().max().unwrap_or(0);
+        Ok(ShardedGemmRun {
+            output,
+            stats,
+            plan,
+            per_shard_cycles,
+            critical_path_cycles,
+        })
+    }
+
+    /// Closed-form per-shard cycle model for
+    /// [`multiply_sharded`](TubGemm::multiply_sharded): per grid tile
+    /// and outer step the window is the largest streamed `|B|`
+    /// magnitude under 2s-unary encoding, floored at one cycle —
+    /// exactly the accounting the simulated engine keeps, so the
+    /// returned per-shard cycles (and their max, the critical path)
+    /// match the sharded run bit-for-bit. With `num_arrays == 1` the
+    /// single entry equals [`multiply`](TubGemm::multiply)'s cycles.
+    #[must_use]
+    pub fn sharded_cycle_model(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        num_arrays: usize,
+    ) -> (GemmShardPlan, Vec<u64>) {
+        let plan = self.shard_plan(a.rows, b.cols, num_arrays);
+        let m_tiles = a.rows.div_ceil(self.grid_m) as u64;
+        // Per column-tile cost of streaming the whole inner dimension.
+        let col_tile_cycles: Vec<u64> = (0..b.cols.div_ceil(self.grid_p))
+            .map(|tp| {
+                let lo = tp * self.grid_p;
+                let hi = (lo + self.grid_p).min(b.cols);
+                (0..a.cols)
+                    .map(|t| {
+                        let window = (lo..hi)
+                            .map(|j| b.get(t, j).unsigned_abs().div_ceil(2))
+                            .max()
+                            .unwrap_or(0);
+                        u64::from(window.max(1))
+                    })
+                    .sum::<u64>()
+            })
+            .collect();
+        let all_cols: u64 = col_tile_cycles.iter().sum();
+        let per_shard = match plan.axis {
+            GemmAxis::Single => vec![m_tiles * all_cols],
+            GemmAxis::Cols => plan
+                .tiles
+                .iter()
+                .map(|&(lo, hi)| m_tiles * col_tile_cycles[lo..hi].iter().sum::<u64>())
+                .collect(),
+            GemmAxis::Rows => plan
+                .tiles
+                .iter()
+                .map(|&(lo, hi)| (hi - lo) as u64 * all_cols)
+                .collect(),
+        };
+        (plan, per_shard)
+    }
+}
+
+/// Result of a multi-array tubGEMM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedGemmRun {
+    /// Merged product — bit-identical to the single-array engine.
+    pub output: Matrix,
+    /// Statistics summed over shards (bit-identical to the
+    /// single-array run: the output-tile set partitions exactly).
+    pub stats: GemmStats,
+    /// The plan that was executed.
+    pub plan: GemmShardPlan,
+    /// Per-shard cycle counts, in shard order.
+    pub per_shard_cycles: Vec<u64>,
+    /// The job's latency on the multi-array core: the slowest shard
+    /// (no reduction stage — output tiles are independent).
+    pub critical_path_cycles: u64,
+}
+
+impl ShardedGemmRun {
+    /// Work balance across the arrays (see [`crate::shard::balance`]).
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        balance(&self.per_shard_cycles)
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +585,49 @@ mod tests {
             assert_eq!(fast.output, reference.output);
             assert_eq!(fast.stats, reference.stats);
         }
+    }
+
+    #[test]
+    fn sharded_multiply_is_bit_identical_to_single() {
+        for (m, n, p, gm, gp, arrays) in [
+            (10usize, 6usize, 24usize, 4usize, 4usize, 3usize), // col split
+            (24, 6, 7, 4, 4, 4),                                // row split
+            (16, 8, 16, 4, 4, 2),
+            (3, 3, 3, 4, 4, 4), // single tile both axes
+        ] {
+            let (a, b) = case(m, n, p, 11);
+            let engine = TubGemm::new(gm, gp, IntPrecision::Int8);
+            let single = engine.multiply(&a, &b).unwrap();
+            let sharded = engine.multiply_sharded(&a, &b, arrays).unwrap();
+            assert_eq!(sharded.output, single.output, "{m}x{n}x{p} arrays={arrays}");
+            assert_eq!(sharded.stats, single.stats, "{m}x{n}x{p} arrays={arrays}");
+            assert_eq!(
+                sharded.per_shard_cycles.iter().sum::<u64>(),
+                single.stats.cycles
+            );
+            assert!(sharded.critical_path_cycles <= single.stats.cycles);
+            // The closed-form model reproduces the simulated shard
+            // cycles exactly.
+            let (plan, modelled) = engine.sharded_cycle_model(&a, &b, arrays);
+            assert_eq!(plan, sharded.plan);
+            assert_eq!(modelled, sharded.per_shard_cycles);
+        }
+    }
+
+    #[test]
+    fn sharded_multiply_cuts_the_critical_path() {
+        let (a, b) = case(8, 16, 32, 11);
+        let engine = TubGemm::new(8, 8, IntPrecision::Int8);
+        let single = engine.multiply(&a, &b).unwrap();
+        let sharded = engine.multiply_sharded(&a, &b, 4).unwrap();
+        assert_eq!(sharded.plan.used_arrays(), 4);
+        assert!(
+            (sharded.critical_path_cycles as f64) < 0.6 * single.stats.cycles as f64,
+            "critical path {} vs single {}",
+            sharded.critical_path_cycles,
+            single.stats.cycles
+        );
+        assert!(sharded.balance() > 0.5);
     }
 
     #[test]

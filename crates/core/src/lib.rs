@@ -23,6 +23,10 @@
 //! * [`schedule`] — per-worker stripe-schedule caching and
 //!   weight-digest latency memoization for the batched runtime
 //!   (`tempus-runtime`), bit-identical to [`latency::predict`];
+//! * [`shard`] — multi-array sharding: kernel-group (and fallback
+//!   channel-group + cross-array reduction) partitioning of one job
+//!   across N PE arrays, with per-shard accounting, bit-identical to
+//!   the single-array engine in outputs and summed statistics;
 //! * [`gemm`] — the predecessor tubGEMM outer-product engine (§II-B),
 //!   implemented so the paper's dataflow comparison (outer-product
 //!   GEMM vs inner-product convolution) is runnable.
@@ -66,6 +70,7 @@ pub mod gemm;
 pub mod latency;
 pub mod pcu;
 pub mod schedule;
+pub mod shard;
 pub mod tub_pe;
 
 pub use core_impl::{TempusConfig, TempusCore};

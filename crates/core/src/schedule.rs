@@ -27,6 +27,7 @@ use tempus_nvdla::cube::{DataCube, KernelSet};
 use tempus_nvdla::NvdlaError;
 
 use crate::latency::LatencyBreakdown;
+use crate::shard::{balance, plan_conv, ShardPlan, ShardStrategy};
 use crate::TempusConfig;
 
 /// Cache key: everything the stripe decomposition depends on.
@@ -165,11 +166,41 @@ impl CacheStats {
 /// which feeds `binary_cycles`/`slowdown`).
 type LatencyKey = (ShapeKey, u64, u32, u32, u32);
 
+/// Closed-form latency of a convolution partitioned across N PE
+/// arrays — the functional backend's model of the multi-array engine,
+/// bit-identical to the per-shard cycle counts of
+/// [`TempusCore::convolve_sharded`](crate::TempusCore::convolve_sharded)
+/// (pinned by tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedLatency {
+    /// The plan the prediction models.
+    pub plan: ShardPlan,
+    /// Predicted cycles per shard, in shard order.
+    pub per_shard_cycles: Vec<u64>,
+    /// Cycles of the cross-array reduction stage (0 for kernel-group
+    /// splits).
+    pub reduction_cycles: u64,
+    /// Predicted multi-array latency: slowest shard plus reduction.
+    pub critical_path_cycles: u64,
+    /// Summed array-cycles — equals the single-array engine's total
+    /// exactly (the stripe set partitions).
+    pub total_array_cycles: u64,
+}
+
+impl ShardedLatency {
+    /// Work balance across the arrays (see [`crate::shard::balance`]).
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        balance(&self.per_shard_cycles)
+    }
+}
+
 /// Per-worker stripe-schedule and latency cache.
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleCache {
     schedules: HashMap<ShapeKey, StripeSchedule>,
     latencies: HashMap<LatencyKey, LatencyBreakdown>,
+    sharded: HashMap<(LatencyKey, usize), ShardedLatency>,
     stats: CacheStats,
 }
 
@@ -195,7 +226,7 @@ impl ScheduleCache {
     /// `true` when nothing is cached yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.schedules.is_empty() && self.latencies.is_empty()
+        self.schedules.is_empty() && self.latencies.is_empty() && self.sharded.is_empty()
     }
 
     /// The stripe schedule for one convolution, cached per shape.
@@ -253,6 +284,44 @@ impl ScheduleCache {
         let breakdown = predict_from_schedule(&schedule, kernels, config);
         self.latencies.insert(memo_key, breakdown);
         Ok(breakdown)
+    }
+
+    /// Closed-form multi-array latency prediction with schedule
+    /// caching and weight-digest memoization. Per-shard cycles are
+    /// bit-identical to the cycle-accurate sharded engine (each shard
+    /// is itself a convolution the single-array theorem covers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sequencer's shape errors.
+    pub fn predict_sharded(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &TempusConfig,
+        num_arrays: usize,
+    ) -> Result<ShardedLatency, NvdlaError> {
+        let key = ShapeKey::new(features, kernels, params, &config.base);
+        let memo_key = (
+            (
+                key,
+                kernels.content_hash(),
+                config.cache_in_cycles,
+                config.cache_out_cycles,
+                config.base.cmac_pipeline_depth,
+            ),
+            num_arrays,
+        );
+        if let Some(hit) = self.sharded.get(&memo_key) {
+            self.stats.latency_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.stats.latency_misses += 1;
+        let schedule = self.schedule(features, kernels, params, &config.base)?;
+        let sharded = predict_sharded_from_schedule(&schedule, kernels, config, num_arrays);
+        self.sharded.insert(memo_key, sharded.clone());
+        Ok(sharded)
     }
 }
 
@@ -316,6 +385,80 @@ pub fn predict_from_schedule(
         } else {
             total_cycles as f64 / binary_cycles as f64
         },
+    }
+}
+
+/// The closed-form sharded latency computation given a derived
+/// schedule: plans the split exactly as the cycle-accurate driver
+/// does, then prices each shard's stripe subset with the same
+/// per-stripe arithmetic as [`predict_from_schedule`] — so summing
+/// the shards reproduces the single-array total bit-for-bit, and each
+/// shard's cycles equal its simulated run.
+#[must_use]
+pub fn predict_sharded_from_schedule(
+    schedule: &StripeSchedule,
+    kernels: &KernelSet,
+    config: &TempusConfig,
+    num_arrays: usize,
+) -> ShardedLatency {
+    let (atomic_k, atomic_c) = (config.base.atomic_k, config.base.atomic_c);
+    let plan = plan_conv(kernels.k(), kernels.c(), atomic_k, atomic_c, num_arrays);
+
+    // Cost of the stripe rectangle (kernel groups × channel groups):
+    // one weight-load cycle per stripe plus window + cache overheads
+    // per atomic op — identical arithmetic to predict_from_schedule.
+    let ops_per_stripe = schedule.ops_per_stripe;
+    let overhead_per_op = u64::from(config.cache_in_cycles + config.cache_out_cycles);
+    let rect_cost = |kg_range: (usize, usize), cg_range: (usize, usize)| -> u64 {
+        let mut cycles = 0u64;
+        for kg in kg_range.0..kg_range.1 {
+            let k_lo = kg * atomic_k;
+            let k_hi = (k_lo + atomic_k).min(kernels.k());
+            for cg in cg_range.0..cg_range.1 {
+                let c_lo = cg * atomic_c;
+                let c_hi = (c_lo + atomic_c).min(kernels.c());
+                for r in 0..kernels.r() {
+                    for s in 0..kernels.s() {
+                        let mut max_mag = 0u32;
+                        for k in k_lo..k_hi {
+                            for c in c_lo..c_hi {
+                                max_mag = max_mag.max(kernels.get(k, r, s, c).unsigned_abs());
+                            }
+                        }
+                        let stripe_latency = max_mag.div_ceil(2);
+                        cycles += 1
+                            + (u64::from(stripe_latency.max(1)) + overhead_per_op) * ops_per_stripe;
+                    }
+                }
+            }
+        }
+        cycles
+    };
+
+    let all_kg = (0, schedule.kernel_groups);
+    let all_cg = (0, schedule.channel_groups);
+    let per_shard_cycles: Vec<u64> = match plan.strategy {
+        ShardStrategy::Single => vec![rect_cost(all_kg, all_cg)],
+        ShardStrategy::KernelGroups => plan
+            .slices
+            .iter()
+            .map(|s| rect_cost((s.group_lo, s.group_hi), all_cg))
+            .collect(),
+        ShardStrategy::ChannelGroups => plan
+            .slices
+            .iter()
+            .map(|s| rect_cost(all_kg, (s.group_lo, s.group_hi)))
+            .collect(),
+    };
+    let out_elems = (schedule.out_w * schedule.out_h * kernels.k()) as u64;
+    let reduction_cycles = plan.reduction_cycles(out_elems, atomic_k);
+    let max_shard = per_shard_cycles.iter().copied().max().unwrap_or(0);
+    ShardedLatency {
+        plan,
+        total_array_cycles: per_shard_cycles.iter().sum(),
+        critical_path_cycles: max_shard + reduction_cycles,
+        reduction_cycles,
+        per_shard_cycles,
     }
 }
 
@@ -385,6 +528,70 @@ mod tests {
         let mut core = TempusCore::new(config);
         let run = core.convolve(&f, &kn, &params).unwrap();
         assert_eq!(predicted.total_cycles, run.stats.cycles);
+    }
+
+    #[test]
+    fn sharded_prediction_matches_sharded_simulation_exactly() {
+        let params = ConvParams::unit_stride_same(3);
+        let config = TempusConfig::nv_small();
+        let mut cache = ScheduleCache::new();
+        for (c, k, arrays) in [
+            (8usize, 32usize, 2usize),
+            (8, 32, 4),
+            (32, 8, 4),
+            (11, 19, 3),
+        ] {
+            let (f, kn) = case(c, k, 3, 13);
+            let predicted = cache
+                .predict_sharded(&f, &kn, &params, &config, arrays)
+                .unwrap();
+            let mut core = TempusCore::new(config);
+            let run = core.convolve_sharded(&f, &kn, &params, arrays).unwrap();
+            assert_eq!(predicted.plan, run.plan, "c={c} k={k} arrays={arrays}");
+            assert_eq!(
+                predicted.per_shard_cycles,
+                run.per_shard_cycles(),
+                "c={c} k={k} arrays={arrays}"
+            );
+            assert_eq!(predicted.reduction_cycles, run.reduction_cycles);
+            assert_eq!(predicted.critical_path_cycles, run.critical_path_cycles);
+            assert_eq!(predicted.total_array_cycles, run.stats.cycles);
+            assert_eq!(predicted.balance().to_bits(), run.balance().to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_prediction_sums_to_the_single_array_prediction() {
+        let (f, kn) = case(16, 24, 3, 5);
+        let params = ConvParams::valid();
+        let config = TempusConfig::nv_small();
+        let mut cache = ScheduleCache::new();
+        let single = cache.predict(&f, &kn, &params, &config).unwrap();
+        for arrays in [1usize, 2, 3, 4, 8] {
+            let sharded = cache
+                .predict_sharded(&f, &kn, &params, &config, arrays)
+                .unwrap();
+            assert_eq!(sharded.total_array_cycles, single.total_cycles, "{arrays}");
+        }
+    }
+
+    #[test]
+    fn sharded_predictions_hit_the_memo() {
+        let (f, kn) = case(8, 16, 3, 9);
+        let params = ConvParams::valid();
+        let config = TempusConfig::nv_small();
+        let mut cache = ScheduleCache::new();
+        let first = cache.predict_sharded(&f, &kn, &params, &config, 2).unwrap();
+        let misses = cache.stats().latency_misses;
+        for _ in 0..5 {
+            let again = cache.predict_sharded(&f, &kn, &params, &config, 2).unwrap();
+            assert_eq!(first, again);
+        }
+        assert_eq!(cache.stats().latency_misses, misses);
+        assert_eq!(cache.stats().latency_hits, 5);
+        // A different array count is a different memo entry.
+        let _ = cache.predict_sharded(&f, &kn, &params, &config, 4).unwrap();
+        assert_eq!(cache.stats().latency_misses, misses + 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod design;
 pub mod gen;
 pub mod isoarea;
 pub mod layout;
+pub mod multi_array;
 pub mod netlist;
 pub mod paper;
 pub mod pe_cell;
@@ -51,5 +52,6 @@ pub mod timing;
 pub mod unit;
 
 pub use design::{DesignPoint, Family};
+pub use multi_array::MultiArrayReport;
 pub use pnr::{PnrModel, PnrReport};
 pub use synth::{Level, SynthModel, SynthReport};

@@ -1,0 +1,172 @@
+//! Multi-array scaling: area/power for N replicated PE arrays plus
+//! the cross-array partial-sum reduction tree.
+//!
+//! The runtime's sharded execution layer (`tempus_core::shard`)
+//! models a DLA with `num_arrays` PE arrays; this module prices that
+//! configuration so iso-area comparisons against the single-array
+//! socket stay honest: replicating an array N× multiplies its
+//! silicon N×, and the channel-group fallback additionally needs a
+//! reduction tree — `atomic_k` lanes of an N-input accumulator-width
+//! adder tree — whose cost must not be hand-waved away.
+//!
+//! The reduction tree is built as a structural netlist
+//! ([`crate::gen::adder_tree::adder_tree_module`]) and calibrated
+//! with the same raw→calibrated scale the parent array carries, so
+//! its share is consistent with the rest of the model.
+
+use tempus_arith::IntPrecision;
+
+use crate::calibration::{DEFAULT_ACTIVITY, FREQ_MHZ};
+use crate::design::Family;
+use crate::gen::adder_tree_module;
+use crate::netlist::{Module, Role};
+use crate::synth::{SynthModel, SynthReport};
+
+/// Accumulator width the cross-array reduction adds at (the `nv_small`
+/// CACC width; partial sums leave each array at this precision).
+pub const REDUCTION_ACC_BITS: u32 = 34;
+
+/// Post-synthesis estimate for an N-array configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiArrayReport {
+    /// Arrays replicated.
+    pub arrays: usize,
+    /// One array's estimate (the replicated unit).
+    pub per_array: SynthReport,
+    /// Calibrated area of the cross-array reduction tree, mm²
+    /// (0 for a single array — nothing to reduce).
+    pub reduction_area_mm2: f64,
+    /// Calibrated power of the reduction tree, mW at 250 MHz.
+    pub reduction_power_mw: f64,
+    /// Total area: `arrays × per_array + reduction`, mm².
+    pub total_area_mm2: f64,
+    /// Total power: `arrays × per_array + reduction`, mW.
+    pub total_power_mw: f64,
+}
+
+impl MultiArrayReport {
+    /// The reduction tree's share of total area (0 for one array).
+    #[must_use]
+    pub fn reduction_overhead(&self) -> f64 {
+        if self.total_area_mm2 == 0.0 {
+            0.0
+        } else {
+            self.reduction_area_mm2 / self.total_area_mm2
+        }
+    }
+
+    /// Area relative to the single-array socket: how many single
+    /// arrays' worth of silicon this configuration spends.
+    #[must_use]
+    pub fn area_multiple(&self) -> f64 {
+        if self.per_array.area_mm2 == 0.0 {
+            0.0
+        } else {
+            self.total_area_mm2 / self.per_array.area_mm2
+        }
+    }
+}
+
+impl SynthModel {
+    /// Estimates a DLA with `arrays` replicated `k`×`n` PE arrays of
+    /// `family` at `precision`, including the cross-array reduction
+    /// tree (`k` lanes of an `arrays`-input adder tree at
+    /// [`REDUCTION_ACC_BITS`]).
+    #[must_use]
+    pub fn multi_array(
+        &self,
+        family: Family,
+        precision: IntPrecision,
+        k: usize,
+        n: usize,
+        arrays: usize,
+    ) -> MultiArrayReport {
+        let arrays = arrays.max(1);
+        let per_array = self.pe_array(family, precision, k, n);
+        let (reduction_area_mm2, reduction_power_mw) = if arrays > 1 {
+            let mut tree =
+                Module::new(format!("xarray_reduction_{arrays}x{k}"), Role::UnitOverhead);
+            tree.instantiate(
+                k as u64,
+                adder_tree_module(arrays, REDUCTION_ACC_BITS, Role::UnitOverhead),
+            );
+            let raw = tree.rollup(self.library(), DEFAULT_ACTIVITY).total();
+            let raw_area_mm2 = raw.area_um2 / 1e6;
+            let raw_power_mw = raw.dynamic_mw(FREQ_MHZ) + raw.leakage_mw();
+            // Scale by the same raw→calibrated factor the array
+            // carries so the reduction's share is model-consistent.
+            let area_scale = per_array.area_mm2 / per_array.raw_area_mm2.max(f64::MIN_POSITIVE);
+            (raw_area_mm2 * area_scale, raw_power_mw * area_scale)
+        } else {
+            (0.0, 0.0)
+        };
+        MultiArrayReport {
+            arrays,
+            total_area_mm2: arrays as f64 * per_array.area_mm2 + reduction_area_mm2,
+            total_power_mw: arrays as f64 * per_array.power_mw + reduction_power_mw,
+            per_array,
+            reduction_area_mm2,
+            reduction_power_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_array_has_no_reduction_cost() {
+        let hw = SynthModel::nangate45();
+        let r = hw.multi_array(Family::Tub, IntPrecision::Int8, 16, 16, 1);
+        assert_eq!(r.reduction_area_mm2, 0.0);
+        assert_eq!(r.reduction_power_mw, 0.0);
+        assert!((r.total_area_mm2 - r.per_array.area_mm2).abs() < 1e-12);
+        assert!((r.area_multiple() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_scales_and_reduction_stays_small() {
+        let hw = SynthModel::nangate45();
+        for family in Family::BOTH {
+            let mut prev_area = 0.0;
+            for arrays in [1usize, 2, 4, 8] {
+                let r = hw.multi_array(family, IntPrecision::Int8, 16, 16, arrays);
+                assert!(r.total_area_mm2 > prev_area, "{family} arrays={arrays}");
+                assert!(r.total_power_mw > 0.0 && r.total_power_mw.is_finite());
+                // N arrays cost at least N× one array, and the
+                // reduction tree stays a small fraction of the total.
+                assert!(r.area_multiple() >= arrays as f64);
+                assert!(
+                    r.reduction_overhead() < 0.1,
+                    "{family} arrays={arrays}: reduction {:.1}% of total",
+                    r.reduction_overhead() * 100.0
+                );
+                prev_area = r.total_area_mm2;
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_grows_with_array_count() {
+        let hw = SynthModel::nangate45();
+        let r2 = hw.multi_array(Family::Tub, IntPrecision::Int8, 16, 16, 2);
+        let r8 = hw.multi_array(Family::Tub, IntPrecision::Int8, 16, 16, 8);
+        assert!(r8.reduction_area_mm2 > r2.reduction_area_mm2);
+        assert!(r8.reduction_power_mw > r2.reduction_power_mw);
+    }
+
+    #[test]
+    fn tub_multi_array_keeps_its_area_advantage() {
+        // The paper's area win must survive replication: N tub arrays
+        // plus reduction still undercut N binary arrays plus
+        // reduction.
+        let hw = SynthModel::nangate45();
+        for arrays in [2usize, 4] {
+            let tub = hw.multi_array(Family::Tub, IntPrecision::Int8, 16, 16, arrays);
+            let bin = hw.multi_array(Family::Binary, IntPrecision::Int8, 16, 16, arrays);
+            assert!(tub.total_area_mm2 < bin.total_area_mm2);
+            assert!(tub.total_power_mw < bin.total_power_mw);
+        }
+    }
+}

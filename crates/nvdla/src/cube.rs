@@ -174,6 +174,21 @@ impl DataCube {
         }
     }
 
+    /// A copy of the channel range `[c_lo, c_hi)` as its own cube —
+    /// the channel-group shard of a feature map the multi-array
+    /// planner hands to one PE array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or out of bounds.
+    #[must_use]
+    pub fn slice_channels(&self, c_lo: usize, c_hi: usize) -> DataCube {
+        assert!(c_lo < c_hi && c_hi <= self.c, "invalid channel range");
+        DataCube::from_fn(self.w, self.h, c_hi - c_lo, |x, y, ch| {
+            self.get(x, y, c_lo + ch)
+        })
+    }
+
     /// Raw storage, channel-minor.
     #[must_use]
     pub fn as_slice(&self) -> &[i32] {
@@ -349,6 +364,36 @@ impl KernelSet {
         }
     }
 
+    /// A copy of the kernel range `[k_lo, k_hi)` as its own set — the
+    /// kernel-group shard the multi-array planner hands to one PE
+    /// array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or out of bounds.
+    #[must_use]
+    pub fn slice_kernels(&self, k_lo: usize, k_hi: usize) -> KernelSet {
+        assert!(k_lo < k_hi && k_hi <= self.k, "invalid kernel range");
+        KernelSet::from_fn(k_hi - k_lo, self.r, self.s, self.c, |k, r, s, c| {
+            self.get(k_lo + k, r, s, c)
+        })
+    }
+
+    /// A copy of the channel range `[c_lo, c_hi)` of every kernel —
+    /// the channel-group shard matching
+    /// [`DataCube::slice_channels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or out of bounds.
+    #[must_use]
+    pub fn slice_channels(&self, c_lo: usize, c_hi: usize) -> KernelSet {
+        assert!(c_lo < c_hi && c_hi <= self.c, "invalid channel range");
+        KernelSet::from_fn(self.k, self.r, self.s, c_hi - c_lo, |k, r, s, c| {
+            self.get(k, r, s, c_lo + c)
+        })
+    }
+
     /// Raw storage.
     #[must_use]
     pub fn as_slice(&self) -> &[i32] {
@@ -499,6 +544,32 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_dims_rejected() {
         let _ = DataCube::zeros(0, 1, 1);
+    }
+
+    #[test]
+    fn slices_copy_the_right_ranges() {
+        let cube = DataCube::from_fn(3, 2, 6, |x, y, c| (x * 100 + y * 10 + c) as i32);
+        let s = cube.slice_channels(2, 5);
+        assert_eq!((s.w(), s.h(), s.c()), (3, 2, 3));
+        assert_eq!(s.get(1, 1, 0), cube.get(1, 1, 2));
+        assert_eq!(s.get(2, 0, 2), cube.get(2, 0, 4));
+
+        let k = KernelSet::from_fn(5, 2, 2, 4, |k, r, s, c| {
+            (k * 1000 + r * 100 + s * 10 + c) as i32
+        });
+        let kk = k.slice_kernels(1, 4);
+        assert_eq!((kk.k(), kk.r(), kk.s(), kk.c()), (3, 2, 2, 4));
+        assert_eq!(kk.get(0, 1, 0, 3), k.get(1, 1, 0, 3));
+        let kc = k.slice_channels(1, 3);
+        assert_eq!((kc.k(), kc.c()), (5, 2));
+        assert_eq!(kc.get(4, 1, 1, 1), k.get(4, 1, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid channel range")]
+    fn empty_slice_rejected() {
+        let cube = DataCube::zeros(2, 2, 4);
+        let _ = cube.slice_channels(2, 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use tempus_core::gemm::{Matrix, TubGemm};
 use tempus_core::schedule::{CacheStats, ScheduleCache};
+use tempus_core::shard::{self, ShardAccum};
 use tempus_core::{TempusConfig, TempusCore};
 use tempus_nvdla::config::NvdlaConfig;
 use tempus_nvdla::conv::direct_conv;
@@ -29,13 +30,40 @@ use tempus_nvdla::sdp;
 use crate::error::RuntimeError;
 use crate::job::{Job, JobOutput, JobPayload};
 
-/// Output plus the backend's modelled cycle count.
+/// Output plus the backend's modelled cycle counts and multi-array
+/// shard accounting.
 #[derive(Debug, Clone)]
 pub struct Execution {
     /// The computed output.
     pub output: JobOutput,
-    /// Modelled datapath cycles.
+    /// Modelled job latency in datapath cycles. On a multi-array
+    /// backend this is the **sharded critical path**: the slowest
+    /// shard plus any cross-array reduction stage.
     pub sim_cycles: u64,
+    /// Array-cycles summed over every shard (equals `sim_cycles` on a
+    /// single array) — the figure energy accounting scales with, since
+    /// every array burns power while it runs.
+    pub total_array_cycles: u64,
+    /// PE arrays the job actually occupied.
+    pub shards: usize,
+    /// Work balance across the arrays: summed shard cycles over
+    /// `shards × slowest shard` (1.0 when single-array or perfectly
+    /// balanced).
+    pub shard_utilization: f64,
+}
+
+impl Execution {
+    /// A single-array execution: latency and array-cycles coincide.
+    #[must_use]
+    pub fn single(output: JobOutput, sim_cycles: u64) -> Self {
+        Execution {
+            output,
+            sim_cycles,
+            total_array_cycles: sim_cycles,
+            shards: 1,
+            shard_utilization: 1.0,
+        }
+    }
 }
 
 /// The pluggable backend contract: every worker owns one instance
@@ -86,20 +114,64 @@ impl BackendKind {
         }
     }
 
-    /// Builds one worker-owned backend instance.
+    /// Builds one worker-owned backend instance modelling a DLA with
+    /// `num_arrays` PE arrays.
     #[must_use]
     pub fn instantiate(
         self,
         tempus: TempusConfig,
         nvdla: NvdlaConfig,
         gemm_grid: (usize, usize),
+        num_arrays: usize,
     ) -> Box<dyn InferenceBackend> {
         match self {
-            BackendKind::TempusCycleAccurate => Box::new(TempusBackend::new(tempus, gemm_grid)),
-            BackendKind::NvdlaCycleAccurate => Box::new(NvdlaBackend::new(nvdla, gemm_grid)),
-            BackendKind::FastFunctional => Box::new(FunctionalBackend::new(tempus, gemm_grid)),
+            BackendKind::TempusCycleAccurate => {
+                Box::new(TempusBackend::new(tempus, gemm_grid).with_arrays(num_arrays))
+            }
+            BackendKind::NvdlaCycleAccurate => {
+                Box::new(NvdlaBackend::new(nvdla, gemm_grid).with_arrays(num_arrays))
+            }
+            BackendKind::FastFunctional => {
+                Box::new(FunctionalBackend::new(tempus, gemm_grid).with_arrays(num_arrays))
+            }
         }
     }
+}
+
+/// Executes a whole network on a multi-array core: every layer is
+/// sharded across the arrays, the job's latency is the sum of
+/// per-layer critical paths, and shard occupancy/balance accumulate
+/// across layers. Mirrors [`run_network`]'s SDP/PDP post-processing
+/// exactly.
+fn run_network_sharded<C: ConvCore>(
+    core: &mut C,
+    input: &DataCube,
+    layers: &[NetworkLayer],
+    num_arrays: usize,
+) -> Result<(DataCube, u64, u64, ShardAccum), RuntimeError> {
+    let mut x = input.clone();
+    let mut critical = 0u64;
+    let mut total_array = 0u64;
+    let mut accum = ShardAccum::new();
+    for layer in layers {
+        let run = shard::convolve_sharded_with(
+            core,
+            &x,
+            &layer.kernels,
+            &layer.conv,
+            num_arrays,
+            |_| {},
+        )?;
+        critical += run.critical_path_cycles;
+        total_array += run.stats.cycles;
+        accum.add(&run.per_shard_cycles());
+        let (requant, _) = sdp::apply(&run.output, &layer.sdp)?;
+        x = match &layer.pool {
+            Some(pool) => pdp::apply(&requant, pool)?,
+            None => requant,
+        };
+    }
+    Ok((x, critical, total_array, accum))
 }
 
 /// Cycle-accurate Tempus Core backend.
@@ -107,17 +179,27 @@ impl BackendKind {
 pub struct TempusBackend {
     core: TempusCore,
     gemm: TubGemm,
+    num_arrays: usize,
 }
 
 impl TempusBackend {
-    /// Creates the backend; the GEMM path uses a `grid` PE array at
-    /// the core's precision.
+    /// Creates a single-array backend; the GEMM path uses a `grid` PE
+    /// array at the core's precision.
     #[must_use]
     pub fn new(config: TempusConfig, grid: (usize, usize)) -> Self {
         TempusBackend {
             gemm: TubGemm::new(grid.0, grid.1, config.base.precision),
             core: TempusCore::new(config),
+            num_arrays: 1,
         }
+    }
+
+    /// Models a DLA with `num_arrays` PE arrays (builder style): jobs
+    /// are sharded across the arrays and latency is the critical path.
+    #[must_use]
+    pub fn with_arrays(mut self, num_arrays: usize) -> Self {
+        self.num_arrays = num_arrays.max(1);
+        self
     }
 }
 
@@ -133,25 +215,60 @@ impl InferenceBackend for TempusBackend {
                 kernels,
                 params,
             } => {
-                let run = self.core.convolve(features, kernels, params)?;
-                Ok(Execution {
-                    output: JobOutput::Cube(run.output),
-                    sim_cycles: run.stats.cycles,
-                })
+                if self.num_arrays > 1 {
+                    let run =
+                        self.core
+                            .convolve_sharded(features, kernels, params, self.num_arrays)?;
+                    let per_shard = run.per_shard_cycles();
+                    Ok(Execution {
+                        output: JobOutput::Cube(run.output),
+                        sim_cycles: run.critical_path_cycles,
+                        total_array_cycles: run.stats.cycles,
+                        shards: run.plan.used_arrays(),
+                        shard_utilization: shard::balance(&per_shard),
+                    })
+                } else {
+                    let run = self.core.convolve(features, kernels, params)?;
+                    Ok(Execution::single(
+                        JobOutput::Cube(run.output),
+                        run.stats.cycles,
+                    ))
+                }
             }
             JobPayload::Gemm { a, b } => {
-                let run = self.gemm.multiply(a, b)?;
-                Ok(Execution {
-                    output: JobOutput::Matrix(run.output),
-                    sim_cycles: run.stats.cycles,
-                })
+                if self.num_arrays > 1 {
+                    let run = self.gemm.multiply_sharded(a, b, self.num_arrays)?;
+                    Ok(Execution {
+                        sim_cycles: run.critical_path_cycles,
+                        total_array_cycles: run.stats.cycles,
+                        shards: run.plan.used_arrays(),
+                        shard_utilization: run.balance(),
+                        output: JobOutput::Matrix(run.output),
+                    })
+                } else {
+                    let run = self.gemm.multiply(a, b)?;
+                    Ok(Execution::single(
+                        JobOutput::Matrix(run.output),
+                        run.stats.cycles,
+                    ))
+                }
             }
             JobPayload::Network { input, layers } => {
-                let run = run_network(&mut self.core, input, layers)?;
-                Ok(Execution {
-                    sim_cycles: run.total_cycles(),
-                    output: JobOutput::Cube(run.output),
-                })
+                if self.num_arrays > 1 {
+                    let (output, critical, total_array, accum) =
+                        run_network_sharded(&mut self.core, input, layers, self.num_arrays)?;
+                    Ok(Execution {
+                        output: JobOutput::Cube(output),
+                        sim_cycles: critical,
+                        total_array_cycles: total_array,
+                        shards: accum.max_used(),
+                        shard_utilization: accum.balance(),
+                    })
+                } else {
+                    let run = run_network(&mut self.core, input, layers)?;
+                    let cycles = run.total_cycles();
+                    Ok(Execution::single(JobOutput::Cube(run.output), cycles))
+                }
             }
         }
     }
@@ -162,16 +279,25 @@ impl InferenceBackend for TempusBackend {
 pub struct NvdlaBackend {
     core: NvdlaConvCore,
     grid: (usize, usize),
+    num_arrays: usize,
 }
 
 impl NvdlaBackend {
-    /// Creates the backend.
+    /// Creates a single-array backend.
     #[must_use]
     pub fn new(config: NvdlaConfig, grid: (usize, usize)) -> Self {
         NvdlaBackend {
             core: NvdlaConvCore::new(config),
             grid,
+            num_arrays: 1,
         }
+    }
+
+    /// Models a DLA with `num_arrays` MAC arrays (builder style).
+    #[must_use]
+    pub fn with_arrays(mut self, num_arrays: usize) -> Self {
+        self.num_arrays = num_arrays.max(1);
+        self
     }
 
     /// Binary outer-product GEMM cycle model: one rank-1 update per
@@ -180,6 +306,30 @@ impl NvdlaBackend {
         let m_tiles = a.rows().div_ceil(self.grid.0) as u64;
         let p_tiles = b.cols().div_ceil(self.grid.1) as u64;
         m_tiles * p_tiles * a.cols() as u64
+    }
+
+    /// Per-shard binary GEMM cycles under the multi-array tile split:
+    /// the sharded axis's tile count partitions, the other axis stays
+    /// whole.
+    fn sharded_binary_gemm_cycles(&self, a: &Matrix, b: &Matrix) -> (usize, Vec<u64>) {
+        let m_tiles = a.rows().div_ceil(self.grid.0);
+        let p_tiles = b.cols().div_ceil(self.grid.1);
+        let plan = shard::plan_gemm(m_tiles, p_tiles, self.num_arrays);
+        let n = a.cols() as u64;
+        let per_shard = match plan.axis {
+            shard::GemmAxis::Single => vec![self.binary_gemm_cycles(a, b)],
+            shard::GemmAxis::Cols => plan
+                .tiles
+                .iter()
+                .map(|&(lo, hi)| m_tiles as u64 * (hi - lo) as u64 * n)
+                .collect(),
+            shard::GemmAxis::Rows => plan
+                .tiles
+                .iter()
+                .map(|&(lo, hi)| (hi - lo) as u64 * p_tiles as u64 * n)
+                .collect(),
+        };
+        (plan.used_arrays(), per_shard)
     }
 }
 
@@ -195,28 +345,61 @@ impl InferenceBackend for NvdlaBackend {
                 kernels,
                 params,
             } => {
-                let run = self.core.convolve(features, kernels, params)?;
-                Ok(Execution {
-                    output: JobOutput::Cube(run.output),
-                    sim_cycles: run.stats.cycles,
-                })
+                if self.num_arrays > 1 {
+                    let run = shard::convolve_sharded_with(
+                        &mut self.core,
+                        features,
+                        kernels,
+                        params,
+                        self.num_arrays,
+                        |_| {},
+                    )?;
+                    let per_shard = run.per_shard_cycles();
+                    Ok(Execution {
+                        output: JobOutput::Cube(run.output),
+                        sim_cycles: run.critical_path_cycles,
+                        total_array_cycles: run.stats.cycles,
+                        shards: run.plan.used_arrays(),
+                        shard_utilization: shard::balance(&per_shard),
+                    })
+                } else {
+                    let run = self.core.convolve(features, kernels, params)?;
+                    Ok(Execution::single(
+                        JobOutput::Cube(run.output),
+                        run.stats.cycles,
+                    ))
+                }
             }
             JobPayload::Gemm { a, b } => {
                 let precision = self.core.config().precision;
                 check_matrix(a, precision)?;
                 check_matrix(b, precision)?;
                 let output = a.multiply(b)?;
+                let (shards, per_shard) = self.sharded_binary_gemm_cycles(a, b);
                 Ok(Execution {
-                    sim_cycles: self.binary_gemm_cycles(a, b),
+                    sim_cycles: per_shard.iter().copied().max().unwrap_or(0),
+                    total_array_cycles: per_shard.iter().sum(),
+                    shards,
+                    shard_utilization: shard::balance(&per_shard),
                     output: JobOutput::Matrix(output),
                 })
             }
             JobPayload::Network { input, layers } => {
-                let run = run_network(&mut self.core, input, layers)?;
-                Ok(Execution {
-                    sim_cycles: run.total_cycles(),
-                    output: JobOutput::Cube(run.output),
-                })
+                if self.num_arrays > 1 {
+                    let (output, critical, total_array, accum) =
+                        run_network_sharded(&mut self.core, input, layers, self.num_arrays)?;
+                    Ok(Execution {
+                        output: JobOutput::Cube(output),
+                        sim_cycles: critical,
+                        total_array_cycles: total_array,
+                        shards: accum.max_used(),
+                        shard_utilization: accum.balance(),
+                    })
+                } else {
+                    let run = run_network(&mut self.core, input, layers)?;
+                    let cycles = run.total_cycles();
+                    Ok(Execution::single(JobOutput::Cube(run.output), cycles))
+                }
             }
         }
     }
@@ -241,37 +424,28 @@ pub struct FunctionalBackend {
     config: TempusConfig,
     gemm: TubGemm,
     cache: ScheduleCache,
+    num_arrays: usize,
 }
 
 impl FunctionalBackend {
-    /// Creates the backend with an empty schedule cache.
+    /// Creates a single-array backend with an empty schedule cache.
     #[must_use]
     pub fn new(config: TempusConfig, grid: (usize, usize)) -> Self {
         FunctionalBackend {
             gemm: TubGemm::new(grid.0, grid.1, config.base.precision),
             config,
             cache: ScheduleCache::new(),
+            num_arrays: 1,
         }
     }
 
-    /// Closed-form tubGEMM cycle model, exactly mirroring
-    /// [`TubGemm::multiply`]'s accounting: per grid tile and outer
-    /// step, the window is the largest streamed `|B|` magnitude under
-    /// 2s-unary encoding, floored at one cycle.
-    fn gemm_cycles(&self, a: &Matrix, b: &Matrix) -> u64 {
-        let mut cycles = 0u64;
-        let m_tiles = a.rows().div_ceil(self.gemm.grid_m()) as u64;
-        for p0 in (0..b.cols()).step_by(self.gemm.grid_p()) {
-            let p1 = (p0 + self.gemm.grid_p()).min(b.cols());
-            for t in 0..a.cols() {
-                let window = (p0..p1)
-                    .map(|j| b.get(t, j).unsigned_abs().div_ceil(2))
-                    .max()
-                    .unwrap_or(0);
-                cycles += u64::from(window.max(1));
-            }
-        }
-        cycles * m_tiles
+    /// Models a DLA with `num_arrays` PE arrays (builder style): the
+    /// closed-form latency reproduces the sharded critical path of the
+    /// cycle-accurate multi-array engine exactly.
+    #[must_use]
+    pub fn with_arrays(mut self, num_arrays: usize) -> Self {
+        self.num_arrays = num_arrays.max(1);
+        self
     }
 }
 
@@ -288,30 +462,64 @@ impl InferenceBackend for FunctionalBackend {
                 params,
             } => {
                 tempus_nvdla::conv::check_operands(features, kernels, self.config.base.precision)?;
-                let latency = self
-                    .cache
-                    .predict(features, kernels, params, &self.config)?;
-                let output = direct_conv(features, kernels, params)?;
-                Ok(Execution {
-                    output: JobOutput::Cube(output),
-                    sim_cycles: latency.total_cycles,
-                })
+                if self.num_arrays > 1 {
+                    let latency = self.cache.predict_sharded(
+                        features,
+                        kernels,
+                        params,
+                        &self.config,
+                        self.num_arrays,
+                    )?;
+                    let output = direct_conv(features, kernels, params)?;
+                    Ok(Execution {
+                        output: JobOutput::Cube(output),
+                        sim_cycles: latency.critical_path_cycles,
+                        total_array_cycles: latency.total_array_cycles,
+                        shards: latency.plan.used_arrays(),
+                        shard_utilization: latency.balance(),
+                    })
+                } else {
+                    let latency = self
+                        .cache
+                        .predict(features, kernels, params, &self.config)?;
+                    let output = direct_conv(features, kernels, params)?;
+                    Ok(Execution::single(
+                        JobOutput::Cube(output),
+                        latency.total_cycles,
+                    ))
+                }
             }
             JobPayload::Gemm { a, b } => {
                 check_matrix(a, self.config.base.precision)?;
                 check_matrix(b, self.config.base.precision)?;
                 let output = a.multiply(b)?;
+                // One closed-form window model serves both shapes: at
+                // one array the plan is `Single` and the lone shard's
+                // cycles equal `TubGemm::multiply`'s accounting, so
+                // there is no separate single-array copy to drift.
+                let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, self.num_arrays);
                 Ok(Execution {
-                    sim_cycles: self.gemm_cycles(a, b),
+                    sim_cycles: per_shard.iter().copied().max().unwrap_or(0),
+                    total_array_cycles: per_shard.iter().sum(),
+                    shards: plan.used_arrays(),
+                    shard_utilization: shard::balance(&per_shard),
                     output: JobOutput::Matrix(output),
                 })
             }
             JobPayload::Network { input, layers } => {
-                let (output, cycles) = self.run_network_functional(input, layers)?;
-                Ok(Execution {
-                    output: JobOutput::Cube(output),
-                    sim_cycles: cycles,
-                })
+                let (output, critical, total_array, accum) =
+                    self.run_network_functional(input, layers)?;
+                if self.num_arrays > 1 {
+                    Ok(Execution {
+                        output: JobOutput::Cube(output),
+                        sim_cycles: critical,
+                        total_array_cycles: total_array,
+                        shards: accum.max_used(),
+                        shard_utilization: accum.balance(),
+                    })
+                } else {
+                    Ok(Execution::single(JobOutput::Cube(output), critical))
+                }
             }
         }
     }
@@ -324,20 +532,38 @@ impl InferenceBackend for FunctionalBackend {
 impl FunctionalBackend {
     /// Network execution mirroring
     /// [`tempus_nvdla::network::run_network`] with the convolution
-    /// replaced by golden model + closed-form latency.
+    /// replaced by golden model + closed-form (sharded) latency.
+    /// Returns `(output, critical_path, total_array_cycles, accum)`;
+    /// on a single array the two cycle figures coincide.
     fn run_network_functional(
         &mut self,
         input: &DataCube,
         layers: &[NetworkLayer],
-    ) -> Result<(DataCube, u64), RuntimeError> {
+    ) -> Result<(DataCube, u64, u64, ShardAccum), RuntimeError> {
         let mut x = input.clone();
-        let mut cycles = 0u64;
+        let mut critical = 0u64;
+        let mut total_array = 0u64;
+        let mut accum = ShardAccum::new();
         for layer in layers {
             tempus_nvdla::conv::check_operands(&x, &layer.kernels, self.config.base.precision)?;
-            let latency = self
-                .cache
-                .predict(&x, &layer.kernels, &layer.conv, &self.config)?;
-            cycles += latency.total_cycles;
+            if self.num_arrays > 1 {
+                let latency = self.cache.predict_sharded(
+                    &x,
+                    &layer.kernels,
+                    &layer.conv,
+                    &self.config,
+                    self.num_arrays,
+                )?;
+                critical += latency.critical_path_cycles;
+                total_array += latency.total_array_cycles;
+                accum.add(&latency.per_shard_cycles);
+            } else {
+                let latency = self
+                    .cache
+                    .predict(&x, &layer.kernels, &layer.conv, &self.config)?;
+                critical += latency.total_cycles;
+                total_array += latency.total_cycles;
+            }
             let conv_out = direct_conv(&x, &layer.kernels, &layer.conv)?;
             let (requant, _) = sdp::apply(&conv_out, &layer.sdp)?;
             x = match &layer.pool {
@@ -345,7 +571,7 @@ impl FunctionalBackend {
                 None => requant,
             };
         }
-        Ok((x, cycles))
+        Ok((x, critical, total_array, accum))
     }
 }
 
@@ -422,10 +648,72 @@ mod tests {
     }
 
     #[test]
+    fn multi_array_backends_agree_on_outputs_and_cycles() {
+        // Tempus and functional backends must agree on the sharded
+        // critical path, array-cycles, occupancy and balance for every
+        // array count; NVDLA agrees on outputs.
+        for arrays in [1usize, 2, 3, 4, 8] {
+            let mut tempus =
+                TempusBackend::new(TempusConfig::nv_small(), (4, 4)).with_arrays(arrays);
+            let mut fast =
+                FunctionalBackend::new(TempusConfig::nv_small(), (4, 4)).with_arrays(arrays);
+            let mut nvdla = NvdlaBackend::new(NvdlaConfig::nv_small(), (4, 4)).with_arrays(arrays);
+            for job in [conv_job(10), gemm_job(11)] {
+                let t = tempus.execute(&job).unwrap();
+                let f = fast.execute(&job).unwrap();
+                let n = nvdla.execute(&job).unwrap();
+                assert_eq!(t.output, f.output, "{} arrays={arrays}", job.name);
+                assert_eq!(t.output, n.output, "{} arrays={arrays}", job.name);
+                assert_eq!(t.sim_cycles, f.sim_cycles, "{} arrays={arrays}", job.name);
+                assert_eq!(
+                    t.total_array_cycles, f.total_array_cycles,
+                    "{} arrays={arrays}",
+                    job.name
+                );
+                assert_eq!(t.shards, f.shards, "{} arrays={arrays}", job.name);
+                assert_eq!(
+                    t.shard_utilization.to_bits(),
+                    f.shard_utilization.to_bits(),
+                    "{} arrays={arrays}",
+                    job.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_array_conv_cuts_latency_and_conserves_output() {
+        // 8 kernels on an 8-cell array is a single kernel group, so 2
+        // arrays fall back to channel-group splitting (32 channels =
+        // 4 groups) with the cross-array reduction stage.
+        let features = DataCube::from_fn(6, 6, 32, |x, y, c| {
+            ((x as i32 * 31 + y as i32 * 17 + c as i32 * 7) % 255) - 127
+        });
+        let kernels = tempus_nvdla::cube::KernelSet::from_fn(8, 3, 3, 32, |k, r, s, c| {
+            ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + c as i32 * 11) % 255) - 127
+        });
+        let job = Job::conv(
+            20,
+            "wide-conv",
+            features,
+            kernels,
+            tempus_nvdla::conv::ConvParams::valid(),
+        );
+        let mut single = TempusBackend::new(TempusConfig::nv_small(), (4, 4));
+        let mut dual = TempusBackend::new(TempusConfig::nv_small(), (4, 4)).with_arrays(2);
+        let s = single.execute(&job).unwrap();
+        let d = dual.execute(&job).unwrap();
+        assert_eq!(s.output, d.output);
+        assert_eq!(d.shards, 2);
+        assert!(d.sim_cycles < s.sim_cycles);
+        assert!(d.total_array_cycles >= s.sim_cycles);
+    }
+
+    #[test]
     fn backend_kinds_instantiate() {
         for kind in BackendKind::ALL {
             let mut backend =
-                kind.instantiate(TempusConfig::nv_small(), NvdlaConfig::nv_small(), (4, 4));
+                kind.instantiate(TempusConfig::nv_small(), NvdlaConfig::nv_small(), (4, 4), 2);
             let run = backend.execute(&conv_job(7)).unwrap();
             assert!(run.sim_cycles > 0);
             assert_eq!(backend.name(), kind.name());

@@ -31,6 +31,11 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Which backend the workers instantiate.
     pub backend: BackendKind,
+    /// PE arrays per modelled DLA: jobs are sharded across them
+    /// (kernel groups preferred, channel groups + cross-array
+    /// reduction as fallback) and per-job latency becomes the sharded
+    /// critical path. 1 models the paper's single-core socket.
+    pub num_arrays: usize,
     /// Tempus Core configuration (tempus and functional backends).
     pub tempus: TempusConfig,
     /// NVDLA baseline configuration (nvdla backend).
@@ -48,6 +53,7 @@ impl EngineConfig {
             workers: 4,
             seed: 42,
             backend,
+            num_arrays: 1,
             tempus: TempusConfig::paper_16x16(),
             nvdla: NvdlaConfig::paper_16x16(),
             gemm_grid: (16, 16),
@@ -65,6 +71,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the modelled PE-array count (builder style).
+    #[must_use]
+    pub fn with_arrays(mut self, num_arrays: usize) -> Self {
+        self.num_arrays = num_arrays.max(1);
         self
     }
 
@@ -215,6 +228,7 @@ impl InferenceEngine {
                                 config.tempus,
                                 config.nvdla,
                                 config.gemm_grid,
+                                config.num_arrays,
                             );
                             let mut results = Vec::with_capacity(assigned.len());
                             let mut stats = WorkerStats {
@@ -235,7 +249,10 @@ impl InferenceEngine {
                                     kind: job.payload.kind(),
                                     output: run.output,
                                     sim_cycles: run.sim_cycles,
-                                    energy_pj: power * run.sim_cycles as f64 * PERIOD_NS,
+                                    total_array_cycles: run.total_array_cycles,
+                                    shards: run.shards,
+                                    shard_utilization: run.shard_utilization,
+                                    energy_pj: power * run.total_array_cycles as f64 * PERIOD_NS,
                                     wall_ns,
                                     worker: worker_idx,
                                 });

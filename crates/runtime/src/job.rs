@@ -169,9 +169,18 @@ pub struct JobResult {
     pub kind: &'static str,
     /// The computed output.
     pub output: JobOutput,
-    /// Modelled datapath cycles (simulated or closed-form, per
-    /// backend).
+    /// Modelled job latency in datapath cycles (simulated or
+    /// closed-form, per backend); on a multi-array backend, the
+    /// sharded critical path.
     pub sim_cycles: u64,
+    /// Array-cycles summed over every shard (equals `sim_cycles` on a
+    /// single array); energy scales with this.
+    pub total_array_cycles: u64,
+    /// PE arrays the job occupied (1 on single-array backends).
+    pub shards: usize,
+    /// Work balance across the arrays (1.0 when single-array or
+    /// perfectly balanced).
+    pub shard_utilization: f64,
     /// Modelled energy at the paper's 250 MHz clock, in pJ.
     pub energy_pj: f64,
     /// Host wall-clock spent executing the job, in nanoseconds.
@@ -186,6 +195,15 @@ impl fmt::Display for JobResult {
             f,
             "job {} [{}] {}: {} cycles, {:.1} pJ, worker {}",
             self.job_id, self.kind, self.job_name, self.sim_cycles, self.energy_pj, self.worker
-        )
+        )?;
+        if self.shards > 1 {
+            write!(
+                f,
+                ", {} arrays ({:.0}% balanced)",
+                self.shards,
+                self.shard_utilization * 100.0
+            )?;
+        }
+        Ok(())
     }
 }

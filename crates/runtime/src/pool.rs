@@ -190,7 +190,12 @@ fn worker_loop(
         // missing completion would wedge its dispatch gate forever.
         let executed = {
             let backend = backends[kind_index(kind)].get_or_insert_with(|| {
-                kind.instantiate(config.tempus, config.nvdla, config.gemm_grid)
+                kind.instantiate(
+                    config.tempus,
+                    config.nvdla,
+                    config.gemm_grid,
+                    config.num_arrays,
+                )
             });
             catch_unwind(AssertUnwindSafe(|| backend.execute(&job)))
         };
@@ -206,7 +211,10 @@ fn worker_loop(
                     kind: job.payload.kind(),
                     output: run.output,
                     sim_cycles: run.sim_cycles,
-                    energy_pj: powers[kind_index(kind)] * run.sim_cycles as f64 * PERIOD_NS,
+                    total_array_cycles: run.total_array_cycles,
+                    shards: run.shards,
+                    shard_utilization: run.shard_utilization,
+                    energy_pj: powers[kind_index(kind)] * run.total_array_cycles as f64 * PERIOD_NS,
                     wall_ns,
                     worker,
                 }

@@ -49,6 +49,16 @@ pub struct AggregateStats {
     pub avg_job_sim_cycles: f64,
     /// Largest single-job modelled cycle count (tail latency).
     pub max_job_sim_cycles: u64,
+    /// Array-cycles summed over every job and shard — what the energy
+    /// figure scales with (equals `total_sim_cycles` on single-array
+    /// configurations).
+    pub total_array_cycles: u64,
+    /// Mean PE arrays occupied per job (1.0 on single-array
+    /// configurations).
+    pub avg_shards_per_job: f64,
+    /// Mean per-job work balance across arrays (1.0 when single-array
+    /// or perfectly balanced).
+    pub avg_shard_utilization: f64,
     /// Schedule-cache counters merged across workers.
     pub schedule_cache: Option<CacheStats>,
 }
@@ -67,6 +77,9 @@ impl AggregateStats {
         let total_sim_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
         let total_energy_pj: f64 = results.iter().map(|r| r.energy_pj).sum();
         let max_job_sim_cycles = results.iter().map(|r| r.sim_cycles).max().unwrap_or(0);
+        let total_array_cycles: u64 = results.iter().map(|r| r.total_array_cycles).sum();
+        let total_shards: u64 = results.iter().map(|r| r.shards as u64).sum();
+        let util_sum: f64 = results.iter().map(|r| r.shard_utilization).sum();
         let mut schedule_cache: Option<CacheStats> = None;
         for ws in worker_stats {
             if let Some(cs) = &ws.schedule_cache {
@@ -94,6 +107,17 @@ impl AggregateStats {
                 total_sim_cycles as f64 / jobs as f64
             },
             max_job_sim_cycles,
+            total_array_cycles,
+            avg_shards_per_job: if jobs == 0 {
+                1.0
+            } else {
+                total_shards as f64 / jobs as f64
+            },
+            avg_shard_utilization: if jobs == 0 {
+                1.0
+            } else {
+                util_sum / jobs as f64
+            },
             schedule_cache,
         }
     }
@@ -114,6 +138,15 @@ impl fmt::Display for AggregateStats {
             self.sim_time_us,
             self.total_energy_pj * 1e-3,
         )?;
+        if self.avg_shards_per_job > 1.0 {
+            write!(
+                f,
+                "; {:.1} arrays/job ({:.0}% balanced, {} array-cycles)",
+                self.avg_shards_per_job,
+                self.avg_shard_utilization * 100.0,
+                self.total_array_cycles,
+            )?;
+        }
         if let Some(cs) = &self.schedule_cache {
             write!(
                 f,

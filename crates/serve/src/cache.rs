@@ -29,10 +29,16 @@ use tempus_runtime::{BackendKind, JobOutput};
 pub struct CacheEntry {
     /// The computed output (bit-identical to a cold execution).
     pub output: JobOutput,
-    /// Modelled datapath cycles of the original execution.
+    /// Modelled datapath cycles of the original execution (the
+    /// sharded critical path on multi-array backends).
     pub sim_cycles: u64,
     /// Modelled energy of the original execution, in pJ.
     pub energy_pj: f64,
+    /// PE arrays the original execution occupied (1 on single-array
+    /// backends).
+    pub shards: usize,
+    /// Work balance across the arrays of the original execution.
+    pub shard_utilization: f64,
 }
 
 /// Hit/miss/eviction counters.
@@ -216,6 +222,8 @@ mod tests {
             output: JobOutput::Matrix(Matrix::from_fn(1, 1, |_, _| v)),
             sim_cycles: v as u64,
             energy_pj: f64::from(v),
+            shards: 1,
+            shard_utilization: 1.0,
         }
     }
 

@@ -95,6 +95,9 @@ pub struct ServedResult {
     /// hit reports the memoized execution's energy; the hit itself
     /// costs the accelerator nothing.
     pub energy_pj: f64,
+    /// PE arrays the (original) execution occupied (1 on
+    /// single-array backends).
+    pub shards: usize,
     /// Cache hit or cold execution.
     pub cache: CacheOutcome,
 }

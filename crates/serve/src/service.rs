@@ -106,6 +106,21 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the modelled PE-array count per worker core (builder
+    /// style): jobs shard across the arrays and the service reports
+    /// per-class array occupancy in its stats.
+    #[must_use]
+    pub fn with_arrays(mut self, num_arrays: usize) -> Self {
+        self.engine.num_arrays = num_arrays.max(1);
+        self
+    }
+
+    /// The modelled PE-array count per worker core.
+    #[must_use]
+    pub fn num_arrays(&self) -> usize {
+        self.engine.num_arrays
+    }
+
     /// Overrides the ingestion-queue capacity (builder style).
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
@@ -437,10 +452,13 @@ impl Dispatcher {
         );
         if let Some(entry) = self.cache.get(key) {
             let total_ns = accepted.elapsed().as_nanos() as u64;
-            self.stats
-                .lock()
-                .expect("stats lock")
-                .record_completion(class, total_ns, true);
+            self.stats.lock().expect("stats lock").record_completion(
+                class,
+                total_ns,
+                true,
+                entry.shards,
+                entry.shard_utilization,
+            );
             self.respond(Response {
                 job_id: request.job.id,
                 job_name: request.job.name,
@@ -449,6 +467,7 @@ impl Dispatcher {
                     output: entry.output,
                     sim_cycles: entry.sim_cycles,
                     energy_pj: entry.energy_pj,
+                    shards: entry.shards,
                     cache: CacheOutcome::Hit,
                 }),
                 queue_ns: total_ns,
@@ -595,6 +614,8 @@ impl Dispatcher {
                         output: result.output.clone(),
                         sim_cycles: result.sim_cycles,
                         energy_pj: result.energy_pj,
+                        shards: result.shards,
+                        shard_utilization: result.shard_utilization,
                     },
                 );
                 // One guard for the completion and its whole fan-out:
@@ -602,10 +623,21 @@ impl Dispatcher {
                 // some waiters counted, and the dispatcher does not
                 // churn the lock per waiter.
                 let mut stats = self.stats.lock().expect("stats lock");
-                stats.record_completion(pending.class, total_ns, false);
+                stats.record_completion(
+                    pending.class,
+                    total_ns,
+                    false,
+                    result.shards,
+                    result.shard_utilization,
+                );
                 for waiter in waiters {
                     let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
-                    stats.record_coalesced(waiter.class, waiter_total_ns);
+                    stats.record_coalesced(
+                        waiter.class,
+                        waiter_total_ns,
+                        result.shards,
+                        result.shard_utilization,
+                    );
                     self.respond(Response {
                         job_id: waiter.job_id,
                         job_name: waiter.job_name,
@@ -614,6 +646,7 @@ impl Dispatcher {
                             output: result.output.clone(),
                             sim_cycles: result.sim_cycles,
                             energy_pj: result.energy_pj,
+                            shards: result.shards,
                             cache: CacheOutcome::Coalesced,
                         }),
                         queue_ns: waiter_total_ns,
@@ -632,6 +665,7 @@ impl Dispatcher {
                         output: result.output,
                         sim_cycles: result.sim_cycles,
                         energy_pj: result.energy_pj,
+                        shards: result.shards,
                         cache: CacheOutcome::Miss,
                     }),
                     queue_ns,
@@ -688,10 +722,13 @@ impl Dispatcher {
                 let held = self.deferred.pop_front().expect("non-empty");
                 if let Some(entry) = self.cache.get(held.key) {
                     let total_ns = held.accepted.elapsed().as_nanos() as u64;
-                    self.stats
-                        .lock()
-                        .expect("stats lock")
-                        .record_completion(held.class, total_ns, true);
+                    self.stats.lock().expect("stats lock").record_completion(
+                        held.class,
+                        total_ns,
+                        true,
+                        entry.shards,
+                        entry.shard_utilization,
+                    );
                     self.respond(Response {
                         job_id: held.job.id,
                         job_name: held.job.name,
@@ -700,6 +737,7 @@ impl Dispatcher {
                             output: entry.output,
                             sim_cycles: entry.sim_cycles,
                             energy_pj: entry.energy_pj,
+                            shards: entry.shards,
                             cache: CacheOutcome::Hit,
                         }),
                         queue_ns: total_ns,

@@ -93,6 +93,10 @@ pub struct ClassStats {
     pub slo_target_ns: u64,
     /// Completed requests that exceeded the target.
     pub slo_violations: u64,
+    /// Mean PE arrays occupied per completed request. Defaults to 1
+    /// (the single-array socket) when nothing completed, so existing
+    /// consumers of serialized snapshots stay schema-compatible.
+    pub shards: f64,
 }
 
 impl ClassStats {
@@ -135,6 +139,9 @@ pub struct ServeStats {
     pub in_flight: usize,
     /// Deepest the deferred (admission-held) queue has been.
     pub max_deferred: usize,
+    /// Mean per-request work balance across PE arrays (1.0 when the
+    /// pool models a single array or shards are perfectly even).
+    pub avg_shard_utilization: f64,
     /// Service uptime at snapshot, ns.
     pub uptime_ns: u64,
     /// Completed requests per wall-clock second since start.
@@ -249,6 +256,8 @@ pub(crate) struct StatsRecorder {
     rejected: [u64; 6],
     failed: [u64; 6],
     slo_violations: [u64; 6],
+    shards_sum: [u64; 6],
+    shard_util_sum: [f64; 6],
     pub(crate) submitted: u64,
     pub(crate) max_queue_depth: usize,
     pub(crate) max_deferred: usize,
@@ -264,6 +273,8 @@ impl StatsRecorder {
             rejected: [0; 6],
             failed: [0; 6],
             slo_violations: [0; 6],
+            shards_sum: [0; 6],
+            shard_util_sum: [0.0; 6],
             submitted: 0,
             max_queue_depth: 0,
             max_deferred: 0,
@@ -271,7 +282,14 @@ impl StatsRecorder {
         }
     }
 
-    pub(crate) fn record_completion(&mut self, class: JobClass, total_ns: u64, cached: bool) {
+    pub(crate) fn record_completion(
+        &mut self,
+        class: JobClass,
+        total_ns: u64,
+        cached: bool,
+        shards: usize,
+        shard_utilization: f64,
+    ) {
         let i = class.index();
         self.latencies[i].record(total_ns);
         if cached {
@@ -280,19 +298,29 @@ impl StatsRecorder {
         if total_ns > self.slo.target_ns(class) {
             self.slo_violations[i] += 1;
         }
+        self.shards_sum[i] += shards.max(1) as u64;
+        self.shard_util_sum[i] += shard_utilization;
     }
 
     /// Records a completion that coalesced onto an in-flight
     /// execution: counted as completed (latency, SLO) and as
     /// coalesced, but never as a cache hit — the cache had no entry
     /// yet when it arrived.
-    pub(crate) fn record_coalesced(&mut self, class: JobClass, total_ns: u64) {
+    pub(crate) fn record_coalesced(
+        &mut self,
+        class: JobClass,
+        total_ns: u64,
+        shards: usize,
+        shard_utilization: f64,
+    ) {
         let i = class.index();
         self.latencies[i].record(total_ns);
         self.coalesced[i] += 1;
         if total_ns > self.slo.target_ns(class) {
             self.slo_violations[i] += 1;
         }
+        self.shards_sum[i] += shards.max(1) as u64;
+        self.shard_util_sum[i] += shard_utilization;
     }
 
     pub(crate) fn record_rejection(&mut self, class: JobClass) {
@@ -343,10 +371,16 @@ impl StatsRecorder {
                     },
                     slo_target_ns: self.slo.target_ns(class),
                     slo_violations: self.slo_violations[i],
+                    shards: if accum.count == 0 {
+                        1.0
+                    } else {
+                        self.shards_sum[i] as f64 / accum.count as f64
+                    },
                 }
             })
             .collect();
         let completed: u64 = classes.iter().map(|c| c.completed).sum();
+        let shard_util_total: f64 = self.shard_util_sum.iter().sum();
         ServeStats {
             submitted: self.submitted,
             completed,
@@ -358,6 +392,11 @@ impl StatsRecorder {
             max_queue_depth: self.max_queue_depth,
             in_flight,
             max_deferred: self.max_deferred,
+            avg_shard_utilization: if completed == 0 {
+                1.0
+            } else {
+                shard_util_total / completed as f64
+            },
             uptime_ns,
             throughput_per_sec: if uptime_ns == 0 {
                 0.0
@@ -390,7 +429,7 @@ mod tests {
         let mut rec = StatsRecorder::new(SloPolicy::edge_defaults().with_target(class, 10));
         let n = 3 * RESERVOIR_CAP as u64;
         for v in 1..=n {
-            rec.record_completion(class, v, false);
+            rec.record_completion(class, v, false, 1, 1.0);
         }
         let accum = &rec.latencies[class.index()];
         assert_eq!(accum.reservoir.len(), RESERVOIR_CAP, "reservoir is bounded");
@@ -415,9 +454,9 @@ mod tests {
         let class = JobClass::ALL[2];
         let slo = SloPolicy::edge_defaults().with_target(class, 1_000);
         let mut rec = StatsRecorder::new(slo);
-        rec.record_completion(class, 500, false);
-        rec.record_coalesced(class, 400);
-        rec.record_coalesced(class, 2_000);
+        rec.record_completion(class, 500, false, 2, 0.9);
+        rec.record_coalesced(class, 400, 2, 0.9);
+        rec.record_coalesced(class, 2_000, 2, 0.9);
         let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1);
         let c = snap.class(class);
         assert_eq!(c.completed, 3);
@@ -426,6 +465,12 @@ mod tests {
         assert_eq!(c.slo_violations, 1);
         assert_eq!(snap.coalesced, 2);
         assert_eq!(snap.completed, 3);
+        // All three completions ran on 2 arrays at 0.9 balance.
+        assert!((c.shards - 2.0).abs() < 1e-12);
+        assert!((snap.avg_shard_utilization - 0.9).abs() < 1e-12);
+        // Classes with no completions default to the single-array
+        // socket so serialized snapshots stay schema-compatible.
+        assert!((snap.classes[0].shards - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -433,9 +478,9 @@ mod tests {
         let class = JobClass::ALL[0];
         let slo = SloPolicy::edge_defaults().with_target(class, 1_000);
         let mut rec = StatsRecorder::new(slo);
-        rec.record_completion(class, 500, false);
-        rec.record_completion(class, 1_500, true);
-        rec.record_completion(class, 2_000, false);
+        rec.record_completion(class, 500, false, 1, 1.0);
+        rec.record_completion(class, 1_500, true, 1, 1.0);
+        rec.record_completion(class, 2_000, false, 1, 1.0);
         let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1_000_000_000);
         let c = snap.class(class);
         assert_eq!(c.completed, 3);

@@ -94,6 +94,58 @@ impl ActivityCounter {
     }
 }
 
+/// Per-shard activity record for multi-array execution: one PE
+/// array's clock alongside its [`ActivityCounter`]. The sharded
+/// drivers in `tempus-core` emit one of these per array so
+/// cycle/pulse/utilization accounting stays attributable after the
+/// merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardActivity {
+    /// Shard (array) index within the plan.
+    pub shard: usize,
+    /// Cycles this array's clock ran for its shard of the job.
+    pub cycles: u64,
+    /// Pulse-active vs gated PE-cycles on this array.
+    pub activity: ActivityCounter,
+}
+
+impl ShardActivity {
+    /// Creates a record for shard `shard`.
+    #[must_use]
+    pub fn new(shard: usize, cycles: u64, activity: ActivityCounter) -> Self {
+        ShardActivity {
+            shard,
+            cycles,
+            activity,
+        }
+    }
+
+    /// This array's PE utilization over its shard: active PE-cycles
+    /// per lane-cycle (0 when the shard ran no cycles).
+    #[must_use]
+    pub fn utilization(&self, lanes: usize) -> f64 {
+        let lane_cycles = self.cycles * lanes as u64;
+        if lane_cycles == 0 {
+            0.0
+        } else {
+            self.activity.active_cycles() as f64 / lane_cycles as f64
+        }
+    }
+}
+
+/// Sums shard records into `(total_cycles, merged_activity)` — the
+/// aggregate the single-array statistics compare against.
+#[must_use]
+pub fn merge_shards(shards: &[ShardActivity]) -> (u64, ActivityCounter) {
+    let mut cycles = 0u64;
+    let mut activity = ActivityCounter::new();
+    for s in shards {
+        cycles += s.cycles;
+        activity.merge(s.activity);
+    }
+    (cycles, activity)
+}
+
 /// Integrates energy over recorded activity: active cycles burn dynamic
 /// plus leakage power, gated cycles burn leakage only.
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +251,21 @@ mod tests {
         a.merge(b);
         assert_eq!(a.active_cycles(), 3);
         assert_eq!(a.gated_cycles(), 5);
+    }
+
+    #[test]
+    fn shard_records_merge_and_report_utilization() {
+        let mut a = ActivityCounter::new();
+        a.record_window(6, 10);
+        let mut b = ActivityCounter::new();
+        b.record_window(2, 10);
+        let shards = [ShardActivity::new(0, 5, a), ShardActivity::new(1, 5, b)];
+        assert!((shards[0].utilization(2) - 0.6).abs() < 1e-12);
+        let (cycles, merged) = merge_shards(&shards);
+        assert_eq!(cycles, 10);
+        assert_eq!(merged.active_cycles(), 8);
+        assert_eq!(merged.gated_cycles(), 12);
+        assert_eq!(ShardActivity::default().utilization(4), 0.0);
     }
 
     #[test]

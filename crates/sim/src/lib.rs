@@ -51,7 +51,7 @@ mod vcd;
 
 pub use clock::ClockDomain;
 pub use clocked::Clocked;
-pub use counters::{ActivityCounter, EnergyAccumulator};
+pub use counters::{merge_shards, ActivityCounter, EnergyAccumulator, ShardActivity};
 pub use handshake::{Fifo, Pipe};
 pub use reg::Reg;
 pub use runner::{SimError, Simulator};
