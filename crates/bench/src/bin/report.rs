@@ -11,8 +11,9 @@
 use std::path::PathBuf;
 
 use tempus_bench::experiments::{
-    ablation, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, multi_array_scaling,
-    runtime_throughput, serve_latency, sim_speed, table1, table2, table3, timing,
+    ablation, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline,
+    multi_array_scaling, runtime_throughput, serve_latency, sim_speed, table1, table2, table3,
+    timing,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -272,6 +273,26 @@ fn main() {
             &report.to_json(),
         )
         .expect("write multi_array json");
+    }
+
+    if wants("co_schedule") {
+        println!(
+            "--- Array-slot co-scheduling: cost-aware packing vs all-arrays (beyond the paper) ---"
+        );
+        let report = co_schedule::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        assert!(
+            report.digests_equal(),
+            "co-scheduled serving diverged from the all-arrays path"
+        );
+        assert!(
+            report.makespan_speedup() >= 1.3,
+            "co-scheduling makespan win fell below 1.3x"
+        );
+        write_result(&results, "co_schedule.md", &report.to_markdown())
+            .expect("write co_schedule markdown");
+        write_result(&results, "BENCH_co_schedule.json", &report.to_json())
+            .expect("write co_schedule json");
     }
 
     if wants("serve") {

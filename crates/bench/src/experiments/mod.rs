@@ -1,6 +1,7 @@
 //! One module per experiment in DESIGN.md's index.
 
 pub mod ablation;
+pub mod co_schedule;
 pub mod energy;
 pub mod fig1;
 pub mod fig4;

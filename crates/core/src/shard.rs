@@ -111,6 +111,180 @@ impl ShardPlan {
     }
 }
 
+/// Knobs for cost-aware array-width selection ([`plan_for_budget`]).
+///
+/// PR 4's engine always hands a job every array it can use; under
+/// mixed traffic that wastes silicon — past the point where the
+/// marginal speedup of one more array is small, the array is better
+/// spent on a co-scheduled neighbour. The policy encodes where that
+/// point is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidenPolicy {
+    /// Minimum speedup factor each **additional array** must buy for
+    /// the planner to keep widening: width `w` is accepted over the
+    /// current choice `c` only when
+    /// `critical(c) / critical(w) >= min_speedup_per_array^(w - c)`.
+    pub min_speedup_per_array: f64,
+    /// Stop widening once the cross-array reduction stage exceeds
+    /// this fraction of the candidate's critical path (reduction
+    /// cycles are pure overhead — when they dominate, extra arrays
+    /// are mostly adding partial sums back together).
+    pub max_reduction_fraction: f64,
+}
+
+impl WidenPolicy {
+    /// Edge-serving defaults: each extra array must buy ≥ 5% and the
+    /// reduction tree may take at most a quarter of the critical
+    /// path.
+    #[must_use]
+    pub fn edge_default() -> Self {
+        WidenPolicy {
+            min_speedup_per_array: 1.05,
+            max_reduction_fraction: 0.25,
+        }
+    }
+}
+
+impl Default for WidenPolicy {
+    fn default() -> Self {
+        WidenPolicy::edge_default()
+    }
+}
+
+/// The closed-form cost of running a job at one candidate width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthCost {
+    /// Arrays offered to the planner at this candidate.
+    pub arrays: usize,
+    /// Arrays the shard plan actually uses at this width.
+    pub used: usize,
+    /// Predicted critical-path cycles (slowest shard + reduction).
+    pub critical_path_cycles: u64,
+    /// Predicted cross-array reduction cycles included above.
+    pub reduction_cycles: u64,
+    /// Predicted array-cycles of real work summed over the shards —
+    /// what device-time occupancy accounting counts as busy (idle
+    /// tails of imbalanced shards and reserved-but-unused arrays are
+    /// waste, not work).
+    pub total_array_cycles: u64,
+}
+
+/// A cost-aware width decision: the chosen array count plus the full
+/// width/cost curve that was evaluated (the device-time ledger uses
+/// the curve to price shrink-vs-wait trade-offs at grant time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPlan {
+    /// The chosen width — what the job should request.
+    pub arrays: usize,
+    /// Predicted critical path at the chosen width.
+    pub critical_path_cycles: u64,
+    /// Evaluated candidates: `widths[i]` is the cost at `i + 1`
+    /// arrays, contiguous from width 1 up to the last width the
+    /// policy looked at.
+    pub widths: Vec<WidthCost>,
+}
+
+impl BudgetPlan {
+    /// A degenerate single-array plan (used as the fallback when a
+    /// job's cost cannot be estimated — the execution will surface
+    /// the underlying error).
+    #[must_use]
+    pub fn single(critical_path_cycles: u64) -> Self {
+        BudgetPlan {
+            arrays: 1,
+            critical_path_cycles,
+            widths: vec![WidthCost {
+                arrays: 1,
+                used: 1,
+                critical_path_cycles,
+                reduction_cycles: 0,
+                total_array_cycles: critical_path_cycles,
+            }],
+        }
+    }
+
+    /// The evaluated cost at `arrays`, clamped into the evaluated
+    /// range (widths past the last candidate cost the same as the
+    /// last candidate — the planner stopped because widening had
+    /// ceased to help).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan holds no candidates (never produced by
+    /// [`plan_for_budget`] or [`BudgetPlan::single`]).
+    #[must_use]
+    pub fn cost_at(&self, arrays: usize) -> &WidthCost {
+        let idx = arrays.clamp(1, self.widths.len()) - 1;
+        &self.widths[idx]
+    }
+}
+
+/// Speedup of widening from `narrower_cycles` to `wider_cycles`
+/// critical-path cycles (≥ 1.0 when widening helped).
+#[must_use]
+pub fn marginal_speedup(narrower_cycles: u64, wider_cycles: u64) -> f64 {
+    narrower_cycles as f64 / wider_cycles.max(1) as f64
+}
+
+/// Picks how many arrays a job should take, instead of always taking
+/// all `max_arrays`: every candidate width up to `max_arrays` is
+/// evaluated through `estimate` (typically a closure over
+/// [`ScheduleCache::predict_sharded`](crate::schedule::ScheduleCache::predict_sharded)
+/// or [`TubGemm::sharded_cycle_model`](crate::gemm::TubGemm)), and
+/// the walk widens from the current choice `c` to a wider `w` only
+/// when
+///
+/// * the plan at `w` uses more arrays than the plan at `c` (not
+///   saturated),
+/// * the marginal gain holds: `critical(c) / critical(w) >=`
+///   [`WidenPolicy::min_speedup_per_array`]`^(w - c)` — each added
+///   array must pay for itself, and
+/// * the cross-array reduction stage stays under
+///   [`WidenPolicy::max_reduction_fraction`] of the critical path.
+///
+/// Failing widths are *skipped*, not terminal: 4 kernel groups gain
+/// nothing going from 2 arrays to 3 (the 2-group shard still
+/// dominates), but halve again at 4 — the plateau must not hide the
+/// win behind it.
+///
+/// # Errors
+///
+/// Propagates the first `estimate` error (shape mismatches surface at
+/// execution too; callers usually fall back to [`BudgetPlan::single`]).
+pub fn plan_for_budget<E, F>(
+    max_arrays: usize,
+    policy: &WidenPolicy,
+    mut estimate: F,
+) -> Result<BudgetPlan, E>
+where
+    F: FnMut(usize) -> Result<WidthCost, E>,
+{
+    let max_arrays = max_arrays.max(1);
+    let mut widths = Vec::with_capacity(max_arrays);
+    widths.push(estimate(1)?);
+    let mut chosen = 0usize;
+    for w in 2..=max_arrays {
+        let cost = estimate(w)?;
+        let current = widths[chosen];
+        let widens = cost.used > current.used;
+        let gain = marginal_speedup(current.critical_path_cycles, cost.critical_path_cycles);
+        let required = policy
+            .min_speedup_per_array
+            .powi((w - current.arrays) as i32);
+        let reduction_ok = cost.reduction_cycles as f64
+            <= policy.max_reduction_fraction * cost.critical_path_cycles.max(1) as f64;
+        widths.push(cost);
+        if widens && gain >= required && reduction_ok {
+            chosen = widths.len() - 1;
+        }
+    }
+    Ok(BudgetPlan {
+        arrays: widths[chosen].arrays,
+        critical_path_cycles: widths[chosen].critical_path_cycles,
+        widths,
+    })
+}
+
 /// `ceil(log2(n))` for the reduction-tree depth (0 for n <= 1).
 #[must_use]
 pub fn ceil_log2(n: usize) -> u64 {
@@ -682,6 +856,126 @@ mod tests {
             assert_eq!(run.stats.macs, base.stats.macs);
             assert_eq!(run.stats.cbuf_reads, base.stats.cbuf_reads);
         }
+    }
+
+    /// A synthetic near-linear cost curve: the budget planner should
+    /// keep widening while gains hold and stop at saturation.
+    fn linear_curve(units: u64) -> impl FnMut(usize) -> Result<WidthCost, ()> {
+        move |w| {
+            let used = (w as u64).min(units).max(1);
+            Ok(WidthCost {
+                arrays: w,
+                used: used as usize,
+                critical_path_cycles: units * 1000 / used,
+                reduction_cycles: 0,
+                total_array_cycles: units * 1000,
+            })
+        }
+    }
+
+    #[test]
+    fn budget_planner_widens_while_gains_hold() {
+        let policy = WidenPolicy::edge_default();
+        let plan = plan_for_budget(8, &policy, linear_curve(8)).unwrap();
+        assert_eq!(plan.arrays, 8);
+        assert_eq!(plan.critical_path_cycles, 1000);
+        assert_eq!(plan.widths.len(), 8);
+        // The curve is exposed for the ledger's shrink-vs-wait math.
+        assert_eq!(plan.cost_at(1).critical_path_cycles, 8000);
+        assert_eq!(plan.cost_at(4).critical_path_cycles, 2000);
+    }
+
+    #[test]
+    fn budget_planner_stops_at_saturation() {
+        // Only 3 work units: widths 4..8 cannot use a fourth array.
+        let policy = WidenPolicy::edge_default();
+        let plan = plan_for_budget(8, &policy, linear_curve(3)).unwrap();
+        assert_eq!(plan.arrays, 3);
+        // The whole curve is evaluated (the ledger prices every
+        // width), but no saturated width is chosen.
+        assert_eq!(plan.widths.len(), 8);
+        assert_eq!(plan.cost_at(8).arrays, 8);
+        assert_eq!(plan.cost_at(8).used, 3);
+    }
+
+    #[test]
+    fn budget_planner_sees_past_plateaus() {
+        // 4 kernel groups: widths 1/2/3/4 give 4g/2g/2g/1g per
+        // critical shard — width 3 is a plateau, width 4 halves
+        // again. The planner must pick 4, not stall at 2.
+        let curve = [4000u64, 2000, 2000, 1000];
+        let policy = WidenPolicy::edge_default();
+        let plan = plan_for_budget(4, &policy, |w| {
+            Ok::<_, ()>(WidthCost {
+                arrays: w,
+                used: w,
+                critical_path_cycles: curve[w - 1],
+                reduction_cycles: 0,
+                total_array_cycles: 4000,
+            })
+        })
+        .unwrap();
+        assert_eq!(plan.arrays, 4);
+        assert_eq!(plan.critical_path_cycles, 1000);
+    }
+
+    #[test]
+    fn budget_planner_stops_when_marginal_gain_fades() {
+        // Critical path shrinks 2.0x, then only 2% more: stop at 2.
+        let curve = [10_000u64, 5_000, 4_900, 4_800];
+        let policy = WidenPolicy::edge_default();
+        let plan = plan_for_budget(4, &policy, |w| {
+            Ok::<_, ()>(WidthCost {
+                arrays: w,
+                used: w,
+                critical_path_cycles: curve[w - 1],
+                reduction_cycles: 0,
+                total_array_cycles: curve[w - 1] * w as u64,
+            })
+        })
+        .unwrap();
+        assert_eq!(plan.arrays, 2);
+        assert_eq!(plan.critical_path_cycles, 5_000);
+    }
+
+    #[test]
+    fn budget_planner_rejects_reduction_heavy_widths() {
+        // Width 2 halves the compute but spends half its critical
+        // path re-adding partials: the policy refuses it.
+        let policy = WidenPolicy::edge_default();
+        let plan = plan_for_budget(4, &policy, |w| {
+            Ok::<_, ()>(WidthCost {
+                arrays: w,
+                used: w,
+                critical_path_cycles: if w == 1 { 10_000 } else { 6_000 },
+                reduction_cycles: if w == 1 { 0 } else { 3_000 },
+                total_array_cycles: 10_000,
+            })
+        })
+        .unwrap();
+        assert_eq!(plan.arrays, 1);
+    }
+
+    #[test]
+    fn budget_planner_propagates_estimate_errors() {
+        let policy = WidenPolicy::edge_default();
+        let err: Result<BudgetPlan, &str> =
+            plan_for_budget(4, &policy, |_| Err::<WidthCost, _>("bad shape"));
+        assert_eq!(err.unwrap_err(), "bad shape");
+    }
+
+    #[test]
+    fn marginal_speedup_is_a_simple_ratio() {
+        assert!((marginal_speedup(2000, 1000) - 2.0).abs() < 1e-12);
+        assert!((marginal_speedup(1000, 1000) - 1.0).abs() < 1e-12);
+        assert!((marginal_speedup(1000, 0) - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_budget_plan_is_width_one() {
+        let plan = BudgetPlan::single(42);
+        assert_eq!(plan.arrays, 1);
+        assert_eq!(plan.cost_at(5).critical_path_cycles, 42);
     }
 
     #[test]

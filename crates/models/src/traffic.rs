@@ -120,6 +120,14 @@ pub struct TraceConfig {
     pub repeat_fraction: f64,
     /// Probability that a request asks for cycle-accurate fidelity.
     pub accurate_fraction: f64,
+    /// Probability that a fresh convolution template is **wide**
+    /// (kernel-rich: 32–48 kernels over 8–16 channels) instead of the
+    /// default narrow shapes. Wide convs fill several kernel groups,
+    /// so multi-array planners shard them — the knob that makes a
+    /// trace mixed wide+narrow for array-slot scheduling studies.
+    /// 0.0 (the default) draws no RNG values, so existing seeded
+    /// traces stay bit-identical.
+    pub wide_conv_fraction: f64,
     /// Relative weight of convolution payloads in the fresh-template
     /// mix.
     pub conv_weight: f64,
@@ -145,6 +153,7 @@ impl TraceConfig {
             burst_len: 8,
             repeat_fraction: 0.7,
             accurate_fraction: 0.05,
+            wide_conv_fraction: 0.0,
             conv_weight: 0.4,
             gemm_weight: 0.4,
             network_weight: 0.2,
@@ -179,6 +188,13 @@ impl TraceConfig {
         self.mean_interarrival_ns = ns;
         self
     }
+
+    /// Overrides the wide-convolution fraction (builder style).
+    #[must_use]
+    pub fn with_wide_conv_fraction(mut self, fraction: f64) -> Self {
+        self.wide_conv_fraction = fraction;
+        self
+    }
 }
 
 fn fresh_payload(rng: &mut StdRng, config: &TraceConfig) -> TracePayload {
@@ -187,9 +203,23 @@ fn fresh_payload(rng: &mut StdRng, config: &TraceConfig) -> TracePayload {
     let total = config.conv_weight + config.gemm_weight + config.network_weight;
     let pick = rng.random::<f64>() * total;
     if pick < config.conv_weight {
-        let w = rng.random_range(4usize..=6);
-        let c = 4 * rng.random_range(1usize..=2);
-        let k = 4 * rng.random_range(1usize..=2);
+        // Wide templates only draw RNG values when the knob is set,
+        // so traces generated before the knob existed replay
+        // bit-identically.
+        let wide = config.wide_conv_fraction > 0.0 && rng.random_bool(config.wide_conv_fraction);
+        let (w, c, k) = if wide {
+            (
+                rng.random_range(4usize..=5),
+                8 * rng.random_range(1usize..=2),
+                16 * rng.random_range(2usize..=3),
+            )
+        } else {
+            (
+                rng.random_range(4usize..=6),
+                4 * rng.random_range(1usize..=2),
+                4 * rng.random_range(1usize..=2),
+            )
+        };
         let values = move |rng: &mut StdRng| rng.random_range(lo..=hi);
         let features = {
             let mut vals: Vec<i32> = Vec::new();
@@ -389,6 +419,36 @@ mod tests {
             repeats >= 30,
             "high repeat fraction must yield repeats, got {repeats}"
         );
+    }
+
+    #[test]
+    fn wide_fraction_produces_kernel_rich_convs() {
+        let narrow = TraceConfig::new(21).with_requests(120);
+        let wide = TraceConfig::new(21)
+            .with_requests(120)
+            .with_wide_conv_fraction(0.5);
+        let max_k = |trace: &[TraceRequest]| {
+            trace
+                .iter()
+                .filter_map(|r| match &r.payload {
+                    TracePayload::Conv { kernels, .. } => Some(kernels.k()),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_k(&generate(&narrow)) <= 8, "default convs stay narrow");
+        assert!(
+            max_k(&generate(&wide)) >= 32,
+            "wide knob must mint kernel-rich convs"
+        );
+        // The default knob keeps pre-existing seeded traces
+        // bit-identical: wide_conv_fraction == 0.0 draws no RNG.
+        let a = generate(&narrow);
+        let b = generate(&TraceConfig::new(21).with_requests(120));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(digest_of(&x.payload), digest_of(&y.payload));
+        }
     }
 
     #[test]

@@ -72,16 +72,65 @@ pub trait InferenceBackend: Send {
     /// Backend name for reports.
     fn name(&self) -> &'static str;
 
-    /// Executes one job.
+    /// Executes one job at the backend's full configured width.
     ///
     /// # Errors
     ///
     /// Propagates substrate errors (shape, precision, capacity).
     fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError>;
 
+    /// Executes one job on `num_arrays` of the backend's PE arrays —
+    /// the array-slot scheduler's entry point. The contract: the run
+    /// is **bit-identical** (outputs, cycles, shard accounting) to a
+    /// backend configured with `num_arrays` executing the same job,
+    /// so a granted width fully determines the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors (shape, precision, capacity).
+    fn execute_on(&mut self, job: &Job, num_arrays: usize) -> Result<Execution, RuntimeError>;
+
     /// Schedule-cache counters, for backends that cache.
     fn cache_stats(&self) -> Option<CacheStats> {
         None
+    }
+}
+
+/// The one place a sharded single-layer run (conv or GEMM, any
+/// backend) folds into an [`Execution`]: latency is the critical path
+/// (slowest shard plus reduction), the energy-bearing array-cycles
+/// are the per-shard sum, and balance comes from the same cycle
+/// vector — so the three backends cannot drift in how they merge.
+fn sharded_execution(
+    output: JobOutput,
+    used_arrays: usize,
+    per_shard_cycles: &[u64],
+    reduction_cycles: u64,
+) -> Execution {
+    let max_shard = per_shard_cycles.iter().copied().max().unwrap_or(0);
+    Execution {
+        output,
+        sim_cycles: max_shard + reduction_cycles,
+        total_array_cycles: per_shard_cycles.iter().sum(),
+        shards: used_arrays,
+        shard_utilization: shard::balance(per_shard_cycles),
+    }
+}
+
+/// The whole-network counterpart: per-layer critical paths sum, the
+/// accumulator carries occupancy and balance across layers.
+fn network_execution(
+    output: DataCube,
+    critical_path_cycles: u64,
+    total_array_cycles: u64,
+    accum: &ShardAccum,
+) -> Execution {
+    Execution {
+        output: JobOutput::Cube(output),
+        sim_cycles: critical_path_cycles,
+        total_array_cycles,
+        shards: accum.max_used(),
+        shard_utilization: accum.balance(),
     }
 }
 
@@ -209,24 +258,28 @@ impl InferenceBackend for TempusBackend {
     }
 
     fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError> {
+        let arrays = self.num_arrays;
+        self.execute_on(job, arrays)
+    }
+
+    fn execute_on(&mut self, job: &Job, num_arrays: usize) -> Result<Execution, RuntimeError> {
         match &job.payload {
             JobPayload::Conv {
                 features,
                 kernels,
                 params,
             } => {
-                if self.num_arrays > 1 {
-                    let run =
-                        self.core
-                            .convolve_sharded(features, kernels, params, self.num_arrays)?;
+                if num_arrays > 1 {
+                    let run = self
+                        .core
+                        .convolve_sharded(features, kernels, params, num_arrays)?;
                     let per_shard = run.per_shard_cycles();
-                    Ok(Execution {
-                        output: JobOutput::Cube(run.output),
-                        sim_cycles: run.critical_path_cycles,
-                        total_array_cycles: run.stats.cycles,
-                        shards: run.plan.used_arrays(),
-                        shard_utilization: shard::balance(&per_shard),
-                    })
+                    Ok(sharded_execution(
+                        JobOutput::Cube(run.output),
+                        run.plan.used_arrays(),
+                        &per_shard,
+                        run.reduction_cycles,
+                    ))
                 } else {
                     let run = self.core.convolve(features, kernels, params)?;
                     Ok(Execution::single(
@@ -236,15 +289,14 @@ impl InferenceBackend for TempusBackend {
                 }
             }
             JobPayload::Gemm { a, b } => {
-                if self.num_arrays > 1 {
-                    let run = self.gemm.multiply_sharded(a, b, self.num_arrays)?;
-                    Ok(Execution {
-                        sim_cycles: run.critical_path_cycles,
-                        total_array_cycles: run.stats.cycles,
-                        shards: run.plan.used_arrays(),
-                        shard_utilization: run.balance(),
-                        output: JobOutput::Matrix(run.output),
-                    })
+                if num_arrays > 1 {
+                    let run = self.gemm.multiply_sharded(a, b, num_arrays)?;
+                    Ok(sharded_execution(
+                        JobOutput::Matrix(run.output),
+                        run.plan.used_arrays(),
+                        &run.per_shard_cycles,
+                        0,
+                    ))
                 } else {
                     let run = self.gemm.multiply(a, b)?;
                     Ok(Execution::single(
@@ -254,16 +306,10 @@ impl InferenceBackend for TempusBackend {
                 }
             }
             JobPayload::Network { input, layers } => {
-                if self.num_arrays > 1 {
+                if num_arrays > 1 {
                     let (output, critical, total_array, accum) =
-                        run_network_sharded(&mut self.core, input, layers, self.num_arrays)?;
-                    Ok(Execution {
-                        output: JobOutput::Cube(output),
-                        sim_cycles: critical,
-                        total_array_cycles: total_array,
-                        shards: accum.max_used(),
-                        shard_utilization: accum.balance(),
-                    })
+                        run_network_sharded(&mut self.core, input, layers, num_arrays)?;
+                    Ok(network_execution(output, critical, total_array, &accum))
                 } else {
                     let run = run_network(&mut self.core, input, layers)?;
                     let cycles = run.total_cycles();
@@ -311,10 +357,15 @@ impl NvdlaBackend {
     /// Per-shard binary GEMM cycles under the multi-array tile split:
     /// the sharded axis's tile count partitions, the other axis stays
     /// whole.
-    fn sharded_binary_gemm_cycles(&self, a: &Matrix, b: &Matrix) -> (usize, Vec<u64>) {
+    fn sharded_binary_gemm_cycles(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        num_arrays: usize,
+    ) -> (usize, Vec<u64>) {
         let m_tiles = a.rows().div_ceil(self.grid.0);
         let p_tiles = b.cols().div_ceil(self.grid.1);
-        let plan = shard::plan_gemm(m_tiles, p_tiles, self.num_arrays);
+        let plan = shard::plan_gemm(m_tiles, p_tiles, num_arrays);
         let n = a.cols() as u64;
         let per_shard = match plan.axis {
             shard::GemmAxis::Single => vec![self.binary_gemm_cycles(a, b)],
@@ -339,29 +390,33 @@ impl InferenceBackend for NvdlaBackend {
     }
 
     fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError> {
+        let arrays = self.num_arrays;
+        self.execute_on(job, arrays)
+    }
+
+    fn execute_on(&mut self, job: &Job, num_arrays: usize) -> Result<Execution, RuntimeError> {
         match &job.payload {
             JobPayload::Conv {
                 features,
                 kernels,
                 params,
             } => {
-                if self.num_arrays > 1 {
+                if num_arrays > 1 {
                     let run = shard::convolve_sharded_with(
                         &mut self.core,
                         features,
                         kernels,
                         params,
-                        self.num_arrays,
+                        num_arrays,
                         |_| {},
                     )?;
                     let per_shard = run.per_shard_cycles();
-                    Ok(Execution {
-                        output: JobOutput::Cube(run.output),
-                        sim_cycles: run.critical_path_cycles,
-                        total_array_cycles: run.stats.cycles,
-                        shards: run.plan.used_arrays(),
-                        shard_utilization: shard::balance(&per_shard),
-                    })
+                    Ok(sharded_execution(
+                        JobOutput::Cube(run.output),
+                        run.plan.used_arrays(),
+                        &per_shard,
+                        run.reduction_cycles,
+                    ))
                 } else {
                     let run = self.core.convolve(features, kernels, params)?;
                     Ok(Execution::single(
@@ -375,26 +430,19 @@ impl InferenceBackend for NvdlaBackend {
                 check_matrix(a, precision)?;
                 check_matrix(b, precision)?;
                 let output = a.multiply(b)?;
-                let (shards, per_shard) = self.sharded_binary_gemm_cycles(a, b);
-                Ok(Execution {
-                    sim_cycles: per_shard.iter().copied().max().unwrap_or(0),
-                    total_array_cycles: per_shard.iter().sum(),
+                let (shards, per_shard) = self.sharded_binary_gemm_cycles(a, b, num_arrays);
+                Ok(sharded_execution(
+                    JobOutput::Matrix(output),
                     shards,
-                    shard_utilization: shard::balance(&per_shard),
-                    output: JobOutput::Matrix(output),
-                })
+                    &per_shard,
+                    0,
+                ))
             }
             JobPayload::Network { input, layers } => {
-                if self.num_arrays > 1 {
+                if num_arrays > 1 {
                     let (output, critical, total_array, accum) =
-                        run_network_sharded(&mut self.core, input, layers, self.num_arrays)?;
-                    Ok(Execution {
-                        output: JobOutput::Cube(output),
-                        sim_cycles: critical,
-                        total_array_cycles: total_array,
-                        shards: accum.max_used(),
-                        shard_utilization: accum.balance(),
-                    })
+                        run_network_sharded(&mut self.core, input, layers, num_arrays)?;
+                    Ok(network_execution(output, critical, total_array, &accum))
                 } else {
                     let run = run_network(&mut self.core, input, layers)?;
                     let cycles = run.total_cycles();
@@ -455,6 +503,11 @@ impl InferenceBackend for FunctionalBackend {
     }
 
     fn execute(&mut self, job: &Job) -> Result<Execution, RuntimeError> {
+        let arrays = self.num_arrays;
+        self.execute_on(job, arrays)
+    }
+
+    fn execute_on(&mut self, job: &Job, num_arrays: usize) -> Result<Execution, RuntimeError> {
         match &job.payload {
             JobPayload::Conv {
                 features,
@@ -462,22 +515,21 @@ impl InferenceBackend for FunctionalBackend {
                 params,
             } => {
                 tempus_nvdla::conv::check_operands(features, kernels, self.config.base.precision)?;
-                if self.num_arrays > 1 {
+                if num_arrays > 1 {
                     let latency = self.cache.predict_sharded(
                         features,
                         kernels,
                         params,
                         &self.config,
-                        self.num_arrays,
+                        num_arrays,
                     )?;
                     let output = direct_conv(features, kernels, params)?;
-                    Ok(Execution {
-                        output: JobOutput::Cube(output),
-                        sim_cycles: latency.critical_path_cycles,
-                        total_array_cycles: latency.total_array_cycles,
-                        shards: latency.plan.used_arrays(),
-                        shard_utilization: latency.balance(),
-                    })
+                    Ok(sharded_execution(
+                        JobOutput::Cube(output),
+                        latency.plan.used_arrays(),
+                        &latency.per_shard_cycles,
+                        latency.reduction_cycles,
+                    ))
                 } else {
                     let latency = self
                         .cache
@@ -497,26 +549,19 @@ impl InferenceBackend for FunctionalBackend {
                 // one array the plan is `Single` and the lone shard's
                 // cycles equal `TubGemm::multiply`'s accounting, so
                 // there is no separate single-array copy to drift.
-                let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, self.num_arrays);
-                Ok(Execution {
-                    sim_cycles: per_shard.iter().copied().max().unwrap_or(0),
-                    total_array_cycles: per_shard.iter().sum(),
-                    shards: plan.used_arrays(),
-                    shard_utilization: shard::balance(&per_shard),
-                    output: JobOutput::Matrix(output),
-                })
+                let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, num_arrays);
+                Ok(sharded_execution(
+                    JobOutput::Matrix(output),
+                    plan.used_arrays(),
+                    &per_shard,
+                    0,
+                ))
             }
             JobPayload::Network { input, layers } => {
                 let (output, critical, total_array, accum) =
-                    self.run_network_functional(input, layers)?;
-                if self.num_arrays > 1 {
-                    Ok(Execution {
-                        output: JobOutput::Cube(output),
-                        sim_cycles: critical,
-                        total_array_cycles: total_array,
-                        shards: accum.max_used(),
-                        shard_utilization: accum.balance(),
-                    })
+                    self.run_network_functional(input, layers, num_arrays)?;
+                if num_arrays > 1 {
+                    Ok(network_execution(output, critical, total_array, &accum))
                 } else {
                     Ok(Execution::single(JobOutput::Cube(output), critical))
                 }
@@ -539,6 +584,7 @@ impl FunctionalBackend {
         &mut self,
         input: &DataCube,
         layers: &[NetworkLayer],
+        num_arrays: usize,
     ) -> Result<(DataCube, u64, u64, ShardAccum), RuntimeError> {
         let mut x = input.clone();
         let mut critical = 0u64;
@@ -546,13 +592,13 @@ impl FunctionalBackend {
         let mut accum = ShardAccum::new();
         for layer in layers {
             tempus_nvdla::conv::check_operands(&x, &layer.kernels, self.config.base.precision)?;
-            if self.num_arrays > 1 {
+            if num_arrays > 1 {
                 let latency = self.cache.predict_sharded(
                     &x,
                     &layer.kernels,
                     &layer.conv,
                     &self.config,
-                    self.num_arrays,
+                    num_arrays,
                 )?;
                 critical += latency.critical_path_cycles;
                 total_array += latency.total_array_cycles;

@@ -17,9 +17,13 @@ use tempus_core::TempusConfig;
 use tempus_hwmodel::{Family, SynthModel};
 use tempus_nvdla::config::NvdlaConfig;
 
+use tempus_core::shard::WidenPolicy;
+
 use crate::backend::BackendKind;
 use crate::error::RuntimeError;
 use crate::job::{Job, JobResult};
+use crate::ledger::{ArrayAssignment, ArrayLedger, ArrayPolicy};
+use crate::planner::ArrayPlanner;
 use crate::stats::{AggregateStats, WorkerStats, PERIOD_NS};
 
 /// Engine configuration.
@@ -36,6 +40,12 @@ pub struct EngineConfig {
     /// reduction as fallback) and per-job latency becomes the sharded
     /// critical path. 1 models the paper's single-core socket.
     pub num_arrays: usize,
+    /// How jobs are granted arrays: [`ArrayPolicy::AllArrays`] (every
+    /// job takes the whole core — PR 4 semantics, the default) or
+    /// [`ArrayPolicy::CostAware`] (the budget planner picks each
+    /// job's width and the array-slot ledger packs jobs onto disjoint
+    /// array sets).
+    pub scheduling: ArrayPolicy,
     /// Tempus Core configuration (tempus and functional backends).
     pub tempus: TempusConfig,
     /// NVDLA baseline configuration (nvdla backend).
@@ -54,6 +64,7 @@ impl EngineConfig {
             seed: 42,
             backend,
             num_arrays: 1,
+            scheduling: ArrayPolicy::AllArrays,
             tempus: TempusConfig::paper_16x16(),
             nvdla: NvdlaConfig::paper_16x16(),
             gemm_grid: (16, 16),
@@ -78,6 +89,20 @@ impl EngineConfig {
     #[must_use]
     pub fn with_arrays(mut self, num_arrays: usize) -> Self {
         self.num_arrays = num_arrays.max(1);
+        self
+    }
+
+    /// Enables cost-aware array-slot co-scheduling with the default
+    /// widening policy (builder style).
+    #[must_use]
+    pub fn with_co_scheduling(self) -> Self {
+        self.with_scheduling(ArrayPolicy::CostAware(WidenPolicy::edge_default()))
+    }
+
+    /// Overrides the array-granting policy (builder style).
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: ArrayPolicy) -> Self {
+        self.scheduling = scheduling;
         self
     }
 
@@ -214,6 +239,26 @@ impl InferenceEngine {
             assignments[slot % workers].push(job_idx);
         }
 
+        // Array-slot grants, decided up front in permutation order so
+        // they are deterministic for a fixed (jobs, seed) pair: under
+        // the cost-aware policy each job gets the width the budget
+        // planner picked and the ledger packed; under the all-arrays
+        // policy every job keeps the whole core (PR 4 semantics).
+        let mut grants: Vec<ArrayAssignment> =
+            vec![ArrayAssignment::full(self.config.num_arrays); jobs.len()];
+        let device = if let ArrayPolicy::CostAware(policy) = self.config.scheduling {
+            let mut planner = ArrayPlanner::new(&self.config, policy);
+            let mut ledger = ArrayLedger::new(self.config.num_arrays);
+            for &job_idx in &order {
+                let plan = planner.plan_or_single(&jobs[job_idx]);
+                grants[job_idx] = ledger.place(&plan, 0).assignment;
+            }
+            Some(ledger.summary())
+        } else {
+            None
+        };
+        let grants = &grants;
+
         let batch_start = Instant::now();
         let worker_outputs: Vec<Result<(Vec<JobResult>, WorkerStats), RuntimeError>> =
             std::thread::scope(|scope| {
@@ -237,8 +282,9 @@ impl InferenceEngine {
                             };
                             for &job_idx in assigned {
                                 let job = &jobs[job_idx];
+                                let grant = grants[job_idx];
                                 let start = Instant::now();
-                                let run = backend.execute(job)?;
+                                let run = backend.execute_on(job, grant.granted.max(1))?;
                                 let wall_ns = start.elapsed().as_nanos() as u64;
                                 stats.jobs += 1;
                                 stats.sim_cycles += run.sim_cycles;
@@ -252,6 +298,9 @@ impl InferenceEngine {
                                     total_array_cycles: run.total_array_cycles,
                                     shards: run.shards,
                                     shard_utilization: run.shard_utilization,
+                                    arrays_requested: grant.requested,
+                                    arrays_granted: grant.granted.max(1),
+                                    array_wait_cycles: grant.wait_cycles,
                                     energy_pj: power * run.total_array_cycles as f64 * PERIOD_NS,
                                     wall_ns,
                                     worker: worker_idx,
@@ -289,6 +338,8 @@ impl InferenceEngine {
             &results,
             &worker_stats,
             wall_ns,
+            self.config.num_arrays,
+            device,
         );
         Ok(BatchReport {
             results,

@@ -181,6 +181,17 @@ pub struct JobResult {
     /// Work balance across the arrays (1.0 when single-array or
     /// perfectly balanced).
     pub shard_utilization: f64,
+    /// Arrays the scheduler requested for the job (the cost-aware
+    /// width, or the full configured width under the all-arrays
+    /// policy).
+    pub arrays_requested: usize,
+    /// Arrays the array-slot ledger granted — the width the backend
+    /// executed with. Equals `arrays_requested` except when the
+    /// ledger shrank the grant to start the job on idle arrays.
+    pub arrays_granted: usize,
+    /// Device cycles the job waited past the earliest free array to
+    /// gather its granted set (0 without co-scheduling).
+    pub array_wait_cycles: u64,
     /// Modelled energy at the paper's 250 MHz clock, in pJ.
     pub energy_pj: f64,
     /// Host wall-clock spent executing the job, in nanoseconds.
@@ -203,6 +214,16 @@ impl fmt::Display for JobResult {
                 self.shards,
                 self.shard_utilization * 100.0
             )?;
+        }
+        if self.arrays_granted < self.arrays_requested {
+            write!(
+                f,
+                ", granted {}/{} arrays",
+                self.arrays_granted, self.arrays_requested
+            )?;
+        }
+        if self.array_wait_cycles > 0 {
+            write!(f, ", waited {} cycles for arrays", self.array_wait_cycles)?;
         }
         Ok(())
     }

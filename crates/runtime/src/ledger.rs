@@ -1,0 +1,460 @@
+//! Device-time array-slot ledger: the N PE arrays as a shared pool.
+//!
+//! PR 4 made every job shard across *all* `num_arrays` PE arrays —
+//! worker-granular dispatch, where a job implicitly owns the whole
+//! multi-array core for its duration. On fixed edge silicon serving
+//! mixed traffic that is wasteful: a wide convolution that saturates
+//! 8 arrays should not force a one-kernel-group GEMM to wait, and an
+//! idle array is pure leakage. This module supplies the array-slot
+//! view of the same silicon:
+//!
+//! * [`ArrayLedger`] — per-array **busy-until clocks** in device time
+//!   (datapath cycles at the paper's 250 MHz). Jobs are placed one at
+//!   a time; each placement grants a **disjoint** set of arrays, so
+//!   wide and narrow jobs are co-resident whenever the clocks allow.
+//! * [`ArrayAssignment`] — the per-job grant threaded through the
+//!   pool to the backends: `requested` (the cost-aware width from
+//!   [`plan_for_budget`](tempus_core::shard::plan_for_budget)),
+//!   `granted` (what the ledger actually handed over) and
+//!   `wait_cycles` (device time spent gathering the granted set).
+//! * [`ArrayPolicy`] — the dispatch policy switch:
+//!   [`ArrayPolicy::AllArrays`] reproduces PR 4 exactly (and stays
+//!   bit-identical), [`ArrayPolicy::CostAware`] runs the budget
+//!   planner and the ledger.
+//!
+//! Placement is **deterministic**: given the same placement order and
+//! the same width/cost curves, grants, starts and waits are
+//! bit-for-bit reproducible — no host timing enters the model. The
+//! grant policy is finish-time aware: when fewer arrays are idle than
+//! a job requested, the ledger compares *finishing earlier on the
+//! idle arrays* against *waiting to gather the full request* using
+//! the job's own cost curve, and takes whichever completes first
+//! (ties prefer shrinking — it frees the queue behind).
+
+use tempus_core::shard::{BudgetPlan, WidenPolicy};
+
+/// How jobs are granted PE arrays.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum ArrayPolicy {
+    /// PR 4 semantics: every job takes the whole multi-array core
+    /// (the shard planner still decides how many arrays it can use).
+    #[default]
+    AllArrays,
+    /// Cost-aware co-scheduling: the budget planner picks the width,
+    /// the ledger packs concurrent jobs onto disjoint array sets.
+    CostAware(WidenPolicy),
+}
+
+impl ArrayPolicy {
+    /// `true` for the co-scheduling policy.
+    #[must_use]
+    pub fn co_schedules(&self) -> bool {
+        matches!(self, ArrayPolicy::CostAware(_))
+    }
+}
+
+/// One job's array grant, threaded from the scheduler through the
+/// worker pool into [`JobResult`](crate::job::JobResult).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayAssignment {
+    /// Arrays the cost-aware planner asked for (equals the full
+    /// configured width under [`ArrayPolicy::AllArrays`]).
+    pub requested: usize,
+    /// Arrays the ledger granted — the width the backend executes
+    /// with. Equal grants produce bit-identical outputs and cycles to
+    /// a backend configured with that array count.
+    pub granted: usize,
+    /// Device cycles the job waited past the earliest free array to
+    /// gather its granted set (0 when it started on idle arrays).
+    pub wait_cycles: u64,
+}
+
+impl ArrayAssignment {
+    /// The whole-core grant of PR 4: requested = granted = the full
+    /// configured width, no array wait.
+    #[must_use]
+    pub fn full(num_arrays: usize) -> Self {
+        let n = num_arrays.max(1);
+        ArrayAssignment {
+            requested: n,
+            granted: n,
+            wait_cycles: 0,
+        }
+    }
+}
+
+/// One placement decision, with the device-time bookkeeping the
+/// assignment alone does not carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The grant handed to the job.
+    pub assignment: ArrayAssignment,
+    /// Device cycle the job's arrays were all free (its start).
+    pub start_cycle: u64,
+    /// Predicted device cycles the job holds its arrays.
+    pub duration_cycles: u64,
+    /// Array ids held busy — disjoint from every co-resident job's.
+    pub arrays: Vec<usize>,
+}
+
+/// Aggregated device-time counters, published by the ledger (and, in
+/// `AllArrays` mode, accumulated serially from completed jobs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceSummary {
+    /// Arrays the modelled device has.
+    pub num_arrays: usize,
+    /// Device cycle the last placed job finishes — the makespan of
+    /// everything placed so far.
+    pub makespan_cycles: u64,
+    /// Array-cycles actually held busy across all placements.
+    pub busy_cycles: u64,
+    /// Device cycles jobs spent waiting to gather their arrays.
+    pub wait_cycles: u64,
+    /// Jobs placed.
+    pub placements: u64,
+    /// Sum of granted widths over all placements.
+    pub granted_sum: u64,
+}
+
+impl DeviceSummary {
+    /// Packing efficiency: busy array-cycles over the
+    /// `num_arrays × makespan` device-time area (1.0 when nothing has
+    /// been placed).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let area = self.num_arrays.max(1) as u64 * self.makespan_cycles;
+        if area == 0 {
+            1.0
+        } else {
+            self.busy_cycles as f64 / area as f64
+        }
+    }
+
+    /// Mean arrays granted per placement (1.0 when nothing placed).
+    #[must_use]
+    pub fn avg_arrays_granted(&self) -> f64 {
+        if self.placements == 0 {
+            1.0
+        } else {
+            self.granted_sum as f64 / self.placements as f64
+        }
+    }
+}
+
+/// The array pool in device time: one busy-until clock per array.
+#[derive(Debug, Clone)]
+pub struct ArrayLedger {
+    busy_until: Vec<u64>,
+    busy_cycles: u64,
+    wait_cycles: u64,
+    placements: u64,
+    granted_sum: u64,
+}
+
+impl ArrayLedger {
+    /// A ledger over `num_arrays` idle arrays (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(num_arrays: usize) -> Self {
+        ArrayLedger {
+            busy_until: vec![0; num_arrays.max(1)],
+            busy_cycles: 0,
+            wait_cycles: 0,
+            placements: 0,
+            granted_sum: 0,
+        }
+    }
+
+    /// Arrays in the pool.
+    #[must_use]
+    pub fn num_arrays(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Device cycle the earliest array frees — the time at which the
+    /// scheduler next looks at the queue. Monotone non-decreasing
+    /// across placements.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.busy_until.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Device cycle the last array frees — the makespan of everything
+    /// placed so far.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.busy_until.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Aggregated counters for stats snapshots.
+    #[must_use]
+    pub fn summary(&self) -> DeviceSummary {
+        DeviceSummary {
+            num_arrays: self.num_arrays(),
+            makespan_cycles: self.makespan(),
+            busy_cycles: self.busy_cycles,
+            wait_cycles: self.wait_cycles,
+            placements: self.placements,
+            granted_sum: self.granted_sum,
+        }
+    }
+
+    /// Array ids sorted by (busy-until, id) — the deterministic grant
+    /// order.
+    fn freeing_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.busy_until.len()).collect();
+        order.sort_by_key(|&i| (self.busy_until[i], i));
+        order
+    }
+
+    /// Places one job arriving at `arrival_cycle` with the width/cost
+    /// curve in `plan`. The grant policy:
+    ///
+    /// 1. the job is considered at `t = max(arrival, horizon)` — the
+    ///    first device cycle an array is free at or after arrival;
+    /// 2. if at least `plan.arrays` arrays are idle at `t`, the full
+    ///    request is granted and starts immediately;
+    /// 3. otherwise the ledger compares **shrink** (start now on the
+    ///    idle arrays) against **wait** (gather the full request when
+    ///    enough arrays free) by predicted finish time from the
+    ///    plan's own cost curve, preferring shrink on ties.
+    ///
+    /// The busy clocks of the granted arrays advance to
+    /// `start + duration`; `wait_cycles` is `start − max(arrival,
+    /// horizon)` — the gather penalty beyond the earliest possible
+    /// start.
+    pub fn place(&mut self, plan: &BudgetPlan, arrival_cycle: u64) -> Placement {
+        let n = self.busy_until.len();
+        let requested = plan.arrays.clamp(1, n);
+        let order = self.freeing_order();
+        let earliest = arrival_cycle.max(self.busy_until[order[0]]);
+        let idle = order
+            .iter()
+            .filter(|&&i| self.busy_until[i] <= earliest)
+            .count();
+        debug_assert!(idle >= 1, "some array frees by the horizon");
+        let (granted, start) = if idle >= requested {
+            (requested, earliest)
+        } else {
+            let gather_start = arrival_cycle.max(self.busy_until[order[requested - 1]]);
+            let finish_shrunk = earliest + plan.cost_at(idle).critical_path_cycles;
+            let finish_gathered = gather_start + plan.cost_at(requested).critical_path_cycles;
+            if finish_shrunk <= finish_gathered {
+                (idle, earliest)
+            } else {
+                (requested, gather_start)
+            }
+        };
+        let cost = plan.cost_at(granted);
+        // The shard plan at the granted width may use fewer arrays
+        // than granted (e.g. 3 kernel groups under a 4-array grant);
+        // only the used ones hold a clock.
+        let occupied = cost.used.clamp(1, granted);
+        let duration = cost.critical_path_cycles;
+        let arrays: Vec<usize> = order.into_iter().take(occupied).collect();
+        for &i in &arrays {
+            debug_assert!(self.busy_until[i] <= start, "granted array still busy");
+            self.busy_until[i] = start + duration;
+        }
+        let wait_cycles = start - earliest.min(start);
+        // Busy counts predicted real work (summed shard cycles), not
+        // the reserved occupied × duration area — idle tails of
+        // imbalanced shards are waste the occupancy figure exposes.
+        self.busy_cycles += cost.total_array_cycles;
+        self.wait_cycles += wait_cycles;
+        self.placements += 1;
+        self.granted_sum += granted as u64;
+        Placement {
+            assignment: ArrayAssignment {
+                requested,
+                granted,
+                wait_cycles,
+            },
+            start_cycle: start,
+            duration_cycles: duration,
+            arrays,
+        }
+    }
+
+    /// Places a whole-core job (PR 4 semantics): it waits for every
+    /// array, holds all of them for `duration_cycles`, and its wait
+    /// is the gather time from the earliest free array to the last.
+    /// `busy_cycles` is the job's real work in array-cycles (its
+    /// summed shard cycles) — holding all arrays while using fewer is
+    /// exactly the waste this accounting exposes.
+    pub fn place_exclusive(
+        &mut self,
+        duration_cycles: u64,
+        busy_cycles: u64,
+        arrival_cycle: u64,
+    ) -> Placement {
+        let n = self.busy_until.len();
+        let earliest = arrival_cycle.max(self.horizon());
+        let start = arrival_cycle.max(self.makespan());
+        let wait_cycles = start - earliest;
+        for clock in &mut self.busy_until {
+            *clock = start + duration_cycles;
+        }
+        self.busy_cycles += busy_cycles;
+        self.wait_cycles += wait_cycles;
+        self.placements += 1;
+        self.granted_sum += n as u64;
+        Placement {
+            assignment: ArrayAssignment {
+                requested: n,
+                granted: n,
+                wait_cycles,
+            },
+            start_cycle: start,
+            duration_cycles,
+            arrays: (0..n).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_core::shard::WidthCost;
+
+    /// A plan whose cost curve is `total / width` cycles (perfect
+    /// scaling), evaluated for every width up to `max`.
+    fn linear_plan(arrays: usize, max: usize, total: u64) -> BudgetPlan {
+        let widths: Vec<WidthCost> = (1..=max)
+            .map(|w| WidthCost {
+                arrays: w,
+                used: w,
+                critical_path_cycles: total / w as u64,
+                reduction_cycles: 0,
+                total_array_cycles: total,
+            })
+            .collect();
+        BudgetPlan {
+            arrays,
+            critical_path_cycles: widths[arrays - 1].critical_path_cycles,
+            widths,
+        }
+    }
+
+    #[test]
+    fn narrow_jobs_pack_onto_disjoint_idle_arrays() {
+        let mut ledger = ArrayLedger::new(4);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let p = ledger.place(&BudgetPlan::single(100), 0);
+            assert_eq!(p.assignment.granted, 1);
+            assert_eq!(p.start_cycle, 0);
+            assert_eq!(p.assignment.wait_cycles, 0);
+            seen.extend(p.arrays);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3], "co-resident grants are disjoint");
+        assert_eq!(ledger.makespan(), 100);
+        assert!((ledger.summary().occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_job_waits_to_gather_when_worth_it() {
+        let mut ledger = ArrayLedger::new(4);
+        // A long narrow job occupies array 0 until cycle 50.
+        let _ = ledger.place(&BudgetPlan::single(50), 0);
+        // A perfectly scaling job wants all 4: finishing shrunk on 3
+        // idle arrays (0 + 1200/3 = 400) beats gathering 4 at cycle
+        // 50 (50 + 300 = 350)? No: 350 < 400, so it waits.
+        let p = ledger.place(&linear_plan(4, 4, 1200), 0);
+        assert_eq!(p.assignment.granted, 4);
+        assert_eq!(p.start_cycle, 50);
+        assert_eq!(p.assignment.wait_cycles, 50);
+        assert_eq!(ledger.makespan(), 350);
+    }
+
+    #[test]
+    fn wide_job_shrinks_when_waiting_loses() {
+        let mut ledger = ArrayLedger::new(4);
+        // Array 0 busy until 1000 — far longer than the job itself.
+        let _ = ledger.place(&BudgetPlan::single(1000), 0);
+        // Shrinking to 3 arrays (0 + 400) beats waiting for 4
+        // (1000 + 300): grant 3 now, wait 0.
+        let p = ledger.place(&linear_plan(4, 4, 1200), 0);
+        assert_eq!(p.assignment.requested, 4);
+        assert_eq!(p.assignment.granted, 3);
+        assert_eq!(p.start_cycle, 0);
+        assert_eq!(p.assignment.wait_cycles, 0);
+        assert_eq!(ledger.makespan(), 1000);
+    }
+
+    #[test]
+    fn exclusive_placements_serialize_the_device() {
+        let mut ledger = ArrayLedger::new(4);
+        let a = ledger.place_exclusive(100, 100, 0);
+        let b = ledger.place_exclusive(50, 50, 0);
+        assert_eq!(a.start_cycle, 0);
+        assert_eq!(b.start_cycle, 100);
+        assert_eq!(b.assignment.granted, 4);
+        assert_eq!(ledger.makespan(), 150);
+        assert_eq!(ledger.summary().busy_cycles, 150);
+    }
+
+    #[test]
+    fn placements_never_overlap_on_one_array() {
+        // Replay a mixed stream and check interval disjointness per
+        // array id — the "disjoint array sets" contract.
+        let mut ledger = ArrayLedger::new(3);
+        let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3];
+        let plans = [
+            linear_plan(3, 3, 900),
+            BudgetPlan::single(400),
+            linear_plan(2, 3, 600),
+            BudgetPlan::single(10),
+            linear_plan(3, 3, 300),
+        ];
+        for plan in &plans {
+            let p = ledger.place(plan, 0);
+            for &a in &p.arrays {
+                intervals[a].push((p.start_cycle, p.start_cycle + p.duration_cycles));
+            }
+        }
+        for per_array in &intervals {
+            let mut sorted = per_array.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlapping intervals: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_gate_start_times() {
+        let mut ledger = ArrayLedger::new(2);
+        let p = ledger.place(&BudgetPlan::single(100), 500);
+        assert_eq!(p.start_cycle, 500);
+        assert_eq!(p.assignment.wait_cycles, 0, "idle device: no wait");
+        assert_eq!(ledger.makespan(), 600);
+    }
+
+    #[test]
+    fn ledger_is_deterministic() {
+        let run = || {
+            let mut ledger = ArrayLedger::new(4);
+            let mut trace = Vec::new();
+            for i in 0..20u64 {
+                let plan = if i % 3 == 0 {
+                    linear_plan(4, 4, 4000)
+                } else {
+                    BudgetPlan::single(700 + i * 13)
+                };
+                let p = ledger.place(&plan, i * 50);
+                trace.push((p.start_cycle, p.assignment.granted, p.arrays.clone()));
+            }
+            (trace, ledger.summary())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn policy_flags_read_correctly() {
+        assert!(!ArrayPolicy::AllArrays.co_schedules());
+        assert!(ArrayPolicy::CostAware(WidenPolicy::edge_default()).co_schedules());
+        assert_eq!(ArrayAssignment::full(0).granted, 1);
+        assert_eq!(ArrayAssignment::full(8).requested, 8);
+    }
+}

@@ -24,7 +24,15 @@
 //!   time submission with streaming outcomes and per-worker backends
 //!   that persist (caches included) across submissions — the substrate
 //!   the `tempus-serve` streaming service builds on;
-//! * [`stats`] — aggregate throughput/latency/energy statistics.
+//! * [`ledger`] — the **array-slot scheduler**: a device-time
+//!   [`ArrayLedger`] modelling the N PE arrays as a shared pool with
+//!   per-array busy-until clocks, granting concurrent jobs disjoint
+//!   array sets instead of handing every job the whole core;
+//! * [`planner`] — the cost-aware [`ArrayPlanner`]: picks how many
+//!   arrays a job should take by walking the closed-form width/cost
+//!   curve until the marginal speedup of one more array stops paying;
+//! * [`stats`] — aggregate throughput/latency/energy statistics,
+//!   including the device-time makespan and packing efficiency.
 //!
 //! Equivalence contract (enforced by tests): for any job, all three
 //! backends produce **bit-identical outputs**, and the functional
@@ -66,6 +74,8 @@ pub mod backend;
 pub mod engine;
 mod error;
 pub mod job;
+pub mod ledger;
+pub mod planner;
 pub mod pool;
 pub mod stats;
 
@@ -75,5 +85,7 @@ pub use backend::{
 pub use engine::{BatchReport, EngineConfig, InferenceEngine};
 pub use error::RuntimeError;
 pub use job::{Job, JobOutput, JobPayload, JobResult};
+pub use ledger::{ArrayAssignment, ArrayLedger, ArrayPolicy, DeviceSummary, Placement};
+pub use planner::ArrayPlanner;
 pub use pool::{PoolOutcome, PoolTask, WorkerPool};
 pub use stats::{AggregateStats, WorkerStats};

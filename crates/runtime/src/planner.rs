@@ -1,0 +1,269 @@
+//! Cost-aware array-width planning for runtime jobs.
+//!
+//! [`ArrayPlanner`] turns one [`Job`] into a
+//! [`BudgetPlan`](tempus_core::shard::BudgetPlan): the width/cost
+//! curve over candidate array counts plus the chosen width where the
+//! marginal speedup of one more array stops paying
+//! ([`plan_for_budget`]). The curves come from the closed-form models
+//! that are pinned bit-identical to the cycle-accurate engines:
+//!
+//! * conv — [`ScheduleCache::predict_sharded`] (per-shard cycles ==
+//!   the simulated sharded run, memoized per shape × weights ×
+//!   width);
+//! * GEMM — [`TubGemm::sharded_cycle_model`] (exact by the same
+//!   pinned contract);
+//! * network — per-layer conv predictions summed along the layer
+//!   chain, with shapes propagated through SDP/PDP on zero cubes
+//!   (predicted cycles depend only on shapes and weights, never on
+//!   activation values).
+//!
+//! The estimates price **Tempus** device time. When the executing
+//! backend is the binary NVDLA baseline the decision is still made on
+//! the Tempus curve — a scheduling heuristic, not an accounting
+//! figure; the job's reported cycles always come from its own
+//! backend.
+
+use tempus_core::gemm::TubGemm;
+use tempus_core::schedule::ScheduleCache;
+use tempus_core::shard::{plan_for_budget, BudgetPlan, WidenPolicy, WidthCost};
+use tempus_core::TempusConfig;
+use tempus_nvdla::cube::DataCube;
+use tempus_nvdla::pdp;
+
+use crate::engine::EngineConfig;
+use crate::error::RuntimeError;
+use crate::job::{Job, JobPayload};
+
+/// Per-dispatcher width planner: owns its own schedule cache (the
+/// same memoization the functional backend uses), so repeated
+/// templates cost one hash lookup per candidate width.
+#[derive(Debug, Clone)]
+pub struct ArrayPlanner {
+    policy: WidenPolicy,
+    num_arrays: usize,
+    tempus: TempusConfig,
+    gemm: TubGemm,
+    cache: ScheduleCache,
+}
+
+impl ArrayPlanner {
+    /// Builds a planner for `config`'s modelled device under
+    /// `policy`.
+    #[must_use]
+    pub fn new(config: &EngineConfig, policy: WidenPolicy) -> Self {
+        ArrayPlanner {
+            policy,
+            num_arrays: config.num_arrays.max(1),
+            tempus: config.tempus,
+            gemm: TubGemm::new(
+                config.gemm_grid.0,
+                config.gemm_grid.1,
+                config.tempus.base.precision,
+            ),
+            cache: ScheduleCache::new(),
+        }
+    }
+
+    /// The configured device width (the planner never requests more).
+    #[must_use]
+    pub fn num_arrays(&self) -> usize {
+        self.num_arrays
+    }
+
+    /// The cost-aware width decision for `job`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the closed-form models (the same
+    /// job would fail identically at execution; dispatchers fall back
+    /// to [`BudgetPlan::single`] and let the backend report it).
+    pub fn plan(&mut self, job: &Job) -> Result<BudgetPlan, RuntimeError> {
+        let policy = self.policy;
+        plan_for_budget(self.num_arrays, &policy, |w| self.width_cost(job, w))
+    }
+
+    /// [`ArrayPlanner::plan`] with the shared fallback the
+    /// dispatchers use: a job whose cost cannot be estimated gets a
+    /// zero-duration single-array plan — it executes at width 1 and
+    /// the backend surfaces the underlying error.
+    #[must_use]
+    pub fn plan_or_single(&mut self, job: &Job) -> BudgetPlan {
+        self.plan(job).unwrap_or_else(|_| BudgetPlan::single(0))
+    }
+
+    /// The exact closed-form cost of running `job` at `arrays` —
+    /// for conv and GEMM on the Tempus backends this equals the
+    /// executed critical path bit-for-bit (the pinned model
+    /// contract); for networks the layer chain is walked on zero
+    /// cubes, which is exact too because predicted cycles depend only
+    /// on shapes and weights, never on activation values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the closed-form models.
+    pub fn width_cost(&mut self, job: &Job, arrays: usize) -> Result<WidthCost, RuntimeError> {
+        match &job.payload {
+            JobPayload::Conv {
+                features,
+                kernels,
+                params,
+            } => {
+                let latency =
+                    self.cache
+                        .predict_sharded(features, kernels, params, &self.tempus, arrays)?;
+                Ok(WidthCost {
+                    arrays,
+                    used: latency.plan.used_arrays(),
+                    critical_path_cycles: latency.critical_path_cycles,
+                    reduction_cycles: latency.reduction_cycles,
+                    total_array_cycles: latency.total_array_cycles,
+                })
+            }
+            JobPayload::Gemm { a, b } => {
+                let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, arrays);
+                Ok(WidthCost {
+                    arrays,
+                    used: plan.used_arrays(),
+                    critical_path_cycles: per_shard.iter().copied().max().unwrap_or(0),
+                    reduction_cycles: 0,
+                    total_array_cycles: per_shard.iter().sum(),
+                })
+            }
+            JobPayload::Network { input, layers } => {
+                // Shapes alone determine the predicted cycles, so the
+                // layer chain is walked on zero cubes: each layer's
+                // conv output dims come from its parameters, pooling
+                // from PDP itself.
+                let (mut w, mut h) = (input.w(), input.h());
+                let mut used = 1usize;
+                let mut critical = 0u64;
+                let mut reduction = 0u64;
+                let mut total_array = 0u64;
+                for layer in layers {
+                    let zeros = DataCube::zeros(w, h, layer.kernels.c());
+                    let latency = self.cache.predict_sharded(
+                        &zeros,
+                        &layer.kernels,
+                        &layer.conv,
+                        &self.tempus,
+                        arrays,
+                    )?;
+                    used = used.max(latency.plan.used_arrays());
+                    critical += latency.critical_path_cycles;
+                    reduction += latency.reduction_cycles;
+                    total_array += latency.total_array_cycles;
+                    let (out_w, out_h) =
+                        layer
+                            .conv
+                            .output_dims(w, h, layer.kernels.r(), layer.kernels.s())?;
+                    (w, h) = match &layer.pool {
+                        Some(pool) => {
+                            let pooled = pdp::apply(&DataCube::zeros(out_w, out_h, 1), pool)?;
+                            (pooled.w(), pooled.h())
+                        }
+                        None => (out_w, out_h),
+                    };
+                }
+                Ok(WidthCost {
+                    arrays,
+                    used,
+                    critical_path_cycles: critical,
+                    reduction_cycles: reduction,
+                    total_array_cycles: total_array,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendKind, FunctionalBackend, InferenceBackend};
+    use tempus_core::gemm::Matrix;
+    use tempus_nvdla::conv::ConvParams;
+    use tempus_nvdla::cube::KernelSet;
+
+    fn planner(arrays: usize) -> ArrayPlanner {
+        let config = EngineConfig::new(BackendKind::FastFunctional)
+            .with_cores(
+                TempusConfig::nv_small(),
+                tempus_nvdla::config::NvdlaConfig::nv_small(),
+            )
+            .with_arrays(arrays);
+        ArrayPlanner::new(&config, WidenPolicy::edge_default())
+    }
+
+    fn wide_conv() -> Job {
+        // 32 kernels / atomic_k 8 = 4 kernel groups: widens well.
+        let features = DataCube::from_fn(6, 6, 8, |x, y, c| {
+            ((x as i32 * 31 + y as i32 * 17 + c as i32 * 7) % 255) - 127
+        });
+        let kernels = KernelSet::from_fn(32, 3, 3, 8, |k, r, s, c| {
+            ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + c as i32 * 11) % 255) - 127
+        });
+        Job::conv(0, "wide", features, kernels, ConvParams::valid())
+    }
+
+    fn narrow_gemm() -> Job {
+        let a = Matrix::from_fn(3, 4, |i, j| ((i * 7 + j) % 9) as i32 - 4);
+        let b = Matrix::from_fn(4, 3, |i, j| ((i * 5 + j) % 9) as i32 - 4);
+        Job::gemm(1, "narrow", a, b)
+    }
+
+    #[test]
+    fn wide_convs_request_multiple_arrays() {
+        let mut planner = planner(4);
+        let plan = planner.plan(&wide_conv()).unwrap();
+        assert!(plan.arrays >= 2, "kernel-rich conv should widen");
+        assert!(
+            plan.cost_at(plan.arrays).critical_path_cycles < plan.cost_at(1).critical_path_cycles
+        );
+    }
+
+    #[test]
+    fn narrow_jobs_stay_narrow() {
+        // A 3x3 GEMM on a (16, 16) grid is one output tile: widening
+        // cannot help, and the planner must not request idle arrays.
+        let mut planner = planner(8);
+        let plan = planner.plan(&narrow_gemm()).unwrap();
+        assert_eq!(plan.arrays, 1);
+    }
+
+    #[test]
+    fn conv_curve_matches_the_functional_backend_exactly() {
+        // The planner's predicted critical path at width w equals the
+        // functional backend's sim_cycles when granted w — the ledger
+        // schedules with exactly the cycles the backend will report.
+        let job = wide_conv();
+        let mut planner = planner(4);
+        let plan = planner.plan(&job).unwrap();
+        for w in 1..=plan.widths.len() {
+            let mut backend =
+                FunctionalBackend::new(TempusConfig::nv_small(), (16, 16)).with_arrays(w);
+            let run = backend.execute(&job).unwrap();
+            assert_eq!(
+                plan.cost_at(w).critical_path_cycles,
+                run.sim_cycles,
+                "width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_shapes_error_like_execution_would() {
+        let bad = Job::gemm(9, "bad", Matrix::zeros(2, 3), Matrix::zeros(4, 2));
+        let mut planner = planner(4);
+        // GEMM width curves never error (the closed-form model is
+        // total); conv shape errors do propagate.
+        assert!(planner.plan(&bad).is_ok());
+        let mismatched = Job::conv(
+            10,
+            "mismatch",
+            DataCube::zeros(4, 4, 3),
+            KernelSet::zeros(2, 3, 3, 5),
+            ConvParams::valid(),
+        );
+        assert!(planner.plan(&mismatched).is_err());
+    }
+}

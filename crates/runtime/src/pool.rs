@@ -26,17 +26,23 @@ use crate::backend::{BackendKind, InferenceBackend};
 use crate::engine::{array_power_mw, EngineConfig};
 use crate::error::RuntimeError;
 use crate::job::{Job, JobResult};
+use crate::ledger::ArrayAssignment;
 use crate::stats::{WorkerStats, PERIOD_NS};
 
-/// One unit of work for the pool: a job plus the backend that should
+/// One unit of work for the pool: a job, the backend that should
 /// execute it (the pool serves mixed-fidelity traffic — fast
-/// functional and cycle-accurate jobs share the same workers).
+/// functional and cycle-accurate jobs share the same workers) and the
+/// array-slot grant it runs under.
 #[derive(Debug, Clone)]
 pub struct PoolTask {
     /// The job to execute.
     pub job: Job,
     /// Which backend executes it.
     pub backend: BackendKind,
+    /// The array grant: the worker executes the job at
+    /// `assignment.granted` arrays and stamps the assignment into the
+    /// [`JobResult`].
+    pub assignment: ArrayAssignment,
 }
 
 /// One completed (or failed) pool task.
@@ -69,6 +75,7 @@ pub struct WorkerPool {
     task_tx: Sender<PoolTask>,
     outcome_rx: Receiver<PoolOutcome>,
     handles: Vec<JoinHandle<WorkerStats>>,
+    num_arrays: usize,
 }
 
 impl WorkerPool {
@@ -111,6 +118,7 @@ impl WorkerPool {
             task_tx,
             outcome_rx,
             handles,
+            num_arrays: config.num_arrays.max(1),
         })
     }
 
@@ -120,17 +128,46 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Submits one job for execution on `backend`. Returns
-    /// immediately; the outcome arrives via [`WorkerPool::try_collect`]
-    /// / [`WorkerPool::collect_timeout`].
+    /// PE arrays of the modelled device.
+    #[must_use]
+    pub fn num_arrays(&self) -> usize {
+        self.num_arrays
+    }
+
+    /// Submits one job for execution on `backend` at the full
+    /// configured array width (PR 4 semantics). Returns immediately;
+    /// the outcome arrives via [`WorkerPool::try_collect`] /
+    /// [`WorkerPool::collect_timeout`].
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::PoolClosed`] when every worker has
     /// exited (all threads panicked or the pool is shutting down).
     pub fn submit(&self, job: Job, backend: BackendKind) -> Result<(), RuntimeError> {
+        self.submit_assigned(job, backend, ArrayAssignment::full(self.num_arrays))
+    }
+
+    /// Submits one job under an explicit array-slot grant: the worker
+    /// executes it at `assignment.granted` arrays (bit-identical to a
+    /// pool configured with that array count) and stamps the
+    /// assignment into the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::PoolClosed`] when every worker has
+    /// exited.
+    pub fn submit_assigned(
+        &self,
+        job: Job,
+        backend: BackendKind,
+        assignment: ArrayAssignment,
+    ) -> Result<(), RuntimeError> {
         self.task_tx
-            .send(PoolTask { job, backend })
+            .send(PoolTask {
+                job,
+                backend,
+                assignment,
+            })
             .map_err(|_| RuntimeError::PoolClosed)
     }
 
@@ -181,7 +218,12 @@ fn worker_loop(
             Ok(rx) => rx.recv(),
             Err(_) => break,
         };
-        let Ok(PoolTask { job, backend: kind }) = task else {
+        let Ok(PoolTask {
+            job,
+            backend: kind,
+            assignment,
+        }) = task
+        else {
             break; // channel closed: pool is shutting down
         };
         let start = Instant::now();
@@ -197,7 +239,9 @@ fn worker_loop(
                     config.num_arrays,
                 )
             });
-            catch_unwind(AssertUnwindSafe(|| backend.execute(&job)))
+            catch_unwind(AssertUnwindSafe(|| {
+                backend.execute_on(&job, assignment.granted.max(1))
+            }))
         };
         let result = match executed {
             Ok(executed) => executed.map(|run| {
@@ -214,6 +258,9 @@ fn worker_loop(
                     total_array_cycles: run.total_array_cycles,
                     shards: run.shards,
                     shard_utilization: run.shard_utilization,
+                    arrays_requested: assignment.requested,
+                    arrays_granted: assignment.granted.max(1),
+                    array_wait_cycles: assignment.wait_cycles,
                     energy_pj: powers[kind_index(kind)] * run.total_array_cycles as f64 * PERIOD_NS,
                     wall_ns,
                     worker,

@@ -5,6 +5,7 @@ use std::fmt;
 use tempus_core::schedule::CacheStats;
 
 use crate::job::JobResult;
+use crate::ledger::DeviceSummary;
 
 /// Clock period at the paper's 250 MHz evaluation clock, in ns —
 /// re-exported from the hardware model so the runtime's energy and
@@ -59,12 +60,26 @@ pub struct AggregateStats {
     /// Mean per-job work balance across arrays (1.0 when single-array
     /// or perfectly balanced).
     pub avg_shard_utilization: f64,
+    /// Device-time view of the batch on the array pool: under the
+    /// cost-aware policy this is the ledger's account (makespan,
+    /// packing efficiency, array-wait); under the all-arrays policy
+    /// it is the serial whole-core equivalent (each job owns the
+    /// device, makespan is the sum of job latencies).
+    pub device: DeviceSummary,
+    /// Device cycles jobs spent waiting to gather their granted
+    /// arrays (0 without co-scheduling).
+    pub total_array_wait_cycles: u64,
+    /// Mean arrays granted per job.
+    pub avg_arrays_granted: f64,
     /// Schedule-cache counters merged across workers.
     pub schedule_cache: Option<CacheStats>,
 }
 
 impl AggregateStats {
     /// Computes aggregates from per-job results and worker records.
+    /// `device` is the array-slot ledger's account when the batch was
+    /// co-scheduled; `None` derives the all-arrays serial equivalent
+    /// (each job owns the whole `num_arrays`-wide core in turn).
     #[must_use]
     pub fn from_results(
         backend: &'static str,
@@ -72,6 +87,8 @@ impl AggregateStats {
         results: &[JobResult],
         worker_stats: &[WorkerStats],
         wall_ns: u64,
+        num_arrays: usize,
+        device: Option<DeviceSummary>,
     ) -> Self {
         let jobs = results.len() as u64;
         let total_sim_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
@@ -80,6 +97,16 @@ impl AggregateStats {
         let total_array_cycles: u64 = results.iter().map(|r| r.total_array_cycles).sum();
         let total_shards: u64 = results.iter().map(|r| r.shards as u64).sum();
         let util_sum: f64 = results.iter().map(|r| r.shard_utilization).sum();
+        let granted_sum: u64 = results.iter().map(|r| r.arrays_granted as u64).sum();
+        let wait_sum: u64 = results.iter().map(|r| r.array_wait_cycles).sum();
+        let device = device.unwrap_or(DeviceSummary {
+            num_arrays: num_arrays.max(1),
+            makespan_cycles: total_sim_cycles,
+            busy_cycles: total_array_cycles,
+            wait_cycles: wait_sum,
+            placements: jobs,
+            granted_sum,
+        });
         let mut schedule_cache: Option<CacheStats> = None;
         for ws in worker_stats {
             if let Some(cs) = &ws.schedule_cache {
@@ -118,6 +145,13 @@ impl AggregateStats {
             } else {
                 util_sum / jobs as f64
             },
+            device,
+            total_array_wait_cycles: wait_sum,
+            avg_arrays_granted: if jobs == 0 {
+                1.0
+            } else {
+                granted_sum as f64 / jobs as f64
+            },
             schedule_cache,
         }
     }
@@ -145,6 +179,16 @@ impl fmt::Display for AggregateStats {
                 self.avg_shards_per_job,
                 self.avg_shard_utilization * 100.0,
                 self.total_array_cycles,
+            )?;
+        }
+        if self.device.num_arrays > 1 {
+            write!(
+                f,
+                "; device makespan {} cycles ({:.0}% packed, {:.1} arrays granted/job, {} wait cycles)",
+                self.device.makespan_cycles,
+                self.device.occupancy() * 100.0,
+                self.avg_arrays_granted,
+                self.total_array_wait_cycles,
             )?;
         }
         if let Some(cs) = &self.schedule_cache {

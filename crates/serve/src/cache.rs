@@ -39,6 +39,9 @@ pub struct CacheEntry {
     pub shards: usize,
     /// Work balance across the arrays of the original execution.
     pub shard_utilization: f64,
+    /// Arrays the array-slot scheduler granted the original
+    /// execution (a hit itself costs the device nothing).
+    pub arrays_granted: usize,
 }
 
 /// Hit/miss/eviction counters.
@@ -224,6 +227,7 @@ mod tests {
             energy_pj: f64::from(v),
             shards: 1,
             shard_utilization: 1.0,
+            arrays_granted: 1,
         }
     }
 

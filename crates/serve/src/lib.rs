@@ -71,4 +71,4 @@ pub use request::{
     CacheOutcome, RejectReason, Request, Response, ResponseOutcome, ServedResult, SubmitError,
 };
 pub use service::{ServeConfig, StreamingService};
-pub use stats::{percentile, ClassStats, ServeStats, SloPolicy};
+pub use stats::{percentile, ArrayUse, ClassStats, ServeStats, SloPolicy};

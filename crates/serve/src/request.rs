@@ -98,6 +98,14 @@ pub struct ServedResult {
     /// PE arrays the (original) execution occupied (1 on
     /// single-array backends).
     pub shards: usize,
+    /// Arrays the array-slot scheduler granted the (original)
+    /// execution — the width it ran at.
+    pub arrays_granted: usize,
+    /// Device cycles this request's execution waited to gather its
+    /// granted arrays. Attributed once, to the request that triggered
+    /// the execution: 0 for cache hits, coalesced waiters, and
+    /// without co-scheduling.
+    pub array_wait_cycles: u64,
     /// Cache hit or cold execution.
     pub cache: CacheOutcome,
 }

@@ -37,7 +37,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tempus_runtime::pool::{PoolOutcome, WorkerPool};
-use tempus_runtime::{BackendKind, EngineConfig, Job, RuntimeError, WorkerStats};
+use tempus_runtime::{
+    ArrayAssignment, ArrayLedger, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary,
+    EngineConfig, Job, RuntimeError, WorkerStats,
+};
 
 use crate::cache::{cache_key, CacheEntry, ResultCache, ResultCacheStats};
 use crate::class::{Fidelity, JobClass};
@@ -45,7 +48,7 @@ use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::request::{
     CacheOutcome, RejectReason, Request, Response, ResponseOutcome, ServedResult, SubmitError,
 };
-use crate::stats::{ServeStats, SloPolicy, StatsRecorder};
+use crate::stats::{ArrayUse, ServeStats, SloPolicy, StatsRecorder};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -119,6 +122,30 @@ impl ServeConfig {
     #[must_use]
     pub fn num_arrays(&self) -> usize {
         self.engine.num_arrays
+    }
+
+    /// Enables cost-aware array-slot co-scheduling (builder style):
+    /// instead of every job owning the whole multi-array core, the
+    /// budget planner picks each job's width and the dispatcher packs
+    /// concurrent jobs onto disjoint array sets through the
+    /// device-time ledger.
+    #[must_use]
+    pub fn with_co_scheduling(mut self) -> Self {
+        self.engine = self.engine.with_co_scheduling();
+        self
+    }
+
+    /// Overrides the array-granting policy (builder style).
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: ArrayPolicy) -> Self {
+        self.engine = self.engine.with_scheduling(scheduling);
+        self
+    }
+
+    /// `true` when the dispatcher co-schedules array slots.
+    #[must_use]
+    pub fn co_scheduling(&self) -> bool {
+        self.engine.scheduling.co_schedules()
     }
 
     /// Overrides the ingestion-queue capacity (builder style).
@@ -217,6 +244,7 @@ pub struct StreamingService {
     stats: Arc<Mutex<StatsRecorder>>,
     cache_stats: Arc<Mutex<ResultCacheStats>>,
     in_flight_gauge: Arc<AtomicUsize>,
+    device_gauge: Arc<Mutex<DeviceSummary>>,
     dispatcher: Option<JoinHandle<Vec<WorkerStats>>>,
     started: Instant,
 }
@@ -253,11 +281,25 @@ impl StreamingService {
         let stats = Arc::new(Mutex::new(StatsRecorder::new(config.slo.clone())));
         let cache_stats = Arc::new(Mutex::new(ResultCacheStats::default()));
         let in_flight_gauge = Arc::new(AtomicUsize::new(0));
+        let num_arrays = config.engine.num_arrays.max(1);
+        let device_gauge = Arc::new(Mutex::new(DeviceSummary {
+            num_arrays,
+            ..DeviceSummary::default()
+        }));
+        // Under the cost-aware policy the dispatcher owns a width
+        // planner and the device-time array ledger; under the
+        // all-arrays policy each job owns the whole core and device
+        // time is accumulated serially from completions.
+        let planner = match config.engine.scheduling {
+            ArrayPolicy::CostAware(policy) => Some(ArrayPlanner::new(&config.engine, policy)),
+            ArrayPolicy::AllArrays => None,
+        };
         let dispatcher = {
             let ingress = Arc::clone(&ingress);
             let stats = Arc::clone(&stats);
             let cache_stats = Arc::clone(&cache_stats);
             let in_flight_gauge = Arc::clone(&in_flight_gauge);
+            let device_gauge = Arc::clone(&device_gauge);
             std::thread::spawn(move || {
                 Dispatcher {
                     cache: ResultCache::new(config.cache_capacity),
@@ -268,6 +310,13 @@ impl StreamingService {
                     stats,
                     cache_stats,
                     in_flight_gauge,
+                    device_gauge,
+                    planner,
+                    ledger: ArrayLedger::new(num_arrays),
+                    serial_device: DeviceSummary {
+                        num_arrays,
+                        ..DeviceSummary::default()
+                    },
                     deferred: VecDeque::new(),
                     pending: HashMap::new(),
                     inflight_waiters: HashMap::new(),
@@ -284,6 +333,7 @@ impl StreamingService {
             stats,
             cache_stats,
             in_flight_gauge,
+            device_gauge,
             dispatcher: Some(dispatcher),
             started: Instant::now(),
         })
@@ -359,11 +409,13 @@ impl StreamingService {
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         let cache = *self.cache_stats.lock().expect("cache stats lock");
+        let device = *self.device_gauge.lock().expect("device gauge lock");
         let stats = self.stats.lock().expect("stats lock");
         stats.snapshot(
             cache,
             self.ingress.len(),
             self.in_flight_gauge.load(Ordering::Relaxed),
+            device,
             self.started.elapsed().as_nanos() as u64,
         )
     }
@@ -408,6 +460,18 @@ struct Dispatcher {
     stats: Arc<Mutex<StatsRecorder>>,
     cache_stats: Arc<Mutex<ResultCacheStats>>,
     in_flight_gauge: Arc<AtomicUsize>,
+    device_gauge: Arc<Mutex<DeviceSummary>>,
+    /// Cost-aware width planner — present only under
+    /// [`ArrayPolicy::CostAware`].
+    planner: Option<ArrayPlanner>,
+    /// Device-time array pool: dispatch order fixes the placement
+    /// order, so grants, starts and waits are deterministic for a
+    /// deterministic admission sequence.
+    ledger: ArrayLedger,
+    /// All-arrays device accounting: each completed execution owns
+    /// the whole core for its critical path, serially. Accumulated at
+    /// completion (order-independent sums), so it needs no prediction.
+    serial_device: DeviceSummary,
     deferred: VecDeque<Held>,
     /// Outcomes are matched back by job id; duplicate ids queue up.
     pending: HashMap<u64, VecDeque<Pending>>,
@@ -439,6 +503,11 @@ impl Dispatcher {
         *self.cache_stats.lock().expect("cache stats lock") = self.cache.stats();
         self.in_flight_gauge
             .store(self.in_flight, Ordering::Relaxed);
+        *self.device_gauge.lock().expect("device gauge lock") = if self.planner.is_some() {
+            self.ledger.summary()
+        } else {
+            self.serial_device
+        };
     }
 
     /// Admits one popped request: cache lookup, then dispatch, defer
@@ -456,8 +525,14 @@ impl Dispatcher {
                 class,
                 total_ns,
                 true,
-                entry.shards,
-                entry.shard_utilization,
+                ArrayUse {
+                    shards: entry.shards,
+                    utilization: entry.shard_utilization,
+                    granted: entry.arrays_granted,
+                    // A hit never touches the device, so it never
+                    // waits for arrays.
+                    wait_cycles: 0,
+                },
             );
             self.respond(Response {
                 job_id: request.job.id,
@@ -468,6 +543,8 @@ impl Dispatcher {
                     sim_cycles: entry.sim_cycles,
                     energy_pj: entry.energy_pj,
                     shards: entry.shards,
+                    arrays_granted: entry.arrays_granted,
+                    array_wait_cycles: 0,
                     cache: CacheOutcome::Hit,
                 }),
                 queue_ns: total_ns,
@@ -531,7 +608,11 @@ impl Dispatcher {
         self.dispatch(held);
     }
 
-    /// Hands a cache-missed job to the pool.
+    /// Hands a cache-missed job to the pool under an array-slot
+    /// grant: cost-aware width plus device-time packing onto disjoint
+    /// array sets when co-scheduling, the whole core otherwise (PR 4
+    /// semantics — bit-identical results either way at equal granted
+    /// widths).
     fn dispatch(&mut self, held: Held) {
         let Held {
             job,
@@ -541,7 +622,14 @@ impl Dispatcher {
         } = held;
         let job_id = job.id;
         let backend = self.backend_for(class.fidelity);
-        if self.pool.submit(job, backend).is_err() {
+        let assignment = match &mut self.planner {
+            Some(planner) => {
+                let plan = planner.plan_or_single(&job);
+                self.ledger.place(&plan, 0).assignment
+            }
+            None => ArrayAssignment::full(self.config.engine.num_arrays),
+        };
+        if self.pool.submit_assigned(job, backend, assignment).is_err() {
             // Pool gone (only during teardown): report a failure.
             self.stats.lock().expect("stats lock").record_failure(class);
             let total_ns = accepted.elapsed().as_nanos() as u64;
@@ -608,6 +696,16 @@ impl Dispatcher {
             .unwrap_or_default();
         match outcome.result {
             Ok(result) => {
+                // Under the all-arrays policy every execution owns
+                // the whole core in turn: device time accumulates
+                // serially (order-independent sums). The co-scheduled
+                // account lives in the ledger, updated at placement.
+                if self.planner.is_none() {
+                    self.serial_device.makespan_cycles += result.sim_cycles;
+                    self.serial_device.busy_cycles += result.total_array_cycles;
+                    self.serial_device.placements += 1;
+                    self.serial_device.granted_sum += result.arrays_granted as u64;
+                }
                 self.cache.insert(
                     pending.key,
                     CacheEntry {
@@ -616,27 +714,33 @@ impl Dispatcher {
                         energy_pj: result.energy_pj,
                         shards: result.shards,
                         shard_utilization: result.shard_utilization,
+                        arrays_granted: result.arrays_granted,
                     },
                 );
+                let arrays = ArrayUse {
+                    shards: result.shards,
+                    utilization: result.shard_utilization,
+                    granted: result.arrays_granted,
+                    wait_cycles: result.array_wait_cycles,
+                };
                 // One guard for the completion and its whole fan-out:
                 // a snapshot never observes a torn state with only
                 // some waiters counted, and the dispatcher does not
                 // churn the lock per waiter.
                 let mut stats = self.stats.lock().expect("stats lock");
-                stats.record_completion(
-                    pending.class,
-                    total_ns,
-                    false,
-                    result.shards,
-                    result.shard_utilization,
-                );
+                stats.record_completion(pending.class, total_ns, false, arrays);
                 for waiter in waiters {
                     let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
+                    // Waiters share the execution but did not wait
+                    // for its arrays — the gather wait is counted
+                    // once, on the primary.
                     stats.record_coalesced(
                         waiter.class,
                         waiter_total_ns,
-                        result.shards,
-                        result.shard_utilization,
+                        ArrayUse {
+                            wait_cycles: 0,
+                            ..arrays
+                        },
                     );
                     self.respond(Response {
                         job_id: waiter.job_id,
@@ -647,6 +751,10 @@ impl Dispatcher {
                             sim_cycles: result.sim_cycles,
                             energy_pj: result.energy_pj,
                             shards: result.shards,
+                            arrays_granted: result.arrays_granted,
+                            // The gather wait is attributed once, to
+                            // the primary — matching the stats layer.
+                            array_wait_cycles: 0,
                             cache: CacheOutcome::Coalesced,
                         }),
                         queue_ns: waiter_total_ns,
@@ -666,6 +774,8 @@ impl Dispatcher {
                         sim_cycles: result.sim_cycles,
                         energy_pj: result.energy_pj,
                         shards: result.shards,
+                        arrays_granted: result.arrays_granted,
+                        array_wait_cycles: result.array_wait_cycles,
                         cache: CacheOutcome::Miss,
                     }),
                     queue_ns,
@@ -726,8 +836,12 @@ impl Dispatcher {
                         held.class,
                         total_ns,
                         true,
-                        entry.shards,
-                        entry.shard_utilization,
+                        ArrayUse {
+                            shards: entry.shards,
+                            utilization: entry.shard_utilization,
+                            granted: entry.arrays_granted,
+                            wait_cycles: 0,
+                        },
                     );
                     self.respond(Response {
                         job_id: held.job.id,
@@ -738,6 +852,8 @@ impl Dispatcher {
                             sim_cycles: entry.sim_cycles,
                             energy_pj: entry.energy_pj,
                             shards: entry.shards,
+                            arrays_granted: entry.arrays_granted,
+                            array_wait_cycles: 0,
                             cache: CacheOutcome::Hit,
                         }),
                         queue_ns: total_ns,

@@ -3,8 +3,38 @@
 
 use std::fmt;
 
+use tempus_runtime::DeviceSummary;
+
 use crate::cache::ResultCacheStats;
 use crate::class::{Fidelity, JobClass, PayloadKind};
+
+/// One completed request's array accounting, bundled so the recorder
+/// and the dispatcher agree on what a completion carries.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayUse {
+    /// PE arrays the execution occupied.
+    pub shards: usize,
+    /// Work balance across those arrays.
+    pub utilization: f64,
+    /// Arrays the array-slot scheduler granted.
+    pub granted: usize,
+    /// Device cycles spent waiting to gather the grant.
+    pub wait_cycles: u64,
+}
+
+impl ArrayUse {
+    /// The single-array default (cache hits on a 1-array socket,
+    /// empty classes).
+    #[must_use]
+    pub fn single() -> Self {
+        ArrayUse {
+            shards: 1,
+            utilization: 1.0,
+            granted: 1,
+            wait_cycles: 0,
+        }
+    }
+}
 
 /// Per-class latency SLO targets, on end-to-end request latency
 /// (admission to response), in nanoseconds.
@@ -97,6 +127,14 @@ pub struct ClassStats {
     /// (the single-array socket) when nothing completed, so existing
     /// consumers of serialized snapshots stay schema-compatible.
     pub shards: f64,
+    /// Mean arrays granted per completed request (1 when nothing
+    /// completed). Under co-scheduling this can exceed `shards` only
+    /// transiently — granted is the offered width, shards what the
+    /// plan used.
+    pub arrays_granted: f64,
+    /// Mean device cycles spent waiting to gather granted arrays (0
+    /// when nothing completed or without co-scheduling).
+    pub avg_array_wait_cycles: f64,
 }
 
 impl ClassStats {
@@ -142,6 +180,13 @@ pub struct ServeStats {
     /// Mean per-request work balance across PE arrays (1.0 when the
     /// pool models a single array or shards are perfectly even).
     pub avg_shard_utilization: f64,
+    /// Device-time view of the array pool: makespan, busy
+    /// array-cycles (packing efficiency via
+    /// [`DeviceSummary::occupancy`]), gather waits and grants. Under
+    /// co-scheduling this is the array-slot ledger's account; under
+    /// the all-arrays policy it is the serial whole-core equivalent
+    /// accumulated from completed executions.
+    pub device: DeviceSummary,
     /// Service uptime at snapshot, ns.
     pub uptime_ns: u64,
     /// Completed requests per wall-clock second since start.
@@ -175,6 +220,18 @@ impl fmt::Display for ServeStats {
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
         )?;
+        if self.device.num_arrays > 1 {
+            writeln!(
+                f,
+                "  device: {} arrays, makespan {} cycles, {:.0}% packed, \
+                 {:.1} arrays granted/placement, {} gather-wait cycles",
+                self.device.num_arrays,
+                self.device.makespan_cycles,
+                self.device.occupancy() * 100.0,
+                self.device.avg_arrays_granted(),
+                self.device.wait_cycles,
+            )?;
+        }
         for c in &self.classes {
             if c.completed + c.rejected + c.failed == 0 {
                 continue;
@@ -258,6 +315,8 @@ pub(crate) struct StatsRecorder {
     slo_violations: [u64; 6],
     shards_sum: [u64; 6],
     shard_util_sum: [f64; 6],
+    granted_sum: [u64; 6],
+    array_wait_sum: [u64; 6],
     pub(crate) submitted: u64,
     pub(crate) max_queue_depth: usize,
     pub(crate) max_deferred: usize,
@@ -275,6 +334,8 @@ impl StatsRecorder {
             slo_violations: [0; 6],
             shards_sum: [0; 6],
             shard_util_sum: [0.0; 6],
+            granted_sum: [0; 6],
+            array_wait_sum: [0; 6],
             submitted: 0,
             max_queue_depth: 0,
             max_deferred: 0,
@@ -287,8 +348,7 @@ impl StatsRecorder {
         class: JobClass,
         total_ns: u64,
         cached: bool,
-        shards: usize,
-        shard_utilization: f64,
+        arrays: ArrayUse,
     ) {
         let i = class.index();
         self.latencies[i].record(total_ns);
@@ -298,29 +358,27 @@ impl StatsRecorder {
         if total_ns > self.slo.target_ns(class) {
             self.slo_violations[i] += 1;
         }
-        self.shards_sum[i] += shards.max(1) as u64;
-        self.shard_util_sum[i] += shard_utilization;
+        self.shards_sum[i] += arrays.shards.max(1) as u64;
+        self.shard_util_sum[i] += arrays.utilization;
+        self.granted_sum[i] += arrays.granted.max(1) as u64;
+        self.array_wait_sum[i] += arrays.wait_cycles;
     }
 
     /// Records a completion that coalesced onto an in-flight
     /// execution: counted as completed (latency, SLO) and as
     /// coalesced, but never as a cache hit — the cache had no entry
     /// yet when it arrived.
-    pub(crate) fn record_coalesced(
-        &mut self,
-        class: JobClass,
-        total_ns: u64,
-        shards: usize,
-        shard_utilization: f64,
-    ) {
+    pub(crate) fn record_coalesced(&mut self, class: JobClass, total_ns: u64, arrays: ArrayUse) {
         let i = class.index();
         self.latencies[i].record(total_ns);
         self.coalesced[i] += 1;
         if total_ns > self.slo.target_ns(class) {
             self.slo_violations[i] += 1;
         }
-        self.shards_sum[i] += shards.max(1) as u64;
-        self.shard_util_sum[i] += shard_utilization;
+        self.shards_sum[i] += arrays.shards.max(1) as u64;
+        self.shard_util_sum[i] += arrays.utilization;
+        self.granted_sum[i] += arrays.granted.max(1) as u64;
+        self.array_wait_sum[i] += arrays.wait_cycles;
     }
 
     pub(crate) fn record_rejection(&mut self, class: JobClass) {
@@ -344,6 +402,7 @@ impl StatsRecorder {
         cache: ResultCacheStats,
         queue_depth: usize,
         in_flight: usize,
+        device: DeviceSummary,
         uptime_ns: u64,
     ) -> ServeStats {
         let classes: Vec<ClassStats> = JobClass::ALL
@@ -376,6 +435,16 @@ impl StatsRecorder {
                     } else {
                         self.shards_sum[i] as f64 / accum.count as f64
                     },
+                    arrays_granted: if accum.count == 0 {
+                        1.0
+                    } else {
+                        self.granted_sum[i] as f64 / accum.count as f64
+                    },
+                    avg_array_wait_cycles: if accum.count == 0 {
+                        0.0
+                    } else {
+                        self.array_wait_sum[i] as f64 / accum.count as f64
+                    },
                 }
             })
             .collect();
@@ -397,6 +466,7 @@ impl StatsRecorder {
             } else {
                 shard_util_total / completed as f64
             },
+            device,
             uptime_ns,
             throughput_per_sec: if uptime_ns == 0 {
                 0.0
@@ -423,17 +493,32 @@ mod tests {
         assert_eq!(percentile(&[], 99.0), 0);
     }
 
+    fn two_arrays() -> ArrayUse {
+        ArrayUse {
+            shards: 2,
+            utilization: 0.9,
+            granted: 3,
+            wait_cycles: 40,
+        }
+    }
+
     #[test]
     fn reservoir_bounds_memory_with_exact_counters() {
         let class = JobClass::ALL[1];
         let mut rec = StatsRecorder::new(SloPolicy::edge_defaults().with_target(class, 10));
         let n = 3 * RESERVOIR_CAP as u64;
         for v in 1..=n {
-            rec.record_completion(class, v, false, 1, 1.0);
+            rec.record_completion(class, v, false, ArrayUse::single());
         }
         let accum = &rec.latencies[class.index()];
         assert_eq!(accum.reservoir.len(), RESERVOIR_CAP, "reservoir is bounded");
-        let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1);
+        let snap = rec.snapshot(
+            ResultCacheStats::default(),
+            0,
+            0,
+            DeviceSummary::default(),
+            1,
+        );
         let c = snap.class(class);
         assert_eq!(c.completed, n, "count stays exact past the bound");
         assert_eq!(c.max_ns, n, "max stays exact past the bound");
@@ -454,10 +539,16 @@ mod tests {
         let class = JobClass::ALL[2];
         let slo = SloPolicy::edge_defaults().with_target(class, 1_000);
         let mut rec = StatsRecorder::new(slo);
-        rec.record_completion(class, 500, false, 2, 0.9);
-        rec.record_coalesced(class, 400, 2, 0.9);
-        rec.record_coalesced(class, 2_000, 2, 0.9);
-        let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1);
+        rec.record_completion(class, 500, false, two_arrays());
+        rec.record_coalesced(class, 400, two_arrays());
+        rec.record_coalesced(class, 2_000, two_arrays());
+        let snap = rec.snapshot(
+            ResultCacheStats::default(),
+            0,
+            0,
+            DeviceSummary::default(),
+            1,
+        );
         let c = snap.class(class);
         assert_eq!(c.completed, 3);
         assert_eq!(c.coalesced, 2);
@@ -465,12 +556,16 @@ mod tests {
         assert_eq!(c.slo_violations, 1);
         assert_eq!(snap.coalesced, 2);
         assert_eq!(snap.completed, 3);
-        // All three completions ran on 2 arrays at 0.9 balance.
+        // All three completions ran on 2 arrays at 0.9 balance,
+        // granted 3 with a 40-cycle gather wait.
         assert!((c.shards - 2.0).abs() < 1e-12);
         assert!((snap.avg_shard_utilization - 0.9).abs() < 1e-12);
+        assert!((c.arrays_granted - 3.0).abs() < 1e-12);
+        assert!((c.avg_array_wait_cycles - 40.0).abs() < 1e-12);
         // Classes with no completions default to the single-array
         // socket so serialized snapshots stay schema-compatible.
         assert!((snap.classes[0].shards - 1.0).abs() < 1e-12);
+        assert!((snap.classes[0].arrays_granted - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -478,10 +573,16 @@ mod tests {
         let class = JobClass::ALL[0];
         let slo = SloPolicy::edge_defaults().with_target(class, 1_000);
         let mut rec = StatsRecorder::new(slo);
-        rec.record_completion(class, 500, false, 1, 1.0);
-        rec.record_completion(class, 1_500, true, 1, 1.0);
-        rec.record_completion(class, 2_000, false, 1, 1.0);
-        let snap = rec.snapshot(ResultCacheStats::default(), 0, 0, 1_000_000_000);
+        rec.record_completion(class, 500, false, ArrayUse::single());
+        rec.record_completion(class, 1_500, true, ArrayUse::single());
+        rec.record_completion(class, 2_000, false, ArrayUse::single());
+        let snap = rec.snapshot(
+            ResultCacheStats::default(),
+            0,
+            0,
+            DeviceSummary::default(),
+            1_000_000_000,
+        );
         let c = snap.class(class);
         assert_eq!(c.completed, 3);
         assert_eq!(c.cache_hits, 1);

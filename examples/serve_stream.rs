@@ -8,7 +8,14 @@
 //!
 //! ```text
 //! cargo run --release --example serve_stream
+//! cargo run --release --example serve_stream -- --arrays 8 --co-schedule
 //! ```
+//!
+//! `--arrays N` models a DLA with N PE arrays (jobs shard across
+//! them); `--co-schedule` turns on the cost-aware array-slot
+//! scheduler, which packs concurrent jobs onto disjoint array sets
+//! instead of handing every job the whole core — the trace also
+//! gains kernel-rich wide convolutions so there is something to pack.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -69,10 +76,25 @@ fn replay(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace_config = TraceConfig::new(42)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let co_schedule = args.iter().any(|a| a == "--co-schedule");
+    let num_arrays = args
+        .iter()
+        .position(|a| a == "--arrays")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Ok(1), |v| v.parse::<usize>())
+        .map_err(|e| format!("--arrays expects a number: {e}"))?
+        .max(1);
+
+    let mut trace_config = TraceConfig::new(42)
         .with_requests(400)
         .with_repeat_fraction(0.6)
         .with_accurate_fraction(0.04);
+    if num_arrays > 1 {
+        // Give the multi-array device something to shard and the
+        // co-scheduler something to pack around.
+        trace_config = trace_config.with_wide_conv_fraction(0.25);
+    }
     let trace = generate(&trace_config);
     let bursts = trace
         .windows(2)
@@ -86,12 +108,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.last().map_or(0.0, |t| t.arrival_ns as f64 * 1e-6),
     );
 
-    let service = StreamingService::start(
-        ServeConfig::new()
-            .with_workers(4)
-            .with_queue_capacity(64)
-            .with_cache_capacity(4096),
-    )?;
+    let mut serve_config = ServeConfig::new()
+        .with_workers(4)
+        .with_queue_capacity(64)
+        .with_cache_capacity(4096)
+        .with_arrays(num_arrays);
+    if co_schedule {
+        serve_config = serve_config.with_co_scheduling();
+    }
+    println!(
+        "device: {num_arrays} PE array(s), scheduling: {}\n",
+        if co_schedule {
+            "cost-aware array slots (co-scheduled)"
+        } else {
+            "all arrays per job"
+        }
+    );
+    let service = StreamingService::start(serve_config)?;
 
     println!("pass 1 (cold cache):");
     let (cold_s, cold_digests) = replay(&service, &trace)?;

@@ -1,0 +1,193 @@
+//! Degenerate-shape hardening for `tempus_core::shard`: property
+//! tests over `split_units`, `plan_conv`, `plan_gemm`, `balance` and
+//! the cost-aware budget planner on the shapes that break naive
+//! planners — one kernel, one channel, more arrays than work units,
+//! empty per-shard cycle vectors (which must never divide by zero).
+
+use proptest::prelude::*;
+use tempus::core::shard::{
+    balance, marginal_speedup, plan_conv, plan_for_budget, plan_gemm, split_units, BudgetPlan,
+    ShardAccum, ShardStrategy, WidenPolicy, WidthCost,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Chunks are contiguous, cover `0..units` exactly, stay
+    /// non-empty whenever there is work, and never outnumber either
+    /// the units or the arrays.
+    #[test]
+    fn split_units_partitions_exactly(
+        units in 0usize..200,
+        arrays in 1usize..20,
+    ) {
+        let chunks = split_units(units, arrays);
+        prop_assert!(!chunks.is_empty());
+        prop_assert!(chunks.len() <= arrays);
+        prop_assert!(chunks.len() <= units.max(1));
+        prop_assert_eq!(chunks[0].0, 0);
+        prop_assert_eq!(chunks.last().unwrap().1, units);
+        for w in chunks.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "contiguous");
+        }
+        if units > 0 {
+            // Balanced: sizes differ by at most one, none empty.
+            let sizes: Vec<usize> = chunks.iter().map(|&(lo, hi)| hi - lo).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(min >= 1);
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    /// The conv planner never plans more slices than arrays, element
+    /// ranges partition the split axis, and requesting more arrays
+    /// than the shape can feed degrades gracefully (k=1, c=1
+    /// included).
+    #[test]
+    fn plan_conv_handles_degenerate_shapes(
+        k in 1usize..70,
+        c in 1usize..70,
+        atomic_k in 1usize..17,
+        atomic_c in 1usize..17,
+        arrays in 1usize..33,
+    ) {
+        let plan = plan_conv(k, c, atomic_k, atomic_c, arrays);
+        prop_assert!(plan.used_arrays() >= 1);
+        prop_assert!(plan.used_arrays() <= arrays.max(1));
+        match plan.strategy {
+            ShardStrategy::Single => prop_assert!(plan.slices.is_empty()),
+            ShardStrategy::KernelGroups => {
+                prop_assert_eq!(plan.slices[0].lo, 0);
+                prop_assert_eq!(plan.slices.last().unwrap().hi, k);
+                for s in &plan.slices {
+                    prop_assert!(s.lo < s.hi, "no empty kernel shard");
+                    prop_assert!(s.hi <= k);
+                }
+            }
+            ShardStrategy::ChannelGroups => {
+                prop_assert_eq!(plan.slices[0].lo, 0);
+                prop_assert_eq!(plan.slices.last().unwrap().hi, c);
+                for s in &plan.slices {
+                    prop_assert!(s.lo < s.hi, "no empty channel shard");
+                    prop_assert!(s.hi <= c);
+                }
+            }
+        }
+        // Reduction cycles are finite and zero without a reduction.
+        let rc = plan.reduction_cycles(1_000, atomic_k);
+        if !plan.needs_reduction() {
+            prop_assert_eq!(rc, 0);
+        }
+    }
+
+    /// One kernel over one channel can never shard: the planner must
+    /// settle on `Single` for every array count.
+    #[test]
+    fn single_unit_jobs_stay_single(arrays in 1usize..64) {
+        let plan = plan_conv(1, 1, 8, 8, arrays);
+        prop_assert_eq!(plan.strategy, ShardStrategy::Single);
+        prop_assert_eq!(plan.used_arrays(), 1);
+    }
+
+    /// The GEMM planner's tile ranges partition whichever axis it
+    /// picked and never exceed the array budget.
+    #[test]
+    fn plan_gemm_handles_degenerate_grids(
+        m_tiles in 1usize..30,
+        p_tiles in 1usize..30,
+        arrays in 1usize..33,
+    ) {
+        let plan = plan_gemm(m_tiles, p_tiles, arrays);
+        prop_assert!(plan.used_arrays() >= 1);
+        prop_assert!(plan.used_arrays() <= arrays.max(1));
+        if !plan.tiles.is_empty() {
+            prop_assert_eq!(plan.tiles[0].0, 0);
+            for w in plan.tiles.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+            for &(lo, hi) in &plan.tiles {
+                prop_assert!(lo < hi, "no empty tile shard");
+            }
+        }
+    }
+
+    /// `balance` is always in (0, 1] on non-empty inputs, exactly 1.0
+    /// for empty and single-shard vectors (no division by zero), and
+    /// 1.0 for perfectly even shards.
+    #[test]
+    fn balance_never_divides_by_zero(cycles in proptest::collection::vec(0u64..1_000_000, 0..12)) {
+        let b = balance(&cycles);
+        prop_assert!(b.is_finite());
+        prop_assert!(b > 0.0, "balance stays positive, got {}", b);
+        prop_assert!(b <= 1.0 + 1e-12);
+        if cycles.len() <= 1 {
+            prop_assert!((b - 1.0).abs() < 1e-12);
+        }
+        // The accumulator agrees with the one-shot figure on a single
+        // fold and tolerates empty folds.
+        let mut accum = ShardAccum::new();
+        accum.add(&cycles);
+        accum.add(&[]);
+        prop_assert!(accum.balance().is_finite());
+        prop_assert!(accum.max_used() >= 1);
+    }
+
+    /// The budget planner always returns a width in `1..=max_arrays`,
+    /// its curve starts at width 1, and the chosen width's cost is
+    /// the one reported.
+    #[test]
+    fn plan_for_budget_is_well_formed(
+        max_arrays in 1usize..17,
+        units in 1u64..40,
+    ) {
+        let policy = WidenPolicy::edge_default();
+        let plan = plan_for_budget(max_arrays, &policy, |w| {
+            let used = (w as u64).min(units);
+            Ok::<_, ()>(WidthCost {
+                arrays: w,
+                used: used as usize,
+                critical_path_cycles: units * 1_000 / used,
+                reduction_cycles: 0,
+                total_array_cycles: units * 1_000,
+            })
+        })
+        .unwrap();
+        prop_assert!(plan.arrays >= 1);
+        prop_assert!(plan.arrays <= max_arrays);
+        prop_assert_eq!(plan.widths[0].arrays, 1);
+        prop_assert_eq!(
+            plan.cost_at(plan.arrays).critical_path_cycles,
+            plan.critical_path_cycles
+        );
+        // Monotone evaluated widths: arrays fields are 1, 2, 3, ...
+        for (i, w) in plan.widths.iter().enumerate() {
+            prop_assert_eq!(w.arrays, i + 1);
+        }
+    }
+}
+
+#[test]
+fn empty_cycle_vectors_are_degenerate_not_fatal() {
+    assert!((balance(&[]) - 1.0).abs() < 1e-12);
+    assert!((balance(&[0, 0, 0]) - 1.0).abs() < 1e-12);
+    let mut accum = ShardAccum::new();
+    accum.add(&[]);
+    assert!((accum.balance() - 1.0).abs() < 1e-12);
+    assert_eq!(accum.max_used(), 1);
+    assert!((marginal_speedup(0, 0) - 0.0).abs() < 1e-12);
+    let single = BudgetPlan::single(0);
+    assert_eq!(single.cost_at(17).critical_path_cycles, 0);
+}
+
+#[test]
+fn arrays_beyond_units_do_not_create_empty_shards() {
+    // 2 kernel groups on 8 arrays: exactly 2 shards, both non-empty.
+    let plan = plan_conv(16, 4, 8, 8, 8);
+    assert!(plan.used_arrays() <= 2);
+    for s in &plan.slices {
+        assert!(s.lo < s.hi);
+    }
+    assert_eq!(split_units(0, 5), vec![(0, 0)]);
+    assert_eq!(split_units(1, 5).len(), 1);
+}
