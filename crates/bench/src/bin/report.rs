@@ -11,9 +11,9 @@
 use std::path::PathBuf;
 
 use tempus_bench::experiments::{
-    ablation, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline,
-    multi_array_scaling, runtime_throughput, serve_latency, sim_speed, table1, table2, table3,
-    timing,
+    ablation, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fleet_scaling,
+    headline, multi_array_scaling, runtime_throughput, serve_latency, sim_speed, table1, table2,
+    table3, timing,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -293,6 +293,30 @@ fn main() {
             .expect("write co_schedule markdown");
         write_result(&results, "BENCH_co_schedule.json", &report.to_json())
             .expect("write co_schedule json");
+    }
+
+    if wants("fleet_scaling") {
+        println!(
+            "--- Fleet-scale serving: multi-device scheduler frontiers (beyond the paper) ---"
+        );
+        let report = fleet_scaling::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        assert!(
+            report.digests_equal(),
+            "fleet serving diverged from the single-device reference"
+        );
+        assert!(
+            report.backfill_reclaims(),
+            "backfilling failed to reclaim idle array-cycles at equal digests"
+        );
+        assert!(
+            report.admission_wins(),
+            "deadline-aware admission fell behind drop-on-timeout at peak load"
+        );
+        write_result(&results, "fleet_scaling.md", &report.to_markdown())
+            .expect("write fleet_scaling markdown");
+        write_result(&results, "BENCH_fleet_scaling.json", &report.to_json())
+            .expect("write fleet_scaling json");
     }
 
     if wants("serve") {

@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_scaling;
 pub mod headline;
 pub mod multi_array_scaling;
 pub mod runtime_throughput;

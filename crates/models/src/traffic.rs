@@ -82,6 +82,44 @@ impl TracePayload {
     }
 }
 
+/// Per-class completion deadlines in **device cycles**, derived from
+/// the serving layer's per-class SLO targets (nanoseconds over the
+/// 4 ns cycle at the paper's 250 MHz clock). Attached to a trace via
+/// [`TraceConfig::with_deadlines`]; deadline stamping draws no RNG
+/// values, so seeded traces stay bit-identical with or without it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassDeadlines {
+    /// Deadlines for fast-functional `[conv, gemm, network]`.
+    pub fast: [u64; 3],
+    /// Deadlines for cycle-accurate `[conv, gemm, network]`.
+    pub accurate: [u64; 3],
+}
+
+impl ClassDeadlines {
+    /// The same deadline for every class.
+    #[must_use]
+    pub fn uniform(cycles: u64) -> Self {
+        ClassDeadlines {
+            fast: [cycles; 3],
+            accurate: [cycles; 3],
+        }
+    }
+
+    /// The deadline for one request's class.
+    #[must_use]
+    pub fn deadline_for(&self, fidelity: TraceFidelity, payload: &TracePayload) -> u64 {
+        let kind = match payload {
+            TracePayload::Conv { .. } => 0,
+            TracePayload::Gemm { .. } => 1,
+            TracePayload::Network { .. } => 2,
+        };
+        match fidelity {
+            TraceFidelity::Fast => self.fast[kind],
+            TraceFidelity::Accurate => self.accurate[kind],
+        }
+    }
+}
+
 /// One request in a generated trace.
 #[derive(Debug, Clone)]
 pub struct TraceRequest {
@@ -99,6 +137,11 @@ pub struct TraceRequest {
     /// sharing a template carry identical payloads, so downstream
     /// result caches will hit on the repeats.
     pub template: usize,
+    /// SLO-derived completion deadline in device cycles, when the
+    /// trace was generated with [`TraceConfig::with_deadlines`] —
+    /// deadline-aware admission rejects requests that provably cannot
+    /// meet it. `None` (the default) leaves admission unconstrained.
+    pub deadline_cycles: Option<u64>,
 }
 
 /// Trace-generation parameters.
@@ -137,6 +180,11 @@ pub struct TraceConfig {
     pub network_weight: f64,
     /// Working precision for all generated operands.
     pub precision: IntPrecision,
+    /// Per-class deadlines stamped onto every request; `None` (the
+    /// default) leaves [`TraceRequest::deadline_cycles`] unset.
+    /// Stamping is a pure per-class lookup — it draws no RNG values,
+    /// so existing seeded traces stay bit-identical either way.
+    pub deadlines: Option<ClassDeadlines>,
 }
 
 impl TraceConfig {
@@ -158,6 +206,7 @@ impl TraceConfig {
             gemm_weight: 0.4,
             network_weight: 0.2,
             precision: IntPrecision::Int8,
+            deadlines: None,
         }
     }
 
@@ -193,6 +242,14 @@ impl TraceConfig {
     #[must_use]
     pub fn with_wide_conv_fraction(mut self, fraction: f64) -> Self {
         self.wide_conv_fraction = fraction;
+        self
+    }
+
+    /// Stamps per-class deadlines onto every generated request
+    /// (builder style).
+    #[must_use]
+    pub fn with_deadlines(mut self, deadlines: ClassDeadlines) -> Self {
+        self.deadlines = Some(deadlines);
         self
     }
 }
@@ -324,6 +381,7 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
         } else {
             TraceFidelity::Fast
         };
+        let deadline_cycles = config.deadlines.map(|d| d.deadline_for(fidelity, &payload));
         requests.push(TraceRequest {
             id,
             arrival_ns: clock_ns,
@@ -331,6 +389,7 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
             fidelity,
             payload,
             template,
+            deadline_cycles,
         });
     }
     requests
@@ -449,6 +508,36 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(digest_of(&x.payload), digest_of(&y.payload));
         }
+    }
+
+    #[test]
+    fn deadline_stamping_leaves_traces_bit_identical() {
+        let plain = TraceConfig::new(33)
+            .with_requests(90)
+            .with_accurate_fraction(0.2);
+        let deadlines = ClassDeadlines {
+            fast: [1_000, 2_000, 3_000],
+            accurate: [10_000, 20_000, 30_000],
+        };
+        let stamped_cfg = plain.clone().with_deadlines(deadlines);
+        let a = generate(&plain);
+        let b = generate(&stamped_cfg);
+        for (x, y) in a.iter().zip(&b) {
+            // Same RNG stream: stamping is a pure lookup.
+            assert_eq!(x.arrival_ns, y.arrival_ns);
+            assert_eq!(x.fidelity, y.fidelity);
+            assert_eq!(digest_of(&x.payload), digest_of(&y.payload));
+            assert_eq!(x.deadline_cycles, None);
+            assert_eq!(
+                y.deadline_cycles,
+                Some(deadlines.deadline_for(y.fidelity, &y.payload))
+            );
+        }
+        // The per-class lookup routes by fidelity and payload kind.
+        assert!(b
+            .iter()
+            .filter(|r| r.fidelity == TraceFidelity::Accurate)
+            .all(|r| r.deadline_cycles.unwrap() >= 10_000));
     }
 
     #[test]

@@ -30,6 +30,19 @@
 //! idle arrays* against *waiting to gather the full request* using
 //! the job's own cost curve, and takes whichever completes first
 //! (ties prefer shrinking — it frees the queue behind).
+//!
+//! Every placement decision is split into a pure **preview** (compute
+//! the [`Placement`] from `&self`) and an **apply** (commit it) so
+//! schedulers above the ledger — the fleet device picker in
+//! `tempus-fleet` — can price candidate devices without mutating
+//! them. The ledger also keeps the **idle gaps** its grants open: when
+//! a job waits to gather arrays, the early-freeing arrays sit idle
+//! between their previous grant and the gathered start. Those gaps
+//! are recorded per array (count and array-cycles in
+//! [`DeviceSummary`]) and can be **backfilled**: a narrow job whose
+//! whole `[start, start + duration)` interval fits inside recorded
+//! gaps is placed *without moving any busy-until clock*, so it
+//! provably delays no previously granted job.
 
 use tempus_core::shard::{BudgetPlan, WidenPolicy};
 
@@ -93,8 +106,23 @@ pub struct Placement {
     pub start_cycle: u64,
     /// Predicted device cycles the job holds its arrays.
     pub duration_cycles: u64,
+    /// Predicted array-cycles of real work (summed shard cycles) —
+    /// what the busy accounting credits when the placement commits.
+    pub work_cycles: u64,
+    /// `true` when the placement sits entirely inside recorded idle
+    /// gaps: committing it moves no busy-until clock and can delay no
+    /// previously granted job.
+    pub backfilled: bool,
     /// Array ids held busy — disjoint from every co-resident job's.
     pub arrays: Vec<usize>,
+}
+
+impl Placement {
+    /// Device cycle the placed job finishes.
+    #[must_use]
+    pub fn finish_cycle(&self) -> u64 {
+        self.start_cycle + self.duration_cycles
+    }
 }
 
 /// Aggregated device-time counters, published by the ledger (and, in
@@ -114,6 +142,15 @@ pub struct DeviceSummary {
     pub placements: u64,
     /// Sum of granted widths over all placements.
     pub granted_sum: u64,
+    /// Idle gaps opened between grants: every time a grant started
+    /// later than an array's previous busy-until, that array sat idle
+    /// in between. Counts one per (array, gap) pair.
+    pub idle_gap_count: u64,
+    /// Net idle array-cycles across those gaps (opened minus
+    /// reclaimed by backfilling) — the waste backfilling closes.
+    pub idle_gap_cycles: u64,
+    /// Placements committed entirely inside idle gaps.
+    pub backfills: u64,
 }
 
 impl DeviceSummary {
@@ -141,26 +178,52 @@ impl DeviceSummary {
     }
 }
 
+/// Most idle gaps remembered per array for backfilling. Older gaps
+/// past the bound are forgotten (they stay counted as idle in the
+/// summary — they just can no longer be reclaimed), so a long-lived
+/// ledger's memory stays constant.
+const MAX_GAPS_PER_ARRAY: usize = 32;
+
 /// The array pool in device time: one busy-until clock per array.
 #[derive(Debug, Clone)]
 pub struct ArrayLedger {
     busy_until: Vec<u64>,
+    /// Per-array idle `[from, to)` intervals between grants — sorted,
+    /// disjoint, and always ending at or before the array's
+    /// busy-until clock. Backfill placements consume from these.
+    gaps: Vec<Vec<(u64, u64)>>,
     busy_cycles: u64,
     wait_cycles: u64,
     placements: u64,
     granted_sum: u64,
+    gap_count: u64,
+    gap_cycles: u64,
+    backfills: u64,
 }
 
 impl ArrayLedger {
     /// A ledger over `num_arrays` idle arrays (clamped to ≥ 1).
     #[must_use]
     pub fn new(num_arrays: usize) -> Self {
+        ArrayLedger::starting_at(num_arrays, 0)
+    }
+
+    /// A ledger whose arrays all free at `cycle` — a device joining a
+    /// fleet on a ledger-clock boundary starts here, so its clocks
+    /// line up with the devices already running.
+    #[must_use]
+    pub fn starting_at(num_arrays: usize, cycle: u64) -> Self {
+        let n = num_arrays.max(1);
         ArrayLedger {
-            busy_until: vec![0; num_arrays.max(1)],
+            busy_until: vec![cycle; n],
+            gaps: vec![Vec::new(); n],
             busy_cycles: 0,
             wait_cycles: 0,
             placements: 0,
             granted_sum: 0,
+            gap_count: 0,
+            gap_cycles: 0,
+            backfills: 0,
         }
     }
 
@@ -195,6 +258,26 @@ impl ArrayLedger {
             wait_cycles: self.wait_cycles,
             placements: self.placements,
             granted_sum: self.granted_sum,
+            idle_gap_count: self.gap_count,
+            idle_gap_cycles: self.gap_cycles,
+            backfills: self.backfills,
+        }
+    }
+
+    /// The per-array busy-until clocks — the invariant surface the
+    /// backfilling contract is stated on (a backfill commit leaves
+    /// every clock unchanged).
+    #[must_use]
+    pub fn busy_clocks(&self) -> &[u64] {
+        &self.busy_until
+    }
+
+    /// Forgets idle gaps ending at or before `cycle`: with monotone
+    /// arrivals they can never be backfilled again. Their cycles stay
+    /// counted as idle in the summary.
+    pub fn prune_gaps_before(&mut self, cycle: u64) {
+        for per_array in &mut self.gaps {
+            per_array.retain(|&(_, e)| e > cycle);
         }
     }
 
@@ -223,6 +306,16 @@ impl ArrayLedger {
     /// horizon)` — the gather penalty beyond the earliest possible
     /// start.
     pub fn place(&mut self, plan: &BudgetPlan, arrival_cycle: u64) -> Placement {
+        let placement = self.preview(plan, arrival_cycle);
+        self.apply(&placement);
+        placement
+    }
+
+    /// The placement [`ArrayLedger::place`] would commit, computed
+    /// without mutating the ledger — device pickers price candidate
+    /// devices with this and [`ArrayLedger::apply`] the winner.
+    #[must_use]
+    pub fn preview(&self, plan: &BudgetPlan, arrival_cycle: u64) -> Placement {
         let n = self.busy_until.len();
         let requested = plan.arrays.clamp(1, n);
         let order = self.freeing_order();
@@ -249,29 +342,176 @@ impl ArrayLedger {
         // than granted (e.g. 3 kernel groups under a 4-array grant);
         // only the used ones hold a clock.
         let occupied = cost.used.clamp(1, granted);
-        let duration = cost.critical_path_cycles;
         let arrays: Vec<usize> = order.into_iter().take(occupied).collect();
-        for &i in &arrays {
-            debug_assert!(self.busy_until[i] <= start, "granted array still busy");
-            self.busy_until[i] = start + duration;
-        }
-        let wait_cycles = start - earliest.min(start);
-        // Busy counts predicted real work (summed shard cycles), not
-        // the reserved occupied × duration area — idle tails of
-        // imbalanced shards are waste the occupancy figure exposes.
-        self.busy_cycles += cost.total_array_cycles;
-        self.wait_cycles += wait_cycles;
-        self.placements += 1;
-        self.granted_sum += granted as u64;
         Placement {
             assignment: ArrayAssignment {
                 requested,
                 granted,
-                wait_cycles,
+                wait_cycles: start - earliest.min(start),
             },
             start_cycle: start,
-            duration_cycles: duration,
+            duration_cycles: cost.critical_path_cycles,
+            work_cycles: cost.total_array_cycles,
+            backfilled: false,
             arrays,
+        }
+    }
+
+    /// The placement of `plan` granted exactly `width` arrays (the
+    /// gather start for that width; no shrink-vs-wait trade-off) —
+    /// deadline-aware admission walks widths through this to find one
+    /// whose finish meets the deadline.
+    #[must_use]
+    pub fn preview_width(&self, plan: &BudgetPlan, width: usize, arrival_cycle: u64) -> Placement {
+        let n = self.busy_until.len();
+        let requested = plan.arrays.clamp(1, n);
+        let granted = width.clamp(1, n);
+        let order = self.freeing_order();
+        let earliest = arrival_cycle.max(self.busy_until[order[0]]);
+        let start = arrival_cycle.max(self.busy_until[order[granted - 1]]);
+        let cost = plan.cost_at(granted);
+        let occupied = cost.used.clamp(1, granted);
+        let arrays: Vec<usize> = order.into_iter().take(occupied).collect();
+        Placement {
+            assignment: ArrayAssignment {
+                requested,
+                granted,
+                wait_cycles: start - earliest.min(start),
+            },
+            start_cycle: start,
+            duration_cycles: cost.critical_path_cycles,
+            work_cycles: cost.total_array_cycles,
+            backfilled: false,
+            arrays,
+        }
+    }
+
+    /// Looks for a **backfill** placement: a width whose whole
+    /// `[start, start + duration)` interval fits inside idle gaps on
+    /// enough arrays, starting at or after `arrival_cycle`. Such a
+    /// placement moves no busy-until clock when committed, so it
+    /// provably delays no previously granted job — the look-ahead
+    /// queue's jump-ahead move. Returns the earliest-finishing fit
+    /// (ties prefer narrower grants), or `None` when no gap fits.
+    #[must_use]
+    pub fn preview_backfill(&self, plan: &BudgetPlan, arrival_cycle: u64) -> Option<Placement> {
+        let n = self.busy_until.len();
+        let requested = plan.arrays.clamp(1, n);
+        let mut best: Option<Placement> = None;
+        for granted in 1..=requested {
+            let cost = plan.cost_at(granted);
+            let duration = cost.critical_path_cycles;
+            if duration == 0 {
+                continue; // zero-cost fallback plans never backfill
+            }
+            let occupied = cost.used.clamp(1, granted);
+            // Candidate starts: each gap's start clamped to arrival,
+            // kept only when the job still fits before the gap ends.
+            let mut starts: Vec<u64> = self
+                .gaps
+                .iter()
+                .flatten()
+                .filter_map(|&(s, e)| {
+                    let t = s.max(arrival_cycle);
+                    (t + duration <= e).then_some(t)
+                })
+                .collect();
+            starts.sort_unstable();
+            starts.dedup();
+            for &t in &starts {
+                let arrays: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        self.gaps[i]
+                            .iter()
+                            .any(|&(s, e)| s <= t && t + duration <= e)
+                    })
+                    .take(occupied)
+                    .collect();
+                if arrays.len() < occupied {
+                    continue;
+                }
+                let candidate = Placement {
+                    assignment: ArrayAssignment {
+                        requested,
+                        granted,
+                        wait_cycles: t - arrival_cycle.min(t),
+                    },
+                    start_cycle: t,
+                    duration_cycles: duration,
+                    work_cycles: cost.total_array_cycles,
+                    backfilled: true,
+                    arrays,
+                };
+                // The first feasible start is the earliest finish at
+                // this width; across widths the earliest finish wins,
+                // ties preferring the narrower grant (placed first).
+                if best
+                    .as_ref()
+                    .is_none_or(|b| candidate.finish_cycle() < b.finish_cycle())
+                {
+                    best = Some(candidate);
+                }
+                break;
+            }
+        }
+        best
+    }
+
+    /// Commits a previewed placement: advances busy clocks and the
+    /// aggregate counters for a normal grant, or consumes the matching
+    /// idle gaps for a backfill (leaving every clock unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the placement does not fit the ledger state
+    /// it was previewed against — previews must be committed before
+    /// any other mutation.
+    pub fn apply(&mut self, placement: &Placement) {
+        let start = placement.start_cycle;
+        let finish = placement.finish_cycle();
+        if placement.backfilled {
+            for &i in &placement.arrays {
+                let gap = self.gaps[i]
+                    .iter()
+                    .position(|&(s, e)| s <= start && finish <= e)
+                    .expect("backfill placement fits a recorded gap");
+                let (s, e) = self.gaps[i].remove(gap);
+                if s < start {
+                    self.gaps[i].push((s, start));
+                }
+                if finish < e {
+                    self.gaps[i].push((finish, e));
+                }
+                self.gaps[i].sort_unstable();
+                self.gap_cycles -= placement.duration_cycles;
+            }
+            self.backfills += 1;
+        } else {
+            for &i in &placement.arrays {
+                debug_assert!(self.busy_until[i] <= start, "granted array still busy");
+                if start > self.busy_until[i] {
+                    self.open_gap(i, self.busy_until[i], start);
+                }
+                self.busy_until[i] = finish;
+            }
+        }
+        self.busy_cycles += placement.work_cycles;
+        self.wait_cycles += placement.assignment.wait_cycles;
+        self.placements += 1;
+        self.granted_sum += placement.assignment.granted as u64;
+    }
+
+    /// Records the idle interval `[from, to)` on array `i`, evicting
+    /// the oldest remembered gap past the per-array bound (evicted
+    /// idle stays counted, it just cannot be reclaimed any more).
+    fn open_gap(&mut self, i: usize, from: u64, to: u64) {
+        self.gap_count += 1;
+        self.gap_cycles += to - from;
+        let per_array = &mut self.gaps[i];
+        per_array.push((from, to));
+        per_array.sort_unstable();
+        if per_array.len() > MAX_GAPS_PER_ARRAY {
+            per_array.remove(0);
         }
     }
 
@@ -290,24 +530,20 @@ impl ArrayLedger {
         let n = self.busy_until.len();
         let earliest = arrival_cycle.max(self.horizon());
         let start = arrival_cycle.max(self.makespan());
-        let wait_cycles = start - earliest;
-        for clock in &mut self.busy_until {
-            *clock = start + duration_cycles;
-        }
-        self.busy_cycles += busy_cycles;
-        self.wait_cycles += wait_cycles;
-        self.placements += 1;
-        self.granted_sum += n as u64;
-        Placement {
+        let placement = Placement {
             assignment: ArrayAssignment {
                 requested: n,
                 granted: n,
-                wait_cycles,
+                wait_cycles: start - earliest,
             },
             start_cycle: start,
             duration_cycles,
+            work_cycles: busy_cycles,
+            backfilled: false,
             arrays: (0..n).collect(),
-        }
+        };
+        self.apply(&placement);
+        placement
     }
 }
 
@@ -448,6 +684,143 @@ mod tests {
             (trace, ledger.summary())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gather_waits_open_idle_gaps() {
+        let mut ledger = ArrayLedger::new(4);
+        // Three short narrow jobs, then a long one: arrays 0-2 free at
+        // 100, array 3 at 400.
+        for _ in 0..3 {
+            let _ = ledger.place(&BudgetPlan::single(100), 0);
+        }
+        let _ = ledger.place(&BudgetPlan::single(400), 0);
+        // A perfectly scaling wide job gathers all 4 at cycle 400
+        // (400 + 250 = 650 beats 100 + 1000/3 = 433? no: 433 < 650 —
+        // pick totals so gathering wins): use 4000 total, shrunk on 3
+        // at 100 → 1433, gathered on 4 at 400 → 1400. It gathers,
+        // opening 300-cycle gaps on arrays 0-2.
+        let p = ledger.place(&linear_plan(4, 4, 4000), 0);
+        assert_eq!(p.assignment.granted, 4);
+        assert_eq!(p.start_cycle, 400);
+        let s = ledger.summary();
+        assert_eq!(s.idle_gap_count, 3, "one gap per early-freeing array");
+        assert_eq!(s.idle_gap_cycles, 900, "3 arrays x 300 idle cycles");
+        assert_eq!(s.backfills, 0);
+    }
+
+    #[test]
+    fn backfill_fits_inside_gaps_without_moving_clocks() {
+        let mut ledger = ArrayLedger::new(4);
+        for _ in 0..3 {
+            let _ = ledger.place(&BudgetPlan::single(100), 0);
+        }
+        let _ = ledger.place(&BudgetPlan::single(400), 0);
+        let _ = ledger.place(&linear_plan(4, 4, 4000), 0);
+        let clocks_before = ledger.busy_clocks().to_vec();
+        let idle_before = ledger.summary().idle_gap_cycles;
+        // A 200-cycle narrow job fits the [100, 400) gaps.
+        let p = ledger
+            .preview_backfill(&BudgetPlan::single(200), 0)
+            .expect("gap fits");
+        assert!(p.backfilled);
+        assert_eq!(p.start_cycle, 100);
+        assert_eq!(p.duration_cycles, 200);
+        ledger.apply(&p);
+        assert_eq!(
+            ledger.busy_clocks(),
+            clocks_before.as_slice(),
+            "backfill must not move any busy clock"
+        );
+        let s = ledger.summary();
+        assert_eq!(s.backfills, 1);
+        assert_eq!(s.idle_gap_cycles, idle_before - 200);
+        // The consumed gap splits: a second identical backfill lands
+        // on the next array's gap at the same cycles.
+        let q = ledger
+            .preview_backfill(&BudgetPlan::single(200), 0)
+            .expect("two more gaps remain");
+        assert_eq!(q.start_cycle, 100);
+        assert_ne!(q.arrays, p.arrays, "next backfill takes another gap");
+        // A job longer than any gap cannot backfill.
+        assert!(ledger
+            .preview_backfill(&BudgetPlan::single(301), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn backfill_respects_arrival_inside_gap() {
+        let mut ledger = ArrayLedger::new(2);
+        let _ = ledger.place(&BudgetPlan::single(100), 0);
+        let _ = ledger.place(&BudgetPlan::single(1000), 0);
+        // Gather the pair at cycle 1000: array 0 idles [100, 1000).
+        let _ = ledger.place(&linear_plan(2, 2, 2000), 0);
+        // Arriving at 500, a 300-cycle job backfills [500, 800).
+        let p = ledger
+            .preview_backfill(&BudgetPlan::single(300), 500)
+            .expect("fits after arrival");
+        assert_eq!(p.start_cycle, 500);
+        assert_eq!(p.assignment.wait_cycles, 0);
+        // Arriving at 800 the remaining 200 cycles no longer fit.
+        assert!(ledger
+            .preview_backfill(&BudgetPlan::single(300), 800)
+            .is_none());
+    }
+
+    #[test]
+    fn preview_width_prices_fixed_grants() {
+        let mut ledger = ArrayLedger::new(4);
+        let _ = ledger.place(&BudgetPlan::single(50), 0);
+        let plan = linear_plan(4, 4, 1200);
+        // Width 3 starts now on the idle arrays; width 4 gathers at 50.
+        let w3 = ledger.preview_width(&plan, 3, 0);
+        assert_eq!((w3.start_cycle, w3.assignment.granted), (0, 3));
+        assert_eq!(w3.finish_cycle(), 400);
+        let w4 = ledger.preview_width(&plan, 4, 0);
+        assert_eq!((w4.start_cycle, w4.assignment.granted), (50, 4));
+        assert_eq!(w4.finish_cycle(), 350);
+        assert_eq!(w4.assignment.wait_cycles, 50);
+        // preview/place agree: place's decision equals the better of
+        // the two fixed-width previews here.
+        let placed = ledger.preview(&plan, 0);
+        assert_eq!(placed.finish_cycle(), 350);
+    }
+
+    #[test]
+    fn preview_is_pure_and_place_commits_it() {
+        let mut ledger = ArrayLedger::new(3);
+        let _ = ledger.place(&BudgetPlan::single(70), 0);
+        let plan = linear_plan(3, 3, 900);
+        let previewed = ledger.preview(&plan, 10);
+        let before = ledger.summary();
+        assert_eq!(ledger.preview(&plan, 10), previewed, "preview is pure");
+        assert_eq!(ledger.summary(), before);
+        let placed = ledger.place(&plan, 10);
+        assert_eq!(placed, previewed);
+    }
+
+    #[test]
+    fn starting_at_joins_on_a_clock_boundary() {
+        let mut ledger = ArrayLedger::starting_at(2, 500);
+        assert_eq!(ledger.horizon(), 500);
+        let p = ledger.place(&BudgetPlan::single(100), 200);
+        assert_eq!(p.start_cycle, 500, "no work before the join cycle");
+        assert_eq!(p.assignment.wait_cycles, 0);
+    }
+
+    #[test]
+    fn pruning_forgets_stale_gaps_but_keeps_the_account() {
+        let mut ledger = ArrayLedger::new(2);
+        let _ = ledger.place(&BudgetPlan::single(100), 0);
+        let _ = ledger.place(&BudgetPlan::single(500), 0);
+        let _ = ledger.place(&linear_plan(2, 2, 1000), 0); // gap [100, 500) on array 0
+        let idle = ledger.summary().idle_gap_cycles;
+        assert_eq!(idle, 400);
+        ledger.prune_gaps_before(600);
+        assert!(ledger
+            .preview_backfill(&BudgetPlan::single(10), 0)
+            .is_none());
+        assert_eq!(ledger.summary().idle_gap_cycles, idle, "account survives");
     }
 
     #[test]

@@ -106,6 +106,7 @@ impl AggregateStats {
             wait_cycles: wait_sum,
             placements: jobs,
             granted_sum,
+            ..DeviceSummary::default()
         });
         let mut schedule_cache: Option<CacheStats> = None;
         for ws in worker_stats {

@@ -72,3 +72,4 @@ pub use request::{
 };
 pub use service::{ServeConfig, StreamingService};
 pub use stats::{percentile, ArrayUse, ClassStats, ServeStats, SloPolicy};
+pub use tempus_fleet::{ElasticPolicy, FleetSummary};

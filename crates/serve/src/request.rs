@@ -12,6 +12,13 @@ pub struct Request {
     pub job: Job,
     /// Requested execution fidelity.
     pub fidelity: Fidelity,
+    /// SLO-derived completion deadline in device cycles. Under
+    /// fleet co-scheduling, deadline-aware admission narrows the
+    /// job's array grant to meet it or rejects with
+    /// [`RejectReason::DeadlineUnattainable`] — instead of letting
+    /// the job blow its SLO in the queue. `None` (the default)
+    /// admits unconditionally.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl Request {
@@ -21,6 +28,7 @@ impl Request {
         Request {
             job,
             fidelity: Fidelity::Fast,
+            deadline_cycles: None,
         }
     }
 
@@ -30,7 +38,16 @@ impl Request {
         Request {
             job,
             fidelity: Fidelity::Accurate,
+            deadline_cycles: None,
         }
+    }
+
+    /// Attaches a completion deadline in device cycles (builder
+    /// style).
+    #[must_use]
+    pub fn with_deadline_cycles(mut self, cycles: u64) -> Self {
+        self.deadline_cycles = Some(cycles);
+        self
     }
 
     /// The request's job class.
@@ -65,6 +82,7 @@ impl Request {
         Request {
             job,
             fidelity: t.fidelity.into(),
+            deadline_cycles: t.deadline_cycles,
         }
     }
 }
@@ -116,6 +134,17 @@ pub enum RejectReason {
     /// The cycle-accurate admission queue is full; retry later or
     /// drop fidelity.
     AccurateAdmissionFull,
+    /// Deadline-aware admission found no device and no array width
+    /// whose predicted finish meets the request's deadline — rejected
+    /// up front instead of timing out in the queue. Carries the
+    /// deadline and the best achievable latency, both in device
+    /// cycles.
+    DeadlineUnattainable {
+        /// The deadline the request carried.
+        deadline_cycles: u64,
+        /// The best latency any device at any width could offer.
+        best_latency_cycles: u64,
+    },
 }
 
 /// How one request ended.

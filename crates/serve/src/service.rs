@@ -36,10 +36,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tempus_fleet::{ElasticPolicy, FleetConfig, FleetOutcome, FleetScheduler, FleetSummary};
 use tempus_runtime::pool::{PoolOutcome, WorkerPool};
 use tempus_runtime::{
-    ArrayAssignment, ArrayLedger, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary,
-    EngineConfig, Job, RuntimeError, WorkerStats,
+    ArrayAssignment, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary, EngineConfig, Job,
+    RuntimeError, WorkerStats,
 };
 
 use crate::cache::{cache_key, CacheEntry, ResultCache, ResultCacheStats};
@@ -79,6 +80,14 @@ pub struct ServeConfig {
     pub engine: EngineConfig,
     /// Per-class latency SLO targets.
     pub slo: SloPolicy,
+    /// Simulated devices behind the dispatcher (each one an
+    /// `arrays`-wide ledger); > 1 requires co-scheduling.
+    pub devices: usize,
+    /// Let narrow jobs backfill into idle array gaps (fleet
+    /// co-scheduling only).
+    pub backfill: bool,
+    /// Elastic fleet sizing; `None` keeps the device count fixed.
+    pub elastic: Option<ElasticPolicy>,
 }
 
 impl ServeConfig {
@@ -98,6 +107,9 @@ impl ServeConfig {
             accurate_backend: BackendKind::TempusCycleAccurate,
             engine,
             slo: SloPolicy::edge_defaults(),
+            devices: 1,
+            backfill: false,
+            elastic: None,
         }
     }
 
@@ -189,6 +201,55 @@ impl ServeConfig {
         self.slo = slo;
         self
     }
+
+    /// Puts `devices` simulated replicas behind the dispatcher
+    /// (builder style). More than one device implies fleet
+    /// co-scheduling, so this enables it.
+    #[must_use]
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices.max(1);
+        if self.devices > 1 && !self.co_scheduling() {
+            self = self.with_co_scheduling();
+        }
+        self
+    }
+
+    /// Enables look-ahead backfilling into idle array gaps (builder
+    /// style). Backfilling is a fleet-scheduler move, so this enables
+    /// co-scheduling too.
+    #[must_use]
+    pub fn with_backfill(mut self) -> Self {
+        self.backfill = true;
+        if !self.co_scheduling() {
+            self = self.with_co_scheduling();
+        }
+        self
+    }
+
+    /// Enables elastic fleet sizing under `policy` (builder style);
+    /// implies co-scheduling.
+    #[must_use]
+    pub fn with_elastic(mut self, policy: ElasticPolicy) -> Self {
+        self.elastic = Some(policy);
+        if !self.co_scheduling() {
+            self = self.with_co_scheduling();
+        }
+        self
+    }
+
+    /// The fleet shape the dispatcher schedules through when
+    /// co-scheduling.
+    #[must_use]
+    pub fn fleet_config(&self) -> FleetConfig {
+        let mut fleet = FleetConfig::new(self.devices, self.engine.num_arrays);
+        if self.backfill {
+            fleet = fleet.with_backfill();
+        }
+        if let Some(policy) = self.elastic {
+            fleet = fleet.with_elastic(policy);
+        }
+        fleet
+    }
 }
 
 impl Default for ServeConfig {
@@ -217,6 +278,7 @@ struct Held {
     class: JobClass,
     key: u64,
     accepted: Instant,
+    deadline_cycles: Option<u64>,
 }
 
 /// A request coalesced onto an identical in-flight execution: it
@@ -245,6 +307,7 @@ pub struct StreamingService {
     cache_stats: Arc<Mutex<ResultCacheStats>>,
     in_flight_gauge: Arc<AtomicUsize>,
     device_gauge: Arc<Mutex<DeviceSummary>>,
+    fleet_gauge: Arc<Mutex<Option<FleetSummary>>>,
     dispatcher: Option<JoinHandle<Vec<WorkerStats>>>,
     started: Instant,
 }
@@ -275,6 +338,10 @@ impl StreamingService {
             config.accurate_backend != BackendKind::FastFunctional,
             "the accurate fidelity must map to a cycle-accurate backend"
         );
+        assert!(
+            config.devices == 1 || config.co_scheduling(),
+            "a multi-device fleet requires co-scheduling"
+        );
         let pool = WorkerPool::spawn(config.engine.clone())?;
         let ingress = Arc::new(BoundedQueue::new(config.queue_capacity));
         let (response_tx, response_rx) = channel();
@@ -286,6 +353,7 @@ impl StreamingService {
             num_arrays,
             ..DeviceSummary::default()
         }));
+        let fleet_gauge = Arc::new(Mutex::new(None));
         // Under the cost-aware policy the dispatcher owns a width
         // planner and the device-time array ledger; under the
         // all-arrays policy each job owns the whole core and device
@@ -294,12 +362,14 @@ impl StreamingService {
             ArrayPolicy::CostAware(policy) => Some(ArrayPlanner::new(&config.engine, policy)),
             ArrayPolicy::AllArrays => None,
         };
+        let fleet = FleetScheduler::new(config.fleet_config());
         let dispatcher = {
             let ingress = Arc::clone(&ingress);
             let stats = Arc::clone(&stats);
             let cache_stats = Arc::clone(&cache_stats);
             let in_flight_gauge = Arc::clone(&in_flight_gauge);
             let device_gauge = Arc::clone(&device_gauge);
+            let fleet_gauge = Arc::clone(&fleet_gauge);
             std::thread::spawn(move || {
                 Dispatcher {
                     cache: ResultCache::new(config.cache_capacity),
@@ -311,8 +381,9 @@ impl StreamingService {
                     cache_stats,
                     in_flight_gauge,
                     device_gauge,
+                    fleet_gauge,
                     planner,
-                    ledger: ArrayLedger::new(num_arrays),
+                    fleet,
                     serial_device: DeviceSummary {
                         num_arrays,
                         ..DeviceSummary::default()
@@ -334,6 +405,7 @@ impl StreamingService {
             cache_stats,
             in_flight_gauge,
             device_gauge,
+            fleet_gauge,
             dispatcher: Some(dispatcher),
             started: Instant::now(),
         })
@@ -410,12 +482,14 @@ impl StreamingService {
     pub fn stats(&self) -> ServeStats {
         let cache = *self.cache_stats.lock().expect("cache stats lock");
         let device = *self.device_gauge.lock().expect("device gauge lock");
+        let fleet = self.fleet_gauge.lock().expect("fleet gauge lock").clone();
         let stats = self.stats.lock().expect("stats lock");
         stats.snapshot(
             cache,
             self.ingress.len(),
             self.in_flight_gauge.load(Ordering::Relaxed),
             device,
+            fleet,
             self.started.elapsed().as_nanos() as u64,
         )
     }
@@ -461,13 +535,18 @@ struct Dispatcher {
     cache_stats: Arc<Mutex<ResultCacheStats>>,
     in_flight_gauge: Arc<AtomicUsize>,
     device_gauge: Arc<Mutex<DeviceSummary>>,
+    fleet_gauge: Arc<Mutex<Option<FleetSummary>>>,
     /// Cost-aware width planner — present only under
-    /// [`ArrayPolicy::CostAware`].
+    /// [`ArrayPolicy::CostAware`]. Every device models the same
+    /// silicon, so one planner prices widths for the whole fleet.
     planner: Option<ArrayPlanner>,
-    /// Device-time array pool: dispatch order fixes the placement
-    /// order, so grants, starts and waits are deterministic for a
-    /// deterministic admission sequence.
-    ledger: ArrayLedger,
+    /// The two-level fleet scheduler: device picker over per-device
+    /// ledgers, plus backfilling, deadline admission and elastic
+    /// sizing. Dispatch order fixes the placement order, so grants,
+    /// starts and waits are deterministic for a deterministic
+    /// admission sequence. A 1-device fleet is bit-identical to
+    /// driving one ledger directly.
+    fleet: FleetScheduler,
     /// All-arrays device accounting: each completed execution owns
     /// the whole core for its critical path, serially. Accumulated at
     /// completion (order-independent sums), so it needs no prediction.
@@ -503,11 +582,13 @@ impl Dispatcher {
         *self.cache_stats.lock().expect("cache stats lock") = self.cache.stats();
         self.in_flight_gauge
             .store(self.in_flight, Ordering::Relaxed);
-        *self.device_gauge.lock().expect("device gauge lock") = if self.planner.is_some() {
-            self.ledger.summary()
+        if self.planner.is_some() {
+            let summary = self.fleet.summary();
+            *self.device_gauge.lock().expect("device gauge lock") = summary.combined();
+            *self.fleet_gauge.lock().expect("fleet gauge lock") = Some(summary);
         } else {
-            self.serial_device
-        };
+            *self.device_gauge.lock().expect("device gauge lock") = self.serial_device;
+        }
     }
 
     /// Admits one popped request: cache lookup, then dispatch, defer
@@ -573,6 +654,7 @@ impl Dispatcher {
             class,
             key,
             accepted,
+            deadline_cycles: request.deadline_cycles,
         };
         if class.fidelity == Fidelity::Accurate
             && self.accurate_in_flight >= self.config.max_accurate_in_flight
@@ -619,13 +701,39 @@ impl Dispatcher {
             class,
             key,
             accepted,
+            deadline_cycles,
         } = held;
         let job_id = job.id;
         let backend = self.backend_for(class.fidelity);
         let assignment = match &mut self.planner {
             Some(planner) => {
                 let plan = planner.plan_or_single(&job);
-                self.ledger.place(&plan, 0).assignment
+                match self.fleet.admit(&plan, deadline_cycles) {
+                    FleetOutcome::Placed(placed) => placed.placement.assignment,
+                    FleetOutcome::Rejected(miss) => {
+                        // No device at any width meets the deadline:
+                        // reject at admission instead of timing out.
+                        let total_ns = accepted.elapsed().as_nanos() as u64;
+                        self.stats
+                            .lock()
+                            .expect("stats lock")
+                            .record_rejection(class);
+                        self.respond(Response {
+                            job_id,
+                            job_name: job.name,
+                            class,
+                            outcome: ResponseOutcome::Rejected(
+                                RejectReason::DeadlineUnattainable {
+                                    deadline_cycles: miss.deadline_cycles,
+                                    best_latency_cycles: miss.best_latency_cycles,
+                                },
+                            ),
+                            queue_ns: total_ns,
+                            total_ns,
+                        });
+                        return;
+                    }
+                }
             }
             None => ArrayAssignment::full(self.config.engine.num_arrays),
         };

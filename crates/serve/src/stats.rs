@@ -3,6 +3,9 @@
 
 use std::fmt;
 
+use tempus_fleet::FleetSummary;
+use tempus_models::traffic::ClassDeadlines;
+use tempus_runtime::stats::PERIOD_NS;
 use tempus_runtime::DeviceSummary;
 
 use crate::cache::ResultCacheStats;
@@ -72,6 +75,21 @@ impl SloPolicy {
     #[must_use]
     pub fn target_ns(&self, class: JobClass) -> u64 {
         self.targets_ns[class.index()]
+    }
+
+    /// The SLO targets converted to per-class **device-cycle
+    /// deadlines** at the paper's 250 MHz clock (4 ns per cycle) —
+    /// what deadline-aware fleet admission checks predicted finish
+    /// times against, and what
+    /// [`TraceConfig::with_deadlines`](tempus_models::traffic::TraceConfig::with_deadlines)
+    /// stamps onto generated traffic.
+    #[must_use]
+    pub fn device_deadlines(&self) -> ClassDeadlines {
+        let cycles = |i: usize| (self.targets_ns[i] as f64 / PERIOD_NS) as u64;
+        ClassDeadlines {
+            fast: [cycles(0), cycles(1), cycles(2)],
+            accurate: [cycles(3), cycles(4), cycles(5)],
+        }
     }
 }
 
@@ -187,6 +205,11 @@ pub struct ServeStats {
     /// the all-arrays policy it is the serial whole-core equivalent
     /// accumulated from completed executions.
     pub device: DeviceSummary,
+    /// Per-device fleet account when the dispatcher schedules through
+    /// the fleet (co-scheduling on): device summaries, elastic
+    /// joins/drains, deadline rejections. `None` under the all-arrays
+    /// policy. For a 1-device fleet `fleet.devices[0] == device`.
+    pub fleet: Option<FleetSummary>,
     /// Service uptime at snapshot, ns.
     pub uptime_ns: u64,
     /// Completed requests per wall-clock second since start.
@@ -224,13 +247,31 @@ impl fmt::Display for ServeStats {
             writeln!(
                 f,
                 "  device: {} arrays, makespan {} cycles, {:.0}% packed, \
-                 {:.1} arrays granted/placement, {} gather-wait cycles",
+                 {:.1} arrays granted/placement, {} gather-wait cycles, \
+                 {} idle-gap cycles ({} backfilled)",
                 self.device.num_arrays,
                 self.device.makespan_cycles,
                 self.device.occupancy() * 100.0,
                 self.device.avg_arrays_granted(),
                 self.device.wait_cycles,
+                self.device.idle_gap_cycles,
+                self.device.backfills,
             )?;
+        }
+        if let Some(fleet) = &self.fleet {
+            if fleet.devices.len() > 1 || fleet.joins + fleet.drains + fleet.rejections > 0 {
+                writeln!(
+                    f,
+                    "  fleet: {} device(s) active of {} (peak {}), {} joins, {} drains, \
+                     {} deadline rejections",
+                    fleet.active_devices,
+                    fleet.devices.len(),
+                    fleet.peak_devices,
+                    fleet.joins,
+                    fleet.drains,
+                    fleet.rejections,
+                )?;
+            }
         }
         for c in &self.classes {
             if c.completed + c.rejected + c.failed == 0 {
@@ -403,6 +444,7 @@ impl StatsRecorder {
         queue_depth: usize,
         in_flight: usize,
         device: DeviceSummary,
+        fleet: Option<FleetSummary>,
         uptime_ns: u64,
     ) -> ServeStats {
         let classes: Vec<ClassStats> = JobClass::ALL
@@ -467,6 +509,7 @@ impl StatsRecorder {
                 shard_util_total / completed as f64
             },
             device,
+            fleet,
             uptime_ns,
             throughput_per_sec: if uptime_ns == 0 {
                 0.0
@@ -517,6 +560,7 @@ mod tests {
             0,
             0,
             DeviceSummary::default(),
+            None,
             1,
         );
         let c = snap.class(class);
@@ -547,6 +591,7 @@ mod tests {
             0,
             0,
             DeviceSummary::default(),
+            None,
             1,
         );
         let c = snap.class(class);
@@ -581,6 +626,7 @@ mod tests {
             0,
             0,
             DeviceSummary::default(),
+            None,
             1_000_000_000,
         );
         let c = snap.class(class);

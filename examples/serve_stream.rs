@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run --release --example serve_stream
 //! cargo run --release --example serve_stream -- --arrays 8 --co-schedule
+//! cargo run --release --example serve_stream -- --arrays 8 --devices 4 --backfill
 //! ```
 //!
 //! `--arrays N` models a DLA with N PE arrays (jobs shard across
@@ -16,6 +17,11 @@
 //! scheduler, which packs concurrent jobs onto disjoint array sets
 //! instead of handing every job the whole core — the trace also
 //! gains kernel-rich wide convolutions so there is something to pack.
+//! `--devices N` puts N such devices behind the dispatcher (the
+//! two-level fleet scheduler routes each job to the device with the
+//! earliest predicted finish; implies `--co-schedule`), and
+//! `--backfill` lets narrow jobs reclaim idle array gaps when that
+//! provably delays nobody.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -78,6 +84,7 @@ fn replay(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let co_schedule = args.iter().any(|a| a == "--co-schedule");
+    let backfill = args.iter().any(|a| a == "--backfill");
     let num_arrays = args
         .iter()
         .position(|a| a == "--arrays")
@@ -85,12 +92,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_or(Ok(1), |v| v.parse::<usize>())
         .map_err(|e| format!("--arrays expects a number: {e}"))?
         .max(1);
+    let devices = args
+        .iter()
+        .position(|a| a == "--devices")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Ok(1), |v| v.parse::<usize>())
+        .map_err(|e| format!("--devices expects a number: {e}"))?
+        .max(1);
 
     let mut trace_config = TraceConfig::new(42)
         .with_requests(400)
         .with_repeat_fraction(0.6)
         .with_accurate_fraction(0.04);
-    if num_arrays > 1 {
+    if num_arrays > 1 || devices > 1 {
         // Give the multi-array device something to shard and the
         // co-scheduler something to pack around.
         trace_config = trace_config.with_wide_conv_fraction(0.25);
@@ -116,13 +130,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if co_schedule {
         serve_config = serve_config.with_co_scheduling();
     }
+    if devices > 1 {
+        serve_config = serve_config.with_devices(devices);
+    }
+    if backfill {
+        serve_config = serve_config.with_backfill();
+    }
+    let fleet_scheduling = serve_config.co_scheduling();
     println!(
-        "device: {num_arrays} PE array(s), scheduling: {}\n",
-        if co_schedule {
+        "fleet: {devices} device(s) x {num_arrays} PE array(s), scheduling: {}{}\n",
+        if fleet_scheduling {
             "cost-aware array slots (co-scheduled)"
         } else {
             "all arrays per job"
-        }
+        },
+        if backfill { " + backfilling" } else { "" }
     );
     let service = StreamingService::start(serve_config)?;
 

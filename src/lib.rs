@@ -15,9 +15,11 @@
 //! models), [`models`] (the CNN zoo with synthetic quantized weights),
 //! [`profile`] (workload statistics and energy), [`runtime`] (the
 //! batched multi-threaded inference engine with pluggable
-//! fast/cycle-accurate backends) and [`serve`] (the async streaming
-//! ingestion service with content-addressed result caching and
-//! per-class latency SLOs).
+//! fast/cycle-accurate backends), [`fleet`] (the deterministic
+//! multi-device scheduler with backfilling, deadline-aware admission
+//! and elastic sizing) and [`serve`] (the async streaming ingestion
+//! service with content-addressed result caching and per-class
+//! latency SLOs).
 //!
 //! ```
 //! use tempus::arith::{tub, IntPrecision};
@@ -50,6 +52,7 @@
 
 pub use tempus_arith as arith;
 pub use tempus_core as core;
+pub use tempus_fleet as fleet;
 pub use tempus_hwmodel as hwmodel;
 pub use tempus_models as models;
 pub use tempus_nvdla as nvdla;

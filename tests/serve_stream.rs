@@ -72,7 +72,11 @@ fn cold_then_hit(
         let mut j = job.clone();
         j.id = pass;
         service
-            .submit(Request { job: j, fidelity })
+            .submit(Request {
+                job: j,
+                fidelity,
+                deadline_cycles: None,
+            })
             .expect("submit");
         let response = service
             .recv_response(Duration::from_secs(60))
@@ -354,6 +358,7 @@ fn accurate_overflow_is_deferred_then_rejected_without_starving_fast_path() {
             ResponseOutcome::Done(_) if response.class.fidelity == Fidelity::Fast => fast_done += 1,
             ResponseOutcome::Done(_) => accurate_done += 1,
             ResponseOutcome::Rejected(RejectReason::AccurateAdmissionFull) => rejected += 1,
+            ResponseOutcome::Rejected(reason) => panic!("unexpected rejection: {reason:?}"),
             ResponseOutcome::Failed(error) => panic!("unexpected failure: {error}"),
         }
     }
