@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use tempus_bench::experiments::{
     ablation, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fleet_scaling,
     headline, multi_array_scaling, runtime_throughput, serve_latency, sim_speed, table1, table2,
-    table3, timing,
+    table3, timing, trace_overhead,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -328,6 +328,24 @@ fn main() {
             .expect("write serve markdown");
         write_result(&results, "BENCH_serve_latency.json", &report.to_json())
             .expect("write serve json");
+    }
+
+    if wants("trace_overhead") {
+        println!("--- Telemetry: dual-clock tracing overhead + coverage (beyond the paper) ---");
+        let report = trace_overhead::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        // run() already asserts the deterministic gates (bit-identical
+        // digests, Perfetto shape, full stage coverage); the wall-time
+        // gate lives here.
+        assert!(
+            report.overhead_frac < 0.05,
+            "tracing overhead {:.1}% breached the 5% budget",
+            report.overhead_frac * 100.0
+        );
+        write_result(&results, "trace_overhead.md", &report.to_markdown())
+            .expect("write trace_overhead markdown");
+        write_result(&results, "BENCH_trace_overhead.json", &report.to_json())
+            .expect("write trace_overhead json");
     }
 
     println!("report complete; artifacts in results/");

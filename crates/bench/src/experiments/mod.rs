@@ -20,3 +20,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod timing;
+pub mod trace_overhead;

@@ -196,6 +196,60 @@ impl FleetOutcome {
     }
 }
 
+/// One recorded scheduling decision, emitted (when recording is on)
+/// in the order the scheduler made it. The fleet stays free of any
+/// telemetry dependency: the serving layer drains these with
+/// [`FleetScheduler::drain_events`] and lowers them onto its trace
+/// tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A device was previewed for the job with this predicted finish.
+    Preview {
+        /// Device index previewed.
+        device: usize,
+        /// Predicted finish cycle of the normal placement there.
+        finish_cycle: u64,
+    },
+    /// The job was committed to a device.
+    Route {
+        /// Device that took the job.
+        device: usize,
+        /// Device cycle the job starts at.
+        start_cycle: u64,
+        /// Arrays granted.
+        granted: usize,
+    },
+    /// The backfill take-rule fired: an idle-gap placement beat the
+    /// normal pick and was chosen instead.
+    Backfill {
+        /// Device whose gap the job fills.
+        device: usize,
+        /// Device cycle the backfilled job starts at.
+        start_cycle: u64,
+    },
+    /// Admission refused: no device at any width met the deadline.
+    Reject {
+        /// The deadline the request carried.
+        deadline_cycles: u64,
+        /// Best achievable latency across the fleet.
+        best_latency_cycles: u64,
+    },
+    /// Elastic sizing put a device into draining.
+    Drain {
+        /// Device drained.
+        device: usize,
+        /// Fleet floor at the decision.
+        cycle: u64,
+    },
+    /// Elastic sizing activated a device (revival or fresh join).
+    Revive {
+        /// Device activated.
+        device: usize,
+        /// Fleet floor at the decision.
+        cycle: u64,
+    },
+}
+
 /// Point-in-time fleet account: per-device summaries plus fleet-level
 /// counters.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -258,6 +312,10 @@ pub struct FleetScheduler {
     joins: u64,
     drains: u64,
     rejections: u64,
+    /// Emit [`FleetEvent`]s into `events`; off by default so cloned
+    /// what-if schedulers cost nothing.
+    record: bool,
+    events: Vec<FleetEvent>,
 }
 
 impl FleetScheduler {
@@ -281,6 +339,29 @@ impl FleetScheduler {
             joins: 0,
             drains: 0,
             rejections: 0,
+            record: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Turns [`FleetEvent`] recording on or off. Recording changes no
+    /// scheduling decision — it only appends to the event log.
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Takes every event recorded since the last drain, in decision
+    /// order.
+    pub fn drain_events(&mut self) -> Vec<FleetEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn emit(&mut self, event: FleetEvent) {
+        if self.record {
+            self.events.push(event);
         }
     }
 
@@ -374,8 +455,15 @@ impl FleetScheduler {
         // Normal path: earliest finish across active devices, ties to
         // the lowest id (strict `<` on the scan keeps the first).
         let mut chosen: Option<(usize, Placement)> = None;
+        let mut previews: Vec<FleetEvent> = Vec::new();
         for (idx, dev) in self.active_iter() {
             let p = dev.ledger.preview(plan, arrival);
+            if self.record {
+                previews.push(FleetEvent::Preview {
+                    device: idx,
+                    finish_cycle: p.finish_cycle(),
+                });
+            }
             if chosen
                 .as_ref()
                 .is_none_or(|(_, best)| p.finish_cycle() < best.finish_cycle())
@@ -383,6 +471,7 @@ impl FleetScheduler {
                 chosen = Some((idx, p));
             }
         }
+        self.events.extend(previews);
         let mut chosen = chosen.expect("fleet always has an active device");
 
         // Backfill: taken when it finishes no later than the normal
@@ -402,6 +491,10 @@ impl FleetScheduler {
             }
             if let Some(fill) = best_fill {
                 if fill.1.finish_cycle() <= chosen.1.finish_cycle() {
+                    self.emit(FleetEvent::Backfill {
+                        device: fill.0,
+                        start_cycle: fill.1.start_cycle,
+                    });
                     chosen = fill;
                 }
             }
@@ -426,6 +519,10 @@ impl FleetScheduler {
                 if best_latency > deadline {
                     self.rejections += 1;
                     self.observe_latency(best_latency);
+                    self.emit(FleetEvent::Reject {
+                        deadline_cycles: deadline,
+                        best_latency_cycles: best_latency,
+                    });
                     return FleetOutcome::Rejected(DeadlineMiss {
                         deadline_cycles: deadline,
                         best_latency_cycles: best_latency,
@@ -436,6 +533,11 @@ impl FleetScheduler {
         }
 
         let (device, placement) = chosen;
+        self.emit(FleetEvent::Route {
+            device,
+            start_cycle: placement.start_cycle,
+            granted: placement.assignment.granted,
+        });
         self.devices[device].ledger.apply(&placement);
         let placed = FleetPlacement {
             device,
@@ -489,19 +591,25 @@ impl FleetScheduler {
         if backlog > policy.grow_backlog_cycles && active.len() < max {
             // Revive the lowest-id draining device, else a fresh
             // ledger joins with its arrays free at the current clock.
-            if let Some(dev) = self
+            let joined = if let Some(idx) = self
                 .devices
-                .iter_mut()
-                .find(|d| d.status == DeviceStatus::Draining)
+                .iter()
+                .position(|d| d.status == DeviceStatus::Draining)
             {
-                dev.status = DeviceStatus::Active;
+                self.devices[idx].status = DeviceStatus::Active;
+                idx
             } else {
                 self.devices.push(DeviceState {
                     ledger: ArrayLedger::starting_at(self.config.arrays_per_device, floor),
                     status: DeviceStatus::Active,
                     joined_at_cycle: floor,
                 });
-            }
+                self.devices.len() - 1
+            };
+            self.emit(FleetEvent::Revive {
+                device: joined,
+                cycle: floor,
+            });
             self.joins += 1;
             self.peak_devices = self.peak_devices.max(self.active_devices());
             self.last_boundary = Some(floor);
@@ -510,6 +618,10 @@ impl FleetScheduler {
             // it takes no new grants and retires at its makespan.
             let idx = *active.last().expect("active.len() > min >= 1");
             self.devices[idx].status = DeviceStatus::Draining;
+            self.emit(FleetEvent::Drain {
+                device: idx,
+                cycle: floor,
+            });
             self.drains += 1;
             self.last_boundary = Some(floor);
         } else {
@@ -707,6 +819,46 @@ mod tests {
         };
         assert_eq!(p.placement.start_cycle, makespan + 5000);
         assert_eq!(p.latency_cycles(), 1000);
+    }
+
+    #[test]
+    fn recording_logs_decisions_without_changing_them() {
+        let config = FleetConfig::new(2, 4).with_backfill();
+        let mut silent = FleetScheduler::new(config.clone());
+        let mut recorded = FleetScheduler::new(config);
+        recorded.set_recording(true);
+        let plans = [
+            BudgetPlan::single(100),
+            BudgetPlan::single(400),
+            linear_plan(4, 4, 4000),
+            BudgetPlan::single(200),
+        ];
+        for plan in &plans {
+            let a = place(&mut silent, plan);
+            let b = place(&mut recorded, plan);
+            assert_eq!(a, b, "recording must not perturb placement");
+        }
+        assert!(silent.drain_events().is_empty(), "off by default");
+        let events = recorded.drain_events();
+        // Every admission previews both devices and routes once.
+        let previews = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Preview { .. }))
+            .count();
+        let routes = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Route { .. }))
+            .count();
+        assert_eq!(previews, plans.len() * 2);
+        assert_eq!(routes, plans.len());
+        assert!(recorded.drain_events().is_empty(), "drain takes all");
+        // A deadline miss logs a rejection.
+        let miss = linear_plan(4, 4, 4000);
+        let _ = recorded.admit(&miss, Some(1));
+        assert!(recorded
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Reject { .. })));
     }
 
     #[test]

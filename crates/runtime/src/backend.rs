@@ -50,6 +50,18 @@ pub struct Execution {
     /// `shards × slowest shard` (1.0 when single-array or perfectly
     /// balanced).
     pub shard_utilization: f64,
+    /// Per-shard busy cycles, one per occupied array, shard order.
+    /// Empty on single-array runs and on whole-network jobs (whose
+    /// layers shard independently) — telemetry renders those as one
+    /// flat busy interval instead of per-shard spans.
+    pub per_shard_cycles: Vec<u64>,
+    /// Cycles of the cross-array reduction stage included in
+    /// `sim_cycles` (0 when the split needed no reduction).
+    pub reduction_cycles: u64,
+    /// Window-batch cycles reported by `TempusStats` — non-zero only
+    /// on the cycle-accurate Tempus conv paths, where the PCU
+    /// actually streams windows.
+    pub window_cycles: u64,
 }
 
 impl Execution {
@@ -62,7 +74,17 @@ impl Execution {
             total_array_cycles: sim_cycles,
             shards: 1,
             shard_utilization: 1.0,
+            per_shard_cycles: Vec::new(),
+            reduction_cycles: 0,
+            window_cycles: 0,
         }
+    }
+
+    /// Attaches the window-batch cycle count (builder style).
+    #[must_use]
+    pub fn with_window_cycles(mut self, window_cycles: u64) -> Self {
+        self.window_cycles = window_cycles;
+        self
     }
 }
 
@@ -114,6 +136,9 @@ fn sharded_execution(
         total_array_cycles: per_shard_cycles.iter().sum(),
         shards: used_arrays,
         shard_utilization: shard::balance(per_shard_cycles),
+        per_shard_cycles: per_shard_cycles.to_vec(),
+        reduction_cycles,
+        window_cycles: 0,
     }
 }
 
@@ -131,6 +156,9 @@ fn network_execution(
         total_array_cycles,
         shards: accum.max_used(),
         shard_utilization: accum.balance(),
+        per_shard_cycles: Vec::new(),
+        reduction_cycles: 0,
+        window_cycles: 0,
     }
 }
 
@@ -274,18 +302,21 @@ impl InferenceBackend for TempusBackend {
                         .core
                         .convolve_sharded(features, kernels, params, num_arrays)?;
                     let per_shard = run.per_shard_cycles();
+                    let windows = self.core.last_tempus_stats().total_window_cycles;
                     Ok(sharded_execution(
                         JobOutput::Cube(run.output),
                         run.plan.used_arrays(),
                         &per_shard,
                         run.reduction_cycles,
-                    ))
+                    )
+                    .with_window_cycles(windows))
                 } else {
                     let run = self.core.convolve(features, kernels, params)?;
-                    Ok(Execution::single(
-                        JobOutput::Cube(run.output),
-                        run.stats.cycles,
-                    ))
+                    let windows = self.core.last_tempus_stats().total_window_cycles;
+                    Ok(
+                        Execution::single(JobOutput::Cube(run.output), run.stats.cycles)
+                            .with_window_cycles(windows),
+                    )
                 }
             }
             JobPayload::Gemm { a, b } => {

@@ -304,6 +304,9 @@ impl InferenceEngine {
                                     energy_pj: power * run.total_array_cycles as f64 * PERIOD_NS,
                                     wall_ns,
                                     worker: worker_idx,
+                                    per_shard_cycles: run.per_shard_cycles,
+                                    reduction_cycles: run.reduction_cycles,
+                                    window_cycles: run.window_cycles,
                                 });
                             }
                             stats.schedule_cache = backend.cache_stats();

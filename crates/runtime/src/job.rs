@@ -198,6 +198,15 @@ pub struct JobResult {
     pub wall_ns: u64,
     /// Which worker ran it.
     pub worker: usize,
+    /// Per-shard busy cycles, shard order (empty when the run was not
+    /// sharded) — the telemetry layer renders these as per-array
+    /// spans on the device timeline.
+    pub per_shard_cycles: Vec<u64>,
+    /// Cycles of the cross-array reduction stage within `sim_cycles`.
+    pub reduction_cycles: u64,
+    /// Window-batch cycles from `TempusStats` (cycle-accurate Tempus
+    /// conv paths only).
+    pub window_cycles: u64,
 }
 
 impl fmt::Display for JobResult {

@@ -21,6 +21,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tempus_core::schedule::CacheStats;
+use tempus_telemetry::{Clock, Counter, Stage, Telemetry, TraceSink};
 
 use crate::backend::{BackendKind, InferenceBackend};
 use crate::engine::{array_power_mw, EngineConfig};
@@ -89,6 +90,19 @@ impl WorkerPool {
     ///
     /// Returns [`RuntimeError::NoWorkers`] when `config.workers == 0`.
     pub fn spawn(config: EngineConfig) -> Result<Self, RuntimeError> {
+        Self::spawn_traced(config, Telemetry::disabled())
+    }
+
+    /// Like [`WorkerPool::spawn`], with a telemetry hub: each worker
+    /// records one wall-clock `execute` span per job on its own
+    /// `worker{i}` track. With a disabled hub this is exactly
+    /// [`WorkerPool::spawn`] — workers hold a no-op sink and pay one
+    /// branch per job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoWorkers`] when `config.workers == 0`.
+    pub fn spawn_traced(config: EngineConfig, telemetry: Telemetry) -> Result<Self, RuntimeError> {
         if config.workers == 0 {
             return Err(RuntimeError::NoWorkers);
         }
@@ -109,8 +123,9 @@ impl WorkerPool {
                 let task_rx = Arc::clone(&task_rx);
                 let outcome_tx = outcome_tx.clone();
                 let config = config.clone();
+                let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
-                    worker_loop(worker, &config, powers, &task_rx, &outcome_tx)
+                    worker_loop(worker, &config, powers, &task_rx, &outcome_tx, &telemetry)
                 })
             })
             .collect();
@@ -204,8 +219,11 @@ fn worker_loop(
     powers: [f64; 3],
     task_rx: &Mutex<Receiver<PoolTask>>,
     outcome_tx: &Sender<PoolOutcome>,
+    telemetry: &Telemetry,
 ) -> WorkerStats {
     let mut backends: [Option<Box<dyn InferenceBackend>>; 3] = [None, None, None];
+    let mut sink = telemetry.sink();
+    let track = telemetry.track(&format!("worker{worker}"), Clock::Wall, 0);
     let mut stats = WorkerStats {
         worker,
         ..WorkerStats::default()
@@ -227,6 +245,7 @@ fn worker_loop(
             break; // channel closed: pool is shutting down
         };
         let start = Instant::now();
+        let start_ns = telemetry.now_ns();
         // A panicking backend must not silently lose the outcome:
         // the serving layer above counts in-flight jobs, and a
         // missing completion would wedge its dispatch gate forever.
@@ -249,6 +268,17 @@ fn worker_loop(
                 stats.jobs += 1;
                 stats.sim_cycles += run.sim_cycles;
                 stats.wall_ns += wall_ns;
+                sink.span(
+                    track,
+                    Stage::Execute,
+                    start_ns,
+                    wall_ns,
+                    job.id,
+                    run.window_cycles,
+                );
+                if run.window_cycles > 0 {
+                    telemetry.count(Counter::WindowCycles, run.window_cycles);
+                }
                 JobResult {
                     job_id: job.id,
                     job_name: job.name.clone(),
@@ -264,6 +294,9 @@ fn worker_loop(
                     energy_pj: powers[kind_index(kind)] * run.total_array_cycles as f64 * PERIOD_NS,
                     wall_ns,
                     worker,
+                    per_shard_cycles: run.per_shard_cycles,
+                    reduction_cycles: run.reduction_cycles,
+                    window_cycles: run.window_cycles,
                 }
             }),
             Err(_) => {

@@ -36,11 +36,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tempus_fleet::{ElasticPolicy, FleetConfig, FleetOutcome, FleetScheduler, FleetSummary};
+use tempus_fleet::{
+    ElasticPolicy, FleetConfig, FleetEvent, FleetOutcome, FleetScheduler, FleetSummary,
+};
 use tempus_runtime::pool::{PoolOutcome, WorkerPool};
+use tempus_runtime::stats::PERIOD_NS;
 use tempus_runtime::{
     ArrayAssignment, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary, EngineConfig, Job,
-    RuntimeError, WorkerStats,
+    Placement, RuntimeError, WorkerStats,
+};
+use tempus_telemetry::{
+    Clock, Counter, DeviceTimeline, PlacedSpan, Stage, Telemetry, TraceSink, TrackId,
+    DEFAULT_RING_CAPACITY,
 };
 
 use crate::cache::{cache_key, CacheEntry, ResultCache, ResultCacheStats};
@@ -88,6 +95,14 @@ pub struct ServeConfig {
     pub backfill: bool,
     /// Elastic fleet sizing; `None` keeps the device count fixed.
     pub elastic: Option<ElasticPolicy>,
+    /// Record dual-clock trace spans (queue → admit → route → grant →
+    /// execute → per-shard) into per-thread ring buffers. Off by
+    /// default: a disabled service hands every layer a no-op recorder
+    /// and pays one branch per would-be event.
+    pub tracing: bool,
+    /// Per-recorder ring capacity (events, drop-oldest past it) when
+    /// tracing.
+    pub trace_ring_capacity: usize,
 }
 
 impl ServeConfig {
@@ -110,7 +125,29 @@ impl ServeConfig {
             devices: 1,
             backfill: false,
             elastic: None,
+            tracing: false,
+            trace_ring_capacity: DEFAULT_RING_CAPACITY,
         }
+    }
+
+    /// Enables dual-clock span tracing (builder style): the service
+    /// creates a [`Telemetry`] hub, instruments the dispatcher, fleet
+    /// and workers, and surfaces per-stage histograms in
+    /// [`ServeStats::telemetry`]. Outputs and placements are
+    /// bit-identical to an untraced run.
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Overrides the per-recorder trace ring capacity (builder
+    /// style); implies tracing.
+    #[must_use]
+    pub fn with_trace_ring_capacity(mut self, capacity: usize) -> Self {
+        self.tracing = true;
+        self.trace_ring_capacity = capacity.max(1);
+        self
     }
 
     /// Overrides the worker count (builder style).
@@ -270,6 +307,10 @@ struct Pending {
     key: u64,
     accepted: Instant,
     dispatched: Instant,
+    /// The fleet placement the job runs under (co-scheduling only) —
+    /// kept so its device-cycle spans can be recorded at completion,
+    /// when the backend's per-shard cycles are known.
+    placed: Option<(usize, Placement)>,
 }
 
 /// An admission-held accurate job awaiting a slot.
@@ -310,6 +351,7 @@ pub struct StreamingService {
     fleet_gauge: Arc<Mutex<Option<FleetSummary>>>,
     dispatcher: Option<JoinHandle<Vec<WorkerStats>>>,
     started: Instant,
+    telemetry: Telemetry,
 }
 
 impl StreamingService {
@@ -342,7 +384,12 @@ impl StreamingService {
             config.devices == 1 || config.co_scheduling(),
             "a multi-device fleet requires co-scheduling"
         );
-        let pool = WorkerPool::spawn(config.engine.clone())?;
+        let telemetry = if config.tracing {
+            Telemetry::enabled(config.trace_ring_capacity)
+        } else {
+            Telemetry::disabled()
+        };
+        let pool = WorkerPool::spawn_traced(config.engine.clone(), telemetry.clone())?;
         let ingress = Arc::new(BoundedQueue::new(config.queue_capacity));
         let (response_tx, response_rx) = channel();
         let stats = Arc::new(Mutex::new(StatsRecorder::new(config.slo.clone())));
@@ -362,7 +409,10 @@ impl StreamingService {
             ArrayPolicy::CostAware(policy) => Some(ArrayPlanner::new(&config.engine, policy)),
             ArrayPolicy::AllArrays => None,
         };
-        let fleet = FleetScheduler::new(config.fleet_config());
+        let mut fleet = FleetScheduler::new(config.fleet_config());
+        // The fleet logs its decisions (previews, routes, elastic
+        // actions) only when someone will drain them into a trace.
+        fleet.set_recording(telemetry.is_enabled());
         let dispatcher = {
             let ingress = Arc::clone(&ingress);
             let stats = Arc::clone(&stats);
@@ -370,7 +420,12 @@ impl StreamingService {
             let in_flight_gauge = Arc::clone(&in_flight_gauge);
             let device_gauge = Arc::clone(&device_gauge);
             let fleet_gauge = Arc::clone(&fleet_gauge);
+            let telemetry2 = telemetry.clone();
             std::thread::spawn(move || {
+                let sink = telemetry2.sink();
+                let dispatch_track = telemetry2.track("dispatcher", Clock::Wall, 0);
+                // 250 MHz device clock: 4 ns = 4000 ps per cycle.
+                let timeline = DeviceTimeline::new(&telemetry2, (PERIOD_NS * 1000.0) as u64);
                 Dispatcher {
                     cache: ResultCache::new(config.cache_capacity),
                     config,
@@ -384,6 +439,10 @@ impl StreamingService {
                     fleet_gauge,
                     planner,
                     fleet,
+                    telemetry: telemetry2,
+                    sink,
+                    dispatch_track,
+                    timeline,
                     serial_device: DeviceSummary {
                         num_arrays,
                         ..DeviceSummary::default()
@@ -408,7 +467,16 @@ impl StreamingService {
             fleet_gauge,
             dispatcher: Some(dispatcher),
             started: Instant::now(),
+            telemetry,
         })
+    }
+
+    /// The service's telemetry hub. Disabled (inert) unless the
+    /// config asked for tracing; after [`StreamingService::shutdown`]
+    /// the hub's `export()` holds the full merged trace.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// Submits a request, **blocking** while the ingestion queue is
@@ -462,7 +530,11 @@ impl StreamingService {
                 stats.observe_queue_depth(depth);
                 Ok(())
             }
-            Err(PushError::Full(i)) => Err(SubmitError::QueueFull(Box::new(i.request))),
+            Err(PushError::Full(i)) => {
+                self.stats.lock().expect("stats lock").queue_full_refusals += 1;
+                self.telemetry.count(Counter::RejectedQueueFull, 1);
+                Err(SubmitError::QueueFull(Box::new(i.request)))
+            }
             Err(PushError::Closed(i)) => Err(SubmitError::ShutDown(Box::new(i.request))),
         }
     }
@@ -491,6 +563,7 @@ impl StreamingService {
             device,
             fleet,
             self.started.elapsed().as_nanos() as u64,
+            self.telemetry.summary(),
         )
     }
 
@@ -547,6 +620,16 @@ struct Dispatcher {
     /// admission sequence. A 1-device fleet is bit-identical to
     /// driving one ledger directly.
     fleet: FleetScheduler,
+    /// The telemetry hub (inert when tracing is off).
+    telemetry: Telemetry,
+    /// The dispatcher thread's recorder.
+    sink: Box<dyn TraceSink>,
+    /// Wall-clock track the request-path spans (queue, admit,
+    /// cache-hit, coalesce, reject) land on.
+    dispatch_track: TrackId,
+    /// Lowers committed placements onto per-device/per-array
+    /// device-cycle tracks at completion.
+    timeline: DeviceTimeline,
     /// All-arrays device accounting: each completed execution owns
     /// the whole core for its critical path, serially. Accumulated at
     /// completion (order-independent sums), so it needs no prediction.
@@ -591,6 +674,57 @@ impl Dispatcher {
         }
     }
 
+    /// Drains the fleet scheduler's decision log and lowers it onto
+    /// the per-device trace tracks (device-cycle clock). A no-op when
+    /// tracing is off: the fleet records nothing then.
+    fn lower_fleet_events(&mut self, job_id: u64) {
+        for event in self.fleet.drain_events() {
+            match event {
+                FleetEvent::Preview {
+                    device,
+                    finish_cycle,
+                } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink
+                        .instant(track, Stage::Preview, finish_cycle, job_id, finish_cycle);
+                }
+                FleetEvent::Route {
+                    device,
+                    start_cycle,
+                    granted,
+                } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink
+                        .instant(track, Stage::Route, start_cycle, job_id, granted as u64);
+                }
+                FleetEvent::Backfill {
+                    device,
+                    start_cycle,
+                } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink
+                        .instant(track, Stage::Backfill, start_cycle, job_id, 0);
+                    self.telemetry.count(Counter::Backfills, 1);
+                }
+                // The rejection is recorded on the dispatcher's wall
+                // track where the response is produced.
+                FleetEvent::Reject { .. } => {}
+                FleetEvent::Drain { device, cycle } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink
+                        .instant(track, Stage::Drain, cycle, device as u64, 0);
+                    self.telemetry.count(Counter::ElasticDrains, 1);
+                }
+                FleetEvent::Revive { device, cycle } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink
+                        .instant(track, Stage::Revive, cycle, device as u64, 0);
+                    self.telemetry.count(Counter::ElasticRevives, 1);
+                }
+            }
+        }
+    }
+
     /// Admits one popped request: cache lookup, then dispatch, defer
     /// or reject.
     fn admit(&mut self, ingest: Ingest) {
@@ -600,8 +734,29 @@ impl Dispatcher {
             request.job.content_key(),
             self.backend_for(request.fidelity),
         );
+        if self.sink.is_enabled() {
+            // The queue span runs from acceptance to this pop.
+            let waited = accepted.elapsed().as_nanos() as u64;
+            let now = self.telemetry.now_ns();
+            self.sink.span(
+                self.dispatch_track,
+                Stage::Queue,
+                now.saturating_sub(waited),
+                waited,
+                request.job.id,
+                0,
+            );
+        }
         if let Some(entry) = self.cache.get(key) {
             let total_ns = accepted.elapsed().as_nanos() as u64;
+            self.sink.instant(
+                self.dispatch_track,
+                Stage::CacheHit,
+                self.telemetry.now_ns(),
+                request.job.id,
+                0,
+            );
+            self.telemetry.count(Counter::CacheHits, 1);
             self.stats.lock().expect("stats lock").record_completion(
                 class,
                 total_ns,
@@ -646,6 +801,14 @@ impl Dispatcher {
                     class,
                     accepted,
                 });
+                self.sink.instant(
+                    self.dispatch_track,
+                    Stage::Coalesce,
+                    self.telemetry.now_ns(),
+                    key,
+                    0,
+                );
+                self.telemetry.count(Counter::Coalesced, 1);
                 return;
             }
         }
@@ -669,7 +832,15 @@ impl Dispatcher {
                 self.stats
                     .lock()
                     .expect("stats lock")
-                    .record_rejection(class);
+                    .record_rejection(class, &RejectReason::AccurateAdmissionFull);
+                self.sink.instant(
+                    self.dispatch_track,
+                    Stage::Reject,
+                    self.telemetry.now_ns(),
+                    held.job.id,
+                    0,
+                );
+                self.telemetry.count(Counter::RejectedAdmissionCap, 1);
                 self.respond(Response {
                     job_id: held.job.id,
                     job_name: held.job.name,
@@ -705,29 +876,42 @@ impl Dispatcher {
         } = held;
         let job_id = job.id;
         let backend = self.backend_for(class.fidelity);
-        let assignment = match &mut self.planner {
+        let admit_start = self.telemetry.now_ns();
+        let (assignment, placed) = match &mut self.planner {
             Some(planner) => {
                 let plan = planner.plan_or_single(&job);
-                match self.fleet.admit(&plan, deadline_cycles) {
-                    FleetOutcome::Placed(placed) => placed.placement.assignment,
+                let outcome = self.fleet.admit(&plan, deadline_cycles);
+                self.lower_fleet_events(job_id);
+                match outcome {
+                    FleetOutcome::Placed(placed) => (
+                        placed.placement.assignment,
+                        Some((placed.device, placed.placement)),
+                    ),
                     FleetOutcome::Rejected(miss) => {
                         // No device at any width meets the deadline:
                         // reject at admission instead of timing out.
+                        let reason = RejectReason::DeadlineUnattainable {
+                            deadline_cycles: miss.deadline_cycles,
+                            best_latency_cycles: miss.best_latency_cycles,
+                        };
                         let total_ns = accepted.elapsed().as_nanos() as u64;
                         self.stats
                             .lock()
                             .expect("stats lock")
-                            .record_rejection(class);
+                            .record_rejection(class, &reason);
+                        self.sink.instant(
+                            self.dispatch_track,
+                            Stage::Reject,
+                            self.telemetry.now_ns(),
+                            job_id,
+                            miss.deadline_cycles,
+                        );
+                        self.telemetry.count(Counter::RejectedDeadline, 1);
                         self.respond(Response {
                             job_id,
                             job_name: job.name,
                             class,
-                            outcome: ResponseOutcome::Rejected(
-                                RejectReason::DeadlineUnattainable {
-                                    deadline_cycles: miss.deadline_cycles,
-                                    best_latency_cycles: miss.best_latency_cycles,
-                                },
-                            ),
+                            outcome: ResponseOutcome::Rejected(reason),
                             queue_ns: total_ns,
                             total_ns,
                         });
@@ -735,8 +919,21 @@ impl Dispatcher {
                     }
                 }
             }
-            None => ArrayAssignment::full(self.config.engine.num_arrays),
+            None => (ArrayAssignment::full(self.config.engine.num_arrays), None),
         };
+        // The admission decision span: width planning, device pick,
+        // deadline check — the dispatcher-side cost of scheduling.
+        if self.sink.is_enabled() {
+            let now = self.telemetry.now_ns();
+            self.sink.span(
+                self.dispatch_track,
+                Stage::Admit,
+                admit_start,
+                now.saturating_sub(admit_start),
+                job_id,
+                assignment.granted as u64,
+            );
+        }
         if self.pool.submit_assigned(job, backend, assignment).is_err() {
             // Pool gone (only during teardown): report a failure.
             self.stats.lock().expect("stats lock").record_failure(class);
@@ -756,6 +953,7 @@ impl Dispatcher {
             key,
             accepted,
             dispatched: Instant::now(),
+            placed,
         });
         self.inflight_waiters.entry(key).or_default();
         self.in_flight += 1;
@@ -804,6 +1002,68 @@ impl Dispatcher {
             .unwrap_or_default();
         match outcome.result {
             Ok(result) => {
+                // Device-cycle spans are recorded at completion, when
+                // the backend's per-shard cycles are known: grant,
+                // gather-wait, per-shard busy (reduction sub-span) and
+                // idle gaps, plus the window-batch counter.
+                if self.sink.is_enabled() {
+                    match &pending.placed {
+                        Some((device, placement)) => {
+                            let span = PlacedSpan {
+                                device: *device,
+                                job_id: result.job_id,
+                                arrays: &placement.arrays,
+                                start: placement.start_cycle,
+                                duration: placement.duration_cycles,
+                                wait_cycles: placement.assignment.wait_cycles,
+                                granted: placement.assignment.granted as u64,
+                                backfilled: placement.backfilled,
+                                per_shard_cycles: &result.per_shard_cycles,
+                                reduction_cycles: result.reduction_cycles,
+                            };
+                            self.timeline.observe(&mut *self.sink, &span);
+                            if result.window_cycles > 0 {
+                                let track = self.timeline.device_track(*device);
+                                self.sink.counter(
+                                    track,
+                                    Stage::Window,
+                                    placement.finish_cycle(),
+                                    result.window_cycles,
+                                );
+                            }
+                        }
+                        None => {
+                            // All-arrays policy: the core is owned
+                            // serially, so synthesize the equivalent
+                            // serial placement (matching the
+                            // `serial_device` account below).
+                            let arrays: Vec<usize> = (0..result.arrays_granted.max(1)).collect();
+                            let start = self.serial_device.makespan_cycles;
+                            let span = PlacedSpan {
+                                device: 0,
+                                job_id: result.job_id,
+                                arrays: &arrays,
+                                start,
+                                duration: result.sim_cycles,
+                                wait_cycles: 0,
+                                granted: result.arrays_granted as u64,
+                                backfilled: false,
+                                per_shard_cycles: &result.per_shard_cycles,
+                                reduction_cycles: result.reduction_cycles,
+                            };
+                            self.timeline.observe(&mut *self.sink, &span);
+                            if result.window_cycles > 0 {
+                                let track = self.timeline.device_track(0);
+                                self.sink.counter(
+                                    track,
+                                    Stage::Window,
+                                    start + result.sim_cycles,
+                                    result.window_cycles,
+                                );
+                            }
+                        }
+                    }
+                }
                 // Under the all-arrays policy every execution owns
                 // the whole core in turn: device time accumulates
                 // serially (order-independent sums). The co-scheduled

@@ -7,9 +7,11 @@ use tempus_fleet::FleetSummary;
 use tempus_models::traffic::ClassDeadlines;
 use tempus_runtime::stats::PERIOD_NS;
 use tempus_runtime::DeviceSummary;
+use tempus_telemetry::TelemetrySummary;
 
 use crate::cache::ResultCacheStats;
 use crate::class::{Fidelity, JobClass, PayloadKind};
+use crate::request::RejectReason;
 
 /// One completed request's array accounting, bundled so the recorder
 /// and the dispatcher agree on what a completion carries.
@@ -125,6 +127,15 @@ pub struct ClassStats {
     pub coalesced: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Of the rejected, refused because the cycle-accurate admission
+    /// cap (and its deferred queue) was full. The named split means
+    /// capacity exhaustion and unattainable deadlines are separable
+    /// without parsing reject reasons out of responses;
+    /// `rejected == rejected_admission_cap + rejected_deadline`.
+    pub rejected_admission_cap: u64,
+    /// Of the rejected, refused because no device at any array width
+    /// could meet the request's deadline.
+    pub rejected_deadline: u64,
     /// Requests that failed with a substrate error.
     pub failed: u64,
     /// Median end-to-end latency, ns.
@@ -183,6 +194,17 @@ pub struct ServeStats {
     pub coalesced: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Of the rejected, refused on the accurate admission cap (sums
+    /// the per-class splits).
+    pub rejected_admission_cap: u64,
+    /// Of the rejected, refused on an unattainable deadline.
+    pub rejected_deadline: u64,
+    /// Submissions refused at the door with
+    /// [`SubmitError::QueueFull`](crate::request::SubmitError) —
+    /// backpressure refusals, counted separately from `rejected`
+    /// because the request never entered the queue (and is handed
+    /// back for retry rather than answered).
+    pub queue_full_refusals: u64,
     /// Requests failed with substrate errors.
     pub failed: u64,
     /// Result-cache counters.
@@ -214,6 +236,11 @@ pub struct ServeStats {
     pub uptime_ns: u64,
     /// Completed requests per wall-clock second since start.
     pub throughput_per_sec: f64,
+    /// Per-stage span histograms and the counter registry, when the
+    /// service was started with tracing on (`None` otherwise). Every
+    /// other field of this snapshot is identical with tracing on or
+    /// off — the bit-identity gate in the bench harness asserts it.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl ServeStats {
@@ -243,6 +270,16 @@ impl fmt::Display for ServeStats {
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
         )?;
+        if self.rejected + self.queue_full_refusals > 0 {
+            writeln!(
+                f,
+                "  rejections: {} admission cap, {} deadline, {} queue-full refusals",
+                self.rejected_admission_cap, self.rejected_deadline, self.queue_full_refusals,
+            )?;
+        }
+        if let Some(telemetry) = &self.telemetry {
+            write!(f, "{telemetry}")?;
+        }
         if self.device.num_arrays > 1 {
             writeln!(
                 f,
@@ -351,7 +388,8 @@ pub(crate) struct StatsRecorder {
     latencies: [ClassAccum; 6],
     cache_hits: [u64; 6],
     coalesced: [u64; 6],
-    rejected: [u64; 6],
+    rejected_admission_cap: [u64; 6],
+    rejected_deadline: [u64; 6],
     failed: [u64; 6],
     slo_violations: [u64; 6],
     shards_sum: [u64; 6],
@@ -359,6 +397,7 @@ pub(crate) struct StatsRecorder {
     granted_sum: [u64; 6],
     array_wait_sum: [u64; 6],
     pub(crate) submitted: u64,
+    pub(crate) queue_full_refusals: u64,
     pub(crate) max_queue_depth: usize,
     pub(crate) max_deferred: usize,
     slo: SloPolicy,
@@ -370,7 +409,8 @@ impl StatsRecorder {
             latencies: std::array::from_fn(|i| ClassAccum::new(i as u64)),
             cache_hits: [0; 6],
             coalesced: [0; 6],
-            rejected: [0; 6],
+            rejected_admission_cap: [0; 6],
+            rejected_deadline: [0; 6],
             failed: [0; 6],
             slo_violations: [0; 6],
             shards_sum: [0; 6],
@@ -378,6 +418,7 @@ impl StatsRecorder {
             granted_sum: [0; 6],
             array_wait_sum: [0; 6],
             submitted: 0,
+            queue_full_refusals: 0,
             max_queue_depth: 0,
             max_deferred: 0,
             slo,
@@ -422,8 +463,17 @@ impl StatsRecorder {
         self.array_wait_sum[i] += arrays.wait_cycles;
     }
 
-    pub(crate) fn record_rejection(&mut self, class: JobClass) {
-        self.rejected[class.index()] += 1;
+    /// Records a rejection under its reason, so the snapshot's named
+    /// tallies stay in lock-step with the responses' reject reasons.
+    pub(crate) fn record_rejection(&mut self, class: JobClass, reason: &RejectReason) {
+        match reason {
+            RejectReason::AccurateAdmissionFull => {
+                self.rejected_admission_cap[class.index()] += 1;
+            }
+            RejectReason::DeadlineUnattainable { .. } => {
+                self.rejected_deadline[class.index()] += 1;
+            }
+        }
     }
 
     pub(crate) fn record_failure(&mut self, class: JobClass) {
@@ -438,6 +488,7 @@ impl StatsRecorder {
         self.max_deferred = self.max_deferred.max(depth);
     }
 
+    #[allow(clippy::too_many_arguments)] // one value object per subsystem being snapshotted
     pub(crate) fn snapshot(
         &self,
         cache: ResultCacheStats,
@@ -446,6 +497,7 @@ impl StatsRecorder {
         device: DeviceSummary,
         fleet: Option<FleetSummary>,
         uptime_ns: u64,
+        telemetry: Option<TelemetrySummary>,
     ) -> ServeStats {
         let classes: Vec<ClassStats> = JobClass::ALL
             .into_iter()
@@ -459,7 +511,9 @@ impl StatsRecorder {
                     completed: accum.count,
                     cache_hits: self.cache_hits[i],
                     coalesced: self.coalesced[i],
-                    rejected: self.rejected[i],
+                    rejected: self.rejected_admission_cap[i] + self.rejected_deadline[i],
+                    rejected_admission_cap: self.rejected_admission_cap[i],
+                    rejected_deadline: self.rejected_deadline[i],
                     failed: self.failed[i],
                     p50_ns: percentile(&sorted, 50.0),
                     p95_ns: percentile(&sorted, 95.0),
@@ -497,6 +551,9 @@ impl StatsRecorder {
             completed,
             coalesced: classes.iter().map(|c| c.coalesced).sum(),
             rejected: classes.iter().map(|c| c.rejected).sum(),
+            rejected_admission_cap: classes.iter().map(|c| c.rejected_admission_cap).sum(),
+            rejected_deadline: classes.iter().map(|c| c.rejected_deadline).sum(),
+            queue_full_refusals: self.queue_full_refusals,
             failed: classes.iter().map(|c| c.failed).sum(),
             cache,
             queue_depth,
@@ -516,6 +573,7 @@ impl StatsRecorder {
             } else {
                 completed as f64 / (uptime_ns as f64 * 1e-9)
             },
+            telemetry,
             classes,
         }
     }
@@ -562,6 +620,7 @@ mod tests {
             DeviceSummary::default(),
             None,
             1,
+            None,
         );
         let c = snap.class(class);
         assert_eq!(c.completed, n, "count stays exact past the bound");
@@ -593,6 +652,7 @@ mod tests {
             DeviceSummary::default(),
             None,
             1,
+            None,
         );
         let c = snap.class(class);
         assert_eq!(c.completed, 3);
@@ -628,6 +688,7 @@ mod tests {
             DeviceSummary::default(),
             None,
             1_000_000_000,
+            None,
         );
         let c = snap.class(class);
         assert_eq!(c.completed, 3);

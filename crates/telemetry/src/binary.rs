@@ -1,0 +1,210 @@
+//! Compact self-describing binary ring dump.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! magic    8 bytes  "TTRACE01" (format + version)
+//! tracks   u32 count, then per track:
+//!            u16 name length, name bytes (UTF-8),
+//!            u8 clock code, u64 period_ps
+//! events   u64 count, then per event:
+//!            u32 track, u8 stage code, u8 kind code,
+//!            u64 ts, u64 dur, u64 id, u64 arg
+//! dropped  u64
+//! ```
+//!
+//! The header carries everything needed to decode — no out-of-band
+//! schema — and [`TraceExport::from_binary`] round-trips exactly.
+
+use crate::event::{Clock, EventKind, Stage, TraceEvent, TrackId, TrackMeta};
+use crate::hub::TraceExport;
+
+/// Format magic: name + version.
+pub const MAGIC: &[u8; 8] = b"TTRACE01";
+
+/// Cursor over the encoded bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated at byte {}", self.at))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+impl TraceExport {
+    /// Serializes the trace to the binary dump format.
+    #[must_use]
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.events.len() * 38);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.tracks.len() as u32).to_le_bytes());
+        for track in &self.tracks {
+            let name = track.name.as_bytes();
+            out.extend_from_slice(&(name.len().min(u16::MAX as usize) as u16).to_le_bytes());
+            out.extend_from_slice(&name[..name.len().min(u16::MAX as usize)]);
+            out.push(track.clock.code());
+            out.extend_from_slice(&track.period_ps.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for event in &self.events {
+            out.extend_from_slice(&event.track.0.to_le_bytes());
+            out.push(event.stage.code());
+            out.push(event.kind.code());
+            out.extend_from_slice(&event.ts.to_le_bytes());
+            out.extend_from_slice(&event.dur.to_le_bytes());
+            out.extend_from_slice(&event.id.to_le_bytes());
+            out.extend_from_slice(&event.arg.to_le_bytes());
+        }
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out
+    }
+
+    /// Decodes a binary dump produced by [`TraceExport::to_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the bytes are truncated, carry a
+    /// wrong magic, or hold out-of-range codes.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(8)? != MAGIC {
+            return Err("bad magic: not a TTRACE01 dump".to_string());
+        }
+        let track_count = r.u32()? as usize;
+        let mut tracks = Vec::with_capacity(track_count.min(4096));
+        for _ in 0..track_count {
+            let name_len = r.u16()? as usize;
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|e| format!("track name not UTF-8: {e}"))?;
+            let clock = Clock::from_code(r.u8()?).ok_or("bad clock code")?;
+            let period_ps = r.u64()?;
+            tracks.push(TrackMeta {
+                name,
+                clock,
+                period_ps,
+            });
+        }
+        let event_count = r.u64()? as usize;
+        let mut events = Vec::with_capacity(event_count.min(1 << 20));
+        for _ in 0..event_count {
+            let track = TrackId(r.u32()?);
+            let stage = Stage::from_code(r.u8()?).ok_or("bad stage code")?;
+            let kind = EventKind::from_code(r.u8()?).ok_or("bad kind code")?;
+            events.push(TraceEvent {
+                track,
+                stage,
+                kind,
+                ts: r.u64()?,
+                dur: r.u64()?,
+                id: r.u64()?,
+                arg: r.u64()?,
+            });
+        }
+        let dropped = r.u64()?;
+        Ok(TraceExport {
+            tracks,
+            events,
+            dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceExport {
+        TraceExport {
+            tracks: vec![
+                TrackMeta {
+                    name: "worker0".to_string(),
+                    clock: Clock::Wall,
+                    period_ps: 0,
+                },
+                TrackMeta {
+                    name: "dev0/arr1".to_string(),
+                    clock: Clock::Device,
+                    period_ps: 4000,
+                },
+            ],
+            events: vec![
+                TraceEvent {
+                    track: TrackId(0),
+                    stage: Stage::Execute,
+                    kind: EventKind::Span,
+                    ts: 1_000,
+                    dur: 500,
+                    id: 3,
+                    arg: 2,
+                },
+                TraceEvent {
+                    track: TrackId(1),
+                    stage: Stage::Shard,
+                    kind: EventKind::Span,
+                    ts: 40,
+                    dur: 17,
+                    id: 3,
+                    arg: 1,
+                },
+            ],
+            dropped: 9,
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_exactly() {
+        let export = sample();
+        let bytes = export.to_binary();
+        assert_eq!(&bytes[..8], MAGIC);
+        let back = TraceExport::from_binary(&bytes).expect("decodes");
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_rejected() {
+        let export = sample();
+        let bytes = export.to_binary();
+        assert!(TraceExport::from_binary(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TraceExport::from_binary(&bytes[..4]).is_err());
+        let mut garbled = bytes.clone();
+        garbled[0] = b'X';
+        assert!(TraceExport::from_binary(&garbled).is_err());
+        let mut bad_stage = bytes;
+        // First event's stage byte: 8 magic + 4 count + 2 tracks'
+        // (2 + name + 1 + 8) + 8 event count + 4 track id.
+        let offset = 8 + 4 + (2 + 7 + 1 + 8) + (2 + 9 + 1 + 8) + 8 + 4;
+        bad_stage[offset] = 250;
+        assert!(TraceExport::from_binary(&bad_stage).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The telemetry hub: track registry, counter registry, collected
+//! rings, and trace export.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Clock, Stage, TraceEvent, TrackId, TrackMeta};
+use crate::ring::{NullSink, RingSink, TraceSink};
+use crate::summary::{Counter, CounterRegistry, StageAccum, TelemetrySummary};
+
+/// Default per-recorder ring capacity (events).
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+/// Shared hub state. Recorders hold an `Arc` to this; the hot path
+/// never touches it (see [`RingSink`]).
+pub struct HubShared {
+    capacity: usize,
+    origin: Instant,
+    tracks: Mutex<Vec<TrackMeta>>,
+    collected: Mutex<Vec<TraceEvent>>,
+    accum: Mutex<StageAccum>,
+    /// The shared counter registry.
+    pub counters: CounterRegistry,
+}
+
+impl HubShared {
+    pub(crate) fn merge_accum(&self, other: &StageAccum) {
+        if let Ok(mut accum) = self.accum.lock() {
+            accum.merge(other);
+        }
+    }
+
+    pub(crate) fn collect(&self, mut events: Vec<TraceEvent>) {
+        if let Ok(mut collected) = self.collected.lock() {
+            collected.append(&mut events);
+        }
+    }
+}
+
+/// Handle to the telemetry system. Cloning is cheap; a disabled hub
+/// (the default) hands out [`NullSink`]s and answers `None` to every
+/// query, so instrumented code needs no configuration branches.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<HubShared>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled hub: no recording, no memory.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled hub whose recorders hold at most `ring_capacity`
+    /// events each (drop-oldest past that).
+    #[must_use]
+    pub fn enabled(ring_capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(HubShared {
+                capacity: ring_capacity.max(1),
+                origin: Instant::now(),
+                tracks: Mutex::new(Vec::new()),
+                collected: Mutex::new(Vec::new()),
+                accum: Mutex::new(StageAccum::default()),
+                counters: CounterRegistry::default(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Wall nanoseconds since the hub was created (0 when disabled,
+    /// so disabled runs never query the clock).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |hub| hub.origin.elapsed().as_nanos() as u64)
+    }
+
+    /// Registers (or looks up) the track named `name`. Tracks are
+    /// deduplicated by name so lazily instrumented layers can re-ask.
+    /// `period_ps` is the declared picoseconds-per-cycle scale for
+    /// [`Clock::Device`] tracks (ignored on wall tracks). Returns
+    /// `TrackId(0)` on a disabled hub (events go to a null sink
+    /// anyway).
+    #[must_use]
+    pub fn track(&self, name: &str, clock: Clock, period_ps: u64) -> TrackId {
+        let Some(hub) = &self.inner else {
+            return TrackId(0);
+        };
+        let Ok(mut tracks) = hub.tracks.lock() else {
+            return TrackId(0);
+        };
+        if let Some(idx) = tracks.iter().position(|t| t.name == name) {
+            return TrackId(idx as u32);
+        }
+        tracks.push(TrackMeta {
+            name: name.to_string(),
+            clock,
+            period_ps: if clock == Clock::Device { period_ps } else { 0 },
+        });
+        TrackId((tracks.len() - 1) as u32)
+    }
+
+    /// A recorder for one thread: a live ring when enabled, the no-op
+    /// sink otherwise.
+    #[must_use]
+    pub fn sink(&self) -> Box<dyn TraceSink> {
+        match self.ring_sink() {
+            Some(ring) => Box::new(ring),
+            None => Box::new(NullSink),
+        }
+    }
+
+    /// The concrete ring recorder (None when disabled).
+    #[must_use]
+    pub fn ring_sink(&self) -> Option<RingSink> {
+        self.inner
+            .as_ref()
+            .map(|hub| RingSink::new(Arc::clone(hub), hub.capacity))
+    }
+
+    /// Adds `n` to a registry counter (no-op when disabled).
+    pub fn count(&self, counter: Counter, n: u64) {
+        if let Some(hub) = &self.inner {
+            hub.counters.add(counter, n);
+        }
+    }
+
+    /// Current value of a registry counter (0 when disabled).
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |hub| hub.counters.get(counter))
+    }
+
+    /// The roll-up: per-stage histograms merged from every flushed
+    /// recorder plus the counter registry. `None` when disabled.
+    /// Recorders flush amortized and on drop, so a mid-run summary
+    /// can trail the newest events slightly; after every sink has
+    /// dropped it is exact.
+    #[must_use]
+    pub fn summary(&self) -> Option<TelemetrySummary> {
+        let hub = self.inner.as_ref()?;
+        let stages = hub
+            .accum
+            .lock()
+            .map(|accum| accum.summarize(stage_unit))
+            .unwrap_or_default();
+        Some(TelemetrySummary {
+            stages,
+            counters: hub.counters.snapshot(),
+            dropped_events: hub.counters.get(Counter::EventsDropped),
+        })
+    }
+
+    /// The merged trace: every collected ring, each track's events
+    /// sorted by timestamp. `None` when disabled. Call after the
+    /// recorders have been dropped (service shutdown) — events still
+    /// sitting in live rings are not included.
+    #[must_use]
+    pub fn export(&self) -> Option<TraceExport> {
+        let hub = self.inner.as_ref()?;
+        let tracks = hub.tracks.lock().map(|t| t.clone()).unwrap_or_default();
+        let mut events = hub.collected.lock().map(|e| e.clone()).unwrap_or_default();
+        events.sort_by_key(|e| (e.track, e.ts, e.dur));
+        Some(TraceExport {
+            tracks,
+            events,
+            dropped: hub.counters.get(Counter::EventsDropped),
+        })
+    }
+}
+
+/// Which unit a stage's durations are measured in — the service-side
+/// stages run on the wall clock, everything at or below the ledger on
+/// device cycles.
+#[must_use]
+pub fn stage_unit(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Queue
+        | Stage::Admit
+        | Stage::CacheHit
+        | Stage::Coalesce
+        | Stage::Reject
+        | Stage::Execute => Clock::Wall.name(),
+        _ => Clock::Device.name(),
+    }
+}
+
+/// The merged, export-ready trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceExport {
+    /// Registered tracks, id order.
+    pub tracks: Vec<TrackMeta>,
+    /// Every collected event, sorted by `(track, ts)`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring wraparound.
+    pub dropped: u64,
+}
+
+impl TraceExport {
+    /// True when some collected event has `stage` recorded as `kind`
+    /// on a track in `clock` domain.
+    #[must_use]
+    pub fn has_stage(&self, stage: Stage, clock: Clock) -> bool {
+        self.events.iter().any(|e| {
+            e.stage == stage
+                && self
+                    .tracks
+                    .get(e.track.0 as usize)
+                    .is_some_and(|t| t.clock == clock)
+        })
+    }
+
+    /// Events on the track named `name`, in timestamp order.
+    #[must_use]
+    pub fn track_events(&self, name: &str) -> Vec<TraceEvent> {
+        let Some(idx) = self.tracks.iter().position(|t| t.name == name) else {
+            return Vec::new();
+        };
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.track.0 as usize == idx)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn tracks_deduplicate_by_name() {
+        let hub = Telemetry::enabled(16);
+        let a = hub.track("worker0", Clock::Wall, 0);
+        let b = hub.track("dev0/arr0", Clock::Device, 4000);
+        let a2 = hub.track("worker0", Clock::Wall, 0);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        let export = hub.export().unwrap();
+        assert_eq!(export.tracks.len(), 2);
+        assert_eq!(export.tracks[b.0 as usize].period_ps, 4000);
+        assert_eq!(
+            export.tracks[a.0 as usize].period_ps, 0,
+            "wall tracks carry no period"
+        );
+    }
+
+    #[test]
+    fn export_sorts_each_track_by_timestamp() {
+        let hub = Telemetry::enabled(64);
+        let track = hub.track("dev0/arr0", Clock::Device, 4000);
+        {
+            let mut sink = hub.sink();
+            sink.span(track, Stage::Shard, 300, 10, 1, 0);
+            sink.span(track, Stage::Shard, 100, 10, 2, 0);
+            sink.span(track, Stage::Shard, 200, 10, 3, 0);
+        }
+        let export = hub.export().unwrap();
+        let ts: Vec<u64> = export.events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+        assert!(export.has_stage(Stage::Shard, Clock::Device));
+        assert!(!export.has_stage(Stage::Shard, Clock::Wall));
+        assert_eq!(export.track_events("dev0/arr0").len(), 3);
+        assert!(export.track_events("absent").is_empty());
+    }
+
+    #[test]
+    fn disabled_hub_is_inert() {
+        let hub = Telemetry::disabled();
+        assert!(!hub.is_enabled());
+        assert_eq!(hub.now_ns(), 0);
+        assert_eq!(hub.track("x", Clock::Wall, 0), TrackId(0));
+        hub.count(Counter::CacheHits, 3);
+        assert_eq!(hub.counter(Counter::CacheHits), 0);
+        assert!(hub.summary().is_none());
+        assert!(hub.export().is_none());
+        assert!(hub.ring_sink().is_none());
+    }
+
+    #[test]
+    fn counter_samples_survive_into_export() {
+        let hub = Telemetry::enabled(16);
+        let track = hub.track("dev0", Clock::Device, 4000);
+        {
+            let mut sink = hub.sink();
+            sink.counter(track, Stage::Window, 50, 1234);
+        }
+        let export = hub.export().unwrap();
+        assert_eq!(export.events.len(), 1);
+        assert_eq!(export.events[0].kind, EventKind::Counter);
+        assert_eq!(export.events[0].arg, 1234);
+    }
+}

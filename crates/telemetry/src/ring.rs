@@ -1,0 +1,289 @@
+//! The `TraceSink` trait and its two recorders: the no-op sink and
+//! the bounded drop-oldest ring buffer.
+
+use std::sync::Arc;
+
+use crate::event::{EventKind, Stage, TraceEvent, TrackId};
+use crate::hub::HubShared;
+use crate::summary::{Counter, StageAccum};
+
+/// Merge the local histogram accumulator into the hub every this many
+/// recorded events, so mid-run summaries stay fresh without touching
+/// shared state per event.
+const ACCUM_FLUSH_EVERY: u64 = 256;
+
+/// Where instrumented code sends its events. Exactly one trait for
+/// both modes: the live [`RingSink`] and the disabled [`NullSink`],
+/// so call sites hold a `Box<dyn TraceSink>` and never branch on
+/// configuration themselves.
+pub trait TraceSink: Send {
+    /// False on the no-op sink: the provided helpers early-return
+    /// before building an event, so a disabled run pays one virtual
+    /// call per would-be event and nothing else.
+    fn is_enabled(&self) -> bool;
+
+    /// Records one event (no-op when disabled).
+    fn record(&mut self, event: TraceEvent);
+
+    /// Pushes locally accumulated histogram state to the hub (no-op
+    /// when disabled). Ring contents stay in the bounded ring until
+    /// the sink is dropped.
+    fn flush(&mut self) {}
+
+    /// Records a duration event `[ts, ts + dur)`.
+    fn span(&mut self, track: TrackId, stage: Stage, ts: u64, dur: u64, id: u64, arg: u64) {
+        if self.is_enabled() {
+            self.record(TraceEvent {
+                track,
+                stage,
+                kind: EventKind::Span,
+                ts,
+                dur,
+                id,
+                arg,
+            });
+        }
+    }
+
+    /// Records a point event at `ts`.
+    fn instant(&mut self, track: TrackId, stage: Stage, ts: u64, id: u64, arg: u64) {
+        if self.is_enabled() {
+            self.record(TraceEvent {
+                track,
+                stage,
+                kind: EventKind::Instant,
+                ts,
+                dur: 0,
+                id,
+                arg,
+            });
+        }
+    }
+
+    /// Records a counter sample `value` at `ts`.
+    fn counter(&mut self, track: TrackId, stage: Stage, ts: u64, value: u64) {
+        if self.is_enabled() {
+            self.record(TraceEvent {
+                track,
+                stage,
+                kind: EventKind::Counter,
+                ts,
+                dur: 0,
+                id: 0,
+                arg: value,
+            });
+        }
+    }
+}
+
+impl TraceSink for Box<dyn TraceSink> {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
+
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// The disabled recorder: drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// The live recorder: a bounded drop-oldest ring buffer owned by one
+/// recording thread. The hot path touches only thread-local memory
+/// (ring slot + histogram accumulator) — no locks, no atomics; shared
+/// state is reached only on the amortized flush and at drop, when the
+/// ring drains into the [`crate::Telemetry`] hub.
+pub struct RingSink {
+    hub: Arc<HubShared>,
+    ring: Vec<TraceEvent>,
+    capacity: usize,
+    /// Oldest slot — the next to be overwritten once the ring is full.
+    cursor: usize,
+    dropped: u64,
+    accum: StageAccum,
+    since_flush: u64,
+}
+
+impl RingSink {
+    pub(crate) fn new(hub: Arc<HubShared>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            hub,
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+            dropped: 0,
+            accum: StageAccum::default(),
+            since_flush: 0,
+        }
+    }
+
+    /// Events lost to wraparound so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held in the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The buffered events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.cursor..]);
+        out.extend_from_slice(&self.ring[..self.cursor]);
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.accum.observe(&event);
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            // Full: overwrite the oldest slot, drop-oldest semantics.
+            self.ring[self.cursor] = event;
+            self.cursor = (self.cursor + 1) % self.capacity;
+            self.dropped += 1;
+        }
+        self.since_flush += 1;
+        if self.since_flush >= ACCUM_FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.since_flush == 0 {
+            return;
+        }
+        self.hub
+            .counters
+            .add(Counter::EventsRecorded, self.since_flush);
+        self.since_flush = 0;
+        if !self.accum.is_empty() {
+            self.hub.merge_accum(&self.accum);
+            self.accum = StageAccum::default();
+        }
+    }
+}
+
+impl Drop for RingSink {
+    fn drop(&mut self) {
+        self.flush();
+        if self.dropped > 0 {
+            self.hub.counters.add(Counter::EventsDropped, self.dropped);
+        }
+        let events = self.events();
+        if !events.is_empty() {
+            self.hub.collect(events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::Telemetry;
+    use crate::Clock;
+
+    fn event(ts: u64) -> TraceEvent {
+        TraceEvent {
+            track: TrackId(0),
+            stage: Stage::Execute,
+            kind: EventKind::Span,
+            ts,
+            dur: 1,
+            id: ts,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn ring_holds_events_below_capacity() {
+        let hub = Telemetry::enabled(8);
+        let mut sink = hub.ring_sink().expect("enabled hub hands out rings");
+        for ts in 0..5 {
+            sink.record(event(ts));
+        }
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink.dropped(), 0);
+        let ids: Vec<u64> = sink.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_wraps_dropping_oldest_and_counts_drops() {
+        let hub = Telemetry::enabled(4);
+        let mut sink = hub.ring_sink().expect("enabled hub hands out rings");
+        for ts in 0..10 {
+            sink.record(event(ts));
+        }
+        assert_eq!(sink.len(), 4, "bounded at capacity");
+        assert_eq!(sink.dropped(), 6, "six oldest overwritten");
+        let ids: Vec<u64> = sink.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9], "newest survive, oldest first");
+    }
+
+    #[test]
+    fn dropped_counter_reaches_the_hub_registry() {
+        let hub = Telemetry::enabled(2);
+        {
+            let mut sink = hub.sink();
+            let track = hub.track("t", Clock::Wall, 0);
+            for ts in 0..7 {
+                sink.span(track, Stage::Queue, ts, 1, ts, 0);
+            }
+        } // drop drains the ring
+        let summary = hub.summary().expect("enabled hub summarizes");
+        assert_eq!(summary.counter("events_recorded"), 7);
+        assert_eq!(summary.counter("events_dropped"), 5);
+        assert_eq!(summary.dropped_events, 5);
+        // The histogram saw every event, the ring only the newest two.
+        assert_eq!(summary.stage(Stage::Queue).unwrap().count, 7);
+        let export = hub.export().expect("enabled hub exports");
+        assert_eq!(export.events.len(), 2);
+        assert_eq!(export.dropped, 5);
+    }
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let mut sink = NullSink;
+        assert!(!sink.is_enabled());
+        sink.span(TrackId(0), Stage::Queue, 0, 1, 0, 0);
+        sink.instant(TrackId(0), Stage::Reject, 0, 0, 0);
+        sink.counter(TrackId(0), Stage::Window, 0, 9);
+        let hub = Telemetry::disabled();
+        assert!(!hub.sink().is_enabled());
+        assert!(hub.summary().is_none());
+        assert!(hub.export().is_none());
+    }
+}

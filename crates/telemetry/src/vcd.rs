@@ -1,0 +1,211 @@
+//! `TraceSink` → VCD adapter: renders per-array busy/idle activity as
+//! waveform signals for `tempus_sim::VcdWriter`-compatible viewers.
+
+use std::collections::HashMap;
+
+use tempus_sim::{VcdValue, VcdWriter};
+
+use crate::event::{EventKind, Stage, TraceEvent, TrackId};
+use crate::hub::TraceExport;
+use crate::ring::TraceSink;
+
+/// A [`TraceSink`] that turns device busy spans ([`Stage::ArrayBusy`],
+/// [`Stage::Shard`], [`Stage::Reduce`]) into one 1-bit busy signal per
+/// track. Overlapping spans are merged, so the signal is high exactly
+/// while the array has work. Timestamps are interpreted as device
+/// cycles.
+///
+/// ```
+/// use tempus_telemetry::{Stage, TraceSink, TrackId, VcdSink};
+///
+/// // A cycle-accurate run labels its array tracks, then records the
+/// // ledger's busy intervals (cycles) straight into the sink.
+/// let mut sink = VcdSink::new("fleet", 4);
+/// sink.label(TrackId(0), "dev0_arr0_busy");
+/// sink.label(TrackId(1), "dev0_arr1_busy");
+/// sink.span(TrackId(0), Stage::ArrayBusy, 0, 50, 1, 0);   // job 1
+/// sink.span(TrackId(0), Stage::ArrayBusy, 80, 20, 2, 0);  // job 2 after a gap
+/// sink.span(TrackId(1), Stage::Shard, 10, 30, 1, 1);      // shard on arr1
+/// let vcd = sink.finish();
+/// assert!(vcd.contains("$var wire 1 ! dev0_arr0_busy $end"));
+/// assert!(vcd.contains("#320")); // gap ends at cycle 80 × 4 ns
+/// ```
+#[derive(Debug)]
+pub struct VcdSink {
+    module: String,
+    period_ns: u64,
+    labels: HashMap<TrackId, String>,
+    /// (cycle, track, rising) busy edges, merged at finish.
+    edges: Vec<(u64, TrackId, bool)>,
+}
+
+impl VcdSink {
+    /// Creates an adapter for module scope `module` at `period_ns`
+    /// nanoseconds per device cycle.
+    #[must_use]
+    pub fn new(module: &str, period_ns: u64) -> Self {
+        VcdSink {
+            module: module.to_string(),
+            period_ns,
+            labels: HashMap::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Names the signal for `track` (unlabelled tracks render as
+    /// `track<N>_busy`).
+    pub fn label(&mut self, track: TrackId, name: &str) {
+        self.labels.insert(track, name.to_string());
+    }
+
+    /// Renders every device track of an exported trace — convenience
+    /// for turning a finished run's trace into waveforms.
+    #[must_use]
+    pub fn render_export(export: &TraceExport, module: &str, period_ns: u64) -> String {
+        let mut sink = VcdSink::new(module, period_ns);
+        for (idx, track) in export.tracks.iter().enumerate() {
+            if track.clock == crate::event::Clock::Device {
+                let name: String = track
+                    .name
+                    .chars()
+                    .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                    .collect();
+                sink.label(TrackId(idx as u32), &format!("{name}_busy"));
+            }
+        }
+        for event in &export.events {
+            sink.record(*event);
+        }
+        sink.finish()
+    }
+
+    /// Serializes the collected activity to VCD text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        // Stable signal order: by track id.
+        let mut tracks: Vec<TrackId> = self.edges.iter().map(|&(_, t, _)| t).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+
+        let mut writer = VcdWriter::new(&self.module, self.period_ns);
+        let signals: HashMap<TrackId, _> = tracks
+            .iter()
+            .map(|&track| {
+                let default = format!("track{}_busy", track.0);
+                let name = self.labels.get(&track).cloned().unwrap_or(default);
+                (track, writer.add_signal(&name, 1))
+            })
+            .collect();
+
+        // Merge overlapping spans per track: the signal rises when the
+        // first span begins and falls when the last ends. Rising edges
+        // sort before falling at equal cycles so abutting spans stay
+        // high.
+        self.edges
+            .sort_by_key(|&(cycle, track, rising)| (track, cycle, !rising));
+        let mut depth: HashMap<TrackId, u64> = HashMap::new();
+        for &(cycle, track, rising) in &self.edges {
+            let level = depth.entry(track).or_insert(0);
+            if rising {
+                *level += 1;
+                if *level == 1 {
+                    writer.record(cycle, signals[&track], VcdValue::Bit(true));
+                }
+            } else {
+                *level = level.saturating_sub(1);
+                if *level == 0 {
+                    writer.record(cycle, signals[&track], VcdValue::Bit(false));
+                }
+            }
+        }
+        writer.finish()
+    }
+}
+
+impl TraceSink for VcdSink {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        let busy = matches!(event.stage, Stage::ArrayBusy | Stage::Shard | Stage::Reduce);
+        if busy && event.kind == EventKind::Span {
+            self.edges.push((event.ts, event.track, true));
+            self.edges.push((event.ts + event.dur, event.track, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Clock;
+    use crate::{DeviceTimeline, Telemetry};
+
+    #[test]
+    fn busy_gap_busy_produces_four_edges() {
+        let mut sink = VcdSink::new("dev", 4);
+        sink.label(TrackId(0), "arr0");
+        sink.span(TrackId(0), Stage::ArrayBusy, 0, 50, 1, 0);
+        sink.span(TrackId(0), Stage::ArrayBusy, 80, 20, 2, 0);
+        let vcd = sink.finish();
+        assert!(vcd.contains("$var wire 1 ! arr0 $end"));
+        assert_eq!(vcd.matches("1!").count(), 2, "two rising edges");
+        assert_eq!(vcd.matches("0!").count(), 2, "two falling edges");
+        assert!(vcd.contains("#200"), "gap opens at cycle 50 × 4 ns");
+        assert!(vcd.contains("#320"), "gap closes at cycle 80 × 4 ns");
+    }
+
+    #[test]
+    fn abutting_and_overlapping_spans_merge() {
+        let mut sink = VcdSink::new("dev", 1);
+        // [0,10) and [10,20) abut; [15,30) overlaps the second.
+        sink.span(TrackId(0), Stage::Shard, 0, 10, 1, 0);
+        sink.span(TrackId(0), Stage::Shard, 10, 10, 2, 0);
+        sink.span(TrackId(0), Stage::Shard, 15, 15, 3, 0);
+        let vcd = sink.finish();
+        assert_eq!(vcd.matches("1!").count(), 1, "one merged rise");
+        assert_eq!(vcd.matches("0!").count(), 1, "one merged fall");
+        assert!(vcd.contains("#30"), "high until the last span ends");
+    }
+
+    #[test]
+    fn non_busy_stages_are_ignored() {
+        let mut sink = VcdSink::new("dev", 4);
+        sink.instant(TrackId(0), Stage::Grant, 5, 1, 2);
+        sink.span(TrackId(0), Stage::GatherWait, 0, 5, 1, 0);
+        sink.counter(TrackId(0), Stage::Window, 0, 7);
+        let vcd = sink.finish();
+        assert!(!vcd.contains("$var"), "no busy activity, no signals");
+    }
+
+    #[test]
+    fn render_export_covers_device_tracks() {
+        let hub = Telemetry::enabled(64);
+        let mut timeline = DeviceTimeline::new(&hub, 4000);
+        let mut sink = hub.sink();
+        timeline.observe(
+            &mut sink,
+            &crate::timeline::PlacedSpan {
+                device: 0,
+                job_id: 1,
+                arrays: &[0, 1],
+                start: 0,
+                duration: 25,
+                wait_cycles: 0,
+                granted: 2,
+                backfilled: false,
+                per_shard_cycles: &[25, 20],
+                reduction_cycles: 5,
+            },
+        );
+        drop(sink);
+        let export = hub.export().unwrap();
+        assert!(export.tracks.iter().all(|t| t.clock == Clock::Device));
+        let vcd = VcdSink::render_export(&export, "fleet", 4);
+        assert!(vcd.contains("dev0_arr0_busy"));
+        assert!(vcd.contains("dev0_arr1_busy"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#100"), "25 cycles × 4 ns");
+    }
+}

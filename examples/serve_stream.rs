@@ -22,6 +22,12 @@
 //! earliest predicted finish; implies `--co-schedule`), and
 //! `--backfill` lets narrow jobs reclaim idle array gaps when that
 //! provably delays nobody.
+//!
+//! `--trace-out trace.json` records the full dual-clock span trace
+//! (wall-clock service spans + device-cycle array spans) and writes
+//! it as Chrome/Perfetto `trace_event` JSON — open it at
+//! <https://ui.perfetto.dev>. Tracing never changes the outputs: the
+//! bit-identity assertion below still holds with it on.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -99,6 +105,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_or(Ok(1), |v| v.parse::<usize>())
         .map_err(|e| format!("--devices expects a number: {e}"))?
         .max(1);
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or("--trace-out expects a file path")
+        })
+        .transpose()?;
 
     let mut trace_config = TraceConfig::new(42)
         .with_requests(400)
@@ -136,6 +151,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if backfill {
         serve_config = serve_config.with_backfill();
     }
+    if trace_out.is_some() {
+        serve_config = serve_config.with_tracing();
+    }
     let fleet_scheduling = serve_config.co_scheduling();
     println!(
         "fleet: {devices} device(s) x {num_arrays} PE array(s), scheduling: {}{}\n",
@@ -156,8 +174,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pass 2 (warm cache, same trace):");
     let warm_start_completed = cold_stats.completed;
     let (warm_s, warm_digests) = replay(&service, &trace)?;
+    let telemetry = service.telemetry();
     let (final_stats, _) = service.shutdown();
     println!("  {}", final_stats);
+
+    if let Some(path) = &trace_out {
+        // Workers flush their rings on shutdown, so the export holds
+        // the complete merged trace for both passes.
+        let export = telemetry
+            .export()
+            .ok_or("tracing was enabled but no trace was recorded")?;
+        std::fs::write(path, export.to_perfetto_json())?;
+        println!(
+            "\nwrote {} trace events on {} tracks to {path} (open at https://ui.perfetto.dev)",
+            export.events.len(),
+            export.tracks.len(),
+        );
+    }
 
     assert_eq!(
         cold_digests, warm_digests,

@@ -60,3 +60,4 @@ pub use tempus_profile as profile;
 pub use tempus_runtime as runtime;
 pub use tempus_serve as serve;
 pub use tempus_sim as sim;
+pub use tempus_telemetry as telemetry;
