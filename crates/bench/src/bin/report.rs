@@ -11,9 +11,9 @@
 use std::path::PathBuf;
 
 use tempus_bench::experiments::{
-    ablation, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fleet_scaling,
-    headline, multi_array_scaling, runtime_throughput, serve_latency, sim_speed, table1, table2,
-    table3, timing, trace_overhead,
+    ablation, chaos_recovery, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9,
+    fleet_scaling, headline, multi_array_scaling, runtime_throughput, serve_latency, sim_speed,
+    table1, table2, table3, timing, trace_overhead,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -346,6 +346,24 @@ fn main() {
             .expect("write trace_overhead markdown");
         write_result(&results, "BENCH_trace_overhead.json", &report.to_json())
             .expect("write trace_overhead json");
+    }
+
+    if wants("chaos_recovery") {
+        println!("--- Fault tolerance: chaos injection + recovery gate (beyond the paper) ---");
+        let report = chaos_recovery::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        // run() already asserts the deterministic gates (zero lost
+        // requests, bit-identical digests, no orphaned grants, the
+        // quarantine → probe → revive ladder); the tail-latency gate
+        // lives here where the machine is quiet.
+        assert!(
+            report.p99_inflation_bounded(),
+            "recovery inflated p99 beyond the retry-ladder budget"
+        );
+        write_result(&results, "chaos_recovery.md", &report.to_markdown())
+            .expect("write chaos_recovery markdown");
+        write_result(&results, "BENCH_chaos_recovery.json", &report.to_json())
+            .expect("write chaos_recovery json");
     }
 
     println!("report complete; artifacts in results/");

@@ -1,6 +1,7 @@
 //! One module per experiment in DESIGN.md's index.
 
 pub mod ablation;
+pub mod chaos_recovery;
 pub mod co_schedule;
 pub mod energy;
 pub mod fig1;

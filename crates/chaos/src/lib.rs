@@ -1,0 +1,426 @@
+//! Deterministic chaos: seeded fault injection for the serving path.
+//!
+//! Production serving has to survive worker panics, transient backend
+//! errors, wedged executions and flaky devices. This crate supplies
+//! the *fault model*: a seeded [`FaultPlan`] that is a pure function
+//! of `(seed, job id, attempt, device)` — no wall-clock randomness —
+//! so any chaos run is bit-for-bit replayable, and a [`FaultInjector`]
+//! handle that is zero-overhead when disabled (a single `Option`
+//! check, exactly like the telemetry hub).
+//!
+//! The recovery machinery lives with the layers it protects (worker
+//! respawn and the watchdog in `tempus-runtime`, the device health
+//! state machine in `tempus-fleet`, retry/degrade in `tempus-serve`);
+//! this crate only decides *what breaks, when* — deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the injector breaks for one `(job, attempt)` execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The backend "fails" this execution with a transient error; a
+    /// retry of the same job is expected to succeed.
+    Transient,
+    /// The worker thread dies after reporting the failure — the pool
+    /// must respawn it to keep capacity.
+    WorkerPanic,
+    /// The execution wedges (modelled as a bounded host sleep); the
+    /// per-job watchdog is expected to cancel and retry it.
+    Stall,
+    /// The execution fails because the device it was placed on is in
+    /// a persistent outage; the fleet circuit breaker is expected to
+    /// quarantine the device and re-route its work.
+    DeviceFault,
+}
+
+impl FaultKind {
+    /// Short stable name (used in telemetry args and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::WorkerPanic => "worker_panic",
+            FaultKind::Stall => "stall",
+            FaultKind::DeviceFault => "device_fault",
+        }
+    }
+}
+
+/// A persistent per-device outage scripted into a [`FaultPlan`].
+///
+/// Every execution placed on `device` fails with
+/// [`FaultKind::DeviceFault`] until the device has been probed
+/// `probes_to_heal` times (probes happen on fleet floor boundaries
+/// once the device is quarantined), after which it heals and probes
+/// report success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutagePlan {
+    /// The device that goes dark.
+    pub device: usize,
+    /// Probes required before the device heals.
+    pub probes_to_heal: u32,
+}
+
+/// A seeded, replayable fault plan.
+///
+/// `decide` is a pure function of the plan and the execution identity
+/// — the same seed replays the exact same fault schedule, which is
+/// what lets the chaos bench assert digest equality against the
+/// fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Injected fault probability in parts per million (of executions
+    /// that are eligible; stored as an integer so the plan itself has
+    /// no float state).
+    pub rate_ppm: u32,
+    /// Of 16 injected faults, how many are worker panics.
+    pub panic_weight: u32,
+    /// Of 16 injected faults, how many are stalls (only applied to
+    /// the functional backend, whose honest latency is far below any
+    /// sane watchdog).
+    pub stall_weight: u32,
+    /// Optional persistent device outage.
+    pub outage: Option<OutagePlan>,
+}
+
+/// SplitMix64 finalizer — the same mixer the engine's seeded shuffle
+/// and the stats reservoirs use.
+#[must_use]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Index of the functional backend in the pool's backend table; kept
+/// in sync with `tempus-runtime`'s `kind_index`.
+pub const FUNCTIONAL_KIND: usize = 2;
+
+impl FaultPlan {
+    /// A plan injecting faults at `fault_rate` (clamped to `[0, 1]`)
+    /// with the default kind mix: 1/16 panics, 2/16 stalls, the rest
+    /// transient errors.
+    #[must_use]
+    pub fn new(seed: u64, fault_rate: f64) -> Self {
+        let clamped = fault_rate.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            rate_ppm: (clamped * 1_000_000.0).round() as u32,
+            panic_weight: 1,
+            stall_weight: 2,
+            outage: None,
+        }
+    }
+
+    /// Scripts a persistent outage on `device` healing after
+    /// `probes_to_heal` quarantine probes (builder style).
+    #[must_use]
+    pub fn with_outage(mut self, device: usize, probes_to_heal: u32) -> Self {
+        self.outage = Some(OutagePlan {
+            device,
+            probes_to_heal,
+        });
+        self
+    }
+
+    /// Overrides the fault kind mix (weights out of 16, builder
+    /// style).
+    #[must_use]
+    pub fn with_weights(mut self, panic_weight: u32, stall_weight: u32) -> Self {
+        self.panic_weight = panic_weight.min(16);
+        self.stall_weight = stall_weight.min(16 - self.panic_weight);
+        self
+    }
+
+    /// The injected fault rate as a fraction.
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        f64::from(self.rate_ppm) / 1_000_000.0
+    }
+
+    /// Pure fault decision for one execution attempt.
+    ///
+    /// `kind_index` is the pool backend index (0 = tempus, 1 = nvdla,
+    /// 2 = functional); stalls are only dealt to the functional
+    /// backend so the watchdog deadline can sit orders of magnitude
+    /// above honest latency. The outage (if any, and if the device is
+    /// still dark — see [`FaultInjector::probe`]) takes priority over
+    /// randomized faults so the circuit breaker sees *consecutive*
+    /// failures.
+    #[must_use]
+    pub fn decide(&self, job_id: u64, attempt: u32, kind_index: usize) -> Option<FaultKind> {
+        if self.rate_ppm == 0 {
+            return None;
+        }
+        let h = mix(self.seed
+            ^ mix(job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ (u64::from(attempt) << 48)
+            ^ ((kind_index as u64) << 40));
+        if h % 1_000_000 >= u64::from(self.rate_ppm) {
+            return None;
+        }
+        let bucket = (h >> 32) % 16;
+        if bucket < u64::from(self.panic_weight) {
+            Some(FaultKind::WorkerPanic)
+        } else if bucket < u64::from(self.panic_weight + self.stall_weight)
+            && kind_index == FUNCTIONAL_KIND
+        {
+            Some(FaultKind::Stall)
+        } else {
+            Some(FaultKind::Transient)
+        }
+    }
+}
+
+/// Counts of injected faults, by kind (read back by stats/benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient execution errors injected.
+    pub transient: u64,
+    /// Worker deaths injected.
+    pub panics: u64,
+    /// Stalls injected.
+    pub stalls: u64,
+    /// Device-outage failures injected.
+    pub device: u64,
+}
+
+impl FaultCounts {
+    /// Total injected faults.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.transient + self.panics + self.stalls + self.device
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    plan: FaultPlan,
+    /// Probes delivered to the outage device so far.
+    probes: AtomicU32,
+    transient: AtomicU64,
+    panics: AtomicU64,
+    stalls: AtomicU64,
+    device_faults: AtomicU64,
+}
+
+/// Shared fault-injection handle.
+///
+/// Modelled on the telemetry hub: [`FaultInjector::disabled`] carries
+/// no allocation and every query is a single `Option` check, so the
+/// hot path pays nothing when chaos is off. Enabled, it wraps an
+/// `Arc` of the plan plus the small amount of mutable state the plan
+/// itself must not hold (probe count, injection tallies).
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<InjectorState>>,
+}
+
+impl FaultInjector {
+    /// The inert injector: never injects, costs one branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        FaultInjector { inner: None }
+    }
+
+    /// An injector executing `plan`.
+    #[must_use]
+    pub fn enabled(plan: FaultPlan) -> Self {
+        FaultInjector {
+            inner: Some(Arc::new(InjectorState {
+                plan,
+                probes: AtomicU32::new(0),
+                transient: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+                stalls: AtomicU64::new(0),
+                device_faults: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether any faults can be injected.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The plan, when enabled.
+    #[must_use]
+    pub fn plan(&self) -> Option<FaultPlan> {
+        self.inner.as_ref().map(|s| s.plan)
+    }
+
+    /// Fault decision for one execution attempt on `device`. Returns
+    /// `None` (taking the early branch) when disabled.
+    #[must_use]
+    pub fn decide(
+        &self,
+        job_id: u64,
+        attempt: u32,
+        device: usize,
+        kind_index: usize,
+    ) -> Option<FaultKind> {
+        let state = self.inner.as_ref()?;
+        if let Some(outage) = state.plan.outage {
+            if outage.device == device && !self.device_healthy(device) {
+                state.device_faults.fetch_add(1, Ordering::Relaxed);
+                return Some(FaultKind::DeviceFault);
+            }
+        }
+        let fault = state.plan.decide(job_id, attempt, kind_index)?;
+        let cell = match fault {
+            FaultKind::Transient => &state.transient,
+            FaultKind::WorkerPanic => &state.panics,
+            FaultKind::Stall => &state.stalls,
+            FaultKind::DeviceFault => &state.device_faults,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        Some(fault)
+    }
+
+    /// Whether `device` is currently healthy under the scripted
+    /// outage (devices not named in the outage are always healthy).
+    #[must_use]
+    pub fn device_healthy(&self, device: usize) -> bool {
+        match self.inner.as_ref().and_then(|s| s.plan.outage) {
+            Some(outage) if outage.device == device => self
+                .inner
+                .as_ref()
+                .is_some_and(|s| s.probes.load(Ordering::Relaxed) >= outage.probes_to_heal),
+            _ => true,
+        }
+    }
+
+    /// Delivers one quarantine probe to `device` and reports whether
+    /// the device answered healthy. Probing a device with no scripted
+    /// outage always succeeds; probing the outage device counts
+    /// toward its heal threshold, so the probe sequence is a
+    /// deterministic function of how many probes have been sent.
+    #[must_use]
+    pub fn probe(&self, device: usize) -> bool {
+        let Some(state) = self.inner.as_ref() else {
+            return true;
+        };
+        match state.plan.outage {
+            Some(outage) if outage.device == device => {
+                let seen = state.probes.fetch_add(1, Ordering::Relaxed) + 1;
+                seen >= outage.probes_to_heal
+            }
+            _ => true,
+        }
+    }
+
+    /// Injection tallies so far.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        match self.inner.as_ref() {
+            None => FaultCounts::default(),
+            Some(s) => FaultCounts {
+                transient: s.transient.load(Ordering::Relaxed),
+                panics: s.panics.load(Ordering::Relaxed),
+                stalls: s.stalls.load(Ordering::Relaxed),
+                device: s.device_faults.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        for id in 0..10_000u64 {
+            assert_eq!(inj.decide(id, 0, 0, 0), None);
+        }
+        assert_eq!(inj.counts().total(), 0);
+        assert!(inj.device_healthy(0));
+        assert!(inj.probe(0));
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let plan = FaultPlan::new(7, 0.0);
+        for id in 0..10_000u64 {
+            assert_eq!(plan.decide(id, 0, 0), None);
+        }
+    }
+
+    #[test]
+    fn plan_is_pure_and_seeded() {
+        let a = FaultPlan::new(42, 0.1);
+        let b = FaultPlan::new(42, 0.1);
+        let c = FaultPlan::new(43, 0.1);
+        let da: Vec<_> = (0..4096).map(|id| a.decide(id, 0, 0)).collect();
+        let db: Vec<_> = (0..4096).map(|id| b.decide(id, 0, 0)).collect();
+        let dc: Vec<_> = (0..4096).map(|id| c.decide(id, 0, 0)).collect();
+        assert_eq!(da, db);
+        assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn rate_is_roughly_honoured() {
+        let plan = FaultPlan::new(1, 0.10);
+        let hits = (0..100_000u64)
+            .filter(|&id| plan.decide(id, 0, 0).is_some())
+            .count();
+        // 10% ± 1% over 100k trials.
+        assert!((9_000..=11_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn attempts_are_independent() {
+        // A job that faults on attempt 0 should usually pass on a
+        // retry — the decision must not be sticky across attempts.
+        let plan = FaultPlan::new(9, 0.10);
+        let faulted: Vec<u64> = (0..50_000u64)
+            .filter(|&id| plan.decide(id, 0, 0).is_some())
+            .collect();
+        let still_faulted = faulted
+            .iter()
+            .filter(|&&id| plan.decide(id, 1, 0).is_some())
+            .count();
+        // ~10% of the faulted set faults again, not 100%.
+        assert!(still_faulted * 2 < faulted.len());
+    }
+
+    #[test]
+    fn stalls_only_hit_the_functional_backend() {
+        let plan = FaultPlan::new(3, 0.25).with_weights(0, 16);
+        for id in 0..10_000u64 {
+            for kind in 0..2usize {
+                assert_ne!(plan.decide(id, 0, kind), Some(FaultKind::Stall));
+            }
+        }
+        let stalls = (0..10_000u64)
+            .filter(|&id| plan.decide(id, 0, FUNCTIONAL_KIND) == Some(FaultKind::Stall))
+            .count();
+        assert!(stalls > 0);
+    }
+
+    #[test]
+    fn outage_quarantine_probe_heal_cycle() {
+        let inj = FaultInjector::enabled(FaultPlan::new(5, 0.0).with_outage(1, 2));
+        // Device 1 is dark: every execution on it faults.
+        assert!(!inj.device_healthy(1));
+        assert!(inj.device_healthy(0));
+        assert_eq!(inj.decide(0, 0, 1, 0), Some(FaultKind::DeviceFault));
+        assert_eq!(inj.decide(1, 0, 1, 2), Some(FaultKind::DeviceFault));
+        assert_eq!(inj.decide(2, 0, 0, 0), None);
+        // First probe fails, second heals.
+        assert!(!inj.probe(1));
+        assert!(inj.probe(1));
+        assert!(inj.device_healthy(1));
+        assert_eq!(inj.decide(3, 0, 1, 0), None);
+        assert_eq!(inj.counts().device, 2);
+    }
+}

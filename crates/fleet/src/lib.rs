@@ -124,6 +124,41 @@ pub enum DeviceStatus {
     Draining,
     /// Drained and left the fleet; its account remains in the summary.
     Retired,
+    /// Circuit-broken after consecutive failures: taking no grants
+    /// until a floor-boundary probe reports it healthy again.
+    Quarantined,
+}
+
+/// Consecutive failures before the circuit breaker quarantines a
+/// device (Healthy → Suspect on the first, Quarantined at this
+/// count). The last active device is never quarantined — a degraded
+/// fleet that still answers beats one that cannot.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
+
+/// Where a device sits in the failure circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthPhase {
+    /// No failures outstanding.
+    Healthy,
+    /// 1 to [`QUARANTINE_THRESHOLD`]`- 1` consecutive failures: still
+    /// taking grants, one bad streak from quarantine.
+    Suspect,
+    /// Circuit open: excluded from admission until a probe heals it.
+    Quarantined,
+}
+
+/// Per-device breaker bookkeeping (all deterministic counts — no
+/// wall-clock timers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceHealth {
+    /// Failures since the last success on this device.
+    pub consecutive_failures: u32,
+    /// Probes sent while quarantined (resets on revival).
+    pub probes: u32,
+    /// Fleet floor when the device was quarantined.
+    pub quarantined_at: Option<u64>,
+    /// Fleet floor of the last probe — one probe per floor boundary.
+    pub last_probe_floor: Option<u64>,
 }
 
 /// One device: its ledger plus lifecycle state.
@@ -135,6 +170,22 @@ pub struct DeviceState {
     pub status: DeviceStatus,
     /// Fleet clock at which the device joined.
     pub joined_at_cycle: u64,
+    /// Circuit-breaker state.
+    pub health: DeviceHealth,
+}
+
+impl DeviceState {
+    /// The breaker phase this device is in.
+    #[must_use]
+    pub fn health_phase(&self) -> HealthPhase {
+        if self.status == DeviceStatus::Quarantined {
+            HealthPhase::Quarantined
+        } else if self.health.consecutive_failures > 0 {
+            HealthPhase::Suspect
+        } else {
+            HealthPhase::Healthy
+        }
+    }
 }
 
 /// A committed fleet placement.
@@ -241,12 +292,38 @@ pub enum FleetEvent {
         /// Fleet floor at the decision.
         cycle: u64,
     },
-    /// Elastic sizing activated a device (revival or fresh join).
+    /// Elastic sizing activated a device (revival or fresh join), or
+    /// a healthy probe returned a quarantined device to service.
     Revive {
         /// Device activated.
         device: usize,
         /// Fleet floor at the decision.
         cycle: u64,
+    },
+    /// The circuit breaker quarantined a device after consecutive
+    /// failures.
+    Quarantine {
+        /// Device quarantined.
+        device: usize,
+        /// Fleet floor at the decision.
+        cycle: u64,
+    },
+    /// A quarantined device was probed.
+    Probe {
+        /// Device probed.
+        device: usize,
+        /// Fleet floor at the probe.
+        cycle: u64,
+        /// Whether the probe reported the device healthy.
+        healthy: bool,
+    },
+    /// A quarantined device's grant was rolled back so the work could
+    /// re-route.
+    Rollback {
+        /// Device whose ledger was unwound.
+        device: usize,
+        /// Start cycle of the reverted placement.
+        start_cycle: u64,
     },
 }
 
@@ -266,6 +343,14 @@ pub struct FleetSummary {
     pub drains: u64,
     /// Admissions refused on deadline.
     pub rejections: u64,
+    /// Devices circuit-broken into quarantine.
+    pub quarantines: u64,
+    /// Probes sent to quarantined devices.
+    pub probes: u64,
+    /// Quarantined-device grants rolled back for re-routing.
+    pub rollbacks: u64,
+    /// Quarantined devices returned to service by a healthy probe.
+    pub revivals: u64,
 }
 
 impl FleetSummary {
@@ -312,6 +397,10 @@ pub struct FleetScheduler {
     joins: u64,
     drains: u64,
     rejections: u64,
+    quarantines: u64,
+    probes: u64,
+    rollbacks: u64,
+    revivals: u64,
     /// Emit [`FleetEvent`]s into `events`; off by default so cloned
     /// what-if schedulers cost nothing.
     record: bool,
@@ -327,6 +416,7 @@ impl FleetScheduler {
                 ledger: ArrayLedger::new(config.arrays_per_device),
                 status: DeviceStatus::Active,
                 joined_at_cycle: 0,
+                health: DeviceHealth::default(),
             })
             .collect();
         let peak = devices.len();
@@ -339,6 +429,10 @@ impl FleetScheduler {
             joins: 0,
             drains: 0,
             rejections: 0,
+            quarantines: 0,
+            probes: 0,
+            rollbacks: 0,
+            revivals: 0,
             record: false,
             events: Vec::new(),
         }
@@ -411,6 +505,10 @@ impl FleetScheduler {
             joins: self.joins,
             drains: self.drains,
             rejections: self.rejections,
+            quarantines: self.quarantines,
+            probes: self.probes,
+            rollbacks: self.rollbacks,
+            revivals: self.revivals,
         }
     }
 
@@ -603,6 +701,7 @@ impl FleetScheduler {
                     ledger: ArrayLedger::starting_at(self.config.arrays_per_device, floor),
                     status: DeviceStatus::Active,
                     joined_at_cycle: floor,
+                    health: DeviceHealth::default(),
                 });
                 self.devices.len() - 1
             };
@@ -626,6 +725,120 @@ impl FleetScheduler {
             self.last_boundary = Some(floor);
         } else {
             self.last_boundary = Some(floor);
+        }
+    }
+
+    /// Records a successful execution on `device`: the circuit
+    /// breaker resets to Healthy. Quarantined devices are untouched —
+    /// only a probe revives them.
+    pub fn report_success(&mut self, device: usize) {
+        if let Some(dev) = self.devices.get_mut(device) {
+            if dev.status != DeviceStatus::Quarantined {
+                dev.health.consecutive_failures = 0;
+            }
+        }
+    }
+
+    /// Records a failed execution attempt on `device`. At
+    /// [`QUARANTINE_THRESHOLD`] consecutive failures the breaker
+    /// opens: the device is quarantined and takes no new grants until
+    /// a probe heals it — unless it is the fleet's last active
+    /// device, which stays Suspect so the fleet can still answer.
+    /// Returns `true` when this call quarantined the device.
+    pub fn report_failure(&mut self, device: usize) -> bool {
+        let floor = self.floor();
+        let Some(dev) = self.devices.get_mut(device) else {
+            return false;
+        };
+        if dev.status != DeviceStatus::Active {
+            return false;
+        }
+        dev.health.consecutive_failures = dev.health.consecutive_failures.saturating_add(1);
+        if dev.health.consecutive_failures < QUARANTINE_THRESHOLD {
+            return false;
+        }
+        if self.active_devices() <= 1 {
+            return false;
+        }
+        let dev = &mut self.devices[device];
+        dev.status = DeviceStatus::Quarantined;
+        dev.health.quarantined_at = Some(floor);
+        dev.health.last_probe_floor = None;
+        dev.health.probes = 0;
+        self.quarantines += 1;
+        self.emit(FleetEvent::Quarantine {
+            device,
+            cycle: floor,
+        });
+        true
+    }
+
+    /// Unwinds a committed placement on `device` so the work can
+    /// re-route (used when the device is quarantined with the grant
+    /// still pending). Delegates to [`ArrayLedger::revert`]; returns
+    /// its cleanliness flag. The device account stays an exact census
+    /// of live grants either way.
+    pub fn rollback(&mut self, device: usize, placement: &Placement) -> bool {
+        let Some(dev) = self.devices.get_mut(device) else {
+            return false;
+        };
+        let clean = dev.ledger.revert(placement);
+        self.rollbacks += 1;
+        self.emit(FleetEvent::Rollback {
+            device,
+            start_cycle: placement.start_cycle,
+        });
+        clean
+    }
+
+    /// Quarantined devices due a probe: at most one probe per device
+    /// per fleet-floor boundary, so the cadence is deterministic and
+    /// driven by the fleet making progress elsewhere. Report each
+    /// probe's outcome with [`record_probe`](Self::record_probe).
+    #[must_use]
+    pub fn probe_candidates(&self) -> Vec<usize> {
+        let floor = self.floor();
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                d.status == DeviceStatus::Quarantined
+                    && d.health.last_probe_floor.is_none_or(|b| floor > b)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Records a probe outcome for a quarantined device. A healthy
+    /// probe revives it: status back to Active, breaker reset, a
+    /// [`FleetEvent::Revive`] emitted. An unhealthy probe leaves it
+    /// quarantined until the next floor boundary.
+    pub fn record_probe(&mut self, device: usize, healthy: bool) {
+        let floor = self.floor();
+        let Some(dev) = self.devices.get_mut(device) else {
+            return;
+        };
+        if dev.status != DeviceStatus::Quarantined {
+            return;
+        }
+        dev.health.probes = dev.health.probes.saturating_add(1);
+        dev.health.last_probe_floor = Some(floor);
+        self.probes += 1;
+        self.emit(FleetEvent::Probe {
+            device,
+            cycle: floor,
+            healthy,
+        });
+        if healthy {
+            let dev = &mut self.devices[device];
+            dev.status = DeviceStatus::Active;
+            dev.health = DeviceHealth::default();
+            self.revivals += 1;
+            self.peak_devices = self.peak_devices.max(self.active_devices());
+            self.emit(FleetEvent::Revive {
+                device,
+                cycle: floor,
+            });
         }
     }
 }
@@ -859,6 +1072,130 @@ mod tests {
             .drain_events()
             .iter()
             .any(|e| matches!(e, FleetEvent::Reject { .. })));
+    }
+
+    #[test]
+    fn circuit_breaker_quarantines_after_consecutive_failures() {
+        let mut fleet = FleetScheduler::new(FleetConfig::new(2, 2));
+        fleet.set_recording(true);
+        // Two failures leave the device Suspect and still routable.
+        assert!(!fleet.report_failure(1));
+        assert!(!fleet.report_failure(1));
+        assert_eq!(fleet.devices()[1].health_phase(), HealthPhase::Suspect);
+        assert_eq!(fleet.active_devices(), 2);
+        // A success in between resets the breaker.
+        fleet.report_success(1);
+        assert_eq!(fleet.devices()[1].health_phase(), HealthPhase::Healthy);
+        // Three consecutive failures open the circuit.
+        assert!(!fleet.report_failure(1));
+        assert!(!fleet.report_failure(1));
+        assert!(fleet.report_failure(1));
+        assert_eq!(fleet.devices()[1].health_phase(), HealthPhase::Quarantined);
+        assert_eq!(fleet.active_devices(), 1);
+        assert_eq!(fleet.summary().quarantines, 1);
+        // All new work routes around the quarantined device.
+        for _ in 0..4 {
+            assert_eq!(place(&mut fleet, &BudgetPlan::single(100)).device, 0);
+        }
+        assert!(fleet
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Quarantine { device: 1, .. })));
+    }
+
+    #[test]
+    fn last_active_device_is_never_quarantined() {
+        let mut fleet = FleetScheduler::single_device(2);
+        for _ in 0..10 {
+            assert!(!fleet.report_failure(0), "last device must keep serving");
+        }
+        assert_eq!(fleet.devices()[0].health_phase(), HealthPhase::Suspect);
+        assert_eq!(fleet.active_devices(), 1);
+        let _ = place(&mut fleet, &BudgetPlan::single(100));
+    }
+
+    #[test]
+    fn rollback_reopens_capacity_for_rerouting() {
+        let mut fleet = FleetScheduler::new(FleetConfig::new(2, 2));
+        // Park both devices at cycle 500, then land one more job on
+        // device 0 (the tie-break winner).
+        let _ = place(&mut fleet, &linear_plan(2, 2, 1000));
+        let _ = place(&mut fleet, &linear_plan(2, 2, 1000));
+        let victim = place(&mut fleet, &linear_plan(2, 2, 1000));
+        assert_eq!(victim.device, 0);
+        let census_before = fleet.summary().combined().placements;
+        // Quarantine device 0 and unwind its pending grant.
+        for _ in 0..QUARANTINE_THRESHOLD {
+            fleet.report_failure(0);
+        }
+        assert!(fleet.rollback(victim.device, &victim.placement));
+        let summary = fleet.summary();
+        assert_eq!(summary.combined().placements, census_before - 1);
+        assert_eq!(summary.rollbacks, 1);
+        // The re-routed job lands on the surviving device at the same
+        // start its sibling got there — no capacity was orphaned.
+        let rerouted = place(&mut fleet, &linear_plan(2, 2, 1000));
+        assert_eq!(rerouted.device, 1);
+        assert_eq!(rerouted.placement.start_cycle, 500);
+    }
+
+    #[test]
+    fn quarantine_probe_revive_cycle_is_deterministic() {
+        let mut fleet = FleetScheduler::new(FleetConfig::new(2, 2));
+        fleet.set_recording(true);
+        for _ in 0..QUARANTINE_THRESHOLD {
+            fleet.report_failure(1);
+        }
+        assert_eq!(fleet.devices()[1].status, DeviceStatus::Quarantined);
+        // First probe is due immediately; a sick probe holds the
+        // quarantine and blocks re-probing until the floor moves.
+        assert_eq!(fleet.probe_candidates(), vec![1]);
+        fleet.record_probe(1, false);
+        assert!(fleet.probe_candidates().is_empty());
+        // Work on the healthy device advances the floor → probe due.
+        let _ = place(&mut fleet, &linear_plan(2, 2, 1000));
+        let _ = place(&mut fleet, &linear_plan(2, 2, 1000));
+        assert_eq!(fleet.probe_candidates(), vec![1]);
+        fleet.record_probe(1, true);
+        assert_eq!(fleet.devices()[1].status, DeviceStatus::Active);
+        assert_eq!(fleet.devices()[1].health_phase(), HealthPhase::Healthy);
+        let summary = fleet.summary();
+        assert_eq!(summary.probes, 2);
+        assert_eq!(summary.revivals, 1);
+        // The trace tells the whole story in order.
+        let events = fleet.drain_events();
+        let tale: Vec<&FleetEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FleetEvent::Quarantine { .. }
+                        | FleetEvent::Probe { .. }
+                        | FleetEvent::Revive { .. }
+                )
+            })
+            .collect();
+        assert!(matches!(tale[0], FleetEvent::Quarantine { device: 1, .. }));
+        assert!(matches!(
+            tale[1],
+            FleetEvent::Probe {
+                device: 1,
+                healthy: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            tale[2],
+            FleetEvent::Probe {
+                device: 1,
+                healthy: true,
+                ..
+            }
+        ));
+        assert!(matches!(tale[3], FleetEvent::Revive { device: 1, .. }));
+        // Revived, the device takes work again.
+        let p = place(&mut fleet, &BudgetPlan::single(100));
+        assert_eq!(p.device, 1);
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub enum RuntimeError {
     /// The worker pool's task channel is closed (every worker exited
     /// or the pool is shutting down); the submission was not accepted.
     PoolClosed,
+    /// A chaos-plan fault was injected into this execution attempt
+    /// (transient backend error or persistent device outage).
+    InjectedFault {
+        /// Job the fault was dealt to.
+        job_id: u64,
+        /// Device the execution was placed on.
+        device: usize,
+    },
+    /// The per-job deadline watchdog cancelled a stuck execution; the
+    /// attempt's eventual outcome (if any) is discarded.
+    StuckJob {
+        /// Job the watchdog cancelled.
+        job_id: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -34,6 +48,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "worker {worker} panicked while executing a job")
             }
             RuntimeError::PoolClosed => f.write_str("worker pool is closed"),
+            RuntimeError::InjectedFault { job_id, device } => {
+                write!(f, "injected fault on job {job_id} (device {device})")
+            }
+            RuntimeError::StuckJob { job_id } => {
+                write!(f, "watchdog cancelled stuck job {job_id}")
+            }
         }
     }
 }

@@ -501,6 +501,57 @@ impl ArrayLedger {
         self.granted_sum += placement.assignment.granted as u64;
     }
 
+    /// Reverts a committed placement — the inverse of
+    /// [`ArrayLedger::apply`], used by the fleet layer to roll back
+    /// grants held by a quarantined device so the work can re-route.
+    ///
+    /// For a normal grant each granted array's busy-until clock is
+    /// pulled back from the placement's finish to its start (freeing
+    /// the tail for re-placement); any gap the grant opened when it
+    /// gathered stays recorded. For a backfill the consumed gap
+    /// interval is re-opened. Reverting is exact when the placement
+    /// is the newest commitment on its arrays — the only case the
+    /// quarantine path produces, since a quarantined device admits
+    /// nothing new. If a later placement already built on top of one
+    /// of the arrays (its clock moved past this placement's finish),
+    /// that array's clock is left untouched and the revert reports
+    /// `false`; the aggregate counters are still unwound so the
+    /// placement count stays an exact census of live grants.
+    pub fn revert(&mut self, placement: &Placement) -> bool {
+        let start = placement.start_cycle;
+        let finish = placement.finish_cycle();
+        let mut clean = true;
+        if placement.backfilled {
+            for &i in &placement.arrays {
+                // Re-open the consumed interval. It is pushed back as
+                // its own gap (not merged with the split remnants), so
+                // a future backfill spanning the seam won't see it —
+                // conservative, never incorrect.
+                self.gaps[i].push((start, finish));
+                self.gaps[i].sort_unstable();
+                self.gap_cycles += placement.duration_cycles;
+            }
+            self.backfills = self.backfills.saturating_sub(1);
+        } else {
+            for &i in &placement.arrays {
+                if self.busy_until[i] == finish {
+                    self.busy_until[i] = start;
+                } else {
+                    clean = false;
+                }
+            }
+        }
+        self.busy_cycles = self.busy_cycles.saturating_sub(placement.work_cycles);
+        self.wait_cycles = self
+            .wait_cycles
+            .saturating_sub(placement.assignment.wait_cycles);
+        self.placements = self.placements.saturating_sub(1);
+        self.granted_sum = self
+            .granted_sum
+            .saturating_sub(placement.assignment.granted as u64);
+        clean
+    }
+
     /// Records the idle interval `[from, to)` on array `i`, evicting
     /// the oldest remembered gap past the per-array bound (evicted
     /// idle stays counted, it just cannot be reclaimed any more).
@@ -821,6 +872,59 @@ mod tests {
             .preview_backfill(&BudgetPlan::single(10), 0)
             .is_none());
         assert_eq!(ledger.summary().idle_gap_cycles, idle, "account survives");
+    }
+
+    #[test]
+    fn revert_undoes_the_newest_placement_exactly() {
+        let mut ledger = ArrayLedger::new(4);
+        let _ = ledger.place(&BudgetPlan::single(100), 0);
+        let before_clocks = ledger.busy_clocks().to_vec();
+        let before = ledger.summary();
+        let p = ledger.place(&linear_plan(4, 4, 1200), 0);
+        assert!(ledger.revert(&p), "newest placement reverts clean");
+        assert_eq!(ledger.busy_clocks(), before_clocks.as_slice());
+        assert_eq!(ledger.summary(), before);
+        // The freed capacity is re-placeable: placing again lands the
+        // identical placement.
+        let q = ledger.place(&linear_plan(4, 4, 1200), 0);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn revert_reopens_backfill_gaps() {
+        let mut ledger = ArrayLedger::new(4);
+        for _ in 0..3 {
+            let _ = ledger.place(&BudgetPlan::single(100), 0);
+        }
+        let _ = ledger.place(&BudgetPlan::single(400), 0);
+        let _ = ledger.place(&linear_plan(4, 4, 4000), 0);
+        let idle_before = ledger.summary().idle_gap_cycles;
+        let p = ledger
+            .preview_backfill(&BudgetPlan::single(200), 0)
+            .expect("gap fits");
+        ledger.apply(&p);
+        assert!(ledger.revert(&p));
+        let s = ledger.summary();
+        assert_eq!(s.idle_gap_cycles, idle_before, "gap account restored");
+        assert_eq!(s.backfills, 0);
+        // The re-opened interval is backfillable again.
+        let q = ledger
+            .preview_backfill(&BudgetPlan::single(200), 0)
+            .expect("re-opened gap fits");
+        assert_eq!(q.start_cycle, p.start_cycle);
+    }
+
+    #[test]
+    fn revert_under_later_placements_reports_dirty_but_keeps_census() {
+        let mut ledger = ArrayLedger::new(1);
+        let a = ledger.place(&BudgetPlan::single(100), 0);
+        let _b = ledger.place(&BudgetPlan::single(50), 0);
+        // `a` is no longer the newest on array 0: its tail cannot be
+        // freed, but the counters still unwind.
+        let placements_before = ledger.summary().placements;
+        assert!(!ledger.revert(&a));
+        assert_eq!(ledger.summary().placements, placements_before - 1);
+        assert_eq!(ledger.makespan(), 150, "clock untouched");
     }
 
     #[test]

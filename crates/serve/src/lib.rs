@@ -72,4 +72,5 @@ pub use request::{
 };
 pub use service::{ServeConfig, StreamingService};
 pub use stats::{percentile, ArrayUse, ClassStats, ServeStats, SloPolicy};
+pub use tempus_chaos::{FaultKind, FaultPlan};
 pub use tempus_fleet::{ElasticPolicy, FleetSummary};

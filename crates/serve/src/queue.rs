@@ -9,8 +9,17 @@
 //! reaches the client.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks the queue mutex, recovering from poison instead of
+/// propagating a producer's panic to every other client: the queue
+/// state is a plain `VecDeque` plus a closed flag, both valid at
+/// every instruction boundary, so a panic while holding the guard
+/// cannot leave them torn.
+fn lock_clean<'a, T>(mutex: &'a Mutex<State<T>>) -> MutexGuard<'a, State<T>> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -73,13 +82,9 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Current depth.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        lock_clean(&self.state).items.len()
     }
 
     /// `true` when currently empty.
@@ -94,12 +99,8 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lock is poisoned.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_clean(&self.state);
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -119,12 +120,8 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`PushError::Closed`] when the queue closes before the item is
     /// accepted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lock is poisoned.
     pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_clean(&self.state);
         loop {
             if state.closed {
                 return Err(PushError::Closed(item));
@@ -135,17 +132,16 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(depth);
             }
-            state = self.not_full.wait(state).expect("queue lock");
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking pop.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lock is poisoned.
     pub fn try_pop(&self) -> PopResult<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_clean(&self.state);
         match state.items.pop_front() {
             Some(item) => {
                 self.not_full.notify_one();
@@ -157,12 +153,8 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Pops one item, waiting up to `timeout` for one to arrive.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lock is poisoned.
     pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_clean(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
@@ -174,7 +166,7 @@ impl<T> BoundedQueue<T> {
             let (next, result) = self
                 .not_empty
                 .wait_timeout(state, timeout)
-                .expect("queue lock");
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if result.timed_out() {
                 return match state.items.pop_front() {
@@ -191,12 +183,8 @@ impl<T> BoundedQueue<T> {
 
     /// Closes the queue: pending items remain poppable, new pushes are
     /// refused, and every blocked producer/consumer wakes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lock is poisoned.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_clean(&self.state);
         state.closed = true;
         drop(state);
         self.not_full.notify_all();

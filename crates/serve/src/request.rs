@@ -126,6 +126,13 @@ pub struct ServedResult {
     pub array_wait_cycles: u64,
     /// Cache hit or cold execution.
     pub cache: CacheOutcome,
+    /// `true` when the answer came from the degrade-don't-drop
+    /// fallback: retries were exhausted (or re-admission impossible)
+    /// and the request was answered by the functional backend with
+    /// fault injection disabled. The output is still bit-identical —
+    /// all backends agree on outputs — but the execution did not run
+    /// at the requested fidelity's backend.
+    pub degraded: bool,
 }
 
 /// Why the service refused a request.

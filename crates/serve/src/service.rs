@@ -32,14 +32,15 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tempus_chaos::{FaultInjector, FaultPlan};
 use tempus_fleet::{
     ElasticPolicy, FleetConfig, FleetEvent, FleetOutcome, FleetScheduler, FleetSummary,
 };
-use tempus_runtime::pool::{PoolOutcome, WorkerPool};
+use tempus_runtime::pool::{PoolOutcome, PoolTask, WorkerPool};
 use tempus_runtime::stats::PERIOD_NS;
 use tempus_runtime::{
     ArrayAssignment, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary, EngineConfig, Job,
@@ -57,6 +58,15 @@ use crate::request::{
     CacheOutcome, RejectReason, Request, Response, ResponseOutcome, ServedResult, SubmitError,
 };
 use crate::stats::{ArrayUse, ServeStats, SloPolicy, StatsRecorder};
+
+/// Locks a mutex, recovering the guard from a poisoned lock instead
+/// of cascading the panic: everything behind the service's mutexes is
+/// plain counters/gauges, valid at every instruction boundary, and
+/// one panicking thread must not take the whole service's
+/// observability (or its shutdown path) down with it.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -103,6 +113,22 @@ pub struct ServeConfig {
     /// Per-recorder ring capacity (events, drop-oldest past it) when
     /// tracing.
     pub trace_ring_capacity: usize,
+    /// Deterministic fault injection: a seeded [`FaultPlan`] dealt to
+    /// execution attempts by the worker pool. `None` (the default)
+    /// hands every layer a disabled injector — one branch per job,
+    /// bit-identical behaviour to a chaos-free build.
+    pub chaos: Option<FaultPlan>,
+    /// Per-job watchdog base deadline for the functional backend
+    /// (cycle-accurate backends get a 20× leash). `None` disables the
+    /// watchdog; [`ServeConfig::with_chaos`] defaults it on.
+    pub watchdog: Option<Duration>,
+    /// Most times one request may be re-executed after an
+    /// infrastructure fault before the degrade-don't-drop fallback
+    /// answers it.
+    pub max_retries: u32,
+    /// Bound on how long shutdown waits for in-flight jobs to drain
+    /// before answering the stragglers as failed.
+    pub drain_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -127,7 +153,45 @@ impl ServeConfig {
             elastic: None,
             tracing: false,
             trace_ring_capacity: DEFAULT_RING_CAPACITY,
+            chaos: None,
+            watchdog: None,
+            max_retries: 3,
+            drain_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// Enables deterministic fault injection under `plan` (builder
+    /// style), and turns the per-job watchdog on (50 ms functional
+    /// base) unless one was configured already — injected stalls are
+    /// only recoverable with a watchdog to cancel them.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        if self.watchdog.is_none() {
+            self.watchdog = Some(Duration::from_millis(50));
+        }
+        self
+    }
+
+    /// Overrides the per-job watchdog base deadline (builder style).
+    #[must_use]
+    pub fn with_watchdog(mut self, base: Duration) -> Self {
+        self.watchdog = Some(base);
+        self
+    }
+
+    /// Overrides the retry budget (builder style).
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the shutdown drain bound (builder style).
+    #[must_use]
+    pub fn with_drain_timeout(mut self, drain_timeout: Duration) -> Self {
+        self.drain_timeout = drain_timeout;
+        self
     }
 
     /// Enables dual-clock span tracing (builder style): the service
@@ -311,7 +375,24 @@ struct Pending {
     /// kept so its device-cycle spans can be recorded at completion,
     /// when the backend's per-shard cycles are known.
     placed: Option<(usize, Placement)>,
+    /// A copy of the job, kept only when recovery is possible
+    /// (injection enabled or a watchdog armed) so a faulted attempt
+    /// can be re-executed. `None` on fault-free configs — those pay
+    /// no clone.
+    job: Option<Job>,
+    /// Which execution attempt this record covers; outcomes carry the
+    /// same stamp, so a late (watchdog-cancelled) attempt can never
+    /// answer a newer one.
+    attempt: u32,
+    /// `true` once the degrade-don't-drop fallback re-aimed this
+    /// request at the functional backend with injection off.
+    degraded: bool,
 }
+
+/// Base retry backoff in device cycles; attempt `n` waits
+/// `base << (n - 1)` cycles before its re-admission arrival, charging
+/// recovery to the modelled clock deterministically.
+const RETRY_BACKOFF_BASE_CYCLES: u64 = 1_000;
 
 /// An admission-held accurate job awaiting a slot.
 struct Held {
@@ -389,7 +470,15 @@ impl StreamingService {
         } else {
             Telemetry::disabled()
         };
-        let pool = WorkerPool::spawn_traced(config.engine.clone(), telemetry.clone())?;
+        let injector = config
+            .chaos
+            .map_or_else(FaultInjector::disabled, FaultInjector::enabled);
+        let pool = WorkerPool::spawn_chaos(
+            config.engine.clone(),
+            telemetry.clone(),
+            injector.clone(),
+            config.watchdog,
+        )?;
         let ingress = Arc::new(BoundedQueue::new(config.queue_capacity));
         let (response_tx, response_rx) = channel();
         let stats = Arc::new(Mutex::new(StatsRecorder::new(config.slo.clone())));
@@ -430,6 +519,7 @@ impl StreamingService {
                     cache: ResultCache::new(config.cache_capacity),
                     config,
                     pool,
+                    injector,
                     ingress,
                     response_tx,
                     stats,
@@ -453,6 +543,8 @@ impl StreamingService {
                     in_flight: 0,
                     accurate_in_flight: 0,
                     ingress_closed: false,
+                    drain_started: None,
+                    drain_timed_out: false,
                 }
                 .run()
             })
@@ -485,10 +577,6 @@ impl StreamingService {
     /// # Errors
     ///
     /// [`SubmitError::ShutDown`] when the service has been shut down.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats lock is poisoned.
     pub fn submit(&self, request: Request) -> Result<(), SubmitError> {
         let ingest = Ingest {
             request,
@@ -496,7 +584,7 @@ impl StreamingService {
         };
         match self.ingress.push(ingest) {
             Ok(depth) => {
-                let mut stats = self.stats.lock().expect("stats lock");
+                let mut stats = lock_clean(&self.stats);
                 stats.submitted += 1;
                 stats.observe_queue_depth(depth);
                 Ok(())
@@ -514,10 +602,6 @@ impl StreamingService {
     /// [`SubmitError::QueueFull`] when the bounded queue is at
     /// capacity (the request is handed back for retry),
     /// [`SubmitError::ShutDown`] after shutdown.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats lock is poisoned.
     pub fn try_submit(&self, request: Request) -> Result<(), SubmitError> {
         let ingest = Ingest {
             request,
@@ -525,13 +609,13 @@ impl StreamingService {
         };
         match self.ingress.try_push(ingest) {
             Ok(depth) => {
-                let mut stats = self.stats.lock().expect("stats lock");
+                let mut stats = lock_clean(&self.stats);
                 stats.submitted += 1;
                 stats.observe_queue_depth(depth);
                 Ok(())
             }
             Err(PushError::Full(i)) => {
-                self.stats.lock().expect("stats lock").queue_full_refusals += 1;
+                lock_clean(&self.stats).queue_full_refusals += 1;
                 self.telemetry.count(Counter::RejectedQueueFull, 1);
                 Err(SubmitError::QueueFull(Box::new(i.request)))
             }
@@ -546,16 +630,12 @@ impl StreamingService {
     }
 
     /// Point-in-time service snapshot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a stats lock is poisoned.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        let cache = *self.cache_stats.lock().expect("cache stats lock");
-        let device = *self.device_gauge.lock().expect("device gauge lock");
-        let fleet = self.fleet_gauge.lock().expect("fleet gauge lock").clone();
-        let stats = self.stats.lock().expect("stats lock");
+        let cache = *lock_clean(&self.cache_stats);
+        let device = *lock_clean(&self.device_gauge);
+        let fleet = lock_clean(&self.fleet_gauge).clone();
+        let stats = lock_clean(&self.stats);
         stats.snapshot(
             cache,
             self.ingress.len(),
@@ -601,6 +681,10 @@ impl Drop for StreamingService {
 struct Dispatcher {
     config: ServeConfig,
     pool: WorkerPool,
+    /// The seeded fault injector shared with the pool's workers —
+    /// the dispatcher consults it for device probes. Disabled (one
+    /// branch per call) unless the config carries a chaos plan.
+    injector: FaultInjector,
     cache: ResultCache,
     ingress: Arc<BoundedQueue<Ingest>>,
     response_tx: Sender<Response>,
@@ -645,6 +729,12 @@ struct Dispatcher {
     in_flight: usize,
     accurate_in_flight: usize,
     ingress_closed: bool,
+    /// When the service went idle-but-for-in-flight work after the
+    /// ingress closed — the start of the bounded shutdown drain.
+    drain_started: Option<Instant>,
+    /// Set when the drain bound expired and stragglers were answered
+    /// as failed.
+    drain_timed_out: bool,
 }
 
 impl Dispatcher {
@@ -662,15 +752,15 @@ impl Dispatcher {
     }
 
     fn publish_gauges(&self) {
-        *self.cache_stats.lock().expect("cache stats lock") = self.cache.stats();
+        *lock_clean(&self.cache_stats) = self.cache.stats();
         self.in_flight_gauge
             .store(self.in_flight, Ordering::Relaxed);
         if self.planner.is_some() {
             let summary = self.fleet.summary();
-            *self.device_gauge.lock().expect("device gauge lock") = summary.combined();
-            *self.fleet_gauge.lock().expect("fleet gauge lock") = Some(summary);
+            *lock_clean(&self.device_gauge) = summary.combined();
+            *lock_clean(&self.fleet_gauge) = Some(summary);
         } else {
-            *self.device_gauge.lock().expect("device gauge lock") = self.serial_device;
+            *lock_clean(&self.device_gauge) = self.serial_device;
         }
     }
 
@@ -721,6 +811,30 @@ impl Dispatcher {
                         .instant(track, Stage::Revive, cycle, device as u64, 0);
                     self.telemetry.count(Counter::ElasticRevives, 1);
                 }
+                FleetEvent::Quarantine { device, cycle } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink
+                        .instant(track, Stage::Quarantine, cycle, device as u64, 0);
+                    self.telemetry.count(Counter::Quarantines, 1);
+                }
+                FleetEvent::Probe {
+                    device,
+                    cycle,
+                    healthy,
+                } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink.instant(
+                        track,
+                        Stage::Probe,
+                        cycle,
+                        device as u64,
+                        u64::from(healthy),
+                    );
+                    self.telemetry.count(Counter::Probes, 1);
+                }
+                // The rollback's observable effect is the re-route
+                // that follows; the fleet summary carries the count.
+                FleetEvent::Rollback { .. } => {}
             }
         }
     }
@@ -757,7 +871,7 @@ impl Dispatcher {
                 0,
             );
             self.telemetry.count(Counter::CacheHits, 1);
-            self.stats.lock().expect("stats lock").record_completion(
+            lock_clean(&self.stats).record_completion(
                 class,
                 total_ns,
                 true,
@@ -782,6 +896,7 @@ impl Dispatcher {
                     arrays_granted: entry.arrays_granted,
                     array_wait_cycles: 0,
                     cache: CacheOutcome::Hit,
+                    degraded: false,
                 }),
                 queue_ns: total_ns,
                 total_ns,
@@ -829,9 +944,7 @@ impl Dispatcher {
                 || self.deferred.len() >= self.config.deferred_capacity
             {
                 let total_ns = held.accepted.elapsed().as_nanos() as u64;
-                self.stats
-                    .lock()
-                    .expect("stats lock")
+                lock_clean(&self.stats)
                     .record_rejection(class, &RejectReason::AccurateAdmissionFull);
                 self.sink.instant(
                     self.dispatch_track,
@@ -851,10 +964,7 @@ impl Dispatcher {
                 });
             } else {
                 self.deferred.push_back(held);
-                self.stats
-                    .lock()
-                    .expect("stats lock")
-                    .observe_deferred_depth(self.deferred.len());
+                lock_clean(&self.stats).observe_deferred_depth(self.deferred.len());
             }
             return;
         }
@@ -895,10 +1005,7 @@ impl Dispatcher {
                             best_latency_cycles: miss.best_latency_cycles,
                         };
                         let total_ns = accepted.elapsed().as_nanos() as u64;
-                        self.stats
-                            .lock()
-                            .expect("stats lock")
-                            .record_rejection(class, &reason);
+                        lock_clean(&self.stats).record_rejection(class, &reason);
                         self.sink.instant(
                             self.dispatch_track,
                             Stage::Reject,
@@ -934,9 +1041,22 @@ impl Dispatcher {
                 assignment.granted as u64,
             );
         }
-        if self.pool.submit_assigned(job, backend, assignment).is_err() {
+        // Recovery needs the job back to re-execute it; fault-free
+        // configs (no injection, no watchdog) skip the clone.
+        let recoverable = self.injector.is_enabled() || self.config.watchdog.is_some();
+        let job_copy = recoverable.then(|| job.clone());
+        let device = placed.as_ref().map_or(0, |(d, _)| *d);
+        let task = PoolTask {
+            job,
+            backend,
+            assignment,
+            device,
+            attempt: 0,
+            inject: true,
+        };
+        if self.pool.submit_routed(task).is_err() {
             // Pool gone (only during teardown): report a failure.
-            self.stats.lock().expect("stats lock").record_failure(class);
+            lock_clean(&self.stats).record_failure(class);
             let total_ns = accepted.elapsed().as_nanos() as u64;
             self.respond(Response {
                 job_id,
@@ -954,6 +1074,9 @@ impl Dispatcher {
             accepted,
             dispatched: Instant::now(),
             placed,
+            job: job_copy,
+            attempt: 0,
+            degraded: false,
         });
         self.inflight_waiters.entry(key).or_default();
         self.in_flight += 1;
@@ -974,15 +1097,23 @@ impl Dispatcher {
             return; // unreachable: every submission is recorded
         };
         let Some(pos) = entry.iter().position(|p| {
-            let backend = match p.class.fidelity {
-                Fidelity::Fast => BackendKind::FastFunctional,
-                Fidelity::Accurate => accurate_backend,
+            // A degraded record is being answered by the functional
+            // fallback regardless of its requested fidelity.
+            let backend = if p.degraded {
+                BackendKind::FastFunctional
+            } else {
+                match p.class.fidelity {
+                    Fidelity::Fast => BackendKind::FastFunctional,
+                    Fidelity::Accurate => accurate_backend,
+                }
             };
-            backend == outcome.backend
+            backend == outcome.backend && p.attempt == outcome.attempt
         }) else {
-            return; // unreachable: backends are fixed per fidelity
+            // A late outcome from a superseded attempt (its retry is
+            // already in flight under a higher stamp): drop it.
+            return;
         };
-        let Some(pending) = entry.remove(pos) else {
+        let Some(mut pending) = entry.remove(pos) else {
             return;
         };
         if entry.is_empty() {
@@ -994,14 +1125,19 @@ impl Dispatcher {
         }
         let queue_ns = (pending.dispatched - pending.accepted).as_nanos() as u64;
         let total_ns = pending.accepted.elapsed().as_nanos() as u64;
-        // Requests coalesced onto this execution share its result:
-        // waiters fan out in arrival order, then the primary.
-        let waiters = self
-            .inflight_waiters
-            .remove(&pending.key)
-            .unwrap_or_default();
         match outcome.result {
             Ok(result) => {
+                // The device delivered: reset its circuit breaker.
+                if let Some((device, _)) = &pending.placed {
+                    self.fleet.report_success(*device);
+                }
+                // Requests coalesced onto this execution share its
+                // result: waiters fan out in arrival order, then the
+                // primary.
+                let waiters = self
+                    .inflight_waiters
+                    .remove(&pending.key)
+                    .unwrap_or_default();
                 // Device-cycle spans are recorded at completion, when
                 // the backend's per-shard cycles are known: grant,
                 // gather-wait, per-shard busy (reduction sub-span) and
@@ -1095,8 +1231,12 @@ impl Dispatcher {
                 // a snapshot never observes a torn state with only
                 // some waiters counted, and the dispatcher does not
                 // churn the lock per waiter.
-                let mut stats = self.stats.lock().expect("stats lock");
+                let mut stats = lock_clean(&self.stats);
                 stats.record_completion(pending.class, total_ns, false, arrays);
+                if pending.degraded {
+                    stats.record_degraded(pending.class);
+                    self.telemetry.count(Counter::Degraded, 1);
+                }
                 for waiter in waiters {
                     let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
                     // Waiters share the execution but did not wait
@@ -1124,6 +1264,7 @@ impl Dispatcher {
                             // the primary — matching the stats layer.
                             array_wait_cycles: 0,
                             cache: CacheOutcome::Coalesced,
+                            degraded: pending.degraded,
                         }),
                         queue_ns: waiter_total_ns,
                         total_ns: waiter_total_ns,
@@ -1145,36 +1286,220 @@ impl Dispatcher {
                         arrays_granted: result.arrays_granted,
                         array_wait_cycles: result.array_wait_cycles,
                         cache: CacheOutcome::Miss,
+                        degraded: pending.degraded,
                     }),
                     queue_ns,
                     total_ns,
                 });
             }
             Err(error) => {
-                let mut stats = self.stats.lock().expect("stats lock");
-                stats.record_failure(pending.class);
-                self.respond(Response {
-                    job_id: outcome.job_id,
-                    job_name: String::new(),
-                    class: pending.class,
-                    outcome: ResponseOutcome::Failed(error.clone()),
-                    queue_ns,
-                    total_ns,
-                });
-                for waiter in waiters {
-                    let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
-                    stats.record_failure(waiter.class);
-                    self.respond(Response {
-                        job_id: waiter.job_id,
-                        job_name: waiter.job_name,
-                        class: waiter.class,
-                        outcome: ResponseOutcome::Failed(error.clone()),
-                        queue_ns: waiter_total_ns,
-                        total_ns: waiter_total_ns,
-                    });
+                // Infrastructure faults (injected transients, worker
+                // deaths, watchdog cancels) are the service's to
+                // recover from; job-level errors (shape, precision)
+                // are the caller's and fail through unchanged.
+                let transient = matches!(
+                    error,
+                    RuntimeError::InjectedFault { .. }
+                        | RuntimeError::WorkerPanicked { .. }
+                        | RuntimeError::StuckJob { .. }
+                );
+                if transient {
+                    // Charge the device's circuit breaker and pull
+                    // the dead placement's grant back so its capacity
+                    // re-opens for the re-route.
+                    if let Some((device, placement)) = &pending.placed {
+                        let (device, placement) = (*device, placement.clone());
+                        self.fleet.report_failure(device);
+                        self.fleet.rollback(device, &placement);
+                        self.lower_fleet_events(outcome.job_id);
+                    }
+                    if !pending.degraded {
+                        if let Some(job) = pending.job.take() {
+                            if pending.attempt < self.config.max_retries {
+                                self.retry(pending, job);
+                            } else {
+                                self.degrade(pending, job);
+                            }
+                            return;
+                        }
+                    }
                 }
+                self.fail_final(&pending, outcome.job_id, &error);
             }
         }
+    }
+
+    /// Re-executes a faulted attempt after a deterministic backoff
+    /// charged in device cycles (`base << attempt`, modelled as the
+    /// re-admission's arrival cycle — the retry cannot start before
+    /// it). The request was already admitted once, so re-admission
+    /// carries no deadline and can never be rejected; its waiters stay
+    /// attached and fan out from whichever attempt finally answers.
+    fn retry(&mut self, pending: Pending, job: Job) {
+        let attempt = pending.attempt + 1;
+        let backoff = RETRY_BACKOFF_BASE_CYCLES << pending.attempt;
+        let backend = self.backend_for(pending.class.fidelity);
+        let job_id = job.id;
+        let (assignment, placed) = match &mut self.planner {
+            Some(planner) => {
+                let plan = planner.plan_or_single(&job);
+                let arrival = self.fleet.floor().saturating_add(backoff);
+                match self.fleet.admit_at(&plan, None, arrival) {
+                    FleetOutcome::Placed(placed) => (
+                        placed.placement.assignment,
+                        Some((placed.device, placed.placement)),
+                    ),
+                    // Unreachable: deadline-free admission always
+                    // places somewhere.
+                    FleetOutcome::Rejected(_) => {
+                        (ArrayAssignment::full(self.config.engine.num_arrays), None)
+                    }
+                }
+            }
+            None => (ArrayAssignment::full(self.config.engine.num_arrays), None),
+        };
+        self.lower_fleet_events(job_id);
+        if self.sink.is_enabled() {
+            let device = placed.as_ref().map_or(0, |(d, _)| *d);
+            let cycle = placed.as_ref().map_or(backoff, |(_, p)| p.start_cycle);
+            let track = self.timeline.device_track(device);
+            self.sink
+                .instant(track, Stage::Retry, cycle, job_id, u64::from(attempt));
+        }
+        self.telemetry.count(Counter::Retries, 1);
+        self.telemetry.count(Counter::RetryBackoffCycles, backoff);
+        lock_clean(&self.stats).record_retry(pending.class);
+        let device = placed.as_ref().map_or(0, |(d, _)| *d);
+        let job_copy = Some(job.clone());
+        let task = PoolTask {
+            job,
+            backend,
+            assignment,
+            device,
+            attempt,
+            inject: true,
+        };
+        if self.pool.submit_routed(task).is_err() {
+            self.fail_final(&pending, job_id, &RuntimeError::PoolClosed);
+            return;
+        }
+        self.pending.entry(job_id).or_default().push_back(Pending {
+            placed,
+            job: job_copy,
+            attempt,
+            ..pending
+        });
+        self.in_flight += 1;
+        if pending.class.fidelity == Fidelity::Accurate {
+            self.accurate_in_flight += 1;
+        }
+    }
+
+    /// Degrade-don't-drop: the retry budget is spent, so the request
+    /// is answered by the functional backend with injection disabled
+    /// (and no deadline — an already-admitted request is never
+    /// rejected on its way out). Outputs are bit-identical across
+    /// backends, so the caller still receives the right bits; the
+    /// response is flagged [`ServedResult::degraded`].
+    fn degrade(&mut self, pending: Pending, job: Job) {
+        let attempt = pending.attempt + 1;
+        let job_id = job.id;
+        let (assignment, placed) = match &mut self.planner {
+            Some(planner) => {
+                let plan = planner.plan_or_single(&job);
+                match self.fleet.admit(&plan, None) {
+                    FleetOutcome::Placed(placed) => (
+                        placed.placement.assignment,
+                        Some((placed.device, placed.placement)),
+                    ),
+                    FleetOutcome::Rejected(_) => {
+                        (ArrayAssignment::full(self.config.engine.num_arrays), None)
+                    }
+                }
+            }
+            None => (ArrayAssignment::full(self.config.engine.num_arrays), None),
+        };
+        self.lower_fleet_events(job_id);
+        self.sink.instant(
+            self.dispatch_track,
+            Stage::Degrade,
+            self.telemetry.now_ns(),
+            job_id,
+            u64::from(attempt),
+        );
+        let device = placed.as_ref().map_or(0, |(d, _)| *d);
+        let job_copy = Some(job.clone());
+        let task = PoolTask {
+            job,
+            backend: BackendKind::FastFunctional,
+            assignment,
+            device,
+            attempt,
+            inject: false,
+        };
+        if self.pool.submit_routed(task).is_err() {
+            self.fail_final(&pending, job_id, &RuntimeError::PoolClosed);
+            return;
+        }
+        self.pending.entry(job_id).or_default().push_back(Pending {
+            placed,
+            job: job_copy,
+            attempt,
+            degraded: true,
+            ..pending
+        });
+        self.in_flight += 1;
+        if pending.class.fidelity == Fidelity::Accurate {
+            self.accurate_in_flight += 1;
+        }
+    }
+
+    /// Final failure: answers the primary and every waiter coalesced
+    /// onto its execution. Only unrecoverable ends come here —
+    /// job-level errors, a closed pool, or the drain bound expiring.
+    fn fail_final(&mut self, pending: &Pending, job_id: u64, error: &RuntimeError) {
+        let queue_ns = (pending.dispatched - pending.accepted).as_nanos() as u64;
+        let total_ns = pending.accepted.elapsed().as_nanos() as u64;
+        let waiters = self
+            .inflight_waiters
+            .remove(&pending.key)
+            .unwrap_or_default();
+        let mut stats = lock_clean(&self.stats);
+        stats.record_failure(pending.class);
+        self.respond(Response {
+            job_id,
+            job_name: String::new(),
+            class: pending.class,
+            outcome: ResponseOutcome::Failed(error.clone()),
+            queue_ns,
+            total_ns,
+        });
+        for waiter in waiters {
+            let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
+            stats.record_failure(waiter.class);
+            self.respond(Response {
+                job_id: waiter.job_id,
+                job_name: waiter.job_name,
+                class: waiter.class,
+                outcome: ResponseOutcome::Failed(error.clone()),
+                queue_ns: waiter_total_ns,
+                total_ns: waiter_total_ns,
+            });
+        }
+    }
+
+    /// Answers every still-pending execution (and its waiters) as
+    /// failed: the shutdown drain bound expired and the stragglers
+    /// must not hold the service's teardown hostage.
+    fn abandon_inflight(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for (job_id, records) in pending {
+            for record in records {
+                self.fail_final(&record, job_id, &RuntimeError::StuckJob { job_id });
+            }
+        }
+        self.in_flight = 0;
+        self.accurate_in_flight = 0;
     }
 
     /// The dispatch loop. Returns the pool's final worker records.
@@ -1186,6 +1511,19 @@ impl Dispatcher {
             while let Some(outcome) = self.pool.try_collect() {
                 self.complete(outcome);
                 progressed = true;
+            }
+
+            // 1b. Probe quarantined devices — one deterministic probe
+            //     per device per fleet-floor advance. A healthy probe
+            //     revives the device for routing; an unhealthy one
+            //     re-arms at the next floor boundary.
+            if self.planner.is_some() {
+                for device in self.fleet.probe_candidates() {
+                    let healthy = self.injector.probe(device);
+                    self.fleet.record_probe(device, healthy);
+                    self.lower_fleet_events(device as u64);
+                    progressed = true;
+                }
             }
 
             // 2. Promote admission-held accurate jobs into free slots.
@@ -1200,7 +1538,7 @@ impl Dispatcher {
                 let held = self.deferred.pop_front().expect("non-empty");
                 if let Some(entry) = self.cache.get(held.key) {
                     let total_ns = held.accepted.elapsed().as_nanos() as u64;
-                    self.stats.lock().expect("stats lock").record_completion(
+                    lock_clean(&self.stats).record_completion(
                         held.class,
                         total_ns,
                         true,
@@ -1223,6 +1561,7 @@ impl Dispatcher {
                             arrays_granted: entry.arrays_granted,
                             array_wait_cycles: 0,
                             cache: CacheOutcome::Hit,
+                            degraded: false,
                         }),
                         queue_ns: total_ns,
                         total_ns,
@@ -1267,14 +1606,28 @@ impl Dispatcher {
 
             self.publish_gauges();
 
-            // 4. Drained everything and nothing will ever arrive:
-            //    done.
-            if self.ingress_closed
-                && self.deferred.is_empty()
-                && self.in_flight == 0
-                && self.ingress.is_empty()
-            {
-                break;
+            // 4. Ingress closed and every queue drained: done once
+            //    in-flight work completes — but the wait is bounded.
+            //    Past `drain_timeout` the stragglers are answered as
+            //    failed rather than letting one wedged execution hold
+            //    the whole teardown hostage.
+            if self.ingress_closed && self.deferred.is_empty() && self.ingress.is_empty() {
+                if self.in_flight == 0 {
+                    if let Some(started) = self.drain_started {
+                        lock_clean(&self.stats).drain_ns = started.elapsed().as_nanos() as u64;
+                    }
+                    break;
+                }
+                let started = *self.drain_started.get_or_insert_with(Instant::now);
+                if started.elapsed() >= self.config.drain_timeout {
+                    self.drain_timed_out = true;
+                    self.abandon_inflight();
+                    let mut stats = lock_clean(&self.stats);
+                    stats.drain_ns = started.elapsed().as_nanos() as u64;
+                    stats.drain_timed_out = true;
+                    drop(stats);
+                    break;
+                }
             }
 
             // 5. Idle: block briefly on the likeliest wake-up source.
@@ -1293,6 +1646,14 @@ impl Dispatcher {
             }
         }
         self.publish_gauges();
-        self.pool.shutdown()
+        if self.drain_timed_out {
+            // Something is wedged on a worker: give the pool a short
+            // grace to join, then abandon it rather than block.
+            let (stats, _late_outcomes, _timed_out) =
+                self.pool.shutdown_drain(Duration::from_millis(100));
+            stats
+        } else {
+            self.pool.shutdown()
+        }
     }
 }

@@ -138,6 +138,14 @@ pub struct ClassStats {
     pub rejected_deadline: u64,
     /// Requests that failed with a substrate error.
     pub failed: u64,
+    /// Execution attempts retried after an infrastructure fault
+    /// (injected error, worker death, watchdog cancel). Counted per
+    /// attempt, so one request surviving two faults adds two.
+    pub retries: u64,
+    /// Of the completed, answered by the degrade-don't-drop fallback
+    /// (functional backend, injection off) after retries were
+    /// exhausted.
+    pub degraded: u64,
     /// Median end-to-end latency, ns.
     pub p50_ns: u64,
     /// 95th percentile latency, ns.
@@ -207,6 +215,18 @@ pub struct ServeStats {
     pub queue_full_refusals: u64,
     /// Requests failed with substrate errors.
     pub failed: u64,
+    /// Execution attempts retried after infrastructure faults (sums
+    /// the per-class counts).
+    pub retries: u64,
+    /// Completed requests answered by the degrade-don't-drop fallback.
+    pub degraded: u64,
+    /// Wall time the dispatcher spent draining in-flight jobs after
+    /// the ingestion queue closed, ns (0 when shutdown found nothing
+    /// in flight).
+    pub drain_ns: u64,
+    /// `true` when the bounded drain deadline expired with work still
+    /// in flight; the stragglers were answered as failed.
+    pub drain_timed_out: bool,
     /// Result-cache counters.
     pub cache: ResultCacheStats,
     /// Current ingestion-queue depth.
@@ -277,6 +297,20 @@ impl fmt::Display for ServeStats {
                 self.rejected_admission_cap, self.rejected_deadline, self.queue_full_refusals,
             )?;
         }
+        if self.retries + self.degraded > 0 || self.drain_timed_out {
+            writeln!(
+                f,
+                "  fault tolerance: {} retries, {} degraded answers, drain {:.1} ms{}",
+                self.retries,
+                self.degraded,
+                self.drain_ns as f64 * 1e-6,
+                if self.drain_timed_out {
+                    " (timed out)"
+                } else {
+                    ""
+                },
+            )?;
+        }
         if let Some(telemetry) = &self.telemetry {
             write!(f, "{telemetry}")?;
         }
@@ -307,6 +341,13 @@ impl fmt::Display for ServeStats {
                     fleet.joins,
                     fleet.drains,
                     fleet.rejections,
+                )?;
+            }
+            if fleet.quarantines + fleet.probes + fleet.rollbacks > 0 {
+                writeln!(
+                    f,
+                    "  fleet health: {} quarantines, {} probes, {} revivals, {} rollbacks",
+                    fleet.quarantines, fleet.probes, fleet.revivals, fleet.rollbacks,
                 )?;
             }
         }
@@ -391,6 +432,8 @@ pub(crate) struct StatsRecorder {
     rejected_admission_cap: [u64; 6],
     rejected_deadline: [u64; 6],
     failed: [u64; 6],
+    retries: [u64; 6],
+    degraded: [u64; 6],
     slo_violations: [u64; 6],
     shards_sum: [u64; 6],
     shard_util_sum: [f64; 6],
@@ -400,6 +443,8 @@ pub(crate) struct StatsRecorder {
     pub(crate) queue_full_refusals: u64,
     pub(crate) max_queue_depth: usize,
     pub(crate) max_deferred: usize,
+    pub(crate) drain_ns: u64,
+    pub(crate) drain_timed_out: bool,
     slo: SloPolicy,
 }
 
@@ -412,6 +457,8 @@ impl StatsRecorder {
             rejected_admission_cap: [0; 6],
             rejected_deadline: [0; 6],
             failed: [0; 6],
+            retries: [0; 6],
+            degraded: [0; 6],
             slo_violations: [0; 6],
             shards_sum: [0; 6],
             shard_util_sum: [0.0; 6],
@@ -421,8 +468,21 @@ impl StatsRecorder {
             queue_full_refusals: 0,
             max_queue_depth: 0,
             max_deferred: 0,
+            drain_ns: 0,
+            drain_timed_out: false,
             slo,
         }
+    }
+
+    /// Records one retried execution attempt for `class`.
+    pub(crate) fn record_retry(&mut self, class: JobClass) {
+        self.retries[class.index()] += 1;
+    }
+
+    /// Records a completion answered by the degrade-don't-drop
+    /// fallback (call alongside `record_completion`).
+    pub(crate) fn record_degraded(&mut self, class: JobClass) {
+        self.degraded[class.index()] += 1;
     }
 
     pub(crate) fn record_completion(
@@ -515,6 +575,8 @@ impl StatsRecorder {
                     rejected_admission_cap: self.rejected_admission_cap[i],
                     rejected_deadline: self.rejected_deadline[i],
                     failed: self.failed[i],
+                    retries: self.retries[i],
+                    degraded: self.degraded[i],
                     p50_ns: percentile(&sorted, 50.0),
                     p95_ns: percentile(&sorted, 95.0),
                     p99_ns: percentile(&sorted, 99.0),
@@ -555,6 +617,10 @@ impl StatsRecorder {
             rejected_deadline: classes.iter().map(|c| c.rejected_deadline).sum(),
             queue_full_refusals: self.queue_full_refusals,
             failed: classes.iter().map(|c| c.failed).sum(),
+            retries: classes.iter().map(|c| c.retries).sum(),
+            degraded: classes.iter().map(|c| c.degraded).sum(),
+            drain_ns: self.drain_ns,
+            drain_timed_out: self.drain_timed_out,
             cache,
             queue_depth,
             max_queue_depth: self.max_queue_depth,

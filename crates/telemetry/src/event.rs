@@ -85,11 +85,29 @@ pub enum Stage {
     Revive,
     /// Counter sample: window-batch cycles reported by `TempusStats`.
     Window,
+    /// Wall instant: a fault was injected into an execution (`arg` =
+    /// fault kind code).
+    Fault,
+    /// Device span: retry backoff charged to the request before its
+    /// re-dispatch (`arg` = attempt number).
+    Retry,
+    /// Device instant: the circuit breaker quarantined a device.
+    Quarantine,
+    /// Device instant: a quarantined device was probed (`arg` = 1 if
+    /// the probe reported healthy).
+    Probe,
+    /// Wall instant: the request fell back to the functional backend
+    /// after exhausting retries (degrade-don't-drop).
+    Degrade,
+    /// Wall instant: the pool respawned a dead worker (`id` = worker
+    /// index).
+    Respawn,
 }
 
 impl Stage {
-    /// Every stage, in serialization-code order.
-    pub const ALL: [Stage; 18] = [
+    /// Every stage, in serialization-code order (append-only: codes
+    /// are positional and must stay stable across releases).
+    pub const ALL: [Stage; 24] = [
         Stage::Queue,
         Stage::Admit,
         Stage::CacheHit,
@@ -108,6 +126,12 @@ impl Stage {
         Stage::Drain,
         Stage::Revive,
         Stage::Window,
+        Stage::Fault,
+        Stage::Retry,
+        Stage::Quarantine,
+        Stage::Probe,
+        Stage::Degrade,
+        Stage::Respawn,
     ];
 
     /// Stable serialization code (index into [`Stage::ALL`]).
@@ -144,6 +168,12 @@ impl Stage {
             Stage::Drain => "drain",
             Stage::Revive => "revive",
             Stage::Window => "window",
+            Stage::Fault => "fault",
+            Stage::Retry => "retry",
+            Stage::Quarantine => "quarantine",
+            Stage::Probe => "probe",
+            Stage::Degrade => "degrade",
+            Stage::Respawn => "respawn",
         }
     }
 }

@@ -198,7 +198,10 @@ pub fn stage_unit(stage: Stage) -> &'static str {
         | Stage::CacheHit
         | Stage::Coalesce
         | Stage::Reject
-        | Stage::Execute => Clock::Wall.name(),
+        | Stage::Execute
+        | Stage::Fault
+        | Stage::Degrade
+        | Stage::Respawn => Clock::Wall.name(),
         _ => Clock::Device.name(),
     }
 }

@@ -36,11 +36,30 @@ pub enum Counter {
     ElasticRevives,
     /// Window-batch cycles accumulated from `TempusStats`.
     WindowCycles,
+    /// Faults injected by the chaos plan (all kinds).
+    FaultsInjected,
+    /// Execution retries dispatched after a failure.
+    Retries,
+    /// Retry backoff charged to requests, in device cycles.
+    RetryBackoffCycles,
+    /// Requests answered by the functional fallback after the
+    /// accurate path exhausted its retries (degrade-don't-drop).
+    Degraded,
+    /// Devices quarantined by the consecutive-failure circuit
+    /// breaker.
+    Quarantines,
+    /// Probes sent to quarantined devices on floor boundaries.
+    Probes,
+    /// Dead workers respawned by the pool.
+    WorkerRespawns,
+    /// Executions cancelled by the per-job deadline watchdog.
+    WatchdogCancels,
 }
 
 impl Counter {
-    /// Every counter, in registry order.
-    pub const ALL: [Counter; 11] = [
+    /// Every counter, in registry order (append-only: indices are
+    /// positional and must stay stable across releases).
+    pub const ALL: [Counter; 19] = [
         Counter::EventsRecorded,
         Counter::EventsDropped,
         Counter::CacheHits,
@@ -52,6 +71,14 @@ impl Counter {
         Counter::ElasticDrains,
         Counter::ElasticRevives,
         Counter::WindowCycles,
+        Counter::FaultsInjected,
+        Counter::Retries,
+        Counter::RetryBackoffCycles,
+        Counter::Degraded,
+        Counter::Quarantines,
+        Counter::Probes,
+        Counter::WorkerRespawns,
+        Counter::WatchdogCancels,
     ];
 
     /// Registry name — stable, snake_case, used as the JSON key.
@@ -69,6 +96,14 @@ impl Counter {
             Counter::ElasticDrains => "elastic_drains",
             Counter::ElasticRevives => "elastic_revives",
             Counter::WindowCycles => "window_cycles",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::Retries => "retries",
+            Counter::RetryBackoffCycles => "retry_backoff_cycles",
+            Counter::Degraded => "degraded",
+            Counter::Quarantines => "quarantines",
+            Counter::Probes => "probes",
+            Counter::WorkerRespawns => "worker_respawns",
+            Counter::WatchdogCancels => "watchdog_cancels",
         }
     }
 

@@ -28,12 +28,26 @@
 //! it as Chrome/Perfetto `trace_event` JSON — open it at
 //! <https://ui.perfetto.dev>. Tracing never changes the outputs: the
 //! bit-identity assertion below still holds with it on.
+//!
+//! `--chaos-seed N` arms deterministic fault injection: workers
+//! panic, backends throw transient errors, and accurate executions
+//! stall, all as a pure function of the seed and each job's identity.
+//! `--fault-rate F` (default 0.05) sets the per-attempt fault
+//! probability. The service retries with deterministic backoff and
+//! degrades to the functional backend rather than dropping — so the
+//! bit-identity assertion below still holds under chaos, which is
+//! the whole point:
+//!
+//! ```text
+//! cargo run --release --example serve_stream -- --chaos-seed 42 --fault-rate 0.1
+//! cargo run --release --example serve_stream -- --devices 2 --chaos-seed 7
+//! ```
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use tempus::models::traffic::{generate, TraceConfig};
-use tempus::serve::{Request, ResponseOutcome, ServeConfig, StreamingService};
+use tempus::serve::{FaultPlan, Request, ResponseOutcome, ServeConfig, StreamingService};
 
 /// Drives one full pass of the trace through `service`, returning
 /// (wall seconds, per-job output digests).
@@ -114,6 +128,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .ok_or("--trace-out expects a file path")
         })
         .transpose()?;
+    let chaos_seed = args
+        .iter()
+        .position(|a| a == "--chaos-seed")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or("--chaos-seed expects a number")?
+                .parse::<u64>()
+                .map_err(|e| format!("--chaos-seed expects a number: {e}"))
+        })
+        .transpose()?;
+    let fault_rate = args
+        .iter()
+        .position(|a| a == "--fault-rate")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Ok(0.05), |v| v.parse::<f64>())
+        .map_err(|e| format!("--fault-rate expects a probability: {e}"))?;
 
     let mut trace_config = TraceConfig::new(42)
         .with_requests(400)
@@ -154,6 +184,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if trace_out.is_some() {
         serve_config = serve_config.with_tracing();
     }
+    if let Some(seed) = chaos_seed {
+        serve_config = serve_config.with_chaos(FaultPlan::new(seed, fault_rate).with_weights(2, 2));
+        println!(
+            "chaos: armed with seed {seed}, fault rate {:.1}% per attempt (panics, \
+             transient errors, stalls)\n",
+            fault_rate * 100.0
+        );
+    }
     let fleet_scheduling = serve_config.co_scheduling();
     println!(
         "fleet: {devices} device(s) x {num_arrays} PE array(s), scheduling: {}{}\n",
@@ -177,6 +215,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let telemetry = service.telemetry();
     let (final_stats, _) = service.shutdown();
     println!("  {}", final_stats);
+
+    if chaos_seed.is_some() {
+        println!(
+            "\nrecovery: {} retries, {} degraded answers, {} failed",
+            final_stats.retries, final_stats.degraded, final_stats.failed,
+        );
+        if let Some(fleet) = &final_stats.fleet {
+            println!(
+                "fleet health: {} quarantines, {} rollbacks, {} probes, {} revivals",
+                fleet.quarantines, fleet.rollbacks, fleet.probes, fleet.revivals,
+            );
+        }
+    }
 
     if let Some(path) = &trace_out {
         // Workers flush their rings on shutdown, so the export holds

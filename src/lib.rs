@@ -19,7 +19,8 @@
 //! multi-device scheduler with backfilling, deadline-aware admission
 //! and elastic sizing) and [`serve`] (the async streaming ingestion
 //! service with content-addressed result caching and per-class
-//! latency SLOs).
+//! latency SLOs). Cross-cutting: [`chaos`] (deterministic fault
+//! injection) and [`telemetry`] (the dual-clock trace hub).
 //!
 //! ```
 //! use tempus::arith::{tub, IntPrecision};
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 pub use tempus_arith as arith;
+pub use tempus_chaos as chaos;
 pub use tempus_core as core;
 pub use tempus_fleet as fleet;
 pub use tempus_hwmodel as hwmodel;
