@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use tempus_bench::experiments::{
     ablation, chaos_recovery, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9,
     fleet_scaling, headline, multi_array_scaling, runtime_throughput, serve_latency, sim_speed,
-    table1, table2, table3, timing, trace_overhead,
+    streaming_gemm, table1, table2, table3, timing, trace_overhead,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -255,6 +255,38 @@ fn main() {
             .expect("write sim_speed markdown");
         write_result(&results, "BENCH_sim_speed.json", &report.to_json())
             .expect("write sim_speed json");
+    }
+
+    if wants("streaming_gemm") {
+        println!(
+            "--- Streaming tiled GEMM: bounded-scratch vs materialized on transformer shapes \
+             (beyond the paper) ---"
+        );
+        let report = streaming_gemm::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        assert!(
+            report.digests_equal(),
+            "streamed path diverged from the materialized reference"
+        );
+        assert!(
+            report.scratch_bounded(),
+            "streamed peak scratch exceeded the quarter-operand budget or the closed-form model"
+        );
+        assert!(
+            report.scratch_operand_invariant(),
+            "streamed scratch arena grew with operand size"
+        );
+        if !quick {
+            assert!(
+                report.geomean_speedup() >= 1.0,
+                "streamed functional path slower than materialized: {:.2}x",
+                report.geomean_speedup()
+            );
+        }
+        write_result(&results, "streaming_gemm.md", &report.to_markdown())
+            .expect("write streaming_gemm markdown");
+        write_result(&results, "BENCH_streaming_gemm.json", &report.to_json())
+            .expect("write streaming_gemm json");
     }
 
     if wants("multi_array") {

@@ -17,6 +17,7 @@ pub mod multi_array_scaling;
 pub mod runtime_throughput;
 pub mod serve_latency;
 pub mod sim_speed;
+pub mod streaming_gemm;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -90,6 +90,66 @@ impl Matrix {
         self.data[row * self.cols + col] = v;
     }
 
+    /// Row `r` as a contiguous slice — one bounds check for the whole
+    /// row instead of one per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[i32] {
+        assert!(r < self.rows, "index out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a contiguous mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [i32] {
+        assert!(r < self.rows, "index out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The full row-major backing store.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Checked rectangular view over `rows × cols` index ranges.
+    /// Bounds are validated once here; every later access through the
+    /// view is plain slice arithmetic — this is the single slicing
+    /// helper both the sharded and streaming GEMM drivers use, so the
+    /// hot loops carry no per-call index checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either range is empty or exceeds the matrix.
+    #[must_use]
+    pub fn tile_view(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> TileView<'_> {
+        assert!(
+            rows.start < rows.end && rows.end <= self.rows,
+            "tile row range out of range"
+        );
+        assert!(
+            cols.start < cols.end && cols.end <= self.cols,
+            "tile col range out of range"
+        );
+        TileView {
+            parent: self,
+            row_lo: rows.start,
+            col_lo: cols.start,
+            rows: rows.end - rows.start,
+            cols: cols.end - cols.start,
+        }
+    }
+
     /// Order-stable FNV-1a digest over dimensions and contents —
     /// shares [`tempus_nvdla::cube::fnv1a`] with the cube digests so
     /// every job-input digest in the workspace is comparable and the
@@ -133,6 +193,78 @@ impl Matrix {
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix {}x{}", self.rows, self.cols)
+    }
+}
+
+/// A checked rectangular window into a [`Matrix`].
+///
+/// Constructed by [`Matrix::tile_view`], which validates the ranges
+/// once; row access hands back contiguous slices of the parent
+/// storage (a column sub-range of one parent row is contiguous), so
+/// tiled kernels pay no per-element bounds or index arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a> {
+    parent: &'a Matrix,
+    row_lo: usize,
+    col_lo: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> TileView<'a> {
+    /// Rows in the view.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns in the view.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// View row `i` as a contiguous slice of the parent storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the view.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &'a [i32] {
+        assert!(i < self.rows, "tile row out of range");
+        let base = (self.row_lo + i) * self.parent.cols + self.col_lo;
+        &self.parent.data[base..base + self.cols]
+    }
+
+    /// Element at `(i, j)` in view coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of the view.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> i32 {
+        assert!(j < self.cols, "tile col out of range");
+        self.row(i)[j]
+    }
+
+    /// Copies the view out into an owned matrix.
+    #[must_use]
+    pub fn to_matrix(self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (i, chunk) in m.data.chunks_exact_mut(self.cols).enumerate() {
+            chunk.copy_from_slice(self.row(i));
+        }
+        m
+    }
+
+    /// Copies view row `i` into `dst` (a reused staging buffer row).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the view or `dst` is not exactly
+    /// one view row wide.
+    pub fn copy_row_into(&self, i: usize, dst: &mut [i32]) {
+        dst.copy_from_slice(self.row(i));
     }
 }
 
@@ -195,6 +327,12 @@ impl TubGemm {
         self.grid_p
     }
 
+    /// Operand precision the engine encodes at.
+    #[must_use]
+    pub fn precision(&self) -> IntPrecision {
+        self.precision
+    }
+
     /// Computes `A × B` with outer-product temporal dataflow,
     /// returning the exact product and the cycle count.
     ///
@@ -229,13 +367,16 @@ impl TubGemm {
                 stats.tile_passes += 1;
                 let m1 = (m0 + self.grid_m).min(a.rows);
                 let p1 = (p0 + self.grid_p).min(b.cols);
+                // One checked view per tile pass; every row access
+                // below is a plain contiguous slice.
+                let b_tile = b.tile_view(0..b.rows, p0..p1);
                 // N rank-1 updates; each step's window is bounded by
                 // the largest streamed |B| value in the active columns.
                 for t in 0..a.cols {
                     stats.steps += 1;
                     streams.clear();
-                    for j in p0..p1 {
-                        streams.push(TwosUnaryStream::encode(b.get(t, j), self.precision)?);
+                    for &v in b_tile.row(t) {
+                        streams.push(TwosUnaryStream::encode(v, self.precision)?);
                     }
                     let window = streams.iter().map(|s| s.cycles()).max().unwrap_or(0);
                     stats.cycles += u64::from(window.max(1));
@@ -394,24 +535,20 @@ impl TubGemm {
                 GemmAxis::Cols => {
                     let lo = t_lo * self.grid_p;
                     let hi = (t_hi * self.grid_p).min(b.cols);
-                    let sub = Matrix::from_fn(b.rows, hi - lo, |i, j| b.get(i, lo + j));
+                    let sub = b.tile_view(0..b.rows, lo..hi).to_matrix();
                     let run = self.multiply(a, &sub)?;
                     for i in 0..a.rows {
-                        for j in 0..(hi - lo) {
-                            output.set(i, lo + j, run.output.get(i, j));
-                        }
+                        output.row_mut(i)[lo..hi].copy_from_slice(run.output.row(i));
                     }
                     run
                 }
                 GemmAxis::Rows => {
                     let lo = t_lo * self.grid_m;
                     let hi = (t_hi * self.grid_m).min(a.rows);
-                    let sub = Matrix::from_fn(hi - lo, a.cols, |i, j| a.get(lo + i, j));
+                    let sub = a.tile_view(lo..hi, 0..a.cols).to_matrix();
                     let run = self.multiply(&sub, b)?;
                     for i in 0..(hi - lo) {
-                        for j in 0..b.cols {
-                            output.set(lo + i, j, run.output.get(i, j));
-                        }
+                        output.row_mut(lo + i).copy_from_slice(run.output.row(i));
                     }
                     run
                 }
@@ -455,10 +592,13 @@ impl TubGemm {
             .map(|tp| {
                 let lo = tp * self.grid_p;
                 let hi = (lo + self.grid_p).min(b.cols);
+                let tile = b.tile_view(0..b.rows, lo..hi);
                 (0..a.cols)
                     .map(|t| {
-                        let window = (lo..hi)
-                            .map(|j| b.get(t, j).unsigned_abs().div_ceil(2))
+                        let window = tile
+                            .row(t)
+                            .iter()
+                            .map(|&v| v.unsigned_abs().div_ceil(2))
                             .max()
                             .unwrap_or(0);
                         u64::from(window.max(1))
@@ -628,6 +768,29 @@ mod tests {
             single.stats.cycles
         );
         assert!(sharded.balance() > 0.5);
+    }
+
+    #[test]
+    fn tile_view_matches_get_and_round_trips() {
+        let (a, _) = case(6, 5, 4, 7);
+        let view = a.tile_view(1..5, 2..5);
+        assert_eq!(view.rows(), 4);
+        assert_eq!(view.cols(), 3);
+        for i in 0..view.rows() {
+            for j in 0..view.cols() {
+                assert_eq!(view.get(i, j), a.get(1 + i, 2 + j));
+            }
+            assert_eq!(view.row(i), &a.row(1 + i)[2..5]);
+        }
+        let owned = view.to_matrix();
+        assert_eq!(owned, Matrix::from_fn(4, 3, |i, j| a.get(1 + i, 2 + j)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile col range out of range")]
+    fn tile_view_rejects_out_of_range() {
+        let m = Matrix::zeros(3, 3);
+        let _ = m.tile_view(0..3, 1..4);
     }
 
     #[test]

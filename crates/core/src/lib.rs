@@ -29,7 +29,12 @@
 //!   the single-array engine in outputs and summed statistics;
 //! * [`gemm`] — the predecessor tubGEMM outer-product engine (§II-B),
 //!   implemented so the paper's dataflow comparison (outer-product
-//!   GEMM vs inner-product convolution) is runnable.
+//!   GEMM vs inner-product convolution) is runnable;
+//! * [`streaming`] — resource-invariant streamed GEMM execution:
+//!   operand tiles flow through a bounded double-buffered scratch
+//!   arena with tile-local accumulation, bit-identical to the
+//!   materialized engine in outputs and statistics, opening
+//!   transformer-shaped (LLM-scale) workloads under O(tile) memory.
 //!
 //! Functional equality with binary arithmetic is *exact* — tub
 //! computing is deterministic, unlike stochastic unary designs — and is
@@ -71,6 +76,7 @@ pub mod latency;
 pub mod pcu;
 pub mod schedule;
 pub mod shard;
+pub mod streaming;
 pub mod tub_pe;
 
 pub use core_impl::{TempusConfig, TempusCore};

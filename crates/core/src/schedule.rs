@@ -195,6 +195,23 @@ impl ShardedLatency {
     }
 }
 
+/// Closed-form prediction for a *streamed* convolution: the latency
+/// of the streamed path is the materialized prediction itself —
+/// double-buffered tile staging overlaps compute, so streaming is a
+/// memory-footprint transform, not a latency one — extended with the
+/// per-output-row scratch unit (`out_w × k` elements) the fused
+/// conv → SDP → pool pipeline in `tempus_nvdla::fused` sizes its
+/// bounded ring from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamedConvLatency {
+    /// The latency breakdown — bit-identical to
+    /// [`ScheduleCache::predict`].
+    pub latency: LatencyBreakdown,
+    /// Elements in one streamed output row (`out_w × k`), the unit
+    /// the fused pipeline's peak-scratch closed form scales.
+    pub conv_row_elems: u64,
+}
+
 /// Per-worker stripe-schedule and latency cache.
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleCache {
@@ -284,6 +301,31 @@ impl ScheduleCache {
         let breakdown = predict_from_schedule(&schedule, kernels, config);
         self.latencies.insert(memo_key, breakdown);
         Ok(breakdown)
+    }
+
+    /// Streamed-execution prediction: the same memoized closed-form
+    /// latency as [`ScheduleCache::predict`] (streaming changes where
+    /// operand bytes live, not when windows fire), plus the
+    /// schedule-derived per-row scratch unit for peak-scratch
+    /// budgeting. Tests pin the latency bit-identical to the
+    /// materialized prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sequencer's shape errors.
+    pub fn predict_streamed(
+        &mut self,
+        features: &DataCube,
+        kernels: &KernelSet,
+        params: &ConvParams,
+        config: &TempusConfig,
+    ) -> Result<StreamedConvLatency, NvdlaError> {
+        let latency = self.predict(features, kernels, params, config)?;
+        let schedule = self.schedule(features, kernels, params, &config.base)?;
+        Ok(StreamedConvLatency {
+            latency,
+            conv_row_elems: (schedule.out_w * kernels.k()) as u64,
+        })
     }
 
     /// Closed-form multi-array latency prediction with schedule
@@ -573,6 +615,21 @@ mod tests {
                 .unwrap();
             assert_eq!(sharded.total_array_cycles, single.total_cycles, "{arrays}");
         }
+    }
+
+    #[test]
+    fn streamed_prediction_is_latency_invariant() {
+        // Streaming moves bytes, not windows: the streamed prediction
+        // must be bit-identical to the materialized one.
+        let (f, kn) = case(8, 8, 3, 11);
+        let params = ConvParams::unit_stride_same(3);
+        let config = TempusConfig::nv_small();
+        let mut cache = ScheduleCache::new();
+        let materialized = cache.predict(&f, &kn, &params, &config).unwrap();
+        let streamed = cache.predict_streamed(&f, &kn, &params, &config).unwrap();
+        assert_eq!(streamed.latency, materialized);
+        let schedule = StripeSchedule::derive(&f, &kn, &params, &config.base).unwrap();
+        assert_eq!(streamed.conv_row_elems, (schedule.out_w * kn.k()) as u64);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! Streaming tiled GEMM: resource-invariant execution of large
+//! products through a bounded, reused scratch arena.
+//!
+//! The materialized engine ([`TubGemm::multiply`]) walks whole
+//! operands and a full `rows × cols` `i64` accumulator. This module
+//! streams the same computation through O(tile) scratch: per output
+//! tile, the inner dimension is cut into [`StreamPlan::tile_k`]-deep
+//! windows whose operand tiles are staged into a double-buffered
+//! arena (window *w+1* is staged while window *w* computes, so
+//! staging hides under compute and never extends the modelled
+//! latency), and partial sums accumulate in a tile-local accumulator
+//! bank that never leaves the core until the tile's final flush.
+//!
+//! **Bit-identity is the contract.** Outputs and [`GemmStats`] match
+//! the materialized path exactly: integer accumulation is exact and
+//! the windows visit the inner dimension in the same ascending order,
+//! and every cycle/silence counter is computed from the same
+//! per-step operand values. Streaming is purely an
+//! execution-order/memory-footprint transform, which is why the
+//! closed-form latency model ([`TubGemm::sharded_cycle_model`])
+//! carries over to the streamed path unchanged
+//! ([`TubGemm::streamed_cycle_model`] pins this).
+
+use std::ops::Range;
+
+use tempus_arith::{ArithError, TwosUnaryStream};
+
+use crate::gemm::{GemmStats, Matrix, ShardedGemmRun, TubGemm};
+use crate::shard::GemmAxis;
+use crate::shard::GemmShardPlan;
+
+/// Inner-dimension tiling plan for a streamed GEMM: how many inner
+/// (`k`) steps are staged per window. The output-tile dimensions are
+/// the engine's PE grid, so the whole scratch arena is a pure
+/// function of the plan and the grid — O(tile), independent of
+/// operand size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPlan {
+    tile_k: usize,
+}
+
+impl StreamPlan {
+    /// A plan staging `tile_k` inner steps per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tile_k` is zero.
+    #[must_use]
+    pub fn new(tile_k: usize) -> Self {
+        assert!(tile_k > 0, "stream window depth must be nonzero");
+        StreamPlan { tile_k }
+    }
+
+    /// Inner steps staged per window.
+    #[must_use]
+    pub fn tile_k(&self) -> usize {
+        self.tile_k
+    }
+
+    /// Peak scratch in elements for `A(m×n) × B(n×p)` on `engine`:
+    /// double-buffered A and B operand tiles plus the tile-local
+    /// accumulator bank. Grid and window depths cap at the operand
+    /// extents, so small problems do not over-allocate; for operands
+    /// larger than the grid the figure is **independent of operand
+    /// size** — that is the streaming guarantee.
+    #[must_use]
+    pub fn peak_scratch_elems(&self, engine: &TubGemm, m: usize, n: usize, p: usize) -> u64 {
+        let em = engine.grid_m().min(m) as u64;
+        let ep = engine.grid_p().min(p) as u64;
+        let ek = self.tile_k.min(n) as u64;
+        2 * em * ek + 2 * ek * ep + em * ep
+    }
+
+    /// The smallest scratch any plan can run `A(m×n) × B(n×p)` in on
+    /// `engine`: a one-step window ([`StreamPlan::new`]`(1)`).
+    #[must_use]
+    pub fn min_scratch_elems(engine: &TubGemm, m: usize, n: usize, p: usize) -> u64 {
+        StreamPlan::new(1).peak_scratch_elems(engine, m, n, p)
+    }
+
+    /// The deepest plan whose scratch fits `budget_elems`, or `None`
+    /// when even a one-step window exceeds the budget. Deeper windows
+    /// amortize staging better, so the largest feasible `tile_k` is
+    /// always chosen (capped at `n`: beyond that the arena stops
+    /// growing).
+    #[must_use]
+    pub fn for_budget(
+        engine: &TubGemm,
+        m: usize,
+        n: usize,
+        p: usize,
+        budget_elems: u64,
+    ) -> Option<StreamPlan> {
+        let em = engine.grid_m().min(m) as u64;
+        let ep = engine.grid_p().min(p) as u64;
+        let bank = em * ep;
+        let per_step = 2 * (em + ep);
+        let spare = budget_elems.checked_sub(bank)?;
+        let tile_k = usize::try_from(spare / per_step).unwrap_or(usize::MAX);
+        let tile_k = tile_k.min(n.max(1));
+        if tile_k == 0 {
+            return None;
+        }
+        let plan = StreamPlan::new(tile_k);
+        (plan.peak_scratch_elems(engine, m, n, p) <= budget_elems).then_some(plan)
+    }
+}
+
+/// Streaming-side statistics of a streamed run (the compute-side
+/// statistics stay in [`GemmStats`], bit-identical to the
+/// materialized engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Scratch arena high-water mark in elements: both operand
+    /// double-buffers plus the accumulator bank. Equals
+    /// [`StreamPlan::peak_scratch_elems`] exactly.
+    pub peak_scratch_elems: u64,
+    /// Operand tiles staged through the arena (one A plus one B tile
+    /// per window per output-tile pass).
+    pub tiles_staged: u64,
+    /// Inner-dimension windows pipelined, summed over tile passes.
+    pub inner_windows: u64,
+    /// The window depth the run used.
+    pub tile_k: usize,
+}
+
+impl StreamStats {
+    /// Folds another shard's streaming counters into this one (the
+    /// arena is shared, so the high-water mark is the max).
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.peak_scratch_elems = self.peak_scratch_elems.max(other.peak_scratch_elems);
+        self.tiles_staged += other.tiles_staged;
+        self.inner_windows += other.inner_windows;
+        self.tile_k = other.tile_k;
+    }
+}
+
+/// Result of a streamed tubGEMM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedGemmRun {
+    /// Exact product — bit-identical to [`TubGemm::multiply`].
+    pub output: Matrix,
+    /// Cycle statistics — bit-identical to [`TubGemm::multiply`].
+    pub stats: GemmStats,
+    /// Streaming-side counters.
+    pub stream: StreamStats,
+}
+
+/// Result of a streamed multi-array tubGEMM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedShardedGemmRun {
+    /// The sharded run — bit-identical to
+    /// [`TubGemm::multiply_sharded`] in output, stats, plan and
+    /// per-shard cycles.
+    pub run: ShardedGemmRun,
+    /// Streaming-side counters, merged across shards.
+    pub stream: StreamStats,
+}
+
+/// Closed-form prediction for a streamed (possibly sharded) GEMM:
+/// double buffering hides staging, so the predicted cycles are the
+/// materialized model's own — extended with the peak-scratch figure
+/// the admission layer budgets against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamedGemmModel {
+    /// The shard plan the prediction models.
+    pub plan: GemmShardPlan,
+    /// Predicted cycles per shard — identical to
+    /// [`TubGemm::sharded_cycle_model`] and therefore to the streamed
+    /// simulation.
+    pub per_shard_cycles: Vec<u64>,
+    /// Predicted peak scratch, equal to the streamed run's observed
+    /// high-water mark.
+    pub peak_scratch_elems: u64,
+}
+
+/// Reused staging state: double-buffered operand tiles, the
+/// accumulator bank, and the per-step stream scratch — allocated once
+/// per run, reused across every tile pass and window.
+struct StreamArena {
+    a_buf: [Vec<i32>; 2],
+    b_buf: [Vec<i32>; 2],
+    acc: Vec<i64>,
+    streams: Vec<TwosUnaryStream>,
+    weights: Vec<i32>,
+    capacity_elems: u64,
+}
+
+impl StreamArena {
+    fn new(engine: &TubGemm, m: usize, n: usize, p: usize, plan: &StreamPlan) -> Self {
+        let em = engine.grid_m().min(m);
+        let ep = engine.grid_p().min(p);
+        let ek = plan.tile_k().min(n);
+        StreamArena {
+            a_buf: [Vec::with_capacity(em * ek), Vec::with_capacity(em * ek)],
+            b_buf: [Vec::with_capacity(ek * ep), Vec::with_capacity(ek * ep)],
+            acc: vec![0i64; em * ep],
+            streams: Vec::with_capacity(ep),
+            weights: Vec::with_capacity(ep),
+            capacity_elems: plan.peak_scratch_elems(engine, m, n, p),
+        }
+    }
+}
+
+/// Stages the operand window into `buf` through the checked
+/// [`Matrix::tile_view`] — the same slicing helper the sharded driver
+/// uses, so neither path hand-rolls index arithmetic.
+fn stage_tile(src: &Matrix, rows: Range<usize>, cols: Range<usize>, buf: &mut Vec<i32>) {
+    buf.clear();
+    let view = src.tile_view(rows, cols);
+    for i in 0..view.rows() {
+        buf.extend_from_slice(view.row(i));
+    }
+}
+
+impl TubGemm {
+    /// Computes `A × B` with the same temporal dataflow as
+    /// [`TubGemm::multiply`], streamed through the bounded
+    /// double-buffered scratch arena described by `plan`. Output and
+    /// [`GemmStats`] are bit-identical to the materialized engine.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`TubGemm::multiply`].
+    pub fn multiply_streamed(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        plan: &StreamPlan,
+    ) -> Result<StreamedGemmRun, ArithError> {
+        if a.cols() != b.rows() {
+            return Err(ArithError::LengthMismatch {
+                lhs: a.cols(),
+                rhs: b.rows(),
+            });
+        }
+        for &v in a.as_slice() {
+            self.precision().check(v)?;
+        }
+        for &v in b.as_slice() {
+            self.precision().check(v)?;
+        }
+        let mut arena = StreamArena::new(self, a.rows(), a.cols(), b.cols(), plan);
+        let mut output = Matrix::zeros(a.rows(), b.cols());
+        let mut stream = StreamStats {
+            peak_scratch_elems: arena.capacity_elems,
+            tile_k: plan.tile_k(),
+            ..StreamStats::default()
+        };
+        let stats = self.stream_ranges(
+            a,
+            b,
+            (0..a.rows(), 0..b.cols()),
+            plan,
+            &mut arena,
+            &mut output,
+            &mut stream,
+        )?;
+        Ok(StreamedGemmRun {
+            output,
+            stats,
+            stream,
+        })
+    }
+
+    /// The streamed counterpart of [`TubGemm::multiply_sharded`]:
+    /// identical shard plan and per-shard accounting, with each
+    /// shard's output tiles streamed through the shared arena instead
+    /// of copied out into per-shard operand matrices.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`TubGemm::multiply`].
+    pub fn multiply_sharded_streamed(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        num_arrays: usize,
+        plan: &StreamPlan,
+    ) -> Result<StreamedShardedGemmRun, ArithError> {
+        if a.cols() != b.rows() {
+            return Err(ArithError::LengthMismatch {
+                lhs: a.cols(),
+                rhs: b.rows(),
+            });
+        }
+        let shard_plan = self.shard_plan(a.rows(), b.cols(), num_arrays);
+        if shard_plan.axis == GemmAxis::Single {
+            let run = self.multiply_streamed(a, b, plan)?;
+            return Ok(StreamedShardedGemmRun {
+                run: ShardedGemmRun {
+                    critical_path_cycles: run.stats.cycles,
+                    per_shard_cycles: vec![run.stats.cycles],
+                    output: run.output,
+                    stats: run.stats,
+                    plan: shard_plan,
+                },
+                stream: run.stream,
+            });
+        }
+        for &v in a.as_slice() {
+            self.precision().check(v)?;
+        }
+        for &v in b.as_slice() {
+            self.precision().check(v)?;
+        }
+        let mut arena = StreamArena::new(self, a.rows(), a.cols(), b.cols(), plan);
+        let mut output = Matrix::zeros(a.rows(), b.cols());
+        let mut stream = StreamStats {
+            peak_scratch_elems: arena.capacity_elems,
+            tile_k: plan.tile_k(),
+            ..StreamStats::default()
+        };
+        let mut stats = GemmStats::default();
+        let mut per_shard_cycles = Vec::with_capacity(shard_plan.tiles.len());
+        for &(t_lo, t_hi) in &shard_plan.tiles {
+            let ranges = match shard_plan.axis {
+                GemmAxis::Cols => {
+                    let lo = t_lo * self.grid_p();
+                    let hi = (t_hi * self.grid_p()).min(b.cols());
+                    (0..a.rows(), lo..hi)
+                }
+                GemmAxis::Rows => {
+                    let lo = t_lo * self.grid_m();
+                    let hi = (t_hi * self.grid_m()).min(a.rows());
+                    (lo..hi, 0..b.cols())
+                }
+                GemmAxis::Single => unreachable!("handled above"),
+            };
+            let shard =
+                self.stream_ranges(a, b, ranges, plan, &mut arena, &mut output, &mut stream)?;
+            stats.cycles += shard.cycles;
+            stats.steps += shard.steps;
+            stats.tile_passes += shard.tile_passes;
+            stats.silent_pe_steps += shard.silent_pe_steps;
+            per_shard_cycles.push(shard.cycles);
+        }
+        let critical_path_cycles = per_shard_cycles.iter().copied().max().unwrap_or(0);
+        Ok(StreamedShardedGemmRun {
+            run: ShardedGemmRun {
+                output,
+                stats,
+                plan: shard_plan,
+                per_shard_cycles,
+                critical_path_cycles,
+            },
+            stream,
+        })
+    }
+
+    /// Closed-form model of the streamed (sharded) run: per-shard
+    /// cycles from [`TubGemm::sharded_cycle_model`] — double buffering
+    /// hides staging, so streamed latency equals materialized latency
+    /// exactly — plus the predicted peak scratch.
+    #[must_use]
+    pub fn streamed_cycle_model(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        num_arrays: usize,
+        plan: &StreamPlan,
+    ) -> StreamedGemmModel {
+        let (shard_plan, per_shard_cycles) = self.sharded_cycle_model(a, b, num_arrays);
+        StreamedGemmModel {
+            plan: shard_plan,
+            per_shard_cycles,
+            peak_scratch_elems: plan.peak_scratch_elems(self, a.rows(), a.cols(), b.cols()),
+        }
+    }
+
+    /// Streams the output tiles of `m_range × p_range` through the
+    /// arena: per tile pass the inner dimension flows as `tile_k`-deep
+    /// windows (next window staged into the back buffers before the
+    /// front computes — the double-buffer overlap), partial sums stay
+    /// in the tile accumulator bank, and the finished tile flushes to
+    /// `output` once.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn stream_ranges(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        (m_range, p_range): (Range<usize>, Range<usize>),
+        plan: &StreamPlan,
+        arena: &mut StreamArena,
+        output: &mut Matrix,
+        stream: &mut StreamStats,
+    ) -> Result<GemmStats, ArithError> {
+        let n = a.cols();
+        let tile_k = plan.tile_k();
+        let windows = n.div_ceil(tile_k);
+        let mut stats = GemmStats::default();
+        let window_bounds = |w: usize| {
+            let k0 = w * tile_k;
+            (k0, (k0 + tile_k).min(n))
+        };
+        for m0 in m_range.clone().step_by(self.grid_m()) {
+            let m1 = (m0 + self.grid_m()).min(m_range.end);
+            for p0 in p_range.clone().step_by(self.grid_p()) {
+                let p1 = (p0 + self.grid_p()).min(p_range.end);
+                stats.tile_passes += 1;
+                let (em, ep) = (m1 - m0, p1 - p0);
+                let acc = &mut arena.acc[..em * ep];
+                acc.fill(0);
+                // Pre-stage window 0, then keep one window in flight:
+                // stage w+1 into the back buffers before computing w.
+                let mut front = 0usize;
+                let (k0, k1) = window_bounds(0);
+                stage_tile(a, m0..m1, k0..k1, &mut arena.a_buf[front]);
+                stage_tile(b, k0..k1, p0..p1, &mut arena.b_buf[front]);
+                stream.tiles_staged += 2;
+                for w in 0..windows {
+                    let (k0, k1) = window_bounds(w);
+                    if w + 1 < windows {
+                        let (n0, n1) = window_bounds(w + 1);
+                        stage_tile(a, m0..m1, n0..n1, &mut arena.a_buf[1 - front]);
+                        stage_tile(b, n0..n1, p0..p1, &mut arena.b_buf[1 - front]);
+                        stream.tiles_staged += 2;
+                    }
+                    stream.inner_windows += 1;
+                    let kw = k1 - k0;
+                    let a_tile = &arena.a_buf[front];
+                    let b_tile = &arena.b_buf[front];
+                    for lt in 0..kw {
+                        stats.steps += 1;
+                        arena.streams.clear();
+                        for &v in &b_tile[lt * ep..(lt + 1) * ep] {
+                            arena
+                                .streams
+                                .push(TwosUnaryStream::encode(v, self.precision())?);
+                        }
+                        let window = arena.streams.iter().map(|s| s.cycles()).max().unwrap_or(0);
+                        stats.cycles += u64::from(window.max(1));
+                        let silent = arena.streams.iter().filter(|s| s.is_silent()).count();
+                        stats.silent_pe_steps += silent as u64 * em as u64;
+                        arena.weights.clear();
+                        arena
+                            .weights
+                            .extend(arena.streams.iter().map(|s| s.decode()));
+                        for i in 0..em {
+                            let activation = a_tile[i * kw + lt];
+                            let row = &mut acc[i * ep..(i + 1) * ep];
+                            for (slot, &wgt) in row.iter_mut().zip(&arena.weights) {
+                                *slot += i64::from(activation * wgt);
+                            }
+                        }
+                    }
+                    front = 1 - front;
+                }
+                // The only time partial sums leave the bank: the
+                // finished tile flushes to the output once.
+                for i in 0..em {
+                    let bank = &acc[i * ep..(i + 1) * ep];
+                    for (slot, &v) in output.row_mut(m0 + i)[p0..p1].iter_mut().zip(bank) {
+                        *slot = i32::try_from(v).expect("gemm output exceeds i32");
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Functional streamed product: the golden `i64` product of
+/// [`Matrix::multiply`] computed through the same bounded
+/// double-buffered arena (tile dims from `grid`, window depth from
+/// `plan`), with per-row contiguous accumulation instead of
+/// per-element checked indexing — bit-identical outputs, a raw
+/// wall-clock win on large shapes, and O(tile) peak scratch.
+///
+/// # Errors
+///
+/// Returns [`ArithError::LengthMismatch`] when inner dimensions
+/// disagree.
+pub fn stream_product(
+    a: &Matrix,
+    b: &Matrix,
+    grid: (usize, usize),
+    plan: &StreamPlan,
+) -> Result<(Matrix, StreamStats), ArithError> {
+    if a.cols() != b.rows() {
+        return Err(ArithError::LengthMismatch {
+            lhs: a.cols(),
+            rhs: b.rows(),
+        });
+    }
+    let (grid_m, grid_p) = (grid.0.max(1), grid.1.max(1));
+    let (m, n, p) = (a.rows(), a.cols(), b.cols());
+    let (em_cap, ep_cap) = (grid_m.min(m), grid_p.min(p));
+    let ek_cap = plan.tile_k().min(n);
+    let mut a_buf = [
+        Vec::with_capacity(em_cap * ek_cap),
+        Vec::with_capacity(em_cap * ek_cap),
+    ];
+    let mut b_buf = [
+        Vec::with_capacity(ek_cap * ep_cap),
+        Vec::with_capacity(ek_cap * ep_cap),
+    ];
+    let mut acc = vec![0i64; em_cap * ep_cap];
+    let mut output = Matrix::zeros(m, p);
+    let mut stream = StreamStats {
+        peak_scratch_elems: 2 * (em_cap * ek_cap) as u64
+            + 2 * (ek_cap * ep_cap) as u64
+            + (em_cap * ep_cap) as u64,
+        tile_k: plan.tile_k(),
+        ..StreamStats::default()
+    };
+    let tile_k = plan.tile_k();
+    let windows = n.div_ceil(tile_k);
+    let window_bounds = |w: usize| {
+        let k0 = w * tile_k;
+        (k0, (k0 + tile_k).min(n))
+    };
+    for m0 in (0..m).step_by(grid_m) {
+        let m1 = (m0 + grid_m).min(m);
+        for p0 in (0..p).step_by(grid_p) {
+            let p1 = (p0 + grid_p).min(p);
+            let (em, ep) = (m1 - m0, p1 - p0);
+            let bank = &mut acc[..em * ep];
+            bank.fill(0);
+            let mut front = 0usize;
+            let (k0, k1) = window_bounds(0);
+            stage_tile(a, m0..m1, k0..k1, &mut a_buf[front]);
+            stage_tile(b, k0..k1, p0..p1, &mut b_buf[front]);
+            stream.tiles_staged += 2;
+            for w in 0..windows {
+                let (k0, k1) = window_bounds(w);
+                if w + 1 < windows {
+                    let (n0, n1) = window_bounds(w + 1);
+                    stage_tile(a, m0..m1, n0..n1, &mut a_buf[1 - front]);
+                    stage_tile(b, n0..n1, p0..p1, &mut b_buf[1 - front]);
+                    stream.tiles_staged += 2;
+                }
+                stream.inner_windows += 1;
+                let kw = k1 - k0;
+                let a_tile = &a_buf[front];
+                let b_tile = &b_buf[front];
+                for lt in 0..kw {
+                    let b_row = &b_tile[lt * ep..(lt + 1) * ep];
+                    for i in 0..em {
+                        let act = i64::from(a_tile[i * kw + lt]);
+                        let row = &mut bank[i * ep..(i + 1) * ep];
+                        for (slot, &wgt) in row.iter_mut().zip(b_row) {
+                            *slot += act * i64::from(wgt);
+                        }
+                    }
+                }
+                front = 1 - front;
+            }
+            for i in 0..em {
+                let src = &bank[i * ep..(i + 1) * ep];
+                for (slot, &v) in output.row_mut(m0 + i)[p0..p1].iter_mut().zip(src) {
+                    *slot = i32::try_from(v).expect("gemm output exceeds i32");
+                }
+            }
+        }
+    }
+    Ok((output, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempus_arith::IntPrecision;
+
+    fn case(m: usize, n: usize, p: usize, seed: i32) -> (Matrix, Matrix) {
+        let a = Matrix::from_fn(m, n, |i, j| {
+            ((i as i32 * 31 + j as i32 * 17 + seed) % 255) - 127
+        });
+        let b = Matrix::from_fn(n, p, |i, j| {
+            ((i as i32 * 13 + j as i32 * 41 + seed * 3) % 255) - 127
+        });
+        (a, b)
+    }
+
+    #[test]
+    fn streamed_is_bit_identical_to_materialized() {
+        let engine = TubGemm::new(4, 4, IntPrecision::Int8);
+        for (m, n, p, seed) in [
+            (7usize, 9usize, 5usize, 1i32),
+            (10, 6, 11, 2),
+            (16, 16, 16, 5),
+        ] {
+            let (a, b) = case(m, n, p, seed);
+            let materialized = engine.multiply(&a, &b).unwrap();
+            // One-step, odd, exact-divisor and whole-operand windows.
+            for tile_k in [1usize, 3, n / 2, n] {
+                if tile_k == 0 {
+                    continue;
+                }
+                let plan = StreamPlan::new(tile_k);
+                let streamed = engine.multiply_streamed(&a, &b, &plan).unwrap();
+                assert_eq!(streamed.output, materialized.output, "tile_k={tile_k}");
+                assert_eq!(streamed.stats, materialized.stats, "tile_k={tile_k}");
+                assert_eq!(
+                    streamed.stream.peak_scratch_elems,
+                    plan.peak_scratch_elems(&engine, m, n, p)
+                );
+                assert!(streamed.stream.inner_windows >= streamed.stats.tile_passes);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_streamed_matches_sharded_materialized() {
+        let engine = TubGemm::new(4, 4, IntPrecision::Int8);
+        for (m, n, p, arrays) in [
+            (10usize, 6usize, 24usize, 3usize), // col split
+            (24, 6, 7, 4),                      // row split
+            (3, 3, 3, 4),                       // single
+        ] {
+            let (a, b) = case(m, n, p, 11);
+            let plan = StreamPlan::new(3.min(n));
+            let sharded = engine.multiply_sharded(&a, &b, arrays).unwrap();
+            let streamed = engine
+                .multiply_sharded_streamed(&a, &b, arrays, &plan)
+                .unwrap();
+            assert_eq!(streamed.run.output, sharded.output, "{m}x{n}x{p}");
+            assert_eq!(streamed.run.stats, sharded.stats, "{m}x{n}x{p}");
+            assert_eq!(streamed.run.plan, sharded.plan);
+            assert_eq!(streamed.run.per_shard_cycles, sharded.per_shard_cycles);
+            assert_eq!(
+                streamed.run.critical_path_cycles,
+                sharded.critical_path_cycles
+            );
+            // The extended model predicts the streamed run exactly.
+            let model = engine.streamed_cycle_model(&a, &b, arrays, &plan);
+            assert_eq!(model.plan, streamed.run.plan);
+            assert_eq!(model.per_shard_cycles, streamed.run.per_shard_cycles);
+            assert_eq!(model.peak_scratch_elems, streamed.stream.peak_scratch_elems);
+        }
+    }
+
+    #[test]
+    fn scratch_is_operand_size_invariant() {
+        let engine = TubGemm::new(8, 8, IntPrecision::Int8);
+        let budget = 1024u64;
+        let small = StreamPlan::for_budget(&engine, 16, 32, 16, budget).unwrap();
+        let large = StreamPlan::for_budget(&engine, 64, 512, 64, budget).unwrap();
+        assert_eq!(small.tile_k(), large.tile_k());
+        assert!(large.peak_scratch_elems(&engine, 64, 512, 64) <= budget);
+        // Growing the operands does not grow the arena.
+        assert!(
+            large.peak_scratch_elems(&engine, 64, 4096, 64)
+                <= large.peak_scratch_elems(&engine, 64, 512, 64)
+        );
+    }
+
+    #[test]
+    fn budget_below_floor_is_rejected() {
+        let engine = TubGemm::new(8, 8, IntPrecision::Int8);
+        let floor = StreamPlan::min_scratch_elems(&engine, 64, 64, 64);
+        assert!(StreamPlan::for_budget(&engine, 64, 64, 64, floor).is_some());
+        assert!(StreamPlan::for_budget(&engine, 64, 64, 64, floor - 1).is_none());
+    }
+
+    #[test]
+    fn functional_stream_product_matches_golden() {
+        for (m, n, p, seed) in [(7usize, 9usize, 5usize, 1i32), (13, 21, 8, 4)] {
+            let (a, b) = case(m, n, p, seed);
+            let golden = a.multiply(&b).unwrap();
+            for tile_k in [1usize, 5, n] {
+                let (out, stream) =
+                    stream_product(&a, &b, (4, 4), &StreamPlan::new(tile_k)).unwrap();
+                assert_eq!(out, golden, "tile_k={tile_k}");
+                assert!(stream.peak_scratch_elems > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_rejects_mismatch_and_precision_like_materialized() {
+        let engine = TubGemm::new(4, 4, IntPrecision::Int4);
+        let plan = StreamPlan::new(2);
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matches!(
+            engine.multiply_streamed(&a, &b, &plan),
+            Err(ArithError::LengthMismatch { .. })
+        ));
+        let a = Matrix::from_fn(2, 2, |_, _| 100);
+        let b = Matrix::zeros(2, 2);
+        assert!(engine.multiply_streamed(&a, &b, &plan).is_err());
+    }
+}

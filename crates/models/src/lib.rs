@@ -21,7 +21,11 @@
 //!   (`tempus-runtime`);
 //! * [`traffic`] generates deterministic seeded request traces
 //!   (Poisson-ish bursty arrivals, mixed job classes, template
-//!   repeats) for the streaming service (`tempus-serve`).
+//!   repeats) for the streaming service (`tempus-serve`);
+//! * [`transformer`] supplies transformer-block GEMM templates
+//!   (attention projection, MLP up/down — inner dimensions in the
+//!   thousands at the standard presets) for LLM-scale streaming
+//!   workloads.
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@ mod model;
 pub mod netbuild;
 pub mod stats;
 pub mod traffic;
+pub mod transformer;
 pub mod weightgen;
 pub mod zoo;
 

@@ -26,6 +26,7 @@ use tempus_nvdla::cube::{DataCube, KernelSet};
 use tempus_nvdla::network::NetworkLayer;
 
 use crate::netbuild;
+use crate::transformer::{self, TransformerShape};
 use crate::zoo::Model;
 use crate::QuantizedModel;
 
@@ -171,6 +172,16 @@ pub struct TraceConfig {
     /// 0.0 (the default) draws no RNG values, so existing seeded
     /// traces stay bit-identical.
     pub wide_conv_fraction: f64,
+    /// Probability that a fresh GEMM template is **transformer-shaped**
+    /// (an attention-projection or MLP GEMM at
+    /// [`TraceConfig::transformer`] dimensions) instead of the default
+    /// tiny shapes. Transformer GEMMs are what the streaming tile
+    /// arena exists for — large inner dimensions that would otherwise
+    /// materialize whole operands in scratch. 0.0 (the default) draws
+    /// no RNG values, so existing seeded traces stay bit-identical.
+    pub transformer_fraction: f64,
+    /// The block shape transformer-shaped GEMM templates instantiate.
+    pub transformer: TransformerShape,
     /// Relative weight of convolution payloads in the fresh-template
     /// mix.
     pub conv_weight: f64,
@@ -202,6 +213,8 @@ impl TraceConfig {
             repeat_fraction: 0.7,
             accurate_fraction: 0.05,
             wide_conv_fraction: 0.0,
+            transformer_fraction: 0.0,
+            transformer: TransformerShape::trace_default(),
             conv_weight: 0.4,
             gemm_weight: 0.4,
             network_weight: 0.2,
@@ -242,6 +255,20 @@ impl TraceConfig {
     #[must_use]
     pub fn with_wide_conv_fraction(mut self, fraction: f64) -> Self {
         self.wide_conv_fraction = fraction;
+        self
+    }
+
+    /// Overrides the transformer-shaped GEMM fraction (builder style).
+    #[must_use]
+    pub fn with_transformer_fraction(mut self, fraction: f64) -> Self {
+        self.transformer_fraction = fraction;
+        self
+    }
+
+    /// Overrides the transformer block shape (builder style).
+    #[must_use]
+    pub fn with_transformer_shape(mut self, shape: TransformerShape) -> Self {
+        self.transformer = shape;
         self
     }
 
@@ -305,6 +332,19 @@ fn fresh_payload(rng: &mut StdRng, config: &TraceConfig) -> TracePayload {
             params,
         }
     } else if pick < config.conv_weight + config.gemm_weight {
+        // Transformer-shaped templates only draw RNG values when the
+        // knob is set, so pre-knob seeded traces replay bit-for-bit.
+        if config.transformer_fraction > 0.0 && rng.random_bool(config.transformer_fraction) {
+            let kind = transformer::ProjectionKind::ALL[rng.random_range(0usize..3)];
+            let gemm_seed = rng.random::<u64>();
+            let (a, b) = transformer::projection_gemm(
+                &config.transformer,
+                kind,
+                config.precision,
+                gemm_seed,
+            );
+            return TracePayload::Gemm { a, b };
+        }
         let m = rng.random_range(4usize..=8);
         let n = rng.random_range(4usize..=8);
         let p = rng.random_range(4usize..=8);
@@ -505,6 +545,38 @@ mod tests {
         // bit-identical: wide_conv_fraction == 0.0 draws no RNG.
         let a = generate(&narrow);
         let b = generate(&TraceConfig::new(21).with_requests(120));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(digest_of(&x.payload), digest_of(&y.payload));
+        }
+    }
+
+    #[test]
+    fn transformer_fraction_mints_large_inner_dim_gemms() {
+        let plain = TraceConfig::new(17).with_requests(120);
+        let llm = TraceConfig::new(17)
+            .with_requests(120)
+            .with_transformer_fraction(0.6)
+            .with_transformer_shape(TransformerShape::new(8, 64));
+        let max_inner = |trace: &[TraceRequest]| {
+            trace
+                .iter()
+                .filter_map(|r| match &r.payload {
+                    TracePayload::Gemm { a, .. } => Some(a.cols()),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_inner(&generate(&plain)) <= 8, "default GEMMs stay tiny");
+        // MlpDown's inner dimension is d_ff = 4 × d_model = 256.
+        assert!(
+            max_inner(&generate(&llm)) >= 64,
+            "transformer knob must mint d_model-scale inner dims"
+        );
+        // The default knob keeps pre-existing seeded traces
+        // bit-identical: transformer_fraction == 0.0 draws no RNG.
+        let a = generate(&plain);
+        let b = generate(&TraceConfig::new(17).with_requests(120));
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(digest_of(&x.payload), digest_of(&y.payload));
         }

@@ -1,0 +1,215 @@
+//! Transformer-shaped GEMM workload templates.
+//!
+//! The tubGEMM/tuGEMM line of work aims the temporal-unary dataflow
+//! at large dense products; the LLM serving shapes are transformer
+//! blocks, whose compute is a handful of GEMM silhouettes repeated
+//! layer after layer. This module supplies those silhouettes as
+//! deterministic seeded templates: the **attention projection**
+//! (`seq × d_model · d_model × d_model` — Q/K/V/O all share it) and
+//! the **MLP up/down projections**
+//! (`seq × d_model · d_model × d_ff` and its transpose-shaped
+//! counterpart), with inner dimensions in the thousands at the
+//! standard presets. The streaming bench and the traffic generator
+//! both instantiate workloads from here, so "LLM-scale" means the
+//! same operands everywhere.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tempus_arith::IntPrecision;
+use tempus_core::gemm::Matrix;
+
+/// One transformer block's GEMM dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerShape {
+    /// Sequence length (rows of every activation operand).
+    pub seq: usize,
+    /// Model width: the attention projections are
+    /// `d_model × d_model`.
+    pub d_model: usize,
+    /// MLP hidden width (conventionally `4 × d_model`).
+    pub d_ff: usize,
+}
+
+impl TransformerShape {
+    /// A shape with the conventional `d_ff = 4 × d_model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn new(seq: usize, d_model: usize) -> Self {
+        assert!(seq > 0 && d_model > 0, "dimensions must be >= 1");
+        TransformerShape {
+            seq,
+            d_model,
+            d_ff: 4 * d_model,
+        }
+    }
+
+    /// Overrides the MLP hidden width (builder style).
+    #[must_use]
+    pub fn with_d_ff(mut self, d_ff: usize) -> Self {
+        assert!(d_ff > 0, "d_ff must be >= 1");
+        self.d_ff = d_ff;
+        self
+    }
+
+    /// GPT-2-small block shapes: `d_model` 768, `d_ff` 3072, at a
+    /// 64-token sequence.
+    #[must_use]
+    pub fn gpt2_small() -> Self {
+        TransformerShape::new(64, 768)
+    }
+
+    /// BERT-large block shapes: `d_model` 1024, `d_ff` 4096, at a
+    /// 128-token sequence.
+    #[must_use]
+    pub fn bert_large() -> Self {
+        TransformerShape::new(128, 1024)
+    }
+
+    /// A scaled-down block for traces and tests: `d_model` 128,
+    /// `d_ff` 512, 16 tokens — transformer-proportioned without the
+    /// full-size operand cost.
+    #[must_use]
+    pub fn trace_default() -> Self {
+        TransformerShape::new(16, 128)
+    }
+
+    /// `(m, n, p)` of the `kind` projection's product
+    /// `A(m×n) · B(n×p)`.
+    #[must_use]
+    pub fn dims(&self, kind: ProjectionKind) -> (usize, usize, usize) {
+        match kind {
+            ProjectionKind::Attention => (self.seq, self.d_model, self.d_model),
+            ProjectionKind::MlpUp => (self.seq, self.d_model, self.d_ff),
+            ProjectionKind::MlpDown => (self.seq, self.d_ff, self.d_model),
+        }
+    }
+}
+
+/// Which of the block's GEMM silhouettes to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProjectionKind {
+    /// Q/K/V/O projection: `seq × d_model · d_model × d_model`.
+    Attention,
+    /// MLP up-projection: `seq × d_model · d_model × d_ff`.
+    MlpUp,
+    /// MLP down-projection: `seq × d_ff · d_ff × d_model`.
+    MlpDown,
+}
+
+impl ProjectionKind {
+    /// Every projection kind, in block-execution order.
+    pub const ALL: [ProjectionKind; 3] = [
+        ProjectionKind::Attention,
+        ProjectionKind::MlpUp,
+        ProjectionKind::MlpDown,
+    ];
+
+    /// Short snake-case label for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProjectionKind::Attention => "attention_proj",
+            ProjectionKind::MlpUp => "mlp_up",
+            ProjectionKind::MlpDown => "mlp_down",
+        }
+    }
+}
+
+/// Instantiates one projection's operand pair `(A, B)` at `shape`,
+/// deterministically from `seed`: activations and weights are drawn
+/// uniformly over the precision's representable range (the magnitude
+/// distribution is what prices the temporal-unary windows, so the
+/// full range must be exercised). The same `(shape, kind, precision,
+/// seed)` always yields bit-identical operands.
+#[must_use]
+pub fn projection_gemm(
+    shape: &TransformerShape,
+    kind: ProjectionKind,
+    precision: IntPrecision,
+    seed: u64,
+) -> (Matrix, Matrix) {
+    let (m, n, p) = shape.dims(kind);
+    let lo = precision.min_value();
+    let hi = precision.max_value();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5452_414E_5346_524D);
+    let mut vals: Vec<i32> = Vec::with_capacity(m * n + n * p);
+    for _ in 0..m * n + n * p {
+        vals.push(rng.random_range(lo..=hi));
+    }
+    let mut it = vals.into_iter();
+    let a = Matrix::from_fn(m, n, |_, _| it.next().unwrap());
+    let b = Matrix::from_fn(n, p, |_, _| it.next().unwrap());
+    (a, b)
+}
+
+/// Instantiates the whole block: one operand pair per
+/// [`ProjectionKind`], each seeded independently from `seed` so the
+/// three products carry distinct data.
+#[must_use]
+pub fn block_gemms(
+    shape: &TransformerShape,
+    precision: IntPrecision,
+    seed: u64,
+) -> Vec<(ProjectionKind, Matrix, Matrix)> {
+    ProjectionKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let (a, b) = projection_gemm(shape, kind, precision, seed.wrapping_add(i as u64));
+            (kind, a, b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_follow_the_block_silhouettes() {
+        let shape = TransformerShape::gpt2_small();
+        assert_eq!(shape.dims(ProjectionKind::Attention), (64, 768, 768));
+        assert_eq!(shape.dims(ProjectionKind::MlpUp), (64, 768, 3072));
+        assert_eq!(shape.dims(ProjectionKind::MlpDown), (64, 3072, 768));
+        let wide = TransformerShape::new(8, 32).with_d_ff(96);
+        assert_eq!(wide.dims(ProjectionKind::MlpUp), (8, 32, 96));
+    }
+
+    #[test]
+    fn operands_are_deterministic_and_in_range() {
+        let shape = TransformerShape::trace_default();
+        let (a1, b1) = projection_gemm(&shape, ProjectionKind::Attention, IntPrecision::Int8, 7);
+        let (a2, b2) = projection_gemm(&shape, ProjectionKind::Attention, IntPrecision::Int8, 7);
+        assert_eq!(a1.content_hash(), a2.content_hash());
+        assert_eq!(b1.content_hash(), b2.content_hash());
+        let (a3, _) = projection_gemm(&shape, ProjectionKind::Attention, IntPrecision::Int8, 8);
+        assert_ne!(a1.content_hash(), a3.content_hash(), "seeds must differ");
+        let lo = IntPrecision::Int8.min_value();
+        let hi = IntPrecision::Int8.max_value();
+        for r in 0..a1.rows() {
+            for c in 0..a1.cols() {
+                let v = a1.get(r, c);
+                assert!(v >= lo && v <= hi, "value {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn block_covers_every_kind_with_distinct_data() {
+        let shape = TransformerShape::trace_default();
+        let block = block_gemms(&shape, IntPrecision::Int8, 42);
+        assert_eq!(block.len(), 3);
+        let kinds: Vec<_> = block.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(kinds, ProjectionKind::ALL.to_vec());
+        let (_, a_att, _) = &block[0];
+        let (_, a_up, _) = &block[1];
+        assert_ne!(
+            a_att.content_hash(),
+            a_up.content_hash(),
+            "projections must carry distinct operands"
+        );
+    }
+}

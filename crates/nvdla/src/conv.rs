@@ -200,6 +200,52 @@ pub fn direct_conv(
     Ok(out)
 }
 
+/// Computes one output row `oy` of [`direct_conv`] into `row`, laid
+/// out exactly like one y-row of the output cube (`row[x * k + kk]`,
+/// channel-minor). The fused streaming pipeline
+/// ([`crate::fused`]) calls this per row so a whole-layer run never
+/// materializes the conv cube. Accumulation order and overflow
+/// behaviour are identical to [`direct_conv`], so the values are
+/// bit-identical.
+///
+/// The caller validates shapes once up front ([`ConvParams::output_dims`]
+/// and channel agreement); this hot path only asserts the buffer size.
+///
+/// # Panics
+///
+/// Panics when `row` is not `out_w × k` elements long, or if an
+/// accumulated output exceeds `i32` (same condition as
+/// [`direct_conv`]).
+pub fn direct_conv_row(
+    features: &DataCube,
+    kernels: &KernelSet,
+    params: &ConvParams,
+    oy: usize,
+    out_w: usize,
+    row: &mut [i32],
+) {
+    let k_dim = kernels.k();
+    assert_eq!(row.len(), out_w * k_dim, "conv row buffer size mismatch");
+    for ox in 0..out_w {
+        for k in 0..k_dim {
+            let mut acc = 0i64;
+            for r in 0..kernels.r() {
+                for s in 0..kernels.s() {
+                    let iy = (oy * params.stride_y + r * params.dilation_y) as isize
+                        - params.pad_y as isize;
+                    let ix = (ox * params.stride_x + s * params.dilation_x) as isize
+                        - params.pad_x as isize;
+                    for c in 0..features.c() {
+                        acc += i64::from(features.get_padded(ix, iy, c))
+                            * i64::from(kernels.get(k, r, s, c));
+                    }
+                }
+            }
+            row[ox * k_dim + k] = i32::try_from(acc).expect("accumulator exceeds i32 output");
+        }
+    }
+}
+
 /// im2col + GEMM reference: lowers the convolution to a matrix product
 /// `O[k][p] = Σ_q W[k][q] · F[q][p]` and reshapes back. Used as an
 /// independent second witness against [`direct_conv`].
@@ -341,6 +387,28 @@ mod tests {
             let a = direct_conv(&f, &k, &params).unwrap();
             let b = im2col_conv(&f, &k, &params).unwrap();
             assert_eq!(a, b, "params {params:?}");
+        }
+    }
+
+    #[test]
+    fn conv_rows_reassemble_direct_conv() {
+        let (f, k) = small_case();
+        for params in [
+            ConvParams::valid(),
+            ConvParams::unit_stride_same(3),
+            ConvParams::strided(2, 1),
+        ] {
+            let whole = direct_conv(&f, &k, &params).unwrap();
+            let (out_w, out_h) = params.output_dims(f.w(), f.h(), k.r(), k.s()).unwrap();
+            let mut row = vec![0i32; out_w * k.k()];
+            for oy in 0..out_h {
+                direct_conv_row(&f, &k, &params, oy, out_w, &mut row);
+                for ox in 0..out_w {
+                    for kk in 0..k.k() {
+                        assert_eq!(row[ox * k.k() + kk], whole.get(ox, oy, kk));
+                    }
+                }
+            }
         }
     }
 

@@ -21,6 +21,9 @@
 //! * [`wcomp`] — NVDLA's sparse weight compression for the CBUF;
 //! * [`network`] — multi-layer execution on any core, with per-layer
 //!   traces (the unchanged-software-stack argument of §I);
+//! * [`fused`] — streamed conv → SDP → pool execution per output row
+//!   through a bounded ring, bit-identical to the materialized
+//!   stages with `O(row × pool_window)` peak scratch;
 //! * [`grouped`] — grouped/depthwise convolution lowering onto the
 //!   dense core, as NVDLA's software stack schedules it;
 //! * [`pipeline`] — the [`ConvCore`] trait both cores implement, and
@@ -58,6 +61,7 @@ pub mod conv;
 pub mod csc;
 pub mod cube;
 mod error;
+pub mod fused;
 pub mod grouped;
 pub mod network;
 pub mod pdp;

@@ -18,10 +18,12 @@
 use tempus_core::gemm::{Matrix, TubGemm};
 use tempus_core::schedule::{CacheStats, ScheduleCache};
 use tempus_core::shard::{self, ShardAccum};
+use tempus_core::streaming::{self, StreamPlan};
 use tempus_core::{TempusConfig, TempusCore};
 use tempus_nvdla::config::NvdlaConfig;
 use tempus_nvdla::conv::direct_conv;
 use tempus_nvdla::cube::DataCube;
+use tempus_nvdla::fused;
 use tempus_nvdla::network::{run_network, NetworkLayer};
 use tempus_nvdla::pdp;
 use tempus_nvdla::pipeline::{ConvCore, NvdlaConvCore};
@@ -62,6 +64,11 @@ pub struct Execution {
     /// on the cycle-accurate Tempus conv paths, where the PCU
     /// actually streams windows.
     pub window_cycles: u64,
+    /// Peak streaming-scratch high-water mark in elements — non-zero
+    /// only when the backend executed the job in streaming mode
+    /// (bounded tile arena for GEMMs, fused per-row ring for
+    /// networks). 0 on materialized runs.
+    pub peak_scratch_elems: u64,
 }
 
 impl Execution {
@@ -77,6 +84,7 @@ impl Execution {
             per_shard_cycles: Vec::new(),
             reduction_cycles: 0,
             window_cycles: 0,
+            peak_scratch_elems: 0,
         }
     }
 
@@ -85,6 +93,44 @@ impl Execution {
     pub fn with_window_cycles(mut self, window_cycles: u64) -> Self {
         self.window_cycles = window_cycles;
         self
+    }
+
+    /// Attaches the streaming-scratch high-water mark (builder style).
+    #[must_use]
+    pub fn with_peak_scratch(mut self, peak_scratch_elems: u64) -> Self {
+        self.peak_scratch_elems = peak_scratch_elems;
+        self
+    }
+}
+
+/// Streaming-execution knobs threaded to every worker backend.
+///
+/// With streaming enabled, GEMM jobs run through the bounded
+/// double-buffered tile arena ([`tempus_core::streaming`]) and network
+/// jobs fuse conv → SDP → pool per output row
+/// ([`tempus_nvdla::fused`]) — bit-identical outputs and cycles, with
+/// the peak-scratch high-water mark surfaced on [`Execution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingConfig {
+    /// Optional scratch-arena budget in elements for streamed GEMMs.
+    /// `None` lets each backend pick its default window depth (the
+    /// wider PE-grid edge). A budget below the one-step-window floor
+    /// clamps to the floor — the honest peak is still reported, and
+    /// budget *enforcement* is the admission layer's job.
+    pub scratch_budget_elems: Option<u64>,
+}
+
+/// The one place a streamed GEMM picks its window depth, shared by
+/// all backends so they cannot drift: the deepest plan fitting the
+/// budget when one is set (clamped to the one-step floor when even
+/// that does not fit), otherwise the wider PE-grid edge.
+fn gemm_stream_plan(engine: &TubGemm, a: &Matrix, b: &Matrix, cfg: StreamingConfig) -> StreamPlan {
+    let (m, n, p) = (a.rows(), a.cols(), b.cols());
+    match cfg.scratch_budget_elems {
+        Some(budget) => {
+            StreamPlan::for_budget(engine, m, n, p, budget).unwrap_or_else(|| StreamPlan::new(1))
+        }
+        None => StreamPlan::new(engine.grid_m().max(engine.grid_p()).min(n.max(1))),
     }
 }
 
@@ -116,6 +162,14 @@ pub trait InferenceBackend: Send {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// Switches the backend into (or out of) streaming execution.
+    /// The contract: outputs and every modelled cycle figure are
+    /// bit-identical to materialized execution — streaming changes
+    /// only the memory shape, surfaced as
+    /// [`Execution::peak_scratch_elems`]. The default ignores the
+    /// request (for backends with nothing to stream).
+    fn set_streaming(&mut self, _config: Option<StreamingConfig>) {}
 }
 
 /// The one place a sharded single-layer run (conv or GEMM, any
@@ -139,6 +193,7 @@ fn sharded_execution(
         per_shard_cycles: per_shard_cycles.to_vec(),
         reduction_cycles,
         window_cycles: 0,
+        peak_scratch_elems: 0,
     }
 }
 
@@ -159,6 +214,7 @@ fn network_execution(
         per_shard_cycles: Vec::new(),
         reduction_cycles: 0,
         window_cycles: 0,
+        peak_scratch_elems: 0,
     }
 }
 
@@ -251,12 +307,59 @@ fn run_network_sharded<C: ConvCore>(
     Ok((x, critical, total_array, accum))
 }
 
+/// The streamed counterpart of [`run_network_sharded`] (and of the
+/// single-array [`run_network`] loop): convolution runs unchanged on
+/// the cycle-accurate core — streaming does not touch the conv
+/// datapath, so cycles are identical — but SDP and pooling fuse per
+/// conv output row through the bounded ring, never materializing the
+/// intermediate requantized cube. Returns the network output, the
+/// critical-path and array-cycle sums, the shard accumulator and the
+/// fused-ring peak scratch (max over layers).
+fn run_network_streamed<C: ConvCore>(
+    core: &mut C,
+    input: &DataCube,
+    layers: &[NetworkLayer],
+    num_arrays: usize,
+) -> Result<(DataCube, u64, u64, ShardAccum, u64), RuntimeError> {
+    let mut x = input.clone();
+    let mut critical = 0u64;
+    let mut total_array = 0u64;
+    let mut accum = ShardAccum::new();
+    let mut peak_scratch = 0u64;
+    for layer in layers {
+        let conv_out = if num_arrays > 1 {
+            let run = shard::convolve_sharded_with(
+                core,
+                &x,
+                &layer.kernels,
+                &layer.conv,
+                num_arrays,
+                |_| {},
+            )?;
+            critical += run.critical_path_cycles;
+            total_array += run.stats.cycles;
+            accum.add(&run.per_shard_cycles());
+            run.output
+        } else {
+            let run = core.convolve(&x, &layer.kernels, &layer.conv)?;
+            critical += run.stats.cycles;
+            total_array += run.stats.cycles;
+            run.output
+        };
+        let fused = fused::fuse_post_conv(&conv_out, &layer.sdp, layer.pool.as_ref())?;
+        peak_scratch = peak_scratch.max(fused.peak_scratch_elems);
+        x = fused.output;
+    }
+    Ok((x, critical, total_array, accum, peak_scratch))
+}
+
 /// Cycle-accurate Tempus Core backend.
 #[derive(Debug, Clone)]
 pub struct TempusBackend {
     core: TempusCore,
     gemm: TubGemm,
     num_arrays: usize,
+    streaming: Option<StreamingConfig>,
 }
 
 impl TempusBackend {
@@ -268,6 +371,7 @@ impl TempusBackend {
             gemm: TubGemm::new(grid.0, grid.1, config.base.precision),
             core: TempusCore::new(config),
             num_arrays: 1,
+            streaming: None,
         }
     }
 
@@ -320,7 +424,27 @@ impl InferenceBackend for TempusBackend {
                 }
             }
             JobPayload::Gemm { a, b } => {
-                if num_arrays > 1 {
+                if let Some(cfg) = self.streaming {
+                    let plan = gemm_stream_plan(&self.gemm, a, b, cfg);
+                    if num_arrays > 1 {
+                        let streamed = self
+                            .gemm
+                            .multiply_sharded_streamed(a, b, num_arrays, &plan)?;
+                        Ok(sharded_execution(
+                            JobOutput::Matrix(streamed.run.output),
+                            streamed.run.plan.used_arrays(),
+                            &streamed.run.per_shard_cycles,
+                            0,
+                        )
+                        .with_peak_scratch(streamed.stream.peak_scratch_elems))
+                    } else {
+                        let run = self.gemm.multiply_streamed(a, b, &plan)?;
+                        Ok(
+                            Execution::single(JobOutput::Matrix(run.output), run.stats.cycles)
+                                .with_peak_scratch(run.stream.peak_scratch_elems),
+                        )
+                    }
+                } else if num_arrays > 1 {
                     let run = self.gemm.multiply_sharded(a, b, num_arrays)?;
                     Ok(sharded_execution(
                         JobOutput::Matrix(run.output),
@@ -337,7 +461,16 @@ impl InferenceBackend for TempusBackend {
                 }
             }
             JobPayload::Network { input, layers } => {
-                if num_arrays > 1 {
+                if self.streaming.is_some() {
+                    let (output, critical, total_array, accum, peak) =
+                        run_network_streamed(&mut self.core, input, layers, num_arrays)?;
+                    Ok(if num_arrays > 1 {
+                        network_execution(output, critical, total_array, &accum)
+                    } else {
+                        Execution::single(JobOutput::Cube(output), critical)
+                    }
+                    .with_peak_scratch(peak))
+                } else if num_arrays > 1 {
                     let (output, critical, total_array, accum) =
                         run_network_sharded(&mut self.core, input, layers, num_arrays)?;
                     Ok(network_execution(output, critical, total_array, &accum))
@@ -349,6 +482,10 @@ impl InferenceBackend for TempusBackend {
             }
         }
     }
+
+    fn set_streaming(&mut self, config: Option<StreamingConfig>) {
+        self.streaming = config;
+    }
 }
 
 /// Cycle-accurate binary NVDLA baseline backend.
@@ -357,6 +494,7 @@ pub struct NvdlaBackend {
     core: NvdlaConvCore,
     grid: (usize, usize),
     num_arrays: usize,
+    streaming: Option<StreamingConfig>,
 }
 
 impl NvdlaBackend {
@@ -367,6 +505,7 @@ impl NvdlaBackend {
             core: NvdlaConvCore::new(config),
             grid,
             num_arrays: 1,
+            streaming: None,
         }
     }
 
@@ -460,17 +599,39 @@ impl InferenceBackend for NvdlaBackend {
                 let precision = self.core.config().precision;
                 check_matrix(a, precision)?;
                 check_matrix(b, precision)?;
-                let output = a.multiply(b)?;
                 let (shards, per_shard) = self.sharded_binary_gemm_cycles(a, b, num_arrays);
-                Ok(sharded_execution(
-                    JobOutput::Matrix(output),
-                    shards,
-                    &per_shard,
-                    0,
-                ))
+                if let Some(cfg) = self.streaming {
+                    // The binary cycle model is untouched by streaming
+                    // (staging hides behind compute); only the product
+                    // runs through the bounded arena.
+                    let engine = TubGemm::new(self.grid.0, self.grid.1, precision);
+                    let plan = gemm_stream_plan(&engine, a, b, cfg);
+                    let (output, stream) = streaming::stream_product(a, b, self.grid, &plan)?;
+                    Ok(
+                        sharded_execution(JobOutput::Matrix(output), shards, &per_shard, 0)
+                            .with_peak_scratch(stream.peak_scratch_elems),
+                    )
+                } else {
+                    let output = a.multiply(b)?;
+                    Ok(sharded_execution(
+                        JobOutput::Matrix(output),
+                        shards,
+                        &per_shard,
+                        0,
+                    ))
+                }
             }
             JobPayload::Network { input, layers } => {
-                if num_arrays > 1 {
+                if self.streaming.is_some() {
+                    let (output, critical, total_array, accum, peak) =
+                        run_network_streamed(&mut self.core, input, layers, num_arrays)?;
+                    Ok(if num_arrays > 1 {
+                        network_execution(output, critical, total_array, &accum)
+                    } else {
+                        Execution::single(JobOutput::Cube(output), critical)
+                    }
+                    .with_peak_scratch(peak))
+                } else if num_arrays > 1 {
                     let (output, critical, total_array, accum) =
                         run_network_sharded(&mut self.core, input, layers, num_arrays)?;
                     Ok(network_execution(output, critical, total_array, &accum))
@@ -481,6 +642,10 @@ impl InferenceBackend for NvdlaBackend {
                 }
             }
         }
+    }
+
+    fn set_streaming(&mut self, config: Option<StreamingConfig>) {
+        self.streaming = config;
     }
 }
 
@@ -504,6 +669,7 @@ pub struct FunctionalBackend {
     gemm: TubGemm,
     cache: ScheduleCache,
     num_arrays: usize,
+    streaming: Option<StreamingConfig>,
 }
 
 impl FunctionalBackend {
@@ -515,6 +681,7 @@ impl FunctionalBackend {
             config,
             cache: ScheduleCache::new(),
             num_arrays: 1,
+            streaming: None,
         }
     }
 
@@ -575,26 +742,60 @@ impl InferenceBackend for FunctionalBackend {
             JobPayload::Gemm { a, b } => {
                 check_matrix(a, self.config.base.precision)?;
                 check_matrix(b, self.config.base.precision)?;
-                let output = a.multiply(b)?;
-                // One closed-form window model serves both shapes: at
-                // one array the plan is `Single` and the lone shard's
-                // cycles equal `TubGemm::multiply`'s accounting, so
-                // there is no separate single-array copy to drift.
-                let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, num_arrays);
-                Ok(sharded_execution(
-                    JobOutput::Matrix(output),
-                    plan.used_arrays(),
-                    &per_shard,
-                    0,
-                ))
+                if let Some(cfg) = self.streaming {
+                    let plan = gemm_stream_plan(&self.gemm, a, b, cfg);
+                    // The product streams through the bounded arena;
+                    // the closed-form streamed model reuses the
+                    // materialized cycle model verbatim (double
+                    // buffering hides staging), so cycles cannot
+                    // drift from the cycle-accurate backends.
+                    let (output, stream) = streaming::stream_product(
+                        a,
+                        b,
+                        (self.gemm.grid_m(), self.gemm.grid_p()),
+                        &plan,
+                    )?;
+                    let model = self.gemm.streamed_cycle_model(a, b, num_arrays, &plan);
+                    Ok(sharded_execution(
+                        JobOutput::Matrix(output),
+                        model.plan.used_arrays(),
+                        &model.per_shard_cycles,
+                        0,
+                    )
+                    .with_peak_scratch(stream.peak_scratch_elems))
+                } else {
+                    let output = a.multiply(b)?;
+                    // One closed-form window model serves both shapes: at
+                    // one array the plan is `Single` and the lone shard's
+                    // cycles equal `TubGemm::multiply`'s accounting, so
+                    // there is no separate single-array copy to drift.
+                    let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, num_arrays);
+                    Ok(sharded_execution(
+                        JobOutput::Matrix(output),
+                        plan.used_arrays(),
+                        &per_shard,
+                        0,
+                    ))
+                }
             }
             JobPayload::Network { input, layers } => {
-                let (output, critical, total_array, accum) =
-                    self.run_network_functional(input, layers, num_arrays)?;
-                if num_arrays > 1 {
-                    Ok(network_execution(output, critical, total_array, &accum))
+                if self.streaming.is_some() {
+                    let (output, critical, total_array, accum, peak) =
+                        self.run_network_functional_streamed(input, layers, num_arrays)?;
+                    Ok(if num_arrays > 1 {
+                        network_execution(output, critical, total_array, &accum)
+                    } else {
+                        Execution::single(JobOutput::Cube(output), critical)
+                    }
+                    .with_peak_scratch(peak))
                 } else {
-                    Ok(Execution::single(JobOutput::Cube(output), critical))
+                    let (output, critical, total_array, accum) =
+                        self.run_network_functional(input, layers, num_arrays)?;
+                    if num_arrays > 1 {
+                        Ok(network_execution(output, critical, total_array, &accum))
+                    } else {
+                        Ok(Execution::single(JobOutput::Cube(output), critical))
+                    }
                 }
             }
         }
@@ -602,6 +803,10 @@ impl InferenceBackend for FunctionalBackend {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn set_streaming(&mut self, config: Option<StreamingConfig>) {
+        self.streaming = config;
     }
 }
 
@@ -650,6 +855,51 @@ impl FunctionalBackend {
         }
         Ok((x, critical, total_array, accum))
     }
+
+    /// The fully fused streamed counterpart of
+    /// [`FunctionalBackend::run_network_functional`]: each layer runs
+    /// through [`fused::run_layer_fused`] — the conv output cube never
+    /// materializes — while the memoized closed-form latency
+    /// ([`ScheduleCache::predict_streamed`] per layer) is unchanged
+    /// from the materialized prediction. Also returns the fused-ring
+    /// peak scratch (max over layers).
+    fn run_network_functional_streamed(
+        &mut self,
+        input: &DataCube,
+        layers: &[NetworkLayer],
+        num_arrays: usize,
+    ) -> Result<(DataCube, u64, u64, ShardAccum, u64), RuntimeError> {
+        let mut x = input.clone();
+        let mut critical = 0u64;
+        let mut total_array = 0u64;
+        let mut accum = ShardAccum::new();
+        let mut peak_scratch = 0u64;
+        for layer in layers {
+            tempus_nvdla::conv::check_operands(&x, &layer.kernels, self.config.base.precision)?;
+            if num_arrays > 1 {
+                let latency = self.cache.predict_sharded(
+                    &x,
+                    &layer.kernels,
+                    &layer.conv,
+                    &self.config,
+                    num_arrays,
+                )?;
+                critical += latency.critical_path_cycles;
+                total_array += latency.total_array_cycles;
+                accum.add(&latency.per_shard_cycles);
+            } else {
+                let streamed =
+                    self.cache
+                        .predict_streamed(&x, &layer.kernels, &layer.conv, &self.config)?;
+                critical += streamed.latency.total_cycles;
+                total_array += streamed.latency.total_cycles;
+            }
+            let fused = fused::run_layer_fused(&x, layer)?;
+            peak_scratch = peak_scratch.max(fused.peak_scratch_elems);
+            x = fused.output;
+        }
+        Ok((x, critical, total_array, accum, peak_scratch))
+    }
 }
 
 #[cfg(test)]
@@ -678,6 +928,36 @@ mod tests {
         let a = Matrix::from_fn(7, 9, |i, j| ((i as i32 * 31 + j as i32 * 17) % 255) - 127);
         let b = Matrix::from_fn(9, 5, |i, j| ((i as i32 * 13 + j as i32 * 41) % 255) - 127);
         Job::gemm(id, "gemm", a, b)
+    }
+
+    fn network_job(id: u64) -> Job {
+        let input = DataCube::from_fn(6, 6, 4, |x, y, c| {
+            ((x as i32 * 31 + y as i32 * 17 + c as i32 * 7) % 255) - 127
+        });
+        let k1 = KernelSet::from_fn(8, 3, 3, 4, |k, r, s, c| {
+            ((k as i32 * 13 + r as i32 * 5 + s as i32 * 3 + c as i32 * 11) % 255) - 127
+        });
+        let k2 = KernelSet::from_fn(4, 3, 3, 8, |k, r, s, c| {
+            ((k as i32 * 7 + r as i32 * 3 + s as i32 * 5 + c as i32) % 255) - 127
+        });
+        let layers = vec![
+            NetworkLayer::conv_relu(
+                "l1",
+                k1,
+                ConvParams::unit_stride_same(3),
+                6,
+                tempus_arith::IntPrecision::Int8,
+            ),
+            NetworkLayer::conv_relu(
+                "l2",
+                k2,
+                ConvParams::unit_stride_same(3),
+                6,
+                tempus_arith::IntPrecision::Int8,
+            )
+            .with_pool(tempus_nvdla::pdp::PoolParams::max(2)),
+        ];
+        Job::network(id, "net", input, layers)
     }
 
     #[test]
@@ -784,6 +1064,60 @@ mod tests {
         assert_eq!(d.shards, 2);
         assert!(d.sim_cycles < s.sim_cycles);
         assert!(d.total_array_cycles >= s.sim_cycles);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_across_backends() {
+        // Streaming is a memory-shape transform only: outputs and
+        // every modelled cycle figure are bit-identical on all three
+        // backends, single- and multi-array; only the peak-scratch
+        // figure distinguishes the runs.
+        for kind in BackendKind::ALL {
+            for arrays in [1usize, 3] {
+                let mut plain = kind.instantiate(
+                    TempusConfig::nv_small(),
+                    NvdlaConfig::nv_small(),
+                    (4, 4),
+                    arrays,
+                );
+                let mut streamed = kind.instantiate(
+                    TempusConfig::nv_small(),
+                    NvdlaConfig::nv_small(),
+                    (4, 4),
+                    arrays,
+                );
+                streamed.set_streaming(Some(StreamingConfig::default()));
+                for job in [gemm_job(30), network_job(31)] {
+                    let p = plain.execute(&job).unwrap();
+                    let s = streamed.execute(&job).unwrap();
+                    let tag = format!("{} {} arrays={arrays}", kind.name(), job.name);
+                    assert_eq!(p.output, s.output, "{tag}");
+                    assert_eq!(p.sim_cycles, s.sim_cycles, "{tag}");
+                    assert_eq!(p.total_array_cycles, s.total_array_cycles, "{tag}");
+                    assert_eq!(p.shards, s.shards, "{tag}");
+                    assert_eq!(p.peak_scratch_elems, 0, "{tag}");
+                    assert!(s.peak_scratch_elems > 0, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_budget_caps_streamed_gemm_arena() {
+        let mut backend = FunctionalBackend::new(TempusConfig::nv_small(), (4, 4));
+        backend.set_streaming(Some(StreamingConfig {
+            scratch_budget_elems: Some(200),
+        }));
+        let run = backend.execute(&gemm_job(40)).unwrap();
+        assert!(run.peak_scratch_elems > 0 && run.peak_scratch_elems <= 200);
+        // An infeasible budget clamps to the one-step-window floor
+        // and reports the honest (over-budget) peak; rejecting such
+        // jobs is the serving layer's admission decision.
+        backend.set_streaming(Some(StreamingConfig {
+            scratch_budget_elems: Some(1),
+        }));
+        let clamped = backend.execute(&gemm_job(41)).unwrap();
+        assert!(clamped.peak_scratch_elems > 1);
     }
 
     #[test]

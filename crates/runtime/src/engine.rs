@@ -13,15 +13,19 @@
 use std::time::Instant;
 
 use tempus_arith::IntPrecision;
+use tempus_core::gemm::TubGemm;
+use tempus_core::streaming::StreamPlan;
 use tempus_core::TempusConfig;
 use tempus_hwmodel::{Family, SynthModel};
 use tempus_nvdla::config::NvdlaConfig;
+use tempus_nvdla::cube::DataCube;
+use tempus_nvdla::{fused, pdp};
 
 use tempus_core::shard::WidenPolicy;
 
-use crate::backend::BackendKind;
+use crate::backend::{BackendKind, StreamingConfig};
 use crate::error::RuntimeError;
-use crate::job::{Job, JobResult};
+use crate::job::{Job, JobPayload, JobResult};
 use crate::ledger::{ArrayAssignment, ArrayLedger, ArrayPolicy};
 use crate::planner::ArrayPlanner;
 use crate::stats::{AggregateStats, WorkerStats, PERIOD_NS};
@@ -52,6 +56,11 @@ pub struct EngineConfig {
     pub nvdla: NvdlaConfig,
     /// GEMM PE-grid shape for all backends.
     pub gemm_grid: (usize, usize),
+    /// Streaming execution: `Some` routes GEMM jobs through the
+    /// bounded tile arena and network jobs through per-row fusion on
+    /// every worker backend — bit-identical outputs and cycles, with
+    /// peak scratch surfaced per job. `None` (default) materializes.
+    pub streaming: Option<StreamingConfig>,
 }
 
 impl EngineConfig {
@@ -68,7 +77,16 @@ impl EngineConfig {
             tempus: TempusConfig::paper_16x16(),
             nvdla: NvdlaConfig::paper_16x16(),
             gemm_grid: (16, 16),
+            streaming: None,
         }
+    }
+
+    /// Enables streaming execution on every worker backend (builder
+    /// style).
+    #[must_use]
+    pub fn with_streaming(mut self, streaming: StreamingConfig) -> Self {
+        self.streaming = Some(streaming);
+        self
     }
 
     /// Overrides the worker count (builder style).
@@ -120,6 +138,53 @@ impl EngineConfig {
         self.tempus = tempus;
         self.nvdla = nvdla;
         self
+    }
+
+    /// Smallest streaming-scratch arena `job` can execute under, in
+    /// elements: the one-step-`tile_k` floor of the GEMM tile arena,
+    /// or the widest per-row fused ring across a network's layers.
+    /// Conv jobs stream nothing (0). Shape errors also floor at 0 —
+    /// admission defers to execution to surface them as the caller's
+    /// job-level failure.
+    #[must_use]
+    pub fn min_stream_scratch_elems(&self, job: &Job) -> u64 {
+        match &job.payload {
+            JobPayload::Conv { .. } => 0,
+            JobPayload::Gemm { a, b } => {
+                let engine = TubGemm::new(
+                    self.gemm_grid.0,
+                    self.gemm_grid.1,
+                    self.tempus.base.precision,
+                );
+                StreamPlan::min_scratch_elems(&engine, a.rows(), a.cols(), b.cols())
+            }
+            JobPayload::Network { input, layers } => {
+                let (mut w, mut h) = (input.w(), input.h());
+                let mut peak = 0u64;
+                for layer in layers {
+                    let Ok((out_w, out_h)) =
+                        layer
+                            .conv
+                            .output_dims(w, h, layer.kernels.r(), layer.kernels.s())
+                    else {
+                        return 0;
+                    };
+                    peak = peak.max(fused::fused_layer_scratch(
+                        out_w,
+                        layer.kernels.k(),
+                        layer.pool.as_ref(),
+                    ));
+                    (w, h) = match &layer.pool {
+                        Some(pool) => match pdp::apply(&DataCube::zeros(out_w, out_h, 1), pool) {
+                            Ok(pooled) => (pooled.w(), pooled.h()),
+                            Err(_) => return 0,
+                        },
+                        None => (out_w, out_h),
+                    };
+                }
+                peak
+            }
+        }
     }
 }
 
@@ -275,6 +340,7 @@ impl InferenceEngine {
                                 config.gemm_grid,
                                 config.num_arrays,
                             );
+                            backend.set_streaming(config.streaming);
                             let mut results = Vec::with_capacity(assigned.len());
                             let mut stats = WorkerStats {
                                 worker: worker_idx,
@@ -307,6 +373,7 @@ impl InferenceEngine {
                                     per_shard_cycles: run.per_shard_cycles,
                                     reduction_cycles: run.reduction_cycles,
                                     window_cycles: run.window_cycles,
+                                    peak_scratch_elems: run.peak_scratch_elems,
                                 });
                             }
                             stats.schedule_cache = backend.cache_stats();

@@ -207,6 +207,10 @@ pub struct JobResult {
     /// Window-batch cycles from `TempusStats` (cycle-accurate Tempus
     /// conv paths only).
     pub window_cycles: u64,
+    /// Peak streaming-scratch high-water mark in elements (0 on
+    /// materialized runs — non-zero only when the backend executed
+    /// the job in streaming mode).
+    pub peak_scratch_elems: u64,
 }
 
 impl fmt::Display for JobResult {

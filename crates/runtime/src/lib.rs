@@ -80,7 +80,8 @@ pub mod pool;
 pub mod stats;
 
 pub use backend::{
-    BackendKind, Execution, FunctionalBackend, InferenceBackend, NvdlaBackend, TempusBackend,
+    BackendKind, Execution, FunctionalBackend, InferenceBackend, NvdlaBackend, StreamingConfig,
+    TempusBackend,
 };
 pub use engine::{BatchReport, EngineConfig, InferenceEngine};
 pub use error::RuntimeError;

@@ -652,12 +652,14 @@ fn worker_loop(
         // missing completion would wedge its dispatch gate forever.
         let executed = {
             let backend = backends[kind_index(kind)].get_or_insert_with(|| {
-                kind.instantiate(
+                let mut backend = kind.instantiate(
                     config.tempus,
                     config.nvdla,
                     config.gemm_grid,
                     config.num_arrays,
-                )
+                );
+                backend.set_streaming(config.streaming);
+                backend
             });
             catch_unwind(AssertUnwindSafe(|| {
                 backend.execute_on(&job, assignment.granted.max(1))
@@ -698,6 +700,7 @@ fn worker_loop(
                     per_shard_cycles: run.per_shard_cycles,
                     reduction_cycles: run.reduction_cycles,
                     window_cycles: run.window_cycles,
+                    peak_scratch_elems: run.peak_scratch_elems,
                 }
             }),
             Err(_) => {

@@ -73,6 +73,12 @@ pub struct AggregateStats {
     pub avg_arrays_granted: f64,
     /// Schedule-cache counters merged across workers.
     pub schedule_cache: Option<CacheStats>,
+    /// Largest per-job streaming-scratch high-water mark in elements
+    /// (0 when no job streamed) — the figure a deployment sizes its
+    /// scratch SRAM against.
+    pub peak_scratch_elems: u64,
+    /// Jobs that executed in streaming mode (non-zero peak scratch).
+    pub streamed_jobs: u64,
 }
 
 impl AggregateStats {
@@ -99,6 +105,12 @@ impl AggregateStats {
         let util_sum: f64 = results.iter().map(|r| r.shard_utilization).sum();
         let granted_sum: u64 = results.iter().map(|r| r.arrays_granted as u64).sum();
         let wait_sum: u64 = results.iter().map(|r| r.array_wait_cycles).sum();
+        let peak_scratch_elems = results
+            .iter()
+            .map(|r| r.peak_scratch_elems)
+            .max()
+            .unwrap_or(0);
+        let streamed_jobs = results.iter().filter(|r| r.peak_scratch_elems > 0).count() as u64;
         let device = device.unwrap_or(DeviceSummary {
             num_arrays: num_arrays.max(1),
             makespan_cycles: total_sim_cycles,
@@ -154,6 +166,8 @@ impl AggregateStats {
                 granted_sum as f64 / jobs as f64
             },
             schedule_cache,
+            peak_scratch_elems,
+            streamed_jobs,
         }
     }
 }
@@ -190,6 +204,13 @@ impl fmt::Display for AggregateStats {
                 self.device.occupancy() * 100.0,
                 self.avg_arrays_granted,
                 self.total_array_wait_cycles,
+            )?;
+        }
+        if self.streamed_jobs > 0 {
+            write!(
+                f,
+                "; {} streamed jobs, peak scratch {} elems",
+                self.streamed_jobs, self.peak_scratch_elems,
             )?;
         }
         if let Some(cs) = &self.schedule_cache {

@@ -133,6 +133,9 @@ pub struct ServedResult {
     /// all backends agree on outputs — but the execution did not run
     /// at the requested fidelity's backend.
     pub degraded: bool,
+    /// Peak streaming-scratch high-water mark of the (original)
+    /// execution in elements; 0 on materialized runs and cache hits.
+    pub peak_scratch_elems: u64,
 }
 
 /// Why the service refused a request.
@@ -151,6 +154,16 @@ pub enum RejectReason {
         deadline_cycles: u64,
         /// The best latency any device at any width could offer.
         best_latency_cycles: u64,
+    },
+    /// Scratch-budget admission found the job cannot stream inside
+    /// the configured arena budget even at the one-step-window floor
+    /// — rejected up front instead of silently overrunning the
+    /// budget. Carries both figures in elements.
+    ScratchBudgetExceeded {
+        /// The smallest scratch any streaming plan needs for the job.
+        required_elems: u64,
+        /// The configured scratch budget.
+        budget_elems: u64,
     },
 }
 

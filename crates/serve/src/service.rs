@@ -44,7 +44,7 @@ use tempus_runtime::pool::{PoolOutcome, PoolTask, WorkerPool};
 use tempus_runtime::stats::PERIOD_NS;
 use tempus_runtime::{
     ArrayAssignment, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary, EngineConfig, Job,
-    Placement, RuntimeError, WorkerStats,
+    Placement, RuntimeError, StreamingConfig, WorkerStats,
 };
 use tempus_telemetry::{
     Clock, Counter, DeviceTimeline, PlacedSpan, Stage, Telemetry, TraceSink, TrackId,
@@ -259,6 +259,37 @@ impl ServeConfig {
     #[must_use]
     pub fn co_scheduling(&self) -> bool {
         self.engine.scheduling.co_schedules()
+    }
+
+    /// Enables streaming execution on every worker backend (builder
+    /// style): GEMM jobs run through the bounded tile arena, network
+    /// jobs through per-row conv → SDP → pool fusion — bit-identical
+    /// outputs and cycles, with peak scratch surfaced per response.
+    #[must_use]
+    pub fn with_streaming(mut self) -> Self {
+        self.engine
+            .streaming
+            .get_or_insert_with(StreamingConfig::default);
+        self
+    }
+
+    /// Sets the streaming-scratch arena budget in elements (builder
+    /// style; implies streaming). Streamed executions size their tile
+    /// arenas inside the budget, and scratch-aware admission rejects
+    /// jobs whose smallest possible arena still exceeds it with
+    /// [`RejectReason::ScratchBudgetExceeded`].
+    #[must_use]
+    pub fn with_scratch_budget(mut self, budget_elems: u64) -> Self {
+        self.engine.streaming = Some(StreamingConfig {
+            scratch_budget_elems: Some(budget_elems),
+        });
+        self
+    }
+
+    /// The configured streaming mode, if any.
+    #[must_use]
+    pub fn streaming(&self) -> Option<StreamingConfig> {
+        self.engine.streaming
     }
 
     /// Overrides the ingestion-queue capacity (builder style).
@@ -880,8 +911,9 @@ impl Dispatcher {
                     utilization: entry.shard_utilization,
                     granted: entry.arrays_granted,
                     // A hit never touches the device, so it never
-                    // waits for arrays.
+                    // waits for arrays and allocates no scratch.
                     wait_cycles: 0,
+                    peak_scratch_elems: 0,
                 },
             );
             self.respond(Response {
@@ -897,6 +929,7 @@ impl Dispatcher {
                     array_wait_cycles: 0,
                     cache: CacheOutcome::Hit,
                     degraded: false,
+                    peak_scratch_elems: 0,
                 }),
                 queue_ns: total_ns,
                 total_ns,
@@ -985,6 +1018,43 @@ impl Dispatcher {
             deadline_cycles,
         } = held;
         let job_id = job.id;
+        // Scratch-aware admission: under a configured arena budget,
+        // a job whose smallest possible streaming plan still exceeds
+        // it is rejected up front — the alternative is silently
+        // overrunning the budget the deployment sized its SRAM by.
+        if let Some(budget_elems) = self
+            .config
+            .engine
+            .streaming
+            .and_then(|s| s.scratch_budget_elems)
+        {
+            let required_elems = self.config.engine.min_stream_scratch_elems(&job);
+            if required_elems > budget_elems {
+                let reason = RejectReason::ScratchBudgetExceeded {
+                    required_elems,
+                    budget_elems,
+                };
+                let total_ns = accepted.elapsed().as_nanos() as u64;
+                lock_clean(&self.stats).record_rejection(class, &reason);
+                self.sink.instant(
+                    self.dispatch_track,
+                    Stage::Reject,
+                    self.telemetry.now_ns(),
+                    job_id,
+                    required_elems,
+                );
+                self.telemetry.count(Counter::RejectedScratch, 1);
+                self.respond(Response {
+                    job_id,
+                    job_name: job.name,
+                    class,
+                    outcome: ResponseOutcome::Rejected(reason),
+                    queue_ns: total_ns,
+                    total_ns,
+                });
+                return;
+            }
+        }
         let backend = self.backend_for(class.fidelity);
         let admit_start = self.telemetry.now_ns();
         let (assignment, placed) = match &mut self.planner {
@@ -1167,6 +1237,15 @@ impl Dispatcher {
                                     result.window_cycles,
                                 );
                             }
+                            if result.peak_scratch_elems > 0 {
+                                let track = self.timeline.device_track(*device);
+                                self.sink.counter(
+                                    track,
+                                    Stage::StreamWindow,
+                                    placement.finish_cycle(),
+                                    result.peak_scratch_elems,
+                                );
+                            }
                         }
                         None => {
                             // All-arrays policy: the core is owned
@@ -1195,6 +1274,15 @@ impl Dispatcher {
                                     Stage::Window,
                                     start + result.sim_cycles,
                                     result.window_cycles,
+                                );
+                            }
+                            if result.peak_scratch_elems > 0 {
+                                let track = self.timeline.device_track(0);
+                                self.sink.counter(
+                                    track,
+                                    Stage::StreamWindow,
+                                    start + result.sim_cycles,
+                                    result.peak_scratch_elems,
                                 );
                             }
                         }
@@ -1226,6 +1314,7 @@ impl Dispatcher {
                     utilization: result.shard_utilization,
                     granted: result.arrays_granted,
                     wait_cycles: result.array_wait_cycles,
+                    peak_scratch_elems: result.peak_scratch_elems,
                 };
                 // One guard for the completion and its whole fan-out:
                 // a snapshot never observes a torn state with only
@@ -1265,6 +1354,7 @@ impl Dispatcher {
                             array_wait_cycles: 0,
                             cache: CacheOutcome::Coalesced,
                             degraded: pending.degraded,
+                            peak_scratch_elems: result.peak_scratch_elems,
                         }),
                         queue_ns: waiter_total_ns,
                         total_ns: waiter_total_ns,
@@ -1287,6 +1377,7 @@ impl Dispatcher {
                         array_wait_cycles: result.array_wait_cycles,
                         cache: CacheOutcome::Miss,
                         degraded: pending.degraded,
+                        peak_scratch_elems: result.peak_scratch_elems,
                     }),
                     queue_ns,
                     total_ns,
@@ -1547,6 +1638,7 @@ impl Dispatcher {
                             utilization: entry.shard_utilization,
                             granted: entry.arrays_granted,
                             wait_cycles: 0,
+                            peak_scratch_elems: 0,
                         },
                     );
                     self.respond(Response {
@@ -1562,6 +1654,7 @@ impl Dispatcher {
                             array_wait_cycles: 0,
                             cache: CacheOutcome::Hit,
                             degraded: false,
+                            peak_scratch_elems: 0,
                         }),
                         queue_ns: total_ns,
                         total_ns,

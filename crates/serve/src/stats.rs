@@ -25,6 +25,9 @@ pub struct ArrayUse {
     pub granted: usize,
     /// Device cycles spent waiting to gather the grant.
     pub wait_cycles: u64,
+    /// Peak streaming-scratch elements of the execution (0 on
+    /// materialized runs and cache hits).
+    pub peak_scratch_elems: u64,
 }
 
 impl ArrayUse {
@@ -37,6 +40,7 @@ impl ArrayUse {
             utilization: 1.0,
             granted: 1,
             wait_cycles: 0,
+            peak_scratch_elems: 0,
         }
     }
 }
@@ -136,6 +140,11 @@ pub struct ClassStats {
     /// Of the rejected, refused because no device at any array width
     /// could meet the request's deadline.
     pub rejected_deadline: u64,
+    /// Of the rejected, refused because the job cannot stream inside
+    /// the configured scratch budget even at the minimal window;
+    /// `rejected == rejected_admission_cap + rejected_deadline +
+    /// rejected_scratch`.
+    pub rejected_scratch: u64,
     /// Requests that failed with a substrate error.
     pub failed: u64,
     /// Execution attempts retried after an infrastructure fault
@@ -207,6 +216,15 @@ pub struct ServeStats {
     pub rejected_admission_cap: u64,
     /// Of the rejected, refused on an unattainable deadline.
     pub rejected_deadline: u64,
+    /// Of the rejected, refused on the streaming scratch budget (sums
+    /// the per-class splits).
+    pub rejected_scratch: u64,
+    /// Completed requests whose execution streamed (non-zero peak
+    /// scratch).
+    pub streamed: u64,
+    /// Largest per-execution streaming-scratch high-water mark
+    /// observed, in elements (0 when nothing streamed).
+    pub peak_scratch_elems: u64,
     /// Submissions refused at the door with
     /// [`SubmitError::QueueFull`](crate::request::SubmitError) —
     /// backpressure refusals, counted separately from `rejected`
@@ -293,8 +311,19 @@ impl fmt::Display for ServeStats {
         if self.rejected + self.queue_full_refusals > 0 {
             writeln!(
                 f,
-                "  rejections: {} admission cap, {} deadline, {} queue-full refusals",
-                self.rejected_admission_cap, self.rejected_deadline, self.queue_full_refusals,
+                "  rejections: {} admission cap, {} deadline, {} scratch budget, \
+                 {} queue-full refusals",
+                self.rejected_admission_cap,
+                self.rejected_deadline,
+                self.rejected_scratch,
+                self.queue_full_refusals,
+            )?;
+        }
+        if self.streamed > 0 {
+            writeln!(
+                f,
+                "  streaming: {} streamed executions, peak scratch {} elems",
+                self.streamed, self.peak_scratch_elems,
             )?;
         }
         if self.retries + self.degraded > 0 || self.drain_timed_out {
@@ -431,6 +460,9 @@ pub(crate) struct StatsRecorder {
     coalesced: [u64; 6],
     rejected_admission_cap: [u64; 6],
     rejected_deadline: [u64; 6],
+    rejected_scratch: [u64; 6],
+    streamed: u64,
+    peak_scratch_elems: u64,
     failed: [u64; 6],
     retries: [u64; 6],
     degraded: [u64; 6],
@@ -456,6 +488,9 @@ impl StatsRecorder {
             coalesced: [0; 6],
             rejected_admission_cap: [0; 6],
             rejected_deadline: [0; 6],
+            rejected_scratch: [0; 6],
+            streamed: 0,
+            peak_scratch_elems: 0,
             failed: [0; 6],
             retries: [0; 6],
             degraded: [0; 6],
@@ -504,6 +539,7 @@ impl StatsRecorder {
         self.shard_util_sum[i] += arrays.utilization;
         self.granted_sum[i] += arrays.granted.max(1) as u64;
         self.array_wait_sum[i] += arrays.wait_cycles;
+        self.observe_scratch(arrays.peak_scratch_elems);
     }
 
     /// Records a completion that coalesced onto an in-flight
@@ -521,6 +557,17 @@ impl StatsRecorder {
         self.shard_util_sum[i] += arrays.utilization;
         self.granted_sum[i] += arrays.granted.max(1) as u64;
         self.array_wait_sum[i] += arrays.wait_cycles;
+        self.observe_scratch(arrays.peak_scratch_elems);
+    }
+
+    /// Folds one execution's streaming-scratch high-water mark into
+    /// the streamed-count and peak gauges (0 — a materialized run or
+    /// cache hit — leaves both untouched).
+    fn observe_scratch(&mut self, peak_scratch_elems: u64) {
+        if peak_scratch_elems > 0 {
+            self.streamed += 1;
+            self.peak_scratch_elems = self.peak_scratch_elems.max(peak_scratch_elems);
+        }
     }
 
     /// Records a rejection under its reason, so the snapshot's named
@@ -532,6 +579,9 @@ impl StatsRecorder {
             }
             RejectReason::DeadlineUnattainable { .. } => {
                 self.rejected_deadline[class.index()] += 1;
+            }
+            RejectReason::ScratchBudgetExceeded { .. } => {
+                self.rejected_scratch[class.index()] += 1;
             }
         }
     }
@@ -571,9 +621,12 @@ impl StatsRecorder {
                     completed: accum.count,
                     cache_hits: self.cache_hits[i],
                     coalesced: self.coalesced[i],
-                    rejected: self.rejected_admission_cap[i] + self.rejected_deadline[i],
+                    rejected: self.rejected_admission_cap[i]
+                        + self.rejected_deadline[i]
+                        + self.rejected_scratch[i],
                     rejected_admission_cap: self.rejected_admission_cap[i],
                     rejected_deadline: self.rejected_deadline[i],
+                    rejected_scratch: self.rejected_scratch[i],
                     failed: self.failed[i],
                     retries: self.retries[i],
                     degraded: self.degraded[i],
@@ -615,6 +668,9 @@ impl StatsRecorder {
             rejected: classes.iter().map(|c| c.rejected).sum(),
             rejected_admission_cap: classes.iter().map(|c| c.rejected_admission_cap).sum(),
             rejected_deadline: classes.iter().map(|c| c.rejected_deadline).sum(),
+            rejected_scratch: classes.iter().map(|c| c.rejected_scratch).sum(),
+            streamed: self.streamed,
+            peak_scratch_elems: self.peak_scratch_elems,
             queue_full_refusals: self.queue_full_refusals,
             failed: classes.iter().map(|c| c.failed).sum(),
             retries: classes.iter().map(|c| c.retries).sum(),
@@ -666,6 +722,7 @@ mod tests {
             utilization: 0.9,
             granted: 3,
             wait_cycles: 40,
+            peak_scratch_elems: 96,
         }
     }
 
@@ -733,6 +790,9 @@ mod tests {
         assert!((snap.avg_shard_utilization - 0.9).abs() < 1e-12);
         assert!((c.arrays_granted - 3.0).abs() < 1e-12);
         assert!((c.avg_array_wait_cycles - 40.0).abs() < 1e-12);
+        // All three executions streamed with a 96-element peak.
+        assert_eq!(snap.streamed, 3);
+        assert_eq!(snap.peak_scratch_elems, 96);
         // Classes with no completions default to the single-array
         // socket so serialized snapshots stay schema-compatible.
         assert!((snap.classes[0].shards - 1.0).abs() < 1e-12);

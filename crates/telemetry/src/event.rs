@@ -102,12 +102,15 @@ pub enum Stage {
     /// Wall instant: the pool respawned a dead worker (`id` = worker
     /// index).
     Respawn,
+    /// Counter sample: peak streaming-scratch elements of a streamed
+    /// execution (bounded tile arena / fused per-row ring).
+    StreamWindow,
 }
 
 impl Stage {
     /// Every stage, in serialization-code order (append-only: codes
     /// are positional and must stay stable across releases).
-    pub const ALL: [Stage; 24] = [
+    pub const ALL: [Stage; 25] = [
         Stage::Queue,
         Stage::Admit,
         Stage::CacheHit,
@@ -132,6 +135,7 @@ impl Stage {
         Stage::Probe,
         Stage::Degrade,
         Stage::Respawn,
+        Stage::StreamWindow,
     ];
 
     /// Stable serialization code (index into [`Stage::ALL`]).
@@ -174,6 +178,7 @@ impl Stage {
             Stage::Probe => "probe",
             Stage::Degrade => "degrade",
             Stage::Respawn => "respawn",
+            Stage::StreamWindow => "stream_window",
         }
     }
 }

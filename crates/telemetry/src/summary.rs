@@ -54,12 +54,15 @@ pub enum Counter {
     WorkerRespawns,
     /// Executions cancelled by the per-job deadline watchdog.
     WatchdogCancels,
+    /// Rejections because the job's smallest streaming plan exceeds
+    /// the configured scratch budget.
+    RejectedScratch,
 }
 
 impl Counter {
     /// Every counter, in registry order (append-only: indices are
     /// positional and must stay stable across releases).
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::EventsRecorded,
         Counter::EventsDropped,
         Counter::CacheHits,
@@ -79,6 +82,7 @@ impl Counter {
         Counter::Probes,
         Counter::WorkerRespawns,
         Counter::WatchdogCancels,
+        Counter::RejectedScratch,
     ];
 
     /// Registry name — stable, snake_case, used as the JSON key.
@@ -104,6 +108,7 @@ impl Counter {
             Counter::Probes => "probes",
             Counter::WorkerRespawns => "worker_respawns",
             Counter::WatchdogCancels => "watchdog_cancels",
+            Counter::RejectedScratch => "rejected_scratch",
         }
     }
 

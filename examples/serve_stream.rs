@@ -42,6 +42,19 @@
 //! cargo run --release --example serve_stream -- --chaos-seed 42 --fault-rate 0.1
 //! cargo run --release --example serve_stream -- --devices 2 --chaos-seed 7
 //! ```
+//!
+//! `--streaming` runs GEMM and network jobs through the bounded
+//! double-buffered scratch arena (outputs stay bit-identical — the
+//! assertion below still holds), and mixes transformer-block GEMMs
+//! into the trace so there are LLM-shaped operands to stream.
+//! `--scratch-budget <elems>` (implies `--streaming`) additionally
+//! caps the arena: jobs whose smallest streaming plan cannot fit the
+//! budget are rejected at admission instead of ever running:
+//!
+//! ```text
+//! cargo run --release --example serve_stream -- --streaming
+//! cargo run --release --example serve_stream -- --scratch-budget 4096
+//! ```
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -144,6 +157,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .map_or(Ok(0.05), |v| v.parse::<f64>())
         .map_err(|e| format!("--fault-rate expects a probability: {e}"))?;
+    let scratch_budget = args
+        .iter()
+        .position(|a| a == "--scratch-budget")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or("--scratch-budget expects an element count")?
+                .parse::<u64>()
+                .map_err(|e| format!("--scratch-budget expects an element count: {e}"))
+        })
+        .transpose()?;
+    let streaming = args.iter().any(|a| a == "--streaming") || scratch_budget.is_some();
 
     let mut trace_config = TraceConfig::new(42)
         .with_requests(400)
@@ -153,6 +177,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Give the multi-array device something to shard and the
         // co-scheduler something to pack around.
         trace_config = trace_config.with_wide_conv_fraction(0.25);
+    }
+    if streaming {
+        // Give the scratch arena LLM-shaped operands to stream.
+        trace_config = trace_config.with_transformer_fraction(0.2);
     }
     let trace = generate(&trace_config);
     let bursts = trace
@@ -183,6 +211,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if trace_out.is_some() {
         serve_config = serve_config.with_tracing();
+    }
+    if let Some(budget) = scratch_budget {
+        serve_config = serve_config.with_scratch_budget(budget);
+        println!(
+            "streaming: bounded scratch arena, budget {budget} elems (over-budget jobs rejected)\n"
+        );
+    } else if streaming {
+        serve_config = serve_config.with_streaming();
+        println!("streaming: bounded scratch arena, unlimited budget\n");
     }
     if let Some(seed) = chaos_seed {
         serve_config = serve_config.with_chaos(FaultPlan::new(seed, fault_rate).with_weights(2, 2));
@@ -227,6 +264,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fleet.quarantines, fleet.rollbacks, fleet.probes, fleet.revivals,
             );
         }
+    }
+
+    if streaming {
+        println!(
+            "\nstreaming: {} jobs streamed, peak scratch {} elems, {} scratch rejections",
+            final_stats.streamed, final_stats.peak_scratch_elems, final_stats.rejected_scratch,
+        );
     }
 
     if let Some(path) = &trace_out {

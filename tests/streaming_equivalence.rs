@@ -1,0 +1,280 @@
+//! Streaming equivalence: the bounded-scratch streamed path must be
+//! bit-identical to materialized execution — outputs *and* statistics
+//! — across every backend, every tile depth shape (one-step, odd,
+//! exact-divisor, whole-operand windows), transformer-shaped
+//! operands, and the serving layer's scratch-budget admission.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tempus::arith::IntPrecision;
+use tempus::core::gemm::{Matrix, TubGemm};
+use tempus::core::streaming::{stream_product, StreamPlan};
+use tempus::models::transformer::{projection_gemm, ProjectionKind, TransformerShape};
+use tempus::models::zoo::Model;
+use tempus::models::{netbuild, QuantizedModel};
+use tempus::runtime::{BackendKind, EngineConfig, InferenceEngine, Job, StreamingConfig};
+use tempus::serve::{
+    Fidelity, RejectReason, Request, ResponseOutcome, ServeConfig, StreamingService,
+};
+
+/// The tile depths the contract names: a one-step window, an odd
+/// depth, an exact divisor of the inner dimension, and the whole
+/// operand in one window.
+fn tile_depths(n: usize) -> Vec<usize> {
+    let divisor = (1..=n / 2)
+        .rev()
+        .find(|&d| n.is_multiple_of(d))
+        .unwrap_or(1);
+    let mut depths = vec![1, 3, divisor, n];
+    depths.retain(|&d| d >= 1 && d <= n.max(1));
+    depths.sort_unstable();
+    depths.dedup();
+    depths
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Core contract: for random shapes and every named tile depth,
+    /// the streamed cycle-accurate run matches the materialized run
+    /// in output AND statistics, the functional streamed product
+    /// matches the golden product, and the observed arena high-water
+    /// mark equals the closed-form prediction.
+    #[test]
+    fn streamed_gemm_bit_identical_across_tile_depths(
+        seed in any::<u64>(),
+        m in 1usize..12,
+        n in 1usize..12,
+        p in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(m, n, |_, _| rng.random_range(-128..=127));
+        let b = Matrix::from_fn(n, p, |_, _| rng.random_range(-128..=127));
+        let engine = TubGemm::new(4, 4, IntPrecision::Int8);
+        let materialized = engine.multiply(&a, &b).unwrap();
+        let golden = a.multiply(&b).unwrap();
+        for tile_k in tile_depths(n) {
+            let plan = StreamPlan::new(tile_k);
+            let expected_peak = plan.peak_scratch_elems(&engine, m, n, p);
+            let streamed = engine.multiply_streamed(&a, &b, &plan).unwrap();
+            prop_assert_eq!(&streamed.output, &materialized.output, "tile_k={}", tile_k);
+            prop_assert_eq!(streamed.stats, materialized.stats, "tile_k={}", tile_k);
+            prop_assert_eq!(streamed.stream.peak_scratch_elems, expected_peak);
+            let (out, stream) = stream_product(&a, &b, (4, 4), &plan).unwrap();
+            prop_assert_eq!(&out, &golden, "functional tile_k={}", tile_k);
+            prop_assert_eq!(stream.peak_scratch_elems, expected_peak);
+        }
+    }
+}
+
+/// Backend contract: a mixed GEMM/transformer/network batch produces
+/// bit-identical outputs and identical modelled cycles with streaming
+/// on, off, and under a clamped budget — on all three backends, which
+/// must also agree with each other.
+#[test]
+fn streamed_batches_bit_identical_across_all_three_backends() {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for round in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(500 + round);
+        let (m, n, p) = (
+            rng.random_range(2usize..=10),
+            rng.random_range(2usize..=10),
+            rng.random_range(2usize..=10),
+        );
+        let a = Matrix::from_fn(m, n, |_, _| rng.random_range(-128..=127));
+        let b = Matrix::from_fn(n, p, |_, _| rng.random_range(-128..=127));
+        jobs.push(Job::gemm(id, format!("gemm-{id}"), a, b));
+        id += 1;
+    }
+    let shape = TransformerShape::new(4, 16);
+    for (i, &kind) in ProjectionKind::ALL.iter().enumerate() {
+        let (a, b) = projection_gemm(&shape, kind, IntPrecision::Int8, 600 + i as u64);
+        jobs.push(Job::gemm(id, format!("tf-{}", kind.name()), a, b));
+        id += 1;
+    }
+    let quantized =
+        QuantizedModel::generate_limited(Model::ResNet18, IntPrecision::Int8, 9, 200_000);
+    let layers = netbuild::network_prefix(&quantized, 1, 64);
+    let channels = netbuild::input_channels(&layers).unwrap();
+    let input = netbuild::input_cube(5, 5, channels, IntPrecision::Int8, 9);
+    jobs.push(Job::network(id, "net".to_string(), input, layers));
+
+    let mut digests = Vec::new();
+    for kind in BackendKind::ALL {
+        let materialized = InferenceEngine::new(EngineConfig::new(kind).with_workers(2))
+            .unwrap()
+            .run_batch(&jobs)
+            .unwrap();
+        assert_eq!(materialized.aggregate.streamed_jobs, 0);
+        for streaming in [
+            StreamingConfig::default(),
+            // A sub-floor budget: backends clamp to the one-step
+            // window and still answer bit-identically; enforcement is
+            // the admission layer's job, not the executor's.
+            StreamingConfig {
+                scratch_budget_elems: Some(8),
+            },
+        ] {
+            let streamed = InferenceEngine::new(
+                EngineConfig::new(kind)
+                    .with_workers(2)
+                    .with_streaming(streaming),
+            )
+            .unwrap()
+            .run_batch(&jobs)
+            .unwrap();
+            assert_eq!(
+                streamed.output_digest(),
+                materialized.output_digest(),
+                "{kind:?} streamed outputs diverged ({streaming:?})"
+            );
+            assert_eq!(
+                streamed.aggregate.total_sim_cycles, materialized.aggregate.total_sim_cycles,
+                "{kind:?} streaming changed modelled latency ({streaming:?})"
+            );
+            assert!(
+                streamed.aggregate.streamed_jobs > 0,
+                "{kind:?} reported no streamed jobs"
+            );
+            assert!(
+                streamed.aggregate.peak_scratch_elems > 0,
+                "{kind:?} reported no peak scratch"
+            );
+        }
+        digests.push(materialized.output_digest());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "backends disagree on the batch: {digests:?}"
+    );
+}
+
+/// Pinned-seed transformer golden: the trace-scale block projections
+/// at seed 7, streamed under a quarter-operand budget, must keep
+/// producing these exact outputs (and match the materialized engine
+/// in output and statistics).
+#[test]
+fn transformer_projection_streamed_golden() {
+    let shape = TransformerShape::trace_default();
+    let engine = TubGemm::new(16, 16, IntPrecision::Int8);
+    let expected: [(ProjectionKind, u64); 3] = [
+        (ProjectionKind::Attention, 0xd4b7_d390_e5ba_0b27),
+        (ProjectionKind::MlpUp, 0x3f58_d1d6_d0aa_9b3e),
+        (ProjectionKind::MlpDown, 0x865f_15ca_3a44_d756),
+    ];
+    for (kind, expected_hash) in expected {
+        let (a, b) = projection_gemm(&shape, kind, IntPrecision::Int8, 7);
+        let (m, n, p) = shape.dims(kind);
+        let budget = ((m * n + n * p) / 4) as u64;
+        let plan = StreamPlan::for_budget(&engine, m, n, p, budget)
+            .expect("quarter-operand budget admits a plan");
+        let streamed = engine.multiply_streamed(&a, &b, &plan).unwrap();
+        let materialized = engine.multiply(&a, &b).unwrap();
+        assert_eq!(streamed.output, materialized.output, "{}", kind.name());
+        assert_eq!(streamed.stats, materialized.stats, "{}", kind.name());
+        assert!(
+            streamed.stream.peak_scratch_elems <= budget,
+            "{}",
+            kind.name()
+        );
+        assert_eq!(
+            streamed.output.content_hash(),
+            expected_hash,
+            "{} drifted from the pinned golden",
+            kind.name()
+        );
+    }
+}
+
+/// Serving contract: a streamed service answers bit-identically to a
+/// materialized one while surfacing per-request peak scratch, and a
+/// scratch budget below a job's smallest plan rejects it at admission
+/// instead of running it.
+#[test]
+fn serve_streams_with_scratch_accounting_and_budget_rejection() {
+    let shape = TransformerShape::new(8, 32);
+    let requests: Vec<Job> = (0..4u64)
+        .map(|i| {
+            let (a, b) = projection_gemm(
+                &shape,
+                ProjectionKind::Attention,
+                IntPrecision::Int8,
+                40 + i,
+            );
+            Job::gemm(i, format!("tf-{i}"), a, b)
+        })
+        .collect();
+    let run = |config: ServeConfig| {
+        let service = StreamingService::start(config).expect("service starts");
+        let mut outcomes = Vec::new();
+        for job in requests.iter().cloned() {
+            service
+                .submit(Request {
+                    job,
+                    fidelity: Fidelity::Fast,
+                    deadline_cycles: None,
+                })
+                .expect("submit");
+            let response = service
+                .recv_response(Duration::from_secs(60))
+                .expect("response arrives");
+            outcomes.push((response.job_id, response.outcome));
+        }
+        let (stats, _) = service.shutdown();
+        (outcomes, stats)
+    };
+
+    let (materialized, _) = run(ServeConfig::new().with_workers(2));
+    let (streamed, stats) = run(ServeConfig::new().with_workers(2).with_streaming());
+    assert_eq!(stats.streamed, 4, "all four distinct jobs must stream");
+    assert!(stats.peak_scratch_elems > 0);
+    assert_eq!(stats.rejected_scratch, 0);
+    for ((mid, mat), (sid, str_)) in materialized.iter().zip(&streamed) {
+        assert_eq!(mid, sid);
+        match (mat, str_) {
+            (ResponseOutcome::Done(m), ResponseOutcome::Done(s)) => {
+                assert_eq!(m.output.digest(), s.output.digest(), "job {mid} diverged");
+                assert_eq!(m.sim_cycles, s.sim_cycles, "job {mid} latency changed");
+                assert_eq!(m.peak_scratch_elems, 0, "materialized job {mid} scratch");
+                assert!(s.peak_scratch_elems > 0, "streamed job {sid} scratch");
+            }
+            other => panic!("job {mid} did not complete on both paths: {other:?}"),
+        }
+    }
+
+    // A budget below the 8x32x32 projection's one-step floor: the job
+    // must be rejected at admission, never executed.
+    let (rejected, tight_stats) = run(ServeConfig::new().with_workers(1).with_scratch_budget(8));
+    assert_eq!(tight_stats.rejected_scratch, 4);
+    assert_eq!(tight_stats.completed, 0);
+    for (id, outcome) in rejected {
+        match outcome {
+            ResponseOutcome::Rejected(RejectReason::ScratchBudgetExceeded {
+                required_elems,
+                budget_elems,
+            }) => {
+                assert!(required_elems > budget_elems, "job {id} floor vs budget");
+                assert_eq!(budget_elems, 8);
+            }
+            other => panic!("job {id} was not scratch-rejected: {other:?}"),
+        }
+    }
+
+    // A budget that admits the plan: completes with the honest peak.
+    let (admitted, roomy_stats) = run(ServeConfig::new().with_workers(1).with_scratch_budget(4096));
+    assert_eq!(roomy_stats.rejected_scratch, 0);
+    assert_eq!(roomy_stats.streamed, 4);
+    for (id, outcome) in admitted {
+        match outcome {
+            ResponseOutcome::Done(result) => {
+                assert!(result.peak_scratch_elems > 0, "job {id}");
+                assert!(result.peak_scratch_elems <= 4096, "job {id}");
+            }
+            other => panic!("job {id} did not complete under the roomy budget: {other:?}"),
+        }
+    }
+}
