@@ -11,9 +11,9 @@
 use std::path::PathBuf;
 
 use tempus_bench::experiments::{
-    ablation, chaos_recovery, co_schedule, energy, fig1, fig4, fig5, fig6, fig7, fig8, fig9,
-    fleet_scaling, headline, multi_array_scaling, runtime_throughput, serve_latency, sim_speed,
-    streaming_gemm, table1, table2, table3, timing, trace_overhead,
+    ablation, chaos_recovery, co_schedule, dvfs_pareto, energy, fig1, fig4, fig5, fig6, fig7, fig8,
+    fig9, fleet_scaling, headline, multi_array_scaling, runtime_throughput, serve_latency,
+    sim_speed, streaming_gemm, table1, table2, table3, timing, trace_overhead,
 };
 use tempus_bench::{write_result, SEED};
 use tempus_hwmodel::{PnrModel, SynthModel};
@@ -35,6 +35,9 @@ fn main() {
     let results = PathBuf::from("results");
     let hw = SynthModel::nangate45();
     let pnr = PnrModel::new(hw.clone());
+    // One headline metric per machine-readable BENCH_*.json written
+    // this run, consolidated into results/BENCH_index.json at the end.
+    let mut index: Vec<(&str, &str, f64)> = Vec::new();
 
     println!("== Tempus Core paper reproduction report ==");
     println!("(calibration provenance follows; see DESIGN.md for the fitting pipeline)\n");
@@ -241,6 +244,11 @@ fn main() {
             .expect("write runtime markdown");
         write_result(&results, "BENCH_runtime_throughput.json", &report.to_json())
             .expect("write runtime json");
+        index.push((
+            "runtime_throughput",
+            "functional_speedup",
+            report.functional_speedup,
+        ));
     }
 
     if wants("sim_speed") {
@@ -255,6 +263,7 @@ fn main() {
             .expect("write sim_speed markdown");
         write_result(&results, "BENCH_sim_speed.json", &report.to_json())
             .expect("write sim_speed json");
+        index.push(("sim_speed", "geomean_speedup", report.geomean_speedup()));
     }
 
     if wants("streaming_gemm") {
@@ -287,6 +296,11 @@ fn main() {
             .expect("write streaming_gemm markdown");
         write_result(&results, "BENCH_streaming_gemm.json", &report.to_json())
             .expect("write streaming_gemm json");
+        index.push((
+            "streaming_gemm",
+            "geomean_speedup",
+            report.geomean_speedup(),
+        ));
     }
 
     if wants("multi_array") {
@@ -305,6 +319,11 @@ fn main() {
             &report.to_json(),
         )
         .expect("write multi_array json");
+        index.push((
+            "multi_array_scaling",
+            "min_speedup_at_2_arrays",
+            report.min_kernel_rich_speedup_at_2().unwrap_or(0.0),
+        ));
     }
 
     if wants("co_schedule") {
@@ -325,6 +344,7 @@ fn main() {
             .expect("write co_schedule markdown");
         write_result(&results, "BENCH_co_schedule.json", &report.to_json())
             .expect("write co_schedule json");
+        index.push(("co_schedule", "makespan_speedup", report.makespan_speedup()));
     }
 
     if wants("fleet_scaling") {
@@ -349,6 +369,14 @@ fn main() {
             .expect("write fleet_scaling markdown");
         write_result(&results, "BENCH_fleet_scaling.json", &report.to_json())
             .expect("write fleet_scaling json");
+        index.push((
+            "fleet_scaling",
+            "peak_load_admission_compliance",
+            report
+                .admission
+                .last()
+                .map_or(0.0, |row| row.compliance_admission),
+        ));
     }
 
     if wants("serve") {
@@ -360,6 +388,7 @@ fn main() {
             .expect("write serve markdown");
         write_result(&results, "BENCH_serve_latency.json", &report.to_json())
             .expect("write serve json");
+        index.push(("serve_latency", "warm_speedup", report.warm_speedup));
     }
 
     if wants("trace_overhead") {
@@ -378,6 +407,7 @@ fn main() {
             .expect("write trace_overhead markdown");
         write_result(&results, "BENCH_trace_overhead.json", &report.to_json())
             .expect("write trace_overhead json");
+        index.push(("trace_overhead", "overhead_frac", report.overhead_frac));
     }
 
     if wants("chaos_recovery") {
@@ -396,6 +426,70 @@ fn main() {
             .expect("write chaos_recovery markdown");
         write_result(&results, "BENCH_chaos_recovery.json", &report.to_json())
             .expect("write chaos_recovery json");
+        index.push((
+            "chaos_recovery",
+            "worst_p99_ms",
+            report
+                .scenarios
+                .iter()
+                .map(|s| s.p99_ms)
+                .fold(0.0, f64::max),
+        ));
+    }
+
+    if wants("dvfs_pareto") {
+        println!(
+            "--- Energy-latency Pareto co-scheduling: DVFS domains, power cap, speculation \
+             (beyond the paper) ---"
+        );
+        let report = dvfs_pareto::run(SEED, quick);
+        println!("{}", report.to_markdown());
+        assert!(
+            report.identity_holds(),
+            "DVFS-off serving diverged from the reference path: {:?}",
+            report.identity
+        );
+        assert!(
+            report.power_gate_holds(),
+            "power cap missed the ≥25% energy / ≤1.5x latency envelope: {:?}",
+            report.power
+        );
+        assert!(
+            report.speculative_gate_holds(),
+            "speculative serving missed the ≥3x p50 / zero-mismatch gate: {:?}",
+            report.speculative
+        );
+        assert!(
+            report.governor_active(),
+            "governor committed no frequency transitions on an idle-heavy stream: {:?}",
+            report.governor
+        );
+        write_result(&results, "dvfs_pareto.md", &report.to_markdown())
+            .expect("write dvfs_pareto markdown");
+        write_result(&results, "BENCH_dvfs_pareto.json", &report.to_json())
+            .expect("write dvfs_pareto json");
+        index.push((
+            "dvfs_pareto",
+            "capped_energy_drop",
+            report.power.energy_drop,
+        ));
+    }
+
+    if !index.is_empty() {
+        let mut json = String::from("{\n  \"index\": [\n");
+        for (i, (experiment, metric, value)) in index.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"file\": \"BENCH_{experiment}.json\", \"experiment\": \"{experiment}\", \
+                 \"metric\": \"{metric}\", \"value\": {value:.4}}}{}\n",
+                if i + 1 == index.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        write_result(&results, "BENCH_index.json", &json).expect("write bench index");
+        println!(
+            "consolidated {} headline metrics into BENCH_index.json",
+            index.len()
+        );
     }
 
     println!("report complete; artifacts in results/");

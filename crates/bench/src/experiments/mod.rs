@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod chaos_recovery;
 pub mod co_schedule;
+pub mod dvfs_pareto;
 pub mod energy;
 pub mod fig1;
 pub mod fig4;

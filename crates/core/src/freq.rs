@@ -1,0 +1,197 @@
+//! Discrete per-array frequency/voltage (DVFS) domains.
+//!
+//! Every PE array owns one clock domain stepping through a small
+//! fixed ladder of (period multiplier, voltage scale) operating
+//! points. The ladder is expressed in **exact rationals** over the
+//! nominal 250 MHz device clock so every cycle conversion is integer
+//! arithmetic — the deterministic-replay contract of the array-slot
+//! ledger survives down-clocking bit-for-bit:
+//!
+//! * a job that takes `d` device cycles at the nominal level takes
+//!   `ceil(d * num / den)` device cycles at a level with period
+//!   multiplier `num/den` (the ledger keeps booking in nominal
+//!   device cycles, scaled once at placement time);
+//! * **dynamic** energy scales with the square of the voltage scale
+//!   (`E_dyn ∝ C·V²`; the activity — window/pulse cycles — is
+//!   unchanged, the work is the same work);
+//! * **static/leakage** energy scales with the stretched wall time
+//!   times the voltage scale (`P_leak ∝ V`, charged for `num/den`
+//!   longer).
+//!
+//! Level 0 is the identity point (multiplier 1/1, voltage scale
+//! 1000‰): with the governor and power cap off, every conversion is
+//! a no-op and the stack stays byte-identical to the latency-only
+//! scheduler.
+
+/// Millivolt-per-volt fixed-point denominator for voltage scales.
+pub const VSCALE_ONE: u64 = 1000;
+
+/// One operating point of the per-array DVFS ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreqLevel {
+    /// Period multiplier numerator (period grows `num/den` ×, so the
+    /// clock slows by the same factor).
+    pub period_num: u32,
+    /// Period multiplier denominator.
+    pub period_den: u32,
+    /// Supply-voltage scale in permille of nominal (1000 = nominal).
+    pub vscale_permille: u32,
+}
+
+impl FreqLevel {
+    /// The identity operating point: nominal clock, nominal voltage.
+    pub const NOMINAL: FreqLevel = FreqLevel {
+        period_num: 1,
+        period_den: 1,
+        vscale_permille: 1000,
+    };
+
+    /// Duration in device cycles of work that takes `cycles` at the
+    /// nominal level: `ceil(cycles * num / den)`, exact integer
+    /// arithmetic. Identity at level 0.
+    #[must_use]
+    pub fn scale_cycles(self, cycles: u64) -> u64 {
+        if self.period_num == self.period_den {
+            return cycles;
+        }
+        (cycles as u128 * u128::from(self.period_num))
+            .div_ceil(u128::from(self.period_den.max(1)))
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Dynamic energy at this level for work costing `pj` at nominal:
+    /// scales with V² (`floor(pj · v² / 1000²)`, exact integers).
+    #[must_use]
+    pub fn scale_dynamic_pj(self, pj: u64) -> u64 {
+        let v = u128::from(self.vscale_permille);
+        (u128::from(pj) * v * v / (u128::from(VSCALE_ONE) * u128::from(VSCALE_ONE)))
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Static/leakage energy at this level for a busy window costing
+    /// `pj` of leakage at nominal: the window stretches `num/den` ×
+    /// and leakage power scales ∝ V.
+    #[must_use]
+    pub fn scale_static_pj(self, pj: u64) -> u64 {
+        let v = u128::from(self.vscale_permille);
+        (u128::from(pj) * u128::from(self.period_num) * v
+            / (u128::from(self.period_den.max(1)) * u128::from(VSCALE_ONE)))
+        .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Clock frequency at this level, in MHz, for a nominal
+    /// `base_mhz` clock.
+    #[must_use]
+    pub fn freq_mhz(self, base_mhz: f64) -> f64 {
+        base_mhz * f64::from(self.period_den) / f64::from(self.period_num.max(1))
+    }
+}
+
+/// The fixed edge ladder: four operating points from the nominal
+/// 250 MHz point down to half clock. Chosen so one step trades ~20%
+/// clock for ~10% voltage — the classic near-linear region of the
+/// frequency/voltage curve.
+///
+/// | level | clock (of 250 MHz) | period ×  | voltage |
+/// |-------|--------------------|-----------|---------|
+/// | 0     | 250 MHz            | 1         | 100%    |
+/// | 1     | 200 MHz            | 5/4       | 90%     |
+/// | 2     | ~167 MHz           | 3/2       | 80%     |
+/// | 3     | 125 MHz            | 2         | 70%     |
+pub const LADDER: [FreqLevel; 4] = [
+    FreqLevel::NOMINAL,
+    FreqLevel {
+        period_num: 5,
+        period_den: 4,
+        vscale_permille: 900,
+    },
+    FreqLevel {
+        period_num: 3,
+        period_den: 2,
+        vscale_permille: 800,
+    },
+    FreqLevel {
+        period_num: 2,
+        period_den: 1,
+        vscale_permille: 700,
+    },
+];
+
+/// Number of ladder levels.
+pub const NUM_LEVELS: usize = LADDER.len();
+
+/// The operating point for `level`, clamped into the ladder.
+#[must_use]
+pub fn level(level: u8) -> FreqLevel {
+    LADDER[(level as usize).min(NUM_LEVELS - 1)]
+}
+
+/// Total (dynamic + static) energy of work costing
+/// `(dynamic_pj, static_pj)` at nominal, when run at `lvl`.
+#[must_use]
+pub fn energy_at(dynamic_pj: u64, static_pj: u64, lvl: u8) -> u64 {
+    let l = level(lvl);
+    l.scale_dynamic_pj(dynamic_pj)
+        .saturating_add(l.scale_static_pj(static_pj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_zero_is_the_identity() {
+        let l = level(0);
+        assert_eq!(l, FreqLevel::NOMINAL);
+        for cycles in [0u64, 1, 7, 1_000_003] {
+            assert_eq!(l.scale_cycles(cycles), cycles);
+        }
+        for pj in [0u64, 1, 999, 123_456_789] {
+            assert_eq!(l.scale_dynamic_pj(pj), pj);
+            assert_eq!(l.scale_static_pj(pj), pj);
+        }
+        assert!((l.freq_mhz(250.0) - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_slows_monotonically_and_saves_dynamic_energy() {
+        for w in LADDER.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Strictly longer periods, strictly lower voltage.
+            assert!(
+                u64::from(b.period_num) * u64::from(a.period_den)
+                    > u64::from(a.period_num) * u64::from(b.period_den)
+            );
+            assert!(b.vscale_permille < a.vscale_permille);
+            assert!(b.scale_cycles(1000) > a.scale_cycles(1000));
+            assert!(b.scale_dynamic_pj(1_000_000) < a.scale_dynamic_pj(1_000_000));
+        }
+    }
+
+    #[test]
+    fn scaled_cycles_round_up_never_down() {
+        // 3/2 on odd cycle counts must ceil: slower clocks never
+        // finish early.
+        assert_eq!(level(2).scale_cycles(3), 5); // ceil(4.5)
+        assert_eq!(level(2).scale_cycles(4), 6);
+        assert_eq!(level(3).scale_cycles(7), 14);
+        assert_eq!(level(1).scale_cycles(7), 9); // ceil(8.75)
+    }
+
+    #[test]
+    fn out_of_range_levels_clamp_to_the_floor() {
+        assert_eq!(level(200), LADDER[NUM_LEVELS - 1]);
+    }
+
+    #[test]
+    fn energy_at_level_two_sits_in_the_pareto_sweet_spot() {
+        // At ~3% leakage fraction, L2 must save ≥ 25% total energy —
+        // the dvfs_pareto bench gate's arithmetic, pinned here.
+        let dyn_pj = 97_000u64;
+        let stat_pj = 3_000u64;
+        let nominal = energy_at(dyn_pj, stat_pj, 0);
+        let l2 = energy_at(dyn_pj, stat_pj, 2);
+        assert_eq!(nominal, 100_000);
+        assert!((l2 as f64) < 0.75 * nominal as f64, "l2 = {l2}");
+    }
+}

@@ -27,6 +27,9 @@
 //!   channel-group + cross-array reduction) partitioning of one job
 //!   across N PE arrays, with per-shard accounting, bit-identical to
 //!   the single-array engine in outputs and summed statistics;
+//! * [`freq`] — discrete per-array frequency/voltage (DVFS) operating
+//!   points: exact-rational period scaling and closed-form energy
+//!   scaling, the basis of the energy-latency Pareto scheduler;
 //! * [`gemm`] — the predecessor tubGEMM outer-product engine (§II-B),
 //!   implemented so the paper's dataflow comparison (outer-product
 //!   GEMM vs inner-product convolution) is runnable;
@@ -71,6 +74,7 @@
 
 mod core_impl;
 pub mod csc_mod;
+pub mod freq;
 pub mod gemm;
 pub mod latency;
 pub mod pcu;

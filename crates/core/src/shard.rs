@@ -167,6 +167,27 @@ pub struct WidthCost {
     /// tails of imbalanced shards and reserved-but-unused arrays are
     /// waste, not work).
     pub total_array_cycles: u64,
+    /// Closed-form **dynamic** energy of the work at the nominal
+    /// operating point, in pJ: switching energy scales with the
+    /// working array-cycles (window/pulse activity), derived from the
+    /// calibrated synthesis model's dynamic power share. Zero when the
+    /// planner has no calibrated power figure.
+    pub dynamic_energy_pj: u64,
+    /// Closed-form **static/leakage** energy at the nominal point, in
+    /// pJ: leakage is charged on busy-until wall time — `used` arrays
+    /// held for the critical path, idle tails included. Zero when
+    /// uncalibrated.
+    pub static_energy_pj: u64,
+}
+
+impl WidthCost {
+    /// Total energy (dynamic + static) of this candidate when run at
+    /// DVFS ladder level `lvl`, in pJ
+    /// ([`crate::freq::energy_at`]).
+    #[must_use]
+    pub fn energy_at(&self, lvl: u8) -> u64 {
+        crate::freq::energy_at(self.dynamic_energy_pj, self.static_energy_pj, lvl)
+    }
 }
 
 /// A cost-aware width decision: the chosen array count plus the full
@@ -199,6 +220,8 @@ impl BudgetPlan {
                 critical_path_cycles,
                 reduction_cycles: 0,
                 total_array_cycles: critical_path_cycles,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             }],
         }
     }
@@ -217,6 +240,36 @@ impl BudgetPlan {
         let idx = arrays.clamp(1, self.widths.len()) - 1;
         &self.widths[idx]
     }
+
+    /// The (latency, energy) Pareto set of running this plan at
+    /// `arrays` across every DVFS ladder level: one
+    /// [`ParetoPoint`] per level, level order (so latency is
+    /// non-decreasing and dynamic energy non-increasing down the
+    /// list). The scheduler walks this to pick the lowest-energy
+    /// point that still meets a deadline / power envelope.
+    #[must_use]
+    pub fn pareto_at(&self, arrays: usize) -> Vec<ParetoPoint> {
+        let cost = self.cost_at(arrays);
+        (0..crate::freq::NUM_LEVELS as u8)
+            .map(|lvl| ParetoPoint {
+                level: lvl,
+                latency_cycles: crate::freq::level(lvl).scale_cycles(cost.critical_path_cycles),
+                energy_pj: cost.energy_at(lvl),
+            })
+            .collect()
+    }
+}
+
+/// One point of a plan's (latency, energy) Pareto frontier: the cost
+/// of one `(width, frequency level)` operating choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// DVFS ladder level ([`crate::freq::LADDER`] index).
+    pub level: u8,
+    /// Critical-path latency at the level, in nominal device cycles.
+    pub latency_cycles: u64,
+    /// Total (dynamic + static) energy at the level, in pJ.
+    pub energy_pj: u64,
 }
 
 /// Speedup of widening from `narrower_cycles` to `wider_cycles`
@@ -869,6 +922,8 @@ mod tests {
                 critical_path_cycles: units * 1000 / used,
                 reduction_cycles: 0,
                 total_array_cycles: units * 1000,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
         }
     }
@@ -912,6 +967,8 @@ mod tests {
                 critical_path_cycles: curve[w - 1],
                 reduction_cycles: 0,
                 total_array_cycles: 4000,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
         })
         .unwrap();
@@ -931,6 +988,8 @@ mod tests {
                 critical_path_cycles: curve[w - 1],
                 reduction_cycles: 0,
                 total_array_cycles: curve[w - 1] * w as u64,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
         })
         .unwrap();
@@ -950,6 +1009,8 @@ mod tests {
                 critical_path_cycles: if w == 1 { 10_000 } else { 6_000 },
                 reduction_cycles: if w == 1 { 0 } else { 3_000 },
                 total_array_cycles: 10_000,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
         })
         .unwrap();

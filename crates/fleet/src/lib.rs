@@ -33,6 +33,17 @@
 //!   path for gather wait — and rejects at admission when no width
 //!   anywhere meets the deadline, instead of letting the job time out
 //!   in the queue.
+//! * **Power-capped Pareto admission**
+//!   ([`FleetConfig::with_power_cap`]) — under a fleet-wide average
+//!   power budget the picker walks every (device, width, DVFS
+//!   ladder level) candidate, prices it from the plan's closed-form
+//!   energy split, and commits the **lowest-energy** placement that
+//!   meets the deadline and keeps concurrent power under the cap.
+//! * **Per-array DVFS governor**
+//!   ([`FleetConfig::with_freq_governor`]) — the occupancy-driven
+//!   governor is threaded into every device ledger (elastic joins
+//!   included); its frequency transitions surface as
+//!   [`FleetEvent::FreqChange`]s.
 //! * **Elastic sizing** ([`ElasticPolicy`]) — on ledger-clock
 //!   boundaries the fleet compares backlog per active device against
 //!   grow/shrink thresholds and joins (or revives) a device at the
@@ -50,8 +61,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tempus_core::freq;
 use tempus_core::shard::BudgetPlan;
-use tempus_runtime::{ArrayLedger, DeviceSummary, Placement};
+use tempus_runtime::stats::PERIOD_NS;
+use tempus_runtime::{ArrayLedger, DeviceSummary, GovernorPolicy, Placement};
 
 /// Fleet shape and policy switches.
 #[derive(Debug, Clone)]
@@ -65,6 +78,17 @@ pub struct FleetConfig {
     pub backfill: bool,
     /// Resize the fleet against backlog; `None` keeps it fixed.
     pub elastic: Option<ElasticPolicy>,
+    /// Fleet-wide average-power budget in milli-mW (µW). `None` (the
+    /// default) admits on finish time alone — the pre-DVFS picker
+    /// bit-for-bit. `Some(cap)` switches admission to the
+    /// energy-Pareto path: every (device, width, ladder-level)
+    /// candidate is priced and the cheapest deadline- and
+    /// power-feasible one wins.
+    pub power_cap_milli_mw: Option<u64>,
+    /// Per-array DVFS governor threaded into every device ledger
+    /// (joins included); `None` keeps every array at the nominal
+    /// clock.
+    pub governor: Option<GovernorPolicy>,
 }
 
 impl FleetConfig {
@@ -77,6 +101,8 @@ impl FleetConfig {
             arrays_per_device: arrays_per_device.max(1),
             backfill: false,
             elastic: None,
+            power_cap_milli_mw: None,
+            governor: None,
         }
     }
 
@@ -91,6 +117,24 @@ impl FleetConfig {
     #[must_use]
     pub fn with_elastic(mut self, policy: ElasticPolicy) -> Self {
         self.elastic = Some(policy);
+        self
+    }
+
+    /// Caps fleet-wide average power at `cap_mw` milliwatts (builder
+    /// style): admission walks the (width × frequency-level) Pareto
+    /// frontier and commits the lowest-energy placement whose
+    /// concurrent power stays under the cap.
+    #[must_use]
+    pub fn with_power_cap(mut self, cap_mw: f64) -> Self {
+        self.power_cap_milli_mw = Some((cap_mw.max(0.0) * 1000.0).round() as u64);
+        self
+    }
+
+    /// Threads the occupancy-driven DVFS governor into every device
+    /// ledger (builder style).
+    #[must_use]
+    pub fn with_freq_governor(mut self, governor: GovernorPolicy) -> Self {
+        self.governor = Some(governor);
         self
     }
 }
@@ -325,6 +369,18 @@ pub enum FleetEvent {
         /// Start cycle of the reverted placement.
         start_cycle: u64,
     },
+    /// A device array's clock domain stepped on the DVFS ladder (the
+    /// occupancy governor committed a transition).
+    FreqChange {
+        /// Device whose array stepped.
+        device: usize,
+        /// Array whose clock domain stepped.
+        array: usize,
+        /// The new ladder level.
+        level: u8,
+        /// Device cycle the step takes effect.
+        cycle: u64,
+    },
 }
 
 /// Point-in-time fleet account: per-device summaries plus fleet-level
@@ -351,6 +407,14 @@ pub struct FleetSummary {
     pub rollbacks: u64,
     /// Quarantined devices returned to service by a healthy probe.
     pub revivals: u64,
+    /// Highest concurrent average power any committed placement ever
+    /// saw, in mW (0.0 until a placement carried an energy-annotated
+    /// plan). The figure a cap is set against.
+    pub peak_power_mw: f64,
+    /// Closed-form energy (pJ) summed over every committed placement
+    /// at its chosen ladder level — gross of rollbacks, so it prices
+    /// the work the fleet *scheduled*, not what finally ran.
+    pub planned_energy_pj: u64,
 }
 
 impl FleetSummary {
@@ -370,6 +434,10 @@ impl FleetSummary {
             combined.idle_gap_count += d.idle_gap_count;
             combined.idle_gap_cycles += d.idle_gap_cycles;
             combined.backfills += d.backfills;
+            for (slot, cycles) in d.level_residency.iter().enumerate() {
+                combined.level_residency[slot] += cycles;
+            }
+            combined.freq_changes += d.freq_changes;
         }
         combined
     }
@@ -401,6 +469,13 @@ pub struct FleetScheduler {
     probes: u64,
     rollbacks: u64,
     revivals: u64,
+    /// Committed placements still holding device time, as
+    /// `(start, finish, power_milli_mw)` — the concurrency set the
+    /// power cap is checked against. Entries whose finish has passed
+    /// the fleet floor are pruned at every admission.
+    active_power: Vec<(u64, u64, u64)>,
+    peak_power_milli_mw: u64,
+    planned_energy_pj: u64,
     /// Emit [`FleetEvent`]s into `events`; off by default so cloned
     /// what-if schedulers cost nothing.
     record: bool,
@@ -413,7 +488,7 @@ impl FleetScheduler {
     pub fn new(config: FleetConfig) -> Self {
         let devices: Vec<DeviceState> = (0..config.devices.max(1))
             .map(|_| DeviceState {
-                ledger: ArrayLedger::new(config.arrays_per_device),
+                ledger: Self::build_ledger(&config, 0),
                 status: DeviceStatus::Active,
                 joined_at_cycle: 0,
                 health: DeviceHealth::default(),
@@ -433,8 +508,22 @@ impl FleetScheduler {
             probes: 0,
             rollbacks: 0,
             revivals: 0,
+            active_power: Vec::new(),
+            peak_power_milli_mw: 0,
+            planned_energy_pj: 0,
             record: false,
             events: Vec::new(),
+        }
+    }
+
+    /// A device ledger with all arrays free at `cycle`, with the
+    /// configured DVFS governor (if any) threaded in — used for the
+    /// start-up devices and every elastic join alike.
+    fn build_ledger(config: &FleetConfig, cycle: u64) -> ArrayLedger {
+        let ledger = ArrayLedger::starting_at(config.arrays_per_device, cycle);
+        match config.governor {
+            Some(g) => ledger.with_governor(g),
+            None => ledger,
         }
     }
 
@@ -509,6 +598,8 @@ impl FleetScheduler {
             probes: self.probes,
             rollbacks: self.rollbacks,
             revivals: self.revivals,
+            peak_power_mw: self.peak_power_milli_mw as f64 / 1000.0,
+            planned_energy_pj: self.planned_energy_pj,
         }
     }
 
@@ -550,6 +641,15 @@ impl FleetScheduler {
         arrival: u64,
         reference: u64,
     ) -> FleetOutcome {
+        // Placements whose finish has passed the floor can no longer
+        // overlap anything new (every new start is at or past the
+        // floor): drop them from the power concurrency set.
+        let power_floor = self.floor();
+        self.active_power
+            .retain(|&(_, finish, _)| finish > power_floor);
+        if let Some(cap) = self.config.power_cap_milli_mw {
+            return self.admit_capped(plan, deadline_cycles, arrival, reference, cap);
+        }
         // Normal path: earliest finish across active devices, ties to
         // the lowest id (strict `<` on the scan keeps the first).
         let mut chosen: Option<(usize, Placement)> = None;
@@ -637,6 +737,8 @@ impl FleetScheduler {
             granted: placement.assignment.granted,
         });
         self.devices[device].ledger.apply(&placement);
+        self.track_committed(plan, &placement);
+        self.lower_freq_changes(device);
         let placed = FleetPlacement {
             device,
             placement,
@@ -644,6 +746,152 @@ impl FleetScheduler {
         };
         self.observe_latency(placed.latency_cycles());
         FleetOutcome::Placed(placed)
+    }
+
+    /// The power-capped admission body: every active device × fixed
+    /// width × DVFS ladder level is previewed and priced, and the
+    /// **lowest-energy** candidate that meets the deadline (measured
+    /// from `reference`) *and* keeps concurrent fleet power at or
+    /// under `cap` over its interval wins — energy-first where the
+    /// uncapped picker is finish-first. Ties break to the earlier
+    /// finish, then scan order (lower device id, shallower level).
+    /// The ladder walk supersedes any governor level on the previewed
+    /// arrays: under a cap the admission decision owns the operating
+    /// point. On rejection, `best_latency_cycles` reports the best
+    /// latency over every candidate irrespective of power — it can
+    /// sit below the deadline when power alone blocked admission.
+    fn admit_capped(
+        &mut self,
+        plan: &BudgetPlan,
+        deadline_cycles: Option<u64>,
+        arrival: u64,
+        reference: u64,
+        cap: u64,
+    ) -> FleetOutcome {
+        let mut chosen: Option<(usize, Placement, u64)> = None;
+        let mut best_latency = u64::MAX;
+        let max_width = plan.arrays.max(1);
+        let device_ids: Vec<usize> = self.active_iter().map(|(idx, _)| idx).collect();
+        for idx in device_ids {
+            for width in 1..=max_width {
+                let base = self.devices[idx].ledger.preview_width(plan, width, arrival);
+                if width == max_width {
+                    self.emit(FleetEvent::Preview {
+                        device: idx,
+                        finish_cycle: base.finish_cycle(),
+                    });
+                }
+                for lvl in 0..freq::NUM_LEVELS as u8 {
+                    let p = base.at_level(lvl);
+                    let finish = p.finish_cycle();
+                    let latency = finish.saturating_sub(reference);
+                    best_latency = best_latency.min(latency);
+                    if deadline_cycles.is_some_and(|d| latency > d) {
+                        continue;
+                    }
+                    let energy = plan.cost_at(p.assignment.granted).energy_at(lvl);
+                    let power = Self::power_milli_of(energy, p.duration_cycles);
+                    if power > 0 && self.overlap_power(p.start_cycle, finish) + power > cap {
+                        continue;
+                    }
+                    let better = chosen.as_ref().is_none_or(|(_, best, best_energy)| {
+                        energy < *best_energy
+                            || (energy == *best_energy && finish < best.finish_cycle())
+                    });
+                    if better {
+                        chosen = Some((idx, p, energy));
+                    }
+                }
+            }
+        }
+        let Some((device, placement, _)) = chosen else {
+            let best_latency = if best_latency == u64::MAX {
+                0
+            } else {
+                best_latency
+            };
+            let deadline = deadline_cycles.unwrap_or(0);
+            self.rejections += 1;
+            self.observe_latency(best_latency);
+            self.emit(FleetEvent::Reject {
+                deadline_cycles: deadline,
+                best_latency_cycles: best_latency,
+            });
+            return FleetOutcome::Rejected(DeadlineMiss {
+                deadline_cycles: deadline,
+                best_latency_cycles: best_latency,
+            });
+        };
+        self.emit(FleetEvent::Route {
+            device,
+            start_cycle: placement.start_cycle,
+            granted: placement.assignment.granted,
+        });
+        self.devices[device].ledger.apply(&placement);
+        self.track_committed(plan, &placement);
+        self.lower_freq_changes(device);
+        let placed = FleetPlacement {
+            device,
+            placement,
+            arrival_cycle: reference,
+        };
+        self.observe_latency(placed.latency_cycles());
+        FleetOutcome::Placed(placed)
+    }
+
+    /// Closed-form average power of `energy_pj` spread over
+    /// `duration_cycles` device cycles, in milli-mW (pJ over ns is
+    /// mW exactly). Zero for zero-energy plans — the planner-free
+    /// paths carry no annotation and never register cap pressure.
+    fn power_milli_of(energy_pj: u64, duration_cycles: u64) -> u64 {
+        if energy_pj == 0 || duration_cycles == 0 {
+            0
+        } else {
+            (energy_pj as f64 * 1000.0 / (duration_cycles as f64 * PERIOD_NS)).round() as u64
+        }
+    }
+
+    /// Sum of tracked placement powers overlapping `[start, finish)`,
+    /// in milli-mW — a conservative concurrency reading (placements
+    /// overlapping anywhere in the window count in full).
+    fn overlap_power(&self, start: u64, finish: u64) -> u64 {
+        self.active_power
+            .iter()
+            .filter(|&&(s, f, _)| s < finish && f > start)
+            .map(|&(_, _, p)| p)
+            .sum()
+    }
+
+    /// Books a committed placement's energy and power into the fleet
+    /// account and the cap concurrency set. Pure bookkeeping — no
+    /// scheduling decision reads it until a cap is configured.
+    fn track_committed(&mut self, plan: &BudgetPlan, placement: &Placement) {
+        let energy = plan
+            .cost_at(placement.assignment.granted)
+            .energy_at(placement.freq_level);
+        self.planned_energy_pj += energy;
+        let power = Self::power_milli_of(energy, placement.duration_cycles);
+        if power > 0 {
+            let concurrent =
+                self.overlap_power(placement.start_cycle, placement.finish_cycle()) + power;
+            self.peak_power_milli_mw = self.peak_power_milli_mw.max(concurrent);
+            self.active_power
+                .push((placement.start_cycle, placement.finish_cycle(), power));
+        }
+    }
+
+    /// Drains the device ledger's committed governor transitions and
+    /// lowers them into [`FleetEvent::FreqChange`]s (drained even
+    /// when recording is off so the pending list stays bounded).
+    fn lower_freq_changes(&mut self, device: usize) {
+        for fc in self.devices[device].ledger.drain_freq_changes() {
+            self.emit(FleetEvent::FreqChange {
+                device,
+                array: fc.array,
+                level: fc.level,
+                cycle: fc.cycle,
+            });
+        }
     }
 
     /// Folds one admission's latency into the backlog signal.
@@ -698,7 +946,7 @@ impl FleetScheduler {
                 idx
             } else {
                 self.devices.push(DeviceState {
-                    ledger: ArrayLedger::starting_at(self.config.arrays_per_device, floor),
+                    ledger: Self::build_ledger(&self.config, floor),
                     status: DeviceStatus::Active,
                     joined_at_cycle: floor,
                     health: DeviceHealth::default(),
@@ -783,6 +1031,16 @@ impl FleetScheduler {
             return false;
         };
         let clean = dev.ledger.revert(placement);
+        // The reverted grant no longer holds device time: release its
+        // entry in the power concurrency set (peak and planned energy
+        // stay gross — they record what was scheduled).
+        if let Some(pos) = self
+            .active_power
+            .iter()
+            .position(|&(s, f, _)| s == placement.start_cycle && f == placement.finish_cycle())
+        {
+            self.active_power.remove(pos);
+        }
         self.rollbacks += 1;
         self.emit(FleetEvent::Rollback {
             device,
@@ -857,6 +1115,8 @@ mod tests {
                 critical_path_cycles: total / w as u64,
                 reduction_cycles: 0,
                 total_array_cycles: total,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
             .collect();
         BudgetPlan {
@@ -1196,6 +1456,119 @@ mod tests {
         // Revived, the device takes work again.
         let p = place(&mut fleet, &BudgetPlan::single(100));
         assert_eq!(p.device, 1);
+    }
+
+    /// A single-width plan annotated with the closed-form energy
+    /// split: 1000 critical-path cycles, 97 nJ dynamic + 3 nJ static
+    /// — 25 mW average power at the nominal clock (100 000 pJ over
+    /// 4000 ns).
+    fn energy_plan() -> BudgetPlan {
+        let mut plan = BudgetPlan::single(1000);
+        plan.widths[0].dynamic_energy_pj = 97_000;
+        plan.widths[0].static_energy_pj = 3_000;
+        plan
+    }
+
+    #[test]
+    fn uncapped_fleet_tracks_peak_power_without_changing_placements() {
+        let mut fleet = FleetScheduler::new(FleetConfig::new(1, 1));
+        let p = place(&mut fleet, &energy_plan());
+        assert_eq!(p.placement.freq_level, 0, "no cap, no governor: nominal");
+        assert_eq!(p.placement.duration_cycles, 1000);
+        let summary = fleet.summary();
+        assert!((summary.peak_power_mw - 25.0).abs() < 1e-9);
+        assert_eq!(summary.planned_energy_pj, 100_000);
+    }
+
+    #[test]
+    fn power_cap_picks_the_cheapest_feasible_ladder_level() {
+        // Cap at 60% of the 25 mW nominal peak. L0 (25 mW) and L1
+        // (~16.4 mW) blow the 15 mW budget; L3 meets it but its 2×
+        // stretch blows the 1.5× deadline; L2 (~10.9 mW, 1500
+        // cycles) is the unique feasible point — and the admission
+        // must find it.
+        let mut fleet = FleetScheduler::new(FleetConfig::new(1, 1).with_power_cap(15.0));
+        fleet.set_recording(true);
+        let plan = energy_plan();
+        let p = match fleet.admit(&plan, Some(1500)) {
+            FleetOutcome::Placed(p) => p,
+            FleetOutcome::Rejected(m) => panic!("should downclock to fit the cap, got {m:?}"),
+        };
+        assert_eq!(p.placement.freq_level, 2);
+        assert_eq!(p.placement.duration_cycles, 1500);
+        assert_eq!(p.placement.nominal_duration_cycles, 1000);
+        // L2 energy: 97 000 × 0.8² + 3 000 × 1.5 × 0.8 = 65 680 pJ —
+        // a 34% saving over nominal, under a 25% latency-bounded cap.
+        let summary = fleet.summary();
+        assert_eq!(summary.planned_energy_pj, 65_680);
+        assert!(summary.peak_power_mw < 15.0 + 1e-9);
+        assert!(fleet
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Route { .. })));
+    }
+
+    #[test]
+    fn power_cap_rejects_when_no_ladder_point_is_feasible() {
+        let mut fleet = FleetScheduler::new(FleetConfig::new(1, 1).with_power_cap(15.0));
+        let plan = energy_plan();
+        let _ = place(&mut fleet, &plan);
+        // A 1200-cycle deadline leaves only L0/L1 fast enough, and
+        // both blow the cap: the admission must reject, reporting the
+        // best latency irrespective of power (L0's 1000 cycles — the
+        // cap, not the clock, blocked it).
+        match fleet.admit(&plan, Some(1200)) {
+            FleetOutcome::Placed(p) => panic!("should reject under the cap, got {p:?}"),
+            FleetOutcome::Rejected(m) => {
+                assert_eq!(m.deadline_cycles, 1200);
+                assert_eq!(m.best_latency_cycles, 1000);
+            }
+        }
+        assert_eq!(fleet.summary().rejections, 1);
+    }
+
+    #[test]
+    fn cap_admission_without_deadline_or_pressure_stays_nominal() {
+        // Energy-first picking never pays latency for nothing: with
+        // the cap slack (50 mW > 25 mW) the lowest-energy point is
+        // still the deepest level, so a *deadline equal to the
+        // nominal latency* must pin the pick back to L0.
+        let mut fleet = FleetScheduler::new(FleetConfig::new(1, 1).with_power_cap(50.0));
+        let p = match fleet.admit(&energy_plan(), Some(1000)) {
+            FleetOutcome::Placed(p) => p,
+            FleetOutcome::Rejected(m) => panic!("{m:?}"),
+        };
+        assert_eq!(p.placement.freq_level, 0);
+        assert_eq!(p.placement.duration_cycles, 1000);
+    }
+
+    #[test]
+    fn governor_threads_into_every_device_ledger_and_surfaces_events() {
+        let policy = tempus_runtime::GovernorPolicy::edge_default();
+        let config = FleetConfig::new(1, 1).with_freq_governor(policy);
+        let mut fleet = FleetScheduler::new(config);
+        fleet.set_recording(true);
+        assert!(fleet.devices()[0].ledger.governor().is_some());
+        // Sparse open-loop arrivals: the lone array idles ~900 of
+        // every 1000 cycles, so the idle EWMA crosses the governor's
+        // down-threshold (the ledger test's trace, driven through the
+        // fleet).
+        for i in 0..10u64 {
+            match fleet.admit_at(&BudgetPlan::single(100), None, i * 1000) {
+                FleetOutcome::Placed(_) => {}
+                FleetOutcome::Rejected(m) => panic!("{m:?}"),
+            }
+        }
+        let combined = fleet.summary().combined();
+        assert!(
+            combined.freq_changes >= 1,
+            "idle-heavy array should downclock"
+        );
+        assert!(combined.level_residency[1..].iter().sum::<u64>() > 0);
+        assert!(fleet
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, FleetEvent::FreqChange { device: 0, .. })));
     }
 
     #[test]

@@ -158,6 +158,31 @@ impl SynthModel {
         }
     }
 
+    /// Fraction of a k×n PE array's total power that is
+    /// static/leakage at the nominal 250 MHz clock, in `[0, 1)` —
+    /// `leak / (dyn + leak)` from the structural netlist rollup at
+    /// the calibration activity. The DVFS energy model uses this to
+    /// split a calibrated total-power figure into the
+    /// voltage-squared-scaled dynamic share and the wall-time-charged
+    /// static share.
+    #[must_use]
+    pub fn leakage_fraction(
+        &self,
+        family: Family,
+        precision: IntPrecision,
+        k: usize,
+        n: usize,
+    ) -> f64 {
+        let module = crate::array::pe_array_module(family, precision, k, n);
+        let total = module.rollup(&self.lib, DEFAULT_ACTIVITY).total();
+        let dynamic = total.dynamic_mw(FREQ_MHZ);
+        let leak = total.leakage_mw();
+        if dynamic + leak <= 0.0 {
+            return 0.0;
+        }
+        (leak / (dynamic + leak)).clamp(0.0, 0.999)
+    }
+
     /// Improvement of tub over binary at the same configuration:
     /// `(area_reduction_pct, power_reduction_pct)`.
     #[must_use]
@@ -229,6 +254,15 @@ mod tests {
         assert!(array.area_mm2 > cell.area_mm2 * 15.0);
         assert!(unit.area_mm2 > array.area_mm2);
         assert!(unit.power_mw > array.power_mw);
+    }
+
+    #[test]
+    fn leakage_fraction_is_small_and_positive() {
+        let hw = SynthModel::nangate45();
+        for family in Family::BOTH {
+            let f = hw.leakage_fraction(family, IntPrecision::Int8, 16, 16);
+            assert!(f > 0.001 && f < 0.2, "{family} leak fraction {f}");
+        }
     }
 
     #[test]

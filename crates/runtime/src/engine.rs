@@ -211,6 +211,29 @@ pub fn array_power_mw(config: &EngineConfig, kind: BackendKind) -> f64 {
     hw.pe_array(family, precision, k, n).power_mw
 }
 
+/// Static/leakage fraction of [`array_power_mw`] for `kind` under
+/// `config`, in `[0, 1)` — from the same structural netlist rollup.
+/// The DVFS energy split charges `power × (1 − f)` as dynamic
+/// (voltage-squared-scaled) energy on working array-cycles and
+/// `power × f` as static energy on busy wall time.
+#[must_use]
+pub fn array_leakage_fraction(config: &EngineConfig, kind: BackendKind) -> f64 {
+    let hw = SynthModel::nangate45();
+    let (family, precision, (k, n)) = match kind {
+        BackendKind::NvdlaCycleAccurate => (
+            Family::Binary,
+            config.nvdla.precision,
+            (config.nvdla.atomic_k, config.nvdla.atomic_c),
+        ),
+        BackendKind::TempusCycleAccurate | BackendKind::FastFunctional => (
+            Family::Tub,
+            config.tempus.base.precision,
+            (config.tempus.base.atomic_k, config.tempus.base.atomic_c),
+        ),
+    };
+    hw.leakage_fraction(family, precision, k, n)
+}
+
 /// A completed batch: per-job results (sorted by id), per-worker
 /// records and batch aggregates.
 #[derive(Debug, Clone)]
@@ -243,6 +266,8 @@ pub struct InferenceEngine {
     config: EngineConfig,
     /// Per-cycle array power for the configured backend, in mW.
     array_power_mw: f64,
+    /// Static/leakage fraction of `array_power_mw`.
+    array_leak_frac: f64,
 }
 
 impl InferenceEngine {
@@ -256,9 +281,11 @@ impl InferenceEngine {
             return Err(RuntimeError::NoWorkers);
         }
         let array_power_mw = array_power_mw(&config, config.backend);
+        let array_leak_frac = array_leakage_fraction(&config, config.backend);
         Ok(InferenceEngine {
             config,
             array_power_mw,
+            array_leak_frac,
         })
     }
 
@@ -333,6 +360,7 @@ impl InferenceEngine {
                     .map(|(worker_idx, assigned)| {
                         let config = &self.config;
                         let power = self.array_power_mw;
+                        let leak = self.array_leak_frac;
                         scope.spawn(move || {
                             let mut backend = config.backend.instantiate(
                                 config.tempus,
@@ -352,6 +380,14 @@ impl InferenceEngine {
                                 let start = Instant::now();
                                 let run = backend.execute_on(job, grant.granted.max(1))?;
                                 let wall_ns = start.elapsed().as_nanos() as u64;
+                                // Split the calibrated total into its
+                                // dynamic/static shares exactly: the
+                                // sum reproduces the pre-split figure
+                                // bit-for-bit. Batch runs always
+                                // execute at the nominal level.
+                                let energy_pj = power * run.total_array_cycles as f64 * PERIOD_NS;
+                                let dynamic_energy_pj = energy_pj * (1.0 - leak);
+                                let static_energy_pj = energy_pj - dynamic_energy_pj;
                                 stats.jobs += 1;
                                 stats.sim_cycles += run.sim_cycles;
                                 stats.wall_ns += wall_ns;
@@ -367,7 +403,10 @@ impl InferenceEngine {
                                     arrays_requested: grant.requested,
                                     arrays_granted: grant.granted.max(1),
                                     array_wait_cycles: grant.wait_cycles,
-                                    energy_pj: power * run.total_array_cycles as f64 * PERIOD_NS,
+                                    energy_pj,
+                                    dynamic_energy_pj,
+                                    static_energy_pj,
+                                    freq_level: 0,
                                     wall_ns,
                                     worker: worker_idx,
                                     per_shard_cycles: run.per_shard_cycles,
@@ -410,6 +449,7 @@ impl InferenceEngine {
             wall_ns,
             self.config.num_arrays,
             device,
+            self.array_power_mw * self.array_leak_frac,
         );
         Ok(BatchReport {
             results,

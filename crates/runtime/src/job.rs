@@ -192,8 +192,18 @@ pub struct JobResult {
     /// Device cycles the job waited past the earliest free array to
     /// gather its granted set (0 without co-scheduling).
     pub array_wait_cycles: u64,
-    /// Modelled energy at the paper's 250 MHz clock, in pJ.
+    /// Modelled energy at the executed frequency level, in pJ
+    /// (`dynamic_energy_pj + static_energy_pj`).
     pub energy_pj: f64,
+    /// Dynamic (switching) share of `energy_pj` — scales with the
+    /// square of the supply voltage under DVFS.
+    pub dynamic_energy_pj: f64,
+    /// Static (leakage) share of `energy_pj`, charged on the busy
+    /// wall window — stretches with the period under DVFS.
+    pub static_energy_pj: f64,
+    /// DVFS ladder level the job's arrays ran at (0 = nominal
+    /// 250 MHz; always 0 with the frequency governor off).
+    pub freq_level: u8,
     /// Host wall-clock spent executing the job, in nanoseconds.
     pub wall_ns: u64,
     /// Which worker ran it.

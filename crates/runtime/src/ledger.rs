@@ -44,6 +44,7 @@
 //! gaps is placed *without moving any busy-until clock*, so it
 //! provably delays no previously granted job.
 
+use tempus_core::freq;
 use tempus_core::shard::{BudgetPlan, WidenPolicy};
 
 /// How jobs are granted PE arrays.
@@ -115,6 +116,13 @@ pub struct Placement {
     pub backfilled: bool,
     /// Array ids held busy — disjoint from every co-resident job's.
     pub arrays: Vec<usize>,
+    /// Duration at the nominal clock (DVFS level 0). `duration_cycles`
+    /// is this stretched to `freq_level` — kept separately because
+    /// the ceil stretch is not invertible.
+    pub nominal_duration_cycles: u64,
+    /// DVFS ladder level the placement's arrays run at (0 = nominal
+    /// 250 MHz; the max over the granted arrays' governor levels).
+    pub freq_level: u8,
 }
 
 impl Placement {
@@ -122,6 +130,62 @@ impl Placement {
     #[must_use]
     pub fn finish_cycle(&self) -> u64 {
         self.start_cycle + self.duration_cycles
+    }
+
+    /// This placement re-priced at DVFS level `level`: the duration is
+    /// re-stretched from the nominal figure (`ceil` scaling, exact
+    /// integers). Start cycle, grant and arrays are unchanged — the
+    /// power-capped admission path walks ladder levels through this.
+    #[must_use]
+    pub fn at_level(&self, level: u8) -> Placement {
+        let mut p = self.clone();
+        p.freq_level = level;
+        p.duration_cycles = freq::level(level).scale_cycles(self.nominal_duration_cycles);
+        p
+    }
+}
+
+/// One per-array frequency transition decided by the occupancy
+/// governor, on the device clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreqChange {
+    /// Array whose clock domain stepped.
+    pub array: usize,
+    /// The new DVFS ladder level.
+    pub level: u8,
+    /// Device cycle the step takes effect (the committing placement's
+    /// finish).
+    pub cycle: u64,
+}
+
+/// The deterministic occupancy-driven DVFS governor: each array keeps
+/// an idle-fraction EWMA (permille) updated on every committed grant;
+/// silent-heavy arrays step **down** the frequency ladder, saturated
+/// arrays step back up. A pure function of the placement trace — no
+/// host timing enters, so replaying the same trace yields the same
+/// ladder walk bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorPolicy {
+    /// Deepest ladder level the governor may select.
+    pub max_level: u8,
+    /// Idle-fraction EWMA (permille) below which an array steps one
+    /// level back up (toward the nominal clock).
+    pub low_permille: u32,
+    /// Idle-fraction EWMA (permille) above which an array steps one
+    /// level down (slower clock, lower voltage).
+    pub high_permille: u32,
+}
+
+impl GovernorPolicy {
+    /// The edge-serving default: full ladder, step down past 50% idle,
+    /// step up under 20% idle.
+    #[must_use]
+    pub fn edge_default() -> Self {
+        GovernorPolicy {
+            max_level: (freq::NUM_LEVELS - 1) as u8,
+            low_permille: 200,
+            high_permille: 500,
+        }
     }
 }
 
@@ -151,6 +215,11 @@ pub struct DeviceSummary {
     pub idle_gap_cycles: u64,
     /// Placements committed entirely inside idle gaps.
     pub backfills: u64,
+    /// Device array-cycles held at each DVFS ladder level (all in
+    /// slot 0 with the governor off).
+    pub level_residency: [u64; freq::NUM_LEVELS],
+    /// Per-array frequency transitions the governor committed.
+    pub freq_changes: u64,
 }
 
 impl DeviceSummary {
@@ -199,6 +268,20 @@ pub struct ArrayLedger {
     gap_count: u64,
     gap_cycles: u64,
     backfills: u64,
+    /// The occupancy-driven DVFS governor; `None` (the default) runs
+    /// every array at the nominal clock and executes zero governor
+    /// code — the pre-DVFS scheduler bit-for-bit.
+    governor: Option<GovernorPolicy>,
+    /// Per-array current DVFS ladder level.
+    levels: Vec<u8>,
+    /// Per-array idle-fraction EWMA, permille.
+    idle_ewma_permille: Vec<u32>,
+    /// Governor transitions not yet drained by the layer above.
+    pending_freq_changes: Vec<FreqChange>,
+    /// Total governor transitions committed (survives draining).
+    freq_change_count: u64,
+    /// Device array-cycles held at each ladder level.
+    level_residency: [u64; freq::NUM_LEVELS],
 }
 
 impl ArrayLedger {
@@ -224,7 +307,41 @@ impl ArrayLedger {
             gap_count: 0,
             gap_cycles: 0,
             backfills: 0,
+            governor: None,
+            levels: vec![0; n],
+            idle_ewma_permille: vec![0; n],
+            pending_freq_changes: Vec::new(),
+            freq_change_count: 0,
+            level_residency: [0; freq::NUM_LEVELS],
         }
+    }
+
+    /// Enables the occupancy-driven DVFS governor. Without this call
+    /// the ledger never leaves the nominal level and stays
+    /// bit-identical to the pre-DVFS scheduler.
+    #[must_use]
+    pub fn with_governor(mut self, governor: GovernorPolicy) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// The configured governor, if any.
+    #[must_use]
+    pub fn governor(&self) -> Option<GovernorPolicy> {
+        self.governor
+    }
+
+    /// Per-array current DVFS ladder levels.
+    #[must_use]
+    pub fn array_levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Drains the governor's committed frequency transitions since the
+    /// last drain, in commit order — the fleet layer lowers these into
+    /// telemetry events.
+    pub fn drain_freq_changes(&mut self) -> Vec<FreqChange> {
+        std::mem::take(&mut self.pending_freq_changes)
     }
 
     /// Arrays in the pool.
@@ -261,6 +378,8 @@ impl ArrayLedger {
             idle_gap_count: self.gap_count,
             idle_gap_cycles: self.gap_cycles,
             backfills: self.backfills,
+            level_residency: self.level_residency,
+            freq_changes: self.freq_change_count,
         }
     }
 
@@ -278,6 +397,21 @@ impl ArrayLedger {
     pub fn prune_gaps_before(&mut self, cycle: u64) {
         for per_array in &mut self.gaps {
             per_array.retain(|&(_, e)| e > cycle);
+        }
+    }
+
+    /// Effective DVFS level of a grant: the max over its arrays'
+    /// current governor levels, clamped by the governor's ceiling
+    /// (0 — and zero work — with the governor off).
+    fn effective_level(&self, arrays: &[usize]) -> u8 {
+        match self.governor {
+            None => 0,
+            Some(g) => arrays
+                .iter()
+                .map(|&i| self.levels[i])
+                .max()
+                .unwrap_or(0)
+                .min(g.max_level),
         }
     }
 
@@ -343,6 +477,7 @@ impl ArrayLedger {
         // only the used ones hold a clock.
         let occupied = cost.used.clamp(1, granted);
         let arrays: Vec<usize> = order.into_iter().take(occupied).collect();
+        let freq_level = self.effective_level(&arrays);
         Placement {
             assignment: ArrayAssignment {
                 requested,
@@ -350,10 +485,12 @@ impl ArrayLedger {
                 wait_cycles: start - earliest.min(start),
             },
             start_cycle: start,
-            duration_cycles: cost.critical_path_cycles,
+            duration_cycles: freq::level(freq_level).scale_cycles(cost.critical_path_cycles),
             work_cycles: cost.total_array_cycles,
             backfilled: false,
             arrays,
+            nominal_duration_cycles: cost.critical_path_cycles,
+            freq_level,
         }
     }
 
@@ -372,6 +509,7 @@ impl ArrayLedger {
         let cost = plan.cost_at(granted);
         let occupied = cost.used.clamp(1, granted);
         let arrays: Vec<usize> = order.into_iter().take(occupied).collect();
+        let freq_level = self.effective_level(&arrays);
         Placement {
             assignment: ArrayAssignment {
                 requested,
@@ -379,10 +517,12 @@ impl ArrayLedger {
                 wait_cycles: start - earliest.min(start),
             },
             start_cycle: start,
-            duration_cycles: cost.critical_path_cycles,
+            duration_cycles: freq::level(freq_level).scale_cycles(cost.critical_path_cycles),
             work_cycles: cost.total_array_cycles,
             backfilled: false,
             arrays,
+            nominal_duration_cycles: cost.critical_path_cycles,
+            freq_level,
         }
     }
 
@@ -430,6 +570,18 @@ impl ArrayLedger {
                 if arrays.len() < occupied {
                     continue;
                 }
+                // Down-clocked arrays stretch the interval: the fit
+                // must hold at the grant's effective level, not the
+                // nominal one (identical when the governor is off).
+                let freq_level = self.effective_level(&arrays);
+                let scaled = freq::level(freq_level).scale_cycles(duration);
+                if scaled != duration
+                    && !arrays
+                        .iter()
+                        .all(|&i| self.gaps[i].iter().any(|&(s, e)| s <= t && t + scaled <= e))
+                {
+                    continue;
+                }
                 let candidate = Placement {
                     assignment: ArrayAssignment {
                         requested,
@@ -437,10 +589,12 @@ impl ArrayLedger {
                         wait_cycles: t - arrival_cycle.min(t),
                     },
                     start_cycle: t,
-                    duration_cycles: duration,
+                    duration_cycles: scaled,
                     work_cycles: cost.total_array_cycles,
                     backfilled: true,
                     arrays,
+                    nominal_duration_cycles: duration,
+                    freq_level,
                 };
                 // The first feasible start is the earliest finish at
                 // this width; across widths the earliest finish wins,
@@ -487,18 +641,58 @@ impl ArrayLedger {
             }
             self.backfills += 1;
         } else {
+            let governor = self.governor;
             for &i in &placement.arrays {
                 debug_assert!(self.busy_until[i] <= start, "granted array still busy");
+                let idle = start - self.busy_until[i].min(start);
                 if start > self.busy_until[i] {
                     self.open_gap(i, self.busy_until[i], start);
                 }
                 self.busy_until[i] = finish;
+                if let Some(g) = governor {
+                    self.govern_array(i, idle, placement.duration_cycles, finish, g);
+                }
             }
         }
+        self.level_residency[(placement.freq_level as usize).min(freq::NUM_LEVELS - 1)] +=
+            placement.arrays.len() as u64 * placement.duration_cycles;
         self.busy_cycles += placement.work_cycles;
         self.wait_cycles += placement.assignment.wait_cycles;
         self.placements += 1;
         self.granted_sum += placement.assignment.granted as u64;
+    }
+
+    /// One governor step for array `i` after committing a grant that
+    /// left it idle for `idle` cycles and then busy for `busy`: the
+    /// idle-fraction EWMA moves a quarter of the way toward this
+    /// grant's idle share; crossing the high watermark steps the
+    /// array one ladder level down (slower), crossing the low one
+    /// steps it back up. Pure integer arithmetic on the placement
+    /// trace — deterministic replay preserved.
+    fn govern_array(&mut self, i: usize, idle: u64, busy: u64, cycle: u64, g: GovernorPolicy) {
+        let total = idle + busy;
+        let share = idle.saturating_mul(1000).checked_div(total).unwrap_or(0) as u32;
+        let ewma = &mut self.idle_ewma_permille[i];
+        *ewma = (*ewma * 3 + share) / 4;
+        let current = self.levels[i];
+        let next = if *ewma > g.high_permille {
+            (current + 1)
+                .min(g.max_level)
+                .min((freq::NUM_LEVELS - 1) as u8)
+        } else if *ewma < g.low_permille {
+            current.saturating_sub(1)
+        } else {
+            current
+        };
+        if next != current {
+            self.levels[i] = next;
+            self.freq_change_count += 1;
+            self.pending_freq_changes.push(FreqChange {
+                array: i,
+                level: next,
+                cycle,
+            });
+        }
     }
 
     /// Reverts a committed placement — the inverse of
@@ -541,6 +735,9 @@ impl ArrayLedger {
                 }
             }
         }
+        let slot = (placement.freq_level as usize).min(freq::NUM_LEVELS - 1);
+        self.level_residency[slot] = self.level_residency[slot]
+            .saturating_sub(placement.arrays.len() as u64 * placement.duration_cycles);
         self.busy_cycles = self.busy_cycles.saturating_sub(placement.work_cycles);
         self.wait_cycles = self
             .wait_cycles
@@ -581,6 +778,8 @@ impl ArrayLedger {
         let n = self.busy_until.len();
         let earliest = arrival_cycle.max(self.horizon());
         let start = arrival_cycle.max(self.makespan());
+        let arrays: Vec<usize> = (0..n).collect();
+        let freq_level = self.effective_level(&arrays);
         let placement = Placement {
             assignment: ArrayAssignment {
                 requested: n,
@@ -588,10 +787,12 @@ impl ArrayLedger {
                 wait_cycles: start - earliest,
             },
             start_cycle: start,
-            duration_cycles,
+            duration_cycles: freq::level(freq_level).scale_cycles(duration_cycles),
             work_cycles: busy_cycles,
             backfilled: false,
-            arrays: (0..n).collect(),
+            arrays,
+            nominal_duration_cycles: duration_cycles,
+            freq_level,
         };
         self.apply(&placement);
         placement
@@ -613,6 +814,8 @@ mod tests {
                 critical_path_cycles: total / w as u64,
                 reduction_cycles: 0,
                 total_array_cycles: total,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
             .collect();
         BudgetPlan {
@@ -925,6 +1128,56 @@ mod tests {
         assert!(!ledger.revert(&a));
         assert_eq!(ledger.summary().placements, placements_before - 1);
         assert_eq!(ledger.makespan(), 150, "clock untouched");
+    }
+
+    #[test]
+    fn governor_downclocks_idle_heavy_arrays_deterministically() {
+        let run = || {
+            let mut ledger = ArrayLedger::new(1).with_governor(GovernorPolicy::edge_default());
+            let mut trace = Vec::new();
+            for i in 0..10u64 {
+                // Sparse arrivals: the lone array idles ~900 of every
+                // 1000 cycles, so the idle EWMA climbs past the high
+                // watermark and the governor walks the ladder down.
+                let p = ledger.place(&BudgetPlan::single(100), i * 1000);
+                trace.push((p.freq_level, p.duration_cycles, p.start_cycle));
+            }
+            (trace, ledger.array_levels().to_vec(), ledger.summary())
+        };
+        let (trace, levels, summary) = run();
+        assert_eq!(run(), (trace.clone(), levels.clone(), summary));
+        assert!(levels[0] > 0, "idle-heavy array stepped down: {levels:?}");
+        assert!(
+            trace.iter().any(|&(lvl, d, _)| lvl > 0 && d > 100),
+            "down-clocked placements stretch: {trace:?}"
+        );
+        assert!(summary.freq_changes > 0);
+        assert!(summary.level_residency.iter().skip(1).any(|&c| c > 0));
+    }
+
+    #[test]
+    fn no_governor_means_nominal_levels_everywhere() {
+        let mut ledger = ArrayLedger::new(2);
+        for i in 0..6u64 {
+            let p = ledger.place(&BudgetPlan::single(100), i * 1000);
+            assert_eq!(p.freq_level, 0);
+            assert_eq!(p.duration_cycles, p.nominal_duration_cycles);
+        }
+        let s = ledger.summary();
+        assert_eq!(s.freq_changes, 0);
+        assert_eq!(s.level_residency[1..], [0; 3]);
+        assert!(ledger.drain_freq_changes().is_empty());
+    }
+
+    #[test]
+    fn at_level_rescales_from_the_nominal_duration() {
+        let ledger = ArrayLedger::new(2);
+        let p = ledger.preview(&BudgetPlan::single(101), 0);
+        let slow = p.at_level(2);
+        assert_eq!(slow.nominal_duration_cycles, 101);
+        assert_eq!(slow.duration_cycles, 152); // ceil(101 * 3 / 2)
+                                               // Round-trip through the nominal figure is exact.
+        assert_eq!(slow.at_level(0), p);
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub use backend::{
 pub use engine::{BatchReport, EngineConfig, InferenceEngine};
 pub use error::RuntimeError;
 pub use job::{Job, JobOutput, JobPayload, JobResult};
-pub use ledger::{ArrayAssignment, ArrayLedger, ArrayPolicy, DeviceSummary, Placement};
+pub use ledger::{
+    ArrayAssignment, ArrayLedger, ArrayPolicy, DeviceSummary, FreqChange, GovernorPolicy, Placement,
+};
 pub use planner::ArrayPlanner;
 pub use pool::{PoolOutcome, PoolTask, WorkerPool};
 pub use stats::{AggregateStats, WorkerStats};

@@ -30,9 +30,11 @@ use tempus_core::TempusConfig;
 use tempus_nvdla::cube::DataCube;
 use tempus_nvdla::pdp;
 
-use crate::engine::EngineConfig;
+use crate::backend::BackendKind;
+use crate::engine::{array_leakage_fraction, array_power_mw, EngineConfig};
 use crate::error::RuntimeError;
 use crate::job::{Job, JobPayload};
+use crate::stats::PERIOD_NS;
 
 /// Per-dispatcher width planner: owns its own schedule cache (the
 /// same memoization the functional backend uses), so repeated
@@ -44,6 +46,12 @@ pub struct ArrayPlanner {
     tempus: TempusConfig,
     gemm: TubGemm,
     cache: ScheduleCache,
+    /// Per-cycle Tempus array power in mW (the planner prices Tempus
+    /// device time) — basis of the width curve's energy points.
+    power_mw: f64,
+    /// Static/leakage fraction of `power_mw`, from the calibrated
+    /// synthesis model.
+    leak_frac: f64,
 }
 
 impl ArrayPlanner {
@@ -61,7 +69,20 @@ impl ArrayPlanner {
                 config.tempus.base.precision,
             ),
             cache: ScheduleCache::new(),
+            power_mw: array_power_mw(config, BackendKind::TempusCycleAccurate),
+            leak_frac: array_leakage_fraction(config, BackendKind::TempusCycleAccurate),
         }
+    }
+
+    /// Closed-form nominal-level energy split for one width point:
+    /// dynamic (switching) energy on working array-cycles, static
+    /// (leakage) energy on the busy-until wall window — `used`
+    /// arrays held for the critical path, idle tails included.
+    fn energy_split(&self, used: usize, critical: u64, total_array: u64) -> (u64, u64) {
+        let dynamic = self.power_mw * (1.0 - self.leak_frac) * total_array as f64 * PERIOD_NS;
+        let wall = used as u64 * critical;
+        let stat = self.power_mw * self.leak_frac * wall as f64 * PERIOD_NS;
+        (dynamic.round() as u64, stat.round() as u64)
     }
 
     /// The configured device width (the planner never requests more).
@@ -111,22 +132,37 @@ impl ArrayPlanner {
                 let latency =
                     self.cache
                         .predict_sharded(features, kernels, params, &self.tempus, arrays)?;
+                let used = latency.plan.used_arrays();
+                let (dynamic_energy_pj, static_energy_pj) = self.energy_split(
+                    used,
+                    latency.critical_path_cycles,
+                    latency.total_array_cycles,
+                );
                 Ok(WidthCost {
                     arrays,
-                    used: latency.plan.used_arrays(),
+                    used,
                     critical_path_cycles: latency.critical_path_cycles,
                     reduction_cycles: latency.reduction_cycles,
                     total_array_cycles: latency.total_array_cycles,
+                    dynamic_energy_pj,
+                    static_energy_pj,
                 })
             }
             JobPayload::Gemm { a, b } => {
                 let (plan, per_shard) = self.gemm.sharded_cycle_model(a, b, arrays);
+                let used = plan.used_arrays();
+                let critical = per_shard.iter().copied().max().unwrap_or(0);
+                let total_array: u64 = per_shard.iter().sum();
+                let (dynamic_energy_pj, static_energy_pj) =
+                    self.energy_split(used, critical, total_array);
                 Ok(WidthCost {
                     arrays,
-                    used: plan.used_arrays(),
-                    critical_path_cycles: per_shard.iter().copied().max().unwrap_or(0),
+                    used,
+                    critical_path_cycles: critical,
                     reduction_cycles: 0,
-                    total_array_cycles: per_shard.iter().sum(),
+                    total_array_cycles: total_array,
+                    dynamic_energy_pj,
+                    static_energy_pj,
                 })
             }
             JobPayload::Network { input, layers } => {
@@ -164,12 +200,16 @@ impl ArrayPlanner {
                         None => (out_w, out_h),
                     };
                 }
+                let (dynamic_energy_pj, static_energy_pj) =
+                    self.energy_split(used, critical, total_array);
                 Ok(WidthCost {
                     arrays,
                     used,
                     critical_path_cycles: critical,
                     reduction_cycles: reduction,
                     total_array_cycles: total_array,
+                    dynamic_energy_pj,
+                    static_energy_pj,
                 })
             }
         }

@@ -41,7 +41,7 @@ use tempus_core::schedule::CacheStats;
 use tempus_telemetry::{Clock, Counter, Stage, Telemetry, TraceSink};
 
 use crate::backend::{BackendKind, InferenceBackend};
-use crate::engine::{array_power_mw, EngineConfig};
+use crate::engine::{array_leakage_fraction, array_power_mw, EngineConfig};
 use crate::error::RuntimeError;
 use crate::job::{Job, JobResult};
 use crate::ledger::ArrayAssignment;
@@ -81,6 +81,11 @@ pub struct PoolTask {
     /// degrade-don't-drop fallback submits with `inject: false` so
     /// the last-resort answer cannot itself be failed.
     pub inject: bool,
+    /// DVFS ladder level the placement's arrays run at (0 = nominal).
+    /// The worker scales the result's energy split accordingly; the
+    /// modelled cycle figures stay nominal (the ledger owns the
+    /// period-scaled booking).
+    pub freq_level: u8,
 }
 
 /// One completed (or failed) pool task.
@@ -152,6 +157,8 @@ struct PoolShared {
 struct SpawnCtx {
     config: EngineConfig,
     powers: [f64; 3],
+    /// Static/leakage fraction of `powers`, per backend kind.
+    leak_fracs: [f64; 3],
     task_rx: Arc<Mutex<Receiver<PoolTask>>>,
     outcome_tx: Sender<PoolOutcome>,
     telemetry: Telemetry,
@@ -230,6 +237,13 @@ impl WorkerPool {
             }
             p
         };
+        let leak_fracs: [f64; 3] = {
+            let mut f = [0.0; 3];
+            for kind in BackendKind::ALL {
+                f[kind_index(kind)] = array_leakage_fraction(&config, kind);
+            }
+            f
+        };
         let (task_tx, task_rx) = channel::<PoolTask>();
         let task_rx = Arc::new(Mutex::new(task_rx));
         let (outcome_tx, outcome_rx) = channel::<PoolOutcome>();
@@ -244,6 +258,7 @@ impl WorkerPool {
         let ctx = SpawnCtx {
             config,
             powers,
+            leak_fracs,
             task_rx,
             outcome_tx,
             telemetry,
@@ -323,6 +338,7 @@ impl WorkerPool {
             device: 0,
             attempt: 0,
             inject: true,
+            freq_level: 0,
         })
     }
 
@@ -514,6 +530,7 @@ fn spawn_worker(
 ) -> JoinHandle<WorkerStats> {
     let config = ctx.config.clone();
     let powers = ctx.powers;
+    let leak_fracs = ctx.leak_fracs;
     let task_rx = Arc::clone(&ctx.task_rx);
     let outcome_tx = ctx.outcome_tx.clone();
     let telemetry = ctx.telemetry.clone();
@@ -523,6 +540,7 @@ fn spawn_worker(
             worker,
             &config,
             powers,
+            leak_fracs,
             &task_rx,
             &outcome_tx,
             &telemetry,
@@ -532,10 +550,12 @@ fn spawn_worker(
 }
 
 #[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)] // one slot per pool-shared resource handed to the thread
 fn worker_loop(
     worker: usize,
     config: &EngineConfig,
     powers: [f64; 3],
+    leak_fracs: [f64; 3],
     task_rx: &Mutex<Receiver<PoolTask>>,
     outcome_tx: &Sender<PoolOutcome>,
     telemetry: &Telemetry,
@@ -562,6 +582,7 @@ fn worker_loop(
             device,
             attempt,
             inject,
+            freq_level,
         }) = task
         else {
             break; // channel closed: pool is shutting down
@@ -682,6 +703,27 @@ fn worker_loop(
                 if run.window_cycles > 0 {
                     telemetry.count(Counter::WindowCycles, run.window_cycles);
                 }
+                // Calibrated nominal energy, split into its
+                // dynamic/static shares, then scaled to the
+                // placement's DVFS level: dynamic ∝ V², static
+                // ∝ (period ×) · V. At level 0 every factor is
+                // exactly 1.0, reproducing the pre-split figure
+                // bit-for-bit.
+                let nominal_pj =
+                    powers[kind_index(kind)] * run.total_array_cycles as f64 * PERIOD_NS;
+                let leak = leak_fracs[kind_index(kind)];
+                let lvl = tempus_core::freq::level(freq_level);
+                let vscale = lvl.vscale_permille as f64 / tempus_core::freq::VSCALE_ONE as f64;
+                let stretch = f64::from(lvl.period_num) / f64::from(lvl.period_den.max(1));
+                let dynamic_nom = nominal_pj * (1.0 - leak);
+                let static_nom = nominal_pj - dynamic_nom;
+                let dynamic_energy_pj = dynamic_nom * vscale * vscale;
+                let static_energy_pj = static_nom * stretch * vscale;
+                let energy_pj = if freq_level == 0 {
+                    nominal_pj
+                } else {
+                    dynamic_energy_pj + static_energy_pj
+                };
                 JobResult {
                     job_id: job.id,
                     job_name: job.name.clone(),
@@ -694,7 +736,10 @@ fn worker_loop(
                     arrays_requested: assignment.requested,
                     arrays_granted: assignment.granted.max(1),
                     array_wait_cycles: assignment.wait_cycles,
-                    energy_pj: powers[kind_index(kind)] * run.total_array_cycles as f64 * PERIOD_NS,
+                    energy_pj,
+                    dynamic_energy_pj,
+                    static_energy_pj,
+                    freq_level,
                     wall_ns,
                     worker,
                     per_shard_cycles: run.per_shard_cycles,
@@ -854,6 +899,7 @@ mod tests {
             device: 0,
             attempt: 1,
             inject: false,
+            freq_level: 0,
         })
         .unwrap();
         let outcome = pool.collect_timeout(Duration::from_secs(10)).unwrap();
@@ -896,6 +942,7 @@ mod tests {
             device: 0,
             attempt: 1,
             inject: false,
+            freq_level: 0,
         })
         .unwrap();
         let outcome = pool.collect_timeout(Duration::from_secs(10)).unwrap();

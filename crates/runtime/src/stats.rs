@@ -42,6 +42,18 @@ pub struct AggregateStats {
     pub sim_time_us: f64,
     /// Modelled energy over all jobs, in pJ.
     pub total_energy_pj: f64,
+    /// Dynamic (switching) share of `total_energy_pj` — energy spent
+    /// on working array-cycles, voltage-squared-scaled under DVFS.
+    pub dynamic_energy_pj: f64,
+    /// Static (leakage) share of `total_energy_pj` — leakage charged
+    /// while arrays were busy on a job (idle tails of a sharded run
+    /// included).
+    pub static_energy_pj: f64,
+    /// Leakage burned in the ledger's idle gaps **between** jobs —
+    /// array-cycles no job owned, charged at the leakage (not
+    /// active) rate. Not part of `total_energy_pj`, which sums job
+    /// energies only.
+    pub idle_leakage_pj: f64,
     /// Host wall-clock for the whole batch, in ns.
     pub wall_ns: u64,
     /// Host throughput: jobs per wall-clock second.
@@ -86,7 +98,11 @@ impl AggregateStats {
     /// `device` is the array-slot ledger's account when the batch was
     /// co-scheduled; `None` derives the all-arrays serial equivalent
     /// (each job owns the whole `num_arrays`-wide core in turn).
+    /// `idle_leakage_mw` is the per-array leakage power used to price
+    /// the ledger's idle gaps (0.0 when unknown — gaps then cost
+    /// nothing, the pre-DVFS accounting).
     #[must_use]
+    #[allow(clippy::too_many_arguments)] // one value per accounting domain being folded
     pub fn from_results(
         backend: &'static str,
         workers: usize,
@@ -95,10 +111,13 @@ impl AggregateStats {
         wall_ns: u64,
         num_arrays: usize,
         device: Option<DeviceSummary>,
+        idle_leakage_mw: f64,
     ) -> Self {
         let jobs = results.len() as u64;
         let total_sim_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
         let total_energy_pj: f64 = results.iter().map(|r| r.energy_pj).sum();
+        let dynamic_energy_pj: f64 = results.iter().map(|r| r.dynamic_energy_pj).sum();
+        let static_energy_pj: f64 = results.iter().map(|r| r.static_energy_pj).sum();
         let max_job_sim_cycles = results.iter().map(|r| r.sim_cycles).max().unwrap_or(0);
         let total_array_cycles: u64 = results.iter().map(|r| r.total_array_cycles).sum();
         let total_shards: u64 = results.iter().map(|r| r.shards as u64).sum();
@@ -120,6 +139,7 @@ impl AggregateStats {
             granted_sum,
             ..DeviceSummary::default()
         });
+        let idle_leakage_pj = idle_leakage_mw * device.idle_gap_cycles as f64 * PERIOD_NS;
         let mut schedule_cache: Option<CacheStats> = None;
         for ws in worker_stats {
             if let Some(cs) = &ws.schedule_cache {
@@ -135,6 +155,9 @@ impl AggregateStats {
             total_sim_cycles,
             sim_time_us: total_sim_cycles as f64 * PERIOD_NS * 1e-3,
             total_energy_pj,
+            dynamic_energy_pj,
+            static_energy_pj,
+            idle_leakage_pj,
             wall_ns,
             jobs_per_sec: if wall_ns == 0 {
                 0.0
@@ -187,6 +210,15 @@ impl fmt::Display for AggregateStats {
             self.sim_time_us,
             self.total_energy_pj * 1e-3,
         )?;
+        if self.idle_leakage_pj > 0.0 {
+            write!(
+                f,
+                " ({:.1} nJ dynamic, {:.1} nJ busy leakage, {:.1} nJ idle leakage)",
+                self.dynamic_energy_pj * 1e-3,
+                self.static_energy_pj * 1e-3,
+                self.idle_leakage_pj * 1e-3,
+            )?;
+        }
         if self.avg_shards_per_job > 1.0 {
             write!(
                 f,

@@ -74,3 +74,4 @@ pub use service::{ServeConfig, StreamingService};
 pub use stats::{percentile, ArrayUse, ClassStats, ServeStats, SloPolicy};
 pub use tempus_chaos::{FaultKind, FaultPlan};
 pub use tempus_fleet::{ElasticPolicy, FleetSummary};
+pub use tempus_runtime::GovernorPolicy;

@@ -43,8 +43,8 @@ use tempus_fleet::{
 use tempus_runtime::pool::{PoolOutcome, PoolTask, WorkerPool};
 use tempus_runtime::stats::PERIOD_NS;
 use tempus_runtime::{
-    ArrayAssignment, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary, EngineConfig, Job,
-    Placement, RuntimeError, StreamingConfig, WorkerStats,
+    ArrayAssignment, ArrayPlanner, ArrayPolicy, BackendKind, DeviceSummary, EngineConfig,
+    GovernorPolicy, Job, JobResult, Placement, RuntimeError, StreamingConfig, WorkerStats,
 };
 use tempus_telemetry::{
     Clock, Counter, DeviceTimeline, PlacedSpan, Stage, Telemetry, TraceSink, TrackId,
@@ -105,6 +105,19 @@ pub struct ServeConfig {
     pub backfill: bool,
     /// Elastic fleet sizing; `None` keeps the device count fixed.
     pub elastic: Option<ElasticPolicy>,
+    /// Fleet-wide average-power budget in mW; admission then picks
+    /// the lowest-energy deadline-feasible (width, frequency) point
+    /// whose power fits under the cap. `None` (the default) admits on
+    /// latency alone — bit-identical to the pre-DVFS scheduler.
+    pub power_cap_mw: Option<f64>,
+    /// Per-array DVFS governor down-clocking idle-heavy arrays;
+    /// `None` (the default) pins every array at the nominal clock.
+    pub freq_governor: Option<GovernorPolicy>,
+    /// Answer-now-verify-later serving: accurate-fidelity requests
+    /// are answered immediately from the bit-identical functional
+    /// backend while the cycle-accurate execution verifies the
+    /// digest asynchronously.
+    pub speculative: bool,
     /// Record dual-clock trace spans (queue → admit → route → grant →
     /// execute → per-shard) into per-thread ring buffers. Off by
     /// default: a disabled service hands every layer a no-op recorder
@@ -151,6 +164,9 @@ impl ServeConfig {
             devices: 1,
             backfill: false,
             elastic: None,
+            power_cap_mw: None,
+            freq_governor: None,
+            speculative: false,
             tracing: false,
             trace_ring_capacity: DEFAULT_RING_CAPACITY,
             chaos: None,
@@ -369,6 +385,47 @@ impl ServeConfig {
         self
     }
 
+    /// Caps fleet-wide average power at `cap_mw` milliwatts (builder
+    /// style): admission walks the width × frequency-ladder grid and
+    /// commits the lowest-energy deadline-feasible point that fits
+    /// under the cap. Power-aware admission is a fleet-scheduler
+    /// move, so this enables co-scheduling too.
+    #[must_use]
+    pub fn with_power_cap(mut self, cap_mw: f64) -> Self {
+        self.power_cap_mw = Some(cap_mw);
+        if !self.co_scheduling() {
+            self = self.with_co_scheduling();
+        }
+        self
+    }
+
+    /// Enables the per-array DVFS governor (builder style): arrays
+    /// whose idle-fraction EWMA runs high are stepped down the
+    /// frequency ladder, trading latency on idle-heavy arrays for
+    /// leakage energy. Implies co-scheduling (the governor lives in
+    /// the array-slot ledger).
+    #[must_use]
+    pub fn with_freq_governor(mut self, governor: GovernorPolicy) -> Self {
+        self.freq_governor = Some(governor);
+        if !self.co_scheduling() {
+            self = self.with_co_scheduling();
+        }
+        self
+    }
+
+    /// Enables answer-now-verify-later serving (builder style):
+    /// accurate-fidelity requests are answered immediately from the
+    /// bit-identical functional backend, and the cycle-accurate
+    /// execution verifies the answer's digest when it completes
+    /// (surfaced as `speculative_answers` / `speculative_mismatches`
+    /// in the stats — the equivalence contract keeps mismatches at
+    /// zero).
+    #[must_use]
+    pub fn with_speculative(mut self) -> Self {
+        self.speculative = true;
+        self
+    }
+
     /// The fleet shape the dispatcher schedules through when
     /// co-scheduling.
     #[must_use]
@@ -379,6 +436,12 @@ impl ServeConfig {
         }
         if let Some(policy) = self.elastic {
             fleet = fleet.with_elastic(policy);
+        }
+        if let Some(cap_mw) = self.power_cap_mw {
+            fleet = fleet.with_power_cap(cap_mw);
+        }
+        if let Some(governor) = self.freq_governor {
+            fleet = fleet.with_freq_governor(governor);
         }
         fleet
     }
@@ -394,6 +457,23 @@ impl Default for ServeConfig {
 struct Ingest {
     request: Request,
     accepted: Instant,
+}
+
+/// Which leg of a speculative answer-now-verify-later pair a pending
+/// execution is (or `None` for ordinary dispatches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecRole {
+    /// An ordinary execution: the one leg answers the client.
+    None,
+    /// The speculative answer leg: a functional-backend execution
+    /// that answers the client immediately and leaves every durable
+    /// side effect (cache insert, device accounting, waiter fan-out)
+    /// to the verify leg.
+    Answer,
+    /// The accurate execution of a speculative pair: it verifies the
+    /// answer leg's digest, owns the durable side effects, and only
+    /// answers the client itself when it completes first.
+    Verify,
 }
 
 /// A job dispatched to the pool, awaiting its outcome.
@@ -418,6 +498,8 @@ struct Pending {
     /// `true` once the degrade-don't-drop fallback re-aimed this
     /// request at the functional backend with injection off.
     degraded: bool,
+    /// This record's role in a speculative answer/verify pair.
+    spec: SpecRole,
 }
 
 /// Base retry backoff in device cycles; attempt `n` waits
@@ -432,6 +514,10 @@ struct Held {
     key: u64,
     accepted: Instant,
     deadline_cycles: Option<u64>,
+    /// `true` when a speculative answer leg was already submitted for
+    /// this request (at deferral), so its dispatch becomes the verify
+    /// leg without submitting a second answer.
+    speculated: bool,
 }
 
 /// A request coalesced onto an identical in-flight execution: it
@@ -571,6 +657,7 @@ impl StreamingService {
                     deferred: VecDeque::new(),
                     pending: HashMap::new(),
                     inflight_waiters: HashMap::new(),
+                    spec_digests: HashMap::new(),
                     in_flight: 0,
                     accurate_in_flight: 0,
                     ingress_closed: false,
@@ -757,6 +844,12 @@ struct Dispatcher {
     /// key is what later identical requests test to avoid executing
     /// the same work twice.
     inflight_waiters: HashMap<u64, Vec<Waiter>>,
+    /// Digest rendezvous for speculative pairs, keyed by (job id,
+    /// cache key): whichever leg completes first deposits its output
+    /// digest; the second compares and removes. An entry therefore
+    /// also means "the client has been answered" to the verify leg's
+    /// completion and failure paths.
+    spec_digests: HashMap<(u64, u64), u64>,
     in_flight: usize,
     accurate_in_flight: usize,
     ingress_closed: bool,
@@ -866,6 +959,22 @@ impl Dispatcher {
                 // The rollback's observable effect is the re-route
                 // that follows; the fleet summary carries the count.
                 FleetEvent::Rollback { .. } => {}
+                FleetEvent::FreqChange {
+                    device,
+                    array,
+                    level,
+                    cycle,
+                } => {
+                    let track = self.timeline.device_track(device);
+                    self.sink.instant(
+                        track,
+                        Stage::FreqChange,
+                        cycle,
+                        array as u64,
+                        u64::from(level),
+                    );
+                    self.telemetry.count(Counter::FreqChanges, 1);
+                }
             }
         }
     }
@@ -911,9 +1020,13 @@ impl Dispatcher {
                     utilization: entry.shard_utilization,
                     granted: entry.arrays_granted,
                     // A hit never touches the device, so it never
-                    // waits for arrays and allocates no scratch.
+                    // waits for arrays, allocates no scratch and
+                    // spends no new energy.
                     wait_cycles: 0,
                     peak_scratch_elems: 0,
+                    energy_pj: 0.0,
+                    dynamic_energy_pj: 0.0,
+                    static_energy_pj: 0.0,
                 },
             );
             self.respond(Response {
@@ -966,6 +1079,7 @@ impl Dispatcher {
             key,
             accepted,
             deadline_cycles: request.deadline_cycles,
+            speculated: false,
         };
         if class.fidelity == Fidelity::Accurate
             && self.accurate_in_flight >= self.config.max_accurate_in_flight
@@ -996,6 +1110,16 @@ impl Dispatcher {
                     total_ns,
                 });
             } else {
+                let mut held = held;
+                // Answer-now-verify-later pays off most here: the
+                // accurate leg may park behind the admission cap for
+                // a long time, but the client hears the functional
+                // answer immediately; the deferred job verifies it
+                // whenever its slot opens.
+                if self.config.speculative {
+                    held.speculated =
+                        self.dispatch_answer_leg(held.job.clone(), class, key, accepted);
+                }
                 self.deferred.push_back(held);
                 lock_clean(&self.stats).observe_deferred_depth(self.deferred.len());
             }
@@ -1016,6 +1140,7 @@ impl Dispatcher {
             key,
             accepted,
             deadline_cycles,
+            speculated,
         } = held;
         let job_id = job.id;
         // Scratch-aware admission: under a configured arena budget,
@@ -1030,6 +1155,14 @@ impl Dispatcher {
         {
             let required_elems = self.config.engine.min_stream_scratch_elems(&job);
             if required_elems > budget_elems {
+                // A request whose answer leg already responded cannot
+                // be rejected again — the client heard a successful
+                // answer. Drop the rendezvous entry (if the answer
+                // landed) and walk away; no verify leg will run.
+                if speculated {
+                    self.spec_digests.remove(&(job_id, key));
+                    return;
+                }
                 let reason = RejectReason::ScratchBudgetExceeded {
                     required_elems,
                     budget_elems,
@@ -1068,6 +1201,12 @@ impl Dispatcher {
                         Some((placed.device, placed.placement)),
                     ),
                     FleetOutcome::Rejected(miss) => {
+                        // Already answered speculatively: swallow the
+                        // rejection (see the scratch branch above).
+                        if speculated {
+                            self.spec_digests.remove(&(job_id, key));
+                            return;
+                        }
                         // No device at any width meets the deadline:
                         // reject at admission instead of timing out.
                         let reason = RejectReason::DeadlineUnattainable {
@@ -1115,6 +1254,13 @@ impl Dispatcher {
         // configs (no injection, no watchdog) skip the clone.
         let recoverable = self.injector.is_enabled() || self.config.watchdog.is_some();
         let job_copy = recoverable.then(|| job.clone());
+        // Answer-now-verify-later: accurate requests get a second,
+        // functional-backend leg that answers the client immediately;
+        // the accurate execution becomes the verify leg. A request
+        // speculated at deferral already has its answer leg out.
+        let speculate =
+            !speculated && self.config.speculative && class.fidelity == Fidelity::Accurate;
+        let answer_job = speculate.then(|| job.clone());
         let device = placed.as_ref().map_or(0, |(d, _)| *d);
         let task = PoolTask {
             job,
@@ -1123,6 +1269,7 @@ impl Dispatcher {
             device,
             attempt: 0,
             inject: true,
+            freq_level: placed.as_ref().map_or(0, |(_, p)| p.freq_level),
         };
         if self.pool.submit_routed(task).is_err() {
             // Pool gone (only during teardown): report a failure.
@@ -1138,6 +1285,24 @@ impl Dispatcher {
             });
             return;
         }
+        // The answer leg is submitted only once the accurate leg is
+        // in flight, so a Verify record always has its sibling; if
+        // the answer submit fails (teardown), the accurate leg simply
+        // answers the client itself.
+        let spec = if speculated {
+            SpecRole::Verify
+        } else {
+            match answer_job {
+                Some(answer) => {
+                    if self.dispatch_answer_leg(answer, class, key, accepted) {
+                        SpecRole::Verify
+                    } else {
+                        SpecRole::None
+                    }
+                }
+                None => SpecRole::None,
+            }
+        };
         self.pending.entry(job_id).or_default().push_back(Pending {
             class,
             key,
@@ -1147,12 +1312,54 @@ impl Dispatcher {
             job: job_copy,
             attempt: 0,
             degraded: false,
+            spec,
         });
         self.inflight_waiters.entry(key).or_default();
         self.in_flight += 1;
         if class.fidelity == Fidelity::Accurate {
             self.accurate_in_flight += 1;
         }
+    }
+
+    /// Submits the speculative answer leg: a functional-backend
+    /// execution of the same job (injection off, nominal clock, whole
+    /// core — it models no device time, so it takes no fleet grant
+    /// and burns no accurate admission slot). Returns `false` when
+    /// the pool refused it (teardown); the verify leg then answers
+    /// normally.
+    fn dispatch_answer_leg(
+        &mut self,
+        job: Job,
+        class: JobClass,
+        key: u64,
+        accepted: Instant,
+    ) -> bool {
+        let job_id = job.id;
+        let task = PoolTask {
+            job,
+            backend: BackendKind::FastFunctional,
+            assignment: ArrayAssignment::full(self.config.engine.num_arrays),
+            device: 0,
+            attempt: 0,
+            inject: false,
+            freq_level: 0,
+        };
+        if self.pool.submit_routed(task).is_err() {
+            return false;
+        }
+        self.pending.entry(job_id).or_default().push_back(Pending {
+            class,
+            key,
+            accepted,
+            dispatched: Instant::now(),
+            placed: None,
+            job: None,
+            attempt: 0,
+            degraded: false,
+            spec: SpecRole::Answer,
+        });
+        self.in_flight += 1;
+        true
     }
 
     /// Matches a pool outcome back to its pending record: memoizes,
@@ -1168,8 +1375,9 @@ impl Dispatcher {
         };
         let Some(pos) = entry.iter().position(|p| {
             // A degraded record is being answered by the functional
-            // fallback regardless of its requested fidelity.
-            let backend = if p.degraded {
+            // fallback regardless of its requested fidelity, and a
+            // speculative answer leg always runs functionally.
+            let backend = if p.degraded || p.spec == SpecRole::Answer {
                 BackendKind::FastFunctional
             } else {
                 match p.class.fidelity {
@@ -1190,17 +1398,53 @@ impl Dispatcher {
             self.pending.remove(&outcome.job_id);
         }
         self.in_flight -= 1;
-        if pending.class.fidelity == Fidelity::Accurate {
+        // The answer leg never took an accurate admission slot (it
+        // runs functionally), so it must not release one either.
+        if pending.class.fidelity == Fidelity::Accurate && pending.spec != SpecRole::Answer {
             self.accurate_in_flight -= 1;
         }
         let queue_ns = (pending.dispatched - pending.accepted).as_nanos() as u64;
         let total_ns = pending.accepted.elapsed().as_nanos() as u64;
         match outcome.result {
             Ok(result) => {
+                if pending.spec == SpecRole::Answer {
+                    self.complete_answer_leg(&pending, result, queue_ns, total_ns);
+                    return;
+                }
                 // The device delivered: reset its circuit breaker.
                 if let Some((device, _)) = &pending.placed {
                     self.fleet.report_success(*device);
                 }
+                // DVFS residency: array-cycles spent at the
+                // placement's ladder level (level 0 without a cap or
+                // governor — the counters then mirror busy cycles).
+                if let Some((_, placement)) = &pending.placed {
+                    self.telemetry.count(
+                        Counter::freq_residency(placement.freq_level as usize),
+                        placement.arrays.len() as u64 * placement.duration_cycles,
+                    );
+                }
+                // Speculative verify leg: rendezvous on the digest.
+                // If the answer leg got there first the client is
+                // already answered — this completion only closes the
+                // verification loop and publishes the durable side
+                // effects (cache, device accounting, waiter fan-out).
+                let answered = if pending.spec == SpecRole::Verify {
+                    let digest = result.output.digest();
+                    match self.spec_digests.remove(&(outcome.job_id, pending.key)) {
+                        Some(answer_digest) => {
+                            self.record_verification(answer_digest == digest);
+                            true
+                        }
+                        None => {
+                            self.spec_digests
+                                .insert((outcome.job_id, pending.key), digest);
+                            false
+                        }
+                    }
+                } else {
+                    false
+                };
                 // Requests coalesced onto this execution share its
                 // result: waiters fan out in arrival order, then the
                 // primary.
@@ -1315,13 +1559,20 @@ impl Dispatcher {
                     granted: result.arrays_granted,
                     wait_cycles: result.array_wait_cycles,
                     peak_scratch_elems: result.peak_scratch_elems,
+                    energy_pj: result.energy_pj,
+                    dynamic_energy_pj: result.dynamic_energy_pj,
+                    static_energy_pj: result.static_energy_pj,
                 };
                 // One guard for the completion and its whole fan-out:
                 // a snapshot never observes a torn state with only
                 // some waiters counted, and the dispatcher does not
                 // churn the lock per waiter.
                 let mut stats = lock_clean(&self.stats);
-                stats.record_completion(pending.class, total_ns, false, arrays);
+                // An already-answered verify leg recorded its
+                // completion (and latency) at answer time.
+                if !answered {
+                    stats.record_completion(pending.class, total_ns, false, arrays);
+                }
                 if pending.degraded {
                     stats.record_degraded(pending.class);
                     self.telemetry.count(Counter::Degraded, 1);
@@ -1329,13 +1580,16 @@ impl Dispatcher {
                 for waiter in waiters {
                     let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
                     // Waiters share the execution but did not wait
-                    // for its arrays — the gather wait is counted
-                    // once, on the primary.
+                    // for its arrays, and its energy was spent once —
+                    // both are counted on the primary only.
                     stats.record_coalesced(
                         waiter.class,
                         waiter_total_ns,
                         ArrayUse {
                             wait_cycles: 0,
+                            energy_pj: 0.0,
+                            dynamic_energy_pj: 0.0,
+                            static_energy_pj: 0.0,
                             ..arrays
                         },
                     );
@@ -1363,25 +1617,50 @@ impl Dispatcher {
                 drop(stats);
                 // The primary responds last so it can take the output
                 // by move — the common zero-waiter case pays only the
-                // cache-insert clone.
-                self.respond(Response {
-                    job_id: result.job_id,
-                    job_name: result.job_name,
-                    class: pending.class,
-                    outcome: ResponseOutcome::Done(ServedResult {
-                        output: result.output,
-                        sim_cycles: result.sim_cycles,
-                        energy_pj: result.energy_pj,
-                        shards: result.shards,
-                        arrays_granted: result.arrays_granted,
-                        array_wait_cycles: result.array_wait_cycles,
-                        cache: CacheOutcome::Miss,
-                        degraded: pending.degraded,
-                        peak_scratch_elems: result.peak_scratch_elems,
-                    }),
-                    queue_ns,
-                    total_ns,
-                });
+                // cache-insert clone. An already-answered verify leg
+                // stays silent: its client heard the answer leg.
+                if !answered {
+                    self.respond(Response {
+                        job_id: result.job_id,
+                        job_name: result.job_name,
+                        class: pending.class,
+                        outcome: ResponseOutcome::Done(ServedResult {
+                            output: result.output,
+                            sim_cycles: result.sim_cycles,
+                            energy_pj: result.energy_pj,
+                            shards: result.shards,
+                            arrays_granted: result.arrays_granted,
+                            array_wait_cycles: result.array_wait_cycles,
+                            cache: CacheOutcome::Miss,
+                            degraded: pending.degraded,
+                            peak_scratch_elems: result.peak_scratch_elems,
+                        }),
+                        queue_ns,
+                        total_ns,
+                    });
+                }
+            }
+            Err(_) if pending.spec == SpecRole::Answer => {
+                // A failed answer leg is invisible to the client: if
+                // the verify leg already answered, drop the
+                // rendezvous entry; otherwise downgrade the verify
+                // record to an ordinary execution so it answers the
+                // client itself instead of waiting on a digest that
+                // will never arrive.
+                if self
+                    .spec_digests
+                    .remove(&(outcome.job_id, pending.key))
+                    .is_none()
+                {
+                    if let Some(records) = self.pending.get_mut(&outcome.job_id) {
+                        if let Some(verify) = records
+                            .iter_mut()
+                            .find(|p| p.spec == SpecRole::Verify && p.key == pending.key)
+                        {
+                            verify.spec = SpecRole::None;
+                        }
+                    }
+                }
             }
             Err(error) => {
                 // Infrastructure faults (injected transients, worker
@@ -1417,6 +1696,81 @@ impl Dispatcher {
                 }
                 self.fail_final(&pending, outcome.job_id, &error);
             }
+        }
+    }
+
+    /// A speculative answer leg completed: answer the client
+    /// immediately from the bit-identical functional result and
+    /// deposit the digest for the verify leg. Nothing durable happens
+    /// here — cache insert, device accounting and waiter fan-out all
+    /// belong to the verify leg. When the verify leg somehow finished
+    /// first, this completion only closes the verification loop.
+    fn complete_answer_leg(
+        &mut self,
+        pending: &Pending,
+        result: JobResult,
+        queue_ns: u64,
+        total_ns: u64,
+    ) {
+        let digest = result.output.digest();
+        match self.spec_digests.remove(&(result.job_id, pending.key)) {
+            Some(accurate_digest) => self.record_verification(accurate_digest == digest),
+            None => {
+                self.spec_digests
+                    .insert((result.job_id, pending.key), digest);
+                self.telemetry.count(Counter::SpeculativeAnswers, 1);
+                let mut stats = lock_clean(&self.stats);
+                stats.record_speculative_answer(pending.class);
+                stats.record_completion(
+                    pending.class,
+                    total_ns,
+                    false,
+                    ArrayUse {
+                        shards: result.shards,
+                        utilization: result.shard_utilization,
+                        granted: result.arrays_granted,
+                        wait_cycles: 0,
+                        peak_scratch_elems: result.peak_scratch_elems,
+                        energy_pj: result.energy_pj,
+                        dynamic_energy_pj: result.dynamic_energy_pj,
+                        static_energy_pj: result.static_energy_pj,
+                    },
+                );
+                drop(stats);
+                self.respond(Response {
+                    job_id: result.job_id,
+                    job_name: result.job_name,
+                    class: pending.class,
+                    outcome: ResponseOutcome::Done(ServedResult {
+                        output: result.output,
+                        sim_cycles: result.sim_cycles,
+                        energy_pj: result.energy_pj,
+                        shards: result.shards,
+                        arrays_granted: result.arrays_granted,
+                        array_wait_cycles: 0,
+                        cache: CacheOutcome::Miss,
+                        degraded: false,
+                        peak_scratch_elems: result.peak_scratch_elems,
+                    }),
+                    queue_ns,
+                    total_ns,
+                });
+            }
+        }
+    }
+
+    /// Records one closed answer/verify rendezvous. The equivalence
+    /// contract (bit-identical outputs across backends) keeps the
+    /// mismatch count at zero; a non-zero count means a backend
+    /// diverged and is worth an alarm.
+    fn record_verification(&mut self, agree: bool) {
+        let mut stats = lock_clean(&self.stats);
+        if agree {
+            stats.speculative_verified += 1;
+        } else {
+            stats.speculative_mismatches += 1;
+            drop(stats);
+            self.telemetry.count(Counter::SpeculativeMismatches, 1);
         }
     }
 
@@ -1468,6 +1822,7 @@ impl Dispatcher {
             assignment,
             device,
             attempt,
+            freq_level: placed.as_ref().map_or(0, |(_, p)| p.freq_level),
             inject: true,
         };
         if self.pool.submit_routed(task).is_err() {
@@ -1527,6 +1882,7 @@ impl Dispatcher {
             device,
             attempt,
             inject: false,
+            freq_level: 0,
         };
         if self.pool.submit_routed(task).is_err() {
             self.fail_final(&pending, job_id, &RuntimeError::PoolClosed);
@@ -1549,6 +1905,17 @@ impl Dispatcher {
     /// onto its execution. Only unrecoverable ends come here —
     /// job-level errors, a closed pool, or the drain bound expiring.
     fn fail_final(&mut self, pending: &Pending, job_id: u64, error: &RuntimeError) {
+        // An answer leg never owns the client response on failure —
+        // its verify sibling does (or already did).
+        if pending.spec == SpecRole::Answer {
+            self.spec_digests.remove(&(job_id, pending.key));
+            return;
+        }
+        // A verify leg whose answer sibling already responded must
+        // not answer the same client again with a failure; only its
+        // waiters (who heard nothing) are failed below.
+        let answered = pending.spec == SpecRole::Verify
+            && self.spec_digests.remove(&(job_id, pending.key)).is_some();
         let queue_ns = (pending.dispatched - pending.accepted).as_nanos() as u64;
         let total_ns = pending.accepted.elapsed().as_nanos() as u64;
         let waiters = self
@@ -1556,15 +1923,17 @@ impl Dispatcher {
             .remove(&pending.key)
             .unwrap_or_default();
         let mut stats = lock_clean(&self.stats);
-        stats.record_failure(pending.class);
-        self.respond(Response {
-            job_id,
-            job_name: String::new(),
-            class: pending.class,
-            outcome: ResponseOutcome::Failed(error.clone()),
-            queue_ns,
-            total_ns,
-        });
+        if !answered {
+            stats.record_failure(pending.class);
+            self.respond(Response {
+                job_id,
+                job_name: String::new(),
+                class: pending.class,
+                outcome: ResponseOutcome::Failed(error.clone()),
+                queue_ns,
+                total_ns,
+            });
+        }
         for waiter in waiters {
             let waiter_total_ns = waiter.accepted.elapsed().as_nanos() as u64;
             stats.record_failure(waiter.class);
@@ -1627,6 +1996,15 @@ impl Dispatcher {
                 && self.accurate_in_flight < self.config.max_accurate_in_flight
             {
                 let held = self.deferred.pop_front().expect("non-empty");
+                // A speculated held's answer leg already responded;
+                // its dispatch is the verify leg and must execute —
+                // answering again from the cache or coalescing onto a
+                // twin would double-respond or orphan the rendezvous.
+                if held.speculated {
+                    self.dispatch(held);
+                    progressed = true;
+                    continue;
+                }
                 if let Some(entry) = self.cache.get(held.key) {
                     let total_ns = held.accepted.elapsed().as_nanos() as u64;
                     lock_clean(&self.stats).record_completion(
@@ -1639,6 +2017,9 @@ impl Dispatcher {
                             granted: entry.arrays_granted,
                             wait_cycles: 0,
                             peak_scratch_elems: 0,
+                            energy_pj: 0.0,
+                            dynamic_energy_pj: 0.0,
+                            static_energy_pj: 0.0,
                         },
                     );
                     self.respond(Response {

@@ -28,6 +28,15 @@ pub struct ArrayUse {
     /// Peak streaming-scratch elements of the execution (0 on
     /// materialized runs and cache hits).
     pub peak_scratch_elems: u64,
+    /// Modelled energy of the execution, pJ (0 on cache hits and
+    /// coalesced waiters — the energy was spent once, on the
+    /// primary).
+    pub energy_pj: f64,
+    /// The switching share of `energy_pj`.
+    pub dynamic_energy_pj: f64,
+    /// The leakage share of `energy_pj`
+    /// (`energy_pj == dynamic_energy_pj + static_energy_pj`).
+    pub static_energy_pj: f64,
 }
 
 impl ArrayUse {
@@ -41,6 +50,9 @@ impl ArrayUse {
             granted: 1,
             wait_cycles: 0,
             peak_scratch_elems: 0,
+            energy_pj: 0.0,
+            dynamic_energy_pj: 0.0,
+            static_energy_pj: 0.0,
         }
     }
 }
@@ -181,6 +193,17 @@ pub struct ClassStats {
     /// Mean device cycles spent waiting to gather granted arrays (0
     /// when nothing completed or without co-scheduling).
     pub avg_array_wait_cycles: f64,
+    /// Total modelled energy spent answering this class, pJ (cache
+    /// hits and coalesced waiters add nothing — their execution's
+    /// energy is counted once, on the primary).
+    pub energy_pj: f64,
+    /// The switching share of `energy_pj`.
+    pub dynamic_energy_pj: f64,
+    /// The leakage share of `energy_pj`.
+    pub static_energy_pj: f64,
+    /// Of the completed, answered speculatively from the functional
+    /// backend while the accurate execution verified asynchronously.
+    pub speculative: u64,
 }
 
 impl ClassStats {
@@ -238,6 +261,25 @@ pub struct ServeStats {
     pub retries: u64,
     /// Completed requests answered by the degrade-don't-drop fallback.
     pub degraded: u64,
+    /// Requests answered speculatively (answer-now-verify-later):
+    /// the client heard the functional backend's bit-identical result
+    /// while the accurate execution verified asynchronously.
+    pub speculative_answers: u64,
+    /// Closed answer/verify rendezvous whose digests agreed. At
+    /// quiescence `speculative_verified + speculative_mismatches`
+    /// accounts for every speculative answer whose verify leg
+    /// survived.
+    pub speculative_verified: u64,
+    /// Closed rendezvous whose digests disagreed — the equivalence
+    /// contract keeps this at zero; anything else is a diverged
+    /// backend.
+    pub speculative_mismatches: u64,
+    /// Total modelled energy across all classes, pJ.
+    pub energy_pj: f64,
+    /// The switching share of `energy_pj`.
+    pub dynamic_energy_pj: f64,
+    /// The leakage share of `energy_pj`.
+    pub static_energy_pj: f64,
     /// Wall time the dispatcher spent draining in-flight jobs after
     /// the ingestion queue closed, ns (0 when shutdown found nothing
     /// in flight).
@@ -324,6 +366,22 @@ impl fmt::Display for ServeStats {
                 f,
                 "  streaming: {} streamed executions, peak scratch {} elems",
                 self.streamed, self.peak_scratch_elems,
+            )?;
+        }
+        if self.energy_pj > 0.0 {
+            writeln!(
+                f,
+                "  energy: {:.1} nJ ({:.1} dynamic, {:.1} static)",
+                self.energy_pj * 1e-3,
+                self.dynamic_energy_pj * 1e-3,
+                self.static_energy_pj * 1e-3,
+            )?;
+        }
+        if self.speculative_answers > 0 {
+            writeln!(
+                f,
+                "  speculative: {} answered early, {} verified, {} mismatches",
+                self.speculative_answers, self.speculative_verified, self.speculative_mismatches,
             )?;
         }
         if self.retries + self.degraded > 0 || self.drain_timed_out {
@@ -466,6 +524,12 @@ pub(crate) struct StatsRecorder {
     failed: [u64; 6],
     retries: [u64; 6],
     degraded: [u64; 6],
+    speculative: [u64; 6],
+    pub(crate) speculative_verified: u64,
+    pub(crate) speculative_mismatches: u64,
+    energy_sum_pj: [f64; 6],
+    dynamic_energy_sum_pj: [f64; 6],
+    static_energy_sum_pj: [f64; 6],
     slo_violations: [u64; 6],
     shards_sum: [u64; 6],
     shard_util_sum: [f64; 6],
@@ -494,6 +558,12 @@ impl StatsRecorder {
             failed: [0; 6],
             retries: [0; 6],
             degraded: [0; 6],
+            speculative: [0; 6],
+            speculative_verified: 0,
+            speculative_mismatches: 0,
+            energy_sum_pj: [0.0; 6],
+            dynamic_energy_sum_pj: [0.0; 6],
+            static_energy_sum_pj: [0.0; 6],
             slo_violations: [0; 6],
             shards_sum: [0; 6],
             shard_util_sum: [0.0; 6],
@@ -520,6 +590,12 @@ impl StatsRecorder {
         self.degraded[class.index()] += 1;
     }
 
+    /// Records a completion answered speculatively from the
+    /// functional backend (call alongside `record_completion`).
+    pub(crate) fn record_speculative_answer(&mut self, class: JobClass) {
+        self.speculative[class.index()] += 1;
+    }
+
     pub(crate) fn record_completion(
         &mut self,
         class: JobClass,
@@ -539,6 +615,7 @@ impl StatsRecorder {
         self.shard_util_sum[i] += arrays.utilization;
         self.granted_sum[i] += arrays.granted.max(1) as u64;
         self.array_wait_sum[i] += arrays.wait_cycles;
+        self.observe_energy(i, &arrays);
         self.observe_scratch(arrays.peak_scratch_elems);
     }
 
@@ -557,7 +634,16 @@ impl StatsRecorder {
         self.shard_util_sum[i] += arrays.utilization;
         self.granted_sum[i] += arrays.granted.max(1) as u64;
         self.array_wait_sum[i] += arrays.wait_cycles;
+        self.observe_energy(i, &arrays);
         self.observe_scratch(arrays.peak_scratch_elems);
+    }
+
+    /// Folds one completion's modelled energy into the per-class
+    /// sums (cache hits and coalesced waiters carry zeros).
+    fn observe_energy(&mut self, class_index: usize, arrays: &ArrayUse) {
+        self.energy_sum_pj[class_index] += arrays.energy_pj;
+        self.dynamic_energy_sum_pj[class_index] += arrays.dynamic_energy_pj;
+        self.static_energy_sum_pj[class_index] += arrays.static_energy_pj;
     }
 
     /// Folds one execution's streaming-scratch high-water mark into
@@ -656,6 +742,10 @@ impl StatsRecorder {
                     } else {
                         self.array_wait_sum[i] as f64 / accum.count as f64
                     },
+                    energy_pj: self.energy_sum_pj[i],
+                    dynamic_energy_pj: self.dynamic_energy_sum_pj[i],
+                    static_energy_pj: self.static_energy_sum_pj[i],
+                    speculative: self.speculative[i],
                 }
             })
             .collect();
@@ -675,6 +765,12 @@ impl StatsRecorder {
             failed: classes.iter().map(|c| c.failed).sum(),
             retries: classes.iter().map(|c| c.retries).sum(),
             degraded: classes.iter().map(|c| c.degraded).sum(),
+            speculative_answers: classes.iter().map(|c| c.speculative).sum(),
+            speculative_verified: self.speculative_verified,
+            speculative_mismatches: self.speculative_mismatches,
+            energy_pj: classes.iter().map(|c| c.energy_pj).sum(),
+            dynamic_energy_pj: classes.iter().map(|c| c.dynamic_energy_pj).sum(),
+            static_energy_pj: classes.iter().map(|c| c.static_energy_pj).sum(),
             drain_ns: self.drain_ns,
             drain_timed_out: self.drain_timed_out,
             cache,
@@ -723,6 +819,9 @@ mod tests {
             granted: 3,
             wait_cycles: 40,
             peak_scratch_elems: 96,
+            energy_pj: 1_000.0,
+            dynamic_energy_pj: 900.0,
+            static_energy_pj: 100.0,
         }
     }
 
@@ -793,6 +892,15 @@ mod tests {
         // All three executions streamed with a 96-element peak.
         assert_eq!(snap.streamed, 3);
         assert_eq!(snap.peak_scratch_elems, 96);
+        // Energy sums whatever the dispatcher attributes per
+        // completion (it zeroes coalesced/cached energy itself; here
+        // every record carried 1000 pJ, 900 dynamic + 100 static).
+        assert!((c.energy_pj - 3_000.0).abs() < 1e-9);
+        assert!((c.dynamic_energy_pj - 2_700.0).abs() < 1e-9);
+        assert!((c.static_energy_pj - 300.0).abs() < 1e-9);
+        assert!((snap.energy_pj - 3_000.0).abs() < 1e-9);
+        assert!((snap.dynamic_energy_pj - 2_700.0).abs() < 1e-9);
+        assert!((snap.static_energy_pj - 300.0).abs() < 1e-9);
         // Classes with no completions default to the single-array
         // socket so serialized snapshots stay schema-compatible.
         assert!((snap.classes[0].shards - 1.0).abs() < 1e-12);

@@ -1,0 +1,182 @@
+//! DVFS properties: the occupancy-driven governor is a pure function
+//! of the placement trace (replaying the same admissions yields
+//! bit-identical ladder walks, placements and event streams), and
+//! answer-now-verify-later serving agrees digest-for-digest with the
+//! non-speculative path on every backend pairing.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tempus_core::shard::BudgetPlan;
+use tempus_fleet::{FleetConfig, FleetEvent, FleetOutcome, FleetScheduler, FleetSummary};
+use tempus_models::traffic::{generate, TraceConfig};
+use tempus_runtime::BackendKind;
+use tempus_serve::{
+    GovernorPolicy, Request, ResponseOutcome, ServeConfig, ServeStats, StreamingService,
+};
+
+/// Drives one governor-armed (optionally power-capped) fleet through
+/// the admission stream, returning everything observable: outcomes,
+/// the recorded event log (routes, previews, frequency changes) and
+/// the summary.
+fn govern_replay(
+    jobs: &[(u64, u64)],
+    governor: GovernorPolicy,
+    cap_mw: Option<f64>,
+) -> (Vec<FleetOutcome>, Vec<FleetEvent>, FleetSummary) {
+    let mut config = FleetConfig::new(1, 2).with_freq_governor(governor);
+    if let Some(cap) = cap_mw {
+        config = config.with_power_cap(cap);
+    }
+    let mut fleet = FleetScheduler::new(config);
+    fleet.set_recording(true);
+    let mut arrival = 0u64;
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for &(cycles, gap) in jobs {
+        let mut plan = BudgetPlan::single(cycles);
+        // Annotate a calibrated energy split so capped admission has
+        // a power figure to price levels against.
+        plan.widths[0].dynamic_energy_pj = cycles.saturating_mul(90);
+        plan.widths[0].static_energy_pj = cycles.saturating_mul(10);
+        arrival = arrival.saturating_add(gap);
+        outcomes.push(fleet.admit_at(&plan, None, arrival));
+    }
+    let events = fleet.drain_events();
+    (outcomes, events, fleet.summary())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same admission stream in, same ladder walk out — placements,
+    /// frequency-change events and residency folds are all
+    /// bit-identical across replays, with or without a power cap. No
+    /// host timing leaks into the governor.
+    #[test]
+    fn governor_is_a_pure_function_of_the_trace(
+        jobs in prop::collection::vec((50u64..2_000, 0u64..4_000), 4..40),
+        low in 50u32..400,
+        spread in 50u32..400,
+        max_level in 1u8..4,
+        cap_raw in 0.0f64..40.0,
+    ) {
+        // Below 5 mW the cap is degenerate for these plans; use that
+        // band to exercise the uncapped admission path instead.
+        let cap = (cap_raw >= 5.0).then_some(cap_raw);
+        let governor = GovernorPolicy {
+            max_level,
+            low_permille: low,
+            high_permille: low + spread,
+        };
+        let a = govern_replay(&jobs, governor, cap);
+        let b = govern_replay(&jobs, governor, cap);
+        prop_assert_eq!(&a.0, &b.0, "placements diverged across replays");
+        prop_assert_eq!(&a.1, &b.1, "event logs diverged across replays");
+        prop_assert_eq!(&a.2, &b.2, "summaries diverged across replays");
+
+        // Uncapped, the governor alone picks levels and never walks
+        // past its configured floor. (Power-capped admission searches
+        // the full ladder by design — the cap outranks the governor.)
+        if cap.is_none() {
+            let combined = a.2.combined();
+            for (lvl, &cycles) in combined.level_residency.iter().enumerate() {
+                if lvl > max_level as usize {
+                    prop_assert_eq!(cycles, 0, "residency beyond max_level {}", max_level);
+                }
+            }
+            for outcome in &a.0 {
+                if let FleetOutcome::Placed(p) = outcome {
+                    prop_assert!(p.placement.freq_level <= max_level);
+                }
+            }
+        }
+    }
+}
+
+/// Replays a trace closed-loop, panicking on any rejection or
+/// failure, and returns per-job output digests plus final stats.
+fn serve_replay(config: ServeConfig, trace_seed: u64) -> (BTreeMap<u64, u64>, ServeStats) {
+    let trace = generate(
+        &TraceConfig::new(trace_seed)
+            .with_requests(20)
+            .with_repeat_fraction(0.0)
+            .with_accurate_fraction(0.3),
+    );
+    let service = StreamingService::start(config).expect("service starts");
+    let mut digests = BTreeMap::new();
+    let mut outstanding = 0usize;
+    let consume =
+        |response: tempus_serve::Response, digests: &mut BTreeMap<u64, u64>| match response.outcome
+        {
+            ResponseOutcome::Done(result) => {
+                digests.insert(response.job_id, result.output.digest());
+            }
+            ResponseOutcome::Rejected(reason) => panic!("request rejected: {reason:?}"),
+            ResponseOutcome::Failed(error) => panic!("request failed: {error}"),
+        };
+    for t in &trace {
+        service
+            .submit(Request::from_trace(t))
+            .expect("service accepts");
+        outstanding += 1;
+        while let Some(response) = service.recv_response(Duration::ZERO) {
+            outstanding -= 1;
+            consume(response, &mut digests);
+        }
+    }
+    while outstanding > 0 {
+        let response = service
+            .recv_response(Duration::from_secs(120))
+            .expect("responses drain");
+        outstanding -= 1;
+        consume(response, &mut digests);
+    }
+    let (stats, _) = service.shutdown();
+    (digests, stats)
+}
+
+/// Speculative serving must agree digest-for-digest with the
+/// non-speculative path against `accurate_backend`, with every closed
+/// answer/verify rendezvous verifying clean — exercised for both
+/// cycle-accurate backends (the answer leg itself always runs the
+/// functional backend, so each case spans two of the three backends
+/// and the pair covers all three).
+fn speculative_agrees_with(accurate_backend: BackendKind) {
+    let config = || {
+        let mut c = ServeConfig::new()
+            .with_workers(2)
+            .with_queue_capacity(64)
+            .with_admission(1, 64)
+            .with_drain_timeout(Duration::from_secs(120));
+        c.accurate_backend = accurate_backend;
+        c
+    };
+    let (baseline, baseline_stats) = serve_replay(config(), 97);
+    let (speculative, spec_stats) = serve_replay(config().with_speculative(), 97);
+    assert_eq!(
+        baseline, speculative,
+        "speculative answers diverged from the non-speculative path on {accurate_backend:?}"
+    );
+    assert_eq!(baseline_stats.failed, 0);
+    assert_eq!(spec_stats.failed, 0);
+    assert_eq!(
+        spec_stats.speculative_mismatches, 0,
+        "a verify leg disagreed with its answer on {accurate_backend:?}"
+    );
+    assert!(
+        spec_stats.speculative_verified > 0,
+        "no rendezvous closed — speculation never engaged on {accurate_backend:?}"
+    );
+    assert_eq!(baseline_stats.speculative_answers, 0);
+}
+
+#[test]
+fn speculative_digests_agree_on_tempus() {
+    speculative_agrees_with(BackendKind::TempusCycleAccurate);
+}
+
+#[test]
+fn speculative_digests_agree_on_nvdla() {
+    speculative_agrees_with(BackendKind::NvdlaCycleAccurate);
+}

@@ -105,12 +105,15 @@ pub enum Stage {
     /// Counter sample: peak streaming-scratch elements of a streamed
     /// execution (bounded tile arena / fused per-row ring).
     StreamWindow,
+    /// Device instant: a device array's DVFS clock domain stepped
+    /// (`arg` = new ladder level) — absent with the governor off.
+    FreqChange,
 }
 
 impl Stage {
     /// Every stage, in serialization-code order (append-only: codes
     /// are positional and must stay stable across releases).
-    pub const ALL: [Stage; 25] = [
+    pub const ALL: [Stage; 26] = [
         Stage::Queue,
         Stage::Admit,
         Stage::CacheHit,
@@ -136,6 +139,7 @@ impl Stage {
         Stage::Degrade,
         Stage::Respawn,
         Stage::StreamWindow,
+        Stage::FreqChange,
     ];
 
     /// Stable serialization code (index into [`Stage::ALL`]).
@@ -179,6 +183,7 @@ impl Stage {
             Stage::Degrade => "degrade",
             Stage::Respawn => "respawn",
             Stage::StreamWindow => "stream_window",
+            Stage::FreqChange => "freq_change",
         }
     }
 }

@@ -57,12 +57,29 @@ pub enum Counter {
     /// Rejections because the job's smallest streaming plan exceeds
     /// the configured scratch budget.
     RejectedScratch,
+    /// Per-array DVFS frequency transitions the governor committed.
+    FreqChanges,
+    /// Interactive requests answered immediately by the speculative
+    /// functional leg (answer-now-verify-later).
+    SpeculativeAnswers,
+    /// Speculative answers whose accurate verification produced a
+    /// **different** digest — expected zero under the bit-identity
+    /// contract.
+    SpeculativeMismatches,
+    /// Device array-cycles held at DVFS ladder level 0 (nominal).
+    FreqResidencyL0,
+    /// Device array-cycles held at DVFS ladder level 1.
+    FreqResidencyL1,
+    /// Device array-cycles held at DVFS ladder level 2.
+    FreqResidencyL2,
+    /// Device array-cycles held at DVFS ladder level 3.
+    FreqResidencyL3,
 }
 
 impl Counter {
     /// Every counter, in registry order (append-only: indices are
     /// positional and must stay stable across releases).
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 27] = [
         Counter::EventsRecorded,
         Counter::EventsDropped,
         Counter::CacheHits,
@@ -83,6 +100,13 @@ impl Counter {
         Counter::WorkerRespawns,
         Counter::WatchdogCancels,
         Counter::RejectedScratch,
+        Counter::FreqChanges,
+        Counter::SpeculativeAnswers,
+        Counter::SpeculativeMismatches,
+        Counter::FreqResidencyL0,
+        Counter::FreqResidencyL1,
+        Counter::FreqResidencyL2,
+        Counter::FreqResidencyL3,
     ];
 
     /// Registry name — stable, snake_case, used as the JSON key.
@@ -109,6 +133,25 @@ impl Counter {
             Counter::WorkerRespawns => "worker_respawns",
             Counter::WatchdogCancels => "watchdog_cancels",
             Counter::RejectedScratch => "rejected_scratch",
+            Counter::FreqChanges => "freq_changes",
+            Counter::SpeculativeAnswers => "speculative_answers",
+            Counter::SpeculativeMismatches => "speculative_mismatches",
+            Counter::FreqResidencyL0 => "freq_residency_l0",
+            Counter::FreqResidencyL1 => "freq_residency_l1",
+            Counter::FreqResidencyL2 => "freq_residency_l2",
+            Counter::FreqResidencyL3 => "freq_residency_l3",
+        }
+    }
+
+    /// The residency counter for DVFS ladder level `level` (levels
+    /// past the ladder clamp to the deepest).
+    #[must_use]
+    pub fn freq_residency(level: usize) -> Counter {
+        match level {
+            0 => Counter::FreqResidencyL0,
+            1 => Counter::FreqResidencyL1,
+            2 => Counter::FreqResidencyL2,
+            _ => Counter::FreqResidencyL3,
         }
     }
 

@@ -55,12 +55,32 @@
 //! cargo run --release --example serve_stream -- --streaming
 //! cargo run --release --example serve_stream -- --scratch-budget 4096
 //! ```
+//!
+//! `--power-cap <mW>` caps fleet-wide average power: admission walks
+//! the width × DVFS-ladder grid and commits the lowest-energy
+//! deadline-feasible operating point under the cap (implies
+//! `--co-schedule`). `--freq-levels N` arms the per-array DVFS
+//! governor with the deepest N ladder levels: idle-heavy arrays step
+//! down the frequency ladder, trading latency nobody was using for
+//! leakage energy (also implies `--co-schedule`). `--speculative`
+//! turns on answer-now-verify-later serving: accurate requests are
+//! answered immediately from the bit-identical functional backend
+//! while the cycle-accurate execution verifies the digest
+//! asynchronously:
+//!
+//! ```text
+//! cargo run --release --example serve_stream -- --arrays 4 --power-cap 50
+//! cargo run --release --example serve_stream -- --arrays 4 --freq-levels 4
+//! cargo run --release --example serve_stream -- --speculative
+//! ```
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use tempus::models::traffic::{generate, TraceConfig};
-use tempus::serve::{FaultPlan, Request, ResponseOutcome, ServeConfig, StreamingService};
+use tempus::serve::{
+    FaultPlan, GovernorPolicy, Request, ResponseOutcome, ServeConfig, StreamingService,
+};
 
 /// Drives one full pass of the trace through `service`, returning
 /// (wall seconds, per-job output digests).
@@ -168,6 +188,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .transpose()?;
     let streaming = args.iter().any(|a| a == "--streaming") || scratch_budget.is_some();
+    let speculative = args.iter().any(|a| a == "--speculative");
+    let power_cap_mw = args
+        .iter()
+        .position(|a| a == "--power-cap")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or("--power-cap expects milliwatts")?
+                .parse::<f64>()
+                .map_err(|e| format!("--power-cap expects milliwatts: {e}"))
+        })
+        .transpose()?;
+    let freq_levels = args
+        .iter()
+        .position(|a| a == "--freq-levels")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or("--freq-levels expects a level count")?
+                .parse::<u8>()
+                .map_err(|e| format!("--freq-levels expects a level count: {e}"))
+        })
+        .transpose()?;
 
     let mut trace_config = TraceConfig::new(42)
         .with_requests(400)
@@ -221,6 +262,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serve_config = serve_config.with_streaming();
         println!("streaming: bounded scratch arena, unlimited budget\n");
     }
+    if let Some(cap_mw) = power_cap_mw {
+        serve_config = serve_config.with_power_cap(cap_mw);
+        println!(
+            "power: fleet-wide cap {cap_mw} mW (admission picks the lowest-energy \
+             deadline-feasible ladder level)\n"
+        );
+    }
+    if let Some(levels) = freq_levels {
+        let mut governor = GovernorPolicy::edge_default();
+        governor.max_level = levels.saturating_sub(1).min(governor.max_level);
+        serve_config = serve_config.with_freq_governor(governor);
+        println!(
+            "dvfs: occupancy-driven governor armed, ladder levels L0..L{}\n",
+            governor.max_level
+        );
+    }
+    if speculative {
+        serve_config = serve_config.with_speculative();
+        println!(
+            "speculative: accurate requests answered from the functional backend, \
+             verified against the cycle-accurate digest asynchronously\n"
+        );
+    }
     if let Some(seed) = chaos_seed {
         serve_config = serve_config.with_chaos(FaultPlan::new(seed, fault_rate).with_weights(2, 2));
         println!(
@@ -271,6 +335,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\nstreaming: {} jobs streamed, peak scratch {} elems, {} scratch rejections",
             final_stats.streamed, final_stats.peak_scratch_elems, final_stats.rejected_scratch,
         );
+    }
+
+    if speculative {
+        println!(
+            "\nspeculative: {} answered early, {} verified, {} mismatches (must stay 0)",
+            final_stats.speculative_answers,
+            final_stats.speculative_verified,
+            final_stats.speculative_mismatches,
+        );
+        assert_eq!(
+            final_stats.speculative_mismatches, 0,
+            "speculative answers must verify against the cycle-accurate digest"
+        );
+    }
+
+    if power_cap_mw.is_some() || freq_levels.is_some() {
+        let residency: Vec<String> = final_stats
+            .device
+            .level_residency
+            .iter()
+            .enumerate()
+            .map(|(lvl, cycles)| format!("L{lvl}: {cycles}"))
+            .collect();
+        println!(
+            "\ndvfs: {} freq changes, {:.1} nJ planned energy ({:.1} nJ dynamic), \
+             array-cycle residency {{{}}}",
+            final_stats.device.freq_changes,
+            final_stats.energy_pj * 1e-3,
+            final_stats.dynamic_energy_pj * 1e-3,
+            residency.join(", "),
+        );
+        if let Some(fleet) = &final_stats.fleet {
+            println!(
+                "fleet power: peak {:.1} mW, planned {} pJ scheduled",
+                fleet.peak_power_mw, fleet.planned_energy_pj,
+            );
+        }
     }
 
     if let Some(path) = &trace_out {

@@ -150,6 +150,8 @@ proptest! {
                 critical_path_cycles: units * 1_000 / used,
                 reduction_cycles: 0,
                 total_array_cycles: units * 1_000,
+                dynamic_energy_pj: 0,
+                static_energy_pj: 0,
             })
         })
         .unwrap();
